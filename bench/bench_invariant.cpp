@@ -1,0 +1,96 @@
+//===- bench_invariant.cpp - Section 5.2.2 / prover microbenchmarks -------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// google-benchmark microbenches for the pieces of the verification
+// pipeline the paper discusses: the Omega-test satisfiability core,
+// validity queries of the Figure 1 bounds condition, the Section 5.2.2
+// induction-iteration walkthrough (via the full checker on Sum), and the
+// five-phase split on representative corpus programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+#include "constraints/Prover.h"
+#include "corpus/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::corpus;
+
+namespace {
+
+LinearExpr var(const char *Name) {
+  return LinearExpr::variable(varId(Name));
+}
+
+/// Omega test on Pugh's classic integer-infeasible system.
+void BM_OmegaPughExample(benchmark::State &State) {
+  LinearExpr X = var("b.x"), Y = var("b.y");
+  std::vector<Constraint> System = {
+      Constraint::ge(X.scaled(11) + Y.scaled(13) - LinearExpr::constant(27)),
+      Constraint::le(X.scaled(11) + Y.scaled(13), LinearExpr::constant(45)),
+      Constraint::ge(X.scaled(7) - Y.scaled(9) + LinearExpr::constant(10)),
+      Constraint::le(X.scaled(7) - Y.scaled(9), LinearExpr::constant(4))};
+  for (auto _ : State) {
+    OmegaTest Omega;
+    benchmark::DoNotOptimize(Omega.isSatisfiable(System));
+  }
+}
+BENCHMARK(BM_OmegaPughExample);
+
+/// The Figure 3 bounds verification condition as one validity query.
+void BM_ProveFigure3Bounds(benchmark::State &State) {
+  FormulaRef Context = Formula::conj(
+      {Formula::atom(Constraint::ge(var("b.%g3"))),
+       Formula::atom(Constraint::lt(var("b.%g3"), var("b.n"))),
+       Formula::atom(Constraint::eq(var("b.n") - var("b.%o1"))),
+       Formula::atom(
+           Constraint::eq(var("b.%g2") - var("b.%g3").scaled(4)))});
+  FormulaRef Goal = Formula::conj(
+      {Formula::atom(Constraint::ge(var("b.%g2"))),
+       Formula::atom(Constraint::lt(var("b.%g2"), var("b.n").scaled(4))),
+       Formula::atom(Constraint::divides(4, var("b.%g2")))});
+  for (auto _ : State) {
+    Prover::Options Opts;
+    Opts.EnableCache = false; // Measure the raw query.
+    Prover P(Opts);
+    benchmark::DoNotOptimize(P.checkImplies(Context, Goal));
+  }
+}
+BENCHMARK(BM_ProveFigure3Bounds);
+
+/// End-to-end checking of one corpus program (all five phases).
+void BM_CheckCorpus(benchmark::State &State, const char *Name) {
+  const CorpusProgram &P = corpusProgram(Name);
+  for (auto _ : State) {
+    SafetyChecker Checker;
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    benchmark::DoNotOptimize(R.Safe);
+  }
+}
+BENCHMARK_CAPTURE(BM_CheckCorpus, Sum, "Sum");
+BENCHMARK_CAPTURE(BM_CheckCorpus, BubbleSort, "BubbleSort");
+BENCHMARK_CAPTURE(BM_CheckCorpus, Btree, "Btree");
+BENCHMARK_CAPTURE(BM_CheckCorpus, HeapSort, "HeapSort");
+BENCHMARK_CAPTURE(BM_CheckCorpus, MD5, "MD5");
+
+/// The Section 5.2.2 walkthrough in isolation: the Sum bounds proof,
+/// which exercises W(0), wlp around the loop, generalization, and the
+/// certification query.
+void BM_SumGlobalVerification(benchmark::State &State) {
+  const CorpusProgram &P = corpusProgram("Sum");
+  for (auto _ : State) {
+    SafetyChecker Checker;
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    benchmark::DoNotOptimize(R.Global.InvariantsSynthesized);
+  }
+}
+BENCHMARK(BM_SumGlobalVerification);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+//===- thread_list.cpp - The Section 2 thread-list policy -----------------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// The paper's Section 2 scenario, verbatim: "suppose that a user is
+// asked to write an extension that finds out the lightweight process on
+// which a thread is running", where the host keeps threads in a linked
+// list of
+//
+//   struct thread { int tid; int lwpid; struct thread *next; };
+//
+// and the policy is
+//
+//   [H : thread.tid, thread.lwpid : ro]
+//   [H : thread.next : rfo]
+//
+// i.e. tid/lwpid may be read and examined, and only the next field may
+// be followed. This example runs three extensions against that policy: a
+// well-behaved lookup, one that tries to *write* a tid, and one that
+// tries to modify the list structure — the latter two are rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+
+#include <cstdio>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+const char *ThreadPolicy = R"(
+struct thread { tid: int32 @0; lwpid: int32 @4; next: thread* @8 } size 12 align 4
+loc th : thread state={th,null} summary
+loc threads : thread* state={th,null}
+region H { th, threads }
+allow H : thread.tid : r,o
+allow H : thread.lwpid : r,o
+allow H : thread.next : r,f,o
+allow H : thread* : r,f,o
+invoke %o0 = threads
+invoke %o1 = tid
+)";
+
+// find_lwp(list, tid): walk the list; return the lwpid of the matching
+// thread, or -1.
+const char *FindLwp = R"(
+walk:
+  cmp %o0,0
+  be miss
+  nop
+  ld [%o0+0],%g1   ! t->tid
+  cmp %g1,%o1
+  be hit
+  nop
+  ld [%o0+8],%o0   ! t = t->next (followable by the policy)
+  ba walk
+  nop
+hit:
+  ld [%o0+4],%o0   ! return t->lwpid
+  retl
+  nop
+miss:
+  mov -1,%o0
+  retl
+  nop
+)";
+
+// A "renumbering" extension: writes the tid field, which is r/o.
+const char *RenumberTids = R"(
+  clr %g2
+loop:
+  cmp %o0,0
+  be out
+  nop
+  st %g2,[%o0+0]   ! thread.tid is not writable!
+  inc %g2
+  ld [%o0+8],%o0
+  ba loop
+  nop
+out:
+  retl
+  nop
+)";
+
+// A list surgeon: tries to redirect a next pointer (changing the shape
+// of the host structure), which this policy forbids (no w on next).
+const char *UnlinkNodes = R"(
+  cmp %o0,0
+  be out
+  nop
+  ld [%o0+8],%g1   ! t->next
+  st %g1,[%o0+8]   ! rewrite the link: rejected (next is r,f,o only)
+out:
+  retl
+  nop
+)";
+
+void run(const char *Title, const char *Asm) {
+  SafetyChecker Checker;
+  CheckReport R = Checker.checkSource(Asm, ThreadPolicy);
+  std::printf("== %s ==\nverdict: %s\n", Title,
+              R.Safe ? "SAFE" : "REJECTED");
+  if (!R.Safe)
+    std::printf("%s", R.Diags.str().c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  run("find_lwp: read tid/lwpid, follow next", FindLwp);
+  run("renumber_tids: writes a read-only field", RenumberTids);
+  run("unlink_nodes: rewrites the list structure", UnlinkNodes);
+  std::printf("The same model can express sandboxing (no host access at "
+              "all) up to shape-changing policies (granting w on next); "
+              "see Section 2 of the paper.\n");
+  return 0;
+}

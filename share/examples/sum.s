@@ -1,0 +1,14 @@
+! Figure 1 of the paper: sum the elements of an integer array.
+  mov %o0,%o2
+  clr %o0
+  cmp %o0,%o1
+  bge 12
+  clr %g3
+  sll %g3,2,%g2
+  ld [%o2+%g2],%g2
+  inc %g3
+  cmp %g3,%o1
+  bl 6
+  add %o0,%g2,%o0
+  retl
+  nop

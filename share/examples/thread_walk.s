@@ -1,0 +1,21 @@
+! find_lwp(list, tid): return the lwpid of the matching thread, or -1.
+! The Section 2 example of the paper.
+walk:
+  cmp %o0,0
+  be miss
+  nop
+  ld [%o0+0],%g1   ! t->tid
+  cmp %g1,%o1
+  be hit
+  nop
+  ld [%o0+8],%o0   ! t = t->next
+  ba walk
+  nop
+hit:
+  ld [%o0+4],%o0   ! return t->lwpid
+  retl
+  nop
+miss:
+  mov -1,%o0
+  retl
+  nop

@@ -1,0 +1,380 @@
+//===- Cfg.cpp ------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::cfg;
+using namespace mcsafe::sparc;
+
+namespace mcsafe {
+namespace cfg {
+
+/// Performs inline expansion and delay-slot normalization.
+class CfgBuilder {
+public:
+  CfgBuilder(const Module &M, DiagnosticEngine &Diags) : M(M), Diags(Diags) {
+    G.M = &M;
+  }
+
+  std::optional<Cfg> run();
+
+private:
+  struct FunctionInstance {
+    NodeId Entry = InvalidNode;
+    /// Nodes whose successor is the caller's continuation (the delay-slot
+    /// clones of the function's return jmpls).
+    std::vector<NodeId> Returns;
+  };
+
+  static constexpr size_t MaxNodes = 200000;
+
+  NodeId newNode(NodeKind Kind, uint32_t InstIndex, uint32_t Context) {
+    CfgNode N;
+    N.Kind = Kind;
+    N.InstIndex = InstIndex;
+    N.InlineContext = Context;
+    N.FuncEntry = CurFuncEntry;
+    G.Nodes.push_back(std::move(N));
+    return static_cast<NodeId>(G.Nodes.size() - 1);
+  }
+
+  void addEdge(NodeId From, NodeId To, EdgeKind Kind,
+               Opcode BranchOp = Opcode::BA) {
+    G.Nodes[From].Succs.push_back({To, Kind, BranchOp});
+  }
+
+  bool fatal(const std::string &Message, uint32_t InstIndex) {
+    Diags.report(DiagSeverity::Fatal, SafetyKind::Unsupported, Message,
+                 InstIndex,
+                 InstIndex < M.size() ? M.Insts[InstIndex].SourceLine : 0);
+    return false;
+  }
+
+  /// Expands one instantiation of the function entered at \p EntryIdx.
+  std::optional<FunctionInstance>
+  expandFunction(uint32_t EntryIdx, std::vector<uint32_t> &CallStack);
+
+  bool assignWindowDepths();
+
+  const Module &M;
+  DiagnosticEngine &Diags;
+  Cfg G;
+  uint32_t NextContext = 0;
+  uint32_t CurFuncEntry = 0;
+};
+
+} // namespace cfg
+} // namespace mcsafe
+
+std::optional<CfgBuilder::FunctionInstance>
+CfgBuilder::expandFunction(uint32_t EntryIdx,
+                           std::vector<uint32_t> &CallStack) {
+  for (uint32_t Caller : CallStack) {
+    if (Caller == EntryIdx) {
+      fatal("recursive call detected; the analysis rejects recursion",
+            EntryIdx);
+      return std::nullopt;
+    }
+  }
+  CallStack.push_back(EntryIdx);
+  uint32_t Context = NextContext++;
+  uint32_t SavedFuncEntry = CurFuncEntry;
+  CurFuncEntry = EntryIdx;
+
+  FunctionInstance Instance;
+  // Primary node for each instruction index within this instantiation.
+  std::map<uint32_t, NodeId> Primary;
+  std::deque<uint32_t> Worklist;
+
+  auto GetOrCreate = [&](uint32_t Index) -> std::optional<NodeId> {
+    if (Index >= M.size()) {
+      fatal("control flow runs past the end of the code", Index);
+      return std::nullopt;
+    }
+    auto It = Primary.find(Index);
+    if (It != Primary.end())
+      return It->second;
+    NodeId Id = newNode(NodeKind::Normal, Index, Context);
+    Primary.emplace(Index, Id);
+    Worklist.push_back(Index);
+    return Id;
+  };
+
+  std::optional<NodeId> EntryNode = GetOrCreate(EntryIdx);
+  if (!EntryNode)
+    return std::nullopt;
+  Instance.Entry = *EntryNode;
+
+  while (!Worklist.empty()) {
+    if (G.Nodes.size() > MaxNodes) {
+      fatal("inline expansion exceeds the node budget", EntryIdx);
+      return std::nullopt;
+    }
+    uint32_t Index = Worklist.front();
+    Worklist.pop_front();
+    NodeId Node = Primary.at(Index);
+    const Instruction &Inst = M.Insts[Index];
+
+    if (!Inst.isControlTransfer()) {
+      std::optional<NodeId> Next = GetOrCreate(Index + 1);
+      if (!Next)
+        return std::nullopt;
+      addEdge(Node, *Next, EdgeKind::Flow);
+      continue;
+    }
+
+    // Every control transfer has a delay slot.
+    uint32_t DelayIdx = Index + 1;
+    if (DelayIdx >= M.size()) {
+      fatal("control transfer has no delay-slot instruction", Index);
+      return std::nullopt;
+    }
+    if (M.Insts[DelayIdx].isControlTransfer()) {
+      fatal("control transfer in a delay slot is not supported", DelayIdx);
+      return std::nullopt;
+    }
+    auto CloneDelay = [&]() {
+      return newNode(NodeKind::Normal, DelayIdx, Context);
+    };
+
+    if (isConditionalBranch(Inst.Op)) {
+      assert(Inst.Target >= 0 && "unresolved branch target");
+      std::optional<NodeId> TakenDst =
+          GetOrCreate(static_cast<uint32_t>(Inst.Target));
+      std::optional<NodeId> FallDst = GetOrCreate(Index + 2);
+      if (!TakenDst || !FallDst)
+        return std::nullopt;
+      NodeId TakenDelay = CloneDelay();
+      addEdge(Node, TakenDelay, EdgeKind::Taken, Inst.Op);
+      addEdge(TakenDelay, *TakenDst, EdgeKind::Flow);
+      if (Inst.Annul) {
+        // Annulled: the delay instruction executes on the taken path only.
+        addEdge(Node, *FallDst, EdgeKind::NotTaken, Inst.Op);
+      } else {
+        NodeId FallDelay = CloneDelay();
+        addEdge(Node, FallDelay, EdgeKind::NotTaken, Inst.Op);
+        addEdge(FallDelay, *FallDst, EdgeKind::Flow);
+      }
+      continue;
+    }
+
+    if (Inst.Op == Opcode::BA || Inst.Op == Opcode::BN) {
+      uint32_t Dest = Inst.Op == Opcode::BA
+                          ? static_cast<uint32_t>(Inst.Target)
+                          : Index + 2;
+      std::optional<NodeId> DestNode = GetOrCreate(Dest);
+      if (!DestNode)
+        return std::nullopt;
+      if (Inst.Annul) {
+        addEdge(Node, *DestNode, EdgeKind::Flow);
+      } else {
+        NodeId Delay = CloneDelay();
+        addEdge(Node, Delay, EdgeKind::Flow);
+        addEdge(Delay, *DestNode, EdgeKind::Flow);
+      }
+      continue;
+    }
+
+    if (Inst.Op == Opcode::CALL) {
+      NodeId Delay = CloneDelay();
+      addEdge(Node, Delay, EdgeKind::Flow);
+      std::optional<NodeId> Continuation = GetOrCreate(Index + 2);
+      if (!Continuation)
+        return std::nullopt;
+      if (Inst.Target >= 0) {
+        std::optional<FunctionInstance> Callee =
+            expandFunction(static_cast<uint32_t>(Inst.Target), CallStack);
+        if (!Callee)
+          return std::nullopt;
+        addEdge(Delay, Callee->Entry, EdgeKind::Flow);
+        for (NodeId Ret : Callee->Returns)
+          addEdge(Ret, *Continuation, EdgeKind::Flow);
+        if (Callee->Returns.empty())
+          Diags.report(DiagSeverity::Warning, SafetyKind::None,
+                       "callee never returns", Index, Inst.SourceLine);
+      } else {
+        NodeId Summary = newNode(NodeKind::TrustedCall, Index, Context);
+        G.Nodes[Summary].TrustedCallee = Inst.CalleeName;
+        addEdge(Delay, Summary, EdgeKind::Flow);
+        addEdge(Summary, *Continuation, EdgeKind::Flow);
+      }
+      continue;
+    }
+
+    assert(Inst.Op == Opcode::JMPL);
+    if (!Inst.isReturn()) {
+      fatal("indirect jump (jmpl) is not supported; only the conventional "
+            "returns jmpl %o7+8 / %i7+8 are analyzable",
+            Index);
+      return std::nullopt;
+    }
+    NodeId Delay = CloneDelay();
+    addEdge(Node, Delay, EdgeKind::Flow);
+    Instance.Returns.push_back(Delay);
+  }
+
+  CallStack.pop_back();
+  CurFuncEntry = SavedFuncEntry;
+  return Instance;
+}
+
+bool CfgBuilder::assignWindowDepths() {
+  // BFS from the entry; the depth on entry to each node must be unique.
+  std::vector<int32_t> Depth(G.Nodes.size(), INT32_MIN);
+  std::deque<NodeId> Worklist;
+  Depth[G.Entry] = 0;
+  Worklist.push_back(G.Entry);
+  constexpr int32_t MaxDepth = 32;
+  while (!Worklist.empty()) {
+    NodeId Id = Worklist.front();
+    Worklist.pop_front();
+    const CfgNode &N = G.Nodes[Id];
+    int32_t Out = Depth[Id];
+    if (N.Kind == NodeKind::Normal && N.InstIndex != UINT32_MAX) {
+      const Instruction &Inst = M.Insts[N.InstIndex];
+      if (Inst.Op == Opcode::SAVE)
+        ++Out;
+      else if (Inst.Op == Opcode::RESTORE)
+        --Out;
+      if (Out < 0) {
+        Diags.report(DiagSeverity::Fatal, SafetyKind::StackDiscipline,
+                     "restore without a matching save", N.InstIndex,
+                     Inst.SourceLine);
+        return false;
+      }
+      if (Out > MaxDepth) {
+        Diags.report(DiagSeverity::Fatal, SafetyKind::StackDiscipline,
+                     "register-window depth exceeds the supported maximum",
+                     N.InstIndex, Inst.SourceLine);
+        return false;
+      }
+    }
+    for (const CfgEdge &E : N.Succs) {
+      if (Depth[E.To] == INT32_MIN) {
+        Depth[E.To] = Out;
+        Worklist.push_back(E.To);
+      } else if (Depth[E.To] != Out) {
+        Diags.report(DiagSeverity::Fatal, SafetyKind::StackDiscipline,
+                     "inconsistent register-window depth at join",
+                     G.Nodes[E.To].InstIndex,
+                     G.sourceLine(E.To));
+        return false;
+      }
+    }
+  }
+  for (NodeId Id = 0; Id < G.size(); ++Id)
+    G.Nodes[Id].WindowDepth = Depth[Id] == INT32_MIN ? 0 : Depth[Id];
+  // The program must exit at depth 0 (all windows restored).
+  if (Depth[G.Exit] > 0) {
+    Diags.report(DiagSeverity::Fatal, SafetyKind::StackDiscipline,
+                 "control returns to the host with unrestored register "
+                 "windows");
+    return false;
+  }
+  return true;
+}
+
+std::optional<Cfg> CfgBuilder::run() {
+  std::vector<uint32_t> CallStack;
+  std::optional<FunctionInstance> Top = expandFunction(0, CallStack);
+  if (!Top)
+    return std::nullopt;
+  G.Entry = Top->Entry;
+  G.Exit = newNode(NodeKind::Exit, UINT32_MAX, 0);
+  if (Top->Returns.empty())
+    Diags.report(DiagSeverity::Warning, SafetyKind::None,
+                 "the untrusted code never returns to the host");
+  for (NodeId Ret : Top->Returns)
+    addEdge(Ret, G.Exit, EdgeKind::Flow);
+
+  // Populate predecessor lists.
+  for (NodeId Id = 0; Id < G.size(); ++Id)
+    for (const CfgEdge &E : G.Nodes[Id].Succs)
+      G.Nodes[E.To].Preds.push_back(Id);
+
+  if (!assignWindowDepths())
+    return std::nullopt;
+  return std::move(G);
+}
+
+std::optional<Cfg> Cfg::build(const Module &M, DiagnosticEngine &Diags) {
+  if (M.Insts.empty()) {
+    Diags.fatal("empty module");
+    return std::nullopt;
+  }
+  CfgBuilder Builder(M, Diags);
+  return Builder.run();
+}
+
+const Instruction &Cfg::inst(NodeId Id) const {
+  const CfgNode &N = Nodes[Id];
+  assert(N.InstIndex != UINT32_MAX && "synthetic node has no instruction");
+  return M->Insts[N.InstIndex];
+}
+
+uint32_t Cfg::sourceLine(NodeId Id) const {
+  const CfgNode &N = Nodes[Id];
+  if (N.InstIndex == UINT32_MAX || N.InstIndex >= M->size())
+    return 0;
+  return M->Insts[N.InstIndex].SourceLine;
+}
+
+std::vector<NodeId> Cfg::reversePostOrder() const {
+  std::vector<NodeId> Order;
+  std::vector<uint8_t> State(Nodes.size(), 0); // 0 new, 1 open, 2 done.
+  // Iterative DFS with an explicit stack.
+  std::vector<std::pair<NodeId, size_t>> Stack;
+  Stack.emplace_back(Entry, 0);
+  State[Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[Id, NextSucc] = Stack.back();
+    if (NextSucc < Nodes[Id].Succs.size()) {
+      NodeId To = Nodes[Id].Succs[NextSucc++].To;
+      if (State[To] == 0) {
+        State[To] = 1;
+        Stack.emplace_back(To, 0);
+      }
+      continue;
+    }
+    State[Id] = 2;
+    Order.push_back(Id);
+    Stack.pop_back();
+  }
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::string Cfg::str() const {
+  std::ostringstream OS;
+  for (NodeId Id = 0; Id < size(); ++Id) {
+    const CfgNode &N = Nodes[Id];
+    OS << 'n' << Id << " [d" << N.WindowDepth << "] ";
+    switch (N.Kind) {
+    case NodeKind::Normal:
+      OS << "line " << sourceLine(Id) << ": " << inst(Id).str();
+      break;
+    case NodeKind::TrustedCall:
+      OS << "trusted-call " << N.TrustedCallee;
+      break;
+    case NodeKind::Exit:
+      OS << "exit";
+      break;
+    }
+    OS << " ->";
+    for (const CfgEdge &E : N.Succs) {
+      OS << " n" << E.To;
+      if (E.Kind == EdgeKind::Taken)
+        OS << "(T:" << sparc::opcodeName(E.BranchOp) << ')';
+      else if (E.Kind == EdgeKind::NotTaken)
+        OS << "(F:" << sparc::opcodeName(E.BranchOp) << ')';
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}

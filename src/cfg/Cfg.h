@@ -1,0 +1,136 @@
+//===- Cfg.h - Control-flow graph with delay-slot normalization -*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interprocedural control-flow graph the five analysis phases run on.
+/// Construction performs three normalizations:
+///
+///  1. *Delayed branches.* The delay-slot instruction of every delayed
+///     control transfer is replicated onto each outgoing edge on which it
+///     executes — exactly the paper's device for Figure 8 ("the
+///     instructions at lines 5 and 11 are replicated to model the
+///     semantics of delayed branches"). Annulled branches replicate onto
+///     the taken edge only.
+///
+///  2. *Interprocedural inline expansion.* Since the analysis rejects
+///     recursion (Section 5.2.1), the call graph is acyclic and each local
+///     call site receives its own clone of the callee's CFG; this is the
+///     "walk through the body of the callee as though it is inlined"
+///     device, realized structurally. Calls to external functions become
+///     TrustedCall summary nodes checked against the policy's
+///     trusted-function pre/post-conditions.
+///
+///  3. *Register-window depths.* Every node gets a static window depth
+///     (save increments, restore decrements); inconsistent depths are
+///     stack-manipulation violations. Depths let later phases treat
+///     save/restore as exact register renamings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CFG_CFG_H
+#define MCSAFE_CFG_CFG_H
+
+#include "sparc/Module.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace cfg {
+
+/// Index of a node within a Cfg.
+using NodeId = uint32_t;
+inline constexpr NodeId InvalidNode = UINT32_MAX;
+
+/// What a node does beyond its instruction.
+enum class NodeKind : uint8_t {
+  Normal,      ///< Executes its instruction.
+  TrustedCall, ///< Synthetic: applies an external function's summary.
+  Exit,        ///< Synthetic: the unique program exit.
+};
+
+/// Why an edge is taken. Conditional-branch edges carry the branch opcode
+/// and polarity so the checker can attach a linear condition on icc.
+enum class EdgeKind : uint8_t {
+  Flow,     ///< Unconditional control flow.
+  Taken,    ///< Conditional branch taken.
+  NotTaken, ///< Conditional branch not taken.
+};
+
+struct CfgEdge {
+  NodeId To = InvalidNode;
+  EdgeKind Kind = EdgeKind::Flow;
+  /// For Taken/NotTaken edges: the branch opcode of the source branch.
+  sparc::Opcode BranchOp = sparc::Opcode::BA;
+};
+
+struct CfgNode {
+  NodeKind Kind = NodeKind::Normal;
+  /// Index of the executed instruction in the module; UINT32_MAX for
+  /// synthetic nodes. Delay-slot clones and inlined callee bodies share
+  /// the InstIndex of their original instruction.
+  uint32_t InstIndex = UINT32_MAX;
+  /// Name of the external callee for TrustedCall nodes.
+  std::string TrustedCallee;
+  /// Register-window depth on entry to this node (0 = caller window).
+  int32_t WindowDepth = 0;
+  /// Inline-expansion context: which call-site chain this node belongs
+  /// to, used only for diagnostics. 0 is the outermost instantiation.
+  uint32_t InlineContext = 0;
+  /// Module instruction index of the enclosing function's entry (0 for
+  /// the top-level function). Lets the checker find per-function frame
+  /// annotations.
+  uint32_t FuncEntry = 0;
+  std::vector<CfgEdge> Succs;
+  std::vector<NodeId> Preds;
+};
+
+/// The normalized interprocedural CFG.
+class Cfg {
+public:
+  /// Builds the CFG for \p M starting at instruction 0. On unsupported
+  /// input (recursion, indirect jumps, missing delay slots, window-depth
+  /// inconsistencies) emits diagnostics and returns nullopt.
+  static std::optional<Cfg> build(const sparc::Module &M,
+                                  DiagnosticEngine &Diags);
+
+  const sparc::Module &module() const { return *M; }
+
+  NodeId entry() const { return Entry; }
+  NodeId exit() const { return Exit; }
+  uint32_t size() const { return static_cast<uint32_t>(Nodes.size()); }
+  const CfgNode &node(NodeId Id) const { return Nodes[Id]; }
+  const std::vector<CfgNode> &nodes() const { return Nodes; }
+
+  /// The instruction a node executes; asserts the node is not synthetic.
+  const sparc::Instruction &inst(NodeId Id) const;
+
+  /// 1-based source line of the node's instruction (0 for synthetic).
+  uint32_t sourceLine(NodeId Id) const;
+
+  /// Reverse postorder from the entry node.
+  std::vector<NodeId> reversePostOrder() const;
+
+  /// Renders the graph for debugging.
+  std::string str() const;
+
+private:
+  const sparc::Module *M = nullptr;
+  std::vector<CfgNode> Nodes;
+  NodeId Entry = InvalidNode;
+  NodeId Exit = InvalidNode;
+
+  friend class CfgBuilder;
+};
+
+} // namespace cfg
+} // namespace mcsafe
+
+#endif // MCSAFE_CFG_CFG_H

@@ -1,0 +1,61 @@
+//===- Dominators.cpp -----------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+using namespace mcsafe::cfg;
+
+DominatorTree::DominatorTree(const Cfg &G) {
+  Rpo = G.reversePostOrder();
+  RpoIndex.assign(G.size(), UINT32_MAX);
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  Idom.assign(G.size(), InvalidNode);
+  Idom[G.entry()] = G.entry();
+
+  auto Intersect = [&](NodeId A, NodeId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId Id : Rpo) {
+      if (Id == G.entry())
+        continue;
+      NodeId NewIdom = InvalidNode;
+      for (NodeId Pred : G.node(Id).Preds) {
+        if (Idom[Pred] == InvalidNode)
+          continue; // Not processed / unreachable.
+        NewIdom = NewIdom == InvalidNode ? Pred : Intersect(Pred, NewIdom);
+      }
+      if (NewIdom != InvalidNode && Idom[Id] != NewIdom) {
+        Idom[Id] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(NodeId A, NodeId B) const {
+  if (RpoIndex[B] == UINT32_MAX)
+    return false;
+  NodeId Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    NodeId Up = Idom[Cur];
+    if (Up == Cur || Up == InvalidNode)
+      return false;
+    Cur = Up;
+  }
+}

@@ -1,0 +1,53 @@
+//===- Dominators.h - Dominator tree ----------------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree over the CFG (Cooper-Harvey-Kennedy iterative
+/// algorithm), used to detect back edges / natural loops and to test
+/// reducibility — the induction-iteration method is defined over
+/// reducible control-flow graphs (Section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CFG_DOMINATORS_H
+#define MCSAFE_CFG_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+#include <vector>
+
+namespace mcsafe {
+namespace cfg {
+
+/// Immediate-dominator table for a Cfg.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Cfg &G);
+
+  /// Immediate dominator; the entry's idom is itself. Unreachable nodes
+  /// report InvalidNode.
+  NodeId idom(NodeId Id) const { return Idom[Id]; }
+
+  /// Does \p A dominate \p B? (Reflexive.)
+  bool dominates(NodeId A, NodeId B) const;
+
+  /// The reverse postorder the computation used.
+  const std::vector<NodeId> &order() const { return Rpo; }
+
+  /// Position of a node in reverse postorder (UINT32_MAX if unreachable).
+  uint32_t rpoIndex(NodeId Id) const { return RpoIndex[Id]; }
+
+private:
+  std::vector<NodeId> Idom;
+  std::vector<NodeId> Rpo;
+  std::vector<uint32_t> RpoIndex;
+};
+
+} // namespace cfg
+} // namespace mcsafe
+
+#endif // MCSAFE_CFG_DOMINATORS_H

@@ -1,0 +1,574 @@
+//===- Annotation.cpp -----------------------------------------------------===//
+
+#include "checker/Annotation.h"
+
+#include "policy/Policy.h"
+#include "support/CheckedInt.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::typestate;
+using namespace mcsafe::sparc;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+using mcsafe::policy::regValueVar;
+
+namespace {
+
+/// Builds the checks for one analysis run.
+class Annotator {
+public:
+  Annotator(const CheckContext &Ctx, const PropagationResult &Prop)
+      : Ctx(Ctx), Prop(Prop) {}
+
+  AnnotationResult run();
+
+private:
+  void visitNode(NodeId Id);
+  void checkArithmetic(NodeId Id, const Instruction &Inst);
+  void checkMemory(NodeId Id, const Instruction &Inst);
+  void checkBranch(NodeId Id, const Instruction &Inst);
+  void checkTrustedCall(NodeId Id);
+  void checkPostcondition(NodeId Id);
+
+  /// Emits the array bounds / alignment / null obligations shared by
+  /// array-index adds and array-typed memory accesses.
+  void emitArrayObligations(NodeId Id, const MemFacts &F);
+
+  FormulaRef buildAssertions(NodeId Id, const AbstractStore &In) const;
+
+  // --- Local predicate helpers (paper Section 4.3). -----------------------
+
+  /// operable(v): o in A(v) and v is initialized.
+  bool checkOperable(NodeId Id, const Typestate &Ts,
+                     const std::string &What);
+  /// followable(v): f in A(v) and v is a pointer.
+  bool checkFollowable(NodeId Id, const Typestate &Ts,
+                       const std::string &What);
+
+  void localViolation(NodeId Id, SafetyKind Kind,
+                      const std::string &Message) {
+    ++Result.LocalViolations;
+    Ctx.Diags->report(DiagSeverity::Violation, Kind, Message, Id,
+                      Ctx.Graph.sourceLine(Id));
+  }
+
+  void addObligation(NodeId Id, SafetyKind Kind, FormulaRef Q,
+                     std::string Description) {
+    if (Q->isTrue())
+      return; // Trivially satisfied (constant index): not a condition.
+    Result.Obligations.push_back(
+        {Id, Kind, std::move(Q), std::move(Description)});
+  }
+
+  LinearExpr regExpr(int32_t Depth, Reg R) const {
+    if (R.isZero())
+      return LinearExpr();
+    return LinearExpr::variable(regValueVar(Depth, R));
+  }
+
+  const AbstractStore &in(NodeId Id) const { return Prop.In[Id]; }
+
+  const CheckContext &Ctx;
+  const PropagationResult &Prop;
+  AnnotationResult Result;
+};
+
+bool Annotator::checkOperable(NodeId Id, const Typestate &Ts,
+                              const std::string &What) {
+  ++Result.LocalChecks;
+  if (!Ts.S.isInitialized()) {
+    localViolation(Id, SafetyKind::UninitializedUse,
+                   What + " may be uninitialized");
+    return false;
+  }
+  if (!Ts.A.O) {
+    localViolation(Id, SafetyKind::AccessPolicy,
+                   What + " is not operable under the policy");
+    return false;
+  }
+  return true;
+}
+
+bool Annotator::checkFollowable(NodeId Id, const Typestate &Ts,
+                                const std::string &What) {
+  ++Result.LocalChecks;
+  if (!Ts.S.isPointsTo() || !Ts.Type->isPointerLike()) {
+    localViolation(Id,
+                   Ts.S.isInitialized() ? SafetyKind::TypeError
+                                        : SafetyKind::UninitializedUse,
+                   What + " is not a valid pointer");
+    return false;
+  }
+  if (!Ts.A.F) {
+    localViolation(Id, SafetyKind::AccessPolicy,
+                   What + " is not followable under the policy");
+    return false;
+  }
+  return true;
+}
+
+FormulaRef Annotator::buildAssertions(NodeId Id,
+                                      const AbstractStore &In) const {
+  std::vector<FormulaRef> Facts;
+  const CfgNode &Node = Ctx.Graph.node(Id);
+  In.forEachReg([&](int32_t Depth, Reg R, const Typestate &Ts) {
+    // Only the visible windows matter; facts about deeper windows are
+    // stale clutter.
+    if (Depth > Node.WindowDepth)
+      return;
+    LinearExpr Var = LinearExpr::variable(regValueVar(Depth, R));
+    if (Ts.S.constant()) {
+      Facts.push_back(Formula::atom(
+          Constraint::eq(Var.plusConstant(-*Ts.S.constant()))));
+      return;
+    }
+    if (Ts.S.isInit()) {
+      // Interval facts from the forward value analysis.
+      if (Ts.S.lower())
+        Facts.push_back(Formula::atom(
+            Constraint::ge(Var.plusConstant(-*Ts.S.lower()))));
+      if (Ts.S.upper())
+        Facts.push_back(Formula::atom(
+            Constraint::ge((-Var).plusConstant(*Ts.S.upper()))));
+      return;
+    }
+    if (!Ts.S.isPointsTo())
+      return;
+    if (Ts.S.isDefinitelyNull()) {
+      Facts.push_back(Formula::atom(Constraint::eq(Var)));
+      return;
+    }
+    if (!Ts.S.mayBeNull())
+      Facts.push_back(
+          Formula::atom(Constraint::ge(Var.plusConstant(-1))));
+    // Alignment fact: all targets agree on alignment a and residue r.
+    int64_t Align = 0;
+    int64_t Residue = 0;
+    bool Consistent = !Ts.S.targets().empty();
+    bool First = true;
+    for (const PtrTarget &Target : Ts.S.targets()) {
+      int64_t A = Ctx.Locs.loc(Target.Loc).Align;
+      if (A <= 1) {
+        Consistent = false;
+        break;
+      }
+      int64_t R2 = floorMod(Target.Offset, A);
+      if (First) {
+        Align = A;
+        Residue = R2;
+        First = false;
+      } else if (A != Align || R2 != Residue) {
+        Consistent = false;
+        break;
+      }
+    }
+    if (Consistent && Align > 1)
+      Facts.push_back(Formula::atom(
+          Constraint::divides(Align, Var.plusConstant(-Residue))));
+  });
+  // The condition codes: icc == R - imm after cmp R, imm.
+  if (const auto &Origin = In.iccOrigin()) {
+    LinearExpr Icc = LinearExpr::variable(policy::iccVar());
+    Facts.push_back(Formula::atom(Constraint::eq(
+        Icc - regExpr(Origin->Depth, Origin->R).plusConstant(-Origin->Imm))));
+  }
+  return Formula::conj(std::move(Facts));
+}
+
+void Annotator::emitArrayObligations(NodeId Id, const MemFacts &F) {
+  int32_t Depth = F.BaseDepth;
+  LinearExpr Idx = F.IndexIsImm ? LinearExpr::constant(F.IndexImm)
+                                : regExpr(Depth, F.IndexReg);
+  LinearExpr Base = regExpr(Depth, F.BaseReg);
+  uint32_t Size = F.ElemSize;
+
+  if (!F.Interior) {
+    // inbounds(size, 0, n, i):  0 <= i < n*size  and  size | i.
+    addObligation(Id, SafetyKind::ArrayBounds,
+                  Formula::atom(Constraint::ge(Idx)),
+                  "array index lower bound");
+    LinearExpr Limit =
+        F.Bound.Symbolic
+            ? LinearExpr::variable(F.Bound.Sym).scaled(Size)
+            : LinearExpr::constant(F.Bound.Literal * Size);
+    addObligation(Id, SafetyKind::ArrayBounds,
+                  Formula::atom(Constraint::lt(Idx, Limit)),
+                  "array index upper bound");
+    if (Size > 1)
+      addObligation(Id, SafetyKind::Alignment,
+                    Formula::atom(Constraint::divides(Size, Base + Idx)),
+                    "array access alignment");
+  } else if (Size > 1) {
+    // Interior pointers were bounds-checked when they were formed; only
+    // alignment and nullness remain.
+    addObligation(Id, SafetyKind::Alignment,
+                  Formula::atom(Constraint::divides(Size, Base + Idx)),
+                  "array access alignment");
+  }
+  addObligation(Id, SafetyKind::NullDereference,
+                Formula::atom(Constraint::ge(Base.plusConstant(-1))),
+                "base pointer must be non-null");
+}
+
+void Annotator::checkArithmetic(NodeId Id, const Instruction &Inst) {
+  const AbstractStore &In = in(Id);
+  int32_t Depth = Ctx.Graph.node(Id).WindowDepth;
+  Typestate A = In.reg(Depth, Inst.Rs1);
+  Typestate B = Inst.UsesImm
+                    ? Typestate{TypeFactory::int32(),
+                                State::initConst(Inst.Imm), Access::o()}
+                    : In.reg(Depth, Inst.Rs2);
+
+  InstFacts Facts = resolveInst(Ctx, Id, In);
+  if (Facts.Add == AddUsage::ArrayIndex) {
+    // Table 2 row 2: operable(rs), operable(Opnd), null not in S(rs),
+    // and the bounds check.
+    checkOperable(Id, A, "the base operand");
+    checkOperable(Id, B, "the index operand");
+    if (!Facts.Mem.Interior) {
+      emitArrayObligations(Id, Facts.Mem);
+    } else if (!Facts.Mem.IndexIsImm || Facts.Mem.IndexImm != 0) {
+      localViolation(Id, SafetyKind::ArrayBounds,
+                     "cannot bound an index added to an interior array "
+                     "pointer");
+    }
+    return;
+  }
+  if (Facts.Add == AddUsage::PtrDisp) {
+    checkOperable(Id, A.S.isPointsTo() ? A : B, "the pointer operand");
+    checkOperable(Id, A.S.isPointsTo() ? B : A, "the displacement");
+    return;
+  }
+  // Scalar use (Table 2 row 1): both operands operable.
+  checkOperable(Id, A, "the first operand");
+  checkOperable(Id, B, "the second operand");
+}
+
+void Annotator::checkMemory(NodeId Id, const Instruction &Inst) {
+  const AbstractStore &In = in(Id);
+  int32_t Depth = Ctx.Graph.node(Id).WindowDepth;
+  InstFacts Facts = resolveInst(Ctx, Id, In);
+  const MemFacts &F = Facts.Mem;
+  bool Load = isLoad(Inst.Op);
+
+  Typestate Base = In.reg(Depth, F.BaseReg);
+  if (!checkFollowable(Id, Base, "the base address"))
+    return;
+  if (F.Unresolved) {
+    localViolation(Id,
+                   F.ArrayAccess ? SafetyKind::TypeError
+                                 : SafetyKind::AccessPolicy,
+                   "the memory access does not resolve to a field of the "
+                   "right size in any pointed-to location");
+    return;
+  }
+  if (F.ArrayAccess && !F.IndexIsImm)
+    checkOperable(Id, In.reg(Depth, F.IndexReg), "the index register");
+
+  // Location r/w permissions.
+  for (AbsLocId Leaf : F.Leaves) {
+    ++Result.LocalChecks;
+    const AbstractLocation &Loc = Ctx.Locs.loc(Leaf);
+    if (Load && !Loc.Readable) {
+      localViolation(Id, SafetyKind::AccessPolicy,
+                     "location '" + Loc.Name + "' is not readable");
+    } else if (!Load && !Loc.Writable) {
+      localViolation(Id, SafetyKind::AccessPolicy,
+                     "location '" + Loc.Name + "' is not writable");
+    }
+  }
+
+  if (!Load) {
+    // assignable(rs, l): the stored value must be initialized and type-
+    // compatible with every destination.
+    Typestate Value = In.reg(Depth, Inst.Rd);
+    ++Result.LocalChecks;
+    if (!Value.S.isInitialized()) {
+      localViolation(Id, SafetyKind::UninitializedUse,
+                     "storing an uninitialized value");
+    } else {
+      for (AbsLocId Leaf : F.Leaves) {
+        const AbstractLocation &Loc = Ctx.Locs.loc(Leaf);
+        bool NullIntoPointer = Loc.Type->isPointerLike() &&
+                               Value.S.constant() &&
+                               *Value.S.constant() == 0;
+        if (!typeEquals(Loc.Type, Value.Type) && !NullIntoPointer &&
+            !Loc.Type->isTop()) {
+          // Scalar-for-scalar of equal width is tolerated; anything that
+          // could forge a pointer is not.
+          bool BothScalar = Loc.Type->isGround() && Value.Type->isGround() &&
+                            Loc.Type->sizeInBytes() ==
+                                Value.Type->sizeInBytes();
+          if (!BothScalar) {
+            localViolation(Id, SafetyKind::TypeError,
+                           "storing a value of type " + Value.Type->str() +
+                               " into '" + Loc.Name + "' of type " +
+                               Loc.Type->str());
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Global obligations.
+  if (F.ArrayAccess) {
+    emitArrayObligations(Id, F);
+  } else {
+    LinearExpr Base2 = regExpr(Depth, F.BaseReg);
+    uint32_t Size = memAccessSize(Inst.Op);
+    if (Size > 1)
+      addObligation(
+          Id, SafetyKind::Alignment,
+          Formula::atom(Constraint::divides(
+              Size, Base2.plusConstant(F.IndexIsImm ? F.IndexImm : 0))),
+          "address alignment");
+    addObligation(Id, SafetyKind::NullDereference,
+                  Formula::atom(Constraint::ge(Base2.plusConstant(-1))),
+                  F.BaseMayBeNull ? "pointer may be null"
+                                  : "pointer must be non-null");
+  }
+}
+
+void Annotator::checkBranch(NodeId Id, const Instruction &Inst) {
+  if (!isConditionalBranch(Inst.Op))
+    return;
+  ++Result.LocalChecks;
+  if (!in(Id).icc().S.isInitialized())
+    localViolation(Id, SafetyKind::UninitializedUse,
+                   "conditional branch on uninitialized condition codes");
+}
+
+void Annotator::checkTrustedCall(NodeId Id) {
+  const CfgNode &Node = Ctx.Graph.node(Id);
+  const policy::TrustedSummary *Summary =
+      Ctx.Pol->findTrusted(Node.TrustedCallee);
+  ++Result.LocalChecks;
+  if (!Summary) {
+    localViolation(Id, SafetyKind::TrustedCall,
+                   "call to '" + Node.TrustedCallee +
+                       "', which the policy does not allow");
+    return;
+  }
+  const AbstractStore &In = in(Id);
+  int32_t Depth = Node.WindowDepth;
+  for (const policy::TrustedParam &Param : Summary->Params) {
+    Typestate Actual = In.reg(Depth, Param.Reg);
+    ++Result.LocalChecks;
+    std::string What = "parameter " + Param.Reg.name() + " of '" +
+                       Summary->Name + "'";
+    if (!Actual.S.isInitialized()) {
+      localViolation(Id, SafetyKind::TrustedCall,
+                     What + " may be uninitialized");
+      continue;
+    }
+    if (Param.Type && !typeEquals(Actual.Type, Param.Type)) {
+      bool NullOk = Param.State.MayBeNull && Actual.S.constant() &&
+                    *Actual.S.constant() == 0;
+      if (!NullOk) {
+        localViolation(Id, SafetyKind::TrustedCall,
+                       What + " has type " + Actual.Type->str() +
+                           ", expected " + Param.Type->str());
+        continue;
+      }
+    }
+    if (Param.State.K == policy::StateSpec::Kind::PointsTo &&
+        Actual.S.isPointsTo()) {
+      if (Actual.S.mayBeNull() && !Param.State.MayBeNull) {
+        localViolation(Id, SafetyKind::TrustedCall,
+                       What + " may be null");
+        continue;
+      }
+      for (const PtrTarget &Target : Actual.S.targets()) {
+        bool Allowed = false;
+        for (const auto &[Name, Offset] : Param.State.Targets) {
+          AbsLocId Want = Ctx.Locs.lookup(Name);
+          if (Want != InvalidLoc && Want == Target.Loc &&
+              Offset == Target.Offset)
+            Allowed = true;
+        }
+        if (!Allowed) {
+          localViolation(Id, SafetyKind::TrustedCall,
+                         What + " may point outside the allowed locations");
+          break;
+        }
+      }
+    }
+    if ((Param.Access.F && !Actual.A.F) ||
+        (Param.Access.X && !Actual.A.X) ||
+        (Param.Access.O && !Actual.A.O))
+      localViolation(Id, SafetyKind::TrustedCall,
+                     What + " lacks a required access permission");
+  }
+  if (!Summary->Pre->isTrue()) {
+    // Instantiate the precondition at the caller's window depth.
+    FormulaRef Pre = Summary->Pre;
+    if (Depth != 0) {
+      for (uint8_t K = 8; K < 16; ++K) {
+        Reg R = Reg(K);
+        Pre = Formula::substitute(
+            Pre, regValueVar(0, R),
+            LinearExpr::variable(regValueVar(Depth, R)));
+      }
+    }
+    addObligation(Id, SafetyKind::TrustedCall, Pre,
+                  "precondition of '" + Summary->Name + "'");
+  }
+}
+
+void Annotator::checkPostcondition(NodeId Id) {
+  const AbstractStore &In = in(Id);
+  // Linear postconditions become global obligations at the exit node.
+  for (const FormulaRef &F : Ctx.Pol->PostConstraints)
+    addObligation(Id, SafetyKind::Postcondition, F,
+                  "safety postcondition");
+  // State postconditions are checked against the exit typestates.
+  for (const auto &[Name, Spec] : Ctx.Pol->PostStates) {
+    AbsLocId Target = Ctx.Locs.lookup(Name);
+    if (Target == InvalidLoc)
+      continue;
+    std::vector<AbsLocId> Leaves;
+    Ctx.Locs.collectLeaves(Target, Leaves);
+    for (AbsLocId Leaf : Leaves) {
+      ++Result.LocalChecks;
+      const State &S = In.loc(Leaf).S;
+      bool Ok = true;
+      switch (Spec.K) {
+      case policy::StateSpec::Kind::Init:
+        Ok = S.isInitialized();
+        break;
+      case policy::StateSpec::Kind::Uninit:
+        Ok = true; // Anything satisfies "may be uninitialized".
+        break;
+      case policy::StateSpec::Kind::Null:
+        Ok = S.isDefinitelyNull() ||
+             (S.constant() && *S.constant() == 0);
+        break;
+      case policy::StateSpec::Kind::PointsTo: {
+        // Scalar leaves of an aggregate under a points-to spec only need
+        // to be initialized (mirrors the entry-store construction).
+        if (!Ctx.Locs.loc(Leaf).Type->isPointerLike()) {
+          Ok = S.isInitialized();
+          break;
+        }
+        Ok = S.isPointsTo() && (!S.mayBeNull() || Spec.MayBeNull);
+        if (Ok) {
+          for (const PtrTarget &T : S.targets()) {
+            bool Allowed = false;
+            for (const auto &[WantName, WantOff] : Spec.Targets) {
+              AbsLocId Want = Ctx.Locs.lookup(WantName);
+              if (Want == T.Loc && WantOff == T.Offset)
+                Allowed = true;
+            }
+            Ok &= Allowed;
+          }
+        }
+        break;
+      }
+      }
+      if (!Ok)
+        localViolation(Id, SafetyKind::Postcondition,
+                       "location '" + Ctx.Locs.loc(Leaf).Name +
+                           "' does not satisfy the policy's " +
+                           "postcondition state on return (is " +
+                           S.str(&Ctx.Locs) + ")");
+    }
+  }
+}
+
+void Annotator::visitNode(NodeId Id) {
+  const AbstractStore &In = in(Id);
+  if (In.isTop())
+    return; // Unreachable.
+  Result.Assertions[Id] = buildAssertions(Id, In);
+
+  const CfgNode &Node = Ctx.Graph.node(Id);
+  if (Node.Kind == NodeKind::Exit) {
+    checkPostcondition(Id);
+    return;
+  }
+  if (Node.Kind == NodeKind::TrustedCall) {
+    checkTrustedCall(Id);
+    return;
+  }
+  if (Node.Kind != NodeKind::Normal)
+    return;
+  const Instruction &Inst = Ctx.Graph.inst(Id);
+  switch (Inst.Op) {
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::ADDCC:
+  case Opcode::SUBCC:
+    checkArithmetic(Id, Inst);
+    break;
+  case Opcode::AND:
+  case Opcode::ANDN:
+  case Opcode::ANDCC:
+  case Opcode::OR:
+  case Opcode::ORN:
+  case Opcode::ORCC:
+  case Opcode::XOR:
+  case Opcode::XNOR:
+  case Opcode::XORCC:
+  case Opcode::SLL:
+  case Opcode::SRL:
+  case Opcode::SRA:
+  case Opcode::UMUL:
+  case Opcode::SMUL:
+  case Opcode::UDIV:
+  case Opcode::SDIV: {
+    int32_t Depth = Node.WindowDepth;
+    // mov (or %g0, X, rd) only uses its real operand.
+    if (!Inst.Rs1.isZero())
+      checkOperable(Id, In.reg(Depth, Inst.Rs1), "the first operand");
+    if (!Inst.UsesImm && !Inst.Rs2.isZero())
+      checkOperable(Id, In.reg(Depth, Inst.Rs2), "the second operand");
+    if (Inst.Op == Opcode::UDIV || Inst.Op == Opcode::SDIV) {
+      // Division by zero is a machine trap: require a nonzero divisor.
+      LinearExpr Divisor = Inst.UsesImm
+                               ? LinearExpr::constant(Inst.Imm)
+                               : regExpr(Depth, Inst.Rs2);
+      addObligation(Id, SafetyKind::ArrayBounds,
+                    Formula::negate(
+                        Formula::atom(Constraint::eq(Divisor))),
+                    "divisor must be nonzero");
+    }
+    break;
+  }
+  case Opcode::LD:
+  case Opcode::LDSB:
+  case Opcode::LDSH:
+  case Opcode::LDUB:
+  case Opcode::LDUH:
+  case Opcode::ST:
+  case Opcode::STB:
+  case Opcode::STH:
+    checkMemory(Id, Inst);
+    break;
+  default:
+    if (isBranch(Inst.Op))
+      checkBranch(Id, Inst);
+    break;
+  }
+}
+
+AnnotationResult Annotator::run() {
+  Result.Assertions.assign(Ctx.Graph.size(), Formula::mkTrue());
+  for (NodeId Id = 0; Id < Ctx.Graph.size(); ++Id)
+    visitNode(Id);
+  return std::move(Result);
+}
+
+} // namespace
+
+AnnotationResult
+checker::annotateAndVerifyLocal(const CheckContext &Ctx,
+                                const PropagationResult &Prop) {
+  Annotator A(Ctx, Prop);
+  return A.run();
+}

@@ -1,0 +1,65 @@
+//===- Annotation.h - Phases 3 & 4: safety predicates -----------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase 3 traverses the untrusted code and attaches to each instruction
+/// (i) assertions — facts derivable from the typestate results, (ii)
+/// local safety preconditions — checkable from typestates alone, and
+/// (iii) global safety preconditions — linear formulas handed to the
+/// global-verification phase (paper Figure 3 / Table 2).
+///
+/// Phase 4 (local verification) evaluates the local preconditions and
+/// reports violations. The paper reports a single combined time for
+/// phases 3+4 (Figure 9's "Annotation + Local Verification"), and they
+/// are one pass here as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_ANNOTATION_H
+#define MCSAFE_CHECKER_ANNOTATION_H
+
+#include "checker/CheckContext.h"
+#include "checker/Propagation.h"
+
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace checker {
+
+/// One global safety precondition: \p Q must hold whenever control
+/// reaches \p Node.
+struct GlobalObligation {
+  cfg::NodeId Node = cfg::InvalidNode;
+  SafetyKind Kind = SafetyKind::None;
+  FormulaRef Q;
+  std::string Description;
+};
+
+/// Output of phases 3 and 4.
+struct AnnotationResult {
+  /// Global safety preconditions, for phase 5.
+  std::vector<GlobalObligation> Obligations;
+  /// Per-node assertion formula (facts from typestates): indexed by
+  /// NodeId. Used both to discharge obligations quickly and as
+  /// hypotheses during global verification.
+  std::vector<FormulaRef> Assertions;
+  /// Number of local precondition checks evaluated.
+  uint64_t LocalChecks = 0;
+  /// Number of local checks that failed (also reported as diagnostics).
+  uint64_t LocalViolations = 0;
+};
+
+/// Runs phases 3 and 4. Local violations are reported into
+/// Ctx.Diags; global obligations are returned for phase 5.
+AnnotationResult annotateAndVerifyLocal(const CheckContext &Ctx,
+                                        const PropagationResult &Prop);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_ANNOTATION_H

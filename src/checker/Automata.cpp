@@ -1,0 +1,116 @@
+//===- Automata.cpp -------------------------------------------------------===//
+
+#include "checker/Automata.h"
+
+#include <deque>
+#include <set>
+#include <vector>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using mcsafe::cfg::CfgEdge;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+using mcsafe::policy::Policy;
+
+namespace {
+
+/// Checks one automaton. State sets are bitmasks (automata are small).
+unsigned checkOne(const CheckContext &Ctx, const Policy::Automaton &A) {
+  if (A.States.size() > 64) {
+    Ctx.Diags->report(DiagSeverity::Warning, SafetyKind::Protocol,
+                      "automaton '" + A.Name +
+                          "' has too many states; not checked");
+    return 0;
+  }
+  unsigned Violations = 0;
+  const uint64_t NoStates = 0;
+  std::vector<uint64_t> In(Ctx.Graph.size(), NoStates);
+  std::vector<bool> Reported(Ctx.Graph.size(), false);
+
+  auto Transfer = [&](NodeId Id, uint64_t States) -> uint64_t {
+    const CfgNode &N = Ctx.Graph.node(Id);
+    if (N.Kind != NodeKind::TrustedCall || !A.observes(N.TrustedCallee))
+      return States;
+    uint64_t Out = 0;
+    uint64_t Stuck = 0;
+    for (uint32_t S = 0; S < A.States.size(); ++S) {
+      if (!(States & (uint64_t(1) << S)))
+        continue;
+      bool Moved = false;
+      for (const Policy::Automaton::Transition &T : A.Transitions) {
+        if (T.From == S && T.Event == N.TrustedCallee) {
+          Out |= uint64_t(1) << T.To;
+          Moved = true;
+        }
+      }
+      if (!Moved)
+        Stuck |= uint64_t(1) << S;
+    }
+    if (Stuck && !Reported[Id]) {
+      Reported[Id] = true;
+      ++Violations;
+      std::string StuckNames;
+      for (uint32_t S = 0; S < A.States.size(); ++S)
+        if (Stuck & (uint64_t(1) << S))
+          StuckNames += (StuckNames.empty() ? "" : ", ") + A.States[S];
+      Ctx.Diags->report(
+          DiagSeverity::Violation, SafetyKind::Protocol,
+          "automaton '" + A.Name + "': no transition on '" +
+              N.TrustedCallee + "' from state(s) " + StuckNames,
+          Id, Ctx.Graph.sourceLine(Id));
+    }
+    return Out;
+  };
+
+  // Worklist union-dataflow from the entry in the start state. In[] only
+  // grows, so this terminates; nodes are re-pushed when a successor's
+  // input grows.
+  std::deque<NodeId> Worklist;
+  In[Ctx.Graph.entry()] = uint64_t(1) << A.Start;
+  Worklist.push_back(Ctx.Graph.entry());
+  while (!Worklist.empty()) {
+    NodeId Id = Worklist.front();
+    Worklist.pop_front();
+    uint64_t Out = Transfer(Id, In[Id]);
+    for (const CfgEdge &E : Ctx.Graph.node(Id).Succs) {
+      uint64_t Merged = In[E.To] | Out;
+      if (Merged != In[E.To]) {
+        In[E.To] = Merged;
+        Worklist.push_back(E.To);
+      }
+    }
+  }
+
+  // Final-state check at the program exit.
+  if (!A.Final.empty()) {
+    uint64_t Allowed = 0;
+    for (uint32_t S : A.Final)
+      Allowed |= uint64_t(1) << S;
+    uint64_t AtExit = In[Ctx.Graph.exit()];
+    uint64_t Bad = AtExit & ~Allowed;
+    if (Bad) {
+      ++Violations;
+      std::string BadNames;
+      for (uint32_t S = 0; S < A.States.size(); ++S)
+        if (Bad & (uint64_t(1) << S))
+          BadNames += (BadNames.empty() ? "" : ", ") + A.States[S];
+      Ctx.Diags->report(DiagSeverity::Violation, SafetyKind::Protocol,
+                        "automaton '" + A.Name +
+                            "': control may return to the host in "
+                            "non-final state(s) " +
+                            BadNames);
+    }
+  }
+  return Violations;
+}
+
+} // namespace
+
+unsigned checker::checkAutomata(const CheckContext &Ctx) {
+  unsigned Violations = 0;
+  for (const Policy::Automaton &A : Ctx.Pol->Automata)
+    Violations += checkOne(Ctx, A);
+  return Violations;
+}

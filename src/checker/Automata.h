@@ -1,0 +1,42 @@
+//===- Automata.h - Security-automaton checking -----------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The security-automaton extension the paper sketches in Section 1:
+/// "Typestates can be related to security automata... It is possible to
+/// design a typestate system that captures the possible states of a
+/// security automaton... Typestate checking provides a method,
+/// therefore, for statically assessing whether a security violation
+/// might be possible."
+///
+/// Each policy automaton observes the trusted-call events of its
+/// alphabet. A forward dataflow over the normalized CFG tracks the set
+/// of automaton states possible at each point (meet = union); a trusted
+/// call for which some possible state has no transition is a protocol
+/// violation, as is returning to the host outside the automaton's final
+/// states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_AUTOMATA_H
+#define MCSAFE_CHECKER_AUTOMATA_H
+
+#include "checker/CheckContext.h"
+
+#include <cstdint>
+
+namespace mcsafe {
+namespace checker {
+
+/// Checks every automaton of the policy; reports Protocol violations
+/// into Ctx.Diags. Returns the number of violations found.
+unsigned checkAutomata(const CheckContext &Ctx);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_AUTOMATA_H

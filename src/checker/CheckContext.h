@@ -1,0 +1,80 @@
+//===- CheckContext.h - Shared state of the five phases ---------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything Phase 1 (preparation) derives from the untrusted code and
+/// the host-provided specifications, shared by the later phases: the
+/// normalized CFG, the abstract-location table (host locations, their
+/// policy-derived permissions, and per-save-node stack frames), the
+/// initial abstract store, and the entry-context formula.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_CHECKCONTEXT_H
+#define MCSAFE_CHECKER_CHECKCONTEXT_H
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+#include "cfg/LoopInfo.h"
+#include "constraints/Formula.h"
+#include "policy/Policy.h"
+#include "typestate/AbstractStore.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace mcsafe {
+namespace checker {
+
+/// The prepared checking problem.
+struct CheckContext {
+  const sparc::Module *M = nullptr;
+  const policy::Policy *Pol = nullptr;
+  DiagnosticEngine *Diags = nullptr;
+
+  cfg::Cfg Graph;
+  std::unique_ptr<cfg::DominatorTree> Dom;
+  std::unique_ptr<cfg::LoopInfo> Loops;
+
+  /// All abstract locations: declared host locations (with children for
+  /// aggregates) plus one stack-frame location per annotated save node.
+  typestate::LocationTable Locs;
+
+  /// Per-save-node stack frame location (InvalidLoc when the function has
+  /// no frame annotation).
+  std::map<cfg::NodeId, typestate::AbsLocId> FrameLocs;
+
+  /// The initial abstract store at the program entry (Figure 2's initial
+  /// annotations).
+  typestate::AbstractStore EntryStore = typestate::AbstractStore::empty();
+
+  /// The entry-context formula: invocation equalities, the policy's
+  /// linear constraints, and facts about location addresses and initial
+  /// values (non-nullness, alignment, known constants).
+  FormulaRef EntryContext;
+
+  /// Value access (f/x/o) granted by the access policy to values of the
+  /// typestate found in each declared location, precomputed per location.
+  std::map<typestate::AbsLocId, typestate::Access> GrantedAccess;
+
+  const typestate::AbstractLocation &loc(typestate::AbsLocId Id) const {
+    return Locs.loc(Id);
+  }
+};
+
+/// Phase 1: builds the CheckContext. Returns nullopt (with diagnostics)
+/// on malformed inputs, irreducible control flow, recursion, or window
+/// trouble.
+std::optional<CheckContext> prepare(const sparc::Module &M,
+                                    const policy::Policy &Pol,
+                                    DiagnosticEngine &Diags);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_CHECKCONTEXT_H

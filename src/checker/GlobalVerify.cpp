@@ -1,0 +1,621 @@
+//===- GlobalVerify.cpp ---------------------------------------------------===//
+
+#include "checker/GlobalVerify.h"
+
+#include "constraints/Eliminate.h"
+#include "policy/Policy.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using mcsafe::cfg::CfgEdge;
+using mcsafe::cfg::InvalidNode;
+using mcsafe::cfg::Loop;
+using mcsafe::cfg::NodeId;
+
+namespace {
+
+/// Debug tracing, enabled with MCSAFE_TRACE=1 in the environment.
+bool traceEnabled() {
+  static bool Enabled = std::getenv("MCSAFE_TRACE") != nullptr;
+  return Enabled;
+}
+
+#define MCSAFE_TRACE_LOG(...)                                              \
+  do {                                                                     \
+    if (traceEnabled())                                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+  } while (0)
+
+/// Is a formula variable flow-varying (register value, icc, or a memory
+/// location's value), as opposed to a pure symbol (policy constants,
+/// location addresses)?
+bool isFlowVarying(VarId V) {
+  const std::string &Name = varName(V);
+  if (Name == "icc")
+    return true;
+  if (startsWith(Name, "val:"))
+    return true;
+  if (startsWith(Name, "h.")) // Havoc instances.
+    return true;
+  if (Name.size() > 2 && Name[0] == 'w' && Name.find(".%") != std::string::npos)
+    return true;
+  return false;
+}
+
+/// The global-verification engine for one program.
+class Verifier {
+public:
+  Verifier(const CheckContext &Ctx, const PropagationResult &Prop,
+           const AnnotationResult &Annot, Prover &TheProver,
+           const GlobalVerifyOptions &Opts)
+      : Ctx(Ctx), Prop(Prop), Annot(Annot), TheProver(TheProver),
+        Opts(Opts), Wlp(Ctx, Prop) {
+    Rpo = Ctx.Graph.reversePostOrder();
+    RpoIndex.assign(Ctx.Graph.size(), UINT32_MAX);
+    for (uint32_t I = 0; I < Rpo.size(); ++I)
+      RpoIndex[Rpo[I]] = I;
+    computePureFacts();
+  }
+
+  GlobalVerifyStats run();
+
+private:
+  struct SynthesisResult {
+    bool Success = false;
+    FormulaRef Linv; ///< Conjunction of the trial invariants.
+  };
+
+  /// Does Q hold whenever control reaches node N?
+  ProverResult proveAt(NodeId N, const FormulaRef &Q);
+  /// Does Qh hold at L's header on every arrival?
+  ProverResult proveAtHeaderAlways(int32_t LoopIdx, const FormulaRef &Qh);
+  /// Does W hold at L's header when first entered from outside?
+  ProverResult proveAtFirstArrival(int32_t LoopIdx, const FormulaRef &W);
+
+  /// Induction-iteration for loop \p LoopIdx with per-iteration goal
+  /// \p Qh. With \p CheckEntry, each admitted trial invariant is verified
+  /// true on entry (the classic algorithm); without, entry obligations
+  /// are deferred to the caller, which propagates Linv further backward.
+  SynthesisResult synthesize(int32_t LoopIdx, const FormulaRef &Qh,
+                             bool CheckEntry);
+
+  /// Backward substitution over one region (LoopIdx = -1 for the whole
+  /// graph). \p Need seeds per-node requirements that must hold on
+  /// *every* visit (inside inner-loop units they feed invariant
+  /// synthesis); \p FirstNeed seeds requirements that must hold only on
+  /// the *first arrival* at an inner-loop unit's header (used by the
+  /// inv.0 "true on entry" checks). \p BackEdgeF is plugged in at the
+  /// region's own back edges. Returns the formula required at the region
+  /// entry (header or program entry).
+  FormulaRef backSubstRegion(int32_t LoopIdx,
+                             const std::map<NodeId, FormulaRef> &Need,
+                             const std::map<NodeId, FormulaRef> &FirstNeed,
+                             const FormulaRef &BackEdgeF, bool &Failed);
+
+  /// wlp of the loop body as a transformer: the formula required at the
+  /// header so that \p X holds at the next arrival at the header.
+  FormulaRef wlpAroundLoop(int32_t LoopIdx, const FormulaRef &X,
+                           bool &Failed) {
+    return backSubstRegion(LoopIdx, {}, {}, X, Failed);
+  }
+
+  /// Trial-invariant replacement candidates for W (generalizations and
+  /// DNF disjuncts), ranked.
+  std::vector<FormulaRef> candidates(int32_t LoopIdx, const FormulaRef &W);
+
+  ProverResult implies(const FormulaRef &P, const FormulaRef &Q) {
+    return TheProver.checkImplies(P, Q);
+  }
+
+  void computePureFacts();
+
+  /// The innermost loop of a node, or -1.
+  int32_t innermost(NodeId N) const { return Ctx.Loops->innermostLoop(N); }
+  const Loop &loop(int32_t Idx) const { return Ctx.Loops->loops()[Idx]; }
+  /// The unit of node N within region R: -1 when N is direct in R,
+  /// otherwise the index of the outermost loop containing N whose parent
+  /// is R.
+  int32_t unitOf(int32_t Region, NodeId N) const {
+    int32_t L = innermost(N);
+    if (L == Region)
+      return -1;
+    while (L >= 0 && loop(L).Parent != Region)
+      L = loop(L).Parent;
+    return L;
+  }
+
+  /// Variables modified by the loop's body (cached), havoc instances
+  /// aside — formulas free of these are invariant across the loop.
+  const std::set<VarId> &modifiedIn(int32_t LoopIdx) {
+    auto It = ModifiedCache.find(LoopIdx);
+    if (It == ModifiedCache.end())
+      It = ModifiedCache
+               .emplace(LoopIdx, Wlp.modifiedVars(loop(LoopIdx).Body))
+               .first;
+    return It->second;
+  }
+
+  /// True when no free variable of \p F is modified by loop \p LoopIdx
+  /// (havoc instances "h.*" count as unmodified: they are fixed unknowns).
+  bool independentOfLoop(int32_t LoopIdx, const FormulaRef &F) {
+    const std::set<VarId> &Modified = modifiedIn(LoopIdx);
+    for (VarId V : F->freeVars())
+      if (Modified.count(V))
+        return false;
+    return true;
+  }
+
+  const CheckContext &Ctx;
+  const PropagationResult &Prop;
+  const AnnotationResult &Annot;
+  Prover &TheProver;
+  GlobalVerifyOptions Opts;
+  WlpEngine Wlp;
+  GlobalVerifyStats Stats;
+  std::map<int32_t, std::set<VarId>> ModifiedCache;
+
+  std::vector<NodeId> Rpo;
+  std::vector<uint32_t> RpoIndex;
+
+  /// Entry-context facts that only involve pure symbols, usable as
+  /// hypotheses anywhere in the program.
+  FormulaRef PureFacts;
+
+  /// Synthesized invariants per loop (the grouping enhancement).
+  struct CachedInvariant {
+    FormulaRef Qh;
+    FormulaRef Linv;
+    bool EntryEstablished;
+  };
+  std::map<int32_t, std::vector<CachedInvariant>> InvariantCache;
+
+  unsigned RecursionDepth = 0;
+  static constexpr unsigned MaxRecursionDepth = 24;
+};
+
+void Verifier::computePureFacts() {
+  std::vector<FormulaRef> Pure;
+  const FormulaRef &Entry = Ctx.EntryContext;
+  auto Consider = [&Pure](const FormulaRef &F) {
+    for (VarId V : F->freeVars())
+      if (isFlowVarying(V))
+        return;
+    Pure.push_back(F);
+  };
+  if (Entry->kind() == FormulaKind::And) {
+    for (const FormulaRef &Child : Entry->children())
+      Consider(Child);
+  } else {
+    Consider(Entry);
+  }
+  PureFacts = Formula::conj(std::move(Pure));
+}
+
+FormulaRef
+Verifier::backSubstRegion(int32_t LoopIdx,
+                          const std::map<NodeId, FormulaRef> &Need,
+                          const std::map<NodeId, FormulaRef> &FirstNeed,
+                          const FormulaRef &BackEdgeF, bool &Failed) {
+  NodeId EntryNode =
+      LoopIdx < 0 ? Ctx.Graph.entry() : loop(LoopIdx).Header;
+  auto InRegion = [&](NodeId N) {
+    if (RpoIndex[N] == UINT32_MAX)
+      return false;
+    return LoopIdx < 0 || loop(LoopIdx).contains(N);
+  };
+
+  // phi[N]: the formula required when control reaches N (for unit
+  // headers: at first arrival from outside the unit).
+  std::map<NodeId, FormulaRef> Phi;
+  auto NeedAt = [&Need](NodeId N) {
+    auto It = Need.find(N);
+    return It == Need.end() ? Formula::mkTrue() : It->second;
+  };
+  auto FirstNeedAt = [&FirstNeed](NodeId N) {
+    auto It = FirstNeed.find(N);
+    return It == FirstNeed.end() ? Formula::mkTrue() : It->second;
+  };
+
+  // Process region nodes in reverse RPO (a reverse topological order of
+  // the region DAG, since the graph is reducible).
+  for (auto It = Rpo.rbegin(); It != Rpo.rend(); ++It) {
+    NodeId N = *It;
+    if (!InRegion(N))
+      continue;
+    int32_t Unit = unitOf(LoopIdx, N);
+
+    if (Unit >= 0) {
+      // Node inside an inner-loop unit: only its header produces a phi.
+      if (N != loop(Unit).Header)
+        continue;
+      // Exit obligations of the unit: for each edge leaving the unit,
+      // the successor's phi guarded by the edge condition, attached at
+      // the edge source. Successor formulas that mention no variable the
+      // unit modifies are invariant across it by construction and hoist
+      // directly to the unit entry (the paper's observation that "the
+      // tests in the inner loops will not contribute to the proof of a
+      // condition of an outer loop").
+      std::map<NodeId, FormulaRef> InnerNeed;
+      std::vector<FormulaRef> Hoisted;
+      for (NodeId X : loop(Unit).Body) {
+        std::vector<FormulaRef> Terms;
+        for (const CfgEdge &E : Ctx.Graph.node(X).Succs) {
+          if (loop(Unit).contains(E.To))
+            continue;
+          FormulaRef Target = Formula::mkTrue();
+          if (InRegion(E.To)) {
+            auto PhiIt = Phi.find(E.To);
+            // Reverse RPO guarantees forward targets are done.
+            Target = PhiIt == Phi.end() ? Formula::mkTrue() : PhiIt->second;
+          }
+          if (Target->isTrue())
+            continue;
+          if (independentOfLoop(Unit, Target)) {
+            Hoisted.push_back(Target);
+            continue;
+          }
+          Terms.push_back(
+              Formula::implies(Wlp.edgeCondition(E), Target));
+        }
+        // Obligations seeded inside the unit body join here as well.
+        FormulaRef Seeded = NeedAt(X);
+        if (!Seeded->isTrue())
+          Terms.push_back(Seeded);
+        if (!Terms.empty())
+          InnerNeed[X] = Formula::conj(std::move(Terms));
+      }
+      FormulaRef UnitEntry = Formula::conj(std::move(Hoisted));
+      if (!InnerNeed.empty()) {
+        bool InnerFailed = false;
+        FormulaRef Qh = backSubstRegion(Unit, InnerNeed, {},
+                                        Formula::mkTrue(), InnerFailed);
+        if (InnerFailed) {
+          Failed = true;
+          UnitEntry = Formula::mkFalse();
+        } else {
+          SynthesisResult R =
+              synthesize(Unit, Qh, /*CheckEntry=*/false);
+          if (R.Success) {
+            UnitEntry = Formula::conj2(std::move(UnitEntry), R.Linv);
+          } else {
+            Failed = true;
+            UnitEntry = Formula::mkFalse();
+          }
+        }
+      }
+      // First-arrival seeds (inv.0 checks) attach here, outside the
+      // per-iteration synthesis.
+      Phi[N] = Formula::conj2(FirstNeedAt(N), UnitEntry);
+      continue;
+    }
+
+    // Direct node of the region.
+    std::vector<FormulaRef> Terms;
+    const FormulaRef Seeded = NeedAt(N);
+    for (const CfgEdge &E : Ctx.Graph.node(N).Succs) {
+      FormulaRef Target;
+      if (LoopIdx >= 0 && E.To == loop(LoopIdx).Header &&
+          Ctx.Loops->isBackEdge(N, E.To)) {
+        Target = BackEdgeF; // Around the loop.
+      } else if (LoopIdx >= 0 && !loop(LoopIdx).contains(E.To)) {
+        Target = Formula::mkTrue(); // Region exit.
+      } else {
+        NodeId SuccKey = E.To;
+        int32_t SuccUnit = unitOf(LoopIdx, E.To);
+        if (SuccUnit >= 0)
+          SuccKey = loop(SuccUnit).Header;
+        auto PhiIt = Phi.find(SuccKey);
+        Target = PhiIt == Phi.end() ? Formula::mkTrue() : PhiIt->second;
+      }
+      if (Target->isTrue())
+        continue;
+      Terms.push_back(Formula::implies(Wlp.edgeCondition(E), Target));
+    }
+    FormulaRef Post = Formula::conj(std::move(Terms));
+    FormulaRef Before = Formula::conj2(
+        Formula::conj2(Seeded, FirstNeedAt(N)),
+        Wlp.transformNode(N, Post));
+    if (Opts.SimplifyAtJunctions && Ctx.Graph.node(N).Preds.size() != 1)
+      Before = simplify(Before);
+    if (Before->size() > Opts.MaxFormulaSize) {
+      Failed = true;
+      Before = Formula::mkFalse();
+    }
+    Phi[N] = std::move(Before);
+  }
+
+  auto It = Phi.find(EntryNode);
+  return It == Phi.end() ? Formula::mkTrue() : It->second;
+}
+
+std::vector<FormulaRef> Verifier::candidates(int32_t LoopIdx,
+                                             const FormulaRef &W) {
+  std::vector<FormulaRef> Result;
+  std::set<VarId> Modified;
+  {
+    std::set<VarId> AllModified = Wlp.modifiedVars(loop(LoopIdx).Body);
+    for (VarId V : W->freeVars()) {
+      // Havoc instances ("h.*") denote arbitrary values chosen during one
+      // symbolic traversal of the body; a useful invariant cannot mention
+      // them, so they are always eliminated.
+      if (AllModified.count(V) || startsWith(varName(V), "h."))
+        Modified.insert(V);
+    }
+  }
+  if (Opts.UseGeneralization && !Modified.empty()) {
+    Stats.GeneralizationsTried++;
+    for (FormulaRef &G : generalize(W, Modified))
+      Result.push_back(std::move(G));
+  }
+  if (Opts.UseDisjunctTrial && W->kind() == FormulaKind::Or) {
+    // Each disjunct is a stronger candidate ("try each of its disjuncts
+    // as W(i) in turn").
+    for (const FormulaRef &D : W->children())
+      Result.push_back(D);
+  }
+  // Rank: fewer free modified variables first, then smaller formulas —
+  // loop-invariant-shaped candidates come first.
+  auto Score = [this, LoopIdx](const FormulaRef &F) {
+    std::set<VarId> AllModified = Wlp.modifiedVars(loop(LoopIdx).Body);
+    size_t ModCount = 0;
+    for (VarId V : F->freeVars())
+      if (AllModified.count(V))
+        ++ModCount;
+    return std::make_pair(ModCount, F->size());
+  };
+  std::stable_sort(Result.begin(), Result.end(),
+                   [&Score](const FormulaRef &A, const FormulaRef &B) {
+                     return Score(A) < Score(B);
+                   });
+  // Deduplicate against W itself.
+  std::vector<FormulaRef> Unique;
+  for (FormulaRef &C : Result) {
+    if (Formula::equal(C, W))
+      continue;
+    bool Dup = false;
+    for (const FormulaRef &U : Unique)
+      if (Formula::equal(U, C))
+        Dup = true;
+    if (!Dup)
+      Unique.push_back(std::move(C));
+  }
+  return Unique;
+}
+
+Verifier::SynthesisResult Verifier::synthesize(int32_t LoopIdx,
+                                               const FormulaRef &QhIn,
+                                               bool CheckEntry) {
+  SynthesisResult Result;
+  FormulaRef Qh = simplify(QhIn);
+  if (Qh->isTrue()) {
+    Result.Success = true;
+    Result.Linv = Formula::mkTrue();
+    return Result;
+  }
+
+  // Independence shortcut: a goal that mentions nothing the loop
+  // modifies is trivially invariant; only its truth on entry remains.
+  if (independentOfLoop(LoopIdx, Qh)) {
+    if (!CheckEntry ||
+        proveAtFirstArrival(LoopIdx, Qh) == ProverResult::Proved) {
+      Result.Success = true;
+      Result.Linv = Qh;
+      return Result;
+    }
+    return Result; // Not true on entry: cannot hold always.
+  }
+
+  // Forward-propagation shortcut (Section 6: "forward propagation of
+  // information about array bounds ... eliminates the need to use
+  // generalization"): the header's typestate assertions hold on every
+  // arrival; if they already imply the goal, nothing needs synthesis and
+  // nothing is required of the loop's entry.
+  {
+    NodeId Header = loop(LoopIdx).Header;
+    FormulaRef HeaderFacts =
+        Formula::conj2(Annot.Assertions[Header], PureFacts);
+    if (implies(HeaderFacts, Qh) == ProverResult::Proved) {
+      ++Stats.QuickDischarges;
+      Result.Success = true;
+      Result.Linv = Formula::mkTrue();
+      return Result;
+    }
+  }
+
+  // Grouping enhancement: reuse an invariant that subsumes this goal.
+  if (Opts.ReuseInvariants) {
+    for (const CachedInvariant &C : InvariantCache[LoopIdx]) {
+      if (CheckEntry && !C.EntryEstablished)
+        continue;
+      if (implies(Formula::conj2(C.Linv, PureFacts), Qh) ==
+          ProverResult::Proved) {
+        ++Stats.InvariantReuses;
+        Result.Success = true;
+        Result.Linv = C.Linv;
+        return Result;
+      }
+    }
+  }
+
+  if (++RecursionDepth > MaxRecursionDepth) {
+    --RecursionDepth;
+    return Result;
+  }
+
+  std::vector<FormulaRef> W = {Qh};
+  std::vector<FormulaRef> Wlps; // Wlps[k] = wlpAround(W[k]).
+  bool Failed = false;
+  MCSAFE_TRACE_LOG("[synth L%d entry=%d] W0 = %s\n", LoopIdx,
+                   int(CheckEntry), Qh->str().c_str());
+
+  for (unsigned I = 0;; ++I) {
+    ++Stats.IterationsRun;
+    // inv.1(I-1): (W(0) and ... and W(I-1)) => W(I).
+    std::vector<FormulaRef> Prefix(W.begin(), W.begin() + I);
+    FormulaRef LPrev = Formula::conj(std::move(Prefix));
+    if (implies(Formula::conj2(LPrev, PureFacts), W[I]) ==
+        ProverResult::Proved) {
+      MCSAFE_TRACE_LOG("[synth L%d] inv1 proved at i=%u\n", LoopIdx, I);
+      // SUCCESS: certify L = W(0..I-1) (or "true" if I == 0).
+      FormulaRef Linv = LPrev;
+      bool Certified = true;
+      if (Opts.CertifyInvariants && I > 0) {
+        std::vector<FormulaRef> Body(Wlps.begin(), Wlps.begin() + I);
+        FormulaRef Around = Formula::conj(std::move(Body));
+        Certified = implies(Formula::conj2(Linv, PureFacts), Around) ==
+                    ProverResult::Proved;
+      }
+      if (Certified) {
+        --RecursionDepth;
+        Result.Success = true;
+        Result.Linv = Linv;
+        ++Stats.InvariantsSynthesized;
+        InvariantCache[LoopIdx].push_back({Qh, Linv, CheckEntry});
+        return Result;
+      }
+      // Certification failed (a replacement broke the chain): give up.
+      break;
+    }
+
+    if (I >= Opts.MaxIterations || Failed)
+      break;
+
+    // inv.1 failed. For I >= 1, try replacing W(I) with a stronger /
+    // simpler candidate (generalization, DNF disjunct), breadth-first.
+    // A candidate is acceptable only if it keeps the wlp chain intact
+    // (L(I-1) and the candidate must still imply the original W(I), so
+    // the final certification can succeed) and, when the loop entry is
+    // known, holds on entry.
+    if (I > 0) {
+      for (const FormulaRef &C : candidates(LoopIdx, W[I])) {
+        MCSAFE_TRACE_LOG("[synth L%d] candidate for W%u: %s\n", LoopIdx,
+                         I, C->str().c_str());
+        if (implies(Formula::conj({LPrev, C, PureFacts}), W[I]) !=
+            ProverResult::Proved) {
+          MCSAFE_TRACE_LOG("[synth L%d]   rejected (chain)\n", LoopIdx);
+          continue;
+        }
+        if (CheckEntry) {
+          if (proveAtFirstArrival(LoopIdx, C) != ProverResult::Proved) {
+            MCSAFE_TRACE_LOG("[synth L%d]   rejected (entry)\n", LoopIdx);
+            continue;
+          }
+        }
+        MCSAFE_TRACE_LOG("[synth L%d]   accepted\n", LoopIdx);
+        W[I] = C;
+        break;
+      }
+    }
+    // inv.0(I): W(I) must hold on entry to the loop.
+    if (CheckEntry &&
+        proveAtFirstArrival(LoopIdx, W[I]) != ProverResult::Proved) {
+      MCSAFE_TRACE_LOG("[synth L%d] inv0 failed for W%u = %s\n", LoopIdx,
+                       I, W[I]->str().c_str());
+      break;
+    }
+
+    FormulaRef Next = simplify(wlpAroundLoop(LoopIdx, W[I], Failed));
+    if (Failed)
+      break;
+    MCSAFE_TRACE_LOG("[synth L%d] W%u = %s\n", LoopIdx, I + 1,
+                     Next->str().c_str());
+    Wlps.push_back(Next);
+    W.push_back(std::move(Next));
+  }
+  MCSAFE_TRACE_LOG("[synth L%d] FAILED\n", LoopIdx);
+  --RecursionDepth;
+  return Result;
+}
+
+ProverResult Verifier::proveAtFirstArrival(int32_t LoopIdx,
+                                           const FormulaRef &W) {
+  if (W->isTrue())
+    return ProverResult::Proved;
+  NodeId Header = loop(LoopIdx).Header;
+  int32_t Parent = loop(LoopIdx).Parent;
+  bool Failed = false;
+  if (Parent < 0) {
+    FormulaRef AtEntry = backSubstRegion(-1, {}, {{Header, W}},
+                                         Formula::mkTrue(), Failed);
+    if (Failed)
+      return ProverResult::Unknown;
+    return implies(Ctx.EntryContext, AtEntry);
+  }
+  FormulaRef Qh2 = backSubstRegion(Parent, {}, {{Header, W}},
+                                   Formula::mkTrue(), Failed);
+  if (Failed)
+    return ProverResult::Unknown;
+  return proveAtHeaderAlways(Parent, Qh2);
+}
+
+ProverResult Verifier::proveAtHeaderAlways(int32_t LoopIdx,
+                                           const FormulaRef &Qh) {
+  SynthesisResult R = synthesize(LoopIdx, Qh, /*CheckEntry=*/true);
+  return R.Success ? ProverResult::Proved : ProverResult::Unknown;
+}
+
+ProverResult Verifier::proveAt(NodeId N, const FormulaRef &Q) {
+  if (Q->isTrue())
+    return ProverResult::Proved;
+  // Quick discharge from the node's typestate assertions plus pure
+  // facts — this is how null and alignment checks usually go through.
+  FormulaRef Hypo = Formula::conj2(Annot.Assertions[N], PureFacts);
+  if (implies(Hypo, Q) == ProverResult::Proved) {
+    ++Stats.QuickDischarges;
+    return ProverResult::Proved;
+  }
+
+  int32_t L = innermost(N);
+  bool Failed = false;
+  if (L < 0) {
+    FormulaRef AtEntry = backSubstRegion(-1, {{N, Q}}, {},
+                                         Formula::mkTrue(), Failed);
+    if (Failed)
+      return ProverResult::Unknown;
+    return implies(Ctx.EntryContext, AtEntry);
+  }
+  FormulaRef Qh =
+      backSubstRegion(L, {{N, Q}}, {}, Formula::mkTrue(), Failed);
+  if (Failed)
+    return ProverResult::Unknown;
+  return proveAtHeaderAlways(L, Qh);
+}
+
+GlobalVerifyStats Verifier::run() {
+  for (const GlobalObligation &Ob : Annot.Obligations) {
+    if (Prop.In[Ob.Node].isTop())
+      continue; // Unreachable node: vacuous.
+    ProverResult R = proveAt(Ob.Node, Ob.Q);
+    if (R == ProverResult::Proved) {
+      ++Stats.ObligationsProved;
+      continue;
+    }
+    ++Stats.ObligationsFailed;
+    std::string Why = R == ProverResult::NotProved
+                          ? "a counterexample exists"
+                          : "the condition could not be proved";
+    Ctx.Diags->report(DiagSeverity::Violation, Ob.Kind,
+                      Ob.Description + ": " + Why + " [" + Ob.Q->str() +
+                          "]",
+                      Ob.Node, Ctx.Graph.sourceLine(Ob.Node));
+  }
+  return Stats;
+}
+
+} // namespace
+
+GlobalVerifyStats checker::verifyGlobal(const CheckContext &Ctx,
+                                        const PropagationResult &Prop,
+                                        const AnnotationResult &Annot,
+                                        Prover &TheProver,
+                                        const GlobalVerifyOptions &Opts) {
+  Verifier V(Ctx, Prop, Annot, TheProver, Opts);
+  return V.run();
+}

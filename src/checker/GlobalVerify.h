@@ -1,0 +1,83 @@
+//===- GlobalVerify.h - Phase 5: global verification ------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase 5 verifies the global safety preconditions by program-
+/// verification techniques (paper Section 5.2): demand-driven VC
+/// generation one condition at a time, backward substitution over regions
+/// in reverse topological order with simplification at junction points,
+/// and the induction-iteration method (Suzuki-Ishihata) for loop-
+/// invariant synthesis, with the paper's enhancements:
+///
+///   - nested loops: obligations crossing an inner loop trigger invariant
+///     synthesis for the exit obligation, whose entry condition then
+///     continues outward;
+///   - DNF disjunct trial and generalization (not(eliminate(not f))) as
+///     trial-invariant candidates, ranked and explored breadth-first;
+///   - formula grouping: invariants already synthesized for a loop are
+///     reused when they subsume a new obligation;
+///   - a bound of three iterations (Section 5.2.3).
+///
+/// One deliberate strengthening over the 1977 algorithm: on success the
+/// final trial invariant is *certified* — L(j) => wlp(body, L(j)) is
+/// re-checked as a whole — so candidate replacement by generalization can
+/// never produce an unsound "SUCCESS".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_GLOBALVERIFY_H
+#define MCSAFE_CHECKER_GLOBALVERIFY_H
+
+#include "checker/Annotation.h"
+#include "checker/CheckContext.h"
+#include "checker/Propagation.h"
+#include "checker/Wlp.h"
+#include "constraints/Prover.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace checker {
+
+/// Strategy switches (all on by default; the ablation benches toggle
+/// them).
+struct GlobalVerifyOptions {
+  unsigned MaxIterations = 3;   ///< Induction-iteration bound (paper: 3).
+  bool UseGeneralization = true;
+  bool UseDisjunctTrial = true;
+  bool SimplifyAtJunctions = true;
+  bool ReuseInvariants = true;  ///< The grouping enhancement.
+  bool CertifyInvariants = true;
+  size_t MaxFormulaSize = 20000;
+};
+
+/// Per-run statistics.
+struct GlobalVerifyStats {
+  uint64_t ObligationsProved = 0;
+  uint64_t ObligationsFailed = 0;
+  uint64_t QuickDischarges = 0; ///< Proved from node assertions alone.
+  uint64_t InvariantsSynthesized = 0;
+  uint64_t InvariantReuses = 0;
+  uint64_t IterationsRun = 0;
+  uint64_t GeneralizationsTried = 0;
+};
+
+/// Runs phase 5 over the annotation result. Unproved obligations are
+/// reported as violations into Ctx.Diags ("identify the places where the
+/// safety conditions were violated").
+GlobalVerifyStats verifyGlobal(const CheckContext &Ctx,
+                               const PropagationResult &Prop,
+                               const AnnotationResult &Annot,
+                               Prover &TheProver,
+                               const GlobalVerifyOptions &Opts = {});
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_GLOBALVERIFY_H

@@ -1,0 +1,454 @@
+//===- Preparation.cpp - Phase 1: translate specs into annotations --------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Phase 1 takes the host-typestate specification, the safety policy, and
+// the invocation specification, and translates them into the initial
+// annotations: the abstract-location table with policy-derived
+// permissions, the initial abstract store (paper Figure 2), and the
+// entry-context formula of linear constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/CheckContext.h"
+
+#include <cassert>
+#include <set>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::typestate;
+using namespace mcsafe::policy;
+
+namespace {
+
+/// Parses a decimal statement-number label ("12"); nullopt otherwise.
+std::optional<int64_t> parseLabelNumber(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  int64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    V = V * 10 + (C - '0');
+  }
+  return V;
+}
+
+class Preparer {
+public:
+  Preparer(const sparc::Module &M, const Policy &Pol,
+           DiagnosticEngine &Diags)
+      : M(M), Pol(Pol), Diags(Diags) {}
+
+  std::optional<CheckContext> run();
+
+private:
+  /// Recursively creates the abstract location(s) for \p Name of \p Type.
+  AbsLocId createLocationTree(const std::string &Name, const TypeRef &Type,
+                              bool Summary, uint32_t Align,
+                              AbsLocId Parent = InvalidLoc);
+
+  /// Is \p Id (or an ancestor) a member of \p Region?
+  bool inRegion(const std::string &Region, AbsLocId Id) const;
+
+  /// Computes location r/w and value f/x/o from the access rules.
+  void applyRules();
+
+  /// Declared-state -> State, resolving points-to target names.
+  std::optional<State> resolveStateSpec(const StateSpec &Spec,
+                                        const std::string &Context);
+
+  void buildEntryStore();
+  void buildEntryContext();
+  void createFrameLocations();
+
+  bool fatal(const std::string &Message) {
+    Diags.fatal(Message);
+    return false;
+  }
+
+  const sparc::Module &M;
+  const Policy &Pol;
+  DiagnosticEngine &Diags;
+  CheckContext Ctx;
+  /// Declared top-level location name -> id.
+  std::map<std::string, AbsLocId> DeclaredLocs;
+  std::vector<FormulaRef> EntryFacts;
+  bool Failed = false;
+};
+
+AbsLocId Preparer::createLocationTree(const std::string &Name,
+                                      const TypeRef &Type, bool Summary,
+                                      uint32_t Align, AbsLocId Parent) {
+  AbstractLocation Loc;
+  Loc.Name = Name;
+  Loc.Type = Type;
+  Loc.Size = Type->sizeInBytes();
+  Loc.Align = Align ? Align : Type->alignment();
+  Loc.Summary = Summary;
+  Loc.Parent = Parent;
+  AbsLocId Id = Ctx.Locs.create(std::move(Loc));
+
+  if (Type->isAggregate()) {
+    for (const Member &Field : Type->members()) {
+      AbsLocId Child = createLocationTree(
+          Name + "." + Field.Label, Field.Type,
+          /*Summary=*/Summary || Field.Count > 1,
+          /*Align=*/0, Id);
+      if (Field.Count > 1)
+        Ctx.Locs.loc(Child).Extent =
+            Field.Count * Field.Type->sizeInBytes();
+      // Child alignment is bounded by the parent's placement.
+      uint32_t ParentAlign = Ctx.Locs.loc(Id).Align;
+      AbstractLocation &ChildLoc = Ctx.Locs.loc(Child);
+      if (ParentAlign && Field.Offset % std::max(1u, ChildLoc.Align) != 0)
+        ChildLoc.Align = 1;
+      Ctx.Locs.loc(Id).Fields.emplace_back(Field.Offset, Child);
+    }
+  }
+  return Id;
+}
+
+bool Preparer::inRegion(const std::string &Region, AbsLocId Id) const {
+  auto It = Pol.Regions.find(Region);
+  if (It == Pol.Regions.end())
+    return false;
+  for (AbsLocId Cur = Id; Cur != InvalidLoc;
+       Cur = Ctx.Locs.loc(Cur).Parent) {
+    const std::string &Name = Ctx.Locs.loc(Cur).Name;
+    for (const std::string &Member : It->second)
+      if (Member == Name)
+        return true;
+  }
+  return false;
+}
+
+void Preparer::applyRules() {
+  for (uint32_t Id = 0; Id < Ctx.Locs.size(); ++Id) {
+    AbstractLocation &Loc = Ctx.Locs.loc(Id);
+    Access Granted = Access::none();
+    bool AnyRule = false;
+    for (const AccessRule &Rule : Pol.Rules) {
+      if (!inRegion(Rule.Region, Id))
+        continue;
+      bool Matches = false;
+      if (Rule.MatchAll) {
+        Matches = true;
+      } else if (Rule.Type) {
+        Matches = typeEquals(Rule.Type, Loc.Type);
+      } else {
+        // struct.field category: the location is the named field of a
+        // struct of the named type.
+        if (Loc.Parent != InvalidLoc) {
+          const AbstractLocation &ParentLoc = Ctx.Locs.loc(Loc.Parent);
+          if (ParentLoc.Type->isAggregate() &&
+              ParentLoc.Type->name() == Rule.StructName &&
+              Loc.Name.size() > Rule.FieldName.size() &&
+              Loc.Name.compare(Loc.Name.size() - Rule.FieldName.size(),
+                               Rule.FieldName.size(),
+                               Rule.FieldName) == 0)
+            Matches = true;
+        }
+      }
+      if (!Matches)
+        continue;
+      AnyRule = true;
+      Loc.Readable |= Rule.R;
+      Loc.Writable |= Rule.W;
+      Granted.F |= Rule.F;
+      Granted.X |= Rule.X;
+      Granted.O |= Rule.O;
+    }
+    (void)AnyRule;
+    Ctx.GrantedAccess[Id] = Granted;
+  }
+}
+
+std::optional<State> Preparer::resolveStateSpec(const StateSpec &Spec,
+                                                const std::string &Context) {
+  switch (Spec.K) {
+  case StateSpec::Kind::Uninit:
+    return State::uninit();
+  case StateSpec::Kind::Init:
+    return Spec.Const ? State::initConst(*Spec.Const) : State::init();
+  case StateSpec::Kind::Null:
+    return State::nullPtr();
+  case StateSpec::Kind::PointsTo: {
+    std::set<PtrTarget> Targets;
+    for (const auto &[Name, Offset] : Spec.Targets) {
+      AbsLocId Target = Ctx.Locs.lookup(Name);
+      if (Target == InvalidLoc) {
+        fatal("points-to target '" + Name + "' of " + Context +
+              " is not a declared location");
+        return std::nullopt;
+      }
+      Targets.insert(PtrTarget{Target, Offset});
+    }
+    return State::pointsTo(std::move(Targets), Spec.MayBeNull);
+  }
+  }
+  return State::uninit();
+}
+
+void Preparer::createFrameLocations() {
+  for (cfg::NodeId Id = 0; Id < Ctx.Graph.size(); ++Id) {
+    const cfg::CfgNode &Node = Ctx.Graph.node(Id);
+    if (Node.Kind != cfg::NodeKind::Normal ||
+        Node.InstIndex == UINT32_MAX)
+      continue;
+    const sparc::Instruction &Inst = M.Insts[Node.InstIndex];
+    if (Inst.Op != sparc::Opcode::SAVE)
+      continue;
+
+    // Find a frame annotation for the enclosing function: by entry label
+    // or by 1-based entry statement number.
+    std::string FrameType;
+    for (const auto &[Func, TypeName] : Pol.FrameTypes) {
+      int32_t Entry = M.lookupLabel(Func);
+      if (Entry < 0) {
+        if (std::optional<int64_t> N = parseLabelNumber(Func))
+          Entry = static_cast<int32_t>(*N) - 1;
+      }
+      if (Entry == static_cast<int32_t>(Node.FuncEntry))
+        FrameType = TypeName;
+    }
+
+    std::string Name = "frame@n" + std::to_string(Id);
+    AbsLocId Frame;
+    if (!FrameType.empty()) {
+      TypeRef T = Pol.NamedTypes.at(FrameType);
+      Frame = createLocationTree(Name, T, /*Summary=*/false, /*Align=*/8);
+    } else {
+      // Unannotated frame: an opaque region; any access to it is a
+      // violation (the paper requires frame annotations for functions
+      // with local variables).
+      uint32_t Size =
+          Inst.UsesImm && Inst.Imm < 0 ? static_cast<uint32_t>(-Inst.Imm)
+                                       : 96;
+      TypeRef T = TypeFactory::abstract("opaque-frame", Size, 8);
+      Frame = createLocationTree(Name, T, /*Summary=*/false, /*Align=*/8);
+    }
+    // The frame is the untrusted code's own memory: fully accessible.
+    std::vector<AbsLocId> Leaves;
+    Ctx.Locs.collectLeaves(Frame, Leaves);
+    Leaves.push_back(Frame);
+    for (AbsLocId Leaf : Leaves) {
+      Ctx.Locs.loc(Leaf).Readable = true;
+      Ctx.Locs.loc(Leaf).Writable = true;
+      Ctx.GrantedAccess[Leaf] = Access::full();
+    }
+    Ctx.FrameLocs[Id] = Frame;
+  }
+}
+
+void Preparer::buildEntryStore() {
+  AbstractStore Store = AbstractStore::empty();
+
+  // Calling convention: the host supplies a return address in %o7 and a
+  // valid stack/frame pointer. They are initialized but not followable
+  // (a frame annotation is needed to dereference the stack).
+  Typestate HostScalar;
+  HostScalar.Type = TypeFactory::int32();
+  HostScalar.S = State::init();
+  HostScalar.A = Access::o();
+  Store.setReg(0, sparc::O7, HostScalar);
+  Store.setReg(0, sparc::SP, HostScalar);
+  Store.setReg(0, sparc::FP, HostScalar);
+
+  // Declared locations.
+  for (const LocationDecl &Decl : Pol.Locations) {
+    AbsLocId Id = DeclaredLocs.at(Decl.Name);
+    std::vector<AbsLocId> Leaves;
+    Ctx.Locs.collectLeaves(Id, Leaves);
+    std::optional<State> S =
+        resolveStateSpec(Decl.State, "location '" + Decl.Name + "'");
+    if (!S) {
+      Failed = true;
+      return;
+    }
+    for (AbsLocId Leaf : Leaves) {
+      Typestate Ts;
+      Ts.Type = Ctx.Locs.loc(Leaf).Type;
+      // Pointer states apply to pointer-typed leaves; scalar leaves of an
+      // aggregate take the scalar reading of the spec.
+      if (S->isPointsTo() && !Ts.Type->isPointerLike())
+        Ts.S = S->isDefinitelyNull() ? State::initConst(0) : State::init();
+      else
+        Ts.S = *S;
+      Ts.A = Ctx.GrantedAccess[Leaf];
+      Store.setLoc(Leaf, Ts);
+    }
+  }
+
+  // Invocation bindings.
+  for (const InvocationBinding &B : Pol.Invocation) {
+    Typestate Ts;
+    switch (B.K) {
+    case InvocationBinding::Kind::ValueOfLoc: {
+      AbsLocId Id = Ctx.Locs.lookup(B.LocName);
+      assert(Id != InvalidLoc && "validated by the parser");
+      Ts = Store.loc(Id);
+      break;
+    }
+    case InvocationBinding::Kind::AddressOfLoc: {
+      AbsLocId Id = Ctx.Locs.lookup(B.LocName);
+      assert(Id != InvalidLoc && "validated by the parser");
+      Ts.Type = TypeFactory::ptr(Ctx.Locs.loc(Id).Type);
+      Ts.S = State::pointsToLoc(Id, B.Offset);
+      Ts.A = Access::fo();
+      break;
+    }
+    case InvocationBinding::Kind::Symbol:
+      Ts.Type = TypeFactory::int32();
+      Ts.S = State::init();
+      Ts.A = Access::o();
+      break;
+    case InvocationBinding::Kind::Literal:
+      Ts.Type = TypeFactory::int32();
+      Ts.S = State::initConst(B.Literal);
+      Ts.A = Access::o();
+      break;
+    }
+    Store.setReg(0, B.Reg, Ts);
+  }
+
+  // icc is uninitialized until a cc-setting instruction runs.
+  Typestate IccTs;
+  IccTs.Type = TypeFactory::int32();
+  IccTs.S = State::uninit();
+  IccTs.A = Access::o();
+  Store.setIcc(IccTs);
+
+  Ctx.EntryStore = std::move(Store);
+}
+
+void Preparer::buildEntryContext() {
+  // Policy constraints.
+  for (const FormulaRef &F : Pol.Constraints)
+    EntryFacts.push_back(F);
+
+  // Invocation equalities.
+  for (const InvocationBinding &B : Pol.Invocation) {
+    LinearExpr RegVar = LinearExpr::variable(regValueVar(0, B.Reg));
+    switch (B.K) {
+    case InvocationBinding::Kind::ValueOfLoc:
+      EntryFacts.push_back(Formula::atom(Constraint::eq(
+          RegVar - LinearExpr::variable(locValueVar(B.LocName)))));
+      break;
+    case InvocationBinding::Kind::AddressOfLoc:
+      EntryFacts.push_back(Formula::atom(Constraint::eq(
+          RegVar - LinearExpr::variable(locAddrVar(B.LocName))
+                       .plusConstant(B.Offset))));
+      break;
+    case InvocationBinding::Kind::Symbol:
+      EntryFacts.push_back(Formula::atom(
+          Constraint::eq(RegVar - LinearExpr::variable(B.Sym))));
+      break;
+    case InvocationBinding::Kind::Literal:
+      EntryFacts.push_back(
+          Formula::atom(Constraint::eq(RegVar.plusConstant(-B.Literal))));
+      break;
+    }
+  }
+
+  // Location address facts: addresses are non-null, aligned, and child
+  // addresses are parent + offset.
+  for (uint32_t Id = 0; Id < Ctx.Locs.size(); ++Id) {
+    const AbstractLocation &Loc = Ctx.Locs.loc(Id);
+    if (Loc.Name.empty())
+      continue;
+    LinearExpr Addr = LinearExpr::variable(locAddrVar(Loc.Name));
+    EntryFacts.push_back(
+        Formula::atom(Constraint::ge(Addr.plusConstant(-1))));
+    if (Loc.Align > 1)
+      EntryFacts.push_back(
+          Formula::atom(Constraint::divides(Loc.Align, Addr)));
+    for (const auto &[Offset, Child] : Loc.Fields) {
+      LinearExpr ChildAddr =
+          LinearExpr::variable(locAddrVar(Ctx.Locs.loc(Child).Name));
+      EntryFacts.push_back(Formula::atom(
+          Constraint::eq(ChildAddr - Addr.plusConstant(Offset))));
+    }
+  }
+
+  // Initial-value facts for declared locations.
+  for (const LocationDecl &Decl : Pol.Locations) {
+    AbsLocId Id = DeclaredLocs.at(Decl.Name);
+    std::vector<AbsLocId> Leaves;
+    Ctx.Locs.collectLeaves(Id, Leaves);
+    for (AbsLocId Leaf : Leaves) {
+      const AbstractLocation &Loc = Ctx.Locs.loc(Leaf);
+      LinearExpr Val = LinearExpr::variable(locValueVar(Loc.Name));
+      if (Decl.State.K == StateSpec::Kind::Init && Decl.State.Const) {
+        EntryFacts.push_back(Formula::atom(
+            Constraint::eq(Val.plusConstant(-*Decl.State.Const))));
+        continue;
+      }
+      if (Decl.State.K == StateSpec::Kind::Null) {
+        EntryFacts.push_back(Formula::atom(Constraint::eq(Val)));
+        continue;
+      }
+      if (Decl.State.K == StateSpec::Kind::PointsTo &&
+          Decl.State.Targets.size() <= 4 &&
+          Loc.Type->isPointerLike() && !Loc.Type->isAggregate()) {
+        // val = 0 (if may-null) or addr:target + offset.
+        std::vector<FormulaRef> Cases;
+        if (Decl.State.MayBeNull)
+          Cases.push_back(Formula::atom(Constraint::eq(Val)));
+        for (const auto &[Target, Offset] : Decl.State.Targets) {
+          LinearExpr TargetAddr =
+              LinearExpr::variable(locAddrVar(Target));
+          Cases.push_back(Formula::atom(Constraint::eq(
+              Val - TargetAddr.plusConstant(Offset))));
+        }
+        if (!Cases.empty())
+          EntryFacts.push_back(Formula::disj(std::move(Cases)));
+      }
+    }
+  }
+
+  Ctx.EntryContext = simplify(Formula::conj(std::move(EntryFacts)));
+}
+
+std::optional<CheckContext> Preparer::run() {
+  Ctx.M = &M;
+  Ctx.Pol = &Pol;
+  Ctx.Diags = &Diags;
+
+  std::optional<cfg::Cfg> Graph = cfg::Cfg::build(M, Diags);
+  if (!Graph)
+    return std::nullopt;
+  Ctx.Graph = std::move(*Graph);
+  Ctx.Dom = std::make_unique<cfg::DominatorTree>(Ctx.Graph);
+  Ctx.Loops = std::make_unique<cfg::LoopInfo>(Ctx.Graph, *Ctx.Dom);
+  if (!Ctx.Loops->isReducible()) {
+    Diags.report(DiagSeverity::Fatal, SafetyKind::Unsupported,
+                 "the control-flow graph is irreducible; the "
+                 "induction-iteration method requires natural loops");
+    return std::nullopt;
+  }
+
+  // Declared host locations.
+  for (const LocationDecl &Decl : Pol.Locations)
+    DeclaredLocs[Decl.Name] = createLocationTree(
+        Decl.Name, Decl.Type, Decl.Summary, /*Align=*/0);
+
+  createFrameLocations();
+  applyRules();
+  buildEntryStore();
+  if (Failed)
+    return std::nullopt;
+  buildEntryContext();
+  return std::move(Ctx);
+}
+
+} // namespace
+
+std::optional<CheckContext> checker::prepare(const sparc::Module &M,
+                                             const Policy &Pol,
+                                             DiagnosticEngine &Diags) {
+  Preparer P(M, Pol, Diags);
+  return P.run();
+}

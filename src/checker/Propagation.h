@@ -1,0 +1,101 @@
+//===- Propagation.h - Phase 2: typestate propagation -----------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase 2 annotates each instruction with an abstract store describing
+/// the memory contents before its execution, via a worklist greatest-
+/// fixpoint over the typestate lattice (paper Sections 4.2 and 5.1).
+/// Overload resolution — deciding whether an add is a scalar addition, an
+/// array-index calculation, or a pointer displacement, and which abstract
+/// locations a load/store touches — falls out of the propagated types;
+/// resolveInst() exposes that resolution to the annotation phase.
+///
+/// Branch edges refine points-to states using the recorded cmp origin
+/// (e.g. a taken "bne" after "cmp %o0, 0" removes null from %o0's
+/// points-to set), which is what lets correctly-guarded pointer walks
+/// (Btree, PagingPolicy-style code) verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_PROPAGATION_H
+#define MCSAFE_CHECKER_PROPAGATION_H
+
+#include "checker/CheckContext.h"
+#include "typestate/AbstractStore.h"
+
+#include <vector>
+
+namespace mcsafe {
+namespace checker {
+
+/// How an add/sub was resolved.
+enum class AddUsage : uint8_t {
+  None,       ///< Not an add/sub, or operands untyped.
+  Scalar,     ///< Integer arithmetic.
+  ArrayIndex, ///< Array-index calculation: base t[n] + integer.
+  PtrDisp,    ///< Pointer displacement by a constant (field address).
+};
+
+/// Resolution facts for a memory access (or array-index add).
+struct MemFacts {
+  /// Accessed leaf locations (one per points-to target that resolved).
+  std::vector<typestate::AbsLocId> Leaves;
+  /// All targets resolved to exactly one non-summary leaf.
+  bool Strong = false;
+  /// The base pointer's points-to set includes null.
+  bool BaseMayBeNull = false;
+  /// The address did not resolve (bad base type, unresolved field, ...).
+  bool Unresolved = true;
+  /// The base register actually used (rs1, or rs2 when roles swap).
+  sparc::Reg BaseReg;
+  int32_t BaseDepth = 0;
+
+  // Array-access facts (base of type t[n] or t(n]).
+  bool ArrayAccess = false;
+  bool Interior = false;
+  typestate::ArraySize Bound;
+  uint32_t ElemSize = 0;
+  bool IndexIsImm = true;
+  int64_t IndexImm = 0;
+  sparc::Reg IndexReg;
+};
+
+/// Everything the annotation phase needs to know about one node under
+/// its in-store.
+struct InstFacts {
+  AddUsage Add = AddUsage::None;
+  MemFacts Mem; ///< For loads, stores, and array-index adds.
+};
+
+/// Result of the propagation fixpoint.
+struct PropagationResult {
+  std::vector<typestate::AbstractStore> In;  ///< Per CFG node.
+  std::vector<typestate::AbstractStore> Out; ///< Per CFG node.
+  uint64_t NodeVisits = 0;
+};
+
+/// Runs the worklist fixpoint.
+PropagationResult propagate(const CheckContext &Ctx);
+
+/// The abstract transformer for one node (exposed for tests).
+typestate::AbstractStore transfer(const CheckContext &Ctx, cfg::NodeId Id,
+                                  const typestate::AbstractStore &In);
+
+/// Refines \p Out along an outgoing edge (condition-code-based points-to
+/// refinement).
+typestate::AbstractStore refineEdge(const CheckContext &Ctx,
+                                    const typestate::AbstractStore &Out,
+                                    const cfg::CfgEdge &Edge);
+
+/// Overload resolution for node \p Id under \p In.
+InstFacts resolveInst(const CheckContext &Ctx, cfg::NodeId Id,
+                      const typestate::AbstractStore &In);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_PROPAGATION_H

@@ -1,0 +1,61 @@
+//===- Report.cpp ---------------------------------------------------------===//
+
+#include "checker/Report.h"
+
+#include <map>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::typestate;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+
+std::string checker::renderTypestateListing(const CheckContext &Ctx,
+                                            const PropagationResult &Prop) {
+  // Pick the first (primary) node per module instruction.
+  std::map<uint32_t, NodeId> Primary;
+  for (NodeId Id = 0; Id < Ctx.Graph.size(); ++Id) {
+    const CfgNode &N = Ctx.Graph.node(Id);
+    if (N.Kind != NodeKind::Normal || N.InstIndex == UINT32_MAX)
+      continue;
+    if (!Primary.count(N.InstIndex))
+      Primary[N.InstIndex] = Id;
+  }
+
+  std::ostringstream OS;
+  for (const auto &[Index, Id] : Primary) {
+    const AbstractStore &In = Prop.In[Id];
+    OS << (Index + 1) << ":\t" << Ctx.Graph.inst(Id).str() << '\n';
+    if (In.isTop()) {
+      OS << "\t(unreachable)\n";
+      continue;
+    }
+    int32_t Depth = Ctx.Graph.node(Id).WindowDepth;
+    In.forEachReg([&](int32_t D, sparc::Reg R, const Typestate &Ts) {
+      if (D > Depth)
+        return; // Stale deeper windows.
+      OS << "\t";
+      if (D != 0)
+        OS << 'w' << D << '.';
+      OS << R.name() << ": " << Ts.str(&Ctx.Locs) << '\n';
+    });
+    In.forEachLoc([&](AbsLocId Loc, const Typestate &Ts) {
+      OS << "\t" << Ctx.Locs.loc(Loc).Name << ": " << Ts.str(&Ctx.Locs)
+         << '\n';
+    });
+  }
+  return OS.str();
+}
+
+std::string checker::renderObligations(const CheckContext &Ctx,
+                                       const AnnotationResult &Annot) {
+  std::ostringstream OS;
+  for (const GlobalObligation &Ob : Annot.Obligations) {
+    OS << "line " << Ctx.Graph.sourceLine(Ob.Node) << ": ["
+       << safetyKindName(Ob.Kind) << "] " << Ob.Description << ": "
+       << Ob.Q->str() << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,42 @@
+//===- Report.h - Human-readable analysis reports ---------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renderers for the intermediate results of the analysis, in the shape
+/// of the paper's figures: the per-instruction typestate listing of
+/// Figure 6 and the per-instruction safety-precondition listing of
+/// Figure 3. Used by the command-line tool's verbose mode and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_REPORT_H
+#define MCSAFE_CHECKER_REPORT_H
+
+#include "checker/Annotation.h"
+#include "checker/CheckContext.h"
+#include "checker/Propagation.h"
+
+#include <string>
+
+namespace mcsafe {
+namespace checker {
+
+/// Renders the Figure 6 view: each instruction with the abstract store
+/// holding before it (registers of the visible windows, condition codes,
+/// and tracked memory locations).
+std::string renderTypestateListing(const CheckContext &Ctx,
+                                   const PropagationResult &Prop);
+
+/// Renders the Figure 3 view: the global safety preconditions attached
+/// to each instruction, with their verification formulas.
+std::string renderObligations(const CheckContext &Ctx,
+                              const AnnotationResult &Annot);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_REPORT_H

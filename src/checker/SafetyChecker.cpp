@@ -1,0 +1,96 @@
+//===- SafetyChecker.cpp --------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+
+#include "checker/Annotation.h"
+#include "checker/Automata.h"
+#include "checker/CheckContext.h"
+#include "checker/Propagation.h"
+#include "policy/PolicyParser.h"
+#include "sparc/AsmParser.h"
+
+#include <chrono>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+CheckReport SafetyChecker::check(const sparc::Module &M,
+                                 const policy::Policy &Pol) {
+  CheckReport Report;
+
+  // Static characteristics of the untrusted code.
+  Report.Chars.Instructions = M.size();
+  for (const sparc::Instruction &Inst : M.Insts) {
+    if (sparc::isConditionalBranch(Inst.Op))
+      ++Report.Chars.Branches;
+    if (Inst.Op == sparc::Opcode::CALL) {
+      ++Report.Chars.Calls;
+      if (!Inst.CalleeName.empty())
+        ++Report.Chars.TrustedCalls;
+    }
+  }
+
+  // Phase 1: preparation.
+  std::optional<CheckContext> Ctx = prepare(M, Pol, Report.Diags);
+  if (!Ctx) {
+    Report.InputsOk = false;
+    return Report;
+  }
+  Report.InputsOk = true;
+  Report.Chars.Loops = static_cast<uint32_t>(Ctx->Loops->loops().size());
+  Report.Chars.InnerLoops = Ctx->Loops->innerLoopCount();
+
+  // Phase 2: typestate propagation.
+  auto T0 = std::chrono::steady_clock::now();
+  PropagationResult Prop = propagate(*Ctx);
+  Report.TimeTypestate = secondsSince(T0);
+
+  // Phases 3 + 4: annotation and local verification (including the
+  // security-automaton extension, which is typestate-level checking).
+  auto T1 = std::chrono::steady_clock::now();
+  AnnotationResult Annot = annotateAndVerifyLocal(*Ctx, Prop);
+  Annot.LocalViolations += checkAutomata(*Ctx);
+  Report.TimeAnnotation = secondsSince(T1);
+  Report.LocalChecks = Annot.LocalChecks;
+  Report.LocalViolations = Annot.LocalViolations;
+  Report.Chars.GlobalConditions = Annot.Obligations.size();
+
+  // Phase 5: global verification.
+  auto T2 = std::chrono::steady_clock::now();
+  Prover TheProver(Opts.ProverOpts);
+  Report.Global = verifyGlobal(*Ctx, Prop, Annot, TheProver, Opts.Global);
+  Report.TimeGlobal = secondsSince(T2);
+  Report.ProverStats = TheProver.stats();
+  Report.OmegaStats = TheProver.omegaStats();
+
+  Report.Safe = !Report.Diags.hasViolations() && !Report.Diags.hasFatal();
+  return Report;
+}
+
+CheckReport SafetyChecker::checkSource(std::string_view Asm,
+                                       std::string_view PolicyText) {
+  CheckReport Report;
+  std::string Error;
+  std::optional<sparc::Module> M = sparc::assemble(Asm, &Error);
+  if (!M) {
+    Report.Diags.fatal("assembly error: " + Error);
+    return Report;
+  }
+  std::optional<policy::Policy> Pol =
+      policy::parsePolicy(PolicyText, &Error);
+  if (!Pol) {
+    Report.Diags.fatal("policy error: " + Error);
+    return Report;
+  }
+  return check(*M, *Pol);
+}

@@ -1,0 +1,105 @@
+//===- SafetyChecker.h - The five-phase safety checker ----------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: runs preparation, typestate
+/// propagation, annotation, local verification, and global verification
+/// over a piece of untrusted SPARC code and a host-provided safety
+/// policy, and reports either "safe" or the places where safety
+/// conditions are violated. Per-phase wall-clock times and program
+/// characteristics are collected in the same shape as the paper's
+/// Figure 9.
+///
+/// Typical use:
+/// \code
+///   mcsafe::checker::SafetyChecker Checker;
+///   mcsafe::checker::CheckReport Report =
+///       Checker.checkSource(AsmText, PolicyText);
+///   if (!Report.Safe)
+///     std::cout << Report.Diags.str();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_SAFETYCHECKER_H
+#define MCSAFE_CHECKER_SAFETYCHECKER_H
+
+#include "checker/GlobalVerify.h"
+#include "constraints/Prover.h"
+#include "policy/Policy.h"
+#include "sparc/Module.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+
+namespace mcsafe {
+namespace checker {
+
+/// Program characteristics, as in the upper half of Figure 9.
+struct ProgramCharacteristics {
+  uint32_t Instructions = 0;
+  uint32_t Branches = 0;      ///< Conditional branches.
+  uint32_t Loops = 0;         ///< Natural loops (on the inlined CFG).
+  uint32_t InnerLoops = 0;    ///< Loops nested inside another loop.
+  uint32_t Calls = 0;         ///< Call instructions.
+  uint32_t TrustedCalls = 0;  ///< Calls to host (external) functions.
+  uint64_t GlobalConditions = 0;
+};
+
+/// The result of checking one program against one policy.
+struct CheckReport {
+  /// False when the inputs were malformed or unsupported (assembly or
+  /// policy errors, recursion, irreducible control flow).
+  bool InputsOk = false;
+  /// True when every safety condition was verified.
+  bool Safe = false;
+
+  DiagnosticEngine Diags;
+  ProgramCharacteristics Chars;
+
+  /// Per-phase wall-clock seconds (Figure 9's time rows).
+  double TimeTypestate = 0;
+  double TimeAnnotation = 0; ///< Annotation + local verification.
+  double TimeGlobal = 0;
+  double total() const {
+    return TimeTypestate + TimeAnnotation + TimeGlobal;
+  }
+
+  uint64_t LocalChecks = 0;
+  uint64_t LocalViolations = 0;
+  GlobalVerifyStats Global;
+  Prover::Stats ProverStats;
+  OmegaTest::Stats OmegaStats;
+};
+
+/// The safety checker.
+class SafetyChecker {
+public:
+  struct Options {
+    GlobalVerifyOptions Global;
+    Prover::Options ProverOpts;
+  };
+
+  SafetyChecker() = default;
+  explicit SafetyChecker(Options Opts) : Opts(Opts) {}
+
+  /// Checks an assembled module against a parsed policy.
+  CheckReport check(const sparc::Module &M, const policy::Policy &Pol);
+
+  /// Convenience: assembles \p Asm, parses \p PolicyText, checks.
+  CheckReport checkSource(std::string_view Asm,
+                          std::string_view PolicyText);
+
+private:
+  Options Opts;
+};
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_SAFETYCHECKER_H

@@ -1,0 +1,340 @@
+//===- Wlp.cpp ------------------------------------------------------------===//
+
+#include "checker/Wlp.h"
+
+#include "policy/Policy.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::typestate;
+using namespace mcsafe::sparc;
+using mcsafe::cfg::CfgEdge;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::EdgeKind;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+using mcsafe::policy::locValueVar;
+using mcsafe::policy::regValueVar;
+
+namespace {
+
+LinearExpr iccExpr() { return LinearExpr::variable(policy::iccVar()); }
+
+} // namespace
+
+WlpEngine::WlpEngine(const CheckContext &Ctx,
+                     const PropagationResult &Prop)
+    : Ctx(Ctx), Prop(Prop) {
+  Rules.reserve(Ctx.Graph.size());
+  for (NodeId Id = 0; Id < Ctx.Graph.size(); ++Id)
+    Rules.push_back(buildRule(Id));
+}
+
+BackwardRule WlpEngine::buildRule(NodeId Id) const {
+  BackwardRule Rule;
+  const CfgNode &Node = Ctx.Graph.node(Id);
+  int32_t Depth = Node.WindowDepth;
+  const AbstractStore &In = Prop.In[Id];
+
+  auto RegVar = [&](Reg R) { return regValueVar(Depth, R); };
+  auto RegExprAt = [&](int32_t D, Reg R) {
+    if (R.isZero())
+      return LinearExpr();
+    return LinearExpr::variable(regValueVar(D, R));
+  };
+  auto RegExpr = [&](Reg R) { return RegExprAt(Depth, R); };
+  auto Assign = [&Rule](VarId V, LinearExpr E) {
+    Rule.Assigns.emplace_back(V, std::move(E));
+  };
+  auto Havoc = [&Rule](VarId V) {
+    Rule.Assigns.emplace_back(V, std::nullopt);
+  };
+  auto AssignRd = [&](Reg Rd, std::optional<LinearExpr> E) {
+    if (Rd.isZero())
+      return;
+    if (E)
+      Assign(RegVar(Rd), std::move(*E));
+    else
+      Havoc(RegVar(Rd));
+  };
+
+  if (Node.Kind == NodeKind::TrustedCall) {
+    // Caller-saved registers, icc, and the summary's written locations
+    // lose their values.
+    // Must match the forward transformer's clobber set.
+    static const uint8_t Clobbered[] = {8, 9, 10, 11, 12, 13, 15, 1};
+    for (uint8_t R : Clobbered)
+      Havoc(regValueVar(Depth, Reg(R)));
+    Havoc(policy::iccVar());
+    if (const policy::TrustedSummary *Summary =
+            Ctx.Pol->findTrusted(Node.TrustedCallee)) {
+      for (const std::string &Written : Summary->Writes) {
+        AbsLocId Target = Ctx.Locs.lookup(Written);
+        if (Target == InvalidLoc)
+          continue;
+        std::vector<AbsLocId> Leaves;
+        Ctx.Locs.collectLeaves(Target, Leaves);
+        for (AbsLocId Leaf : Leaves)
+          Havoc(locValueVar(Ctx.Locs.loc(Leaf).Name));
+      }
+    }
+    return Rule;
+  }
+  if (Node.Kind != NodeKind::Normal)
+    return Rule;
+  const Instruction &Inst = Ctx.Graph.inst(Id);
+
+  // The second operand as a linear expression, when linear.
+  auto Operand = [&]() -> LinearExpr {
+    if (Inst.UsesImm)
+      return LinearExpr::constant(Inst.Imm);
+    return RegExpr(Inst.Rs2);
+  };
+  // A known-constant operand value from the typestate, if any.
+  auto OperandConst = [&]() -> std::optional<int64_t> {
+    if (Inst.UsesImm)
+      return Inst.Imm;
+    if (In.isTop())
+      return std::nullopt;
+    return In.reg(Depth, Inst.Rs2).S.constant();
+  };
+  auto Rs1Const = [&]() -> std::optional<int64_t> {
+    if (Inst.Rs1.isZero())
+      return 0;
+    if (In.isTop())
+      return std::nullopt;
+    return In.reg(Depth, Inst.Rs1).S.constant();
+  };
+
+  switch (Inst.Op) {
+  case Opcode::ADD:
+  case Opcode::SUB:
+    AssignRd(Inst.Rd, Inst.Op == Opcode::ADD
+                          ? RegExpr(Inst.Rs1) + Operand()
+                          : RegExpr(Inst.Rs1) - Operand());
+    break;
+  case Opcode::ADDCC:
+  case Opcode::SUBCC: {
+    LinearExpr Value = Inst.Op == Opcode::ADDCC
+                           ? RegExpr(Inst.Rs1) + Operand()
+                           : RegExpr(Inst.Rs1) - Operand();
+    AssignRd(Inst.Rd, Value);
+    Assign(policy::iccVar(), Value);
+    break;
+  }
+  case Opcode::OR:
+  case Opcode::ORCC: {
+    std::optional<LinearExpr> Value;
+    if (Inst.Rs1.isZero())
+      Value = Operand(); // mov.
+    else if (Inst.UsesImm && Inst.Imm == 0)
+      Value = RegExpr(Inst.Rs1);
+    else if (!Inst.UsesImm && Inst.Rs2.isZero())
+      Value = RegExpr(Inst.Rs1);
+    else if (Rs1Const() && OperandConst())
+      Value = LinearExpr::constant(*Rs1Const() | *OperandConst());
+    AssignRd(Inst.Rd, Value);
+    if (Inst.Op == Opcode::ORCC) {
+      if (Value)
+        Assign(policy::iccVar(), *Value);
+      else
+        Havoc(policy::iccVar());
+    }
+    break;
+  }
+  case Opcode::SETHI:
+    AssignRd(Inst.Rd,
+             LinearExpr::constant(static_cast<int64_t>(Inst.Imm) << 10));
+    break;
+  case Opcode::SLL:
+    if (Inst.UsesImm && Inst.Imm >= 0 && Inst.Imm < 31)
+      AssignRd(Inst.Rd, RegExpr(Inst.Rs1).scaled(int64_t(1) << Inst.Imm));
+    else
+      AssignRd(Inst.Rd, std::nullopt);
+    break;
+  case Opcode::SMUL:
+  case Opcode::UMUL:
+    if (std::optional<int64_t> C = OperandConst())
+      AssignRd(Inst.Rd, RegExpr(Inst.Rs1).scaled(*C));
+    else if (std::optional<int64_t> C1 = Rs1Const())
+      AssignRd(Inst.Rd, Operand().scaled(*C1));
+    else
+      AssignRd(Inst.Rd, std::nullopt);
+    break;
+  case Opcode::AND:
+  case Opcode::ANDN:
+  case Opcode::ORN:
+  case Opcode::XOR:
+  case Opcode::XNOR:
+  case Opcode::SRL:
+  case Opcode::SRA:
+  case Opcode::UDIV:
+  case Opcode::SDIV: {
+    // Non-linear: fall back to the constant-folded typestate when the
+    // propagation proved the result constant, else havoc.
+    std::optional<LinearExpr> Value;
+    if (!In.isTop() && !Inst.Rd.isZero()) {
+      AbstractStore Out = transfer(Ctx, Id, In);
+      if (std::optional<int64_t> C =
+              Out.reg(Depth, Inst.Rd).S.constant())
+        Value = LinearExpr::constant(*C);
+    }
+    AssignRd(Inst.Rd, Value);
+    break;
+  }
+  case Opcode::ANDCC:
+  case Opcode::XORCC: {
+    std::optional<LinearExpr> Value;
+    if (!In.isTop()) {
+      AbstractStore Out = transfer(Ctx, Id, In);
+      if (!Inst.Rd.isZero())
+        if (std::optional<int64_t> C =
+                Out.reg(Depth, Inst.Rd).S.constant())
+          Value = LinearExpr::constant(*C);
+    }
+    AssignRd(Inst.Rd, Value);
+    Havoc(policy::iccVar());
+    break;
+  }
+
+  case Opcode::LD:
+  case Opcode::LDSB:
+  case Opcode::LDSH:
+  case Opcode::LDUB:
+  case Opcode::LDUH: {
+    std::optional<LinearExpr> Value;
+    if (!In.isTop()) {
+      InstFacts Facts = resolveInst(Ctx, Id, In);
+      if (!Facts.Mem.Unresolved && Facts.Mem.Strong)
+        Value = LinearExpr::variable(
+            locValueVar(Ctx.Locs.loc(Facts.Mem.Leaves[0]).Name));
+    }
+    AssignRd(Inst.Rd, Value);
+    break;
+  }
+  case Opcode::ST:
+  case Opcode::STB:
+  case Opcode::STH: {
+    if (In.isTop())
+      break;
+    InstFacts Facts = resolveInst(Ctx, Id, In);
+    if (Facts.Mem.Unresolved)
+      break; // Reported elsewhere; no sound transformer.
+    if (Facts.Mem.Strong) {
+      Assign(locValueVar(Ctx.Locs.loc(Facts.Mem.Leaves[0]).Name),
+             RegExpr(Inst.Rd));
+    } else {
+      for (AbsLocId Leaf : Facts.Mem.Leaves)
+        Havoc(locValueVar(Ctx.Locs.loc(Leaf).Name));
+    }
+    break;
+  }
+
+  case Opcode::SAVE: {
+    // rd (in the NEW window) := rs1 + operand (read in the OLD window).
+    if (!Inst.Rd.isZero())
+      Assign(regValueVar(Depth + 1, Inst.Rd),
+             RegExpr(Inst.Rs1) + Operand());
+    // New %i = old %o.
+    for (uint8_t K = 0; K < 8; ++K) {
+      Reg NewIn = Reg(24 + K);
+      Assign(regValueVar(Depth + 1, NewIn), RegExprAt(Depth, Reg(8 + K)));
+    }
+    // New %l and remaining new %o are undefined.
+    for (uint8_t K = 16; K < 24; ++K)
+      Havoc(regValueVar(Depth + 1, Reg(K)));
+    for (uint8_t K = 8; K < 16; ++K) {
+      if (!Inst.Rd.isZero() && Reg(K) == Inst.Rd)
+        continue;
+      Havoc(regValueVar(Depth + 1, Reg(K)));
+    }
+    break;
+  }
+  case Opcode::RESTORE: {
+    if (!Inst.Rd.isZero())
+      Assign(regValueVar(Depth - 1, Inst.Rd),
+             RegExpr(Inst.Rs1) + Operand());
+    for (uint8_t K = 0; K < 8; ++K) {
+      if (!Inst.Rd.isZero() && Reg(8 + K) == Inst.Rd)
+        continue;
+      Assign(regValueVar(Depth - 1, Reg(8 + K)),
+             RegExprAt(Depth, Reg(24 + K)));
+    }
+    break;
+  }
+
+  case Opcode::CALL:
+    Havoc(regValueVar(Depth, O7));
+    break;
+  case Opcode::JMPL:
+    if (!Inst.Rd.isZero())
+      Havoc(regValueVar(Depth, Inst.Rd));
+    break;
+  default:
+    break; // Branches: identity.
+  }
+  return Rule;
+}
+
+FormulaRef WlpEngine::transformNode(NodeId Id,
+                                    const FormulaRef &Post) const {
+  FormulaRef F = Post;
+  const BackwardRule &Rule = Rules[Id];
+  for (const auto &[Var, Expr] : Rule.Assigns) {
+    if (F->isTrue() || F->isFalse())
+      break;
+    if (!F->freeVars().count(Var))
+      continue;
+    if (Expr) {
+      F = Formula::substitute(F, Var, *Expr);
+    } else {
+      VarId Fresh = freshVar("h." + varName(Var));
+      F = Formula::substitute(F, Var, LinearExpr::variable(Fresh));
+    }
+  }
+  return F;
+}
+
+FormulaRef WlpEngine::edgeCondition(const CfgEdge &E) const {
+  if (E.Kind == EdgeKind::Flow)
+    return Formula::mkTrue();
+  bool Taken = E.Kind == EdgeKind::Taken;
+  LinearExpr Icc = iccExpr();
+  auto Ge = [&](LinearExpr X) { return Formula::atom(Constraint::ge(X)); };
+  switch (E.BranchOp) {
+  case Opcode::BE:
+    return Taken ? Formula::atom(Constraint::eq(Icc))
+                 : Formula::negate(Formula::atom(Constraint::eq(Icc)));
+  case Opcode::BNE:
+    return Taken ? Formula::negate(Formula::atom(Constraint::eq(Icc)))
+                 : Formula::atom(Constraint::eq(Icc));
+  case Opcode::BL:
+    return Taken ? Ge((-Icc).plusConstant(-1)) : Ge(Icc);
+  case Opcode::BGE:
+    return Taken ? Ge(Icc) : Ge((-Icc).plusConstant(-1));
+  case Opcode::BG:
+    return Taken ? Ge(Icc.plusConstant(-1)) : Ge(-Icc);
+  case Opcode::BLE:
+    return Taken ? Ge(-Icc) : Ge(Icc.plusConstant(-1));
+  case Opcode::BPOS:
+    return Taken ? Ge(Icc) : Ge((-Icc).plusConstant(-1));
+  case Opcode::BNEG:
+    return Taken ? Ge((-Icc).plusConstant(-1)) : Ge(Icc);
+  default:
+    // Unsigned and overflow branches: no linear information.
+    return Formula::mkTrue();
+  }
+}
+
+std::set<VarId>
+WlpEngine::modifiedVars(const std::vector<NodeId> &Body) const {
+  std::set<VarId> Vars;
+  for (NodeId Id : Body)
+    for (const auto &[Var, Expr] : Rules[Id].Assigns) {
+      (void)Expr;
+      Vars.insert(Var);
+    }
+  return Vars;
+}

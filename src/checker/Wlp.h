@@ -1,0 +1,76 @@
+//===- Wlp.h - Weakest-liberal-precondition transformers --------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward (wlp) transformers for the normalized CFG, used by the
+/// global-verification phase. Each node gets a precomputed backward rule:
+/// a sequence of assignments "variable := linear expression" (register
+/// writes with linear semantics, strong loads/stores through abstract-
+/// location value variables per Morris's general axiom of assignment) and
+/// havocs (non-linear results, weak updates, clobbers).
+///
+/// A havocked variable is replaced by a globally fresh free variable;
+/// since free variables of a verification condition are implicitly
+/// universally quantified, this is exactly wlp for a nondeterministic
+/// assignment.
+///
+/// Conditional-branch edges carry linear conditions over the variable
+/// "icc" (set by cmp/subcc to rs1 - operand); unsigned branches carry no
+/// linear information and conservatively contribute "true" (requiring the
+/// postcondition on both sides).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_WLP_H
+#define MCSAFE_CHECKER_WLP_H
+
+#include "checker/Annotation.h"
+#include "checker/CheckContext.h"
+#include "checker/Propagation.h"
+
+#include <optional>
+#include <vector>
+
+namespace mcsafe {
+namespace checker {
+
+/// Backward semantics of one node.
+struct BackwardRule {
+  /// Applied in order; nullopt expression = havoc (fresh variable).
+  std::vector<std::pair<VarId, std::optional<LinearExpr>>> Assigns;
+};
+
+/// Precomputes and applies backward rules.
+class WlpEngine {
+public:
+  WlpEngine(const CheckContext &Ctx, const PropagationResult &Prop);
+
+  /// wlp across node \p Id: given \p Post (holds after the node), the
+  /// formula that must hold before it.
+  FormulaRef transformNode(cfg::NodeId Id, const FormulaRef &Post) const;
+
+  /// Linear condition under which edge \p E is taken (over "icc").
+  FormulaRef edgeCondition(const cfg::CfgEdge &E) const;
+
+  /// Variables (registers, icc, location values) the nodes of \p Body may
+  /// modify — the candidate set for the generalization heuristic.
+  std::set<VarId> modifiedVars(const std::vector<cfg::NodeId> &Body) const;
+
+  const BackwardRule &rule(cfg::NodeId Id) const { return Rules[Id]; }
+
+private:
+  BackwardRule buildRule(cfg::NodeId Id) const;
+
+  const CheckContext &Ctx;
+  const PropagationResult &Prop;
+  std::vector<BackwardRule> Rules;
+};
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_WLP_H

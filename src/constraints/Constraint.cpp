@@ -1,0 +1,159 @@
+//===- Constraint.cpp -----------------------------------------------------===//
+
+#include "constraints/Constraint.h"
+
+#include "support/CheckedInt.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace mcsafe;
+
+namespace {
+
+/// Divides every coefficient of \p E by \p G, flooring the constant
+/// (sound tightening for GE over integers).
+LinearExpr divideTightened(const LinearExpr &E, int64_t G) {
+  assert(G >= 1);
+  LinearExpr Result = LinearExpr::constant(floorDiv(E.constantValue(), G));
+  for (const auto &[V, Coeff] : E.terms())
+    Result = Result + LinearExpr::variable(V).scaled(Coeff / G);
+  return Result;
+}
+
+/// Divides exactly (used for EQ where G | constant is pre-checked).
+LinearExpr divideExact(const LinearExpr &E, int64_t G) {
+  assert(G >= 1 && E.constantValue() % G == 0);
+  LinearExpr Result = LinearExpr::constant(E.constantValue() / G);
+  for (const auto &[V, Coeff] : E.terms())
+    Result = Result + LinearExpr::variable(V).scaled(Coeff / G);
+  return Result;
+}
+
+} // namespace
+
+Constraint Constraint::ge(LinearExpr E) {
+  if (!E.isPoisoned()) {
+    int64_t G = E.coeffGcd();
+    if (G > 1)
+      E = divideTightened(E, G);
+  }
+  return Constraint(ConstraintKind::GE, std::move(E), 0);
+}
+
+Constraint Constraint::eq(LinearExpr E) {
+  if (!E.isPoisoned()) {
+    int64_t G = E.coeffGcd();
+    if (G > 1 && E.constantValue() % G == 0)
+      E = divideExact(E, G);
+    // When G does not divide the constant, constantTruth() reports false;
+    // keep the raw expression. Canonicalize the sign (leading coefficient,
+    // or the constant for variable-free expressions, is positive) so
+    // structural equality identifies e == 0 with -e == 0.
+    if (!E.terms().empty()) {
+      if (E.terms().front().second < 0)
+        E = -E;
+    } else if (E.constantValue() < 0) {
+      E = -E;
+    }
+  }
+  return Constraint(ConstraintKind::EQ, std::move(E), 0);
+}
+
+Constraint Constraint::divides(int64_t D, LinearExpr E) {
+  assert(D >= 1 && "modulus must be positive");
+  if (!E.isPoisoned() && D > 1) {
+    LinearExpr Reduced = LinearExpr::constant(floorMod(E.constantValue(), D));
+    for (const auto &[V, Coeff] : E.terms()) {
+      int64_t C = floorMod(Coeff, D);
+      if (C != 0)
+        Reduced = Reduced + LinearExpr::variable(V).scaled(C);
+    }
+    E = std::move(Reduced);
+  }
+  return Constraint(ConstraintKind::DIV, std::move(E), D);
+}
+
+Constraint Constraint::notDivides(int64_t D, LinearExpr E) {
+  Constraint C = divides(D, std::move(E));
+  return Constraint(ConstraintKind::NDIV, C.Expr, D);
+}
+
+std::optional<bool> Constraint::constantTruth() const {
+  if (Expr.isPoisoned())
+    return std::nullopt;
+  switch (Kind) {
+  case ConstraintKind::GE:
+    if (Expr.isConstant())
+      return Expr.constantValue() >= 0;
+    return std::nullopt;
+  case ConstraintKind::EQ: {
+    if (Expr.isConstant())
+      return Expr.constantValue() == 0;
+    int64_t G = Expr.coeffGcd();
+    if (G > 1 && Expr.constantValue() % G != 0)
+      return false;
+    return std::nullopt;
+  }
+  case ConstraintKind::DIV:
+    if (Modulus == 1)
+      return true;
+    if (Expr.isConstant())
+      return floorMod(Expr.constantValue(), Modulus) == 0;
+    return std::nullopt;
+  case ConstraintKind::NDIV:
+    if (Modulus == 1)
+      return false;
+    if (Expr.isConstant())
+      return floorMod(Expr.constantValue(), Modulus) != 0;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+Constraint Constraint::substitute(VarId V,
+                                  const LinearExpr &Replacement) const {
+  if (!Expr.references(V))
+    return *this;
+  LinearExpr NewExpr = Expr.substitute(V, Replacement);
+  switch (Kind) {
+  case ConstraintKind::GE:
+    return ge(std::move(NewExpr));
+  case ConstraintKind::EQ:
+    return eq(std::move(NewExpr));
+  case ConstraintKind::DIV:
+    return divides(Modulus, std::move(NewExpr));
+  case ConstraintKind::NDIV:
+    return notDivides(Modulus, std::move(NewExpr));
+  }
+  assert(false && "unknown constraint kind");
+  return *this;
+}
+
+std::string Constraint::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case ConstraintKind::GE:
+    OS << Expr.str() << " >= 0";
+    break;
+  case ConstraintKind::EQ:
+    OS << Expr.str() << " = 0";
+    break;
+  case ConstraintKind::DIV:
+    OS << Modulus << " | " << Expr.str();
+    break;
+  case ConstraintKind::NDIV:
+    OS << Modulus << " !| " << Expr.str();
+    break;
+  }
+  return OS.str();
+}
+
+size_t Constraint::hash() const {
+  size_t H = Expr.hash();
+  H ^= std::hash<int>()(static_cast<int>(Kind)) + 0x9e3779b97f4a7c15ull +
+       (H << 6) + (H >> 2);
+  H ^= std::hash<int64_t>()(Modulus) + 0x9e3779b97f4a7c15ull + (H << 6) +
+       (H >> 2);
+  return H;
+}

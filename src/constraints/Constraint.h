@@ -1,0 +1,105 @@
+//===- Constraint.h - Atomic linear constraints -----------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic constraints of the Presburger fragment the checker uses:
+///   GE:    e >= 0
+///   EQ:    e == 0
+///   DIV:   d | e        (divisibility; encodes the paper's align(A, n)
+///                        predicate, "exists a such that A = n*a")
+///   NDIV:  not (d | e)
+/// Over affine expressions e and constant moduli d >= 1. GE/EQ atoms are
+/// kept gcd-normalized (with sound tightening for GE), so syntactic
+/// equality catches most semantic duplicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CONSTRAINTS_CONSTRAINT_H
+#define MCSAFE_CONSTRAINTS_CONSTRAINT_H
+
+#include "constraints/LinearExpr.h"
+
+#include <optional>
+#include <string>
+
+namespace mcsafe {
+
+/// Kind of an atomic constraint.
+enum class ConstraintKind : uint8_t {
+  GE,   ///< Expr >= 0.
+  EQ,   ///< Expr == 0.
+  DIV,  ///< Modulus divides Expr.
+  NDIV, ///< Modulus does not divide Expr.
+};
+
+/// An atomic linear constraint.
+class Constraint {
+public:
+  /// e >= 0, gcd-tightened: (g*e' + c >= 0)  ->  (e' + floor(c/g) >= 0).
+  static Constraint ge(LinearExpr E);
+  /// a >= b.
+  static Constraint ge(const LinearExpr &A, const LinearExpr &B) {
+    return ge(A - B);
+  }
+  /// a > b  (integers: a >= b + 1).
+  static Constraint gt(const LinearExpr &A, const LinearExpr &B) {
+    return ge((A - B).plusConstant(-1));
+  }
+  /// a <= b.
+  static Constraint le(const LinearExpr &A, const LinearExpr &B) {
+    return ge(B - A);
+  }
+  /// a < b.
+  static Constraint lt(const LinearExpr &A, const LinearExpr &B) {
+    return gt(B, A);
+  }
+  /// e == 0, gcd-normalized; an indivisible constant makes it trivially
+  /// false (see constantTruth()).
+  static Constraint eq(LinearExpr E);
+  static Constraint eq(const LinearExpr &A, const LinearExpr &B) {
+    return eq(A - B);
+  }
+  /// d | e, with coefficients reduced modulo d. Requires d >= 1.
+  static Constraint divides(int64_t D, LinearExpr E);
+  /// not (d | e). Requires d >= 1.
+  static Constraint notDivides(int64_t D, LinearExpr E);
+
+  ConstraintKind kind() const { return Kind; }
+  const LinearExpr &expr() const { return Expr; }
+  int64_t modulus() const { return Modulus; }
+  bool isPoisoned() const { return Expr.isPoisoned(); }
+
+  /// When the constraint is trivially decidable (constant expression, or
+  /// an EQ whose gcd does not divide the constant) returns its truth
+  /// value; nullopt otherwise. Poisoned constraints return nullopt.
+  std::optional<bool> constantTruth() const;
+
+  Constraint substitute(VarId V, const LinearExpr &Replacement) const;
+
+  void collectVars(std::vector<VarId> &Out) const {
+    Expr.collectVars(Out);
+  }
+
+  friend bool operator==(const Constraint &A, const Constraint &B) {
+    return A.Kind == B.Kind && A.Modulus == B.Modulus && A.Expr == B.Expr;
+  }
+
+  std::string str() const;
+  size_t hash() const;
+
+private:
+  Constraint(ConstraintKind Kind, LinearExpr Expr, int64_t Modulus)
+      : Kind(Kind), Expr(std::move(Expr)), Modulus(Modulus) {}
+
+  ConstraintKind Kind;
+  LinearExpr Expr;
+  int64_t Modulus = 0; ///< Only meaningful for DIV / NDIV.
+};
+
+} // namespace mcsafe
+
+#endif // MCSAFE_CONSTRAINTS_CONSTRAINT_H

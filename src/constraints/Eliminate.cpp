@@ -1,0 +1,134 @@
+//===- Eliminate.cpp ------------------------------------------------------===//
+
+#include "constraints/Eliminate.h"
+
+#include "constraints/Normalize.h"
+#include "support/CheckedInt.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+
+std::optional<std::vector<Constraint>>
+mcsafe::projectOut(std::vector<Constraint> Conjuncts,
+                   const std::set<VarId> &Vars, size_t MaxConstraints) {
+  for (VarId X : Vars) {
+    // First, use an equality with a unit coefficient on X for an exact
+    // substitution.
+    bool Substituted = false;
+    for (size_t I = 0; I < Conjuncts.size() && !Substituted; ++I) {
+      const Constraint &C = Conjuncts[I];
+      if (C.kind() != ConstraintKind::EQ || C.isPoisoned())
+        continue;
+      int64_t A = C.expr().coeff(X);
+      if (A != 1 && A != -1)
+        continue;
+      LinearExpr Rest = C.expr().substitute(X, LinearExpr());
+      LinearExpr Solution = Rest.scaled(-A);
+      if (Solution.isPoisoned())
+        return std::nullopt;
+      std::vector<Constraint> Next;
+      Next.reserve(Conjuncts.size() - 1);
+      for (size_t J = 0; J < Conjuncts.size(); ++J) {
+        if (J == I)
+          continue;
+        Constraint S = Conjuncts[J].substitute(X, Solution);
+        if (S.isPoisoned())
+          return std::nullopt;
+        Next.push_back(std::move(S));
+      }
+      Conjuncts = std::move(Next);
+      Substituted = true;
+    }
+    if (Substituted)
+      continue;
+
+    // Otherwise: split remaining equalities on X into opposing
+    // inequalities, drop DIV/NDIV atoms on X, and Fourier-Motzkin the
+    // inequalities (real shadow).
+    std::vector<LinearExpr> Lowers, Uppers;
+    std::vector<Constraint> Others;
+    for (const Constraint &C : Conjuncts) {
+      if (C.isPoisoned())
+        return std::nullopt;
+      int64_t A = C.expr().coeff(X);
+      if (A == 0) {
+        Others.push_back(C);
+        continue;
+      }
+      switch (C.kind()) {
+      case ConstraintKind::GE:
+        (A > 0 ? Lowers : Uppers).push_back(C.expr());
+        break;
+      case ConstraintKind::EQ:
+        Lowers.push_back(C.expr());
+        Uppers.push_back(-C.expr());
+        break;
+      case ConstraintKind::DIV:
+      case ConstraintKind::NDIV:
+        break; // Dropped: over-approximation.
+      }
+    }
+    for (const LinearExpr &Lo : Lowers) {
+      int64_t A = Lo.coeff(X);
+      LinearExpr R1 = Lo.substitute(X, LinearExpr());
+      for (const LinearExpr &Up : Uppers) {
+        int64_t B = -Up.coeff(X);
+        assert(A > 0 && B > 0);
+        LinearExpr R2 = Up.substitute(X, LinearExpr());
+        LinearExpr Combo = R1.scaled(B) + R2.scaled(A);
+        if (Combo.isPoisoned())
+          return std::nullopt;
+        Constraint NewC = Constraint::ge(std::move(Combo));
+        if (std::optional<bool> Truth = NewC.constantTruth()) {
+          if (!*Truth)
+            Others.push_back(NewC); // Keep the contradiction visible.
+          continue;
+        }
+        Others.push_back(std::move(NewC));
+        if (Others.size() > MaxConstraints)
+          return std::nullopt;
+      }
+    }
+    Conjuncts = std::move(Others);
+  }
+  return Conjuncts;
+}
+
+std::vector<FormulaRef> mcsafe::generalize(const FormulaRef &F,
+                                           const std::set<VarId> &Vars) {
+  std::vector<FormulaRef> Candidates;
+  DnfResult Dnf = toDNF(Formula::negate(F), /*MaxDisjuncts=*/64,
+                        /*MaxAtoms=*/128);
+  if (Dnf.BudgetExceeded)
+    return Candidates;
+  auto AddCandidate = [&Candidates](const std::vector<Constraint> &Conj) {
+    if (Conj.empty())
+      return; // "true": its negation is useless.
+    std::vector<FormulaRef> Atoms;
+    Atoms.reserve(Conj.size());
+    for (const Constraint &C : Conj)
+      Atoms.push_back(Formula::atom(C));
+    FormulaRef Candidate = Formula::negate(Formula::conj(std::move(Atoms)));
+    if (Candidate->isTrue() || Candidate->isFalse())
+      return;
+    for (const FormulaRef &Existing : Candidates)
+      if (Formula::equal(Existing, Candidate))
+        return;
+    Candidates.push_back(std::move(Candidate));
+  };
+
+  for (const std::vector<Constraint> &Disjunct : Dnf.Disjuncts) {
+    // The projected form (the classic generalization) ...
+    if (!Vars.empty()) {
+      if (std::optional<std::vector<Constraint>> Projected =
+              projectOut(Disjunct, Vars))
+        AddCandidate(*Projected);
+    }
+    // ... and the unprojected per-disjunct negation, which retains
+    // relations among the modified variables (useful when the needed
+    // invariant mentions them, e.g. "i <= n").
+    AddCandidate(Disjunct);
+  }
+  return Candidates;
+}

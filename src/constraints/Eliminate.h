@@ -1,0 +1,55 @@
+//===- Eliminate.h - Fourier-Motzkin variable projection --------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fourier-Motzkin projection of a conjunction of linear constraints onto
+/// a subset of its variables. The projection is an over-approximation
+/// (real shadow) of the integer solution set, which is exactly what the
+/// paper's "generalization" heuristic needs:
+///
+///   generalization(f) = not(elimination(not f))      (Section 5.2.1)
+///
+/// Because elimination over-approximates, the generalization is *stronger*
+/// than f — a legitimate candidate invariant, whose actual invariance is
+/// re-verified by the induction-iteration method afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CONSTRAINTS_ELIMINATE_H
+#define MCSAFE_CONSTRAINTS_ELIMINATE_H
+
+#include "constraints/Constraint.h"
+#include "constraints/Formula.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace mcsafe {
+
+/// Projects \p Vars out of the conjunction \p Conjuncts. Equalities with a
+/// unit coefficient are substituted exactly; other equalities are split
+/// into opposing inequalities; DIV/NDIV atoms mentioning an eliminated
+/// variable are dropped (a further over-approximation). Returns nullopt
+/// when the system exceeds \p MaxConstraints or arithmetic overflows.
+std::optional<std::vector<Constraint>>
+projectOut(std::vector<Constraint> Conjuncts, const std::set<VarId> &Vars,
+           size_t MaxConstraints = 512);
+
+/// The paper's generalization heuristic applied to a formula: one
+/// candidate not(projectOut(Vars, D)) per disjunct D of DNF(not f).
+/// The candidates are heuristic trial invariants — the induction-iteration
+/// driver re-establishes soundness by certifying the final invariant
+/// against the loop body, so the candidates themselves carry no semantic
+/// guarantee. Returns an empty list when elimination failed or produced
+/// nothing useful.
+std::vector<FormulaRef> generalize(const FormulaRef &F,
+                                   const std::set<VarId> &Vars);
+
+} // namespace mcsafe
+
+#endif // MCSAFE_CONSTRAINTS_ELIMINATE_H

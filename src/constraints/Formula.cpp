@@ -1,0 +1,425 @@
+//===- Formula.cpp --------------------------------------------------------===//
+
+#include "constraints/Formula.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace mcsafe;
+
+namespace mcsafe {
+/// Grants access to the private constructor and fields from the file-local
+/// helper functions.
+class FormulaFactory {
+public:
+  static std::shared_ptr<Formula> make(FormulaKind Kind) {
+    return std::shared_ptr<Formula>(new Formula(Kind));
+  }
+  static void setChildren(Formula &F, std::vector<FormulaRef> Children) {
+    F.Children = std::move(Children);
+  }
+  static void setBoundVar(Formula &F, VarId V) { F.BoundVar = V; }
+  static void setAtom(Formula &F, Constraint C) {
+    F.Atom = std::make_shared<Constraint>(std::move(C));
+  }
+};
+} // namespace mcsafe
+
+FormulaRef Formula::mkTrue() {
+  static FormulaRef T = FormulaFactory::make(FormulaKind::True);
+  return T;
+}
+
+FormulaRef Formula::mkFalse() {
+  static FormulaRef F = FormulaFactory::make(FormulaKind::False);
+  return F;
+}
+
+FormulaRef Formula::atom(Constraint C) {
+  if (std::optional<bool> Truth = C.constantTruth())
+    return *Truth ? mkTrue() : mkFalse();
+  auto Node = FormulaFactory::make(FormulaKind::Atom);
+  FormulaFactory::setAtom(*Node, std::move(C));
+  return Node;
+}
+
+const Constraint &Formula::constraint() const {
+  assert(Kind == FormulaKind::Atom && "not an atom");
+  return *Atom;
+}
+
+namespace {
+
+/// Flattens \p Children of kind \p K into \p Out, deduplicating
+/// structurally. Returns false if an absorbing child (False for And, True
+/// for Or) was found.
+bool flattenInto(FormulaKind K, const std::vector<FormulaRef> &Children,
+                 std::vector<FormulaRef> &Out) {
+  FormulaKind Absorbing =
+      K == FormulaKind::And ? FormulaKind::False : FormulaKind::True;
+  FormulaKind Neutral =
+      K == FormulaKind::And ? FormulaKind::True : FormulaKind::False;
+  for (const FormulaRef &C : Children) {
+    assert(C && "null formula child");
+    if (C->kind() == Absorbing)
+      return false;
+    if (C->kind() == Neutral)
+      continue;
+    if (C->kind() == K) {
+      if (!flattenInto(K, C->children(), Out))
+        return false;
+      continue;
+    }
+    bool Duplicate = false;
+    for (const FormulaRef &Existing : Out)
+      if (Formula::equal(Existing, C)) {
+        Duplicate = true;
+        break;
+      }
+    if (!Duplicate)
+      Out.push_back(C);
+  }
+  return true;
+}
+
+FormulaRef makeNary(FormulaKind K, std::vector<FormulaRef> Children) {
+  std::vector<FormulaRef> Flat;
+  if (!flattenInto(K, Children, Flat))
+    return K == FormulaKind::And ? Formula::mkFalse() : Formula::mkTrue();
+  if (Flat.empty())
+    return K == FormulaKind::And ? Formula::mkTrue() : Formula::mkFalse();
+  if (Flat.size() == 1)
+    return Flat.front();
+  auto Node = FormulaFactory::make(K);
+  FormulaFactory::setChildren(*Node, std::move(Flat));
+  return Node;
+}
+
+} // namespace
+
+FormulaRef Formula::conj(std::vector<FormulaRef> Children) {
+  return makeNary(FormulaKind::And, std::move(Children));
+}
+
+FormulaRef Formula::disj(std::vector<FormulaRef> Children) {
+  return makeNary(FormulaKind::Or, std::move(Children));
+}
+
+FormulaRef Formula::exists(VarId V, FormulaRef Body) {
+  assert(Body && "null body");
+  if (Body->isTrue() || Body->isFalse() || !Body->freeVars().count(V))
+    return Body;
+  auto Node = FormulaFactory::make(FormulaKind::Exists);
+  Node->Children.push_back(std::move(Body));
+  Node->BoundVar = V;
+  return Node;
+}
+
+FormulaRef Formula::forall(VarId V, FormulaRef Body) {
+  assert(Body && "null body");
+  if (Body->isTrue() || Body->isFalse() || !Body->freeVars().count(V))
+    return Body;
+  auto Node = FormulaFactory::make(FormulaKind::Forall);
+  Node->Children.push_back(std::move(Body));
+  Node->BoundVar = V;
+  return Node;
+}
+
+FormulaRef Formula::implies(const FormulaRef &A, FormulaRef B) {
+  return disj2(negate(A), std::move(B));
+}
+
+FormulaRef Formula::negate(const FormulaRef &F) {
+  assert(F && "null formula");
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return mkFalse();
+  case FormulaKind::False:
+    return mkTrue();
+  case FormulaKind::Atom: {
+    const Constraint &C = F->constraint();
+    switch (C.kind()) {
+    case ConstraintKind::GE:
+      // not (e >= 0)  <=>  -e - 1 >= 0.
+      return atom(Constraint::ge((-C.expr()).plusConstant(-1)));
+    case ConstraintKind::EQ:
+      // not (e == 0)  <=>  e >= 1  or  e <= -1.
+      return disj2(atom(Constraint::ge(C.expr().plusConstant(-1))),
+                   atom(Constraint::ge((-C.expr()).plusConstant(-1))));
+    case ConstraintKind::DIV:
+      return atom(Constraint::notDivides(C.modulus(), C.expr()));
+    case ConstraintKind::NDIV:
+      return atom(Constraint::divides(C.modulus(), C.expr()));
+    }
+    assert(false && "unknown constraint kind");
+    return mkTrue();
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<FormulaRef> Negated;
+    Negated.reserve(F->children().size());
+    for (const FormulaRef &C : F->children())
+      Negated.push_back(negate(C));
+    return F->kind() == FormulaKind::And ? disj(std::move(Negated))
+                                         : conj(std::move(Negated));
+  }
+  case FormulaKind::Exists:
+    return forall(F->boundVar(), negate(F->children().front()));
+  case FormulaKind::Forall:
+    return exists(F->boundVar(), negate(F->children().front()));
+  }
+  assert(false && "unknown formula kind");
+  return mkTrue();
+}
+
+size_t Formula::size() const {
+  size_t N = 1;
+  for (const FormulaRef &C : Children)
+    N += C->size();
+  return N;
+}
+
+namespace {
+
+void collectFreeVars(const Formula &F, std::set<VarId> &Bound,
+                     std::set<VarId> &Out) {
+  switch (F.kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return;
+  case FormulaKind::Atom: {
+    std::vector<VarId> Vars;
+    F.constraint().collectVars(Vars);
+    for (VarId V : Vars)
+      if (!Bound.count(V))
+        Out.insert(V);
+    return;
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or:
+    for (const FormulaRef &C : F.children())
+      collectFreeVars(*C, Bound, Out);
+    return;
+  case FormulaKind::Exists:
+  case FormulaKind::Forall: {
+    bool Inserted = Bound.insert(F.boundVar()).second;
+    collectFreeVars(*F.children().front(), Bound, Out);
+    if (Inserted)
+      Bound.erase(F.boundVar());
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::set<VarId> Formula::freeVars() const {
+  std::set<VarId> Bound, Out;
+  collectFreeVars(*this, Bound, Out);
+  return Out;
+}
+
+FormulaRef Formula::substitute(const FormulaRef &F, VarId V,
+                               const LinearExpr &Replacement) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return F;
+  case FormulaKind::Atom:
+    if (!F->constraint().expr().references(V))
+      return F;
+    return atom(F->constraint().substitute(V, Replacement));
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<FormulaRef> NewChildren;
+    NewChildren.reserve(F->children().size());
+    bool Changed = false;
+    for (const FormulaRef &C : F->children()) {
+      FormulaRef NewChild = substitute(C, V, Replacement);
+      Changed |= NewChild != C;
+      NewChildren.push_back(std::move(NewChild));
+    }
+    if (!Changed)
+      return F;
+    return F->kind() == FormulaKind::And ? conj(std::move(NewChildren))
+                                         : disj(std::move(NewChildren));
+  }
+  case FormulaKind::Exists:
+  case FormulaKind::Forall: {
+    if (F->boundVar() == V)
+      return F;
+    FormulaRef NewBody = substitute(F->children().front(), V, Replacement);
+    if (NewBody == F->children().front())
+      return F;
+    return F->kind() == FormulaKind::Exists
+               ? exists(F->boundVar(), std::move(NewBody))
+               : forall(F->boundVar(), std::move(NewBody));
+  }
+  }
+  assert(false && "unknown formula kind");
+  return F;
+}
+
+bool Formula::equal(const FormulaRef &A, const FormulaRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return true;
+  case FormulaKind::Atom:
+    return *A->Atom == *B->Atom;
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    if (A->Children.size() != B->Children.size())
+      return false;
+    for (size_t I = 0; I < A->Children.size(); ++I)
+      if (!equal(A->Children[I], B->Children[I]))
+        return false;
+    return true;
+  }
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    return A->BoundVar == B->BoundVar &&
+           equal(A->Children.front(), B->Children.front());
+  }
+  return false;
+}
+
+size_t Formula::hash() const {
+  size_t H = std::hash<int>()(static_cast<int>(Kind));
+  auto Mix = [&H](size_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  if (Kind == FormulaKind::Atom)
+    Mix(Atom->hash());
+  if (Kind == FormulaKind::Exists || Kind == FormulaKind::Forall)
+    Mix(std::hash<uint32_t>()(BoundVar.index()));
+  for (const FormulaRef &C : Children)
+    Mix(C->hash());
+  return H;
+}
+
+std::string Formula::str() const {
+  switch (Kind) {
+  case FormulaKind::True:
+    return "true";
+  case FormulaKind::False:
+    return "false";
+  case FormulaKind::Atom:
+    return Atom->str();
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::ostringstream OS;
+    const char *Sep = Kind == FormulaKind::And ? " && " : " || ";
+    OS << '(';
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (I)
+        OS << Sep;
+      OS << Children[I]->str();
+    }
+    OS << ')';
+    return OS.str();
+  }
+  case FormulaKind::Exists:
+  case FormulaKind::Forall: {
+    std::ostringstream OS;
+    OS << (Kind == FormulaKind::Exists ? "exists " : "forall ")
+       << varName(BoundVar) << ". " << Children.front()->str();
+    return OS.str();
+  }
+  }
+  return "?";
+}
+
+namespace {
+
+/// Prunes duplicate / subsumed GE atoms among the atomic conjuncts of an
+/// And node. Two GE atoms with identical variable terms keep only the
+/// tighter one; an exact contradictory pair collapses to false.
+FormulaRef pruneConjuncts(const FormulaRef &F) {
+  if (F->kind() != FormulaKind::And)
+    return F;
+  // Map from term-vector signature to the tightest GE atom seen.
+  struct GeInfo {
+    size_t ChildIndex;
+    int64_t Constant;
+  };
+  std::map<std::string, GeInfo> TightestGe;
+  std::vector<bool> Dropped(F->children().size(), false);
+
+  auto TermSignature = [](const LinearExpr &E) {
+    std::ostringstream OS;
+    for (const auto &[V, C] : E.terms())
+      OS << V.index() << '*' << C << ';';
+    return OS.str();
+  };
+
+  for (size_t I = 0; I < F->children().size(); ++I) {
+    const FormulaRef &C = F->children()[I];
+    if (C->kind() != FormulaKind::Atom)
+      continue;
+    const Constraint &A = C->constraint();
+    if (A.kind() != ConstraintKind::GE || A.isPoisoned())
+      continue;
+    std::string Sig = TermSignature(A.expr());
+    auto It = TightestGe.find(Sig);
+    if (It == TightestGe.end()) {
+      TightestGe[Sig] = {I, A.expr().constantValue()};
+      continue;
+    }
+    // e + c >= 0 means e >= -c: smaller c is tighter.
+    if (A.expr().constantValue() < It->second.Constant) {
+      Dropped[It->second.ChildIndex] = true;
+      It->second = {I, A.expr().constantValue()};
+    } else {
+      Dropped[I] = true;
+    }
+  }
+
+  std::vector<FormulaRef> Kept;
+  bool Changed = false;
+  for (size_t I = 0; I < F->children().size(); ++I) {
+    if (Dropped[I]) {
+      Changed = true;
+      continue;
+    }
+    Kept.push_back(F->children()[I]);
+  }
+  if (!Changed)
+    return F;
+  return Formula::conj(std::move(Kept));
+}
+
+} // namespace
+
+FormulaRef mcsafe::simplify(const FormulaRef &F) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+  case FormulaKind::Atom:
+    return F;
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<FormulaRef> NewChildren;
+    NewChildren.reserve(F->children().size());
+    for (const FormulaRef &C : F->children())
+      NewChildren.push_back(simplify(C));
+    FormulaRef Rebuilt = F->kind() == FormulaKind::And
+                             ? Formula::conj(std::move(NewChildren))
+                             : Formula::disj(std::move(NewChildren));
+    return pruneConjuncts(Rebuilt);
+  }
+  case FormulaKind::Exists:
+    return Formula::exists(F->boundVar(),
+                           simplify(F->children().front()));
+  case FormulaKind::Forall:
+    return Formula::forall(F->boundVar(),
+                           simplify(F->children().front()));
+  }
+  return F;
+}

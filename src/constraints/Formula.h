@@ -1,0 +1,129 @@
+//===- Formula.h - Presburger-style formulas --------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable formula trees over atomic linear constraints, combined with
+/// conjunction, disjunction, and the quantifiers exists/forall — the
+/// annotation language of the paper ("linear equalities and inequalities
+/// ... combined with and, or, not, and the quantifiers forall, exists").
+///
+/// Formulas are maintained in negation normal form by construction: there
+/// is no Not node. negate() pushes negation to the atoms (GE and DIV/NDIV
+/// negate to atoms; EQ negates to a disjunction of two strict
+/// inequalities), and swaps And/Or and Exists/Forall.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CONSTRAINTS_FORMULA_H
+#define MCSAFE_CONSTRAINTS_FORMULA_H
+
+#include "constraints/Constraint.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+
+class Formula;
+
+/// Shared immutable formula handle.
+using FormulaRef = std::shared_ptr<const Formula>;
+
+/// Node kinds. There is deliberately no Not node; see file comment.
+enum class FormulaKind : uint8_t {
+  True,
+  False,
+  Atom,
+  And,
+  Or,
+  Exists,
+  Forall,
+};
+
+/// An immutable formula node.
+class Formula {
+public:
+  // --- Smart constructors (perform local simplification). ----------------
+
+  static FormulaRef mkTrue();
+  static FormulaRef mkFalse();
+  /// Wraps an atom; trivially-true/false atoms collapse to True/False.
+  static FormulaRef atom(Constraint C);
+  /// N-ary conjunction: flattens nested Ands, drops True, collapses on
+  /// False, deduplicates syntactically. Empty -> True.
+  static FormulaRef conj(std::vector<FormulaRef> Children);
+  static FormulaRef conj2(FormulaRef A, FormulaRef B) {
+    return conj({std::move(A), std::move(B)});
+  }
+  /// N-ary disjunction (dual of conj). Empty -> False.
+  static FormulaRef disj(std::vector<FormulaRef> Children);
+  static FormulaRef disj2(FormulaRef A, FormulaRef B) {
+    return disj({std::move(A), std::move(B)});
+  }
+  static FormulaRef exists(VarId V, FormulaRef Body);
+  static FormulaRef forall(VarId V, FormulaRef Body);
+  /// A => B, as disj(negate(A), B).
+  static FormulaRef implies(const FormulaRef &A, FormulaRef B);
+
+  /// The negation, pushed all the way to the atoms (stays NNF).
+  static FormulaRef negate(const FormulaRef &F);
+
+  // --- Accessors. ---------------------------------------------------------
+
+  FormulaKind kind() const { return Kind; }
+  bool isTrue() const { return Kind == FormulaKind::True; }
+  bool isFalse() const { return Kind == FormulaKind::False; }
+
+  /// Only valid for Atom nodes.
+  const Constraint &constraint() const;
+  /// Children of And/Or; the single body of Exists/Forall.
+  const std::vector<FormulaRef> &children() const { return Children; }
+  /// Bound variable of Exists/Forall.
+  VarId boundVar() const { return BoundVar; }
+
+  /// Total node count (used for blowup budgets).
+  size_t size() const;
+
+  /// Free variables of the formula.
+  std::set<VarId> freeVars() const;
+
+  /// Capture-avoiding only in the sense that substitution stops at a
+  /// quantifier binding the same variable; bound variables are always
+  /// freshly minted by this library so capture cannot occur.
+  static FormulaRef substitute(const FormulaRef &F, VarId V,
+                               const LinearExpr &Replacement);
+
+  /// Structural equality.
+  static bool equal(const FormulaRef &A, const FormulaRef &B);
+
+  size_t hash() const;
+
+  std::string str() const;
+
+private:
+  Formula(FormulaKind Kind) : Kind(Kind) {}
+
+  FormulaKind Kind;
+  std::vector<FormulaRef> Children;
+  std::shared_ptr<Constraint> Atom; // Set for Atom nodes.
+  VarId BoundVar;
+
+  friend class FormulaFactory;
+};
+
+/// Bottom-up simplification: constant-folds atoms, re-runs the smart
+/// constructors, and prunes redundant conjuncts inside And-of-atoms
+/// (duplicate or subsumed GE atoms over the same coefficient vector).
+/// Used at junction points during VC generation to keep wlp formulas
+/// small (Section 5.2.1, enhancement five).
+FormulaRef simplify(const FormulaRef &F);
+
+} // namespace mcsafe
+
+#endif // MCSAFE_CONSTRAINTS_FORMULA_H

@@ -1,0 +1,191 @@
+//===- LinearExpr.cpp -----------------------------------------------------===//
+
+#include "constraints/LinearExpr.h"
+
+#include "support/CheckedInt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace mcsafe;
+
+LinearExpr LinearExpr::constant(int64_t C) {
+  LinearExpr E;
+  E.Constant = C;
+  return E;
+}
+
+LinearExpr LinearExpr::variable(VarId V) {
+  LinearExpr E;
+  E.Terms.emplace_back(V, 1);
+  return E;
+}
+
+LinearExpr LinearExpr::poisoned() {
+  LinearExpr E;
+  E.Poisoned = true;
+  return E;
+}
+
+int64_t LinearExpr::coeff(VarId V) const {
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), V,
+      [](const std::pair<VarId, int64_t> &T, VarId Key) {
+        return T.first < Key;
+      });
+  if (It != Terms.end() && It->first == V)
+    return It->second;
+  return 0;
+}
+
+void LinearExpr::addTerm(VarId V, int64_t Coefficient) {
+  if (Coefficient == 0 || Poisoned)
+    return;
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), V,
+      [](const std::pair<VarId, int64_t> &T, VarId Key) {
+        return T.first < Key;
+      });
+  if (It != Terms.end() && It->first == V) {
+    std::optional<int64_t> Sum = checkedAdd(It->second, Coefficient);
+    if (!Sum) {
+      Poisoned = true;
+      return;
+    }
+    if (*Sum == 0)
+      Terms.erase(It);
+    else
+      It->second = *Sum;
+    return;
+  }
+  Terms.insert(It, {V, Coefficient});
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr &RHS) const {
+  if (Poisoned || RHS.Poisoned)
+    return poisoned();
+  LinearExpr Result = *this;
+  std::optional<int64_t> C = checkedAdd(Result.Constant, RHS.Constant);
+  if (!C)
+    return poisoned();
+  Result.Constant = *C;
+  for (const auto &[V, Coeff] : RHS.Terms) {
+    Result.addTerm(V, Coeff);
+    if (Result.Poisoned)
+      return poisoned();
+  }
+  return Result;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr &RHS) const {
+  return *this + (-RHS);
+}
+
+LinearExpr LinearExpr::operator-() const { return scaled(-1); }
+
+LinearExpr LinearExpr::scaled(int64_t Factor) const {
+  if (Poisoned)
+    return poisoned();
+  if (Factor == 0)
+    return LinearExpr();
+  LinearExpr Result;
+  std::optional<int64_t> C = checkedMul(Constant, Factor);
+  if (!C)
+    return poisoned();
+  Result.Constant = *C;
+  Result.Terms.reserve(Terms.size());
+  for (const auto &[V, Coeff] : Terms) {
+    std::optional<int64_t> Scaled = checkedMul(Coeff, Factor);
+    if (!Scaled)
+      return poisoned();
+    Result.Terms.emplace_back(V, *Scaled);
+  }
+  return Result;
+}
+
+LinearExpr LinearExpr::plusConstant(int64_t C) const {
+  if (Poisoned)
+    return poisoned();
+  LinearExpr Result = *this;
+  std::optional<int64_t> Sum = checkedAdd(Result.Constant, C);
+  if (!Sum)
+    return poisoned();
+  Result.Constant = *Sum;
+  return Result;
+}
+
+LinearExpr LinearExpr::substitute(VarId V,
+                                  const LinearExpr &Replacement) const {
+  if (Poisoned)
+    return poisoned();
+  int64_t C = coeff(V);
+  if (C == 0)
+    return *this;
+  LinearExpr Without = *this;
+  for (auto It = Without.Terms.begin(); It != Without.Terms.end(); ++It) {
+    if (It->first == V) {
+      Without.Terms.erase(It);
+      break;
+    }
+  }
+  return Without + Replacement.scaled(C);
+}
+
+void LinearExpr::collectVars(std::vector<VarId> &Out) const {
+  for (const auto &[V, Coeff] : Terms) {
+    (void)Coeff;
+    Out.push_back(V);
+  }
+}
+
+int64_t LinearExpr::coeffGcd() const {
+  int64_t G = 0;
+  for (const auto &[V, Coeff] : Terms) {
+    (void)V;
+    G = gcdInt64(G, Coeff);
+  }
+  return G;
+}
+
+std::string LinearExpr::str() const {
+  if (Poisoned)
+    return "<overflow>";
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[V, Coeff] : Terms) {
+    if (First) {
+      if (Coeff == -1)
+        OS << '-';
+      else if (Coeff != 1)
+        OS << Coeff << '*';
+      First = false;
+    } else {
+      OS << (Coeff < 0 ? " - " : " + ");
+      int64_t Mag = Coeff < 0 ? -Coeff : Coeff;
+      if (Mag != 1)
+        OS << Mag << '*';
+    }
+    OS << varName(V);
+  }
+  if (First) {
+    OS << Constant;
+  } else if (Constant != 0) {
+    OS << (Constant < 0 ? " - " : " + ")
+       << (Constant < 0 ? -Constant : Constant);
+  }
+  return OS.str();
+}
+
+size_t LinearExpr::hash() const {
+  size_t H = std::hash<int64_t>()(Constant);
+  auto Mix = [&H](size_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  for (const auto &[V, Coeff] : Terms) {
+    Mix(std::hash<uint32_t>()(V.index()));
+    Mix(std::hash<int64_t>()(Coeff));
+  }
+  Mix(Poisoned ? 1 : 0);
+  return H;
+}

@@ -1,0 +1,99 @@
+//===- LinearExpr.h - Affine integer expressions ----------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An affine expression  c0 + c1*x1 + ... + ck*xk  over interned variables
+/// with int64_t coefficients. All arithmetic is overflow-checked; overflow
+/// poisons the expression, and poisoned expressions make the prover answer
+/// "unknown" rather than something unsound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CONSTRAINTS_LINEAREXPR_H
+#define MCSAFE_CONSTRAINTS_LINEAREXPR_H
+
+#include "constraints/Var.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcsafe {
+
+/// An affine integer expression. Terms are kept sorted by VarId with no
+/// zero coefficients, so structural equality is semantic equality
+/// (modulo poisoning).
+class LinearExpr {
+public:
+  /// The zero expression.
+  LinearExpr() = default;
+
+  /// The constant expression \p C.
+  static LinearExpr constant(int64_t C);
+
+  /// The expression 1 * \p V.
+  static LinearExpr variable(VarId V);
+
+  /// A poisoned expression (records an overflow).
+  static LinearExpr poisoned();
+
+  bool isPoisoned() const { return Poisoned; }
+  bool isConstant() const { return Terms.empty(); }
+  bool isZero() const { return !Poisoned && Terms.empty() && Constant == 0; }
+  int64_t constantValue() const { return Constant; }
+
+  const std::vector<std::pair<VarId, int64_t>> &terms() const {
+    return Terms;
+  }
+
+  /// Coefficient of \p V (0 when absent).
+  int64_t coeff(VarId V) const;
+
+  bool references(VarId V) const { return coeff(V) != 0; }
+
+  LinearExpr operator+(const LinearExpr &RHS) const;
+  LinearExpr operator-(const LinearExpr &RHS) const;
+  LinearExpr operator-() const;
+  /// Scales by a constant.
+  LinearExpr scaled(int64_t Factor) const;
+
+  LinearExpr plusConstant(int64_t C) const;
+
+  /// Replaces \p V by \p Replacement.
+  LinearExpr substitute(VarId V, const LinearExpr &Replacement) const;
+
+  /// Collects the variables referenced into \p Out (deduplicated by the
+  /// sorted-terms invariant).
+  void collectVars(std::vector<VarId> &Out) const;
+
+  /// gcd of all variable coefficients (0 when constant).
+  int64_t coeffGcd() const;
+
+  /// Structural equality. Poisoned expressions compare equal only to
+  /// poisoned expressions.
+  friend bool operator==(const LinearExpr &A, const LinearExpr &B) {
+    return A.Poisoned == B.Poisoned && A.Constant == B.Constant &&
+           A.Terms == B.Terms;
+  }
+
+  /// Renders e.g. "4*%g3 - n + 1".
+  std::string str() const;
+
+  size_t hash() const;
+
+private:
+  void addTerm(VarId V, int64_t Coefficient);
+
+  std::vector<std::pair<VarId, int64_t>> Terms;
+  int64_t Constant = 0;
+  bool Poisoned = false;
+};
+
+} // namespace mcsafe
+
+#endif // MCSAFE_CONSTRAINTS_LINEAREXPR_H

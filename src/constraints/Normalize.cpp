@@ -1,0 +1,97 @@
+//===- Normalize.cpp ------------------------------------------------------===//
+
+#include "constraints/Normalize.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+
+namespace {
+
+struct DnfBuilder {
+  size_t MaxDisjuncts;
+  size_t MaxAtoms;
+  bool ApproximatedForall = false;
+  bool BudgetExceeded = false;
+
+  /// Returns the DNF of \p F as a list of conjunctions.
+  std::vector<std::vector<Constraint>> run(const FormulaRef &F) {
+    if (BudgetExceeded)
+      return {};
+    switch (F->kind()) {
+    case FormulaKind::True:
+      return {{}};
+    case FormulaKind::False:
+      return {};
+    case FormulaKind::Atom:
+      return {{F->constraint()}};
+    case FormulaKind::Or: {
+      std::vector<std::vector<Constraint>> Result;
+      for (const FormulaRef &C : F->children()) {
+        std::vector<std::vector<Constraint>> Sub = run(C);
+        for (auto &Conj : Sub) {
+          Result.push_back(std::move(Conj));
+          if (Result.size() > MaxDisjuncts) {
+            BudgetExceeded = true;
+            return {};
+          }
+        }
+      }
+      return Result;
+    }
+    case FormulaKind::And: {
+      std::vector<std::vector<Constraint>> Result = {{}};
+      for (const FormulaRef &C : F->children()) {
+        std::vector<std::vector<Constraint>> Sub = run(C);
+        if (BudgetExceeded)
+          return {};
+        std::vector<std::vector<Constraint>> Next;
+        for (const auto &Left : Result) {
+          for (const auto &Right : Sub) {
+            std::vector<Constraint> Merged = Left;
+            Merged.insert(Merged.end(), Right.begin(), Right.end());
+            if (Merged.size() > MaxAtoms) {
+              BudgetExceeded = true;
+              return {};
+            }
+            Next.push_back(std::move(Merged));
+            if (Next.size() > MaxDisjuncts) {
+              BudgetExceeded = true;
+              return {};
+            }
+          }
+        }
+        Result = std::move(Next);
+        if (Result.empty())
+          return Result; // One child was false.
+      }
+      return Result;
+    }
+    case FormulaKind::Exists:
+    case FormulaKind::Forall: {
+      if (F->kind() == FormulaKind::Forall)
+        ApproximatedForall = true;
+      VarId Fresh = freshVar(varName(F->boundVar()));
+      FormulaRef Body = Formula::substitute(
+          F->children().front(), F->boundVar(), LinearExpr::variable(Fresh));
+      return run(Body);
+    }
+    }
+    assert(false && "unknown formula kind");
+    return {};
+  }
+};
+
+} // namespace
+
+DnfResult mcsafe::toDNF(const FormulaRef &F, size_t MaxDisjuncts,
+                        size_t MaxAtoms) {
+  DnfBuilder B;
+  B.MaxDisjuncts = MaxDisjuncts;
+  B.MaxAtoms = MaxAtoms;
+  DnfResult R;
+  R.Disjuncts = B.run(F);
+  R.ApproximatedForall = B.ApproximatedForall;
+  R.BudgetExceeded = B.BudgetExceeded;
+  return R;
+}

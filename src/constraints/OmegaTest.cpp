@@ -1,0 +1,416 @@
+//===- OmegaTest.cpp ------------------------------------------------------===//
+
+#include "constraints/OmegaTest.h"
+
+#include "support/CheckedInt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace mcsafe;
+
+namespace {
+
+/// Symmetric residue of a modulo m, in (-m/2, m/2].
+int64_t symMod(int64_t A, int64_t M) {
+  assert(M >= 1);
+  int64_t R = floorMod(A, M);
+  if (2 * R > M)
+    R -= M;
+  return R;
+}
+
+constexpr unsigned MaxDepth = 64;
+
+} // namespace
+
+/// Working representation: equalities (expr == 0) and inequalities
+/// (expr >= 0). DIV/NDIV atoms are compiled away on entry.
+struct OmegaTest::System {
+  std::vector<LinearExpr> Eqs;
+  std::vector<LinearExpr> Ges;
+};
+
+bool OmegaTest::budgetExceeded() {
+  return ++StepsUsed > Opts.MaxSteps;
+}
+
+SatResult OmegaTest::isSatisfiable(const std::vector<Constraint> &Conjuncts) {
+  ++Counters.Calls;
+  StepsUsed = 0;
+
+  // Split NDIV atoms into residue case analyses. Each NDIV(d, e) becomes a
+  // choice among DIV(d, e - r) for r in 1..d-1; the cross product of all
+  // choices is explored recursively.
+  std::vector<Constraint> Base;
+  std::vector<Constraint> Ndivs;
+  for (const Constraint &C : Conjuncts) {
+    if (C.isPoisoned())
+      return SatResult::Unknown;
+    if (std::optional<bool> Truth = C.constantTruth()) {
+      if (!*Truth)
+        return SatResult::Unsat;
+      continue;
+    }
+    if (C.kind() == ConstraintKind::NDIV) {
+      if (C.modulus() > Opts.MaxNdivModulus)
+        return SatResult::Unknown;
+      Ndivs.push_back(C);
+    } else {
+      Base.push_back(C);
+    }
+  }
+
+  // Enumerate residue choices for the NDIV atoms (odometer).
+  std::vector<int64_t> Choice(Ndivs.size(), 1);
+  bool SawUnknown = false;
+  bool Done = false;
+  while (!Done) {
+    // Build the system for this choice.
+    System Sys;
+    bool ChoiceFalse = false;
+    auto AddConstraint = [&](const Constraint &C) {
+      if (std::optional<bool> Truth = C.constantTruth()) {
+        if (!*Truth)
+          ChoiceFalse = true;
+        return;
+      }
+      switch (C.kind()) {
+      case ConstraintKind::GE:
+        Sys.Ges.push_back(C.expr());
+        break;
+      case ConstraintKind::EQ:
+        Sys.Eqs.push_back(C.expr());
+        break;
+      case ConstraintKind::DIV: {
+        // d | e  <=>  exists t. e - d*t == 0.
+        VarId T = freshVar("omega.q");
+        LinearExpr E =
+            C.expr() - LinearExpr::variable(T).scaled(C.modulus());
+        Sys.Eqs.push_back(std::move(E));
+        break;
+      }
+      case ConstraintKind::NDIV:
+        assert(false && "NDIV handled by residue enumeration");
+        break;
+      }
+    };
+    for (const Constraint &C : Base)
+      AddConstraint(C);
+    for (size_t I = 0; I < Ndivs.size() && !ChoiceFalse; ++I) {
+      Constraint ResidueCase = Constraint::divides(
+          Ndivs[I].modulus(), Ndivs[I].expr().plusConstant(-Choice[I]));
+      AddConstraint(ResidueCase);
+    }
+
+    if (!ChoiceFalse) {
+      SatResult R = solve(std::move(Sys), 0);
+      if (R == SatResult::Sat)
+        return SatResult::Sat;
+      if (R == SatResult::Unknown)
+        SawUnknown = true;
+    }
+
+    // Advance the residue choice vector (odometer); when every position
+    // wraps, all combinations have been explored.
+    size_t I = 0;
+    for (; I < Ndivs.size(); ++I) {
+      if (++Choice[I] < Ndivs[I].modulus())
+        break;
+      Choice[I] = 1;
+    }
+    if (I == Ndivs.size())
+      Done = true;
+    if (budgetExceeded())
+      return SatResult::Unknown;
+  }
+  return SawUnknown ? SatResult::Unknown : SatResult::Unsat;
+}
+
+SatResult OmegaTest::solve(System Sys, unsigned Depth) {
+  if (Depth > MaxDepth || budgetExceeded())
+    return SatResult::Unknown;
+
+  // --- Equality elimination. ---------------------------------------------
+  while (!Sys.Eqs.empty()) {
+    if (budgetExceeded())
+      return SatResult::Unknown;
+    LinearExpr E = Sys.Eqs.back();
+    Sys.Eqs.pop_back();
+    if (E.isPoisoned())
+      return SatResult::Unknown;
+    // Normalize by the gcd.
+    int64_t G = E.coeffGcd();
+    if (G == 0) {
+      if (E.constantValue() != 0)
+        return SatResult::Unsat;
+      continue;
+    }
+    if (E.constantValue() % G != 0)
+      return SatResult::Unsat; // gcd test.
+    if (G > 1) {
+      LinearExpr Reduced = LinearExpr::constant(E.constantValue() / G);
+      for (const auto &[V, C] : E.terms())
+        Reduced = Reduced + LinearExpr::variable(V).scaled(C / G);
+      E = std::move(Reduced);
+    }
+
+    // Find a variable with a unit coefficient.
+    VarId UnitVar;
+    int64_t UnitCoeff = 0;
+    VarId MinVar;
+    int64_t MinCoeff = 0;
+    for (const auto &[V, C] : E.terms()) {
+      int64_t Mag = C < 0 ? -C : C;
+      if (Mag == 1 && UnitCoeff == 0) {
+        UnitVar = V;
+        UnitCoeff = C;
+      }
+      if (MinCoeff == 0 || Mag < (MinCoeff < 0 ? -MinCoeff : MinCoeff)) {
+        MinVar = V;
+        MinCoeff = C;
+      }
+    }
+
+    ++Counters.EqEliminations;
+    if (UnitCoeff != 0) {
+      // a*x + rest == 0 with a == +-1  =>  x == -a*rest.
+      LinearExpr Rest = E.substitute(UnitVar, LinearExpr());
+      LinearExpr Solution = Rest.scaled(-UnitCoeff);
+      if (Solution.isPoisoned())
+        return SatResult::Unknown;
+      for (LinearExpr &Other : Sys.Eqs)
+        Other = Other.substitute(UnitVar, Solution);
+      for (LinearExpr &Other : Sys.Ges)
+        Other = Other.substitute(UnitVar, Solution);
+      continue;
+    }
+
+    // Pugh's symmetric-modulus reduction: m = |a_k| + 1 and
+    //   x_k = sign(a_k) * (sum_i!=k symMod(a_i, m)*x_i + symMod(c, m)
+    //                      - m*sigma)
+    // for a fresh sigma; substituting strictly shrinks |a_k| in E.
+    int64_t A = MinCoeff;
+    int64_t Sign = A < 0 ? -1 : 1;
+    std::optional<int64_t> MOpt = checkedAdd(Sign * A, 1);
+    if (!MOpt)
+      return SatResult::Unknown;
+    int64_t M = *MOpt;
+    VarId Sigma = freshVar("omega.s");
+    LinearExpr Inner = LinearExpr::constant(symMod(E.constantValue(), M));
+    for (const auto &[V, C] : E.terms()) {
+      if (V == MinVar)
+        continue;
+      Inner = Inner + LinearExpr::variable(V).scaled(symMod(C, M));
+    }
+    Inner = Inner - LinearExpr::variable(Sigma).scaled(M);
+    LinearExpr Solution = Inner.scaled(Sign);
+    if (Solution.isPoisoned())
+      return SatResult::Unknown;
+    // Substitute into the original equality (it survives with smaller
+    // coefficients) and everything else.
+    Sys.Eqs.push_back(E.substitute(MinVar, Solution));
+    for (size_t I = 0; I + 1 < Sys.Eqs.size(); ++I)
+      Sys.Eqs[I] = Sys.Eqs[I].substitute(MinVar, Solution);
+    for (LinearExpr &Other : Sys.Ges)
+      Other = Other.substitute(MinVar, Solution);
+  }
+
+  return solveInequalities(std::move(Sys), Depth);
+}
+
+SatResult OmegaTest::solveInequalities(System Sys, unsigned Depth) {
+  assert(Sys.Eqs.empty() && "equalities must be eliminated first");
+
+  while (true) {
+    if (Depth > MaxDepth || budgetExceeded())
+      return SatResult::Unknown;
+
+    // Normalize: gcd-tighten, fold constants, deduplicate by signature.
+    std::map<std::vector<std::pair<VarId, int64_t>>, int64_t> Tightest;
+    for (LinearExpr &E : Sys.Ges) {
+      if (E.isPoisoned())
+        return SatResult::Unknown;
+      int64_t G = E.coeffGcd();
+      if (G == 0) {
+        if (E.constantValue() < 0)
+          return SatResult::Unsat;
+        continue;
+      }
+      if (G > 1) {
+        LinearExpr Reduced =
+            LinearExpr::constant(floorDiv(E.constantValue(), G));
+        for (const auto &[V, C] : E.terms())
+          Reduced = Reduced + LinearExpr::variable(V).scaled(C / G);
+        E = std::move(Reduced);
+      }
+      auto It = Tightest.find(E.terms());
+      if (It == Tightest.end())
+        Tightest.emplace(E.terms(), E.constantValue());
+      else
+        It->second = std::min(It->second, E.constantValue());
+    }
+    Sys.Ges.clear();
+    for (const auto &[Terms, C] : Tightest) {
+      LinearExpr E = LinearExpr::constant(C);
+      for (const auto &[V, Coeff] : Terms)
+        E = E + LinearExpr::variable(V).scaled(Coeff);
+      // Contradiction with the mirrored constraint: e >= 0 and -e + k >= 0
+      // with k < 0.
+      Sys.Ges.push_back(std::move(E));
+    }
+    // Quick contradiction scan over mirrored pairs.
+    for (const auto &[Terms, C] : Tightest) {
+      std::vector<std::pair<VarId, int64_t>> Mirror;
+      Mirror.reserve(Terms.size());
+      for (const auto &[V, Coeff] : Terms)
+        Mirror.emplace_back(V, -Coeff);
+      auto It = Tightest.find(Mirror);
+      if (It != Tightest.end()) {
+        std::optional<int64_t> Sum = checkedAdd(C, It->second);
+        if (!Sum)
+          return SatResult::Unknown;
+        if (*Sum < 0)
+          return SatResult::Unsat;
+      }
+    }
+
+    // Collect variable occurrence counts.
+    std::map<VarId, std::pair<unsigned, unsigned>> Bounds; // lower, upper.
+    for (const LinearExpr &E : Sys.Ges)
+      for (const auto &[V, C] : E.terms()) {
+        if (C > 0)
+          ++Bounds[V].first;
+        else
+          ++Bounds[V].second;
+      }
+    if (Bounds.empty())
+      return SatResult::Sat; // All constraints constant-true.
+
+    // Drop variables bounded on one side only, together with every
+    // constraint that mentions them (those can always be satisfied).
+    std::vector<VarId> OneSided;
+    for (const auto &[V, LU] : Bounds)
+      if (LU.first == 0 || LU.second == 0)
+        OneSided.push_back(V);
+    if (!OneSided.empty()) {
+      std::vector<LinearExpr> Kept;
+      for (const LinearExpr &E : Sys.Ges) {
+        bool Mentions = false;
+        for (VarId V : OneSided)
+          if (E.references(V))
+            Mentions = true;
+        if (!Mentions)
+          Kept.push_back(E);
+      }
+      Sys.Ges = std::move(Kept);
+      continue;
+    }
+
+    // Choose the variable with the fewest lower*upper combinations.
+    VarId X;
+    uint64_t BestCost = UINT64_MAX;
+    for (const auto &[V, LU] : Bounds) {
+      uint64_t Cost = static_cast<uint64_t>(LU.first) * LU.second;
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        X = V;
+      }
+    }
+
+    std::vector<LinearExpr> Lowers, Uppers, Others;
+    for (const LinearExpr &E : Sys.Ges) {
+      int64_t C = E.coeff(X);
+      if (C > 0)
+        Lowers.push_back(E);
+      else if (C < 0)
+        Uppers.push_back(E);
+      else
+        Others.push_back(E);
+    }
+
+    ++Counters.IneqEliminations;
+
+    // Build the shadow combinations. For lower a*x + r1 >= 0 and upper
+    // -b*x + r2 >= 0 (a, b > 0): real shadow b*r1 + a*r2 >= 0; dark
+    // shadow b*r1 + a*r2 >= (a-1)(b-1); exact when a == 1 or b == 1.
+    bool AllExact = true;
+    std::vector<LinearExpr> Real, Dark;
+    for (const LinearExpr &Lo : Lowers) {
+      int64_t A = Lo.coeff(X);
+      LinearExpr R1 = Lo.substitute(X, LinearExpr());
+      for (const LinearExpr &Up : Uppers) {
+        int64_t B = -Up.coeff(X);
+        LinearExpr R2 = Up.substitute(X, LinearExpr());
+        LinearExpr Combo = R1.scaled(B) + R2.scaled(A);
+        if (Combo.isPoisoned())
+          return SatResult::Unknown;
+        Real.push_back(Combo);
+        std::optional<int64_t> Gap = checkedMul(A - 1, B - 1);
+        if (!Gap)
+          return SatResult::Unknown;
+        Dark.push_back(Combo.plusConstant(-*Gap));
+        if (A != 1 && B != 1)
+          AllExact = false;
+      }
+    }
+
+    if (AllExact) {
+      Sys.Ges = std::move(Others);
+      Sys.Ges.insert(Sys.Ges.end(), Real.begin(), Real.end());
+      continue; // Exact Fourier-Motzkin step.
+    }
+
+    // Inexact: dark shadow / real shadow / splinters.
+    System DarkSys;
+    DarkSys.Ges = Others;
+    DarkSys.Ges.insert(DarkSys.Ges.end(), Dark.begin(), Dark.end());
+    SatResult DarkRes = solveInequalities(std::move(DarkSys), Depth + 1);
+    if (DarkRes == SatResult::Sat) {
+      ++Counters.DarkShadowHits;
+      return SatResult::Sat;
+    }
+
+    System RealSys;
+    RealSys.Ges = Others;
+    RealSys.Ges.insert(RealSys.Ges.end(), Real.begin(), Real.end());
+    SatResult RealRes = solveInequalities(std::move(RealSys), Depth + 1);
+    if (RealRes == SatResult::Unsat)
+      return SatResult::Unsat;
+
+    // Splinter: any solution missed by the dark shadow satisfies
+    // a*x = -r1 + i for some lower bound with a > 1 and
+    // 0 <= i <= (a*bmax - a - bmax) / a, where bmax is the largest upper
+    // coefficient.
+    int64_t BMax = 0;
+    for (const LinearExpr &Up : Uppers)
+      BMax = std::max(BMax, -Up.coeff(X));
+    bool SawUnknown =
+        DarkRes == SatResult::Unknown || RealRes == SatResult::Unknown;
+    for (const LinearExpr &Lo : Lowers) {
+      int64_t A = Lo.coeff(X);
+      if (A <= 1)
+        continue;
+      std::optional<int64_t> Num = checkedMul(A, BMax);
+      if (!Num)
+        return SatResult::Unknown;
+      int64_t Limit = floorDiv(*Num - A - BMax, A);
+      for (int64_t I = 0; I <= Limit; ++I) {
+        ++Counters.Splinters;
+        if (budgetExceeded())
+          return SatResult::Unknown;
+        System Splinter;
+        Splinter.Ges = Sys.Ges;
+        Splinter.Eqs.push_back(Lo.plusConstant(-I));
+        SatResult R = solve(std::move(Splinter), Depth + 1);
+        if (R == SatResult::Sat)
+          return SatResult::Sat;
+        if (R == SatResult::Unknown)
+          SawUnknown = true;
+      }
+    }
+    return SawUnknown ? SatResult::Unknown : SatResult::Unsat;
+  }
+}

@@ -1,0 +1,87 @@
+//===- OmegaTest.h - Exact integer satisfiability ---------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Omega test (Pugh, 1991): an exact decision procedure for the
+/// satisfiability of conjunctions of linear integer constraints, used here
+/// as the core of the theorem prover that stands in for the Omega Library
+/// the paper builds on.
+///
+/// The procedure:
+///   1. expands NDIV atoms into residue cases and turns DIV atoms into
+///      equalities with fresh quotient variables;
+///   2. eliminates equalities — directly when a unit coefficient exists,
+///      otherwise via Pugh's symmetric-modulus substitution, which
+///      strictly shrinks coefficients;
+///   3. eliminates inequality variables by Fourier-Motzkin when some pair
+///      coefficient is 1 (exact), and otherwise by the real-shadow /
+///      dark-shadow / splinter case analysis, which is exact.
+///
+/// All arithmetic is overflow-checked; overflow or budget exhaustion
+/// yields Unknown (never a wrong Sat/Unsat).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CONSTRAINTS_OMEGATEST_H
+#define MCSAFE_CONSTRAINTS_OMEGATEST_H
+
+#include "constraints/Constraint.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mcsafe {
+
+/// Tri-state satisfiability verdict.
+enum class SatResult : uint8_t {
+  Unsat,   ///< Definitely no integer solution.
+  Sat,     ///< Definitely has an integer solution.
+  Unknown, ///< Budget exhausted or arithmetic overflow.
+};
+
+/// The Omega-test solver. Stateless apart from counters; reusable.
+class OmegaTest {
+public:
+  struct Options {
+    /// Upper bound on elimination steps across one isSatisfiable call.
+    uint64_t MaxSteps = 200000;
+    /// Largest NDIV modulus expanded into residue cases.
+    int64_t MaxNdivModulus = 64;
+  };
+
+  struct Stats {
+    uint64_t Calls = 0;
+    uint64_t EqEliminations = 0;
+    uint64_t IneqEliminations = 0;
+    uint64_t DarkShadowHits = 0;
+    uint64_t Splinters = 0;
+  };
+
+  OmegaTest() = default;
+  explicit OmegaTest(Options Opts) : Opts(Opts) {}
+
+  /// Decides satisfiability of the conjunction of \p Conjuncts over the
+  /// integers (all variables implicitly existentially quantified).
+  SatResult isSatisfiable(const std::vector<Constraint> &Conjuncts);
+
+  const Stats &stats() const { return Counters; }
+  void resetStats() { Counters = Stats(); }
+
+private:
+  struct System;
+  SatResult solve(System Sys, unsigned Depth);
+  SatResult solveInequalities(System Sys, unsigned Depth);
+  bool budgetExceeded();
+
+  Options Opts;
+  Stats Counters;
+  uint64_t StepsUsed = 0;
+};
+
+} // namespace mcsafe
+
+#endif // MCSAFE_CONSTRAINTS_OMEGATEST_H

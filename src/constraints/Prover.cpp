@@ -1,0 +1,71 @@
+//===- Prover.cpp ---------------------------------------------------------===//
+
+#include "constraints/Prover.h"
+
+using namespace mcsafe;
+
+Prover::SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
+  ++Counters.SatQueries;
+  if (F->isTrue())
+    return {SatResult::Sat, false};
+  if (F->isFalse())
+    return {SatResult::Unsat, false};
+
+  if (Opts.EnableCache) {
+    auto It = Cache.find(F->hash());
+    if (It != Cache.end()) {
+      for (const CacheEntry &E : It->second) {
+        if (Formula::equal(E.Key, F)) {
+          ++Counters.CacheHits;
+          return E.Outcome;
+        }
+      }
+    }
+  }
+
+  DnfResult Dnf = toDNF(F, Opts.DnfMaxDisjuncts, Opts.DnfMaxAtoms);
+  SatOutcome Outcome{SatResult::Unsat, Dnf.ApproximatedForall};
+  if (Dnf.BudgetExceeded) {
+    Outcome.Result = SatResult::Unknown;
+  } else {
+    bool SawUnknown = false;
+    for (const std::vector<Constraint> &Disjunct : Dnf.Disjuncts) {
+      SatResult R = Omega.isSatisfiable(Disjunct);
+      if (R == SatResult::Sat) {
+        Outcome.Result = SatResult::Sat;
+        SawUnknown = false;
+        break;
+      }
+      if (R == SatResult::Unknown)
+        SawUnknown = true;
+    }
+    if (Outcome.Result != SatResult::Sat && SawUnknown)
+      Outcome.Result = SatResult::Unknown;
+  }
+
+  if (Opts.EnableCache)
+    Cache[F->hash()].push_back({F, Outcome});
+  return Outcome;
+}
+
+SatResult Prover::checkSat(const FormulaRef &F) {
+  return checkSatInternal(F).Result;
+}
+
+ProverResult Prover::checkValid(const FormulaRef &F) {
+  ++Counters.ValidityQueries;
+  SatOutcome Outcome = checkSatInternal(Formula::negate(F));
+  switch (Outcome.Result) {
+  case SatResult::Unsat:
+    return ProverResult::Proved;
+  case SatResult::Sat:
+    // A spurious model is possible when a Forall inside not(F) was
+    // replaced by a free variable; report Unknown rather than a definite
+    // countermodel.
+    return Outcome.ApproximatedForall ? ProverResult::Unknown
+                                      : ProverResult::NotProved;
+  case SatResult::Unknown:
+    return ProverResult::Unknown;
+  }
+  return ProverResult::Unknown;
+}

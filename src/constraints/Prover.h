@@ -1,0 +1,107 @@
+//===- Prover.h - Validity checking over Presburger formulas ----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The theorem prover the global-verification phase invokes — our stand-in
+/// for the Omega Library. Validity of a formula F (free variables
+/// implicitly universally quantified) is decided by testing the
+/// satisfiability of not(F) with the Omega test over the DNF of not(F).
+///
+/// Results are tri-state: Proved / NotProved / Unknown. Unknown arises
+/// from budget exhaustion, arithmetic overflow, or a Forall that had to be
+/// approximated during satisfiability checking; the safety checker treats
+/// Unknown as "not proved", which is sound.
+///
+/// The prover optionally caches query results keyed by structural formula
+/// identity — the caching enhancement sketched in Section 5.2.3 of the
+/// paper ("represent formulas in a canonical form and use previous results
+/// whenever possible"); the ablation bench measures its effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CONSTRAINTS_PROVER_H
+#define MCSAFE_CONSTRAINTS_PROVER_H
+
+#include "constraints/Formula.h"
+#include "constraints/Normalize.h"
+#include "constraints/OmegaTest.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace mcsafe {
+
+/// Verdict of a validity query.
+enum class ProverResult : uint8_t {
+  Proved,    ///< The formula is valid.
+  NotProved, ///< A countermodel exists (the formula is not valid).
+  Unknown,   ///< Resources exhausted or approximation interfered.
+};
+
+/// Validity / satisfiability oracle over formulas.
+class Prover {
+public:
+  struct Options {
+    OmegaTest::Options Omega;
+    size_t DnfMaxDisjuncts = 1024;
+    size_t DnfMaxAtoms = 512;
+    bool EnableCache = true;
+  };
+
+  struct Stats {
+    uint64_t ValidityQueries = 0;
+    uint64_t SatQueries = 0;
+    uint64_t CacheHits = 0;
+  };
+
+  Prover() : Prover(Options()) {}
+  explicit Prover(Options Opts) : Opts(Opts), Omega(Opts.Omega) {}
+
+  /// Is the conjunction-closure of \p F satisfiable (free variables
+  /// existential)?
+  SatResult checkSat(const FormulaRef &F);
+
+  /// Is \p F valid (free variables universal)?
+  ProverResult checkValid(const FormulaRef &F);
+
+  /// Does \p P imply \p Q?
+  ProverResult checkImplies(const FormulaRef &P, const FormulaRef &Q) {
+    return checkValid(Formula::implies(P, Q));
+  }
+
+  const Stats &stats() const { return Counters; }
+  const OmegaTest::Stats &omegaStats() const { return Omega.stats(); }
+  void resetStats() {
+    Counters = Stats();
+    Omega.resetStats();
+  }
+  void clearCache() { Cache.clear(); }
+
+  const Options &options() const { return Opts; }
+
+private:
+  struct SatOutcome {
+    SatResult Result;
+    bool ApproximatedForall;
+  };
+  SatOutcome checkSatInternal(const FormulaRef &F);
+
+  Options Opts;
+  OmegaTest Omega;
+  Stats Counters;
+  /// Cache keyed by structural hash; collisions verified with
+  /// Formula::equal on the stored formula.
+  struct CacheEntry {
+    FormulaRef Key;
+    SatOutcome Outcome;
+  };
+  std::unordered_map<size_t, std::vector<CacheEntry>> Cache;
+};
+
+} // namespace mcsafe
+
+#endif // MCSAFE_CONSTRAINTS_PROVER_H

@@ -1,0 +1,52 @@
+//===- Var.cpp ------------------------------------------------------------===//
+
+#include "constraints/Var.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace mcsafe;
+
+namespace {
+
+struct VarPool {
+  std::unordered_map<std::string, uint32_t> Ids;
+  std::deque<std::string> Names;
+  uint64_t FreshCounter = 0;
+};
+
+VarPool &pool() {
+  static VarPool P;
+  return P;
+}
+
+} // namespace
+
+VarId mcsafe::varId(std::string_view Name) {
+  VarPool &P = pool();
+  auto It = P.Ids.find(std::string(Name));
+  if (It != P.Ids.end())
+    return VarId(It->second);
+  uint32_t Index = static_cast<uint32_t>(P.Names.size());
+  P.Names.emplace_back(Name);
+  P.Ids.emplace(P.Names.back(), Index);
+  return VarId(Index);
+}
+
+const std::string &mcsafe::varName(VarId Id) {
+  assert(Id.isValid() && "invalid VarId");
+  VarPool &P = pool();
+  assert(Id.index() < P.Names.size() && "unknown VarId");
+  return P.Names[Id.index()];
+}
+
+VarId mcsafe::freshVar(std::string_view Prefix) {
+  VarPool &P = pool();
+  while (true) {
+    std::string Name =
+        std::string(Prefix) + "." + std::to_string(P.FreshCounter++);
+    if (!P.Ids.count(Name))
+      return varId(Name);
+  }
+}

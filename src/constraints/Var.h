@@ -1,0 +1,68 @@
+//===- Var.h - Interned symbolic variables ----------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic integer variables used by linear expressions and formulas.
+/// Variables are interned strings: registers ("%o0"), symbolic constants
+/// from annotations ("n"), abstract-location value variables ("val:e"),
+/// and fresh variables minted during wlp computation and quantifier
+/// elimination. The intern pool is process-wide and not thread-safe; the
+/// checker is single-threaded (as was the paper's prototype).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CONSTRAINTS_VAR_H
+#define MCSAFE_CONSTRAINTS_VAR_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcsafe {
+
+/// An interned variable identifier. Comparable and hashable by value.
+class VarId {
+public:
+  constexpr VarId() : Index(UINT32_MAX) {}
+  constexpr explicit VarId(uint32_t Index) : Index(Index) {}
+
+  constexpr bool isValid() const { return Index != UINT32_MAX; }
+  constexpr uint32_t index() const { return Index; }
+
+  friend constexpr bool operator==(VarId A, VarId B) {
+    return A.Index == B.Index;
+  }
+  friend constexpr bool operator!=(VarId A, VarId B) {
+    return A.Index != B.Index;
+  }
+  friend constexpr bool operator<(VarId A, VarId B) {
+    return A.Index < B.Index;
+  }
+
+private:
+  uint32_t Index;
+};
+
+/// Interns \p Name and returns its id (stable for the process lifetime).
+VarId varId(std::string_view Name);
+
+/// The name a VarId was interned under.
+const std::string &varName(VarId Id);
+
+/// Mints a fresh variable that has never been returned before, named
+/// "<prefix>.<counter>".
+VarId freshVar(std::string_view Prefix);
+
+} // namespace mcsafe
+
+template <> struct std::hash<mcsafe::VarId> {
+  size_t operator()(mcsafe::VarId Id) const noexcept {
+    return std::hash<uint32_t>()(Id.index());
+  }
+};
+
+#endif // MCSAFE_CONSTRAINTS_VAR_H

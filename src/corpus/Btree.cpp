@@ -1,0 +1,187 @@
+//===- Btree.cpp - The two Btree-traversal examples -----------------------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Two versions of a binary-tree lookup driven by an array of query keys:
+// Btree does the key comparison inline; Btree2 routes key access and
+// comparison through little helper functions ("one version compares keys
+// via a function call"), exercising interprocedural inline expansion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusImpl.h"
+
+using namespace mcsafe;
+using namespace mcsafe::corpus;
+
+namespace {
+
+const char *BtreePolicy = R"(
+struct node { key: int32 @0; val: int32 @4; left: node* @8; right: node* @12 } size 16 align 4
+loc nd : node state={nd,null} summary
+loc root : node* state={nd,null}
+loc qe : int32 state=init summary
+loc q : int32[k] state={qe}
+region H { nd, root }
+region U { q, qe }
+allow H : int32 : r,o
+allow H : node* : r,f,o
+allow U : int32 : r,o
+allow U : int32[k] : r,f,o
+invoke %o0 = root
+invoke %o1 = q
+invoke %o2 = k
+constraint k >= 1
+)";
+
+} // namespace
+
+CorpusProgram detail::makeBtree() {
+  CorpusProgram P;
+  P.Name = "Btree";
+  P.Asm = R"(
+  clr %o5            ! hits = 0
+  clr %g4            ! qi = 0
+qloop:
+  cmp %g4,%o2
+  bge done
+  nop
+  sll %g4,2,%g2
+  ld [%o1+%g2],%g3   ! key = q[qi]
+  cmp %g3,0          ! only positive keys are searched
+  ble next
+  nop
+  mov %o0,%o3        ! p = root
+dloop:
+  cmp %o3,0
+  be next
+  nop
+  ld [%o3+0],%g1     ! p->key
+  cmp %g3,%g1
+  be found
+  nop
+  bl goleft
+  nop
+  ld [%o3+12],%o3    ! p = p->right
+  ba dloop
+  nop
+goleft:
+  ld [%o3+8],%o3     ! p = p->left
+  ba dloop
+  nop
+found:
+  ld [%o3+4],%g1     ! p->val; zero marks a deleted entry
+  cmp %g1,0
+  be next
+  nop
+  inc %o5
+next:
+  inc %g4
+  ba qloop
+  nop
+done:
+  mov %o5,%o0
+  retl
+  nop
+)";
+  P.Policy = BtreePolicy;
+  P.ExpectSafe = true;
+  P.Paper = {41, 11, 2, 1, 0, 0, 41, 0.08, 0.007, 0.50, 0.59};
+  return P;
+}
+
+CorpusProgram detail::makeBtree2() {
+  CorpusProgram P;
+  P.Name = "Btree2";
+  P.Asm = R"(
+  mov %o0,%o4        ! root
+  mov %o1,%g1        ! queries base
+  mov %o7,%g6        ! preserve the return address across helper calls
+  clr %o5            ! hits
+  clr %g4            ! qi
+qloop:
+  cmp %g4,%o2
+  bge done
+  nop
+  sll %g4,2,%g2
+  ld [%g1+%g2],%g5   ! key = q[qi]
+  mov %g5,%o0        ! qualify: cmpkeys(key, 0) must be positive
+  clr %o1
+  call cmpkeys
+  nop
+  cmp %o0,1
+  bne next
+  nop
+  mov %o4,%o3        ! p = root
+dloop:
+  cmp %o3,0
+  be next
+  nop
+  mov %o3,%o0
+  call getkey        ! nodekey = getkey(p)
+  nop
+  mov %o0,%o1
+  mov %g5,%o0
+  call cmpkeys       ! c = cmpkeys(key, nodekey)
+  nop
+  cmp %o0,0
+  be found
+  nop
+  bl goleft
+  nop
+  ld [%o3+12],%o3    ! p = p->right
+  ba dloop
+  nop
+goleft:
+  ld [%o3+8],%o3     ! p = p->left
+  ba dloop
+  nop
+found:
+  mov %o3,%o0
+  call getval
+  nop
+  tst %o0
+  be next
+  nop
+  inc %o5
+next:
+  inc %g4
+  ba qloop
+  nop
+done:
+  mov %o5,%o0
+  mov %g6,%o7
+  retl
+  nop
+getkey:
+  ld [%o0+0],%o0
+  retl
+  nop
+getval:
+  ld [%o0+4],%o0
+  retl
+  nop
+cmpkeys:
+  cmp %o0,%o1
+  bl cklt
+  nop
+  bg ckgt
+  nop
+  clr %o0
+  retl
+  nop
+cklt:
+  mov -1,%o0
+  retl
+  nop
+ckgt:
+  mov 1,%o0
+  retl
+  nop
+)";
+  P.Policy = BtreePolicy;
+  P.ExpectSafe = true;
+  P.Paper = {51, 11, 2, 1, 4, 0, 42, 0.11, 0.009, 0.41, 0.53};
+  return P;
+}

@@ -1,0 +1,38 @@
+//===- Corpus.cpp ---------------------------------------------------------===//
+
+#include "corpus/CorpusImpl.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace mcsafe;
+using namespace mcsafe::corpus;
+
+const std::vector<CorpusProgram> &corpus::corpus() {
+  static const std::vector<CorpusProgram> Programs = [] {
+    std::vector<CorpusProgram> P;
+    P.push_back(detail::makeSum());
+    P.push_back(detail::makePagingPolicy());
+    P.push_back(detail::makeStartTimer());
+    P.push_back(detail::makeHash());
+    P.push_back(detail::makeBubbleSort());
+    P.push_back(detail::makeStopTimer());
+    P.push_back(detail::makeBtree());
+    P.push_back(detail::makeBtree2());
+    P.push_back(detail::makeHeapSort2());
+    P.push_back(detail::makeHeapSort());
+    P.push_back(detail::makeJpvm());
+    P.push_back(detail::makeStackSmashing());
+    P.push_back(detail::makeMd5());
+    return P;
+  }();
+  return Programs;
+}
+
+const CorpusProgram &corpus::corpusProgram(std::string_view Name) {
+  for (const CorpusProgram &P : corpus())
+    if (P.Name == Name)
+      return P;
+  assert(false && "unknown corpus program");
+  std::abort();
+}

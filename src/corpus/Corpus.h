@@ -1,0 +1,75 @@
+//===- Corpus.h - The thirteen Figure 9 evaluation programs -----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation corpus: re-implementations of the paper's thirteen
+/// examples (Figure 9) in the supported SPARC V8 subset, each with its
+/// host-typestate specification, access policy, and invocation
+/// specification, plus the paper's reported characteristics for
+/// comparison. The programs match the paper's *structure* — loop
+/// nesting, call counts, the safety conditions exercised, and the
+/// expected verdicts (PagingPolicy's null dereference, Stack-smashing's
+/// out-of-bounds writes, jPVM's summarization false positives) — rather
+/// than the exact instruction streams of gcc 2.7.2.3, which are not
+/// recoverable from the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CORPUS_CORPUS_H
+#define MCSAFE_CORPUS_CORPUS_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsafe {
+namespace corpus {
+
+/// The paper's Figure 9 row for one example.
+struct PaperRow {
+  int Instructions;
+  int Branches;
+  int Loops;
+  int InnerLoops;
+  int Calls;
+  int TrustedCalls;
+  int GlobalConditions;
+  double TimeTypestate;
+  double TimeAnnotation;
+  double TimeGlobal;
+  double TimeTotal;
+};
+
+/// One corpus entry.
+struct CorpusProgram {
+  std::string Name;
+  std::string Asm;
+  std::string Policy;
+  /// Expected verdict of the checker on this program.
+  bool ExpectSafe;
+  /// Violation kinds the checker must report (with minimum counts) when
+  /// ExpectSafe is false.
+  std::vector<std::pair<SafetyKind, unsigned>> ExpectedViolations;
+  PaperRow Paper;
+};
+
+/// All thirteen programs, in Figure 9 order.
+const std::vector<CorpusProgram> &corpus();
+
+/// Lookup by name; aborts on unknown names.
+const CorpusProgram &corpusProgram(std::string_view Name);
+
+// Builders for the generated programs (exposed for tests).
+std::string stackSmashingAsm();
+std::string md5Asm();
+
+} // namespace corpus
+} // namespace mcsafe
+
+#endif // MCSAFE_CORPUS_CORPUS_H

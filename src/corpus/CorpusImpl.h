@@ -1,0 +1,35 @@
+//===- CorpusImpl.h - Per-program corpus builders ---------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CORPUS_CORPUSIMPL_H
+#define MCSAFE_CORPUS_CORPUSIMPL_H
+
+#include "corpus/Corpus.h"
+
+namespace mcsafe {
+namespace corpus {
+namespace detail {
+
+CorpusProgram makeSum();
+CorpusProgram makePagingPolicy();
+CorpusProgram makeStartTimer();
+CorpusProgram makeHash();
+CorpusProgram makeBubbleSort();
+CorpusProgram makeStopTimer();
+CorpusProgram makeBtree();
+CorpusProgram makeBtree2();
+CorpusProgram makeHeapSort2();
+CorpusProgram makeHeapSort();
+CorpusProgram makeJpvm();
+CorpusProgram makeStackSmashing();
+CorpusProgram makeMd5();
+
+} // namespace detail
+} // namespace corpus
+} // namespace mcsafe
+
+#endif // MCSAFE_CORPUS_CORPUSIMPL_H

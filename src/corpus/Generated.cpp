@@ -1,0 +1,393 @@
+//===- Generated.cpp - Stack-smashing and MD5 (built programmatically) ----===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// The two largest examples are generated:
+//
+//  - Stack-smashing (Smith's example 9.b): a request handler with an
+//    annotated stack frame, a long dispatch ladder, several safe loops
+//    over the local buffer, and an unchecked copy loop driven by an
+//    attacker-controlled length. The checker must identify *all* the
+//    out-of-bounds frame writes.
+//
+//  - MD5: MD5Update with an unrolled 64-step MD5Transform (genuine T
+//    table and shift schedule), block-copy loops, padding, and length
+//    encoding — the paper's largest example (883 instructions there).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusImpl.h"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::corpus;
+
+std::string corpus::stackSmashingAsm() {
+  std::ostringstream OS;
+  OS << R"(  save %sp,-112,%sp
+  call get_request
+  nop
+  mov %o0,%l0        ! request code
+  call get_length
+  nop
+  mov %o0,%l1        ! attacker-controlled length, never validated
+  add %sp,0,%l3      ! buf = frame-local int32[16]
+)";
+  // The dispatch ladder: 70 request codes, all funneling to "hit".
+  for (int I = 1; I <= 70; ++I) {
+    OS << "  cmp %l0," << I << "\n  be hit\n  nop\n";
+  }
+  OS << R"(  ba fin
+  nop
+hit:
+  st %l0,[%sp+64]    ! remember the request in the frame
+! loop A: clear the buffer (safe; literal bounds)
+  clr %l4
+clra:
+  cmp %l4,16
+  bge clradone
+  nop
+  sll %l4,2,%g2
+  st %g0,[%l3+%g2]
+  inc %l4
+  ba clra
+  nop
+clradone:
+! loop B: copy "len" words in -- the smash (no bound check against 16)
+  clr %l4
+smash:
+  cmp %l4,%l1
+  bge smashdone
+  nop
+  sll %l4,2,%g2
+  st %l4,[%l3+%g2]   ! out-of-bounds when len > 16
+  inc %l4
+  ba smash
+  nop
+smashdone:
+! a direct one-past-the-end style write at index len (also unchecked)
+  sll %l1,2,%g2
+  st %g0,[%l3+%g2]   ! out-of-bounds for len >= 16
+! loop C: checksum the buffer (safe)
+  clr %l4
+  clr %l5
+csum:
+  cmp %l4,16
+  bge csumdone
+  nop
+  sll %l4,2,%g2
+  ld [%l3+%g2],%g3
+  add %l5,%g3,%l5
+  inc %l4
+  ba csum
+  nop
+csumdone:
+! loops D/E (E nested in D): re-clear a 4x4 tile of the buffer (safe)
+  clr %l4
+tileo:
+  cmp %l4,4
+  bge tileodone
+  nop
+  clr %l6
+tilei:
+  cmp %l6,4
+  bge tileidone
+  nop
+  sll %l4,2,%g2
+  add %g2,%l6,%g2    ! idx = 4*i + j
+  sll %g2,2,%g2
+  st %g0,[%l3+%g2]
+  inc %l6
+  ba tilei
+  nop
+tileidone:
+  inc %l4
+  ba tileo
+  nop
+tileodone:
+! loop F: saturate the checksum (safe scalar loop)
+  clr %l4
+sat:
+  cmp %l4,8
+  bge satdone
+  nop
+  add %l5,%l5,%l5
+  inc %l4
+  ba sat
+  nop
+satdone:
+! loop G: copy the low buffer half up (safe; 0..8 -> 8..16)
+  clr %l4
+fold:
+  cmp %l4,8
+  bge folddone
+  nop
+  sll %l4,2,%g2
+  ld [%l3+%g2],%g3
+  add %g2,32,%g4
+  st %g3,[%l3+%g4]
+  inc %l4
+  ba fold
+  nop
+folddone:
+  st %l5,[%sp+68]
+fin:
+  ret
+  restore
+)";
+  return OS.str();
+}
+
+CorpusProgram detail::makeStackSmashing() {
+  CorpusProgram P;
+  P.Name = "StackSmashing";
+  P.Asm = stackSmashingAsm();
+  P.Policy = R"(
+struct smframe { buf: int32 @0 x 16; req: int32 @64; sum: int32 @68; pad: int32 @72 x 10 } size 112 align 8
+frame 1 : smframe
+trusted get_request {
+  returns int32 state=init access=o
+}
+trusted get_length {
+  returns int32 state=init access=o
+}
+)";
+  P.ExpectSafe = false;
+  P.ExpectedViolations = {{SafetyKind::ArrayBounds, 2}};
+  P.Paper = {309, 89, 7, 1, 2, 2, 162, 1.42, 0.031, 10.15, 11.60};
+  return P;
+}
+
+namespace {
+
+/// The genuine MD5 per-step shift schedule.
+const int Md5Shift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+/// T[i] = floor(|sin(i + 1)| * 2^32), the genuine MD5 constants.
+uint32_t md5T(int I) {
+  double S = std::fabs(std::sin(static_cast<double>(I + 1)));
+  return static_cast<uint32_t>(S * 4294967296.0);
+}
+
+/// X-index schedule per round.
+int md5X(int Step) {
+  if (Step < 16)
+    return Step;
+  if (Step < 32)
+    return (1 + 5 * Step) % 16;
+  if (Step < 48)
+    return (5 + 3 * Step) % 16;
+  return (7 * Step) % 16;
+}
+
+/// Emits one MD5 step updating a (with b, c, d in the given registers).
+/// Registers: a/b/c/d in %l0..%l3 rotated by naming; scratch %g1..%g5.
+void emitMd5Step(std::ostringstream &OS, int Step, const char *A,
+                 const char *B, const char *C, const char *D) {
+  // The round function into %g1.
+  if (Step < 16) { // F = (b & c) | (~b & d)
+    OS << "  and " << B << "," << C << ",%g1\n";
+    OS << "  andn " << D << "," << B << ",%g2\n";
+    OS << "  or %g1,%g2,%g1\n";
+  } else if (Step < 32) { // G = (d & b) | (~d & c)
+    OS << "  and " << D << "," << B << ",%g1\n";
+    OS << "  andn " << C << "," << D << ",%g2\n";
+    OS << "  or %g1,%g2,%g1\n";
+  } else if (Step < 48) { // H = b ^ c ^ d
+    OS << "  xor " << B << "," << C << ",%g1\n";
+    OS << "  xor %g1," << D << ",%g1\n";
+  } else { // I = c ^ (b | ~d)
+    OS << "  orn " << B << "," << D << ",%g1\n";
+    OS << "  xor %g1," << C << ",%g1\n";
+  }
+  OS << "  add " << A << ",%g1," << A << "\n";
+  OS << "  ld [%g7+" << 4 * md5X(Step) << "],%g2\n"; // X[k]
+  OS << "  add " << A << ",%g2," << A << "\n";
+  OS << "  set 0x" << std::hex << md5T(Step) << std::dec << ",%g3\n";
+  OS << "  add " << A << ",%g3," << A << "\n";
+  int S = Md5Shift[Step];
+  OS << "  sll " << A << "," << S << ",%g4\n";
+  OS << "  srl " << A << "," << (32 - S) << ",%g5\n";
+  OS << "  or %g4,%g5," << A << "\n";
+  OS << "  add " << A << "," << B << "," << A << "\n";
+}
+
+} // namespace
+
+std::string corpus::md5Asm() {
+  std::ostringstream OS;
+  // md5_update(ctx in %o0, msg base in %o1, word count in %o2).
+  OS << R"(  save %sp,-96,%sp
+  clr %l0            ! processed = 0
+  add %i0,24,%l2     ! ctx.buffer base
+uloop:
+  sub %i2,%l0,%g1    ! remaining = n - processed
+  cmp %g1,16
+  bl utail
+  nop
+  clr %l1            ! copy one full 16-word block
+cploop:
+  cmp %l1,16
+  bge cpdone
+  nop
+  add %l0,%l1,%g2
+  sll %g2,2,%g2
+  ld [%i1+%g2],%g3   ! msg[processed + j]
+  sll %l1,2,%g4
+  st %g3,[%l2+%g4]   ! ctx.buffer[j]
+  inc %l1
+  ba cploop
+  nop
+cpdone:
+  clr %l1            ! byte-order fixup pass over the block
+swloop:
+  cmp %l1,16
+  bge swdone
+  nop
+  sll %l1,2,%g4
+  ld [%l2+%g4],%g3
+  sll %g3,16,%g2     ! swap the halfwords
+  srl %g3,16,%g3
+  or %g2,%g3,%g3
+  st %g3,[%l2+%g4]
+  inc %l1
+  ba swloop
+  nop
+swdone:
+  mov %i0,%o0
+  call md5_transform
+  nop
+  add %l0,16,%l0
+  ba uloop
+  nop
+utail:
+  clr %l1            ! copy the ragged tail
+tloop:
+  cmp %l1,%g1
+  bge tdone
+  nop
+  add %l0,%l1,%g2
+  sll %g2,2,%g2
+  ld [%i1+%g2],%g3
+  sll %l1,2,%g4
+  st %g3,[%l2+%g4]
+  inc %l1
+  ba tloop
+  nop
+tdone:
+  mov %i0,%o0
+  mov %g1,%o1        ! words already in the buffer
+  call md5_pad
+  nop
+  mov %i0,%o0
+  mov %i2,%o1
+  call md5_lenenc
+  nop
+  mov %i0,%o0
+  call md5_transform
+  nop
+  ret
+  restore
+md5_pad:             ! zero ctx.buffer[words..16)
+  save %sp,-96,%sp
+  mov %i0,%o0
+  mov %i1,%o1
+  call md5_clearbuf
+  nop
+  ret
+  restore
+md5_clearbuf:        ! (ctx, from)
+  add %o0,24,%g6
+  mov %o1,%g5
+zloop:
+  cmp %g5,16
+  bge zdone
+  nop
+  sll %g5,2,%g2
+  st %g0,[%g6+%g2]
+  inc %g5
+  ba zloop
+  nop
+zdone:
+  retl
+  nop
+md5_lenenc:          ! store the bit count into ctx.count
+  save %sp,-96,%sp
+  mov %i1,%o0
+  call md5_bits
+  nop
+  st %o0,[%i0+16]
+  st %g0,[%i0+20]
+  ret
+  restore
+md5_bits:            ! words -> bits (x32)
+  sll %o0,5,%o0
+  retl
+  nop
+md5_transform:       ! one 64-step MD5 block transform
+  save %sp,-96,%sp
+  add %i0,24,%g7     ! X = ctx.buffer
+  ld [%i0+0],%l0     ! a
+  ld [%i0+4],%l1     ! b
+  ld [%i0+8],%l2     ! c
+  ld [%i0+12],%l3    ! d
+)";
+  static const char *Regs[4] = {"%l0", "%l1", "%l2", "%l3"};
+  for (int Step = 0; Step < 64; ++Step) {
+    // Rotation of roles: step i updates a, then d, then c, then b.
+    const char *A = Regs[(64 - Step) % 4];
+    const char *B = Regs[(65 - Step) % 4];
+    const char *C = Regs[(66 - Step) % 4];
+    const char *D = Regs[(67 - Step) % 4];
+    OS << "! step " << Step << "\n";
+    emitMd5Step(OS, Step, A, B, C, D);
+  }
+  OS << R"(  ld [%i0+0],%g1
+  add %g1,%l0,%g1
+  st %g1,[%i0+0]
+  ld [%i0+4],%g1
+  add %g1,%l1,%g1
+  st %g1,[%i0+4]
+  ld [%i0+8],%g1
+  add %g1,%l2,%g1
+  st %g1,[%i0+8]
+  ld [%i0+12],%g1
+  add %g1,%l3,%g1
+  st %g1,[%i0+12]
+  ret
+  restore
+)";
+  return OS.str();
+}
+
+CorpusProgram detail::makeMd5() {
+  CorpusProgram P;
+  P.Name = "MD5";
+  P.Asm = md5Asm();
+  P.Policy = R"(
+struct md5ctx { state: int32 @0 x 4; count: int32 @16 x 2; buffer: int32 @24 x 16 } size 88 align 8
+loc ctx : md5ctx state=init
+loc me : int32 state=init summary
+loc msg : int32[n] state={me}
+region H { ctx }
+region U { msg, me }
+allow H : int32 : r,w,o
+allow U : int32 : r,o
+allow U : int32[n] : r,f,o
+invoke %o0 = &ctx
+invoke %o1 = msg
+invoke %o2 = n
+constraint n >= 1
+)";
+  P.ExpectSafe = true;
+  P.Paper = {883, 11, 5, 2, 6, 0, 135, 6.82, 0.087, 7.04, 13.95};
+  return P;
+}

@@ -1,0 +1,228 @@
+//===- HeapSort.cpp - Interprocedural and manually-inlined heap sort ------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Two versions of heap sort over a writable host array: HeapSort2 keeps
+// heapify/siftdown as functions (three call sites; after inline
+// expansion the CFG has four loops, two of them inner), while HeapSort is
+// the manually inlined variant with the siftdown body duplicated —
+// the pair behind the paper's observation that "verifying an
+// interprocedural version of an untrusted program can take less time
+// than verifying a manually inlined version".
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusImpl.h"
+
+using namespace mcsafe;
+using namespace mcsafe::corpus;
+
+namespace {
+
+const char *HeapPolicy = R"(
+loc e : int32 state=init summary
+loc arr : int32[n] state={e}
+region V { arr, e }
+allow V : int32 : r,w,o
+allow V : int32[n] : r,f,o
+invoke %o0 = arr
+invoke %o1 = n
+constraint n >= 1
+)";
+
+} // namespace
+
+CorpusProgram detail::makeHeapSort2() {
+  CorpusProgram P;
+  P.Name = "HeapSort2";
+  P.Asm = R"(
+  save %sp,-96,%sp
+  mov %i0,%o0
+  mov %i1,%o1
+  call heapify
+  nop
+  sub %i1,1,%l0      ! last = n-1
+sortloop:
+  cmp %l0,1
+  bl msdone
+  nop
+  ld [%i0+0],%g1     ! swap a[0] and a[last]
+  sll %l0,2,%g2
+  ld [%i0+%g2],%g3
+  st %g3,[%i0+0]
+  st %g1,[%i0+%g2]
+  mov %i0,%o0
+  mov %l0,%o1        ! heap size shrinks to last
+  clr %o2
+  call siftdown
+  nop
+  dec %l0
+  ba sortloop
+  nop
+msdone:
+  ret
+  restore
+heapify:
+  save %sp,-96,%sp
+  sub %i1,1,%l1      ! i = n-1
+hloop:
+  cmp %l1,0
+  bl hdone
+  nop
+  mov %i0,%o0
+  mov %i1,%o1
+  mov %l1,%o2
+  call siftdown
+  nop
+  dec %l1
+  ba hloop
+  nop
+hdone:
+  ret
+  restore
+siftdown:            ! (base, size, i), a leaf function
+sloop:
+  sll %o2,1,%g1
+  add %g1,1,%g1      ! c = 2i+1
+  cmp %g1,%o1
+  bge sdone
+  nop
+  sll %g1,2,%g2
+  ld [%o0+%g2],%g3   ! a[c]
+  add %g1,1,%o3
+  cmp %o3,%o1
+  bge skipr
+  nop
+  sll %o3,2,%g4
+  ld [%o0+%g4],%o4   ! a[c+1]
+  cmp %o4,%g3
+  ble skipr
+  nop
+  mov %o3,%g1        ! the right child is larger
+  mov %o4,%g3
+skipr:
+  sll %o2,2,%o5
+  ld [%o0+%o5],%o4   ! a[i]
+  cmp %o4,%g3
+  bge sdone
+  nop
+  st %g3,[%o0+%o5]   ! sift the larger child up
+  sll %g1,2,%g2
+  st %o4,[%o0+%g2]
+  mov %g1,%o2        ! descend: i = c
+  ba sloop
+  nop
+sdone:
+  retl
+  nop
+)";
+  P.Policy = HeapPolicy;
+  P.ExpectSafe = true;
+  P.Paper = {71, 9, 4, 2, 3, 0, 56, 0.12, 0.010, 2.05, 2.18};
+  return P;
+}
+
+CorpusProgram detail::makeHeapSort() {
+  CorpusProgram P;
+  P.Name = "HeapSort";
+  P.Asm = R"(
+  mov %o0,%o4        ! base
+  mov %o1,%o5        ! n
+  sub %o5,1,%g4      ! i = n-1 (heapify)
+hloop:
+  cmp %g4,0
+  bl hdone
+  nop
+  mov %g4,%g5        ! j = i  -- first inlined siftdown
+s1loop:
+  sll %g5,1,%g1
+  add %g1,1,%g1      ! c = 2j+1
+  cmp %g1,%o5
+  bge s1done
+  nop
+  sll %g1,2,%g2
+  ld [%o4+%g2],%g3   ! a[c]
+  add %g1,1,%o3
+  cmp %o3,%o5
+  bge s1skipr
+  nop
+  sll %o3,2,%g2
+  ld [%o4+%g2],%o2   ! a[c+1]
+  cmp %o2,%g3
+  ble s1skipr
+  nop
+  mov %o3,%g1
+  mov %o2,%g3
+s1skipr:
+  sll %g5,2,%o0
+  ld [%o4+%o0],%o2   ! a[j]
+  cmp %o2,%g3
+  bge s1done
+  nop
+  st %g3,[%o4+%o0]
+  sll %g1,2,%g2
+  st %o2,[%o4+%g2]
+  mov %g1,%g5
+  ba s1loop
+  nop
+s1done:
+  dec %g4
+  ba hloop
+  nop
+hdone:
+  sub %o5,1,%g4      ! last = n-1 (sort phase)
+sortloop:
+  cmp %g4,1
+  bl alldone
+  nop
+  ld [%o4+0],%g1     ! swap a[0] and a[last]
+  sll %g4,2,%g2
+  ld [%o4+%g2],%g3
+  st %g3,[%o4+0]
+  st %g1,[%o4+%g2]
+  clr %g5            ! j = 0 -- second inlined siftdown (size = last)
+s2loop:
+  sll %g5,1,%g1
+  add %g1,1,%g1
+  cmp %g1,%g4
+  bge s2done
+  nop
+  sll %g1,2,%g2
+  ld [%o4+%g2],%g3
+  add %g1,1,%o3
+  cmp %o3,%g4
+  bge s2skipr
+  nop
+  sll %o3,2,%g2
+  ld [%o4+%g2],%o2
+  cmp %o2,%g3
+  ble s2skipr
+  nop
+  mov %o3,%g1
+  mov %o2,%g3
+s2skipr:
+  sll %g5,2,%o0
+  ld [%o4+%o0],%o2
+  cmp %o2,%g3
+  bge s2done
+  nop
+  st %g3,[%o4+%o0]
+  sll %g1,2,%g2
+  st %o2,[%o4+%g2]
+  mov %g1,%g5
+  ba s2loop
+  nop
+s2done:
+  dec %g4
+  ba sortloop
+  nop
+alldone:
+  retl
+  nop
+)";
+  P.Policy = HeapPolicy;
+  P.ExpectSafe = true;
+  P.Paper = {95, 16, 4, 2, 0, 0, 84, 0.08, 0.010, 3.58, 3.67};
+  return P;
+}

@@ -1,0 +1,302 @@
+//===- Jpvm.cpp - Java_jPVM_addhosts, the JNI interoperation example ------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// A JNI native method that fetches host names from a Java string array,
+// hands them to PVM, and reports the task ids back — "we verify that
+// calls into JNI methods and PVM library functions are safe, i.e., they
+// obey the safety preconditions". All twenty-one call sites go to
+// trusted-function summaries.
+//
+// The example also reproduces the imprecision the paper reports for
+// jPVM: UTF pointers are parked in a host scratch array, whose single
+// summary location only admits weak updates, so the reload in the release
+// loop comes back possibly-uninitialized and the checker flags the
+// parameter ("our analysis reported that some actual parameters to the
+// host methods and functions are undefined ... when they were in fact
+// defined").
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusImpl.h"
+
+using namespace mcsafe;
+using namespace mcsafe::corpus;
+
+CorpusProgram detail::makeJpvm() {
+  CorpusProgram P;
+  P.Name = "jPVM";
+  P.Asm = R"(
+  save %sp,-96,%sp
+  mov %i0,%o0
+  call jni_GetVersion
+  nop
+  mov %i0,%o0
+  mov %i1,%o1
+  call jni_GetArrayLength
+  nop
+  mov %o0,%l0          ! len
+  tst %l0
+  ble out
+  nop
+  cmp %l0,16           ! clamp to the scratch capacity
+  ble lenok
+  nop
+  mov 16,%l0
+lenok:
+  clr %l1              ! loop 1: fetch UTF strings
+loop1:
+  cmp %l1,%l0
+  bge endl1
+  nop
+  mov %i0,%o0
+  mov %i1,%o1
+  mov %l1,%o2
+  call jni_GetObjectArrayElement
+  nop
+  mov %o0,%l2          ! jstring, may be null
+  cmp %l2,0
+  be skip1
+  nop
+  mov %i0,%o0
+  mov %l2,%o1
+  call jni_GetStringUTFChars
+  nop
+  sll %l1,2,%g2
+  st %o0,[%i2+%g2]     ! sarr[i] = utf (weak: summary location)
+skip1:
+  inc %l1
+  ba loop1
+  nop
+endl1:
+  clr %l1              ! loop 2: clear the tid results
+loop2:
+  cmp %l1,%l0
+  bge endl2
+  nop
+  sll %l1,2,%g2
+  st %g0,[%i3+%g2]     ! tids[i] = 0
+  inc %l1
+  ba loop2
+  nop
+endl2:
+  call pvm_mytid
+  nop
+  tst %o0
+  bneg errexit
+  nop
+  call pvm_config
+  nop
+  mov %i2,%o0
+  mov %l0,%o1
+  mov %i3,%o2
+  call pvm_addhosts
+  nop
+  mov %o0,%l4          ! info
+  clr %l1              ! loop 3: release the strings
+loop3:
+  cmp %l1,%l0
+  bge endl3
+  nop
+  mov %i0,%o0
+  mov %i1,%o1
+  mov %l1,%o2
+  call jni_GetObjectArrayElement
+  nop
+  mov %o0,%l2
+  cmp %l2,0
+  be skip3
+  nop
+  sll %l1,2,%g2
+  ld [%i2+%g2],%o2     ! utf = sarr[i]: summarization makes this "maybe
+  mov %i0,%o0          ! uninitialized" (the paper's false positive)
+  mov %l2,%o1
+  call jni_ReleaseStringUTFChars
+  nop
+  mov %i0,%o0
+  mov %l2,%o1
+  call jni_DeleteLocalRef
+  nop
+skip3:
+  inc %l1
+  ba loop3
+  nop
+endl3:
+  mov %i0,%o0
+  mov %l0,%o1
+  call jni_NewIntArray
+  nop
+  mov %o0,%l5          ! jintArray result
+  mov %i0,%o0
+  mov %l5,%o1
+  clr %o2
+  mov %l0,%o3
+  mov %i3,%o4
+  call jni_SetIntArrayRegion
+  nop
+  mov %i0,%o0
+  mov %i1,%o1
+  call jni_GetIntField
+  nop
+  mov %i0,%o0
+  mov %i1,%o1
+  mov %l4,%o2
+  call jni_SetIntField
+  nop
+  mov %i0,%o0
+  call jni_ExceptionCheck
+  nop
+  tst %o0
+  be noexc
+  nop
+  mov %i0,%o0
+  call jni_ExceptionClear
+  nop
+noexc:
+  mov %i0,%o0
+  call jni_FindClass
+  nop
+  mov %o0,%l6
+  mov %i0,%o0
+  mov %l6,%o1
+  call jni_GetMethodID
+  nop
+  mov %i0,%o0
+  mov %l6,%o1
+  call jni_CallVoidMethod
+  nop
+  ba out
+  nop
+errexit:
+  call pvm_perror
+  nop
+  call pvm_exit
+  nop
+out:
+  ret
+  restore
+)";
+  P.Policy = R"(
+abstract jnienv size 1024 align 8
+abstract jarray size 64 align 8
+abstract jstring size 32 align 8
+abstract jclass size 32 align 8
+loc env : jnienv
+loc hosts : jarray
+loc str : jstring
+loc cls : jclass
+loc ia : jarray
+loc cbuf : uint8 state=init summary
+loc sbuf : uint8* state=uninit summary
+loc sarr : uint8*[16] state={sbuf}
+loc tid_e : int32 state=uninit summary
+loc tids : int32[16] state={tid_e}
+region U { sarr, sbuf, tids, tid_e }
+allow U : int32 : r,w,o
+allow U : uint8* : r,w,o
+allow U : uint8*[16] : r,f,o
+allow U : int32[16] : r,f,o
+invoke %o0 = &env
+invoke %o1 = &hosts
+invoke %o2 = sarr
+invoke %o3 = tids
+trusted jni_GetVersion {
+  param %o0 : jnienv* state={env} access=o
+  returns int32 state=init access=o
+}
+trusted jni_GetArrayLength {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jarray* state={hosts,ia} access=o
+  returns int32 state=init access=o
+}
+trusted jni_GetObjectArrayElement {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jarray* state={hosts,ia} access=o
+  param %o2 : int32
+  pre %o2 >= 0
+  returns jstring* state={str,null} access=o
+}
+trusted jni_GetStringUTFChars {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jstring* state={str} access=o
+  returns uint8* state={cbuf} access=o
+}
+trusted jni_ReleaseStringUTFChars {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jstring* state={str} access=o
+  param %o2 : uint8* state={cbuf} access=o
+}
+trusted jni_DeleteLocalRef {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jstring* state={str} access=o
+}
+trusted jni_NewIntArray {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : int32
+  pre %o1 >= 0
+  returns jarray* state={ia} access=o
+}
+trusted jni_SetIntArrayRegion {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jarray* state={ia} access=o
+  param %o2 : int32
+  param %o3 : int32
+  pre %o2 >= 0
+  pre %o3 >= 0
+}
+trusted jni_GetIntField {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jarray* state={hosts} access=o
+  returns int32 state=init access=o
+}
+trusted jni_SetIntField {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jarray* state={hosts} access=o
+  param %o2 : int32
+}
+trusted jni_ExceptionCheck {
+  param %o0 : jnienv* state={env} access=o
+  returns int32 state=init access=o
+}
+trusted jni_ExceptionClear {
+  param %o0 : jnienv* state={env} access=o
+}
+trusted jni_FindClass {
+  param %o0 : jnienv* state={env} access=o
+  returns jclass* state={cls} access=o
+}
+trusted jni_GetMethodID {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jclass* state={cls} access=o
+  returns int32 state=init access=o
+}
+trusted jni_CallVoidMethod {
+  param %o0 : jnienv* state={env} access=o
+  param %o1 : jclass* state={cls} access=o
+}
+trusted pvm_mytid {
+  returns int32 state=init access=o
+}
+trusted pvm_config {
+  returns int32 state=init access=o
+}
+trusted pvm_addhosts {
+  param %o0 : uint8*[16] state={sbuf} access=fo
+  param %o1 : int32
+  param %o2 : int32[16] state={tid_e} access=fo
+  pre %o1 >= 0
+  returns int32 state=init access=o
+  writes tids
+}
+trusted pvm_perror {
+}
+trusted pvm_exit {
+  returns int32 state=init access=o
+}
+)";
+  P.ExpectSafe = false;
+  P.ExpectedViolations = {{SafetyKind::TrustedCall, 1}};
+  P.Paper = {157, 12, 3, 0, 21, 21, 57, 1.04, 0.032, 4.18, 5.25};
+  return P;
+}

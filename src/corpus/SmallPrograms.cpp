@@ -1,0 +1,316 @@
+//===- SmallPrograms.cpp - Sum, PagingPolicy, timers, Hash, BubbleSort ----===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// The six smaller Figure 9 examples. Comments cite the paper's intent for
+// each: Sum is the running example (Figure 1); PagingPolicy is the kernel
+// extension with the null-pointer bug the checker found; StartTimer and
+// StopTimer come from Paradyn's performance-instrumentation suite; Hash
+// is a hash-table lookup; BubbleSort exercises nested-loop invariant
+// synthesis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusImpl.h"
+
+using namespace mcsafe;
+using namespace mcsafe::corpus;
+
+CorpusProgram detail::makeSum() {
+  CorpusProgram P;
+  P.Name = "Sum";
+  P.Asm = R"(
+  mov %o0,%o2    ! move %o0 into %o2
+  clr %o0        ! set %o0 to zero
+  cmp %o0,%o1    ! compare %o0 and %o1
+  bge 12         ! branch to 12 if %o0 >= %o1
+  clr %g3        ! set %g3 to zero
+  sll %g3,2,%g2  ! %g2 = 4 x %g3
+  ld [%o2+%g2],%g2
+  inc %g3
+  cmp %g3,%o1
+  bl 6
+  add %o0,%g2,%o0
+  retl
+  nop
+)";
+  P.Policy = R"(
+# Figure 1: e summarizes all elements of the integer array arr.
+loc e : int32 state=init summary
+loc arr : int32[n] state={e}
+region V { arr, e }
+allow V : int32 : r,o
+allow V : int32[n] : r,f,o
+invoke %o0 = arr
+invoke %o1 = n
+constraint n >= 1
+)";
+  P.ExpectSafe = true;
+  P.Paper = {13, 2, 1, 0, 0, 0, 4, 0.01, 0.001, 0.05, 0.06};
+  return P;
+}
+
+CorpusProgram detail::makePagingPolicy() {
+  CorpusProgram P;
+  P.Name = "PagingPolicy";
+  // A kernel extension implementing a second-chance page-replacement
+  // scan. The bug the paper reports: the extension dereferences the list
+  // head without a null check ("it attempts to dereference a pointer
+  // that could be null").
+  P.Asm = R"(
+  clr %o4          ! victim pfn = 0
+  cmp %o1,0        ! no passes requested?
+  ble 19
+  nop
+pass:
+  mov %o0,%o2      ! p = head -- head may be null, never checked
+scan:
+  ld [%o2+4],%g1   ! p->refbit   <- null dereference
+  cmp %g1,0
+  bne 11
+  nop
+  ld [%o2+0],%o4   ! victim = p->pfn
+  ld [%o2+8],%o2   ! p = p->next
+  cmp %o2,0
+  bne scan
+  nop
+  dec %o1
+  cmp %o1,0
+  bg pass
+  nop
+  mov %o4,%o0
+  retl
+  nop
+)";
+  P.Policy = R"(
+struct page { pfn: int32 @0; refbit: int32 @4; next: page* @8 } size 12 align 4
+loc pg : page state={pg,null} summary
+loc head : page* state={pg,null}
+region H { pg, head }
+allow H : int32 : r,o
+allow H : page* : r,f,o
+invoke %o0 = head
+invoke %o1 = np
+constraint np >= 1
+)";
+  P.ExpectSafe = false;
+  P.ExpectedViolations = {{SafetyKind::NullDereference, 1}};
+  P.Paper = {20, 5, 2, 1, 0, 0, 9, 0.06, 0.003, 0.41, 0.47};
+  return P;
+}
+
+CorpusProgram detail::makeStartTimer() {
+  CorpusProgram P;
+  P.Name = "StartTimer";
+  // Paradyn-style instrumentation: bump a host counter and start a wall
+  // timer through the trusted instrumentation entry point when the
+  // counter goes 0 -> 1.
+  P.Asm = R"(
+  save %sp,-96,%sp
+  ld [%i0+0],%g1   ! ctr.count
+  inc %g1
+  st %g1,[%i0+0]
+  cmp %g1,1
+  bne 15
+  nop
+  ld [%i0+4],%g2   ! ctr.active
+  inc %g2
+  st %g2,[%i0+4]
+  mov %i1,%o0
+  call DYNINSTstartWallTimer
+  nop
+  st %g0,[%i0+8]   ! ctr.overflow = 0
+  ret
+  restore
+)";
+  P.Policy = R"(
+abstract timer size 40 align 8
+struct counter { count: int32 @0; active: int32 @4; overflow: int32 @8 } size 12 align 4
+loc ctr : counter state=init
+loc tmr : timer
+region H { ctr, tmr }
+allow H : int32 : r,w,o
+invoke %o0 = &ctr
+invoke %o1 = &tmr
+trusted DYNINSTstartWallTimer {
+  param %o0 : timer* state={tmr} access=o
+  pre %o0 > 0
+}
+)";
+  P.ExpectSafe = true;
+  P.Paper = {22, 1, 0, 0, 1, 1, 13, 0.02, 0.004, 0.06, 0.08};
+  return P;
+}
+
+CorpusProgram detail::makeHash() {
+  CorpusProgram P;
+  P.Name = "Hash";
+  // Hash-table lookup: a trusted hash function produces an index that is
+  // range-checked before indexing the bucket array, then the chain is
+  // walked with proper null tests.
+  P.Asm = R"(
+  save %sp,-96,%sp
+  mov %i0,%o0
+  call hash_index
+  nop
+  tst %o0          ! index must be nonnegative
+  bneg 26
+  nop
+  cmp %o0,%i2      ! ... and below the table size
+  bge 26
+  nop
+  sll %o0,2,%g2
+  ld [%i1+%g2],%o2 ! bucket head
+loop:
+  cmp %o2,0
+  be 26
+  nop
+  ld [%o2+0],%g1   ! e->key
+  cmp %g1,%i0
+  be 23
+  nop
+  ld [%o2+8],%o2   ! e = e->next
+  ba loop
+  nop
+  ld [%o2+4],%i0   ! hit: return e->val
+  ret
+  restore
+  clr %i0          ! miss: return 0
+  ret
+  restore
+)";
+  P.Policy = R"(
+struct entry { key: int32 @0; val: int32 @4; next: entry* @8 } size 12 align 4
+loc ent : entry state={ent,null} summary
+loc bkt : entry* state={ent,null} summary
+loc buckets : entry*[m] state={bkt}
+region H { ent, bkt, buckets }
+allow H : int32 : r,o
+allow H : entry* : r,f,o
+allow H : entry*[m] : r,f,o
+invoke %o0 = key
+invoke %o1 = buckets
+invoke %o2 = m
+constraint m >= 1
+trusted hash_index {
+  param %o0 : int32
+  returns int32 state=init access=o
+}
+)";
+  P.ExpectSafe = true;
+  P.Paper = {25, 4, 1, 0, 1, 1, 14, 0.04, 0.004, 0.35, 0.39};
+  return P;
+}
+
+CorpusProgram detail::makeBubbleSort() {
+  CorpusProgram P;
+  P.Name = "BubbleSort";
+  // In-place bubble sort over a writable host array; the inner bounds
+  // checks need invariants that relate the inner index, the shrinking
+  // outer bound, and the array length.
+  P.Asm = R"(
+  mov %o0,%o4      ! base
+  sub %o1,1,%o5    ! i = n-1
+outer:
+  cmp %o5,0
+  ble 23
+  nop
+  clr %g4          ! j = 0
+inner:
+  sll %g4,2,%g2
+  ld [%o4+%g2],%g1 ! a[j]
+  add %g2,4,%g3
+  ld [%o4+%g3],%o3 ! a[j+1]
+  cmp %g1,%o3
+  ble 16
+  nop
+  st %o3,[%o4+%g2] ! swap
+  st %g1,[%o4+%g3]
+  inc %g4
+  cmp %g4,%o5
+  bl inner
+  nop
+  dec %o5
+  ba outer
+  nop
+  retl
+  nop
+)";
+  P.Policy = R"(
+loc e : int32 state=init summary
+loc arr : int32[n] state={e}
+region V { arr, e }
+allow V : int32 : r,w,o
+allow V : int32[n] : r,f,o
+invoke %o0 = arr
+invoke %o1 = n
+constraint n >= 1
+)";
+  P.ExpectSafe = true;
+  P.Paper = {25, 5, 2, 1, 0, 0, 19, 0.03, 0.002, 0.45, 0.48};
+  return P;
+}
+
+CorpusProgram detail::makeStopTimer() {
+  CorpusProgram P;
+  P.Name = "StopTimer";
+  // The converse instrumentation snippet: decrement the counter, stop
+  // the wall timer when it reaches zero, and report the sample through a
+  // second trusted entry point.
+  P.Asm = R"(
+  save %sp,-96,%sp
+  ld [%i0+0],%g1     ! ctr.count
+  cmp %g1,0
+  ble 28
+  nop
+  dec %g1
+  st %g1,[%i0+0]
+  cmp %g1,0
+  bne 26
+  nop
+  mov %i1,%o0
+  call DYNINSTstopWallTimer
+  nop
+  ld [%i0+4],%g2     ! ctr.active
+  dec %g2
+  st %g2,[%i0+4]
+  ld [%i0+8],%g3     ! ctr.samples
+  inc %g3
+  st %g3,[%i0+8]
+  mov %i1,%o0
+  mov %g3,%o1
+  call DYNINSTreportTimer
+  nop
+  ba 26
+  nop
+  ret                ! common exit
+  restore
+  clr %g1            ! underflow: clamp the counter at zero
+  st %g1,[%i0+0]
+  ba 26
+  nop
+)";
+  P.Policy = R"(
+abstract timer size 40 align 8
+struct counter { count: int32 @0; active: int32 @4; samples: int32 @8 } size 12 align 4
+loc ctr : counter state=init
+loc tmr : timer
+region H { ctr, tmr }
+allow H : int32 : r,w,o
+invoke %o0 = &ctr
+invoke %o1 = &tmr
+trusted DYNINSTstopWallTimer {
+  param %o0 : timer* state={tmr} access=o
+  pre %o0 > 0
+}
+trusted DYNINSTreportTimer {
+  param %o0 : timer* state={tmr} access=o
+  param %o1 : int32
+  pre %o0 > 0
+}
+)";
+  P.ExpectSafe = true;
+  P.Paper = {36, 3, 0, 0, 2, 2, 17, 0.04, 0.005, 0.08, 0.13};
+  return P;
+}

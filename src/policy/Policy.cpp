@@ -1,0 +1,22 @@
+//===- Policy.cpp ---------------------------------------------------------===//
+
+#include "policy/Policy.h"
+
+using namespace mcsafe;
+using namespace mcsafe::policy;
+
+VarId policy::regValueVar(int32_t Depth, sparc::Reg R) {
+  if (R.isGlobal())
+    Depth = 0; // Globals are shared across windows.
+  return varId("w" + std::to_string(Depth) + "." + R.name());
+}
+
+VarId policy::locValueVar(const std::string &LocName) {
+  return varId("val:" + LocName);
+}
+
+VarId policy::locAddrVar(const std::string &LocName) {
+  return varId("addr:" + LocName);
+}
+
+VarId policy::iccVar() { return varId("icc"); }

@@ -1,0 +1,198 @@
+//===- Policy.h - Host typestate spec, invocation spec, access policy -*-C++-*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-side inputs of the safety-checking analysis (paper Section 2):
+///
+///   - the *host-typestate specification*: named types, the abstract
+///     locations of host data with their types and states, and
+///     pre/post-conditions for callable host functions (trusted-function
+///     summaries);
+///   - the *invocation specification*: the initial register bindings and
+///     linear constraints that hold when the untrusted code is entered;
+///   - the *access policy*: a classification of locations into regions
+///     and [Region : Category : Access] triples granting r/w/f/x/o.
+///
+/// All of these are host-provided data; the untrusted code itself is never
+/// annotated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_POLICY_POLICY_H
+#define MCSAFE_POLICY_POLICY_H
+
+#include "constraints/Formula.h"
+#include "sparc/Registers.h"
+#include "typestate/Typestate.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace policy {
+
+/// Declarative initial state of a value.
+struct StateSpec {
+  enum class Kind : uint8_t { Uninit, Init, Null, PointsTo };
+  Kind K = Kind::Uninit;
+  std::optional<int64_t> Const; ///< For Init with a known constant.
+  /// Target location names (+ byte offsets) for PointsTo.
+  std::vector<std::pair<std::string, int64_t>> Targets;
+  bool MayBeNull = false;
+};
+
+/// One declared host abstract location.
+struct LocationDecl {
+  std::string Name;
+  typestate::TypeRef Type;
+  StateSpec State; ///< Applied to every scalar leaf.
+  /// The location summarizes several physical locations (array element
+  /// summaries); writes to it are weak.
+  bool Summary = false;
+};
+
+/// One [Region : Category : Access] triple.
+struct AccessRule {
+  std::string Region;
+  bool MatchAll = false;                ///< Category "*".
+  typestate::TypeRef Type;              ///< Category by type (may be null).
+  std::string StructName, FieldName;    ///< Category "struct.field".
+  bool R = false, W = false, F = false, X = false, O = false;
+};
+
+/// One initial register binding of the invocation specification.
+struct InvocationBinding {
+  sparc::Reg Reg;
+  enum class Kind : uint8_t {
+    ValueOfLoc,   ///< Register receives the value stored in a location.
+    AddressOfLoc, ///< Register receives the address of a location.
+    Symbol,       ///< Register holds an unknown value named by a symbol.
+    Literal,      ///< Register holds a compile-time constant.
+  };
+  Kind K = Kind::Symbol;
+  std::string LocName;
+  VarId Sym;
+  int64_t Literal = 0;
+  int64_t Offset = 0; ///< Extra byte offset for AddressOfLoc.
+};
+
+/// Required typestate of one parameter of a trusted function.
+struct TrustedParam {
+  sparc::Reg Reg;
+  typestate::TypeRef Type;
+  StateSpec State;
+  typestate::Access Access;
+};
+
+/// Pre/post-condition summary of a callable host function (the control
+/// aspect of the host-typestate specification).
+struct TrustedSummary {
+  std::string Name;
+  std::vector<TrustedParam> Params;
+  /// Linear precondition over entry-register variables "w0.%oN" and
+  /// symbolic constants; instantiated at the caller's window depth.
+  FormulaRef Pre;
+  /// Return-value typestate (delivered in %o0); null type = void.
+  typestate::TypeRef ReturnType;
+  StateSpec ReturnState;
+  typestate::Access ReturnAccess;
+  /// Host locations the function may overwrite (weak update to
+  /// initialized).
+  std::vector<std::string> Writes;
+};
+
+/// A complete safety policy + host typestate + invocation specification.
+struct Policy {
+  std::map<std::string, typestate::TypeRef> NamedTypes;
+  std::vector<LocationDecl> Locations;
+  /// Region name -> member location names (children are included via
+  /// their parents).
+  std::map<std::string, std::vector<std::string>> Regions;
+  std::vector<AccessRule> Rules;
+  std::vector<InvocationBinding> Invocation;
+  /// Initial linear constraints (conjoined); invocation bindings add
+  /// equalities automatically.
+  std::vector<FormulaRef> Constraints;
+  std::map<std::string, TrustedSummary> Trusted;
+  /// Function entry (label, or 1-based statement number as a string) ->
+  /// named struct type describing its stack frame.
+  std::map<std::string, std::string> FrameTypes;
+
+  /// Safety postcondition (Section 2: "a safety policy can also include
+  /// a safety postcondition ... for ensuring that certain invariants
+  /// defined on the host data are restored by the time control is
+  /// returned to the host").
+  /// Linear constraints that must hold when the untrusted code returns;
+  /// register names denote exit values, "val:" variables location
+  /// contents.
+  std::vector<FormulaRef> PostConstraints;
+  /// Required value states of host locations at exit (location name ->
+  /// state).
+  std::vector<std::pair<std::string, StateSpec>> PostStates;
+
+  /// A security automaton over trusted-call events (the paper relates
+  /// typestates to security automata, Section 1: "the automaton detects
+  /// a security-policy violation whenever [it] read[s] a symbol for which
+  /// the automaton's current state has no transition defined").
+  struct Automaton {
+    std::string Name;
+    std::vector<std::string> States;
+    uint32_t Start = 0;
+    /// (from-state, to-state, trusted-function name).
+    struct Transition {
+      uint32_t From;
+      uint32_t To;
+      std::string Event;
+    };
+    std::vector<Transition> Transitions;
+    /// States allowed when control returns to the host; empty = all.
+    std::vector<uint32_t> Final;
+
+    int32_t stateIndex(const std::string &Name) const {
+      for (uint32_t I = 0; I < States.size(); ++I)
+        if (States[I] == Name)
+          return static_cast<int32_t>(I);
+      return -1;
+    }
+    /// Is \p Event part of this automaton's alphabet?
+    bool observes(const std::string &Event) const {
+      for (const Transition &T : Transitions)
+        if (T.Event == Event)
+          return true;
+      return false;
+    }
+  };
+  std::vector<Automaton> Automata;
+
+  const TrustedSummary *findTrusted(const std::string &Name) const {
+    auto It = Trusted.find(Name);
+    return It == Trusted.end() ? nullptr : &It->second;
+  }
+};
+
+/// The canonical formula variable for the value of a register at a given
+/// window depth, e.g. "w0.%o1". Used by the invocation constraints and by
+/// all of the checker's wlp machinery.
+VarId regValueVar(int32_t Depth, sparc::Reg R);
+
+/// The canonical formula variable for the value stored in an abstract
+/// location, e.g. "val:e".
+VarId locValueVar(const std::string &LocName);
+
+/// The canonical formula variable for the (symbolic) address of an
+/// abstract location, e.g. "addr:arr".
+VarId locAddrVar(const std::string &LocName);
+
+/// The formula variable for the integer condition codes.
+VarId iccVar();
+
+} // namespace policy
+} // namespace mcsafe
+
+#endif // MCSAFE_POLICY_POLICY_H

@@ -1,0 +1,1039 @@
+//===- PolicyParser.cpp ---------------------------------------------------===//
+
+#include "policy/PolicyParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::policy;
+using namespace mcsafe::typestate;
+
+namespace {
+
+/// A token of the policy language.
+struct Token {
+  enum class Kind : uint8_t {
+    Ident,  ///< Identifiers, including %-registers and ground type names.
+    Int,
+    Punct,  ///< Single punctuation char, or a two-char comparison.
+    End,
+  };
+  Kind K = Kind::End;
+  std::string Text;
+  int64_t Value = 0;
+};
+
+class Tokenizer {
+public:
+  explicit Tokenizer(std::string_view S) : S(S) {}
+
+  Token next() {
+    skipSpace();
+    if (Pos >= S.size())
+      return {};
+    char C = S[Pos];
+    Token T;
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t B = Pos;
+      if (C == '0' && Pos + 1 < S.size() &&
+          (S[Pos + 1] == 'x' || S[Pos + 1] == 'X')) {
+        Pos += 2;
+        while (Pos < S.size() &&
+               std::isxdigit(static_cast<unsigned char>(S[Pos])))
+          ++Pos;
+      } else {
+        while (Pos < S.size() &&
+               std::isdigit(static_cast<unsigned char>(S[Pos])))
+          ++Pos;
+      }
+      T.K = Token::Kind::Int;
+      T.Text = std::string(S.substr(B, Pos - B));
+      T.Value = parseInt(T.Text).value_or(0);
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+        C == '%' || C == '$') {
+      size_t B = Pos;
+      ++Pos;
+      while (Pos < S.size() &&
+             (std::isalnum(static_cast<unsigned char>(S[Pos])) ||
+              S[Pos] == '_' || S[Pos] == '.' || S[Pos] == '$'))
+        ++Pos;
+      T.K = Token::Kind::Ident;
+      T.Text = std::string(S.substr(B, Pos - B));
+      return T;
+    }
+    // Two-character comparisons.
+    if ((C == '<' || C == '>' || C == '!' || C == '=') && Pos + 1 < S.size() &&
+        S[Pos + 1] == '=') {
+      T.K = Token::Kind::Punct;
+      T.Text = std::string(S.substr(Pos, 2));
+      Pos += 2;
+      return T;
+    }
+    T.K = Token::Kind::Punct;
+    T.Text = std::string(1, C);
+    ++Pos;
+    return T;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < S.size() &&
+           std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  std::string_view S;
+  size_t Pos = 0;
+};
+
+/// Token cursor with one-token lookahead.
+class Cursor {
+public:
+  explicit Cursor(std::string_view S) : Tok(S) { Cur = Tok.next(); }
+
+  const Token &peek() const { return Cur; }
+  Token take() {
+    Token T = Cur;
+    Cur = Tok.next();
+    return T;
+  }
+  bool atEnd() const { return Cur.K == Token::Kind::End; }
+  bool isPunct(const char *P) const {
+    return Cur.K == Token::Kind::Punct && Cur.Text == P;
+  }
+  bool isIdent(const char *I) const {
+    return Cur.K == Token::Kind::Ident && Cur.Text == I;
+  }
+  bool eatPunct(const char *P) {
+    if (!isPunct(P))
+      return false;
+    take();
+    return true;
+  }
+  bool eatIdent(const char *I) {
+    if (!isIdent(I))
+      return false;
+    take();
+    return true;
+  }
+
+private:
+  Tokenizer Tok;
+  Token Cur;
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Source(Source) {}
+
+  std::optional<Policy> run(std::string *Error);
+
+private:
+  bool fail(const std::string &Message) {
+    ErrorMessage = "line " + std::to_string(CurLine) + ": " + Message;
+    return false;
+  }
+
+  bool parseStatement(std::string_view Stmt);
+  bool parseStruct(Cursor &C, bool IsUnion);
+  bool parseAbstract(Cursor &C);
+  bool parseLoc(Cursor &C);
+  bool parseRegion(Cursor &C);
+  bool parseAllow(Cursor &C);
+  bool parseInvoke(Cursor &C);
+  bool parseConstraintStmt(Cursor &C);
+  bool parseTrusted(Cursor &C);
+  bool parseFrame(Cursor &C);
+  bool parseAutomaton(Cursor &C);
+
+  std::optional<TypeRef> parseType(Cursor &C);
+  std::optional<StateSpec> parseStateSpec(Cursor &C);
+  bool parsePerms(Cursor &C, bool &R, bool &W, bool &F, bool &X, bool &O);
+  std::optional<FormulaRef> parseConstraintExpr(Cursor &C);
+  std::optional<LinearExpr> parseSum(Cursor &C);
+  std::optional<LinearExpr> parseTerm(Cursor &C);
+
+  bool isGroundName(const std::string &Name, GroundKind &K) const;
+
+  std::string_view Source;
+  std::string ErrorMessage;
+  uint32_t CurLine = 0;
+  Policy P;
+};
+
+bool Parser::isGroundName(const std::string &Name, GroundKind &K) const {
+  if (Name == "int8")
+    K = GroundKind::Int8;
+  else if (Name == "uint8")
+    K = GroundKind::UInt8;
+  else if (Name == "int16")
+    K = GroundKind::Int16;
+  else if (Name == "uint16")
+    K = GroundKind::UInt16;
+  else if (Name == "int32" || Name == "int")
+    K = GroundKind::Int32;
+  else if (Name == "uint32" || Name == "uint")
+    K = GroundKind::UInt32;
+  else
+    return false;
+  return true;
+}
+
+std::optional<TypeRef> Parser::parseType(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident) {
+    fail("expected a type, got '" + C.peek().Text + "'");
+    return std::nullopt;
+  }
+  std::string Base = C.take().Text;
+  TypeRef T;
+  GroundKind G;
+  if (isGroundName(Base, G)) {
+    T = TypeFactory::ground(G);
+  } else if (Base == "func") {
+    if (C.peek().K != Token::Kind::Ident) {
+      fail("expected a summary name after 'func'");
+      return std::nullopt;
+    }
+    T = TypeFactory::func(C.take().Text);
+  } else {
+    auto It = P.NamedTypes.find(Base);
+    if (It == P.NamedTypes.end()) {
+      fail("unknown type '" + Base + "'");
+      return std::nullopt;
+    }
+    T = It->second;
+  }
+  // Suffixes: * (pointer), [n] (array base), (n] (array interior).
+  while (true) {
+    if (C.eatPunct("*")) {
+      T = TypeFactory::ptr(T);
+      continue;
+    }
+    if (C.isPunct("[") || C.isPunct("(")) {
+      bool Interior = C.isPunct("(");
+      C.take();
+      ArraySize Size;
+      if (C.peek().K == Token::Kind::Int) {
+        Size = ArraySize::literal(C.take().Value);
+      } else if (C.peek().K == Token::Kind::Ident) {
+        Size = ArraySize::symbolic(varId(C.take().Text));
+      } else {
+        fail("expected an array size");
+        return std::nullopt;
+      }
+      if (!C.eatPunct("]")) {
+        fail("expected ']' after array size");
+        return std::nullopt;
+      }
+      T = Interior ? TypeFactory::arrayInterior(T, Size)
+                   : TypeFactory::arrayBase(T, Size);
+      continue;
+    }
+    break;
+  }
+  return T;
+}
+
+std::optional<StateSpec> Parser::parseStateSpec(Cursor &C) {
+  StateSpec S;
+  if (C.eatIdent("uninit")) {
+    S.K = StateSpec::Kind::Uninit;
+    return S;
+  }
+  if (C.eatIdent("init")) {
+    S.K = StateSpec::Kind::Init;
+    if (C.eatPunct("(")) {
+      bool Neg = C.eatPunct("-");
+      if (C.peek().K != Token::Kind::Int) {
+        fail("expected a constant in init(...)");
+        return std::nullopt;
+      }
+      S.Const = (Neg ? -1 : 1) * C.take().Value;
+      if (!C.eatPunct(")")) {
+        fail("expected ')' after init constant");
+        return std::nullopt;
+      }
+    }
+    return S;
+  }
+  if (C.eatIdent("null")) {
+    S.K = StateSpec::Kind::Null;
+    S.MayBeNull = true;
+    return S;
+  }
+  if (C.eatPunct("{")) {
+    S.K = StateSpec::Kind::PointsTo;
+    while (!C.eatPunct("}")) {
+      if (C.eatIdent("null")) {
+        S.MayBeNull = true;
+      } else if (C.peek().K == Token::Kind::Ident) {
+        std::string Name = C.take().Text;
+        int64_t Offset = 0;
+        if (C.eatPunct("+")) {
+          if (C.peek().K != Token::Kind::Int) {
+            fail("expected a byte offset after '+'");
+            return std::nullopt;
+          }
+          Offset = C.take().Value;
+        }
+        S.Targets.emplace_back(Name, Offset);
+      } else {
+        fail("expected a location name in points-to set");
+        return std::nullopt;
+      }
+      if (!C.eatPunct(",") && !C.isPunct("}")) {
+        fail("expected ',' or '}' in points-to set");
+        return std::nullopt;
+      }
+    }
+    return S;
+  }
+  fail("expected a state (uninit | init | init(k) | null | {locs})");
+  return std::nullopt;
+}
+
+bool Parser::parsePerms(Cursor &C, bool &R, bool &W, bool &F, bool &X,
+                        bool &O) {
+  R = W = F = X = O = false;
+  bool Any = false;
+  while (C.peek().K == Token::Kind::Ident) {
+    for (char P : C.take().Text) {
+      switch (P) {
+      case 'r':
+        R = true;
+        break;
+      case 'w':
+        W = true;
+        break;
+      case 'f':
+        F = true;
+        break;
+      case 'x':
+        X = true;
+        break;
+      case 'o':
+        O = true;
+        break;
+      default:
+        return fail(std::string("unknown permission '") + P + "'");
+      }
+    }
+    Any = true;
+    if (!C.eatPunct(","))
+      break;
+  }
+  if (!Any && C.eatPunct("-"))
+    Any = true; // "-" = no permissions.
+  if (!Any)
+    return fail("expected permissions (subset of r,w,f,x,o or '-')");
+  return true;
+}
+
+std::optional<LinearExpr> Parser::parseTerm(Cursor &C) {
+  bool Neg = false;
+  while (C.eatPunct("-"))
+    Neg = !Neg;
+  LinearExpr E;
+  if (C.peek().K == Token::Kind::Int) {
+    int64_t V = C.take().Value;
+    if (C.eatPunct("*")) {
+      if (C.peek().K != Token::Kind::Ident) {
+        fail("expected an identifier after '*'");
+        return std::nullopt;
+      }
+      std::string Name = C.take().Text;
+      std::optional<sparc::Reg> R = sparc::parseReg(Name);
+      VarId V2 = R ? regValueVar(0, *R) : varId(Name);
+      E = LinearExpr::variable(V2).scaled(V);
+    } else {
+      E = LinearExpr::constant(V);
+    }
+  } else if (C.peek().K == Token::Kind::Ident) {
+    std::string Name = C.take().Text;
+    if ((Name == "val" || Name == "addr") && C.isPunct(":")) {
+      // val:loc / addr:loc reference a location's contents or address.
+      C.take();
+      if (C.peek().K != Token::Kind::Ident) {
+        fail("expected a location name after '" + Name + ":'");
+        return std::nullopt;
+      }
+      std::string Loc = C.take().Text;
+      E = LinearExpr::variable(Name == "val" ? locValueVar(Loc)
+                                             : locAddrVar(Loc));
+    } else {
+      std::optional<sparc::Reg> R = sparc::parseReg(Name);
+      E = LinearExpr::variable(R ? regValueVar(0, *R) : varId(Name));
+    }
+  } else {
+    fail("expected a term in a linear expression");
+    return std::nullopt;
+  }
+  return Neg ? -E : E;
+}
+
+std::optional<LinearExpr> Parser::parseSum(Cursor &C) {
+  std::optional<LinearExpr> E = parseTerm(C);
+  if (!E)
+    return std::nullopt;
+  while (C.isPunct("+") || C.isPunct("-")) {
+    bool Minus = C.take().Text == "-";
+    std::optional<LinearExpr> T = parseTerm(C);
+    if (!T)
+      return std::nullopt;
+    E = Minus ? *E - *T : *E + *T;
+  }
+  return E;
+}
+
+std::optional<FormulaRef> Parser::parseConstraintExpr(Cursor &C) {
+  std::optional<LinearExpr> Lhs = parseSum(C);
+  if (!Lhs)
+    return std::nullopt;
+  // Divisibility: N | expr.
+  if (C.isPunct("|")) {
+    C.take();
+    if (!Lhs->isConstant() || Lhs->constantValue() < 1) {
+      fail("the left side of '|' must be a positive constant modulus");
+      return std::nullopt;
+    }
+    std::optional<LinearExpr> Rhs = parseSum(C);
+    if (!Rhs)
+      return std::nullopt;
+    return Formula::atom(Constraint::divides(Lhs->constantValue(), *Rhs));
+  }
+  if (C.peek().K != Token::Kind::Punct) {
+    fail("expected a comparison operator");
+    return std::nullopt;
+  }
+  std::string Op = C.take().Text;
+  std::optional<LinearExpr> Rhs = parseSum(C);
+  if (!Rhs)
+    return std::nullopt;
+  if (Op == "<")
+    return Formula::atom(Constraint::lt(*Lhs, *Rhs));
+  if (Op == "<=")
+    return Formula::atom(Constraint::le(*Lhs, *Rhs));
+  if (Op == ">")
+    return Formula::atom(Constraint::gt(*Lhs, *Rhs));
+  if (Op == ">=")
+    return Formula::atom(Constraint::ge(*Lhs, *Rhs));
+  if (Op == "=" || Op == "==")
+    return Formula::atom(Constraint::eq(*Lhs, *Rhs));
+  if (Op == "!=")
+    return Formula::negate(Formula::atom(Constraint::eq(*Lhs, *Rhs)));
+  fail("unknown comparison operator '" + Op + "'");
+  return std::nullopt;
+}
+
+bool Parser::parseStruct(Cursor &C, bool IsUnion) {
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a struct name");
+  std::string Name = C.take().Text;
+  if (P.NamedTypes.count(Name))
+    return fail("duplicate type '" + Name + "'");
+  // Pre-register the (incomplete) type so self-referential pointers work;
+  // nominal equality makes the placeholder interchangeable.
+  // We first parse into members, then register the final node.
+  if (!C.eatPunct("{"))
+    return fail("expected '{' after struct name");
+  // Placeholder for recursion: a named struct with no members.
+  P.NamedTypes[Name] = TypeFactory::strct(Name, {}, 0, 0);
+
+  std::vector<Member> Members;
+  while (!C.eatPunct("}")) {
+    if (C.eatPunct(";"))
+      continue;
+    if (C.peek().K != Token::Kind::Ident)
+      return fail("expected a field name");
+    Member M;
+    M.Label = C.take().Text;
+    if (!C.eatPunct(":"))
+      return fail("expected ':' after field name");
+    std::optional<TypeRef> T = parseType(C);
+    if (!T)
+      return false;
+    M.Type = *T;
+    if (!C.eatPunct("@"))
+      return fail("expected '@offset' for field '" + M.Label + "'");
+    if (C.peek().K != Token::Kind::Int)
+      return fail("expected a byte offset");
+    M.Offset = static_cast<uint32_t>(C.take().Value);
+    if (C.eatIdent("x")) {
+      if (C.peek().K != Token::Kind::Int)
+        return fail("expected an element count after 'x'");
+      M.Count = static_cast<uint32_t>(C.take().Value);
+      if (M.Count == 0)
+        return fail("element count must be positive");
+    }
+    Members.push_back(std::move(M));
+  }
+  uint32_t Size = 0, Align = 4;
+  if (C.eatIdent("size")) {
+    if (C.peek().K != Token::Kind::Int)
+      return fail("expected a size");
+    Size = static_cast<uint32_t>(C.take().Value);
+  } else {
+    // Default: end of the last field.
+    for (const Member &M : Members)
+      Size = std::max(Size, M.Offset + M.Count * M.Type->sizeInBytes());
+  }
+  if (C.eatIdent("align")) {
+    if (C.peek().K != Token::Kind::Int)
+      return fail("expected an alignment");
+    Align = static_cast<uint32_t>(C.take().Value);
+  }
+  P.NamedTypes[Name] = IsUnion
+                           ? TypeFactory::unon(Name, std::move(Members),
+                                               Size, Align)
+                           : TypeFactory::strct(Name, std::move(Members),
+                                                Size, Align);
+  return true;
+}
+
+bool Parser::parseAbstract(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a type name after 'abstract'");
+  std::string Name = C.take().Text;
+  if (P.NamedTypes.count(Name))
+    return fail("duplicate type '" + Name + "'");
+  uint32_t Size = 4, Align = 4;
+  if (C.eatIdent("size")) {
+    if (C.peek().K != Token::Kind::Int)
+      return fail("expected a size");
+    Size = static_cast<uint32_t>(C.take().Value);
+  }
+  if (C.eatIdent("align")) {
+    if (C.peek().K != Token::Kind::Int)
+      return fail("expected an alignment");
+    Align = static_cast<uint32_t>(C.take().Value);
+  }
+  P.NamedTypes[Name] = TypeFactory::abstract(Name, Size, Align);
+  return true;
+}
+
+bool Parser::parseLoc(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a location name after 'loc'");
+  LocationDecl D;
+  D.Name = C.take().Text;
+  for (const LocationDecl &Existing : P.Locations)
+    if (Existing.Name == D.Name)
+      return fail("duplicate location '" + D.Name + "'");
+  if (!C.eatPunct(":"))
+    return fail("expected ':' after location name");
+  std::optional<TypeRef> T = parseType(C);
+  if (!T)
+    return false;
+  D.Type = *T;
+  D.State.K = StateSpec::Kind::Uninit;
+  while (!C.atEnd()) {
+    if (C.eatIdent("summary")) {
+      D.Summary = true;
+      continue;
+    }
+    if (C.eatIdent("state")) {
+      if (!C.eatPunct("="))
+        return fail("expected '=' after 'state'");
+      std::optional<StateSpec> S = parseStateSpec(C);
+      if (!S)
+        return false;
+      D.State = *S;
+      continue;
+    }
+    return fail("unexpected token '" + C.peek().Text +
+                "' in location declaration");
+  }
+  P.Locations.push_back(std::move(D));
+  return true;
+}
+
+bool Parser::parseRegion(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a region name");
+  std::string Name = C.take().Text;
+  if (!C.eatPunct("{"))
+    return fail("expected '{' after region name");
+  std::vector<std::string> Members;
+  while (!C.eatPunct("}")) {
+    if (C.peek().K != Token::Kind::Ident)
+      return fail("expected a location name in region");
+    Members.push_back(C.take().Text);
+    if (!C.eatPunct(",") && !C.isPunct("}"))
+      return fail("expected ',' or '}' in region");
+  }
+  P.Regions[Name] = std::move(Members);
+  return true;
+}
+
+bool Parser::parseAllow(Cursor &C) {
+  AccessRule Rule;
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a region name after 'allow'");
+  Rule.Region = C.take().Text;
+  if (!C.eatPunct(":"))
+    return fail("expected ':' after region name");
+  if (C.eatPunct("*")) {
+    Rule.MatchAll = true;
+  } else {
+    // Either "struct.field" or a type. A dotted identifier is a field
+    // category when it names a declared struct.
+    if (C.peek().K == Token::Kind::Ident) {
+      std::string Text = C.peek().Text;
+      size_t Dot = Text.find('.');
+      if (Dot != std::string::npos && P.NamedTypes.count(Text.substr(0, Dot))) {
+        C.take();
+        Rule.StructName = Text.substr(0, Dot);
+        Rule.FieldName = Text.substr(Dot + 1);
+      } else {
+        std::optional<TypeRef> T = parseType(C);
+        if (!T)
+          return false;
+        Rule.Type = *T;
+      }
+    } else {
+      return fail("expected a category (type, struct.field, or '*')");
+    }
+  }
+  if (!C.eatPunct(":"))
+    return fail("expected ':' before the permissions");
+  if (!parsePerms(C, Rule.R, Rule.W, Rule.F, Rule.X, Rule.O))
+    return false;
+  P.Rules.push_back(std::move(Rule));
+  return true;
+}
+
+bool Parser::parseInvoke(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a register after 'invoke'");
+  std::optional<sparc::Reg> R = sparc::parseReg(C.take().Text);
+  if (!R)
+    return fail("invalid register in 'invoke'");
+  InvocationBinding B;
+  B.Reg = *R;
+  if (!C.eatPunct("="))
+    return fail("expected '=' in 'invoke'");
+  if (C.eatPunct("&")) {
+    if (C.peek().K != Token::Kind::Ident)
+      return fail("expected a location name after '&'");
+    B.K = InvocationBinding::Kind::AddressOfLoc;
+    B.LocName = C.take().Text;
+    if (C.eatPunct("+")) {
+      if (C.peek().K != Token::Kind::Int)
+        return fail("expected a byte offset");
+      B.Offset = C.take().Value;
+    }
+  } else if (C.peek().K == Token::Kind::Int ||
+             C.isPunct("-")) {
+    bool Neg = C.eatPunct("-");
+    if (C.peek().K != Token::Kind::Int)
+      return fail("expected a literal");
+    B.K = InvocationBinding::Kind::Literal;
+    B.Literal = (Neg ? -1 : 1) * C.take().Value;
+  } else if (C.peek().K == Token::Kind::Ident) {
+    std::string Name = C.take().Text;
+    bool IsLoc = false;
+    for (const LocationDecl &D : P.Locations)
+      if (D.Name == Name)
+        IsLoc = true;
+    if (IsLoc) {
+      B.K = InvocationBinding::Kind::ValueOfLoc;
+      B.LocName = Name;
+    } else {
+      B.K = InvocationBinding::Kind::Symbol;
+      B.Sym = varId(Name);
+    }
+  } else {
+    return fail("expected a location, symbol, or literal after '='");
+  }
+  P.Invocation.push_back(std::move(B));
+  return true;
+}
+
+bool Parser::parseConstraintStmt(Cursor &C) {
+  std::optional<FormulaRef> F = parseConstraintExpr(C);
+  if (!F)
+    return false;
+  P.Constraints.push_back(*F);
+  return true;
+}
+
+bool Parser::parseTrusted(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a function name after 'trusted'");
+  TrustedSummary Summary;
+  Summary.Name = C.take().Text;
+  Summary.Pre = Formula::mkTrue();
+  Summary.ReturnAccess = Access::o();
+  if (P.Trusted.count(Summary.Name))
+    return fail("duplicate trusted function '" + Summary.Name + "'");
+  if (!C.eatPunct("{"))
+    return fail("expected '{' after trusted function name");
+  while (!C.eatPunct("}")) {
+    if (C.eatPunct(";"))
+      continue;
+    if (C.eatIdent("param")) {
+      TrustedParam Param;
+      Param.Access = Access::o();
+      if (C.peek().K != Token::Kind::Ident)
+        return fail("expected a register after 'param'");
+      std::optional<sparc::Reg> R = sparc::parseReg(C.take().Text);
+      if (!R)
+        return fail("invalid parameter register");
+      Param.Reg = *R;
+      if (!C.eatPunct(":"))
+        return fail("expected ':' after parameter register");
+      std::optional<TypeRef> T = parseType(C);
+      if (!T)
+        return false;
+      Param.Type = *T;
+      Param.State.K = StateSpec::Kind::Init;
+      while (true) {
+        if (C.eatIdent("state")) {
+          if (!C.eatPunct("="))
+            return fail("expected '=' after 'state'");
+          std::optional<StateSpec> S = parseStateSpec(C);
+          if (!S)
+            return false;
+          Param.State = *S;
+          continue;
+        }
+        if (C.eatIdent("access")) {
+          if (!C.eatPunct("="))
+            return fail("expected '=' after 'access'");
+          bool R2, W2, F2, X2, O2;
+          if (!parsePerms(C, R2, W2, F2, X2, O2))
+            return false;
+          Param.Access = {F2, X2, O2};
+          continue;
+        }
+        break;
+      }
+      Summary.Params.push_back(std::move(Param));
+      continue;
+    }
+    if (C.eatIdent("pre")) {
+      std::optional<FormulaRef> F = parseConstraintExpr(C);
+      if (!F)
+        return false;
+      Summary.Pre = Formula::conj2(Summary.Pre, *F);
+      continue;
+    }
+    if (C.eatIdent("returns")) {
+      if (C.eatIdent("void"))
+        continue;
+      std::optional<TypeRef> T = parseType(C);
+      if (!T)
+        return false;
+      Summary.ReturnType = *T;
+      Summary.ReturnState.K = StateSpec::Kind::Init;
+      while (true) {
+        if (C.eatIdent("state")) {
+          if (!C.eatPunct("="))
+            return fail("expected '=' after 'state'");
+          std::optional<StateSpec> S = parseStateSpec(C);
+          if (!S)
+            return false;
+          Summary.ReturnState = *S;
+          continue;
+        }
+        if (C.eatIdent("access")) {
+          if (!C.eatPunct("="))
+            return fail("expected '=' after 'access'");
+          bool R2, W2, F2, X2, O2;
+          if (!parsePerms(C, R2, W2, F2, X2, O2))
+            return false;
+          Summary.ReturnAccess = {F2, X2, O2};
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (C.eatIdent("writes")) {
+      while (C.peek().K == Token::Kind::Ident) {
+        Summary.Writes.push_back(C.take().Text);
+        if (!C.eatPunct(","))
+          break;
+      }
+      continue;
+    }
+    return fail("unexpected token '" + C.peek().Text +
+                "' in trusted block");
+  }
+  P.Trusted[Summary.Name] = std::move(Summary);
+  return true;
+}
+
+bool Parser::parseFrame(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident && C.peek().K != Token::Kind::Int)
+    return fail("expected a function label or statement number");
+  std::string Func = C.take().Text;
+  if (!C.eatPunct(":"))
+    return fail("expected ':' after the function name");
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected a struct type name");
+  std::string TypeName = C.take().Text;
+  if (!P.NamedTypes.count(TypeName))
+    return fail("unknown frame type '" + TypeName + "'");
+  P.FrameTypes[Func] = TypeName;
+  return true;
+}
+
+bool Parser::parseAutomaton(Cursor &C) {
+  if (C.peek().K != Token::Kind::Ident)
+    return fail("expected an automaton name");
+  policy::Policy::Automaton A;
+  A.Name = C.take().Text;
+  if (!C.eatPunct("{"))
+    return fail("expected '{' after automaton name");
+
+  auto StateIndex = [&A](const std::string &Name) {
+    int32_t Index = A.stateIndex(Name);
+    if (Index >= 0)
+      return static_cast<uint32_t>(Index);
+    A.States.push_back(Name);
+    return static_cast<uint32_t>(A.States.size() - 1);
+  };
+
+  bool StartSeen = false;
+  while (!C.eatPunct("}")) {
+    if (C.eatPunct(";"))
+      continue;
+    if (C.eatIdent("state")) {
+      if (C.peek().K != Token::Kind::Ident)
+        return fail("expected a state name");
+      StateIndex(C.take().Text);
+      continue;
+    }
+    if (C.eatIdent("start")) {
+      if (C.peek().K != Token::Kind::Ident)
+        return fail("expected a state name after 'start'");
+      A.Start = StateIndex(C.take().Text);
+      StartSeen = true;
+      continue;
+    }
+    if (C.eatIdent("final")) {
+      while (C.peek().K == Token::Kind::Ident) {
+        A.Final.push_back(StateIndex(C.take().Text));
+        if (!C.eatPunct(","))
+          break;
+      }
+      continue;
+    }
+    if (C.eatIdent("transition")) {
+      if (C.peek().K != Token::Kind::Ident)
+        return fail("expected a source state");
+      uint32_t From = StateIndex(C.take().Text);
+      if (!C.eatPunct("-") || !C.eatPunct(">"))
+        return fail("expected '->' in transition");
+      if (C.peek().K != Token::Kind::Ident)
+        return fail("expected a target state");
+      uint32_t To = StateIndex(C.take().Text);
+      if (!C.eatIdent("on"))
+        return fail("expected 'on <trusted function>' in transition");
+      if (C.peek().K != Token::Kind::Ident)
+        return fail("expected a trusted-function name");
+      A.Transitions.push_back({From, To, C.take().Text});
+      continue;
+    }
+    return fail("unexpected token '" + C.peek().Text +
+                "' in automaton block");
+  }
+  if (A.States.empty())
+    return fail("automaton '" + A.Name + "' has no states");
+  if (!StartSeen)
+    A.Start = 0;
+  P.Automata.push_back(std::move(A));
+  return true;
+}
+
+bool Parser::parseStatement(std::string_view Stmt) {
+  Cursor C(Stmt);
+  if (C.atEnd())
+    return true;
+  if (C.eatIdent("struct"))
+    return parseStruct(C, /*IsUnion=*/false) &&
+           (C.atEnd() || fail("trailing tokens after struct"));
+  if (C.eatIdent("union"))
+    return parseStruct(C, /*IsUnion=*/true) &&
+           (C.atEnd() || fail("trailing tokens after union"));
+  if (C.eatIdent("abstract"))
+    return parseAbstract(C) &&
+           (C.atEnd() || fail("trailing tokens after abstract"));
+  if (C.eatIdent("loc"))
+    return parseLoc(C);
+  if (C.eatIdent("region"))
+    return parseRegion(C) &&
+           (C.atEnd() || fail("trailing tokens after region"));
+  if (C.eatIdent("allow"))
+    return parseAllow(C) &&
+           (C.atEnd() || fail("trailing tokens after allow"));
+  if (C.eatIdent("invoke"))
+    return parseInvoke(C) &&
+           (C.atEnd() || fail("trailing tokens after invoke"));
+  if (C.eatIdent("constraint"))
+    return parseConstraintStmt(C) &&
+           (C.atEnd() || fail("trailing tokens after constraint"));
+  if (C.eatIdent("postconstraint")) {
+    std::optional<FormulaRef> F = parseConstraintExpr(C);
+    if (!F)
+      return false;
+    P.PostConstraints.push_back(*F);
+    return C.atEnd() || fail("trailing tokens after postconstraint");
+  }
+  if (C.eatIdent("postloc")) {
+    if (C.peek().K != Token::Kind::Ident)
+      return fail("expected a location name after 'postloc'");
+    std::string Name = C.take().Text;
+    if (!C.eatIdent("state") || !C.eatPunct("="))
+      return fail("expected 'state=' in postloc");
+    std::optional<StateSpec> S = parseStateSpec(C);
+    if (!S)
+      return false;
+    P.PostStates.emplace_back(std::move(Name), std::move(*S));
+    return C.atEnd() || fail("trailing tokens after postloc");
+  }
+  if (C.eatIdent("trusted"))
+    return parseTrusted(C) &&
+           (C.atEnd() || fail("trailing tokens after trusted"));
+  if (C.eatIdent("frame"))
+    return parseFrame(C) &&
+           (C.atEnd() || fail("trailing tokens after frame"));
+  if (C.eatIdent("automaton"))
+    return parseAutomaton(C) &&
+           (C.atEnd() || fail("trailing tokens after automaton"));
+  return fail("unknown directive '" + C.peek().Text + "'");
+}
+
+std::optional<Policy> Parser::run(std::string *Error) {
+  // Assemble logical statements: lines, with brace blocks spanning lines.
+  std::string Pending;
+  int Depth = 0;
+  uint32_t StatementLine = 0;
+  size_t Pos = 0;
+  uint32_t Line = 0;
+  bool Ok = true;
+
+  auto Flush = [&]() {
+    if (!Ok)
+      return;
+    std::string_view Stmt = trim(Pending);
+    if (!Stmt.empty()) {
+      CurLine = StatementLine;
+      Ok = parseStatement(Stmt);
+    }
+    Pending.clear();
+  };
+
+  while (Pos <= Source.size() && Ok) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Source.size();
+    ++Line;
+    std::string_view Raw = Source.substr(Pos, End - Pos);
+    // Strip comments.
+    size_t Hash = Raw.find('#');
+    if (Hash != std::string_view::npos)
+      Raw = Raw.substr(0, Hash);
+    std::string_view Text = trim(Raw);
+    if (!Text.empty()) {
+      if (Pending.empty())
+        StatementLine = Line;
+      Pending += ' ';
+      Pending += Text;
+      for (char Ch : Text) {
+        if (Ch == '{')
+          ++Depth;
+        else if (Ch == '}')
+          --Depth;
+      }
+      if (Depth < 0) {
+        CurLine = Line;
+        fail("unbalanced '}'");
+        Ok = false;
+        break;
+      }
+    }
+    if (Depth == 0)
+      Flush();
+    if (End == Source.size())
+      break;
+    Pos = End + 1;
+  }
+  if (Ok && Depth != 0) {
+    CurLine = StatementLine;
+    fail("unterminated '{' block");
+    Ok = false;
+  }
+  if (Ok)
+    Flush();
+  if (!Ok) {
+    if (Error)
+      *Error = ErrorMessage;
+    return std::nullopt;
+  }
+
+  // Cross-checks: points-to targets, regions, and invocation locations
+  // must name declared locations (struct children "parent.field" are
+  // validated against their parent).
+  auto LocExists = [this](const std::string &Name) {
+    std::string Base = Name.substr(0, Name.find('.'));
+    for (const LocationDecl &D : P.Locations)
+      if (D.Name == Base)
+        return true;
+    return false;
+  };
+  for (const LocationDecl &D : P.Locations) {
+    for (const auto &[Target, Offset] : D.State.Targets) {
+      (void)Offset;
+      if (!LocExists(Target)) {
+        if (Error)
+          *Error = "location '" + D.Name + "' points to undeclared '" +
+                   Target + "'";
+        return std::nullopt;
+      }
+    }
+  }
+  for (const auto &[Region, Members] : P.Regions) {
+    for (const std::string &Member : Members) {
+      if (!LocExists(Member)) {
+        if (Error)
+          *Error = "region '" + Region + "' lists undeclared location '" +
+                   Member + "'";
+        return std::nullopt;
+      }
+    }
+  }
+  for (const InvocationBinding &B : P.Invocation) {
+    if ((B.K == InvocationBinding::Kind::ValueOfLoc ||
+         B.K == InvocationBinding::Kind::AddressOfLoc) &&
+        !LocExists(B.LocName)) {
+      if (Error)
+        *Error = "invocation references undeclared location '" + B.LocName +
+                 "'";
+      return std::nullopt;
+    }
+  }
+  for (const auto &[Name, Spec] : P.PostStates) {
+    (void)Spec;
+    if (!LocExists(Name)) {
+      if (Error)
+        *Error = "postloc references undeclared location '" + Name + "'";
+      return std::nullopt;
+    }
+  }
+  return std::move(P);
+}
+
+} // namespace
+
+std::optional<Policy> policy::parsePolicy(std::string_view Source,
+                                          std::string *Error) {
+  Parser P(Source);
+  return P.run(Error);
+}

@@ -1,0 +1,59 @@
+//===- PolicyParser.h - Text format for safety policies ---------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small declarative language for the host-typestate specification, the
+/// invocation specification, and the access policy. One directive per
+/// statement ('#' starts a comment; '{...}' blocks may span lines):
+///
+///   struct NAME { f1: TYPE @OFF [x COUNT]; ... } size N align N
+///   union NAME { ... } size N align N
+///   abstract NAME size N align N
+///   loc NAME : TYPE [state=STATE] [summary]
+///   region NAME { loc1, loc2, ... }
+///   allow REGION : CATEGORY : PERMS        # CATEGORY: TYPE | s.field | *
+///   invoke %reg = RHS                      # RHS: loc | &loc[+off] | sym | int
+///   constraint LINEXPR CMP LINEXPR         # or:  constraint N | LINEXPR
+///   trusted NAME { param %reg : TYPE [state=STATE] [access=PERMS]
+///                  pre CONSTRAINT
+///                  returns TYPE [state=STATE] [access=PERMS]
+///                  writes loc1, loc2 }
+///   frame FUNC : STRUCTNAME
+///
+/// TYPE     ::= GROUND | NAME | func NAME | TYPE* | TYPE[SIZE] | TYPE(SIZE]
+/// GROUND   ::= int8|uint8|int16|uint16|int32|uint32
+/// SIZE     ::= integer | symbol
+/// STATE    ::= uninit | init | init(INT) | null | {tgt, ..., [null]}
+///              where tgt ::= loc[+OFF]
+/// PERMS    ::= subset of r,w,f,x,o (commas optional)
+///
+/// In constraints, "%o0"-style names denote the *initial* (entry) values
+/// of registers; other identifiers are symbolic constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_POLICY_POLICYPARSER_H
+#define MCSAFE_POLICY_POLICYPARSER_H
+
+#include "policy/Policy.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcsafe {
+namespace policy {
+
+/// Parses a policy text. On error returns nullopt and fills \p Error with
+/// "line N: message".
+std::optional<Policy> parsePolicy(std::string_view Source,
+                                  std::string *Error = nullptr);
+
+} // namespace policy
+} // namespace mcsafe
+
+#endif // MCSAFE_POLICY_POLICYPARSER_H

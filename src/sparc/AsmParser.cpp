@@ -1,0 +1,660 @@
+//===- AsmParser.cpp ------------------------------------------------------===//
+
+#include "sparc/AsmParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+/// A branch/call target awaiting resolution.
+struct PendingTarget {
+  uint32_t InstIndex;     ///< Which emitted instruction to patch.
+  std::string Symbol;     ///< Label name; empty when numeric.
+  int64_t StatementNo;    ///< 1-based statement number; -1 when symbolic.
+  bool IsCall;
+  uint32_t Line;
+};
+
+class Assembler {
+public:
+  explicit Assembler(std::string_view Source) : Source(Source) {}
+
+  std::optional<Module> run(std::string *Error);
+
+private:
+  bool parseLine(std::string_view Line);
+  bool parseStatement(std::string_view Stmt);
+  bool emitOp(std::string_view Mnemonic, bool Annul,
+              const std::vector<std::string_view> &Ops);
+
+  /// Emits \p Inst tagged with the current source line.
+  void emit(Instruction Inst) {
+    Inst.SourceLine = CurLine;
+    M.Insts.push_back(Inst);
+  }
+
+  bool fail(const std::string &Message) {
+    std::ostringstream OS;
+    OS << "line " << CurLine << ": " << Message;
+    ErrorMessage = OS.str();
+    return false;
+  }
+
+  /// Splits an operand list on top-level commas (commas inside [...] or
+  /// (...) do not split).
+  static std::vector<std::string_view> splitOperands(std::string_view S);
+
+  bool parseRegOp(std::string_view Text, Reg &R);
+  /// Parses "reg" or "imm" into (UsesImm, Imm, Rs2).
+  bool parseRegOrImm(std::string_view Text, bool &UsesImm, int32_t &Imm,
+                     Reg &Rs2);
+  /// Parses "[%r]", "[%r+imm]", "[%r-imm]", "[%r+%r]", "[imm]".
+  bool parseMemAddr(std::string_view Text, Reg &Rs1, bool &UsesImm,
+                    int32_t &Imm, Reg &Rs2);
+  /// Parses an immediate, honoring %hi(x) and %lo(x).
+  bool parseImm(std::string_view Text, int64_t &Value);
+
+  /// Records a branch/call target (label or statement number) for the
+  /// instruction that is about to be emitted.
+  void addPendingTarget(std::string_view Target, bool IsCall);
+
+  std::string_view Source;
+  Module M;
+  std::string ErrorMessage;
+  uint32_t CurLine = 0;
+  /// 1-based count of instruction statements seen so far.
+  uint32_t StatementCount = 0;
+  /// Statement number -> index of its first emitted instruction.
+  std::map<uint32_t, uint32_t> StatementStart;
+  std::vector<PendingTarget> Pending;
+  std::vector<std::string> PendingLabels;
+};
+
+std::vector<std::string_view> Assembler::splitOperands(std::string_view S) {
+  std::vector<std::string_view> Ops;
+  int Depth = 0;
+  size_t Begin = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || (S[I] == ',' && Depth == 0)) {
+      std::string_view Piece = trim(S.substr(Begin, I - Begin));
+      if (!Piece.empty())
+        Ops.push_back(Piece);
+      Begin = I + 1;
+      continue;
+    }
+    if (S[I] == '[' || S[I] == '(')
+      ++Depth;
+    else if (S[I] == ']' || S[I] == ')')
+      --Depth;
+  }
+  return Ops;
+}
+
+bool Assembler::parseRegOp(std::string_view Text, Reg &R) {
+  std::optional<Reg> Parsed = parseReg(Text);
+  if (!Parsed)
+    return fail("expected register, got '" + std::string(Text) + "'");
+  R = *Parsed;
+  return true;
+}
+
+bool Assembler::parseImm(std::string_view Text, int64_t &Value) {
+  Text = trim(Text);
+  bool Hi = startsWith(Text, "%hi(");
+  bool Lo = startsWith(Text, "%lo(");
+  if (Hi || Lo) {
+    if (Text.back() != ')')
+      return fail("unterminated %hi/%lo");
+    std::optional<int64_t> Inner = parseInt(Text.substr(4, Text.size() - 5));
+    if (!Inner)
+      return fail("bad %hi/%lo operand");
+    Value = Hi ? ((*Inner >> 10) & 0x3FFFFF) : (*Inner & 0x3FF);
+    return true;
+  }
+  std::optional<int64_t> Parsed = parseInt(Text);
+  if (!Parsed)
+    return fail("expected immediate, got '" + std::string(Text) + "'");
+  Value = *Parsed;
+  return true;
+}
+
+bool Assembler::parseRegOrImm(std::string_view Text, bool &UsesImm,
+                              int32_t &Imm, Reg &Rs2) {
+  Text = trim(Text);
+  if (std::optional<Reg> R = parseReg(Text)) {
+    UsesImm = false;
+    Rs2 = *R;
+    return true;
+  }
+  int64_t Value;
+  if (!parseImm(Text, Value))
+    return false;
+  if (Value < -4096 || Value > 4095)
+    return fail("immediate out of simm13 range: " + std::to_string(Value));
+  UsesImm = true;
+  Imm = static_cast<int32_t>(Value);
+  return true;
+}
+
+bool Assembler::parseMemAddr(std::string_view Text, Reg &Rs1, bool &UsesImm,
+                             int32_t &Imm, Reg &Rs2) {
+  Text = trim(Text);
+  if (Text.size() < 2 || Text.front() != '[' || Text.back() != ']')
+    return fail("expected memory operand [..], got '" + std::string(Text) +
+                "'");
+  std::string_view Body = trim(Text.substr(1, Text.size() - 2));
+  // Find a top-level '+' or '-' separating base and offset (skip the
+  // leading register's '%').
+  size_t SplitPos = std::string_view::npos;
+  char SplitChar = 0;
+  for (size_t I = 1; I < Body.size(); ++I) {
+    if (Body[I] == '+' || Body[I] == '-') {
+      SplitPos = I;
+      SplitChar = Body[I];
+      break;
+    }
+  }
+  if (SplitPos == std::string_view::npos) {
+    if (std::optional<Reg> R = parseReg(Body)) {
+      Rs1 = *R;
+      UsesImm = true;
+      Imm = 0;
+      return true;
+    }
+    int64_t Value;
+    if (!parseImm(Body, Value))
+      return false;
+    if (Value < -4096 || Value > 4095)
+      return fail("absolute address out of simm13 range");
+    Rs1 = G0;
+    UsesImm = true;
+    Imm = static_cast<int32_t>(Value);
+    return true;
+  }
+  if (!parseRegOp(trim(Body.substr(0, SplitPos)), Rs1))
+    return false;
+  std::string_view Rest = trim(Body.substr(SplitPos + 1));
+  if (SplitChar == '+') {
+    if (std::optional<Reg> R = parseReg(Rest)) {
+      UsesImm = false;
+      Rs2 = *R;
+      return true;
+    }
+  }
+  int64_t Value;
+  if (!parseImm(Rest, Value))
+    return false;
+  if (SplitChar == '-')
+    Value = -Value;
+  if (Value < -4096 || Value > 4095)
+    return fail("memory offset out of simm13 range");
+  UsesImm = true;
+  Imm = static_cast<int32_t>(Value);
+  return true;
+}
+
+void Assembler::addPendingTarget(std::string_view Target, bool IsCall) {
+  PendingTarget P;
+  P.InstIndex = static_cast<uint32_t>(M.Insts.size());
+  P.IsCall = IsCall;
+  P.Line = CurLine;
+  if (std::optional<int64_t> N = parseInt(Target)) {
+    P.StatementNo = *N;
+  } else {
+    P.StatementNo = -1;
+    P.Symbol = std::string(Target);
+  }
+  Pending.push_back(std::move(P));
+}
+
+bool Assembler::parseLine(std::string_view Line) {
+  // Strip comments.
+  for (size_t I = 0; I < Line.size(); ++I) {
+    if (Line[I] == '!' || Line[I] == '#') {
+      Line = Line.substr(0, I);
+      break;
+    }
+  }
+  Line = trim(Line);
+  if (Line.empty())
+    return true;
+  // Peel leading "label:" prefixes.
+  while (true) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos)
+      break;
+    std::string_view Candidate = trim(Line.substr(0, Colon));
+    bool IsIdent = !Candidate.empty();
+    for (char C : Candidate)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' &&
+          C != '.' && C != '$')
+        IsIdent = false;
+    if (!IsIdent)
+      break;
+    PendingLabels.push_back(std::string(Candidate));
+    Line = trim(Line.substr(Colon + 1));
+    if (Line.empty())
+      return true;
+  }
+  return parseStatement(Line);
+}
+
+bool Assembler::parseStatement(std::string_view Stmt) {
+  // Bind pending labels to the next instruction.
+  uint32_t Here = static_cast<uint32_t>(M.Insts.size());
+  for (const std::string &L : PendingLabels) {
+    if (M.Labels.count(L))
+      return fail("duplicate label '" + L + "'");
+    M.Labels[L] = Here;
+  }
+  PendingLabels.clear();
+
+  ++StatementCount;
+  StatementStart[StatementCount] = Here;
+
+  // Split mnemonic (with optional ",a" suffix) from operands.
+  size_t Space = Stmt.find_first_of(" \t");
+  std::string_view Head =
+      Space == std::string_view::npos ? Stmt : Stmt.substr(0, Space);
+  std::string_view Rest =
+      Space == std::string_view::npos ? std::string_view()
+                                      : trim(Stmt.substr(Space + 1));
+  bool Annul = false;
+  size_t Comma = Head.find(',');
+  std::string Mnemonic(Head.substr(0, Comma));
+  for (char &C : Mnemonic)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Comma != std::string_view::npos) {
+    std::string_view Suffix = Head.substr(Comma + 1);
+    if (Suffix != "a")
+      return fail("unknown mnemonic suffix '" + std::string(Suffix) + "'");
+    Annul = true;
+  }
+  return emitOp(Mnemonic, Annul, splitOperands(Rest));
+}
+
+bool Assembler::emitOp(std::string_view Mnemonic, bool Annul,
+                       const std::vector<std::string_view> &Ops) {
+  auto RequireOps = [&](size_t N) {
+    if (Ops.size() == N)
+      return true;
+    return fail("'" + std::string(Mnemonic) + "' expects " +
+                std::to_string(N) + " operand(s), got " +
+                std::to_string(Ops.size()));
+  };
+
+  // --- Branches. -------------------------------------------------------
+  static const std::map<std::string_view, Opcode> BranchTable = {
+      {"ba", Opcode::BA},     {"b", Opcode::BA},      {"bn", Opcode::BN},
+      {"bne", Opcode::BNE},   {"bnz", Opcode::BNE},   {"be", Opcode::BE},
+      {"bz", Opcode::BE},     {"bg", Opcode::BG},     {"ble", Opcode::BLE},
+      {"bge", Opcode::BGE},   {"bl", Opcode::BL},     {"bgu", Opcode::BGU},
+      {"bleu", Opcode::BLEU}, {"bcc", Opcode::BCC},   {"bgeu", Opcode::BCC},
+      {"bcs", Opcode::BCS},   {"blu", Opcode::BCS},   {"bpos", Opcode::BPOS},
+      {"bneg", Opcode::BNEG}, {"bvc", Opcode::BVC},   {"bvs", Opcode::BVS}};
+  if (auto It = BranchTable.find(Mnemonic); It != BranchTable.end()) {
+    if (!RequireOps(1))
+      return false;
+    Instruction Inst;
+    Inst.Op = It->second;
+    Inst.Annul = Annul;
+    addPendingTarget(Ops[0], /*IsCall=*/false);
+    emit(Inst);
+    return true;
+  }
+  if (Annul)
+    return fail("',a' suffix only applies to branches");
+
+  // --- Loads / stores. --------------------------------------------------
+  static const std::map<std::string_view, Opcode> LoadTable = {
+      {"ldsb", Opcode::LDSB}, {"ldsh", Opcode::LDSH}, {"ldub", Opcode::LDUB},
+      {"lduh", Opcode::LDUH}, {"ld", Opcode::LD}};
+  static const std::map<std::string_view, Opcode> StoreTable = {
+      {"stb", Opcode::STB}, {"sth", Opcode::STH}, {"st", Opcode::ST}};
+  if (auto It = LoadTable.find(Mnemonic); It != LoadTable.end()) {
+    if (!RequireOps(2))
+      return false;
+    Instruction Inst;
+    Inst.Op = It->second;
+    if (!parseMemAddr(Ops[0], Inst.Rs1, Inst.UsesImm, Inst.Imm, Inst.Rs2) ||
+        !parseRegOp(Ops[1], Inst.Rd))
+      return false;
+    emit(Inst);
+    return true;
+  }
+  if (auto It = StoreTable.find(Mnemonic); It != StoreTable.end()) {
+    if (!RequireOps(2))
+      return false;
+    Instruction Inst;
+    Inst.Op = It->second;
+    if (!parseRegOp(Ops[0], Inst.Rd) ||
+        !parseMemAddr(Ops[1], Inst.Rs1, Inst.UsesImm, Inst.Imm, Inst.Rs2))
+      return false;
+    emit(Inst);
+    return true;
+  }
+
+  // --- Three-operand arithmetic. -----------------------------------------
+  static const std::map<std::string_view, Opcode> ArithTable = {
+      {"add", Opcode::ADD},       {"addcc", Opcode::ADDCC},
+      {"sub", Opcode::SUB},       {"subcc", Opcode::SUBCC},
+      {"and", Opcode::AND},       {"andcc", Opcode::ANDCC},
+      {"andn", Opcode::ANDN},     {"or", Opcode::OR},
+      {"orcc", Opcode::ORCC},     {"orn", Opcode::ORN},
+      {"xor", Opcode::XOR},       {"xorcc", Opcode::XORCC},
+      {"xnor", Opcode::XNOR},     {"sll", Opcode::SLL},
+      {"srl", Opcode::SRL},       {"sra", Opcode::SRA},
+      {"umul", Opcode::UMUL},     {"smul", Opcode::SMUL},
+      {"udiv", Opcode::UDIV},     {"sdiv", Opcode::SDIV},
+      {"save", Opcode::SAVE},     {"restore", Opcode::RESTORE}};
+  if (auto It = ArithTable.find(Mnemonic); It != ArithTable.end()) {
+    Instruction Inst;
+    Inst.Op = It->second;
+    if (Ops.empty() &&
+        (Inst.Op == Opcode::SAVE || Inst.Op == Opcode::RESTORE)) {
+      Inst.Rs1 = G0;
+      Inst.Rs2 = G0;
+      Inst.Rd = G0;
+      emit(Inst);
+      return true;
+    }
+    if (!RequireOps(3))
+      return false;
+    if (!parseRegOp(Ops[0], Inst.Rs1) ||
+        !parseRegOrImm(Ops[1], Inst.UsesImm, Inst.Imm, Inst.Rs2) ||
+        !parseRegOp(Ops[2], Inst.Rd))
+      return false;
+    emit(Inst);
+    return true;
+  }
+
+  // --- sethi. -------------------------------------------------------------
+  if (Mnemonic == "sethi") {
+    if (!RequireOps(2))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::SETHI;
+    int64_t Value;
+    if (!parseImm(Ops[0], Value) || !parseRegOp(Ops[1], Inst.Rd))
+      return false;
+    if (Value < 0 || Value > 0x3FFFFF)
+      return fail("sethi immediate out of imm22 range");
+    Inst.UsesImm = true;
+    Inst.Imm = static_cast<int32_t>(Value);
+    emit(Inst);
+    return true;
+  }
+
+  // --- Control transfer. ---------------------------------------------------
+  if (Mnemonic == "call") {
+    if (!RequireOps(1))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::CALL;
+    addPendingTarget(Ops[0], /*IsCall=*/true);
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "jmpl") {
+    if (!RequireOps(2))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::JMPL;
+    // Accept "%r+imm" or "[%r+imm]"-less address syntax.
+    std::string Addr = "[" + std::string(Ops[0]) + "]";
+    if (!parseMemAddr(Addr, Inst.Rs1, Inst.UsesImm, Inst.Imm, Inst.Rs2) ||
+        !parseRegOp(Ops[1], Inst.Rd))
+      return false;
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "ret" || Mnemonic == "retl") {
+    if (!RequireOps(0))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::JMPL;
+    Inst.Rs1 = Mnemonic == "ret" ? I7 : O7;
+    Inst.UsesImm = true;
+    Inst.Imm = 8;
+    Inst.Rd = G0;
+    emit(Inst);
+    return true;
+  }
+
+  // --- Synthetics. ---------------------------------------------------------
+  if (Mnemonic == "nop") {
+    if (!RequireOps(0))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::SETHI;
+    Inst.Rd = G0;
+    Inst.UsesImm = true;
+    Inst.Imm = 0;
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "mov") {
+    if (!RequireOps(2))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::OR;
+    Inst.Rs1 = G0;
+    if (!parseRegOrImm(Ops[0], Inst.UsesImm, Inst.Imm, Inst.Rs2) ||
+        !parseRegOp(Ops[1], Inst.Rd))
+      return false;
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "clr") {
+    if (!RequireOps(1))
+      return false;
+    Instruction Inst;
+    if (!Ops[0].empty() && Ops[0][0] == '[') {
+      Inst.Op = Opcode::ST;
+      Inst.Rd = G0;
+      if (!parseMemAddr(Ops[0], Inst.Rs1, Inst.UsesImm, Inst.Imm, Inst.Rs2))
+        return false;
+    } else {
+      Inst.Op = Opcode::OR;
+      Inst.Rs1 = G0;
+      Inst.Rs2 = G0;
+      if (!parseRegOp(Ops[0], Inst.Rd))
+        return false;
+    }
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "cmp") {
+    if (!RequireOps(2))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::SUBCC;
+    Inst.Rd = G0;
+    if (!parseRegOp(Ops[0], Inst.Rs1) ||
+        !parseRegOrImm(Ops[1], Inst.UsesImm, Inst.Imm, Inst.Rs2))
+      return false;
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "tst") {
+    if (!RequireOps(1))
+      return false;
+    Instruction Inst;
+    Inst.Op = Opcode::ORCC;
+    Inst.Rd = G0;
+    Inst.Rs2 = G0;
+    if (!parseRegOp(Ops[0], Inst.Rs1))
+      return false;
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "inc" || Mnemonic == "dec") {
+    if (Ops.size() != 1 && Ops.size() != 2)
+      return fail("'" + std::string(Mnemonic) + "' expects 1 or 2 operands");
+    Instruction Inst;
+    Inst.Op = Mnemonic == "inc" ? Opcode::ADD : Opcode::SUB;
+    Inst.UsesImm = true;
+    Inst.Imm = 1;
+    std::string_view RegOp = Ops.back();
+    if (Ops.size() == 2) {
+      int64_t Value;
+      if (!parseImm(Ops[0], Value))
+        return false;
+      if (Value < -4096 || Value > 4095)
+        return fail("inc/dec immediate out of range");
+      Inst.Imm = static_cast<int32_t>(Value);
+    }
+    if (!parseRegOp(RegOp, Inst.Rd))
+      return false;
+    Inst.Rs1 = Inst.Rd;
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "neg" || Mnemonic == "not") {
+    if (Ops.size() != 1 && Ops.size() != 2)
+      return fail("'" + std::string(Mnemonic) + "' expects 1 or 2 operands");
+    Instruction Inst;
+    Reg Rs, Rd;
+    if (!parseRegOp(Ops[0], Rs))
+      return false;
+    Rd = Rs;
+    if (Ops.size() == 2 && !parseRegOp(Ops[1], Rd))
+      return false;
+    if (Mnemonic == "neg") {
+      Inst.Op = Opcode::SUB;
+      Inst.Rs1 = G0;
+      Inst.Rs2 = Rs;
+    } else {
+      Inst.Op = Opcode::XNOR;
+      Inst.Rs1 = Rs;
+      Inst.Rs2 = G0;
+    }
+    Inst.Rd = Rd;
+    emit(Inst);
+    return true;
+  }
+  if (Mnemonic == "set") {
+    if (!RequireOps(2))
+      return false;
+    int64_t Value;
+    Reg Rd;
+    if (!parseImm(Ops[0], Value) || !parseRegOp(Ops[1], Rd))
+      return false;
+    if (Value < INT32_MIN || Value > static_cast<int64_t>(UINT32_MAX))
+      return fail("set immediate out of 32-bit range");
+    int32_t V = static_cast<int32_t>(Value);
+    if (V >= -4096 && V <= 4095) {
+      Instruction Inst;
+      Inst.Op = Opcode::OR;
+      Inst.Rs1 = G0;
+      Inst.UsesImm = true;
+      Inst.Imm = V;
+      Inst.Rd = Rd;
+      emit(Inst);
+      return true;
+    }
+    Instruction Hi;
+    Hi.Op = Opcode::SETHI;
+    Hi.Rd = Rd;
+    Hi.UsesImm = true;
+    Hi.Imm = static_cast<int32_t>((static_cast<uint32_t>(V) >> 10) &
+                                  0x3FFFFF);
+    emit(Hi);
+    if ((static_cast<uint32_t>(V) & 0x3FF) != 0) {
+      Instruction Lo;
+      Lo.Op = Opcode::OR;
+      Lo.Rs1 = Rd;
+      Lo.UsesImm = true;
+      Lo.Imm = static_cast<int32_t>(static_cast<uint32_t>(V) & 0x3FF);
+      Lo.Rd = Rd;
+      emit(Lo);
+    }
+    return true;
+  }
+
+  return fail("unknown mnemonic '" + std::string(Mnemonic) + "'");
+}
+
+std::optional<Module> Assembler::run(std::string *Error) {
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Source.size();
+    ++CurLine;
+    if (!parseLine(Source.substr(Pos, End - Pos))) {
+      if (Error)
+        *Error = ErrorMessage;
+      return std::nullopt;
+    }
+    Pos = End + 1;
+    if (End == Source.size())
+      break;
+  }
+
+  // Labels that trail all instructions bind to one-past-the-end; that is
+  // only meaningful for data, which we do not model, so reject.
+  if (!PendingLabels.empty()) {
+    if (Error)
+      *Error = "label '" + PendingLabels.front() +
+               "' is not attached to an instruction";
+    return std::nullopt;
+  }
+
+  // Resolve pending branch/call targets.
+  M.FunctionEntries.push_back(0);
+  for (const PendingTarget &P : Pending) {
+    Instruction &Inst = M.Insts[P.InstIndex];
+    int32_t Target = -1;
+    if (P.StatementNo >= 0) {
+      auto It = StatementStart.find(static_cast<uint32_t>(P.StatementNo));
+      if (It == StatementStart.end() || It->second >= M.size()) {
+        if (Error)
+          *Error = "line " + std::to_string(P.Line) +
+                   ": branch target statement " +
+                   std::to_string(P.StatementNo) + " does not exist";
+        return std::nullopt;
+      }
+      Target = static_cast<int32_t>(It->second);
+    } else {
+      Target = M.lookupLabel(P.Symbol);
+      if (Target < 0) {
+        if (!P.IsCall) {
+          if (Error)
+            *Error = "line " + std::to_string(P.Line) +
+                     ": undefined label '" + P.Symbol + "'";
+          return std::nullopt;
+        }
+        // A call to an unknown symbol is an external (trusted) callee.
+        Inst.CalleeName = P.Symbol;
+        bool Known = false;
+        for (const std::string &Name : M.ExternalCallees)
+          if (Name == P.Symbol)
+            Known = true;
+        if (!Known)
+          M.ExternalCallees.push_back(P.Symbol);
+        continue;
+      }
+    }
+    Inst.Target = Target;
+    if (P.IsCall && !M.isFunctionEntry(static_cast<uint32_t>(Target)))
+      M.FunctionEntries.push_back(static_cast<uint32_t>(Target));
+  }
+  return std::move(M);
+}
+
+} // namespace
+
+std::optional<Module> sparc::assemble(std::string_view Source,
+                                      std::string *Error) {
+  Assembler A(Source);
+  return A.run(Error);
+}

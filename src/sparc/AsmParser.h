@@ -1,0 +1,63 @@
+//===- AsmParser.h - Two-pass SPARC assembler -------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler for the SPARC V8 subset, used to author the
+/// corpus programs and as a convenient front door for tests and examples
+/// (the checker itself consumes decoded Instructions, so a binary loader
+/// and this assembler are interchangeable front ends).
+///
+/// Supported syntax, per line:
+///   label:                      (may share a line with an instruction)
+///   opcode operands             ! comment  (# also starts a comment)
+///
+/// Synthetic instructions are expanded exactly as the SPARC assembler
+/// expands them:
+///   mov a,rd        -> or  %g0,a,rd
+///   clr rd          -> or  %g0,%g0,rd
+///   clr [addr]      -> st  %g0,[addr]
+///   cmp a,b         -> subcc a,b,%g0
+///   tst a           -> orcc a,%g0,%g0
+///   inc[ imm,] rd   -> add rd,imm,rd      (imm defaults to 1)
+///   dec[ imm,] rd   -> sub rd,imm,rd
+///   neg rs[,rd]     -> sub %g0,rs,rd
+///   not rs[,rd]     -> xnor rs,%g0,rd
+///   set imm,rd      -> sethi %hi(imm),rd [+ or rd,%lo(imm),rd]
+///   nop             -> sethi 0,%g0
+///   b target        -> ba target
+///   ret             -> jmpl %i7+8,%g0
+///   retl            -> jmpl %o7+8,%g0
+///   restore         -> restore %g0,%g0,%g0
+///   save            -> save %g0,%g0,%g0
+///
+/// Branch targets may be labels or 1-based instruction-statement numbers
+/// (the paper writes "bge 12" against its Figure 1 listing; the same
+/// convention works here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SPARC_ASMPARSER_H
+#define MCSAFE_SPARC_ASMPARSER_H
+
+#include "sparc/Module.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcsafe {
+namespace sparc {
+
+/// Assembles \p Source. On failure returns nullopt and, if \p Error is
+/// non-null, stores a message of the form "line N: ...".
+std::optional<Module> assemble(std::string_view Source,
+                               std::string *Error = nullptr);
+
+} // namespace sparc
+} // namespace mcsafe
+
+#endif // MCSAFE_SPARC_ASMPARSER_H

@@ -1,0 +1,357 @@
+//===- Encoding.cpp -------------------------------------------------------===//
+
+#include "sparc/Encoding.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+/// op3 field values for format-3 arithmetic (op=10).
+std::optional<uint32_t> arithOp3(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADD:
+    return 0x00;
+  case Opcode::AND:
+    return 0x01;
+  case Opcode::OR:
+    return 0x02;
+  case Opcode::XOR:
+    return 0x03;
+  case Opcode::SUB:
+    return 0x04;
+  case Opcode::ANDN:
+    return 0x05;
+  case Opcode::ORN:
+    return 0x06;
+  case Opcode::XNOR:
+    return 0x07;
+  case Opcode::UMUL:
+    return 0x0A;
+  case Opcode::SMUL:
+    return 0x0B;
+  case Opcode::UDIV:
+    return 0x0E;
+  case Opcode::SDIV:
+    return 0x0F;
+  case Opcode::ADDCC:
+    return 0x10;
+  case Opcode::ANDCC:
+    return 0x11;
+  case Opcode::ORCC:
+    return 0x12;
+  case Opcode::XORCC:
+    return 0x13;
+  case Opcode::SUBCC:
+    return 0x14;
+  case Opcode::SLL:
+    return 0x25;
+  case Opcode::SRL:
+    return 0x26;
+  case Opcode::SRA:
+    return 0x27;
+  case Opcode::JMPL:
+    return 0x38;
+  case Opcode::SAVE:
+    return 0x3C;
+  case Opcode::RESTORE:
+    return 0x3D;
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Opcode> arithFromOp3(uint32_t Op3) {
+  switch (Op3) {
+  case 0x00:
+    return Opcode::ADD;
+  case 0x01:
+    return Opcode::AND;
+  case 0x02:
+    return Opcode::OR;
+  case 0x03:
+    return Opcode::XOR;
+  case 0x04:
+    return Opcode::SUB;
+  case 0x05:
+    return Opcode::ANDN;
+  case 0x06:
+    return Opcode::ORN;
+  case 0x07:
+    return Opcode::XNOR;
+  case 0x0A:
+    return Opcode::UMUL;
+  case 0x0B:
+    return Opcode::SMUL;
+  case 0x0E:
+    return Opcode::UDIV;
+  case 0x0F:
+    return Opcode::SDIV;
+  case 0x10:
+    return Opcode::ADDCC;
+  case 0x11:
+    return Opcode::ANDCC;
+  case 0x12:
+    return Opcode::ORCC;
+  case 0x13:
+    return Opcode::XORCC;
+  case 0x14:
+    return Opcode::SUBCC;
+  case 0x25:
+    return Opcode::SLL;
+  case 0x26:
+    return Opcode::SRL;
+  case 0x27:
+    return Opcode::SRA;
+  case 0x38:
+    return Opcode::JMPL;
+  case 0x3C:
+    return Opcode::SAVE;
+  case 0x3D:
+    return Opcode::RESTORE;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// op3 field values for format-3 memory (op=11).
+std::optional<uint32_t> memOp3(Opcode Op) {
+  switch (Op) {
+  case Opcode::LD:
+    return 0x00;
+  case Opcode::LDUB:
+    return 0x01;
+  case Opcode::LDUH:
+    return 0x02;
+  case Opcode::ST:
+    return 0x04;
+  case Opcode::STB:
+    return 0x05;
+  case Opcode::STH:
+    return 0x06;
+  case Opcode::LDSB:
+    return 0x09;
+  case Opcode::LDSH:
+    return 0x0A;
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Opcode> memFromOp3(uint32_t Op3) {
+  switch (Op3) {
+  case 0x00:
+    return Opcode::LD;
+  case 0x01:
+    return Opcode::LDUB;
+  case 0x02:
+    return Opcode::LDUH;
+  case 0x04:
+    return Opcode::ST;
+  case 0x05:
+    return Opcode::STB;
+  case 0x06:
+    return Opcode::STH;
+  case 0x09:
+    return Opcode::LDSB;
+  case 0x0A:
+    return Opcode::LDSH;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// cond field values for Bicc.
+std::optional<uint32_t> branchCond(Opcode Op) {
+  switch (Op) {
+  case Opcode::BN:
+    return 0x0;
+  case Opcode::BE:
+    return 0x1;
+  case Opcode::BLE:
+    return 0x2;
+  case Opcode::BL:
+    return 0x3;
+  case Opcode::BLEU:
+    return 0x4;
+  case Opcode::BCS:
+    return 0x5;
+  case Opcode::BNEG:
+    return 0x6;
+  case Opcode::BVS:
+    return 0x7;
+  case Opcode::BA:
+    return 0x8;
+  case Opcode::BNE:
+    return 0x9;
+  case Opcode::BG:
+    return 0xA;
+  case Opcode::BGE:
+    return 0xB;
+  case Opcode::BGU:
+    return 0xC;
+  case Opcode::BCC:
+    return 0xD;
+  case Opcode::BPOS:
+    return 0xE;
+  case Opcode::BVC:
+    return 0xF;
+  default:
+    return std::nullopt;
+  }
+}
+
+Opcode branchFromCond(uint32_t Cond) {
+  static const Opcode Table[16] = {
+      Opcode::BN,   Opcode::BE,  Opcode::BLE,  Opcode::BL,
+      Opcode::BLEU, Opcode::BCS, Opcode::BNEG, Opcode::BVS,
+      Opcode::BA,   Opcode::BNE, Opcode::BG,   Opcode::BGE,
+      Opcode::BGU,  Opcode::BCC, Opcode::BPOS, Opcode::BVC};
+  return Table[Cond & 0xF];
+}
+
+bool fitsSimm13(int32_t V) { return V >= -4096 && V <= 4095; }
+
+uint32_t format3(uint32_t OpField, uint32_t Rd, uint32_t Op3, uint32_t Rs1,
+                 bool UsesImm, int32_t Imm, uint32_t Rs2) {
+  uint32_t Word = (OpField << 30) | (Rd << 25) | (Op3 << 19) | (Rs1 << 14);
+  if (UsesImm)
+    Word |= (1u << 13) | (static_cast<uint32_t>(Imm) & 0x1FFF);
+  else
+    Word |= Rs2 & 0x1F;
+  return Word;
+}
+
+} // namespace
+
+std::optional<uint32_t> sparc::encode(const Instruction &Inst,
+                                      uint32_t Index) {
+  if (Inst.Op == Opcode::CALL) {
+    if (Inst.Target < 0)
+      return std::nullopt; // External symbol: needs a relocation.
+    int64_t Disp = static_cast<int64_t>(Inst.Target) - Index;
+    return (0x1u << 30) | (static_cast<uint32_t>(Disp) & 0x3FFFFFFF);
+  }
+
+  if (Inst.Op == Opcode::SETHI) {
+    if (Inst.Imm < 0 || Inst.Imm > 0x3FFFFF)
+      return std::nullopt;
+    return (0x4u << 22) | (static_cast<uint32_t>(Inst.Rd.number()) << 25) |
+           static_cast<uint32_t>(Inst.Imm);
+  }
+
+  if (std::optional<uint32_t> Cond = branchCond(Inst.Op)) {
+    if (Inst.Target < 0)
+      return std::nullopt;
+    int64_t Disp = static_cast<int64_t>(Inst.Target) - Index;
+    if (Disp < -(1 << 21) || Disp >= (1 << 21))
+      return std::nullopt;
+    uint32_t Word = (*Cond << 25) | (0x2u << 22) |
+                    (static_cast<uint32_t>(Disp) & 0x3FFFFF);
+    if (Inst.Annul)
+      Word |= 1u << 29;
+    return Word;
+  }
+
+  if (std::optional<uint32_t> Op3 = memOp3(Inst.Op)) {
+    if (Inst.UsesImm && !fitsSimm13(Inst.Imm))
+      return std::nullopt;
+    return format3(0x3, Inst.Rd.number(), *Op3, Inst.Rs1.number(),
+                   Inst.UsesImm, Inst.Imm, Inst.Rs2.number());
+  }
+
+  if (std::optional<uint32_t> Op3 = arithOp3(Inst.Op)) {
+    if (Inst.UsesImm && !fitsSimm13(Inst.Imm))
+      return std::nullopt;
+    return format3(0x2, Inst.Rd.number(), *Op3, Inst.Rs1.number(),
+                   Inst.UsesImm, Inst.Imm, Inst.Rs2.number());
+  }
+
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint32_t>> sparc::encodeModule(const Module &M) {
+  std::vector<uint32_t> Words;
+  Words.reserve(M.Insts.size());
+  for (uint32_t I = 0; I < M.size(); ++I) {
+    std::optional<uint32_t> W = encode(M.Insts[I], I);
+    if (!W)
+      return std::nullopt;
+    Words.push_back(*W);
+  }
+  return Words;
+}
+
+std::optional<Instruction> sparc::decode(uint32_t Word, uint32_t Index) {
+  Instruction Inst;
+  uint32_t OpField = Word >> 30;
+
+  if (OpField == 0x1) { // Format 1: call.
+    int32_t Disp = static_cast<int32_t>(Word << 2) >> 2; // Sign-extend 30.
+    Inst.Op = Opcode::CALL;
+    Inst.Target = static_cast<int32_t>(Index) + Disp;
+    return Inst;
+  }
+
+  if (OpField == 0x0) { // Format 2: sethi or Bicc.
+    uint32_t Op2 = (Word >> 22) & 0x7;
+    if (Op2 == 0x4) {
+      Inst.Op = Opcode::SETHI;
+      Inst.Rd = Reg((Word >> 25) & 0x1F);
+      Inst.UsesImm = true;
+      Inst.Imm = static_cast<int32_t>(Word & 0x3FFFFF);
+      return Inst;
+    }
+    if (Op2 == 0x2) {
+      uint32_t Cond = (Word >> 25) & 0xF;
+      Inst.Op = branchFromCond(Cond);
+      Inst.Annul = (Word >> 29) & 1;
+      int32_t Disp = static_cast<int32_t>(Word << 10) >> 10; // Sign-ext 22.
+      Inst.Target = static_cast<int32_t>(Index) + Disp;
+      return Inst;
+    }
+    return std::nullopt;
+  }
+
+  // Format 3.
+  uint32_t Op3 = (Word >> 19) & 0x3F;
+  std::optional<Opcode> Op =
+      OpField == 0x3 ? memFromOp3(Op3) : arithFromOp3(Op3);
+  if (!Op)
+    return std::nullopt;
+  Inst.Op = *Op;
+  Inst.Rd = Reg((Word >> 25) & 0x1F);
+  Inst.Rs1 = Reg((Word >> 14) & 0x1F);
+  if ((Word >> 13) & 1) {
+    Inst.UsesImm = true;
+    Inst.Imm = static_cast<int32_t>(Word << 19) >> 19; // Sign-extend 13.
+  } else {
+    Inst.Rs2 = Reg(Word & 0x1F);
+  }
+  return Inst;
+}
+
+std::optional<Module> sparc::decodeModule(const std::vector<uint32_t> &Words) {
+  Module M;
+  for (uint32_t I = 0; I < Words.size(); ++I) {
+    std::optional<Instruction> Inst = decode(Words[I], I);
+    if (!Inst)
+      return std::nullopt;
+    Inst->SourceLine = I + 1;
+    M.Insts.push_back(*Inst);
+  }
+  // Validate control-transfer targets and synthesize entries.
+  M.FunctionEntries.push_back(0);
+  for (const Instruction &Inst : M.Insts) {
+    if (Inst.Target < 0)
+      continue;
+    if (Inst.Target >= static_cast<int32_t>(M.size()))
+      return std::nullopt;
+    if (Inst.Op == Opcode::CALL &&
+        !M.isFunctionEntry(static_cast<uint32_t>(Inst.Target)))
+      M.FunctionEntries.push_back(static_cast<uint32_t>(Inst.Target));
+  }
+  return M;
+}

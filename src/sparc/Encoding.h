@@ -1,0 +1,52 @@
+//===- Encoding.h - SPARC V8 binary instruction encoding --------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary encoder and decoder for the supported SPARC V8 subset, using the
+/// architectural formats:
+///   format 1 (op=01): call, 30-bit word displacement;
+///   format 2 (op=00): sethi and Bicc (a-bit, 4-bit cond, 22-bit disp);
+///   format 3 (op=10/11): arithmetic and memory (rd, op3, rs1, i, simm13).
+/// The checker can therefore consume genuine machine words — the decoder is
+/// the "loader" half of the paper's pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SPARC_ENCODING_H
+#define MCSAFE_SPARC_ENCODING_H
+
+#include "sparc/Instruction.h"
+#include "sparc/Module.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mcsafe {
+namespace sparc {
+
+/// Encodes one instruction located at word index \p Index (branch and call
+/// displacements are PC-relative in words). Returns nullopt when the
+/// instruction cannot be encoded (e.g. an immediate outside simm13, or a
+/// call to an external symbol, which needs a relocation we do not model).
+std::optional<uint32_t> encode(const Instruction &Inst, uint32_t Index);
+
+/// Encodes a whole module. External calls are rejected.
+std::optional<std::vector<uint32_t>> encodeModule(const Module &M);
+
+/// Decodes one machine word at word index \p Index. Returns nullopt for
+/// words outside the supported subset.
+std::optional<Instruction> decode(uint32_t Word, uint32_t Index);
+
+/// Decodes a word sequence into a module (labels are synthesized from
+/// branch targets; function entries from call targets).
+std::optional<Module> decodeModule(const std::vector<uint32_t> &Words);
+
+} // namespace sparc
+} // namespace mcsafe
+
+#endif // MCSAFE_SPARC_ENCODING_H

@@ -1,0 +1,257 @@
+//===- Instruction.cpp ----------------------------------------------------===//
+
+#include "sparc/Instruction.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+const char *sparc::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LDSB:
+    return "ldsb";
+  case Opcode::LDSH:
+    return "ldsh";
+  case Opcode::LDUB:
+    return "ldub";
+  case Opcode::LDUH:
+    return "lduh";
+  case Opcode::LD:
+    return "ld";
+  case Opcode::STB:
+    return "stb";
+  case Opcode::STH:
+    return "sth";
+  case Opcode::ST:
+    return "st";
+  case Opcode::ADD:
+    return "add";
+  case Opcode::ADDCC:
+    return "addcc";
+  case Opcode::SUB:
+    return "sub";
+  case Opcode::SUBCC:
+    return "subcc";
+  case Opcode::AND:
+    return "and";
+  case Opcode::ANDCC:
+    return "andcc";
+  case Opcode::ANDN:
+    return "andn";
+  case Opcode::OR:
+    return "or";
+  case Opcode::ORCC:
+    return "orcc";
+  case Opcode::ORN:
+    return "orn";
+  case Opcode::XOR:
+    return "xor";
+  case Opcode::XORCC:
+    return "xorcc";
+  case Opcode::XNOR:
+    return "xnor";
+  case Opcode::SLL:
+    return "sll";
+  case Opcode::SRL:
+    return "srl";
+  case Opcode::SRA:
+    return "sra";
+  case Opcode::UMUL:
+    return "umul";
+  case Opcode::SMUL:
+    return "smul";
+  case Opcode::UDIV:
+    return "udiv";
+  case Opcode::SDIV:
+    return "sdiv";
+  case Opcode::SETHI:
+    return "sethi";
+  case Opcode::BA:
+    return "ba";
+  case Opcode::BN:
+    return "bn";
+  case Opcode::BNE:
+    return "bne";
+  case Opcode::BE:
+    return "be";
+  case Opcode::BG:
+    return "bg";
+  case Opcode::BLE:
+    return "ble";
+  case Opcode::BGE:
+    return "bge";
+  case Opcode::BL:
+    return "bl";
+  case Opcode::BGU:
+    return "bgu";
+  case Opcode::BLEU:
+    return "bleu";
+  case Opcode::BCC:
+    return "bcc";
+  case Opcode::BCS:
+    return "bcs";
+  case Opcode::BPOS:
+    return "bpos";
+  case Opcode::BNEG:
+    return "bneg";
+  case Opcode::BVC:
+    return "bvc";
+  case Opcode::BVS:
+    return "bvs";
+  case Opcode::CALL:
+    return "call";
+  case Opcode::JMPL:
+    return "jmpl";
+  case Opcode::SAVE:
+    return "save";
+  case Opcode::RESTORE:
+    return "restore";
+  }
+  return "???";
+}
+
+bool sparc::isLoad(Opcode Op) {
+  switch (Op) {
+  case Opcode::LDSB:
+  case Opcode::LDSH:
+  case Opcode::LDUB:
+  case Opcode::LDUH:
+  case Opcode::LD:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sparc::isStore(Opcode Op) {
+  switch (Op) {
+  case Opcode::STB:
+  case Opcode::STH:
+  case Opcode::ST:
+    return true;
+  default:
+    return false;
+  }
+}
+
+unsigned sparc::memAccessSize(Opcode Op) {
+  switch (Op) {
+  case Opcode::LDSB:
+  case Opcode::LDUB:
+  case Opcode::STB:
+    return 1;
+  case Opcode::LDSH:
+  case Opcode::LDUH:
+  case Opcode::STH:
+    return 2;
+  case Opcode::LD:
+  case Opcode::ST:
+    return 4;
+  default:
+    assert(false && "not a memory opcode");
+    return 0;
+  }
+}
+
+bool sparc::isSignedLoad(Opcode Op) {
+  return Op == Opcode::LDSB || Op == Opcode::LDSH;
+}
+
+bool sparc::isConditionalBranch(Opcode Op) {
+  return isBranch(Op) && Op != Opcode::BA && Op != Opcode::BN;
+}
+
+bool sparc::isBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::BA:
+  case Opcode::BN:
+  case Opcode::BNE:
+  case Opcode::BE:
+  case Opcode::BG:
+  case Opcode::BLE:
+  case Opcode::BGE:
+  case Opcode::BL:
+  case Opcode::BGU:
+  case Opcode::BLEU:
+  case Opcode::BCC:
+  case Opcode::BCS:
+  case Opcode::BPOS:
+  case Opcode::BNEG:
+  case Opcode::BVC:
+  case Opcode::BVS:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sparc::setsIcc(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADDCC:
+  case Opcode::SUBCC:
+  case Opcode::ANDCC:
+  case Opcode::ORCC:
+  case Opcode::XORCC:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string Instruction::str() const {
+  std::ostringstream OS;
+  OS << opcodeName(Op);
+  if (isBranch(Op)) {
+    if (Annul)
+      OS << ",a";
+    OS << ' ' << (Target >= 0 ? std::to_string(Target + 1) : "?");
+    return OS.str();
+  }
+  OS << ' ';
+  switch (Op) {
+  case Opcode::SETHI:
+    OS << "%hi(0x" << std::hex << (static_cast<uint32_t>(Imm) << 10)
+       << std::dec << ")," << Rd.name();
+    break;
+  case Opcode::CALL:
+    if (!CalleeName.empty())
+      OS << CalleeName;
+    else
+      OS << (Target >= 0 ? std::to_string(Target + 1) : "?");
+    break;
+  case Opcode::JMPL:
+    OS << Rs1.name();
+    if (UsesImm)
+      OS << (Imm >= 0 ? "+" : "") << Imm;
+    else if (!Rs2.isZero())
+      OS << '+' << Rs2.name();
+    OS << ',' << Rd.name();
+    break;
+  default:
+    if (isLoad(Op) || isStore(Op)) {
+      std::string Addr = "[" + Rs1.name();
+      if (UsesImm) {
+        if (Imm != 0)
+          Addr += (Imm >= 0 ? "+" : "") + std::to_string(Imm);
+      } else if (!Rs2.isZero()) {
+        Addr += "+" + Rs2.name();
+      }
+      Addr += "]";
+      if (isLoad(Op))
+        OS << Addr << ',' << Rd.name();
+      else
+        OS << Rd.name() << ',' << Addr;
+    } else {
+      OS << Rs1.name() << ',';
+      if (UsesImm)
+        OS << Imm;
+      else
+        OS << Rs2.name();
+      OS << ',' << Rd.name();
+    }
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,153 @@
+//===- Instruction.h - SPARC V8 instruction representation ------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory representation of the SPARC V8 subset the checker analyzes.
+/// Synthetic instructions (mov, clr, cmp, inc, retl, nop, ...) are expanded
+/// by the assembler into these real opcodes, exactly as an off-the-shelf
+/// assembler would, so the checker only ever sees architectural
+/// instructions — the paper's point is that the analysis consumes what a
+/// compiler actually emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SPARC_INSTRUCTION_H
+#define MCSAFE_SPARC_INSTRUCTION_H
+
+#include "sparc/Registers.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mcsafe {
+namespace sparc {
+
+/// Architectural opcodes of the supported SPARC V8 subset.
+enum class Opcode : uint8_t {
+  // Format 3, op=11: loads and stores.
+  LDSB, ///< Load signed byte.
+  LDSH, ///< Load signed halfword.
+  LDUB, ///< Load unsigned byte.
+  LDUH, ///< Load unsigned halfword.
+  LD,   ///< Load word.
+  STB,  ///< Store byte.
+  STH,  ///< Store halfword.
+  ST,   ///< Store word.
+
+  // Format 3, op=10: integer arithmetic and logic.
+  ADD,
+  ADDCC,
+  SUB,
+  SUBCC,
+  AND,
+  ANDCC,
+  ANDN,
+  OR,
+  ORCC,
+  ORN,
+  XOR,
+  XORCC,
+  XNOR,
+  SLL,
+  SRL,
+  SRA,
+  UMUL,
+  SMUL,
+  UDIV,
+  SDIV,
+
+  // Format 2.
+  SETHI,
+
+  // Format 2: conditional branches on integer condition codes.
+  BA,
+  BN,
+  BNE,
+  BE,
+  BG,
+  BLE,
+  BGE,
+  BL,
+  BGU,
+  BLEU,
+  BCC, ///< Branch on carry clear (unsigned >=).
+  BCS, ///< Branch on carry set (unsigned <).
+  BPOS,
+  BNEG,
+  BVC,
+  BVS,
+
+  // Control transfer and register windows.
+  CALL,
+  JMPL,
+  SAVE,
+  RESTORE,
+};
+
+/// Returns the canonical mnemonic for an opcode ("add", "bge", ...).
+const char *opcodeName(Opcode Op);
+
+bool isLoad(Opcode Op);
+bool isStore(Opcode Op);
+/// Bytes accessed by a load/store opcode (1, 2, or 4).
+unsigned memAccessSize(Opcode Op);
+/// True for LDSB / LDSH (the sign-extending narrow loads).
+bool isSignedLoad(Opcode Op);
+
+bool isConditionalBranch(Opcode Op); ///< Bicc other than BA/BN.
+bool isBranch(Opcode Op);            ///< Any Bicc, including BA and BN.
+/// True if the opcode writes the integer condition codes.
+bool setsIcc(Opcode Op);
+
+/// A decoded instruction.
+///
+/// Operand conventions:
+///  - Arithmetic:      rd = rs1 op operand2 (Rs2 or Imm per UsesImm).
+///  - Loads:           rd = mem[rs1 + operand2].
+///  - Stores:          mem[rs1 + operand2] = rd.  (Rd holds the source.)
+///  - SETHI:           rd = Imm << 10.
+///  - Bicc:            Target is the index of the destination instruction
+///                     within the module; Annul is the a-bit.
+///  - CALL:            Target indexes a local function entry, or
+///                     CalleeName names an external (trusted) function.
+///  - JMPL:            rd = PC; jump to rs1 + operand2. "retl" is
+///                     jmpl %o7+8, %g0 and "ret" is jmpl %i7+8, %g0.
+struct Instruction {
+  Opcode Op = Opcode::ADD;
+  Reg Rd;
+  Reg Rs1;
+  Reg Rs2;
+  bool UsesImm = false;
+  int32_t Imm = 0;
+  bool Annul = false;
+  /// Branch / local-call destination: instruction index in the module.
+  /// -1 when not a control transfer or when the callee is external.
+  int32_t Target = -1;
+  /// For CALL to an external (host/trusted) function.
+  std::string CalleeName;
+  /// 1-based line number of the instruction in the assembly listing.
+  uint32_t SourceLine = 0;
+
+  bool isControlTransfer() const {
+    return isBranch(Op) || Op == Opcode::CALL || Op == Opcode::JMPL;
+  }
+
+  /// True when the JMPL is the conventional subroutine return
+  /// (jmpl %o7+8,%g0 or jmpl %i7+8,%g0).
+  bool isReturn() const {
+    return Op == Opcode::JMPL && Rd.isZero() &&
+           (Rs1 == O7 || Rs1 == I7) && UsesImm && Imm == 8;
+  }
+
+  /// Renders the instruction in assembly syntax.
+  std::string str() const;
+};
+
+} // namespace sparc
+} // namespace mcsafe
+
+#endif // MCSAFE_SPARC_INSTRUCTION_H

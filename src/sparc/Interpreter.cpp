@@ -1,0 +1,425 @@
+//===- Interpreter.cpp ----------------------------------------------------===//
+
+#include "sparc/Interpreter.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+/// The fake return address handed to the top-level function: returning
+/// through it means "back to the host".
+constexpr uint32_t MagicReturn = 0xFFFF0000u;
+/// Pseudo-PC at which a pending host-function call runs.
+constexpr uint32_t HostTrampoline = 0xFFFFFFFEu;
+/// Pseudo-PC meaning "the top-level function has returned" — reached
+/// only after the return's delay slot (typically the restore) executed.
+constexpr uint32_t ReturnedPC = 0xFFFFFFFDu;
+
+bool bit31(uint32_t V) { return (V >> 31) & 1; }
+
+} // namespace
+
+const char *sparc::stopReasonName(StopReason Reason) {
+  switch (Reason) {
+  case StopReason::Returned:
+    return "returned";
+  case StopReason::UnmappedAccess:
+    return "unmapped-access";
+  case StopReason::MisalignedAccess:
+    return "misaligned-access";
+  case StopReason::WindowUnderflow:
+    return "window-underflow";
+  case StopReason::BadJump:
+    return "bad-jump";
+  case StopReason::DivisionByZero:
+    return "division-by-zero";
+  case StopReason::StepLimit:
+    return "step-limit";
+  case StopReason::UnknownCallee:
+    return "unknown-callee";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(const Module &M) : M(M) {
+  Windows.emplace_back();
+  Windows.back().fill(0);
+  // The host's return address; returning through it ends the run.
+  setReg(O7, MagicReturn - 8);
+  // A default stack so unannotated saves do not immediately fault: 64 KiB
+  // below 0xF0000000.
+  mapRegion(0xEFFF0000u, 0x10000);
+  setReg(SP, 0xEFFFF000u);
+  setReg(FP, 0xEFFFF800u);
+}
+
+void Interpreter::mapRegion(uint32_t Base, uint32_t Size) {
+  for (uint32_t I = 0; I < Size; ++I)
+    Memory[Base + I] = 0;
+}
+
+void Interpreter::write8(uint32_t Addr, uint8_t Value) {
+  auto It = Memory.find(Addr);
+  if (It == Memory.end()) {
+    if (!Faulted) // Keep the first faulting address.
+      fault(StopReason::UnmappedAccess, Addr);
+    return;
+  }
+  It->second = Value;
+}
+
+uint8_t Interpreter::read8(uint32_t Addr) const {
+  auto It = Memory.find(Addr);
+  if (It == Memory.end()) {
+    if (!Faulted)
+      const_cast<Interpreter *>(this)->fault(StopReason::UnmappedAccess,
+                                             Addr);
+    return 0;
+  }
+  return It->second;
+}
+
+void Interpreter::write32(uint32_t Addr, uint32_t Value) {
+  for (int I = 0; I < 4; ++I)
+    write8(Addr + I, static_cast<uint8_t>(Value >> (24 - 8 * I)));
+}
+
+uint32_t Interpreter::read32(uint32_t Addr) const {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V = (V << 8) | read8(Addr + I);
+  return V;
+}
+
+uint32_t Interpreter::reg(Reg R) const {
+  uint8_t N = R.number();
+  if (N == 0)
+    return 0;
+  if (N < 8)
+    return Globals[N];
+  return Windows.back()[N - 8];
+}
+
+void Interpreter::setReg(Reg R, uint32_t Value) {
+  uint8_t N = R.number();
+  if (N == 0)
+    return;
+  if (N < 8) {
+    Globals[N] = Value;
+    return;
+  }
+  Windows.back()[N - 8] = Value;
+}
+
+uint32_t Interpreter::operand2(const Instruction &Inst) const {
+  if (Inst.UsesImm)
+    return static_cast<uint32_t>(Inst.Imm);
+  return reg(Inst.Rs2);
+}
+
+void Interpreter::setIccAdd(uint32_t A, uint32_t B, uint32_t R) {
+  Icc.N = bit31(R);
+  Icc.Z = R == 0;
+  Icc.V = bit31(~(A ^ B) & (A ^ R));
+  Icc.C = R < A;
+}
+
+void Interpreter::setIccSub(uint32_t A, uint32_t B, uint32_t R) {
+  Icc.N = bit31(R);
+  Icc.Z = R == 0;
+  Icc.V = bit31((A ^ B) & (A ^ R));
+  Icc.C = B > A;
+}
+
+void Interpreter::setIccLogic(uint32_t R) {
+  Icc.N = bit31(R);
+  Icc.Z = R == 0;
+  Icc.V = false;
+  Icc.C = false;
+}
+
+bool Interpreter::branchTaken(Opcode Op) const {
+  switch (Op) {
+  case Opcode::BA:
+    return true;
+  case Opcode::BN:
+    return false;
+  case Opcode::BE:
+    return Icc.Z;
+  case Opcode::BNE:
+    return !Icc.Z;
+  case Opcode::BL:
+    return Icc.N != Icc.V;
+  case Opcode::BGE:
+    return Icc.N == Icc.V;
+  case Opcode::BG:
+    return !(Icc.Z || (Icc.N != Icc.V));
+  case Opcode::BLE:
+    return Icc.Z || (Icc.N != Icc.V);
+  case Opcode::BGU:
+    return !(Icc.C || Icc.Z);
+  case Opcode::BLEU:
+    return Icc.C || Icc.Z;
+  case Opcode::BCC:
+    return !Icc.C;
+  case Opcode::BCS:
+    return Icc.C;
+  case Opcode::BPOS:
+    return !Icc.N;
+  case Opcode::BNEG:
+    return Icc.N;
+  case Opcode::BVC:
+    return !Icc.V;
+  case Opcode::BVS:
+    return Icc.V;
+  default:
+    return false;
+  }
+}
+
+std::optional<StopReason> Interpreter::step() {
+  if (PC == ReturnedPC)
+    return StopReason::Returned;
+  // A pending host call runs once its caller's delay slot has executed.
+  if (PC == HostTrampoline) {
+    auto It = HostFns.find(PendingCallee);
+    if (It == HostFns.end())
+      return StopReason::UnknownCallee;
+    It->second(*this);
+    if (Faulted)
+      return Pending;
+    PC = HostReturn;
+    NPC = PC + 1;
+    return std::nullopt;
+  }
+
+  if (PC >= M.size())
+    return StopReason::BadJump;
+  const Instruction &Inst = M.Insts[PC];
+  uint32_t NextPC = NPC;
+  uint32_t NextNPC = NPC + 1;
+
+  switch (Inst.Op) {
+  case Opcode::ADD:
+  case Opcode::ADDCC: {
+    uint32_t A = reg(Inst.Rs1), B = operand2(Inst), R = A + B;
+    setReg(Inst.Rd, R);
+    if (Inst.Op == Opcode::ADDCC)
+      setIccAdd(A, B, R);
+    break;
+  }
+  case Opcode::SUB:
+  case Opcode::SUBCC: {
+    uint32_t A = reg(Inst.Rs1), B = operand2(Inst), R = A - B;
+    setReg(Inst.Rd, R);
+    if (Inst.Op == Opcode::SUBCC)
+      setIccSub(A, B, R);
+    break;
+  }
+  case Opcode::AND:
+  case Opcode::ANDCC: {
+    uint32_t R = reg(Inst.Rs1) & operand2(Inst);
+    setReg(Inst.Rd, R);
+    if (Inst.Op == Opcode::ANDCC)
+      setIccLogic(R);
+    break;
+  }
+  case Opcode::ANDN:
+    setReg(Inst.Rd, reg(Inst.Rs1) & ~operand2(Inst));
+    break;
+  case Opcode::OR:
+  case Opcode::ORCC: {
+    uint32_t R = reg(Inst.Rs1) | operand2(Inst);
+    setReg(Inst.Rd, R);
+    if (Inst.Op == Opcode::ORCC)
+      setIccLogic(R);
+    break;
+  }
+  case Opcode::ORN:
+    setReg(Inst.Rd, reg(Inst.Rs1) | ~operand2(Inst));
+    break;
+  case Opcode::XOR:
+  case Opcode::XORCC: {
+    uint32_t R = reg(Inst.Rs1) ^ operand2(Inst);
+    setReg(Inst.Rd, R);
+    if (Inst.Op == Opcode::XORCC)
+      setIccLogic(R);
+    break;
+  }
+  case Opcode::XNOR:
+    setReg(Inst.Rd, ~(reg(Inst.Rs1) ^ operand2(Inst)));
+    break;
+  case Opcode::SLL:
+    setReg(Inst.Rd, reg(Inst.Rs1) << (operand2(Inst) & 31));
+    break;
+  case Opcode::SRL:
+    setReg(Inst.Rd, reg(Inst.Rs1) >> (operand2(Inst) & 31));
+    break;
+  case Opcode::SRA:
+    setReg(Inst.Rd,
+           static_cast<uint32_t>(static_cast<int32_t>(reg(Inst.Rs1)) >>
+                                 (operand2(Inst) & 31)));
+    break;
+  case Opcode::UMUL:
+    setReg(Inst.Rd, reg(Inst.Rs1) * operand2(Inst));
+    break;
+  case Opcode::SMUL:
+    setReg(Inst.Rd,
+           static_cast<uint32_t>(static_cast<int32_t>(reg(Inst.Rs1)) *
+                                 static_cast<int32_t>(operand2(Inst))));
+    break;
+  case Opcode::UDIV: {
+    uint32_t B = operand2(Inst);
+    if (B == 0)
+      return StopReason::DivisionByZero;
+    setReg(Inst.Rd, reg(Inst.Rs1) / B);
+    break;
+  }
+  case Opcode::SDIV: {
+    int32_t B = static_cast<int32_t>(operand2(Inst));
+    if (B == 0)
+      return StopReason::DivisionByZero;
+    setReg(Inst.Rd,
+           static_cast<uint32_t>(static_cast<int32_t>(reg(Inst.Rs1)) / B));
+    break;
+  }
+  case Opcode::SETHI:
+    setReg(Inst.Rd, static_cast<uint32_t>(Inst.Imm) << 10);
+    break;
+
+  case Opcode::LD:
+  case Opcode::LDUB:
+  case Opcode::LDUH:
+  case Opcode::LDSB:
+  case Opcode::LDSH: {
+    uint32_t Addr = reg(Inst.Rs1) + operand2(Inst);
+    unsigned Size = memAccessSize(Inst.Op);
+    if (Addr % Size != 0)
+      return fault(StopReason::MisalignedAccess, Addr), Pending;
+    uint32_t V = 0;
+    if (Size == 4)
+      V = read32(Addr);
+    else if (Size == 2)
+      V = (read8(Addr) << 8) | read8(Addr + 1);
+    else
+      V = read8(Addr);
+    if (Faulted)
+      return Pending;
+    if (Inst.Op == Opcode::LDSB)
+      V = static_cast<uint32_t>(static_cast<int32_t>(V << 24) >> 24);
+    if (Inst.Op == Opcode::LDSH)
+      V = static_cast<uint32_t>(static_cast<int32_t>(V << 16) >> 16);
+    setReg(Inst.Rd, V);
+    break;
+  }
+  case Opcode::ST:
+  case Opcode::STB:
+  case Opcode::STH: {
+    uint32_t Addr = reg(Inst.Rs1) + operand2(Inst);
+    unsigned Size = memAccessSize(Inst.Op);
+    if (Addr % Size != 0)
+      return fault(StopReason::MisalignedAccess, Addr), Pending;
+    uint32_t V = reg(Inst.Rd);
+    if (Size == 4)
+      write32(Addr, V);
+    else if (Size == 2) {
+      write8(Addr, static_cast<uint8_t>(V >> 8));
+      write8(Addr + 1, static_cast<uint8_t>(V));
+    } else {
+      write8(Addr, static_cast<uint8_t>(V));
+    }
+    if (Faulted)
+      return Pending;
+    break;
+  }
+
+  case Opcode::SAVE: {
+    uint32_t Value = reg(Inst.Rs1) + operand2(Inst);
+    std::array<uint32_t, 24> NewWin;
+    NewWin.fill(0);
+    for (int K = 0; K < 8; ++K)
+      NewWin[16 + K] = Windows.back()[K]; // New %i = old %o.
+    Windows.push_back(NewWin);
+    setReg(Inst.Rd, Value);
+    break;
+  }
+  case Opcode::RESTORE: {
+    if (Windows.size() == 1)
+      return StopReason::WindowUnderflow;
+    uint32_t Value = reg(Inst.Rs1) + operand2(Inst);
+    std::array<uint32_t, 24> Old = Windows.back();
+    Windows.pop_back();
+    for (int K = 0; K < 8; ++K)
+      Windows.back()[K] = Old[16 + K]; // Caller's %o = callee's %i.
+    setReg(Inst.Rd, Value);
+    break;
+  }
+
+  case Opcode::CALL:
+    setReg(O7, PC * 4);
+    if (Inst.Target >= 0) {
+      NextNPC = static_cast<uint32_t>(Inst.Target);
+    } else {
+      PendingCallee = Inst.CalleeName;
+      HostReturn = PC + 2;
+      NextNPC = HostTrampoline;
+    }
+    break;
+  case Opcode::JMPL: {
+    uint32_t Addr = reg(Inst.Rs1) + operand2(Inst);
+    setReg(Inst.Rd, PC * 4);
+    if (Addr == MagicReturn) {
+      // The delay slot (usually the restore) still executes.
+      NextNPC = ReturnedPC;
+      break;
+    }
+    if (Addr % 4 != 0 || Addr / 4 >= M.size())
+      return StopReason::BadJump;
+    NextNPC = Addr / 4;
+    break;
+  }
+
+  default:
+    if (isBranch(Inst.Op)) {
+      bool Taken = branchTaken(Inst.Op);
+      if (Taken) {
+        NextNPC = static_cast<uint32_t>(Inst.Target);
+        if (Inst.Op == Opcode::BA && Inst.Annul) {
+          // ba,a skips the delay slot entirely.
+          NextPC = static_cast<uint32_t>(Inst.Target);
+          NextNPC = NextPC + 1;
+        }
+      } else if (Inst.Annul) {
+        // Untaken annulled branch skips the delay slot.
+        NextPC = NPC + 1;
+        NextNPC = NPC + 2;
+      }
+    }
+    break;
+  }
+
+  PC = NextPC;
+  NPC = NextNPC;
+  return std::nullopt;
+}
+
+Interpreter::Result Interpreter::run(uint64_t MaxSteps) {
+  Result R;
+  while (R.Steps < MaxSteps) {
+    uint32_t Line =
+        PC < M.size() ? M.Insts[PC].SourceLine : 0;
+    std::optional<StopReason> Stop = step();
+    ++R.Steps;
+    if (Stop) {
+      R.Reason = *Stop;
+      R.FaultAddr = FaultAddr;
+      R.FaultLine = Line;
+      return R;
+    }
+  }
+  R.Reason = StopReason::StepLimit;
+  return R;
+}

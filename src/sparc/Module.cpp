@@ -1,0 +1,20 @@
+//===- Module.cpp ---------------------------------------------------------===//
+
+#include "sparc/Module.h"
+
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+std::string Module::str() const {
+  // Invert the label map for printing.
+  std::ostringstream OS;
+  for (uint32_t I = 0; I < size(); ++I) {
+    for (const auto &[Name, Index] : Labels)
+      if (Index == I)
+        OS << Name << ":\n";
+    OS << (I + 1) << ":\t" << Insts[I].str() << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,67 @@
+//===- Module.h - An assembled unit of untrusted code -----------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module is the unit the safety checker analyzes: a flat instruction
+/// sequence plus the symbol information the assembler (or a binary loader)
+/// recovered — labels, local function entry points, and the names of
+/// external (host / trusted) functions the code calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SPARC_MODULE_H
+#define MCSAFE_SPARC_MODULE_H
+
+#include "sparc/Instruction.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace sparc {
+
+/// An assembled (or decoded) piece of untrusted machine code.
+struct Module {
+  std::vector<Instruction> Insts;
+
+  /// Label name -> instruction index.
+  std::map<std::string, uint32_t> Labels;
+
+  /// Entry points of local functions (targets of local calls). The module
+  /// entry (index 0) is always present.
+  std::vector<uint32_t> FunctionEntries;
+
+  /// Names of external functions referenced by call instructions. These
+  /// must be covered by trusted-function summaries in the safety policy.
+  std::vector<std::string> ExternalCallees;
+
+  uint32_t size() const { return static_cast<uint32_t>(Insts.size()); }
+
+  bool isFunctionEntry(uint32_t Index) const {
+    for (uint32_t E : FunctionEntries)
+      if (E == Index)
+        return true;
+    return false;
+  }
+
+  /// Returns the entry index for a label, or -1.
+  int32_t lookupLabel(const std::string &Name) const {
+    auto It = Labels.find(Name);
+    return It == Labels.end() ? -1 : static_cast<int32_t>(It->second);
+  }
+
+  /// Renders the whole module as an assembly listing with 1-based line
+  /// numbers, mirroring the paper's Figure 1 presentation.
+  std::string str() const;
+};
+
+} // namespace sparc
+} // namespace mcsafe
+
+#endif // MCSAFE_SPARC_MODULE_H

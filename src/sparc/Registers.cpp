@@ -1,0 +1,59 @@
+//===- Registers.cpp ------------------------------------------------------===//
+
+#include "sparc/Registers.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+std::string Reg::name() const {
+  if (Number == 14)
+    return "%sp";
+  if (Number == 30)
+    return "%fp";
+  static const char Groups[4] = {'g', 'o', 'l', 'i'};
+  std::string Name = "%";
+  Name += Groups[Number / 8];
+  Name += static_cast<char>('0' + Number % 8);
+  return Name;
+}
+
+std::optional<Reg> sparc::parseReg(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.size() < 3 || Text[0] != '%')
+    return std::nullopt;
+  std::string_view Body = Text.substr(1);
+  if (Body == "sp")
+    return SP;
+  if (Body == "fp")
+    return FP;
+  if (Body[0] == 'r') {
+    std::optional<int64_t> N = parseInt(Body.substr(1));
+    if (!N || *N < 0 || *N > 31)
+      return std::nullopt;
+    return Reg(static_cast<uint8_t>(*N));
+  }
+  int Group;
+  switch (Body[0]) {
+  case 'g':
+    Group = 0;
+    break;
+  case 'o':
+    Group = 1;
+    break;
+  case 'l':
+    Group = 2;
+    break;
+  case 'i':
+    Group = 3;
+    break;
+  default:
+    return std::nullopt;
+  }
+  if (Body.size() != 2 || Body[1] < '0' || Body[1] > '7')
+    return std::nullopt;
+  return Reg(static_cast<uint8_t>(Group * 8 + (Body[1] - '0')));
+}

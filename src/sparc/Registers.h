@@ -1,0 +1,80 @@
+//===- Registers.h - SPARC V8 integer register model ------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SPARC V8 integer register file: %g0-%g7, %o0-%o7, %l0-%l7,
+/// %i0-%i7, with the standard aliases %sp (= %o6) and %fp (= %i6).
+/// Register numbers follow the architectural encoding (g=0-7, o=8-15,
+/// l=16-23, i=24-31). %g0 reads as zero and ignores writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SPARC_REGISTERS_H
+#define MCSAFE_SPARC_REGISTERS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcsafe {
+namespace sparc {
+
+/// An integer register, identified by its architectural number 0-31.
+class Reg {
+public:
+  constexpr Reg() : Number(0) {}
+  constexpr explicit Reg(uint8_t Number) : Number(Number) {}
+
+  constexpr uint8_t number() const { return Number; }
+  constexpr bool isZero() const { return Number == 0; }
+
+  constexpr bool isGlobal() const { return Number < 8; }
+  constexpr bool isOut() const { return Number >= 8 && Number < 16; }
+  constexpr bool isLocal() const { return Number >= 16 && Number < 24; }
+  constexpr bool isIn() const { return Number >= 24; }
+
+  friend constexpr bool operator==(Reg A, Reg B) {
+    return A.Number == B.Number;
+  }
+  friend constexpr bool operator!=(Reg A, Reg B) {
+    return A.Number != B.Number;
+  }
+  friend constexpr bool operator<(Reg A, Reg B) {
+    return A.Number < B.Number;
+  }
+
+  /// Canonical name, e.g. "%o0". %o6 renders as "%sp" and %i6 as "%fp".
+  std::string name() const;
+
+private:
+  uint8_t Number;
+};
+
+inline constexpr Reg G0 = Reg(0);
+inline constexpr Reg O0 = Reg(8);
+inline constexpr Reg O1 = Reg(9);
+inline constexpr Reg O2 = Reg(10);
+inline constexpr Reg O3 = Reg(11);
+inline constexpr Reg O4 = Reg(12);
+inline constexpr Reg O5 = Reg(13);
+inline constexpr Reg SP = Reg(14); ///< %o6
+inline constexpr Reg O7 = Reg(15); ///< Holds the return address after call.
+inline constexpr Reg L0 = Reg(16);
+inline constexpr Reg I0 = Reg(24);
+inline constexpr Reg I1 = Reg(25);
+inline constexpr Reg FP = Reg(30); ///< %i6
+inline constexpr Reg I7 = Reg(31); ///< Caller's return address.
+
+/// Parses "%g3", "%o0", "%sp", "%fp", "%r17" forms.
+/// Returns nullopt on anything else.
+std::optional<Reg> parseReg(std::string_view Text);
+
+} // namespace sparc
+} // namespace mcsafe
+
+#endif // MCSAFE_SPARC_REGISTERS_H

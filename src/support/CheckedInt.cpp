@@ -1,0 +1,48 @@
+//===- CheckedInt.cpp -----------------------------------------------------===//
+
+#include "support/CheckedInt.h"
+
+using namespace mcsafe;
+
+int64_t mcsafe::gcdInt64(int64_t A, int64_t B) {
+  // Avoid UB on INT64_MIN by working with unsigned magnitudes.
+  uint64_t UA = A < 0 ? 0ull - static_cast<uint64_t>(A) : static_cast<uint64_t>(A);
+  uint64_t UB = B < 0 ? 0ull - static_cast<uint64_t>(B) : static_cast<uint64_t>(B);
+  while (UB != 0) {
+    uint64_t T = UA % UB;
+    UA = UB;
+    UB = T;
+  }
+  // The result of gcd fits in int64_t for all inputs except
+  // gcd(INT64_MIN, 0); callers never feed INT64_MIN (checked arithmetic
+  // rejects it upstream), but clamp defensively.
+  if (UA > static_cast<uint64_t>(INT64_MAX))
+    return INT64_MAX;
+  return static_cast<int64_t>(UA);
+}
+
+int64_t mcsafe::floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "floorDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t mcsafe::ceilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "ceilDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+int64_t mcsafe::floorMod(int64_t A, int64_t B) {
+  assert(B != 0 && "floorMod by zero");
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    R += B;
+  return R;
+}

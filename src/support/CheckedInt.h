@@ -1,0 +1,72 @@
+//===- CheckedInt.h - Overflow-checked 64-bit integer helpers --*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Overflow-checked arithmetic over int64_t.
+///
+/// The constraint solver (Fourier-Motzkin, Omega test) can blow up
+/// coefficient magnitudes. Every arithmetic step in the solver goes through
+/// these helpers; on overflow the solver answers "unknown", which the
+/// checker treats as a failed proof. That keeps the overall analysis sound
+/// without arbitrary-precision integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_CHECKEDINT_H
+#define MCSAFE_SUPPORT_CHECKEDINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+namespace mcsafe {
+
+/// Returns a + b, or std::nullopt on signed overflow.
+inline std::optional<int64_t> checkedAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+/// Returns a - b, or std::nullopt on signed overflow.
+inline std::optional<int64_t> checkedSub(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_sub_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+/// Returns a * b, or std::nullopt on signed overflow.
+inline std::optional<int64_t> checkedMul(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+/// Returns -a, or std::nullopt when a == INT64_MIN.
+inline std::optional<int64_t> checkedNeg(int64_t A) {
+  return checkedSub(0, A);
+}
+
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+int64_t gcdInt64(int64_t A, int64_t B);
+
+/// Floor division: largest q with q * b <= a. Requires b != 0.
+int64_t floorDiv(int64_t A, int64_t B);
+
+/// Ceiling division: smallest q with q * b >= a. Requires b != 0.
+int64_t ceilDiv(int64_t A, int64_t B);
+
+/// Mathematical modulus: a - floorDiv(a, b) * b, always in [0, |b|).
+/// Requires b != 0.
+int64_t floorMod(int64_t A, int64_t B);
+
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_CHECKEDINT_H

@@ -1,0 +1,101 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace mcsafe;
+
+void DiagnosticEngine::report(DiagSeverity Severity, SafetyKind Kind,
+                              std::string Message,
+                              std::optional<uint32_t> InstIndex,
+                              std::optional<uint32_t> SourceLine) {
+  Diagnostic D;
+  D.Severity = Severity;
+  D.Kind = Kind;
+  D.InstIndex = InstIndex;
+  D.SourceLine = SourceLine;
+  D.Message = std::move(Message);
+  Diags.push_back(std::move(D));
+}
+
+bool DiagnosticEngine::hasViolations() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Violation)
+      return true;
+  return false;
+}
+
+bool DiagnosticEngine::hasFatal() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Fatal)
+      return true;
+  return false;
+}
+
+unsigned DiagnosticEngine::countOfKind(SafetyKind Kind) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == Kind && D.Severity == DiagSeverity::Violation)
+      ++N;
+  return N;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << severityName(D.Severity);
+    if (D.Kind != SafetyKind::None)
+      OS << '[' << safetyKindName(D.Kind) << ']';
+    if (D.SourceLine)
+      OS << " line " << *D.SourceLine;
+    else if (D.InstIndex)
+      OS << " inst " << *D.InstIndex;
+    OS << ": " << D.Message << '\n';
+  }
+  return OS.str();
+}
+
+const char *mcsafe::severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Violation:
+    return "violation";
+  case DiagSeverity::Fatal:
+    return "fatal";
+  }
+  return "unknown";
+}
+
+const char *mcsafe::safetyKindName(SafetyKind Kind) {
+  switch (Kind) {
+  case SafetyKind::None:
+    return "none";
+  case SafetyKind::ArrayBounds:
+    return "array-bounds";
+  case SafetyKind::Alignment:
+    return "alignment";
+  case SafetyKind::UninitializedUse:
+    return "uninitialized-use";
+  case SafetyKind::NullDereference:
+    return "null-dereference";
+  case SafetyKind::StackDiscipline:
+    return "stack-discipline";
+  case SafetyKind::AccessPolicy:
+    return "access-policy";
+  case SafetyKind::TrustedCall:
+    return "trusted-call";
+  case SafetyKind::TypeError:
+    return "type-error";
+  case SafetyKind::Unsupported:
+    return "unsupported";
+  case SafetyKind::Postcondition:
+    return "postcondition";
+  case SafetyKind::Protocol:
+    return "protocol";
+  }
+  return "unknown";
+}

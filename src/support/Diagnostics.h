@@ -1,0 +1,101 @@
+//===- Diagnostics.h - Diagnostic collection for the checker ----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostic engine that accumulates safety violations, warnings, and
+/// notes emitted by the safety-checking phases. Each diagnostic can be
+/// anchored to an instruction index in the untrusted program so reports can
+/// say *where* a safety condition was violated, which is half the point of
+/// the paper ("identify the places where the safety conditions were
+/// violated").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_DIAGNOSTICS_H
+#define MCSAFE_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+
+/// Severity of a diagnostic.
+enum class DiagSeverity {
+  Note,      ///< Informational (e.g. synthesized loop invariant).
+  Warning,   ///< Imprecision that did not block verification.
+  Violation, ///< A safety condition that is violated or unprovable.
+  Fatal,     ///< The input is malformed (bad assembly, bad policy, ...).
+};
+
+/// The kind of safety condition a violation diagnostic refers to.
+/// Mirrors the paper's default safety conditions (Section 2) plus the
+/// host-specified access policy.
+enum class SafetyKind {
+  None,            ///< Not tied to a specific safety condition.
+  ArrayBounds,     ///< Array out-of-bounds access.
+  Alignment,       ///< Address-alignment violation.
+  UninitializedUse,///< Use of an uninitialized value.
+  NullDereference, ///< Possible null-pointer dereference.
+  StackDiscipline, ///< Stack-manipulation violation (save/restore, %sp).
+  AccessPolicy,    ///< Host access-policy violation (r/w/f/x/o).
+  TrustedCall,     ///< Precondition of a trusted function not met.
+  TypeError,       ///< Overload resolution failed / type meet hit bottom.
+  Unsupported,     ///< Construct the analysis rejects (e.g. recursion).
+  Postcondition,   ///< The policy's safety postcondition is not restored.
+  Protocol,        ///< A security-automaton transition is missing.
+};
+
+/// One diagnostic record.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Note;
+  SafetyKind Kind = SafetyKind::None;
+  /// Index of the instruction in the normalized program, if any.
+  std::optional<uint32_t> InstIndex;
+  /// Source line of the instruction in the assembly input, if known.
+  std::optional<uint32_t> SourceLine;
+  std::string Message;
+};
+
+/// Accumulates diagnostics during checking.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SafetyKind Kind, std::string Message,
+              std::optional<uint32_t> InstIndex = std::nullopt,
+              std::optional<uint32_t> SourceLine = std::nullopt);
+
+  /// Convenience wrappers.
+  void note(std::string Message) {
+    report(DiagSeverity::Note, SafetyKind::None, std::move(Message));
+  }
+  void fatal(std::string Message) {
+    report(DiagSeverity::Fatal, SafetyKind::None, std::move(Message));
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  bool hasViolations() const;
+  bool hasFatal() const;
+  unsigned countOfKind(SafetyKind Kind) const;
+
+  /// Renders all diagnostics, one per line, for reports and tests.
+  std::string str() const;
+
+  void clear() { Diags.clear(); }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+/// Human-readable name for a severity / safety kind.
+const char *severityName(DiagSeverity Severity);
+const char *safetyKindName(SafetyKind Kind);
+
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_DIAGNOSTICS_H

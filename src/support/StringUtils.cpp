@@ -1,0 +1,87 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace mcsafe;
+
+std::string_view mcsafe::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+std::vector<std::string_view> mcsafe::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Pos = 0;
+  while (true) {
+    size_t Next = S.find(Sep, Pos);
+    if (Next == std::string_view::npos) {
+      Parts.push_back(S.substr(Pos));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+}
+
+std::vector<std::string_view> mcsafe::splitWhitespace(std::string_view S) {
+  std::vector<std::string_view> Parts;
+  size_t I = 0;
+  while (I < S.size()) {
+    while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+    size_t B = I;
+    while (I < S.size() && !std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+    if (I > B)
+      Parts.push_back(S.substr(B, I - B));
+  }
+  return Parts;
+}
+
+bool mcsafe::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::optional<int64_t> mcsafe::parseInt(std::string_view S) {
+  S = trim(S);
+  if (S.empty())
+    return std::nullopt;
+  bool Negative = false;
+  if (S[0] == '-' || S[0] == '+') {
+    Negative = S[0] == '-';
+    S.remove_prefix(1);
+    if (S.empty())
+      return std::nullopt;
+  }
+  int Base = 10;
+  if (S.size() > 2 && S[0] == '0' && (S[1] == 'x' || S[1] == 'X')) {
+    Base = 16;
+    S.remove_prefix(2);
+  }
+  int64_t Value = 0;
+  for (char C : S) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (Base == 16 && C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (Base == 16 && C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      return std::nullopt;
+    if (__builtin_mul_overflow(Value, static_cast<int64_t>(Base), &Value) ||
+        __builtin_add_overflow(Value, static_cast<int64_t>(Digit), &Value))
+      return std::nullopt;
+  }
+  if (Negative) {
+    if (__builtin_sub_overflow(static_cast<int64_t>(0), Value, &Value))
+      return std::nullopt;
+  }
+  return Value;
+}

@@ -1,0 +1,41 @@
+//===- StringUtils.h - Small string parsing helpers -------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsing helpers shared by the assembler and the policy parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_STRINGUTILS_H
+#define MCSAFE_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsafe {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits on a separator character; does not trim the pieces.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Splits into non-empty whitespace-separated tokens.
+std::vector<std::string_view> splitWhitespace(std::string_view S);
+
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Parses a decimal or 0x-prefixed hexadecimal integer, with optional
+/// leading '-'. Returns nullopt on malformed input or overflow.
+std::optional<int64_t> parseInt(std::string_view S);
+
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_STRINGUTILS_H

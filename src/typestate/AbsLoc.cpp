@@ -1,0 +1,72 @@
+//===- AbsLoc.cpp ---------------------------------------------------------===//
+
+#include "typestate/AbsLoc.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+using namespace mcsafe::typestate;
+
+AbsLocId LocationTable::create(AbstractLocation Loc) {
+  AbsLocId Id = static_cast<AbsLocId>(Locs.size());
+  if (!Loc.Name.empty())
+    ByName.emplace(Loc.Name, Id);
+  Locs.push_back(std::move(Loc));
+  return Id;
+}
+
+AbsLocId LocationTable::lookup(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? InvalidLoc : It->second;
+}
+
+AbsLocId LocationTable::resolveField(AbsLocId Id, int64_t Offset,
+                                     uint32_t Size) const {
+  const AbstractLocation &L = Locs[Id];
+
+  // A free-standing summary element (array summary like the paper's "e"):
+  // any element-aligned, element-sized access resolves to the summary
+  // itself. Bounds are the global-verification phase's job.
+  if (L.Fields.empty()) {
+    if (Offset < 0 || Size != L.Size)
+      return InvalidLoc;
+    if (L.Summary) {
+      if (L.Size != 0 && Offset % L.Size != 0)
+        return InvalidLoc;
+      return Id;
+    }
+    return Offset == 0 ? Id : InvalidLoc;
+  }
+
+  // Struct location: find the field whose extent covers the access.
+  for (const auto &[FieldOffset, Child] : L.Fields) {
+    const AbstractLocation &ChildLoc = Locs[Child];
+    int64_t Extent = ChildLoc.extent();
+    if (Offset < FieldOffset || Offset + Size > FieldOffset + Extent)
+      continue;
+    int64_t Rel = Offset - FieldOffset;
+    if (!ChildLoc.Fields.empty())
+      return resolveField(Child, Rel, Size);
+    if (ChildLoc.Summary && Extent > ChildLoc.Size) {
+      // Embedded array: element-aligned, element-sized access only.
+      if (Size != ChildLoc.Size || Rel % ChildLoc.Size != 0)
+        return InvalidLoc;
+      return Child;
+    }
+    return (Rel == 0 && Size == ChildLoc.Size) ? Child : InvalidLoc;
+  }
+  return InvalidLoc;
+}
+
+void LocationTable::collectLeaves(AbsLocId Id,
+                                  std::vector<AbsLocId> &Out) const {
+  const AbstractLocation &L = Locs[Id];
+  if (!L.Fields.empty()) {
+    for (const auto &[Offset, Child] : L.Fields) {
+      (void)Offset;
+      collectLeaves(Child, Out);
+    }
+    return;
+  }
+  Out.push_back(Id);
+}

@@ -1,0 +1,94 @@
+//===- AbsLoc.h - Abstract locations ----------------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract locations of the paper's abstract storage model (Section 4.1):
+/// each summarizes one or more physical locations and has a name, size,
+/// alignment, and r/w attributes. Structured locations (structs, arrays)
+/// additionally expose their layout:
+///
+///   - a struct location lists child locations per field offset;
+///   - an embedded array field is a single *summary element* child whose
+///     Extent covers the whole field (the paper's "e" summarizing all
+///     elements of "arr"); free-standing array summaries (like e itself)
+///     are plain summary locations pointed at by t[n]-typed values.
+///
+/// Typestates of scalar leaves live in AbstractStore; aggregate locations
+/// are containers whose state is given by their children.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_TYPESTATE_ABSLOC_H
+#define MCSAFE_TYPESTATE_ABSLOC_H
+
+#include "typestate/Type.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace typestate {
+
+using AbsLocId = uint32_t;
+inline constexpr AbsLocId InvalidLoc = UINT32_MAX;
+
+/// One abstract location.
+struct AbstractLocation {
+  std::string Name;
+  TypeRef Type;           ///< Contents type (can be aggregate).
+  uint32_t Size = 0;      ///< Bytes.
+  uint32_t Align = 0;     ///< Guaranteed alignment of the location's address.
+  bool Readable = false;
+  bool Writable = false;
+  /// True when the location summarizes more than one physical location
+  /// (array element summaries, heap summaries): only weak updates apply.
+  bool Summary = false;
+  /// Bytes of the enclosing aggregate this location covers. Equals Size
+  /// for plain locations; Size * count for an embedded-array summary
+  /// element (Size is then the element size). 0 means "use Size".
+  uint32_t Extent = 0;
+
+  /// Children by byte offset, for struct locations.
+  std::vector<std::pair<uint32_t, AbsLocId>> Fields;
+  AbsLocId Parent = InvalidLoc;
+
+  uint32_t extent() const { return Extent ? Extent : Size; }
+};
+
+/// Owns all abstract locations of one checking problem.
+class LocationTable {
+public:
+  AbsLocId create(AbstractLocation Loc);
+
+  const AbstractLocation &loc(AbsLocId Id) const { return Locs[Id]; }
+  AbstractLocation &loc(AbsLocId Id) { return Locs[Id]; }
+  uint32_t size() const { return static_cast<uint32_t>(Locs.size()); }
+
+  /// Finds a location by name, or InvalidLoc.
+  AbsLocId lookup(const std::string &Name) const;
+
+  /// The paper's lookUp(T(s), n, m): resolves the leaf location at byte
+  /// offset \p Offset with access size \p Size inside location \p Id.
+  /// For struct locations this selects the matching field; for array
+  /// locations any in-bounds, element-aligned offset selects the summary
+  /// element. Returns InvalidLoc when no such field exists.
+  AbsLocId resolveField(AbsLocId Id, int64_t Offset, uint32_t Size) const;
+
+  /// All scalar leaves of a location (itself if already scalar).
+  void collectLeaves(AbsLocId Id, std::vector<AbsLocId> &Out) const;
+
+private:
+  std::vector<AbstractLocation> Locs;
+  std::map<std::string, AbsLocId> ByName;
+};
+
+} // namespace typestate
+} // namespace mcsafe
+
+#endif // MCSAFE_TYPESTATE_ABSLOC_H

@@ -1,0 +1,264 @@
+//===- Type.cpp -----------------------------------------------------------===//
+
+#include "typestate/Type.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::typestate;
+
+std::string ArraySize::str() const {
+  return Symbolic ? varName(Sym) : std::to_string(Literal);
+}
+
+bool typestate::isSignedGround(GroundKind K) {
+  switch (K) {
+  case GroundKind::Int8:
+  case GroundKind::Int16:
+  case GroundKind::Int32:
+    return true;
+  default:
+    return false;
+  }
+}
+
+uint32_t typestate::groundWidth(GroundKind K) {
+  switch (K) {
+  case GroundKind::Int8:
+  case GroundKind::UInt8:
+    return 1;
+  case GroundKind::Int16:
+  case GroundKind::UInt16:
+    return 2;
+  case GroundKind::Int32:
+  case GroundKind::UInt32:
+    return 4;
+  }
+  return 0;
+}
+
+uint32_t TypeNode::sizeInBytes() const {
+  switch (Kind) {
+  case TypeKind::Ground:
+    return groundWidth(Ground);
+  case TypeKind::Ptr:
+  case TypeKind::ArrayBase:
+  case TypeKind::ArrayInterior:
+    return 4;
+  case TypeKind::Abstract:
+  case TypeKind::Struct:
+  case TypeKind::Union:
+    return DeclaredSize;
+  case TypeKind::Bottom:
+  case TypeKind::Top:
+  case TypeKind::Func:
+    return 0;
+  }
+  return 0;
+}
+
+uint32_t TypeNode::alignment() const {
+  switch (Kind) {
+  case TypeKind::Ground:
+    return groundWidth(Ground);
+  case TypeKind::Ptr:
+  case TypeKind::ArrayBase:
+  case TypeKind::ArrayInterior:
+    return 4;
+  case TypeKind::Abstract:
+  case TypeKind::Struct:
+  case TypeKind::Union:
+    return DeclaredAlign;
+  case TypeKind::Bottom:
+  case TypeKind::Top:
+  case TypeKind::Func:
+    return 0;
+  }
+  return 0;
+}
+
+std::string TypeNode::str() const {
+  switch (Kind) {
+  case TypeKind::Bottom:
+    return "bottom_t";
+  case TypeKind::Top:
+    return "top_t";
+  case TypeKind::Ground:
+    switch (Ground) {
+    case GroundKind::Int8:
+      return "int8";
+    case GroundKind::UInt8:
+      return "uint8";
+    case GroundKind::Int16:
+      return "int16";
+    case GroundKind::UInt16:
+      return "uint16";
+    case GroundKind::Int32:
+      return "int32";
+    case GroundKind::UInt32:
+      return "uint32";
+    }
+    return "int?";
+  case TypeKind::Abstract:
+    return "abstract " + Name;
+  case TypeKind::ArrayBase:
+    return Pointee->str() + "[" + Size.str() + "]";
+  case TypeKind::ArrayInterior:
+    return Pointee->str() + "(" + Size.str() + "]";
+  case TypeKind::Ptr:
+    return Pointee->str() + " ptr";
+  case TypeKind::Struct:
+    return "struct " + Name;
+  case TypeKind::Union:
+    return "union " + Name;
+  case TypeKind::Func:
+    return "func " + Name;
+  }
+  return "?";
+}
+
+// TypeFactory builds nodes directly (it is a friend).
+TypeRef TypeFactory::bottom() {
+  static TypeRef B = [] {
+    auto N = std::shared_ptr<TypeNode>(new TypeNode());
+    N->Kind = TypeKind::Bottom;
+    return TypeRef(N);
+  }();
+  return B;
+}
+
+TypeRef TypeFactory::top() {
+  static TypeRef T = [] {
+    auto N = std::shared_ptr<TypeNode>(new TypeNode());
+    N->Kind = TypeKind::Top;
+    return TypeRef(N);
+  }();
+  return T;
+}
+
+TypeRef TypeFactory::ground(GroundKind K) {
+  static TypeRef Cache[6];
+  size_t Index = static_cast<size_t>(K);
+  if (!Cache[Index]) {
+    auto N = std::shared_ptr<TypeNode>(new TypeNode());
+    N->Kind = TypeKind::Ground;
+    N->Ground = K;
+    Cache[Index] = N;
+  }
+  return Cache[Index];
+}
+
+TypeRef TypeFactory::abstract(std::string Name, uint32_t Size,
+                              uint32_t Align) {
+  auto N = std::shared_ptr<TypeNode>(new TypeNode());
+  N->Kind = TypeKind::Abstract;
+  N->Name = std::move(Name);
+  N->DeclaredSize = Size;
+  N->DeclaredAlign = Align;
+  return N;
+}
+
+TypeRef TypeFactory::arrayBase(TypeRef Elem, ArraySize Size) {
+  auto N = std::shared_ptr<TypeNode>(new TypeNode());
+  N->Kind = TypeKind::ArrayBase;
+  N->Pointee = std::move(Elem);
+  N->Size = Size;
+  return N;
+}
+
+TypeRef TypeFactory::arrayInterior(TypeRef Elem, ArraySize Size) {
+  auto N = std::shared_ptr<TypeNode>(new TypeNode());
+  N->Kind = TypeKind::ArrayInterior;
+  N->Pointee = std::move(Elem);
+  N->Size = Size;
+  return N;
+}
+
+TypeRef TypeFactory::ptr(TypeRef Pointee) {
+  auto N = std::shared_ptr<TypeNode>(new TypeNode());
+  N->Kind = TypeKind::Ptr;
+  N->Pointee = std::move(Pointee);
+  return N;
+}
+
+TypeRef TypeFactory::strct(std::string Name, std::vector<Member> Members,
+                           uint32_t Size, uint32_t Align) {
+  auto N = std::shared_ptr<TypeNode>(new TypeNode());
+  N->Kind = TypeKind::Struct;
+  N->Name = std::move(Name);
+  N->Members = std::move(Members);
+  N->DeclaredSize = Size;
+  N->DeclaredAlign = Align;
+  return N;
+}
+
+TypeRef TypeFactory::unon(std::string Name, std::vector<Member> Members,
+                          uint32_t Size, uint32_t Align) {
+  auto N = std::shared_ptr<TypeNode>(new TypeNode());
+  N->Kind = TypeKind::Union;
+  N->Name = std::move(Name);
+  N->Members = std::move(Members);
+  N->DeclaredSize = Size;
+  N->DeclaredAlign = Align;
+  return N;
+}
+
+TypeRef TypeFactory::func(std::string SummaryName) {
+  auto N = std::shared_ptr<TypeNode>(new TypeNode());
+  N->Kind = TypeKind::Func;
+  N->Name = std::move(SummaryName);
+  return N;
+}
+
+bool typestate::typeEquals(const TypeRef &A, const TypeRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TypeKind::Bottom:
+  case TypeKind::Top:
+    return true;
+  case TypeKind::Ground:
+    return A->ground() == B->ground();
+  case TypeKind::Abstract:
+  case TypeKind::Struct:
+  case TypeKind::Union:
+  case TypeKind::Func:
+    return A->name() == B->name(); // Nominal.
+  case TypeKind::ArrayBase:
+  case TypeKind::ArrayInterior:
+    return A->arraySize() == B->arraySize() &&
+           typeEquals(A->pointee(), B->pointee());
+  case TypeKind::Ptr:
+    return typeEquals(A->pointee(), B->pointee());
+  }
+  return false;
+}
+
+TypeRef typestate::typeMeet(const TypeRef &A, const TypeRef &B) {
+  assert(A && B && "null type");
+  if (A->isTop())
+    return B;
+  if (B->isTop())
+    return A;
+  if (A->isBottom() || B->isBottom())
+    return TypeFactory::bottom();
+  if (typeEquals(A, B))
+    return A;
+  // meet(t[n], t(n]) = t(n].
+  auto ArrayPair = [](const TypeRef &Base, const TypeRef &Interior) {
+    return Base->kind() == TypeKind::ArrayBase &&
+           Interior->kind() == TypeKind::ArrayInterior &&
+           Base->arraySize() == Interior->arraySize() &&
+           typeEquals(Base->pointee(), Interior->pointee());
+  };
+  if (ArrayPair(A, B))
+    return B;
+  if (ArrayPair(B, A))
+    return A;
+  // Everything else: distinct types meet to bottom (the paper notes the
+  // absence of subtyping as a limitation; see Section 8).
+  return TypeFactory::bottom();
+}

@@ -1,0 +1,193 @@
+//===- Type.h - The paper's type system (Figure 4) --------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type component of typestates (paper Figure 4):
+///
+///   t ::= ground | abstract | t[n] | t(n] | t ptr
+///       | s { m1, ..., mk } | u {| m1, ..., mk |} | (t1,...,tk) -> t
+///       | bottom | top
+///
+/// where t[n] is a pointer to the *base* of an array of n elements, t(n]
+/// is a pointer into the *middle* of such an array, and members carry
+/// explicit byte offsets. Array sizes may be symbolic (a variable such as
+/// "n" constrained by the invocation's linear constraints). Struct and
+/// union types are nominal — equality is by name — which both matches C
+/// practice and allows recursive types (struct thread { ...; thread*
+/// next; }).
+///
+/// Types are immutable and hash-consed per TypeFactory use; equality is
+/// structural except for named aggregates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_TYPESTATE_TYPE_H
+#define MCSAFE_TYPESTATE_TYPE_H
+
+#include "constraints/Var.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace typestate {
+
+class TypeNode;
+using TypeRef = std::shared_ptr<const TypeNode>;
+
+enum class TypeKind : uint8_t {
+  Bottom,        ///< No consistent type (failed meet).
+  Top,           ///< Unconstrained (initial value for propagation).
+  Ground,        ///< Fixed-width integer.
+  Abstract,      ///< Opaque host type, identified by name.
+  ArrayBase,     ///< t[n]: pointer to the base of an array.
+  ArrayInterior, ///< t(n]: pointer into the middle of an array.
+  Ptr,           ///< t ptr.
+  Struct,
+  Union,
+  Func,          ///< Function; carries the summary name to check calls.
+};
+
+enum class GroundKind : uint8_t {
+  Int8,
+  UInt8,
+  Int16,
+  UInt16,
+  Int32,
+  UInt32,
+};
+
+/// A literal or symbolic array length.
+struct ArraySize {
+  bool Symbolic = false;
+  VarId Sym;       ///< Valid when Symbolic.
+  int64_t Literal = 0;
+
+  static ArraySize literal(int64_t N) {
+    ArraySize S;
+    S.Literal = N;
+    return S;
+  }
+  static ArraySize symbolic(VarId V) {
+    ArraySize S;
+    S.Symbolic = true;
+    S.Sym = V;
+    return S;
+  }
+  friend bool operator==(const ArraySize &A, const ArraySize &B) {
+    if (A.Symbolic != B.Symbolic)
+      return false;
+    return A.Symbolic ? A.Sym == B.Sym : A.Literal == B.Literal;
+  }
+  std::string str() const;
+};
+
+/// A struct/union member: label, type, byte offset. Count > 1 declares an
+/// in-place array of Count elements of Type (used to annotate stack
+/// frames and host structures with embedded arrays).
+struct Member {
+  std::string Label;
+  TypeRef Type;
+  uint32_t Offset = 0;
+  uint32_t Count = 1;
+};
+
+/// An immutable type.
+class TypeNode {
+public:
+  TypeKind kind() const { return Kind; }
+  bool isBottom() const { return Kind == TypeKind::Bottom; }
+  bool isTop() const { return Kind == TypeKind::Top; }
+  bool isGround() const { return Kind == TypeKind::Ground; }
+  bool isPointerLike() const {
+    return Kind == TypeKind::Ptr || Kind == TypeKind::ArrayBase ||
+           Kind == TypeKind::ArrayInterior || Kind == TypeKind::Func;
+  }
+  bool isAggregate() const {
+    return Kind == TypeKind::Struct || Kind == TypeKind::Union;
+  }
+
+  GroundKind ground() const { return Ground; }
+  /// Element type of t[n] / t(n]; pointee of t ptr.
+  const TypeRef &pointee() const { return Pointee; }
+  const ArraySize &arraySize() const { return Size; }
+  /// Name of an Abstract / Struct / Union type, or the summary name of a
+  /// Func type.
+  const std::string &name() const { return Name; }
+  const std::vector<Member> &members() const { return Members; }
+
+  /// Size in bytes (pointers are 4 on SPARC V8). Abstract types report
+  /// their declared size; Top/Bottom/Func report 0.
+  uint32_t sizeInBytes() const;
+  /// Natural alignment in bytes (0 = no requirement).
+  uint32_t alignment() const;
+
+  std::string str() const;
+
+private:
+  friend class TypeFactory;
+  TypeNode() = default;
+
+  TypeKind Kind = TypeKind::Top;
+  GroundKind Ground = GroundKind::Int32;
+  TypeRef Pointee;
+  ArraySize Size;
+  std::string Name;
+  std::vector<Member> Members;
+  uint32_t DeclaredSize = 0;  ///< For Abstract / Struct / Union.
+  uint32_t DeclaredAlign = 0;
+};
+
+/// Builders. Bottom/Top/ground types are singletons; the rest are cheap
+/// shared nodes.
+class TypeFactory {
+public:
+  static TypeRef bottom();
+  static TypeRef top();
+  static TypeRef ground(GroundKind K);
+  static TypeRef int8() { return ground(GroundKind::Int8); }
+  static TypeRef uint8() { return ground(GroundKind::UInt8); }
+  static TypeRef int16() { return ground(GroundKind::Int16); }
+  static TypeRef uint16() { return ground(GroundKind::UInt16); }
+  static TypeRef int32() { return ground(GroundKind::Int32); }
+  static TypeRef uint32() { return ground(GroundKind::UInt32); }
+  static TypeRef abstract(std::string Name, uint32_t Size, uint32_t Align);
+  static TypeRef arrayBase(TypeRef Elem, ArraySize Size);
+  static TypeRef arrayInterior(TypeRef Elem, ArraySize Size);
+  static TypeRef ptr(TypeRef Pointee);
+  static TypeRef strct(std::string Name, std::vector<Member> Members,
+                       uint32_t Size, uint32_t Align);
+  static TypeRef unon(std::string Name, std::vector<Member> Members,
+                      uint32_t Size, uint32_t Align);
+  /// A function type; \p SummaryName links to a trusted-function summary
+  /// in the policy.
+  static TypeRef func(std::string SummaryName);
+};
+
+/// Structural equality (nominal for Struct/Union/Abstract/Func).
+bool typeEquals(const TypeRef &A, const TypeRef &B);
+
+/// The meet of the type lattice (paper Section 4.1):
+///   meet(top, t) = t; meet(bottom, t) = bottom;
+///   meet(t[n], t(n]) = t(n];
+///   meet(t[n], t[m]) = bottom when n != m;
+///   meet of distinct pointer types, or pointer with non-pointer = bottom;
+///   meet of distinct non-pointer types = bottom.
+TypeRef typeMeet(const TypeRef &A, const TypeRef &B);
+
+/// True when \p K is a signed ground kind.
+bool isSignedGround(GroundKind K);
+/// Byte width of a ground kind.
+uint32_t groundWidth(GroundKind K);
+
+} // namespace typestate
+} // namespace mcsafe
+
+#endif // MCSAFE_TYPESTATE_TYPE_H

@@ -1,0 +1,117 @@
+//===- Typestate.cpp ------------------------------------------------------===//
+
+#include "typestate/Typestate.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::typestate;
+
+State State::meet(const State &A, const State &B) {
+  if (A.isTop())
+    return B;
+  if (B.isTop())
+    return A;
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  if (A.K == B.K) {
+    switch (A.K) {
+    case Kind::Init: {
+      // Interval hull.
+      std::optional<int64_t> Lo, Hi;
+      if (A.Lo && B.Lo)
+        Lo = std::min(*A.Lo, *B.Lo);
+      if (A.Hi && B.Hi)
+        Hi = std::max(*A.Hi, *B.Hi);
+      return initRange(Lo, Hi);
+    }
+    case Kind::PointsTo: {
+      std::set<PtrTarget> Union = A.Targets;
+      Union.insert(B.Targets.begin(), B.Targets.end());
+      return pointsTo(std::move(Union), A.Null || B.Null);
+    }
+    case Kind::Uninit:
+      return uninit();
+    default:
+      break;
+    }
+  }
+  // Mixed kinds (init vs uninit, pointer vs scalar-init, ...): the value
+  // cannot be relied upon — treat as uninitialized.
+  return uninit();
+}
+
+std::string State::str(const LocationTable *Locs) const {
+  switch (K) {
+  case Kind::Top:
+    return "top";
+  case Kind::Bottom:
+    return "bottom";
+  case Kind::Uninit:
+    return "uninit";
+  case Kind::Init:
+    if (constant())
+      return "init(" + std::to_string(*constant()) + ")";
+    if (Lo || Hi) {
+      std::string S = "init[";
+      S += Lo ? std::to_string(*Lo) : "-inf";
+      S += ",";
+      S += Hi ? std::to_string(*Hi) : "+inf";
+      S += "]";
+      return S;
+    }
+    return "init";
+  case Kind::PointsTo: {
+    std::ostringstream OS;
+    OS << '{';
+    bool First = true;
+    for (const PtrTarget &T : Targets) {
+      if (!First)
+        OS << ',';
+      First = false;
+      if (Locs)
+        OS << Locs->loc(T.Loc).Name;
+      else
+        OS << "loc" << T.Loc;
+      if (T.Offset != 0)
+        OS << '+' << T.Offset;
+    }
+    if (Null) {
+      if (!First)
+        OS << ',';
+      OS << "null";
+    }
+    OS << '}';
+    return OS.str();
+  }
+  }
+  return "?";
+}
+
+std::string Access::str() const {
+  std::string S;
+  if (F)
+    S += 'f';
+  if (X)
+    S += 'x';
+  if (O)
+    S += 'o';
+  return S.empty() ? "-" : S;
+}
+
+Typestate Typestate::meet(const Typestate &A, const Typestate &B) {
+  if (A.isTop())
+    return B;
+  if (B.isTop())
+    return A;
+  Typestate R;
+  R.Type = typeMeet(A.Type, B.Type);
+  R.S = State::meet(A.S, B.S);
+  R.A = Access::meet(A.A, B.A);
+  return R;
+}
+
+std::string Typestate::str(const LocationTable *Locs) const {
+  return "<" + Type->str() + ", " + S.str(Locs) + ", " + A.str() + ">";
+}

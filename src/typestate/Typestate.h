@@ -1,0 +1,202 @@
+//===- Typestate.h - States, access permissions, typestates -----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The state and access components of typestates, and the typestate triple
+/// <type, state, access> itself (paper Section 4.1).
+///
+/// State lattice (Figure 5):
+///   - Top: unvisited (identity of meet);
+///   - Init: an initialized scalar, optionally with a known constant
+///     value (used to resolve constant-built addresses and offsets);
+///   - PointsTo: an initialized pointer, with the set of abstract
+///     locations it may reference and a may-be-null flag (meet = set
+///     union, matching "P1 below P2 iff P2 subset of P1");
+///   - Uninit: an uninitialized value of the location's type;
+///   - Bottom: undefined value of any type.
+///
+/// Access permissions: f (followable), x (executable), o (operable) are
+/// properties of the *value*; r/w live on abstract locations. Meet is
+/// set intersection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_TYPESTATE_TYPESTATE_H
+#define MCSAFE_TYPESTATE_TYPESTATE_H
+
+#include "typestate/AbsLoc.h"
+#include "typestate/Type.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace mcsafe {
+namespace typestate {
+
+/// One element of a points-to set: an abstract location plus a byte
+/// offset into it (0 for "points at the location"; nonzero offsets model
+/// pointers to aggregate interiors, e.g. %fp pointing one-past-the-end of
+/// the annotated stack frame).
+struct PtrTarget {
+  AbsLocId Loc = InvalidLoc;
+  int64_t Offset = 0;
+
+  friend bool operator<(const PtrTarget &A, const PtrTarget &B) {
+    if (A.Loc != B.Loc)
+      return A.Loc < B.Loc;
+    return A.Offset < B.Offset;
+  }
+  friend bool operator==(const PtrTarget &A, const PtrTarget &B) {
+    return A.Loc == B.Loc && A.Offset == B.Offset;
+  }
+};
+
+/// Value-state component of a typestate.
+class State {
+public:
+  enum class Kind : uint8_t {
+    Top,      ///< Unvisited.
+    Init,     ///< Initialized scalar.
+    PointsTo, ///< Initialized pointer.
+    Uninit,   ///< Uninitialized.
+    Bottom,   ///< Undefined value of any type.
+  };
+
+  State() : K(Kind::Top) {}
+
+  static State top() { return State(); }
+  static State bottom() { return make(Kind::Bottom); }
+  static State uninit() { return make(Kind::Uninit); }
+  static State init() { return make(Kind::Init); }
+  static State initConst(int64_t Value) {
+    return initRange(Value, Value);
+  }
+  /// An initialized scalar with (optional) interval bounds — the light
+  /// forward value analysis the paper recommends to assist the
+  /// induction-iteration method ("forward propagation of information
+  /// about array bounds").
+  static State initRange(std::optional<int64_t> Lo,
+                         std::optional<int64_t> Hi) {
+    State S = make(Kind::Init);
+    S.Lo = Lo;
+    S.Hi = Hi;
+    return S;
+  }
+  static State pointsTo(std::set<PtrTarget> Targets, bool MayBeNull) {
+    State S = make(Kind::PointsTo);
+    S.Targets = std::move(Targets);
+    S.Null = MayBeNull;
+    return S;
+  }
+  static State pointsToLoc(AbsLocId Loc, int64_t Offset = 0) {
+    return pointsTo({PtrTarget{Loc, Offset}}, /*MayBeNull=*/false);
+  }
+  /// The null pointer constant.
+  static State nullPtr() { return pointsTo({}, /*MayBeNull=*/true); }
+
+  Kind kind() const { return K; }
+  bool isTop() const { return K == Kind::Top; }
+  bool isInit() const { return K == Kind::Init; }
+  bool isPointsTo() const { return K == Kind::PointsTo; }
+  bool isUninit() const { return K == Kind::Uninit; }
+  bool isBottom() const { return K == Kind::Bottom; }
+
+  /// True when reading the value is safe (it is initialized).
+  bool isInitialized() const { return isInit() || isPointsTo(); }
+
+  /// Known constant value, when tracked (a singleton interval).
+  std::optional<int64_t> constant() const {
+    if (Lo && Hi && *Lo == *Hi)
+      return Lo;
+    return std::nullopt;
+  }
+  /// Interval bounds of an initialized scalar, when tracked.
+  std::optional<int64_t> lower() const { return Lo; }
+  std::optional<int64_t> upper() const { return Hi; }
+
+  const std::set<PtrTarget> &targets() const { return Targets; }
+  bool mayBeNull() const { return Null; }
+  /// A pointer that is definitely null (empty target set, null flag on).
+  bool isDefinitelyNull() const {
+    return K == Kind::PointsTo && Targets.empty() && Null;
+  }
+
+  /// Lattice meet.
+  static State meet(const State &A, const State &B);
+
+  friend bool operator==(const State &A, const State &B) {
+    return A.K == B.K && A.Lo == B.Lo && A.Hi == B.Hi &&
+           A.Null == B.Null && A.Targets == B.Targets;
+  }
+  friend bool operator!=(const State &A, const State &B) {
+    return !(A == B);
+  }
+
+  std::string str(const LocationTable *Locs = nullptr) const;
+
+private:
+  static State make(Kind K) {
+    State S;
+    S.K = K;
+    return S;
+  }
+
+  Kind K;
+  std::optional<int64_t> Lo, Hi;
+  std::set<PtrTarget> Targets;
+  bool Null = false;
+};
+
+/// Value access permissions {f, x, o}.
+struct Access {
+  bool F = false; ///< Followable (pointer may be dereferenced).
+  bool X = false; ///< Executable (function pointer may be called).
+  bool O = false; ///< Operable (examine / copy / arithmetic).
+
+  static Access none() { return {}; }
+  static Access full() { return {true, true, true}; }
+  static Access fo() { return {true, false, true}; }
+  static Access o() { return {false, false, true}; }
+
+  static Access meet(Access A, Access B) {
+    return {A.F && B.F, A.X && B.X, A.O && B.O};
+  }
+  friend bool operator==(const Access &A, const Access &B) {
+    return A.F == B.F && A.X == B.X && A.O == B.O;
+  }
+  std::string str() const;
+};
+
+/// The typestate triple.
+struct Typestate {
+  TypeRef Type = TypeFactory::top();
+  State S;
+  Access A = Access::full();
+
+  /// The lattice top (identity of meet); the initial value at all
+  /// program points except the entry.
+  static Typestate top() { return Typestate(); }
+
+  bool isTop() const { return Type->isTop() && S.isTop(); }
+
+  static Typestate meet(const Typestate &A, const Typestate &B);
+
+  friend bool operator==(const Typestate &A, const Typestate &B) {
+    return typeEquals(A.Type, B.Type) && A.S == B.S && A.A == B.A;
+  }
+  friend bool operator!=(const Typestate &A, const Typestate &B) {
+    return !(A == B);
+  }
+
+  std::string str(const LocationTable *Locs = nullptr) const;
+};
+
+} // namespace typestate
+} // namespace mcsafe
+
+#endif // MCSAFE_TYPESTATE_TYPESTATE_H

@@ -1,0 +1,265 @@
+//===- CfgTest.cpp - Delay slots, inlining, windows -----------------------===//
+
+#include "cfg/Cfg.h"
+#include "sparc/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::cfg;
+using namespace mcsafe::sparc;
+
+namespace {
+
+std::optional<Cfg> build(const char *Source, DiagnosticEngine &Diags) {
+  std::string Error;
+  std::optional<Module> M = assemble(Source, &Error);
+  EXPECT_TRUE(M.has_value()) << Error;
+  if (!M)
+    return std::nullopt;
+  static std::vector<Module> Keep; // The Cfg borrows the module.
+  Keep.push_back(std::move(*M));
+  return Cfg::build(Keep.back(), Diags);
+}
+
+/// Counts nodes executing the instruction at 0-based module index I.
+unsigned countNodesFor(const Cfg &G, uint32_t Index) {
+  unsigned N = 0;
+  for (const CfgNode &Node : G.nodes())
+    if (Node.Kind == NodeKind::Normal && Node.InstIndex == Index)
+      ++N;
+  return N;
+}
+
+TEST(Cfg, StraightLine) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    clr %o0
+    inc %o0
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  // clr, inc, retl, nop(delay clone), exit.
+  EXPECT_EQ(G->size(), 5u);
+  EXPECT_EQ(G->node(G->exit()).Kind, NodeKind::Exit);
+}
+
+TEST(Cfg, DelaySlotReplicatedOnBothEdges) {
+  // The Figure 8 device: the delay-slot instruction of a conditional
+  // branch appears once per outgoing edge.
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    cmp %o0,%o1
+    bge 5
+    clr %g3        ! delay slot: replicated
+    inc %g3
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  EXPECT_EQ(countNodesFor(*G, 2), 2u); // Two clones of clr %g3.
+  // The branch node has a Taken and a NotTaken edge.
+  for (NodeId Id = 0; Id < G->size(); ++Id) {
+    const CfgNode &N = G->node(Id);
+    if (N.Kind != NodeKind::Normal || N.InstIndex != 1)
+      continue;
+    ASSERT_EQ(N.Succs.size(), 2u);
+    EXPECT_TRUE((N.Succs[0].Kind == EdgeKind::Taken &&
+                 N.Succs[1].Kind == EdgeKind::NotTaken) ||
+                (N.Succs[0].Kind == EdgeKind::NotTaken &&
+                 N.Succs[1].Kind == EdgeKind::Taken));
+  }
+}
+
+TEST(Cfg, AnnulledBranchSkipsDelayOnFallThrough) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    cmp %o0,%o1
+    bge,a 5
+    clr %g3        ! executes only when taken
+    inc %g3
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  EXPECT_EQ(countNodesFor(*G, 2), 1u); // One clone only (taken path).
+}
+
+TEST(Cfg, AnnulledBaSkipsDelayEntirely) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    ba,a 4
+    clr %g3        ! never executes
+    nop
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  EXPECT_EQ(countNodesFor(*G, 1), 0u);
+}
+
+TEST(Cfg, LocalCallInlinesPerSite) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    call helper
+    nop
+    call helper
+    nop
+    retl
+    nop
+  helper:
+    inc %o0
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  // The helper body (inc at module index 6) is cloned per call site.
+  EXPECT_EQ(countNodesFor(*G, 6), 2u);
+}
+
+TEST(Cfg, RecursionRejected) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+  self:
+    call self
+    nop
+    retl
+    nop
+  )", Diags);
+  EXPECT_FALSE(G.has_value());
+  EXPECT_TRUE(Diags.hasFatal());
+  EXPECT_NE(Diags.str().find("recursive"), std::string::npos);
+}
+
+TEST(Cfg, TrustedCallGetsSummaryNode) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    call somehostfn
+    nop
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  unsigned Summaries = 0;
+  for (const CfgNode &N : G->nodes())
+    if (N.Kind == NodeKind::TrustedCall) {
+      ++Summaries;
+      EXPECT_EQ(N.TrustedCallee, "somehostfn");
+    }
+  EXPECT_EQ(Summaries, 1u);
+}
+
+TEST(Cfg, WindowDepthsAssigned) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    save %sp,-96,%sp
+    call helper
+    nop
+    ret
+    restore
+  helper:
+    save %sp,-96,%sp
+    ret
+    restore
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  int32_t MaxDepth = 0;
+  for (const CfgNode &N : G->nodes())
+    MaxDepth = std::max(MaxDepth, N.WindowDepth);
+  // Entry save -> depth 1; helper save -> depth 2.
+  EXPECT_EQ(MaxDepth, 2);
+  EXPECT_EQ(G->node(G->entry()).WindowDepth, 0);
+}
+
+TEST(Cfg, UnderflowingRestoreRejected) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    restore
+    retl
+    nop
+  )", Diags);
+  EXPECT_FALSE(G.has_value());
+  EXPECT_NE(Diags.str().find("restore without a matching save"),
+            std::string::npos);
+}
+
+TEST(Cfg, MissingDelaySlotRejected) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build("retl\n", Diags);
+  EXPECT_FALSE(G.has_value());
+  EXPECT_NE(Diags.str().find("delay"), std::string::npos);
+}
+
+TEST(Cfg, BranchInDelaySlotRejected) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    ba 3
+    ba 3
+    retl
+    nop
+  )", Diags);
+  EXPECT_FALSE(G.has_value());
+  EXPECT_NE(Diags.str().find("delay slot"), std::string::npos);
+}
+
+TEST(Cfg, IndirectJumpRejected) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    jmpl %o0+0,%g0
+    nop
+    retl
+    nop
+  )", Diags);
+  EXPECT_FALSE(G.has_value());
+  EXPECT_NE(Diags.str().find("indirect"), std::string::npos);
+}
+
+TEST(Cfg, FallOffEndRejected) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build("clr %o0\nclr %o1\n", Diags);
+  EXPECT_FALSE(G.has_value());
+  EXPECT_NE(Diags.str().find("past the end"), std::string::npos);
+}
+
+TEST(Cfg, FuncEntryTracksInlining) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    call helper
+    nop
+    retl
+    nop
+  helper:
+    save %sp,-96,%sp
+    ret
+    restore
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  for (const CfgNode &N : G->nodes()) {
+    if (N.Kind == NodeKind::Normal && N.InstIndex >= 4) {
+      EXPECT_EQ(N.FuncEntry, 4u);
+    } else if (N.Kind == NodeKind::Normal) {
+      EXPECT_EQ(N.FuncEntry, 0u);
+    }
+  }
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    clr %o0
+    cmp %o0,%o1
+    bl 2
+    nop
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+  std::vector<NodeId> Rpo = G->reversePostOrder();
+  ASSERT_FALSE(Rpo.empty());
+  EXPECT_EQ(Rpo.front(), G->entry());
+  // Every reachable node appears exactly once.
+  EXPECT_EQ(Rpo.size(), static_cast<size_t>(G->size()));
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- DominatorsTest.cpp -------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+#include "sparc/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::cfg;
+using namespace mcsafe::sparc;
+
+namespace {
+
+struct Built {
+  Module M;
+  std::optional<Cfg> G;
+  DiagnosticEngine Diags;
+};
+
+std::unique_ptr<Built> build(const char *Source) {
+  auto B = std::make_unique<Built>();
+  std::string Error;
+  std::optional<Module> M = assemble(Source, &Error);
+  EXPECT_TRUE(M.has_value()) << Error;
+  B->M = std::move(*M);
+  B->G = Cfg::build(B->M, B->Diags);
+  EXPECT_TRUE(B->G.has_value()) << B->Diags.str();
+  return B;
+}
+
+/// First node executing the given 0-based instruction index.
+NodeId nodeFor(const Cfg &G, uint32_t Index) {
+  for (NodeId Id = 0; Id < G.size(); ++Id)
+    if (G.node(Id).Kind == NodeKind::Normal &&
+        G.node(Id).InstIndex == Index)
+      return Id;
+  return InvalidNode;
+}
+
+TEST(Dominators, EntryDominatesEverything) {
+  auto B = build(R"(
+    cmp %o0,%o1
+    bge 5
+    nop
+    inc %o0
+    retl
+    nop
+  )");
+  DominatorTree Dom(*B->G);
+  for (NodeId Id = 0; Id < B->G->size(); ++Id) {
+    if (Dom.rpoIndex(Id) != UINT32_MAX) {
+      EXPECT_TRUE(Dom.dominates(B->G->entry(), Id)) << "node " << Id;
+    }
+  }
+}
+
+TEST(Dominators, DiamondJoinDominatedByFork) {
+  auto B = build(R"(
+    cmp %o0,%o1
+    bge 5
+    nop
+    inc %o0        ! then-side
+    dec %o0        ! join (the bge target)
+    retl
+    nop
+  )");
+  DominatorTree Dom(*B->G);
+  NodeId Fork = nodeFor(*B->G, 1);
+  NodeId Then = nodeFor(*B->G, 3);
+  NodeId Join = nodeFor(*B->G, 4);
+  ASSERT_NE(Fork, InvalidNode);
+  ASSERT_NE(Join, InvalidNode);
+  EXPECT_TRUE(Dom.dominates(Fork, Join));
+  EXPECT_TRUE(Dom.dominates(Fork, Then));
+  EXPECT_FALSE(Dom.dominates(Then, Join));
+  EXPECT_FALSE(Dom.dominates(Join, Then));
+}
+
+TEST(Dominators, DominatesIsReflexive) {
+  auto B = build("retl\nnop\n");
+  DominatorTree Dom(*B->G);
+  EXPECT_TRUE(Dom.dominates(B->G->entry(), B->G->entry()));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  auto B = build(R"(
+    clr %g3
+    cmp %g3,%o1
+    bge 7
+    nop
+    inc %g3
+    ba 2
+    nop
+    retl
+    nop
+  )");
+  DominatorTree Dom(*B->G);
+  NodeId Header = nodeFor(*B->G, 1);
+  NodeId Body = nodeFor(*B->G, 4);
+  ASSERT_NE(Header, InvalidNode);
+  ASSERT_NE(Body, InvalidNode);
+  EXPECT_TRUE(Dom.dominates(Header, Body));
+  EXPECT_FALSE(Dom.dominates(Body, Header));
+}
+
+TEST(Dominators, IdomChainReachesEntry) {
+  auto B = build(R"(
+    clr %o0
+    inc %o0
+    retl
+    nop
+  )");
+  DominatorTree Dom(*B->G);
+  NodeId Cur = B->G->exit();
+  unsigned Steps = 0;
+  while (Cur != B->G->entry() && Steps < 100) {
+    Cur = Dom.idom(Cur);
+    ++Steps;
+  }
+  EXPECT_EQ(Cur, B->G->entry());
+}
+
+} // namespace

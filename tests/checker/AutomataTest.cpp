@@ -1,0 +1,234 @@
+//===- AutomataTest.cpp - Security-automaton checking ---------------------===//
+//
+// The Section 1 extension: "a security automaton ... detects a
+// security-policy violation whenever [it] read[s] a symbol for which the
+// automaton's current state has no transition defined."
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+#include "policy/PolicyParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+// A start/stop protocol: the timer must be started before it is stopped,
+// must not be started twice, and must be stopped before returning.
+const char *TimerProtocolPolicy = R"(
+abstract timer size 40 align 8
+loc tmr : timer
+region H { tmr }
+invoke %o0 = &tmr
+invoke %o1 = n
+trusted start_timer {
+}
+trusted stop_timer {
+}
+automaton timer_protocol {
+  state idle
+  state running
+  start idle
+  transition idle -> running on start_timer
+  transition running -> idle on stop_timer
+  final idle
+}
+)";
+
+CheckReport check(const char *Asm) {
+  SafetyChecker Checker;
+  return Checker.checkSource(Asm, TimerProtocolPolicy);
+}
+
+TEST(Automata, BalancedProtocolVerifies) {
+  CheckReport R = check(R"(
+  call start_timer
+  nop
+  call stop_timer
+  nop
+  retl
+  nop
+)");
+  ASSERT_TRUE(R.InputsOk) << R.Diags.str();
+  EXPECT_TRUE(R.Safe) << R.Diags.str();
+}
+
+TEST(Automata, DoubleStartCaught) {
+  CheckReport R = check(R"(
+  call start_timer
+  nop
+  call start_timer
+  nop
+  call stop_timer
+  nop
+  retl
+  nop
+)");
+  ASSERT_TRUE(R.InputsOk) << R.Diags.str();
+  EXPECT_FALSE(R.Safe);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::Protocol), 1u);
+}
+
+TEST(Automata, StopWithoutStartCaught) {
+  CheckReport R = check(R"(
+  call stop_timer
+  nop
+  retl
+  nop
+)");
+  EXPECT_FALSE(R.Safe);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::Protocol), 1u);
+}
+
+TEST(Automata, ReturnWhileRunningCaught) {
+  CheckReport R = check(R"(
+  call start_timer
+  nop
+  retl
+  nop
+)");
+  EXPECT_FALSE(R.Safe);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::Protocol), 1u);
+}
+
+TEST(Automata, ConditionalPathsJoin) {
+  // One path starts the timer, the other does not: at the join the
+  // automaton may be in either state, so the stop is fine from
+  // "running" but has no transition from "idle".
+  CheckReport R = check(R"(
+  cmp %o1,0
+  ble skip
+  nop
+  call start_timer
+  nop
+skip:
+  call stop_timer
+  nop
+  retl
+  nop
+)");
+  EXPECT_FALSE(R.Safe);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::Protocol), 1u);
+}
+
+TEST(Automata, ProtocolInLoopVerifies) {
+  // start/stop balanced inside a loop: state returns to idle each
+  // iteration, so the union-dataflow stabilizes at {idle} at the header.
+  // The loop bound lives in %g4, which survives the calls.
+  CheckReport R = check(R"(
+  mov %o1,%g4
+  clr %g3
+loop:
+  cmp %g3,%g4
+  bge done
+  nop
+  call start_timer
+  nop
+  call stop_timer
+  nop
+  inc %g3
+  ba loop
+  nop
+done:
+  retl
+  nop
+)");
+  ASSERT_TRUE(R.InputsOk) << R.Diags.str();
+  EXPECT_TRUE(R.Safe) << R.Diags.str();
+}
+
+TEST(Automata, UnbalancedLoopCaught) {
+  // Start inside the loop without a stop: the second iteration starts
+  // from "running".
+  CheckReport R = check(R"(
+  clr %g3
+loop:
+  cmp %g3,%o1
+  bge done
+  nop
+  call start_timer
+  nop
+  inc %g3
+  ba loop
+  nop
+done:
+  call stop_timer
+  nop
+  retl
+  nop
+)");
+  EXPECT_FALSE(R.Safe);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::Protocol), 1u);
+}
+
+TEST(Automata, EventsOutsideAlphabetIgnored) {
+  const char *Policy = R"(
+trusted ping {
+}
+trusted start_timer {
+}
+trusted stop_timer {
+}
+automaton proto {
+  state idle
+  state running
+  start idle
+  transition idle -> running on start_timer
+  transition running -> idle on stop_timer
+}
+)";
+  SafetyChecker Checker;
+  CheckReport R = Checker.checkSource(R"(
+  call ping
+  nop
+  call start_timer
+  nop
+  call ping
+  nop
+  call stop_timer
+  nop
+  retl
+  nop
+)", Policy);
+  ASSERT_TRUE(R.InputsOk) << R.Diags.str();
+  EXPECT_TRUE(R.Safe) << R.Diags.str();
+}
+
+TEST(Automata, ParserRoundTrip) {
+  std::string Error;
+  std::optional<policy::Policy> P = policy::parsePolicy(R"(
+automaton a {
+  state s0
+  state s1
+  start s0
+  transition s0 -> s1 on f
+  transition s1 -> s0 on g
+  final s0, s1
+}
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  ASSERT_EQ(P->Automata.size(), 1u);
+  const policy::Policy::Automaton &A = P->Automata[0];
+  EXPECT_EQ(A.Name, "a");
+  EXPECT_EQ(A.States.size(), 2u);
+  EXPECT_EQ(A.Start, 0u);
+  ASSERT_EQ(A.Transitions.size(), 2u);
+  EXPECT_EQ(A.Transitions[0].Event, "f");
+  EXPECT_EQ(A.Final.size(), 2u);
+  EXPECT_TRUE(A.observes("f"));
+  EXPECT_FALSE(A.observes("h"));
+}
+
+TEST(Automata, ParserErrors) {
+  std::string Error;
+  EXPECT_FALSE(policy::parsePolicy("automaton a { }\n", &Error).has_value());
+  EXPECT_NE(Error.find("no states"), std::string::npos);
+  EXPECT_FALSE(
+      policy::parsePolicy("automaton a { transition x > y on f }\n", &Error)
+          .has_value());
+}
+
+} // namespace

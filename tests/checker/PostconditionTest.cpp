@@ -1,0 +1,193 @@
+//===- PostconditionTest.cpp - Safety postconditions (Section 2) ----------===//
+//
+// "In reality, a safety policy can also include a safety postcondition
+// (typestates and linear constraints) for ensuring that certain
+// invariants defined on the host data are restored by the time control
+// is returned to the host."
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+#include "policy/PolicyParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+CheckReport check(const char *Asm, const char *Policy) {
+  SafetyChecker Checker;
+  return Checker.checkSource(Asm, Policy);
+}
+
+TEST(Postcondition, LinearPostconditionVerified) {
+  // The host demands the counter location be left >= its original value.
+  const char *Policy = R"(
+loc ctr : int32 state=init
+region H { ctr }
+allow H : int32 : r,w,o
+invoke %o0 = &ctr
+postconstraint val:ctr >= 1
+)";
+  // Writes 5 into the counter: 5 >= 1 holds on return.
+  CheckReport Good = check(R"(
+  mov 5,%g1
+  st %g1,[%o0]
+  retl
+  nop
+)", Policy);
+  ASSERT_TRUE(Good.InputsOk) << Good.Diags.str();
+  EXPECT_TRUE(Good.Safe) << Good.Diags.str();
+
+  // Zeroes it: 0 >= 1 is refutable.
+  CheckReport Bad = check(R"(
+  st %g0,[%o0]
+  retl
+  nop
+)", Policy);
+  ASSERT_TRUE(Bad.InputsOk) << Bad.Diags.str();
+  EXPECT_FALSE(Bad.Safe);
+  EXPECT_GE(Bad.Diags.countOfKind(SafetyKind::Postcondition), 1u);
+}
+
+TEST(Postcondition, LinearPostconditionAcrossBranches) {
+  const char *Policy = R"(
+loc ctr : int32 state=init
+region H { ctr }
+allow H : int32 : r,w,o
+invoke %o0 = &ctr
+invoke %o1 = x
+postconstraint val:ctr >= 0
+)";
+  // Stores either 1 or 2 depending on a branch: both satisfy >= 0.
+  CheckReport R = check(R"(
+  cmp %o1,0
+  ble low
+  nop
+  mov 2,%g1
+  st %g1,[%o0]
+  retl
+  nop
+low:
+  mov 1,%g1
+  st %g1,[%o0]
+  retl
+  nop
+)", Policy);
+  ASSERT_TRUE(R.InputsOk) << R.Diags.str();
+  EXPECT_TRUE(R.Safe) << R.Diags.str();
+}
+
+TEST(Postcondition, StatePostconditionRequiresInitialized) {
+  // The scratch cell starts uninitialized and must be initialized on
+  // return.
+  const char *Policy = R"(
+loc cell : int32 state=uninit
+region H { cell }
+allow H : int32 : r,w,o
+invoke %o0 = &cell
+postloc cell state=init
+)";
+  CheckReport Good = check(R"(
+  mov 7,%g1
+  st %g1,[%o0]
+  retl
+  nop
+)", Policy);
+  EXPECT_TRUE(Good.Safe) << Good.Diags.str();
+
+  CheckReport Bad = check(R"(
+  retl
+  nop
+)", Policy);
+  EXPECT_FALSE(Bad.Safe);
+  EXPECT_GE(Bad.Diags.countOfKind(SafetyKind::Postcondition), 1u);
+}
+
+TEST(Postcondition, StatePostconditionOnOnePathOnly) {
+  // Initialized on one path only: the meet at exit is uninit -> flagged.
+  const char *Policy = R"(
+loc cell : int32 state=uninit
+region H { cell }
+allow H : int32 : r,w,o
+invoke %o0 = &cell
+invoke %o1 = x
+postloc cell state=init
+)";
+  CheckReport R = check(R"(
+  cmp %o1,0
+  ble skip
+  nop
+  mov 1,%g1
+  st %g1,[%o0]
+skip:
+  retl
+  nop
+)", Policy);
+  ASSERT_TRUE(R.InputsOk) << R.Diags.str();
+  EXPECT_FALSE(R.Safe);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::Postcondition), 1u);
+}
+
+TEST(Postcondition, PointerShapeRestored) {
+  // The policy permits modifying the link but demands it point back into
+  // the list (or be null) on return.
+  const char *Policy = R"(
+struct node { v: int32 @0; next: node* @4 } size 8 align 4
+loc nd : node state={nd,null} summary
+loc head : node* state={nd,null}
+region H { nd, head }
+allow H : int32 : r,o
+allow H : node* : r,w,f,o
+allow H : node.next : r,w,f,o
+invoke %o0 = head
+postloc nd state={nd,null}
+)";
+  // Terminates the list at the head node: next := null. Null is in the
+  // allowed shape.
+  CheckReport Good = check(R"(
+  cmp %o0,0
+  be out
+  nop
+  st %g0,[%o0+4]
+out:
+  retl
+  nop
+)", Policy);
+  ASSERT_TRUE(Good.InputsOk) << Good.Diags.str();
+  EXPECT_TRUE(Good.Safe) << Good.Diags.str();
+}
+
+TEST(Postcondition, RegisterPostcondition) {
+  // The host requires a nonnegative return value in %o0.
+  const char *Policy = R"(
+invoke %o0 = x
+postconstraint %o0 >= 0
+)";
+  CheckReport Good = check(R"(
+  clr %o0
+  retl
+  nop
+)", Policy);
+  EXPECT_TRUE(Good.Safe) << Good.Diags.str();
+
+  CheckReport Bad = check(R"(
+  mov -1,%o0
+  retl
+  nop
+)", Policy);
+  EXPECT_FALSE(Bad.Safe);
+  EXPECT_GE(Bad.Diags.countOfKind(SafetyKind::Postcondition), 1u);
+}
+
+TEST(Postcondition, ParserRejectsUnknownPostloc) {
+  std::string Error;
+  EXPECT_FALSE(
+      policy::parsePolicy("postloc ghost state=init\n", &Error)
+          .has_value());
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+}
+
+} // namespace

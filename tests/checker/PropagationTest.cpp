@@ -1,0 +1,312 @@
+//===- PropagationTest.cpp - Phase 2 (Figure 6) ---------------------------===//
+//
+// Validates typestate propagation against the paper's Figure 6: the
+// per-instruction abstract stores of the running example, overload
+// resolution, branch refinement, and the register-window transformers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/CheckContext.h"
+#include "checker/Propagation.h"
+#include "policy/PolicyParser.h"
+#include "sparc/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::typestate;
+using namespace mcsafe::sparc;
+
+namespace {
+
+struct Session {
+  Module M;
+  policy::Policy Pol;
+  DiagnosticEngine Diags;
+  std::optional<CheckContext> Ctx;
+  PropagationResult Prop;
+
+  Session(const char *Asm, const char *PolicyText) {
+    std::string Error;
+    std::optional<Module> Mod = assemble(Asm, &Error);
+    EXPECT_TRUE(Mod.has_value()) << Error;
+    M = std::move(*Mod);
+    std::optional<policy::Policy> P =
+        policy::parsePolicy(PolicyText, &Error);
+    EXPECT_TRUE(P.has_value()) << Error;
+    Pol = std::move(*P);
+    Ctx = prepare(M, Pol, Diags);
+    EXPECT_TRUE(Ctx.has_value()) << Diags.str();
+    if (Ctx)
+      Prop = propagate(*Ctx);
+  }
+
+  /// In-store of the first node executing 1-based statement \p Line.
+  const AbstractStore &inAt(uint32_t Line) const {
+    for (cfg::NodeId Id = 0; Id < Ctx->Graph.size(); ++Id) {
+      const cfg::CfgNode &N = Ctx->Graph.node(Id);
+      if (N.Kind == cfg::NodeKind::Normal && N.InstIndex == Line - 1)
+        return Prop.In[Id];
+    }
+    static AbstractStore Top = AbstractStore::top();
+    ADD_FAILURE() << "no node for line " << Line;
+    return Top;
+  }
+
+  cfg::NodeId nodeAt(uint32_t Line) const {
+    for (cfg::NodeId Id = 0; Id < Ctx->Graph.size(); ++Id) {
+      const cfg::CfgNode &N = Ctx->Graph.node(Id);
+      if (N.Kind == cfg::NodeKind::Normal && N.InstIndex == Line - 1)
+        return Id;
+    }
+    return cfg::InvalidNode;
+  }
+};
+
+const char *SumAsm = R"(
+  mov %o0,%o2
+  clr %o0
+  cmp %o0,%o1
+  bge 12
+  clr %g3
+  sll %g3,2,%g2
+  ld [%o2+%g2],%g2
+  inc %g3
+  cmp %g3,%o1
+  bl 6
+  add %o0,%g2,%o0
+  retl
+  nop
+)";
+
+const char *SumPolicy = R"(
+loc e : int32 state=init summary
+loc arr : int32[n] state={e}
+region V { arr, e }
+allow V : int32 : r,o
+allow V : int32[n] : r,f,o
+invoke %o0 = arr
+invoke %o1 = n
+constraint n >= 1
+)";
+
+TEST(Propagation, Figure6EntryState) {
+  Session S(SumAsm, SumPolicy);
+  const AbstractStore &Entry = S.inAt(1);
+  ASSERT_FALSE(Entry.isTop());
+  // %o0: <int32[n], {e}, rwfo>; the register carries f and o.
+  Typestate O0Ts = Entry.reg(0, O0);
+  EXPECT_EQ(O0Ts.Type->kind(), TypeKind::ArrayBase);
+  ASSERT_TRUE(O0Ts.S.isPointsTo());
+  EXPECT_EQ(O0Ts.S.targets().size(), 1u);
+  EXPECT_FALSE(O0Ts.S.mayBeNull());
+  EXPECT_TRUE(O0Ts.A.F);
+  EXPECT_TRUE(O0Ts.A.O);
+  // %o1: <int32, initialized, rwo>.
+  Typestate O1Ts = Entry.reg(0, O1);
+  EXPECT_TRUE(O1Ts.Type->isGround());
+  EXPECT_TRUE(O1Ts.S.isInit());
+  EXPECT_TRUE(O1Ts.A.O);
+}
+
+TEST(Propagation, Figure6MovCopiesThePointer) {
+  Session S(SumAsm, SumPolicy);
+  // After line 1 (mov %o0,%o2), i.e. before line 2: %o2 points to e.
+  const AbstractStore &AtLine2 = S.inAt(2);
+  Typestate O2Ts = AtLine2.reg(0, O2);
+  EXPECT_EQ(O2Ts.Type->kind(), TypeKind::ArrayBase);
+  ASSERT_TRUE(O2Ts.S.isPointsTo());
+  AbsLocId E = S.Ctx->Locs.lookup("e");
+  EXPECT_EQ(O2Ts.S.targets().begin()->Loc, E);
+}
+
+TEST(Propagation, Figure6ClrMakesZero) {
+  Session S(SumAsm, SumPolicy);
+  // Before line 3: %o0 == 0 after clr.
+  EXPECT_EQ(S.inAt(3).reg(0, O0).S.constant(), 0);
+}
+
+TEST(Propagation, Figure6LoopBodyResolvesArrayAccess) {
+  Session S(SumAsm, SumPolicy);
+  // At line 7 the ld resolves as an array access with %o2 the base and
+  // %g2 the index.
+  cfg::NodeId Ld = S.nodeAt(7);
+  ASSERT_NE(Ld, cfg::InvalidNode);
+  InstFacts Facts = resolveInst(*S.Ctx, Ld, S.Prop.In[Ld]);
+  EXPECT_FALSE(Facts.Mem.Unresolved);
+  EXPECT_TRUE(Facts.Mem.ArrayAccess);
+  EXPECT_FALSE(Facts.Mem.Interior);
+  EXPECT_EQ(Facts.Mem.BaseReg, O2);
+  EXPECT_EQ(Facts.Mem.IndexReg, Reg(2));
+  EXPECT_EQ(Facts.Mem.ElemSize, 4u);
+  EXPECT_TRUE(Facts.Mem.Bound.Symbolic);
+  ASSERT_EQ(Facts.Mem.Leaves.size(), 1u);
+  EXPECT_EQ(Facts.Mem.Leaves[0], S.Ctx->Locs.lookup("e"));
+  EXPECT_FALSE(Facts.Mem.Strong); // Summary location: weak only.
+}
+
+TEST(Propagation, Figure6IndexIsInitializedInteger) {
+  Session S(SumAsm, SumPolicy);
+  // Before line 7, %g2 = 4*%g3 is an initialized nonnegative integer
+  // (interval from sll over %g3 in [0, inf)).
+  Typestate G2 = S.inAt(7).reg(0, Reg(2));
+  EXPECT_TRUE(G2.Type->isGround());
+  EXPECT_TRUE(G2.S.isInit());
+  ASSERT_TRUE(G2.S.lower().has_value());
+  EXPECT_GE(*G2.S.lower(), 0);
+}
+
+TEST(Propagation, AddOverloadResolution) {
+  Session S(SumAsm, SumPolicy);
+  // Line 11: add %o0,%g2,%o0 is a scalar addition (both ints).
+  cfg::NodeId Add = S.nodeAt(11);
+  InstFacts Facts = resolveInst(*S.Ctx, Add, S.Prop.In[Add]);
+  EXPECT_EQ(Facts.Add, AddUsage::Scalar);
+}
+
+TEST(Propagation, ArrayIndexAddProducesInteriorPointer) {
+  const char *Asm = R"(
+  sll %o1,2,%g1
+  add %o0,%g1,%o2   ! base + byte index: array-index calculation
+  ld [%o2],%o0
+  retl
+  nop
+)";
+  Session S(Asm, SumPolicy);
+  cfg::NodeId Add = S.nodeAt(2);
+  InstFacts Facts = resolveInst(*S.Ctx, Add, S.Prop.In[Add]);
+  EXPECT_EQ(Facts.Add, AddUsage::ArrayIndex);
+  // The result is t(n] pointing at the same summary.
+  Typestate O2Ts = S.inAt(3).reg(0, O2);
+  EXPECT_EQ(O2Ts.Type->kind(), TypeKind::ArrayInterior);
+  ASSERT_TRUE(O2Ts.S.isPointsTo());
+  // And the interior load resolves without a bounds obligation.
+  cfg::NodeId Ld = S.nodeAt(3);
+  InstFacts LdFacts = resolveInst(*S.Ctx, Ld, S.Prop.In[Ld]);
+  EXPECT_FALSE(LdFacts.Mem.Unresolved);
+  EXPECT_TRUE(LdFacts.Mem.Interior);
+}
+
+const char *ThreadPolicy = R"(
+struct thread { tid: int32 @0; lwpid: int32 @4; next: thread* @8 } size 12 align 4
+loc th : thread state={th,null} summary
+loc threads : thread* state={th,null}
+region H { th, threads }
+allow H : int32 : r,o
+allow H : thread* : r,f,o
+invoke %o0 = threads
+)";
+
+TEST(Propagation, BranchRefinementDropsNull) {
+  const char *Asm = R"(
+  cmp %o0,0
+  be 7
+  nop
+  ld [%o0+0],%o1   ! %o0 is non-null here
+  retl
+  nop
+  clr %o1          ! null-only path
+  retl
+  nop
+)";
+  Session S(Asm, ThreadPolicy);
+  Typestate AtLd = S.inAt(4).reg(0, O0);
+  ASSERT_TRUE(AtLd.S.isPointsTo());
+  EXPECT_FALSE(AtLd.S.mayBeNull());
+  // On the taken side (line 7) the pointer is definitely null.
+  Typestate AtNull = S.inAt(7).reg(0, O0);
+  ASSERT_TRUE(AtNull.S.isPointsTo());
+  EXPECT_TRUE(AtNull.S.isDefinitelyNull());
+}
+
+TEST(Propagation, IntervalRefinementFromSignedBranches) {
+  const char *Asm = R"(
+  cmp %o1,10
+  bge 6
+  nop
+  inc %o1          ! here %o1 <= 9
+  nop
+  retl
+  nop
+)";
+  // SumPolicy binds %o1 = n (an initialized scalar), so the branch can
+  // refine it.
+  Session S(Asm, SumPolicy);
+  Typestate AtInc = S.inAt(4).reg(0, O1);
+  EXPECT_TRUE(AtInc.S.isInit());
+  EXPECT_EQ(AtInc.S.upper(), 9);
+  EXPECT_FALSE(AtInc.S.lower().has_value());
+}
+
+TEST(Propagation, StructFieldLoadGetsDeclaredState) {
+  const char *Asm = R"(
+  cmp %o0,0
+  be 6
+  nop
+  ld [%o0+8],%o0   ! load t->next: {th, null}
+  nop
+  retl
+  nop
+)";
+  Session S(Asm, ThreadPolicy);
+  Typestate AfterLoad = S.inAt(5).reg(0, O0);
+  ASSERT_TRUE(AfterLoad.S.isPointsTo());
+  EXPECT_TRUE(AfterLoad.S.mayBeNull());
+  EXPECT_TRUE(AfterLoad.A.F); // next is followable by the policy.
+}
+
+TEST(Propagation, SaveShiftsWindows) {
+  const char *Asm = R"(
+  save %sp,-96,%sp
+  mov %i0,%o0      ! callee sees the caller's %o0 as %i0
+  ret
+  restore
+)";
+  Session S(Asm, ThreadPolicy);
+  // Before line 2 (inside the window): %i0@1 = old %o0@0 (the pointer).
+  const AbstractStore &In = S.inAt(2);
+  Typestate I0Ts = In.reg(1, Reg(24));
+  ASSERT_TRUE(I0Ts.S.isPointsTo());
+  // Locals are uninitialized.
+  EXPECT_TRUE(In.reg(1, L0).S.isUninit());
+}
+
+TEST(Propagation, RestoreReturnsValues) {
+  const char *Asm = R"(
+  call helper
+  nop
+  mov %o0,%o1      ! caller sees the callee's %i0 as %o0
+  retl
+  nop
+helper:
+  save %sp,-96,%sp
+  mov 42,%i0       ! return value
+  ret
+  restore
+)";
+  Session S(Asm, ThreadPolicy);
+  EXPECT_EQ(S.inAt(3).reg(0, O0).S.constant(), 42);
+}
+
+TEST(Propagation, TrustedCallClobbersAndReturns) {
+  const char *Policy = R"(
+trusted gettime {
+  returns int32 state=init access=o
+}
+)";
+  const char *Asm = R"(
+  mov 7,%o3
+  call gettime
+  nop
+  add %o0,%o3,%o4  ! %o0 is the fresh return value; %o3 survived? no --
+  retl             ! %o3 is caller-saved and clobbered
+  nop
+)";
+  Session S(Asm, Policy);
+  const AbstractStore &AfterCall = S.inAt(4);
+  EXPECT_TRUE(AfterCall.reg(0, O0).S.isInit());
+  EXPECT_TRUE(AfterCall.reg(0, O3).S.isUninit());
+}
+
+} // namespace

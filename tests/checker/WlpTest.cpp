@@ -1,0 +1,249 @@
+//===- WlpTest.cpp - Backward (wlp) transformers --------------------------===//
+
+#include "checker/Wlp.h"
+#include "policy/PolicyParser.h"
+#include "sparc/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::sparc;
+using mcsafe::policy::regValueVar;
+
+namespace {
+
+struct Session {
+  Module M;
+  policy::Policy Pol;
+  DiagnosticEngine Diags;
+  std::optional<CheckContext> Ctx;
+  PropagationResult Prop;
+  std::unique_ptr<WlpEngine> Engine;
+
+  Session(const char *Asm, const char *PolicyText = R"(
+loc e : int32 state=init summary
+loc arr : int32[n] state={e}
+region V { arr, e }
+allow V : int32 : r,w,o
+allow V : int32[n] : r,f,o
+invoke %o0 = arr
+invoke %o1 = n
+constraint n >= 1
+)") {
+    std::string Error;
+    std::optional<Module> Mod = assemble(Asm, &Error);
+    EXPECT_TRUE(Mod.has_value()) << Error;
+    M = std::move(*Mod);
+    std::optional<policy::Policy> P =
+        policy::parsePolicy(PolicyText, &Error);
+    EXPECT_TRUE(P.has_value()) << Error;
+    Pol = std::move(*P);
+    Ctx = prepare(M, Pol, Diags);
+    EXPECT_TRUE(Ctx.has_value()) << Diags.str();
+    Prop = propagate(*Ctx);
+    Engine = std::make_unique<WlpEngine>(*Ctx, Prop);
+  }
+
+  cfg::NodeId nodeAt(uint32_t Line) const {
+    for (cfg::NodeId Id = 0; Id < Ctx->Graph.size(); ++Id)
+      if (Ctx->Graph.node(Id).Kind == cfg::NodeKind::Normal &&
+          Ctx->Graph.node(Id).InstIndex == Line - 1)
+        return Id;
+    return cfg::InvalidNode;
+  }
+};
+
+FormulaRef geVar(VarId V, int64_t C) {
+  return Formula::atom(
+      Constraint::ge(LinearExpr::variable(V).plusConstant(-C)));
+}
+
+TEST(Wlp, MovSubstitutes) {
+  Session S("mov %o0,%o2\nretl\nnop\n");
+  // wlp(mov %o0,%o2; %o2 >= 5) == %o0 >= 5.
+  FormulaRef Post = geVar(regValueVar(0, O2), 5);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  FormulaRef Expected = geVar(regValueVar(0, O0), 5);
+  EXPECT_TRUE(Formula::equal(Pre, Expected))
+      << Pre->str() << " vs " << Expected->str();
+}
+
+TEST(Wlp, AddIsLinearEvenSelfReferential) {
+  Session S("add %o0,%g2,%o0\nretl\nnop\n");
+  // wlp(%o0 += %g2; %o0 >= 5) == %o0 + %g2 >= 5.
+  FormulaRef Post = geVar(regValueVar(0, O0), 5);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  LinearExpr E = LinearExpr::variable(regValueVar(0, O0)) +
+                 LinearExpr::variable(regValueVar(0, Reg(2)));
+  FormulaRef Expected = Formula::atom(Constraint::ge(E.plusConstant(-5)));
+  EXPECT_TRUE(Formula::equal(Pre, Expected))
+      << Pre->str() << " vs " << Expected->str();
+}
+
+TEST(Wlp, SllScalesByPowerOfTwo) {
+  Session S("sll %g3,2,%g2\nretl\nnop\n");
+  // wlp(%g2 = 4*%g3; %g2 < 4n) == 4*%g3 < 4n (i.e. %g3 < n tightened).
+  VarId G2 = regValueVar(0, Reg(2));
+  VarId G3 = regValueVar(0, Reg(3));
+  VarId N = varId("n");
+  FormulaRef Post = Formula::atom(Constraint::lt(
+      LinearExpr::variable(G2), LinearExpr::variable(N).scaled(4)));
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  // gcd-tightening turns 4n - 4g3 - 1 >= 0 into n - g3 - 1 >= 0.
+  FormulaRef Expected = Formula::atom(Constraint::lt(
+      LinearExpr::variable(G3), LinearExpr::variable(N)));
+  EXPECT_TRUE(Formula::equal(Pre, Expected))
+      << Pre->str() << " vs " << Expected->str();
+}
+
+TEST(Wlp, CmpSetsIcc) {
+  Session S("cmp %g3,%o1\nretl\nnop\n");
+  // wlp(icc := %g3 - %o1; icc < 0) == %g3 < %o1 (the paper's step 3).
+  LinearExpr Icc = LinearExpr::variable(policy::iccVar());
+  FormulaRef Post =
+      Formula::atom(Constraint::ge((-Icc).plusConstant(-1)));
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  std::set<VarId> Free = Pre->freeVars();
+  EXPECT_FALSE(Free.count(policy::iccVar()));
+  EXPECT_TRUE(Free.count(regValueVar(0, Reg(3))));
+  EXPECT_TRUE(Free.count(regValueVar(0, O1)));
+}
+
+TEST(Wlp, NonLinearOpsHavoc) {
+  Session S("xor %o0,%o1,%o2\nretl\nnop\n");
+  FormulaRef Post = geVar(regValueVar(0, O2), 0);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  // %o2 was havocked: the formula now references a fresh variable, not
+  // %o2, and is not a tautology.
+  EXPECT_FALSE(Pre->freeVars().count(regValueVar(0, O2)));
+  EXPECT_FALSE(Pre->isTrue());
+}
+
+TEST(Wlp, UntouchedVarsPassThrough) {
+  Session S("clr %o3\nretl\nnop\n");
+  FormulaRef Post = geVar(regValueVar(0, O4), 1);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  EXPECT_TRUE(Formula::equal(Pre, Post));
+}
+
+TEST(Wlp, StrongStoreSubstitutesLocationValue) {
+  const char *Policy = R"(
+loc cell : int32 state=init
+region H { cell }
+allow H : int32 : r,w,o
+invoke %o0 = &cell
+)";
+  Session S("st %o1,[%o0]\nretl\nnop\n", Policy);
+  // wlp(val:cell := %o1; val:cell >= 3) == %o1 >= 3.
+  FormulaRef Post = geVar(policy::locValueVar("cell"), 3);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  FormulaRef Expected = geVar(regValueVar(0, O1), 3);
+  EXPECT_TRUE(Formula::equal(Pre, Expected))
+      << Pre->str() << " vs " << Expected->str();
+}
+
+TEST(Wlp, WeakStoreHavocsSummary) {
+  Session S(R"(
+  sll %o1,2,%g1
+  add %o0,%g1,%o2
+  st %g0,[%o2]
+  retl
+  nop
+)");
+  // A store through the summary element havocs val:e.
+  FormulaRef Post = geVar(policy::locValueVar("e"), 0);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(3), Post);
+  EXPECT_FALSE(Pre->freeVars().count(policy::locValueVar("e")));
+}
+
+TEST(Wlp, EdgeConditionsOverIcc) {
+  Session S("retl\nnop\n");
+  LinearExpr Icc = LinearExpr::variable(policy::iccVar());
+  cfg::CfgEdge E;
+  E.Kind = cfg::EdgeKind::Taken;
+  E.BranchOp = Opcode::BL;
+  FormulaRef C = S.Engine->edgeCondition(E);
+  // bl taken: icc < 0.
+  EXPECT_TRUE(Formula::equal(
+      C, Formula::atom(Constraint::ge((-Icc).plusConstant(-1)))));
+  E.Kind = cfg::EdgeKind::NotTaken;
+  C = S.Engine->edgeCondition(E);
+  EXPECT_TRUE(Formula::equal(C, Formula::atom(Constraint::ge(Icc))));
+  // Unsigned branches give no linear information.
+  E.BranchOp = Opcode::BGU;
+  EXPECT_TRUE(S.Engine->edgeCondition(E)->isTrue());
+  // Flow edges are unconditional.
+  E.Kind = cfg::EdgeKind::Flow;
+  E.BranchOp = Opcode::BL;
+  EXPECT_TRUE(S.Engine->edgeCondition(E)->isTrue());
+}
+
+TEST(Wlp, BneEdgeIsDisequality) {
+  Session S("retl\nnop\n");
+  cfg::CfgEdge E;
+  E.Kind = cfg::EdgeKind::Taken;
+  E.BranchOp = Opcode::BNE;
+  FormulaRef C = S.Engine->edgeCondition(E);
+  EXPECT_EQ(C->kind(), FormulaKind::Or); // icc != 0 splits into two GEs.
+}
+
+TEST(Wlp, ModifiedVarsCollectsTargets) {
+  Session S(R"(
+  clr %g3
+  inc %g3
+  cmp %g3,%o1
+  bl 2
+  nop
+  retl
+  nop
+)");
+  std::vector<cfg::NodeId> Body;
+  for (cfg::NodeId Id = 0; Id < S.Ctx->Graph.size(); ++Id)
+    Body.push_back(Id);
+  std::set<VarId> Modified = S.Engine->modifiedVars(Body);
+  EXPECT_TRUE(Modified.count(regValueVar(0, Reg(3))));
+  EXPECT_TRUE(Modified.count(policy::iccVar()));
+  EXPECT_FALSE(Modified.count(regValueVar(0, O1)));
+}
+
+TEST(Wlp, SaveRenamesAcrossWindows) {
+  Session S(R"(
+  save %sp,-96,%sp
+  ret
+  restore
+)");
+  // wlp(save; %i0@1 >= 2) == %o0@0 >= 2.
+  FormulaRef Post = geVar(regValueVar(1, Reg(24)), 2);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
+  FormulaRef Expected = geVar(regValueVar(0, O0), 2);
+  EXPECT_TRUE(Formula::equal(Pre, Expected))
+      << Pre->str() << " vs " << Expected->str();
+  // The new stack pointer is old %sp + imm.
+  FormulaRef SpPost = geVar(regValueVar(1, SP), 0);
+  FormulaRef SpPre = S.Engine->transformNode(S.nodeAt(1), SpPost);
+  LinearExpr E =
+      LinearExpr::variable(regValueVar(0, SP)).plusConstant(-96);
+  EXPECT_TRUE(Formula::equal(SpPre, Formula::atom(Constraint::ge(E))))
+      << SpPre->str();
+  // New locals are havocked.
+  FormulaRef LPost = geVar(regValueVar(1, L0), 0);
+  FormulaRef LPre = S.Engine->transformNode(S.nodeAt(1), LPost);
+  EXPECT_FALSE(LPre->freeVars().count(regValueVar(1, L0)));
+}
+
+TEST(Wlp, RestoreMovesCalleeInsToCallerOuts) {
+  Session S(R"(
+  save %sp,-96,%sp
+  ret
+  restore
+)");
+  // wlp(restore; %o0@0 >= 1) == %i0@1 >= 1.
+  FormulaRef Post = geVar(regValueVar(0, O0), 1);
+  FormulaRef Pre = S.Engine->transformNode(S.nodeAt(3), Post);
+  FormulaRef Expected = geVar(regValueVar(1, Reg(24)), 1);
+  EXPECT_TRUE(Formula::equal(Pre, Expected))
+      << Pre->str() << " vs " << Expected->str();
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+//===- ConstraintTest.cpp -------------------------------------------------===//
+
+#include "constraints/Constraint.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+
+namespace {
+
+LinearExpr x() { return LinearExpr::variable(varId("x")); }
+LinearExpr y() { return LinearExpr::variable(varId("y")); }
+
+TEST(Constraint, GeTighteningDividesByGcd) {
+  // 2x - 3 >= 0  ->  x - 2 >= 0 (floor(-3/2) = -2): x >= 2, exact over Z.
+  Constraint C = Constraint::ge(x().scaled(2).plusConstant(-3));
+  EXPECT_EQ(C.kind(), ConstraintKind::GE);
+  EXPECT_EQ(C.expr().coeff(varId("x")), 1);
+  EXPECT_EQ(C.expr().constantValue(), -2);
+}
+
+TEST(Constraint, ComparisonBuilders) {
+  // x < y  ==  y - x - 1 >= 0.
+  Constraint C = Constraint::lt(x(), y());
+  EXPECT_EQ(C.expr().coeff(varId("x")), -1);
+  EXPECT_EQ(C.expr().coeff(varId("y")), 1);
+  EXPECT_EQ(C.expr().constantValue(), -1);
+
+  Constraint Le = Constraint::le(x(), y());
+  EXPECT_EQ(Le.expr().constantValue(), 0);
+
+  Constraint Gt = Constraint::gt(x(), y());
+  EXPECT_EQ(Gt.expr().coeff(varId("x")), 1);
+  EXPECT_EQ(Gt.expr().constantValue(), -1);
+}
+
+TEST(Constraint, EqGcdNormalization) {
+  // 2x - 4 == 0  ->  x - 2 == 0.
+  Constraint C = Constraint::eq(x().scaled(2).plusConstant(-4));
+  EXPECT_EQ(C.expr().coeff(varId("x")), 1);
+  EXPECT_EQ(C.expr().constantValue(), -2);
+}
+
+TEST(Constraint, EqIndivisibleIsFalse) {
+  // 2x - 3 == 0 has no integer solution.
+  Constraint C = Constraint::eq(x().scaled(2).plusConstant(-3));
+  EXPECT_EQ(C.constantTruth(), false);
+}
+
+TEST(Constraint, EqSignCanonicalization) {
+  Constraint A = Constraint::eq(x() - y());
+  Constraint B = Constraint::eq(y() - x());
+  EXPECT_TRUE(A == B);
+}
+
+TEST(Constraint, ConstantTruth) {
+  EXPECT_EQ(Constraint::ge(LinearExpr::constant(0)).constantTruth(), true);
+  EXPECT_EQ(Constraint::ge(LinearExpr::constant(-1)).constantTruth(), false);
+  EXPECT_EQ(Constraint::eq(LinearExpr::constant(0)).constantTruth(), true);
+  EXPECT_EQ(Constraint::eq(LinearExpr::constant(2)).constantTruth(), false);
+  EXPECT_FALSE(Constraint::ge(x()).constantTruth().has_value());
+}
+
+TEST(Constraint, DivisibilityNormalization) {
+  // 4 | (5x + 9)  ->  4 | (x + 1).
+  Constraint C = Constraint::divides(4, x().scaled(5).plusConstant(9));
+  EXPECT_EQ(C.kind(), ConstraintKind::DIV);
+  EXPECT_EQ(C.expr().coeff(varId("x")), 1);
+  EXPECT_EQ(C.expr().constantValue(), 1);
+}
+
+TEST(Constraint, DivisibilityConstantTruth) {
+  EXPECT_EQ(Constraint::divides(4, LinearExpr::constant(8)).constantTruth(),
+            true);
+  EXPECT_EQ(Constraint::divides(4, LinearExpr::constant(6)).constantTruth(),
+            false);
+  EXPECT_EQ(Constraint::divides(1, x()).constantTruth(), true);
+  EXPECT_EQ(Constraint::notDivides(1, x()).constantTruth(), false);
+  EXPECT_EQ(
+      Constraint::notDivides(4, LinearExpr::constant(6)).constantTruth(),
+      true);
+}
+
+TEST(Constraint, DivisibilityDropsMultipleCoefficients) {
+  // 4 | (4x + y)  ->  4 | y.
+  Constraint C = Constraint::divides(4, x().scaled(4) + y());
+  EXPECT_EQ(C.expr().coeff(varId("x")), 0);
+  EXPECT_EQ(C.expr().coeff(varId("y")), 1);
+}
+
+TEST(Constraint, SubstitutePreservesKind) {
+  Constraint C = Constraint::divides(4, x());
+  Constraint S = C.substitute(varId("x"), y().scaled(4));
+  EXPECT_EQ(S.constantTruth(), true); // 4 | 4y is trivially true.
+
+  Constraint G = Constraint::ge(x().plusConstant(-1));
+  Constraint GS = G.substitute(varId("x"), LinearExpr::constant(0));
+  EXPECT_EQ(GS.constantTruth(), false);
+}
+
+TEST(Constraint, PoisonGivesNoTruth) {
+  Constraint C =
+      Constraint::ge(LinearExpr::constant(INT64_MAX).plusConstant(1));
+  EXPECT_TRUE(C.isPoisoned());
+  EXPECT_FALSE(C.constantTruth().has_value());
+}
+
+TEST(Constraint, Printing) {
+  EXPECT_EQ(Constraint::ge(x().plusConstant(-2)).str(), "x - 2 >= 0");
+  EXPECT_EQ(Constraint::divides(4, x()).str(), "4 | x");
+  EXPECT_EQ(Constraint::notDivides(4, x()).str(), "4 !| x");
+}
+
+} // namespace

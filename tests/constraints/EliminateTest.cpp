@@ -1,0 +1,121 @@
+//===- EliminateTest.cpp --------------------------------------------------===//
+
+#include "constraints/Eliminate.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+
+namespace {
+
+LinearExpr g3() { return LinearExpr::variable(varId("e.%g3")); }
+LinearExpr o1() { return LinearExpr::variable(varId("e.%o1")); }
+LinearExpr n() { return LinearExpr::variable(varId("e.n")); }
+
+TEST(Eliminate, ProjectSimpleBounds) {
+  // {x >= a, x <= b} projected over x gives a <= b.
+  VarId X = varId("e.x");
+  LinearExpr EX = LinearExpr::variable(X);
+  LinearExpr A = LinearExpr::variable(varId("e.a"));
+  LinearExpr B = LinearExpr::variable(varId("e.b"));
+  auto Result = projectOut({Constraint::ge(EX - A), Constraint::le(EX, B)},
+                           {X});
+  ASSERT_TRUE(Result.has_value());
+  ASSERT_EQ(Result->size(), 1u);
+  // b - a >= 0.
+  EXPECT_EQ((*Result)[0].expr().coeff(varId("e.a")), -1);
+  EXPECT_EQ((*Result)[0].expr().coeff(varId("e.b")), 1);
+}
+
+TEST(Eliminate, ProjectUsesEqualityExactly) {
+  // {x == y + 1, x <= 5} over x gives y + 1 <= 5, i.e. -y + 4 >= 0.
+  VarId X = varId("e.x2");
+  VarId Y = varId("e.y2");
+  LinearExpr EX = LinearExpr::variable(X);
+  LinearExpr EY = LinearExpr::variable(Y);
+  auto Result = projectOut({Constraint::eq(EX - EY.plusConstant(1)),
+                            Constraint::le(EX, LinearExpr::constant(5))},
+                           {X});
+  ASSERT_TRUE(Result.has_value());
+  ASSERT_EQ(Result->size(), 1u);
+  EXPECT_EQ((*Result)[0].expr().coeff(Y), -1);
+  EXPECT_EQ((*Result)[0].expr().constantValue(), 4);
+}
+
+TEST(Eliminate, ProjectDropsDivisibilityOnTarget) {
+  VarId X = varId("e.x3");
+  LinearExpr EX = LinearExpr::variable(X);
+  auto Result = projectOut({Constraint::divides(4, EX)}, {X});
+  ASSERT_TRUE(Result.has_value());
+  EXPECT_TRUE(Result->empty());
+}
+
+TEST(Eliminate, ProjectOneSidedRemovesAllConstraints) {
+  VarId X = varId("e.x4");
+  LinearExpr EX = LinearExpr::variable(X);
+  auto Result = projectOut({Constraint::ge(EX.plusConstant(-3))}, {X});
+  ASSERT_TRUE(Result.has_value());
+  EXPECT_TRUE(Result->empty());
+}
+
+TEST(Eliminate, PaperGeneralizationExample) {
+  // Section 5.2.2: W(1) = (%g3+1 < %o1  =>  %g3+1 < n). Negating yields
+  // the single disjunct (%g3+1 < %o1) && (%g3+1 >= n); eliminating %g3
+  // gives %o1 > n (as "%o1 - n - 1 >= 0" after FM); negating again gives
+  // the generalization %o1 <= n.
+  FormulaRef W1 = Formula::implies(
+      Formula::atom(Constraint::lt(g3().plusConstant(1), o1())),
+      Formula::atom(Constraint::lt(g3().plusConstant(1), n())));
+  std::vector<FormulaRef> Candidates = generalize(W1, {varId("e.%g3")});
+  // The projected candidate (the paper's generalization) plus the
+  // unprojected per-disjunct negation (which equals W1 itself here).
+  ASSERT_GE(Candidates.size(), 1u);
+  const FormulaRef &G = Candidates[0];
+  ASSERT_EQ(G->kind(), FormulaKind::Atom);
+  // not(%o1 - n - 1 >= 0)  ==  n - %o1 >= 0, i.e. %o1 <= n.
+  EXPECT_EQ(G->constraint().expr().coeff(varId("e.n")), 1);
+  EXPECT_EQ(G->constraint().expr().coeff(varId("e.%o1")), -1);
+  EXPECT_EQ(G->constraint().expr().constantValue(), 0);
+}
+
+TEST(Eliminate, GeneralizeConjunctionKeepsOnlyDisjunctNegations) {
+  // f = (x >= 0 && x <= 5): not(f) has two one-sided disjuncts on x, both
+  // of which eliminate to "true" under projection; the surviving
+  // candidates are the unprojected per-disjunct negations (x >= 0 and
+  // x <= 5 themselves).
+  VarId X = varId("e.x5");
+  LinearExpr EX = LinearExpr::variable(X);
+  FormulaRef F = Formula::conj2(
+      Formula::atom(Constraint::ge(EX)),
+      Formula::atom(Constraint::le(EX, LinearExpr::constant(5))));
+  std::vector<FormulaRef> Cands = generalize(F, {X});
+  ASSERT_EQ(Cands.size(), 2u);
+  for (const FormulaRef &C : Cands)
+    EXPECT_EQ(C->kind(), FormulaKind::Atom);
+}
+
+TEST(Eliminate, GeneralizeWithNoVarsGivesDisjunctNegations) {
+  // With nothing to eliminate, each disjunct of not(f) still produces
+  // its negation (here: f itself, a single atom).
+  FormulaRef F = Formula::atom(Constraint::ge(g3()));
+  std::vector<FormulaRef> Cands = generalize(F, {});
+  ASSERT_EQ(Cands.size(), 1u);
+  EXPECT_TRUE(Formula::equal(Cands[0], F));
+}
+
+TEST(Eliminate, ProjectRespectsConstraintLimit) {
+  // 30 lowers x 30 uppers would exceed a limit of 100.
+  VarId X = varId("e.x6");
+  LinearExpr EX = LinearExpr::variable(X);
+  std::vector<Constraint> System;
+  for (int I = 0; I < 30; ++I) {
+    System.push_back(Constraint::ge(
+        EX - LinearExpr::variable(varId("e.lo" + std::to_string(I)))));
+    System.push_back(Constraint::le(
+        EX, LinearExpr::variable(varId("e.hi" + std::to_string(I)))));
+  }
+  EXPECT_FALSE(projectOut(System, {X}, /*MaxConstraints=*/100).has_value());
+  EXPECT_TRUE(projectOut(System, {X}, /*MaxConstraints=*/2000).has_value());
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- FormulaTest.cpp ----------------------------------------------------===//
+
+#include "constraints/Formula.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+
+namespace {
+
+LinearExpr x() { return LinearExpr::variable(varId("x")); }
+LinearExpr y() { return LinearExpr::variable(varId("y")); }
+
+FormulaRef geAtom(LinearExpr E) {
+  return Formula::atom(Constraint::ge(std::move(E)));
+}
+
+TEST(Formula, TrueFalseSingletons) {
+  EXPECT_TRUE(Formula::mkTrue()->isTrue());
+  EXPECT_TRUE(Formula::mkFalse()->isFalse());
+  EXPECT_EQ(Formula::mkTrue(), Formula::mkTrue());
+}
+
+TEST(Formula, AtomCollapsesConstants) {
+  EXPECT_TRUE(Formula::atom(Constraint::ge(LinearExpr::constant(3)))->isTrue());
+  EXPECT_TRUE(
+      Formula::atom(Constraint::ge(LinearExpr::constant(-1)))->isFalse());
+}
+
+TEST(Formula, ConjAbsorbsAndFlattens) {
+  FormulaRef A = geAtom(x());
+  FormulaRef B = geAtom(y());
+  EXPECT_TRUE(Formula::conj({})->isTrue());
+  EXPECT_TRUE(Formula::conj({A, Formula::mkFalse()})->isFalse());
+  EXPECT_EQ(Formula::conj({A, Formula::mkTrue()}), A);
+  FormulaRef Nested = Formula::conj2(A, Formula::conj2(B, A));
+  EXPECT_EQ(Nested->kind(), FormulaKind::And);
+  EXPECT_EQ(Nested->children().size(), 2u); // Flattened and deduplicated.
+}
+
+TEST(Formula, DisjAbsorbsAndFlattens) {
+  FormulaRef A = geAtom(x());
+  EXPECT_TRUE(Formula::disj({})->isFalse());
+  EXPECT_TRUE(Formula::disj({A, Formula::mkTrue()})->isTrue());
+  EXPECT_EQ(Formula::disj({A, Formula::mkFalse()}), A);
+}
+
+TEST(Formula, NegateAtomGe) {
+  // not(x >= 0)  ==  -x - 1 >= 0.
+  FormulaRef N = Formula::negate(geAtom(x()));
+  ASSERT_EQ(N->kind(), FormulaKind::Atom);
+  EXPECT_EQ(N->constraint().expr().coeff(varId("x")), -1);
+  EXPECT_EQ(N->constraint().expr().constantValue(), -1);
+}
+
+TEST(Formula, NegateAtomEqSplits) {
+  FormulaRef N = Formula::negate(Formula::atom(Constraint::eq(x() - y())));
+  EXPECT_EQ(N->kind(), FormulaKind::Or);
+  EXPECT_EQ(N->children().size(), 2u);
+}
+
+TEST(Formula, NegateDivAtom) {
+  FormulaRef N = Formula::negate(Formula::atom(Constraint::divides(4, x())));
+  ASSERT_EQ(N->kind(), FormulaKind::Atom);
+  EXPECT_EQ(N->constraint().kind(), ConstraintKind::NDIV);
+  // Double negation restores DIV.
+  FormulaRef NN = Formula::negate(N);
+  EXPECT_EQ(NN->constraint().kind(), ConstraintKind::DIV);
+}
+
+TEST(Formula, NegateDeMorgan) {
+  FormulaRef F = Formula::conj2(geAtom(x()), geAtom(y()));
+  FormulaRef N = Formula::negate(F);
+  EXPECT_EQ(N->kind(), FormulaKind::Or);
+  // Involution up to structure.
+  EXPECT_TRUE(Formula::equal(Formula::negate(N), F));
+}
+
+TEST(Formula, NegateSwapsQuantifiers) {
+  VarId V = varId("q");
+  FormulaRef F = Formula::exists(V, geAtom(LinearExpr::variable(V) - x()));
+  ASSERT_EQ(F->kind(), FormulaKind::Exists);
+  FormulaRef N = Formula::negate(F);
+  EXPECT_EQ(N->kind(), FormulaKind::Forall);
+  EXPECT_EQ(N->boundVar(), V);
+}
+
+TEST(Formula, QuantifierOverAbsentVarDropped) {
+  FormulaRef Body = geAtom(x());
+  EXPECT_EQ(Formula::exists(varId("unused_q"), Body), Body);
+  EXPECT_EQ(Formula::forall(varId("unused_q2"), Body), Body);
+}
+
+TEST(Formula, ImpliesIsMaterial) {
+  FormulaRef F = Formula::implies(Formula::mkFalse(), geAtom(x()));
+  EXPECT_TRUE(F->isTrue());
+  FormulaRef G = Formula::implies(Formula::mkTrue(), geAtom(x()));
+  EXPECT_EQ(G->kind(), FormulaKind::Atom);
+}
+
+TEST(Formula, FreeVarsRespectBinding) {
+  VarId Q = varId("bound_q");
+  FormulaRef F = Formula::exists(
+      Q, geAtom(LinearExpr::variable(Q) + x()));
+  std::set<VarId> Free = F->freeVars();
+  EXPECT_TRUE(Free.count(varId("x")));
+  EXPECT_FALSE(Free.count(Q));
+}
+
+TEST(Formula, SubstituteStopsAtBinder) {
+  VarId Q = varId("binder_q");
+  FormulaRef F = Formula::exists(Q, geAtom(LinearExpr::variable(Q) - x()));
+  // Substituting the bound variable is a no-op.
+  FormulaRef S = Formula::substitute(F, Q, LinearExpr::constant(5));
+  EXPECT_TRUE(Formula::equal(S, F));
+  // Substituting a free variable goes under the binder.
+  FormulaRef S2 = Formula::substitute(F, varId("x"), LinearExpr::constant(1));
+  EXPECT_FALSE(Formula::equal(S2, F));
+}
+
+TEST(Formula, SubstituteCollapsesToConstant) {
+  FormulaRef F = geAtom(x().plusConstant(-5));
+  FormulaRef S = Formula::substitute(F, varId("x"), LinearExpr::constant(7));
+  EXPECT_TRUE(S->isTrue());
+  FormulaRef S2 = Formula::substitute(F, varId("x"), LinearExpr::constant(3));
+  EXPECT_TRUE(S2->isFalse());
+}
+
+TEST(Formula, EqualAndHashAgree) {
+  FormulaRef A = Formula::conj2(geAtom(x()), geAtom(y()));
+  FormulaRef B = Formula::conj2(geAtom(x()), geAtom(y()));
+  EXPECT_TRUE(Formula::equal(A, B));
+  EXPECT_EQ(A->hash(), B->hash());
+  FormulaRef C = Formula::disj2(geAtom(x()), geAtom(y()));
+  EXPECT_FALSE(Formula::equal(A, C));
+}
+
+TEST(Formula, SimplifyPrunesSubsumedGe) {
+  // (x - 5 >= 0) && (x - 2 >= 0)  ->  x - 5 >= 0 (the tighter bound).
+  FormulaRef F =
+      Formula::conj2(geAtom(x().plusConstant(-5)), geAtom(x().plusConstant(-2)));
+  FormulaRef S = simplify(F);
+  ASSERT_EQ(S->kind(), FormulaKind::Atom);
+  EXPECT_EQ(S->constraint().expr().constantValue(), -5);
+}
+
+TEST(Formula, SizeCountsNodes) {
+  FormulaRef F = Formula::conj2(geAtom(x()), geAtom(y()));
+  EXPECT_EQ(F->size(), 3u);
+}
+
+TEST(Formula, Printing) {
+  FormulaRef F = Formula::conj2(geAtom(x()), geAtom(y()));
+  EXPECT_EQ(F->str(), "(x >= 0 && y >= 0)");
+  EXPECT_EQ(Formula::mkTrue()->str(), "true");
+}
+
+} // namespace

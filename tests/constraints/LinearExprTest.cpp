@@ -1,0 +1,120 @@
+//===- LinearExprTest.cpp -------------------------------------------------===//
+
+#include "constraints/LinearExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+
+namespace {
+
+VarId X() { return varId("x"); }
+VarId Y() { return varId("y"); }
+
+TEST(LinearExpr, ConstantsAndVariables) {
+  LinearExpr C = LinearExpr::constant(42);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constantValue(), 42);
+  EXPECT_FALSE(C.isPoisoned());
+
+  LinearExpr V = LinearExpr::variable(X());
+  EXPECT_FALSE(V.isConstant());
+  EXPECT_EQ(V.coeff(X()), 1);
+  EXPECT_EQ(V.coeff(Y()), 0);
+}
+
+TEST(LinearExpr, AdditionMergesTerms) {
+  LinearExpr E = LinearExpr::variable(X()).scaled(3) +
+                 LinearExpr::variable(Y()) + LinearExpr::constant(5);
+  E = E + LinearExpr::variable(X()).scaled(-3);
+  EXPECT_EQ(E.coeff(X()), 0);
+  EXPECT_EQ(E.coeff(Y()), 1);
+  EXPECT_EQ(E.constantValue(), 5);
+  EXPECT_EQ(E.terms().size(), 1u); // Zero coefficients are dropped.
+}
+
+TEST(LinearExpr, SubtractionAndNegation) {
+  LinearExpr A = LinearExpr::variable(X()).scaled(2).plusConstant(7);
+  LinearExpr B = LinearExpr::variable(X()).plusConstant(3);
+  LinearExpr D = A - B;
+  EXPECT_EQ(D.coeff(X()), 1);
+  EXPECT_EQ(D.constantValue(), 4);
+  LinearExpr N = -A;
+  EXPECT_EQ(N.coeff(X()), -2);
+  EXPECT_EQ(N.constantValue(), -7);
+}
+
+TEST(LinearExpr, ScalingByZeroGivesZero) {
+  LinearExpr E = LinearExpr::variable(X()).plusConstant(9).scaled(0);
+  EXPECT_TRUE(E.isZero());
+}
+
+TEST(LinearExpr, SubstituteSimple) {
+  // (3x + y + 1)[x := y + 2]  ==  4y + 7.
+  LinearExpr E = LinearExpr::variable(X()).scaled(3) +
+                 LinearExpr::variable(Y()) + LinearExpr::constant(1);
+  LinearExpr R = LinearExpr::variable(Y()).plusConstant(2);
+  LinearExpr S = E.substitute(X(), R);
+  EXPECT_EQ(S.coeff(X()), 0);
+  EXPECT_EQ(S.coeff(Y()), 4);
+  EXPECT_EQ(S.constantValue(), 7);
+}
+
+TEST(LinearExpr, SubstituteSelfReferential) {
+  // wlp-style substitution: (x - 5)[x := x + 1]  ==  x - 4.
+  LinearExpr E = LinearExpr::variable(X()).plusConstant(-5);
+  LinearExpr R = LinearExpr::variable(X()).plusConstant(1);
+  LinearExpr S = E.substitute(X(), R);
+  EXPECT_EQ(S.coeff(X()), 1);
+  EXPECT_EQ(S.constantValue(), -4);
+}
+
+TEST(LinearExpr, SubstituteAbsentVarIsIdentity) {
+  LinearExpr E = LinearExpr::variable(Y()).plusConstant(5);
+  LinearExpr S = E.substitute(X(), LinearExpr::constant(100));
+  EXPECT_TRUE(E == S);
+}
+
+TEST(LinearExpr, OverflowPoisons) {
+  LinearExpr Big = LinearExpr::constant(INT64_MAX);
+  LinearExpr P = Big.plusConstant(1);
+  EXPECT_TRUE(P.isPoisoned());
+  // Poison propagates.
+  EXPECT_TRUE((P + LinearExpr::constant(0)).isPoisoned());
+  EXPECT_TRUE(P.scaled(2).isPoisoned());
+  EXPECT_TRUE(P.substitute(X(), LinearExpr()).isPoisoned());
+
+  LinearExpr BigCoeff = LinearExpr::variable(X()).scaled(INT64_MAX);
+  EXPECT_TRUE(BigCoeff.scaled(2).isPoisoned());
+  EXPECT_FALSE(BigCoeff.isPoisoned());
+}
+
+TEST(LinearExpr, CoeffGcd) {
+  LinearExpr E = LinearExpr::variable(X()).scaled(6) +
+                 LinearExpr::variable(Y()).scaled(9);
+  EXPECT_EQ(E.coeffGcd(), 3);
+  EXPECT_EQ(LinearExpr::constant(5).coeffGcd(), 0);
+}
+
+TEST(LinearExpr, Printing) {
+  // Terms print in interning order; intern the names explicitly first so
+  // the order is deterministic regardless of evaluation order.
+  VarId G3 = varId("lp.%g3");
+  VarId N = varId("lp.n");
+  LinearExpr E = LinearExpr::variable(G3).scaled(4) -
+                 LinearExpr::variable(N) + LinearExpr::constant(1);
+  EXPECT_EQ(E.str(), "4*lp.%g3 - lp.n + 1");
+  EXPECT_EQ(LinearExpr::constant(-3).str(), "-3");
+  EXPECT_EQ((-LinearExpr::variable(varId("lp.n"))).str(), "-lp.n");
+}
+
+TEST(LinearExpr, EqualityAndHash) {
+  LinearExpr A = LinearExpr::variable(X()).scaled(2).plusConstant(1);
+  LinearExpr B =
+      LinearExpr::variable(X()) + LinearExpr::variable(X()).plusConstant(1);
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_FALSE(A == A.plusConstant(1));
+}
+
+} // namespace

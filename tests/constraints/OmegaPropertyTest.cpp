@@ -1,0 +1,146 @@
+//===- OmegaPropertyTest.cpp - Brute-force cross-validation ---------------===//
+//
+// Property test: on randomly generated *bounded* systems (every variable
+// is constrained to a small box), the Omega test must agree exactly with
+// exhaustive enumeration. Uses a deterministic LCG so failures are
+// reproducible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "constraints/OmegaTest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace mcsafe;
+
+namespace {
+
+/// Deterministic 64-bit LCG (Knuth constants).
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 33;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // Inclusive.
+    return Lo + static_cast<int64_t>(next() %
+                                     static_cast<uint64_t>(Hi - Lo + 1));
+  }
+};
+
+constexpr int Box = 6; // Variables range over [-Box, Box].
+
+struct RandomSystem {
+  std::vector<Constraint> Constraints;
+  /// The raw (kind, coeffs, constant, modulus) rows for brute-force
+  /// evaluation, one per generated constraint.
+  struct Row {
+    ConstraintKind Kind;
+    int64_t A, B; // Coefficients of x and y.
+    int64_t C;    // Constant.
+    int64_t Mod;  // For DIV/NDIV.
+  };
+  std::vector<Row> Rows;
+};
+
+RandomSystem makeSystem(Lcg &Rng, VarId X, VarId Y) {
+  RandomSystem S;
+  LinearExpr EX = LinearExpr::variable(X);
+  LinearExpr EY = LinearExpr::variable(Y);
+  // Box constraints keep enumeration complete.
+  S.Constraints.push_back(Constraint::ge(EX.plusConstant(Box)));
+  S.Constraints.push_back(Constraint::le(EX, LinearExpr::constant(Box)));
+  S.Constraints.push_back(Constraint::ge(EY.plusConstant(Box)));
+  S.Constraints.push_back(Constraint::le(EY, LinearExpr::constant(Box)));
+
+  int N = static_cast<int>(Rng.range(1, 4));
+  for (int I = 0; I < N; ++I) {
+    RandomSystem::Row R;
+    R.A = Rng.range(-3, 3);
+    R.B = Rng.range(-3, 3);
+    R.C = Rng.range(-8, 8);
+    LinearExpr E =
+        EX.scaled(R.A) + EY.scaled(R.B) + LinearExpr::constant(R.C);
+    switch (Rng.range(0, 3)) {
+    case 0:
+      R.Kind = ConstraintKind::GE;
+      S.Constraints.push_back(Constraint::ge(E));
+      break;
+    case 1:
+      R.Kind = ConstraintKind::EQ;
+      S.Constraints.push_back(Constraint::eq(E));
+      break;
+    case 2:
+      R.Kind = ConstraintKind::DIV;
+      R.Mod = Rng.range(2, 5);
+      S.Constraints.push_back(Constraint::divides(R.Mod, E));
+      break;
+    default:
+      R.Kind = ConstraintKind::NDIV;
+      R.Mod = Rng.range(2, 5);
+      S.Constraints.push_back(Constraint::notDivides(R.Mod, E));
+      break;
+    }
+    S.Rows.push_back(R);
+  }
+  return S;
+}
+
+bool bruteForceSat(const RandomSystem &S) {
+  for (int64_t X = -Box; X <= Box; ++X) {
+    for (int64_t Y = -Box; Y <= Box; ++Y) {
+      bool Ok = true;
+      for (const RandomSystem::Row &R : S.Rows) {
+        int64_t V = R.A * X + R.B * Y + R.C;
+        switch (R.Kind) {
+        case ConstraintKind::GE:
+          Ok &= V >= 0;
+          break;
+        case ConstraintKind::EQ:
+          Ok &= V == 0;
+          break;
+        case ConstraintKind::DIV:
+          Ok &= ((V % R.Mod) + R.Mod) % R.Mod == 0;
+          break;
+        case ConstraintKind::NDIV:
+          Ok &= ((V % R.Mod) + R.Mod) % R.Mod != 0;
+          break;
+        }
+        if (!Ok)
+          break;
+      }
+      if (Ok)
+        return true;
+    }
+  }
+  return false;
+}
+
+class OmegaAgainstBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmegaAgainstBruteForce, AgreesOnBoundedSystems) {
+  Lcg Rng(0x9E3779B9u + static_cast<uint64_t>(GetParam()) * 7919u);
+  VarId X = varId("op.x" + std::to_string(GetParam()));
+  VarId Y = varId("op.y" + std::to_string(GetParam()));
+  // 40 random systems per seed.
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    RandomSystem S = makeSystem(Rng, X, Y);
+    bool Expected = bruteForceSat(S);
+    OmegaTest Omega;
+    SatResult Got = Omega.isSatisfiable(S.Constraints);
+    ASSERT_NE(Got, SatResult::Unknown)
+        << "seed " << GetParam() << " iter " << Iter;
+    EXPECT_EQ(Got == SatResult::Sat, Expected)
+        << "seed " << GetParam() << " iter " << Iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OmegaAgainstBruteForce,
+                         ::testing::Range(0, 12));
+
+} // namespace

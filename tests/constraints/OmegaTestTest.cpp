@@ -1,0 +1,289 @@
+//===- OmegaTestTest.cpp --------------------------------------------------===//
+
+#include "constraints/OmegaTest.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+
+namespace {
+
+LinearExpr x() { return LinearExpr::variable(varId("ox")); }
+LinearExpr y() { return LinearExpr::variable(varId("oy")); }
+LinearExpr z() { return LinearExpr::variable(varId("oz")); }
+
+TEST(OmegaTest, EmptySystemIsSat) {
+  OmegaTest Omega;
+  EXPECT_EQ(Omega.isSatisfiable({}), SatResult::Sat);
+}
+
+TEST(OmegaTest, ConstantContradiction) {
+  OmegaTest Omega;
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::ge(LinearExpr::constant(-1))}),
+            SatResult::Unsat);
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::ge(LinearExpr::constant(0))}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, SimpleInterval) {
+  OmegaTest Omega;
+  // 0 <= x <= 10: sat.
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::ge(x()),
+                                 Constraint::le(x(), LinearExpr::constant(10))}),
+            SatResult::Sat);
+  // x >= 5 and x <= 4: unsat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::ge(x().plusConstant(-5)),
+                 Constraint::le(x(), LinearExpr::constant(4))}),
+            SatResult::Unsat);
+  // x >= 5 and x <= 5: sat (point).
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::ge(x().plusConstant(-5)),
+                 Constraint::le(x(), LinearExpr::constant(5))}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, TwoVariableChain) {
+  OmegaTest Omega;
+  // x < y, y < x: unsat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::lt(x(), y()), Constraint::lt(y(), x())}),
+            SatResult::Unsat);
+  // x < y, y < z, z < x: unsat (cycle).
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::lt(x(), y()),
+                                 Constraint::lt(y(), z()),
+                                 Constraint::lt(z(), x())}),
+            SatResult::Unsat);
+  // x < y, y < z: sat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::lt(x(), y()), Constraint::lt(y(), z())}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, EqualityDirectSolve) {
+  OmegaTest Omega;
+  // x == y + 3, x <= 2, y >= 0: unsat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::eq(x() - y().plusConstant(3)),
+                 Constraint::le(x(), LinearExpr::constant(2)),
+                 Constraint::ge(y())}),
+            SatResult::Unsat);
+  // x == y + 3, x <= 3, y >= 0: sat (y = 0, x = 3).
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::eq(x() - y().plusConstant(3)),
+                 Constraint::le(x(), LinearExpr::constant(3)),
+                 Constraint::ge(y())}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, EqualityGcdTest) {
+  OmegaTest Omega;
+  // 2x + 4y == 1: no integer solution (gcd 2 does not divide 1).
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::eq(x().scaled(2) + y().scaled(4) -
+                                LinearExpr::constant(1))}),
+            SatResult::Unsat);
+  // 2x + 4y == 6: sat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::eq(x().scaled(2) + y().scaled(4) -
+                                LinearExpr::constant(6))}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, NonUnitEqualityPughReduction) {
+  OmegaTest Omega;
+  // 7x + 12y == 17, 0 <= x <= 10, 0 <= y <= 10.
+  // Integer solutions of 7x + 12y = 17: x = 12k + 11, y = -7k - 4... the
+  // smallest nonnegative x is x = 11 with y = -5 < 0; within the box there
+  // is none -> unsat.
+  std::vector<Constraint> System = {
+      Constraint::eq(x().scaled(7) + y().scaled(12) -
+                     LinearExpr::constant(17)),
+      Constraint::ge(x()), Constraint::le(x(), LinearExpr::constant(10)),
+      Constraint::ge(y()), Constraint::le(y(), LinearExpr::constant(10))};
+  EXPECT_EQ(Omega.isSatisfiable(System), SatResult::Unsat);
+
+  // 7x + 12y == 26 has (x, y) = (2, 1) -> sat.
+  System[0] = Constraint::eq(x().scaled(7) + y().scaled(12) -
+                             LinearExpr::constant(26));
+  EXPECT_EQ(Omega.isSatisfiable(System), SatResult::Sat);
+}
+
+TEST(OmegaTest, DarkShadowInexactCase) {
+  OmegaTest Omega;
+  // Pugh's classic example: 27 <= 11x + 13y <= 45, -10 <= 7x - 9y <= 4
+  // has rational but no integer solutions.
+  std::vector<Constraint> System = {
+      Constraint::ge(x().scaled(11) + y().scaled(13) -
+                     LinearExpr::constant(27)),
+      Constraint::le(x().scaled(11) + y().scaled(13),
+                     LinearExpr::constant(45)),
+      Constraint::ge(x().scaled(7) - y().scaled(9) +
+                     LinearExpr::constant(10)),
+      Constraint::le(x().scaled(7) - y().scaled(9),
+                     LinearExpr::constant(4))};
+  EXPECT_EQ(Omega.isSatisfiable(System), SatResult::Unsat);
+}
+
+TEST(OmegaTest, DarkShadowSatCase) {
+  OmegaTest Omega;
+  // 2x >= 1 and 2x <= 9 has integer solutions (x in 1..4).
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::ge(x().scaled(2).plusConstant(-1)),
+                 Constraint::le(x().scaled(2), LinearExpr::constant(9))}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, TightEvenPointUnsat) {
+  OmegaTest Omega;
+  // 2x == 5: unsat via gcd.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::eq(x().scaled(2).plusConstant(-5))}),
+            SatResult::Unsat);
+}
+
+TEST(OmegaTest, DivisibilitySat) {
+  OmegaTest Omega;
+  // 4 | x, 1 <= x <= 7  ->  x == 4.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::divides(4, x()),
+                 Constraint::ge(x().plusConstant(-1)),
+                 Constraint::le(x(), LinearExpr::constant(7))}),
+            SatResult::Sat);
+  // 4 | x, 5 <= x <= 7: unsat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::divides(4, x()),
+                 Constraint::ge(x().plusConstant(-5)),
+                 Constraint::le(x(), LinearExpr::constant(7))}),
+            SatResult::Unsat);
+}
+
+TEST(OmegaTest, DivisibilityCombination) {
+  OmegaTest Omega;
+  // 4 | x and 6 | x and 1 <= x <= 11: unsat (lcm is 12).
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::divides(4, x()), Constraint::divides(6, x()),
+                 Constraint::ge(x().plusConstant(-1)),
+                 Constraint::le(x(), LinearExpr::constant(11))}),
+            SatResult::Unsat);
+  // ... but 1 <= x <= 12 gives x = 12.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::divides(4, x()), Constraint::divides(6, x()),
+                 Constraint::ge(x().plusConstant(-1)),
+                 Constraint::le(x(), LinearExpr::constant(12))}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, NotDividesResidues) {
+  OmegaTest Omega;
+  // not(2 | x) and x == 4: unsat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::notDivides(2, x()),
+                 Constraint::eq(x().plusConstant(-4))}),
+            SatResult::Unsat);
+  // not(2 | x) and x == 5: sat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::notDivides(2, x()),
+                 Constraint::eq(x().plusConstant(-5))}),
+            SatResult::Sat);
+  // not(4 | x) and 4 | x: unsat.
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::notDivides(4, x()), Constraint::divides(4, x())}),
+            SatResult::Unsat);
+}
+
+TEST(OmegaTest, ArrayBoundsShape) {
+  OmegaTest Omega;
+  VarId G3 = varId("omega.%g3");
+  VarId G2 = varId("omega.%g2");
+  VarId N = varId("omega.n");
+  LinearExpr EG3 = LinearExpr::variable(G3);
+  LinearExpr EG2 = LinearExpr::variable(G2);
+  LinearExpr EN = LinearExpr::variable(N);
+  // Context: g3 >= 0, g3 < n, g2 == 4*g3. Negated goal: g2 >= 4n.
+  // Unsat -> the bounds check holds.
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::ge(EG3),
+                                 Constraint::lt(EG3, EN),
+                                 Constraint::eq(EG2 - EG3.scaled(4)),
+                                 Constraint::ge(EG2 - EN.scaled(4))}),
+            SatResult::Unsat);
+  // Negated lower bound: g2 <= -1: also unsat.
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::ge(EG3),
+                                 Constraint::lt(EG3, EN),
+                                 Constraint::eq(EG2 - EG3.scaled(4)),
+                                 Constraint::le(EG2, LinearExpr::constant(-1))}),
+            SatResult::Unsat);
+  // Without g3 < n the upper bound fails (sat counterexample exists).
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::ge(EG3),
+                                 Constraint::eq(EG2 - EG3.scaled(4)),
+                                 Constraint::ge(EG2 - EN.scaled(4))}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, UnboundedVariableDropped) {
+  OmegaTest Omega;
+  // y unconstrained above: x <= y with x >= 100 is sat.
+  EXPECT_EQ(Omega.isSatisfiable({Constraint::le(x(), y()),
+                                 Constraint::ge(x().plusConstant(-100))}),
+            SatResult::Sat);
+}
+
+TEST(OmegaTest, PoisonGivesUnknown) {
+  OmegaTest Omega;
+  EXPECT_EQ(Omega.isSatisfiable(
+                {Constraint::ge(LinearExpr::poisoned())}),
+            SatResult::Unknown);
+}
+
+TEST(OmegaTest, BudgetGivesUnknownNotWrongAnswer) {
+  OmegaTest::Options Opts;
+  Opts.MaxSteps = 1;
+  OmegaTest Omega(Opts);
+  // A system that needs real work.
+  std::vector<Constraint> System = {
+      Constraint::ge(x().scaled(11) + y().scaled(13) -
+                     LinearExpr::constant(27)),
+      Constraint::le(x().scaled(11) + y().scaled(13),
+                     LinearExpr::constant(45)),
+      Constraint::ge(x().scaled(7) - y().scaled(9) +
+                     LinearExpr::constant(10)),
+      Constraint::le(x().scaled(7) - y().scaled(9),
+                     LinearExpr::constant(4))};
+  EXPECT_EQ(Omega.isSatisfiable(System), SatResult::Unknown);
+}
+
+TEST(OmegaTest, StatsAccumulate) {
+  OmegaTest Omega;
+  Omega.isSatisfiable({Constraint::lt(x(), y()), Constraint::lt(y(), x())});
+  EXPECT_GE(Omega.stats().Calls, 1u);
+  Omega.resetStats();
+  EXPECT_EQ(Omega.stats().Calls, 0u);
+}
+
+/// Property sweep: the interval [lo, hi] intersected with stride
+/// constraints x == k (mod 4) is satisfiable iff some multiple of 4 plus k
+/// lies in the interval.
+class DivIntervalProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DivIntervalProperty, MatchesBruteForce) {
+  auto [Lo, Hi, K] = GetParam();
+  OmegaTest Omega;
+  SatResult R = Omega.isSatisfiable(
+      {Constraint::divides(4, x().plusConstant(-K)),
+       Constraint::ge(x().plusConstant(-Lo)),
+       Constraint::le(x(), LinearExpr::constant(Hi))});
+  bool Expected = false;
+  for (int V = Lo; V <= Hi; ++V)
+    if (((V - K) % 4 + 4) % 4 == 0)
+      Expected = true;
+  EXPECT_EQ(R, Expected ? SatResult::Sat : SatResult::Unsat)
+      << "lo=" << Lo << " hi=" << Hi << " k=" << K;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DivIntervalProperty,
+    ::testing::Combine(::testing::Values(0, 1, 5), ::testing::Values(2, 3, 9),
+                       ::testing::Values(0, 1, 2, 3)));
+
+} // namespace

@@ -1,0 +1,300 @@
+//===- DynamicValidationTest.cpp - Execute the corpus concretely ----------===//
+//
+// Cross-validates the static checker dynamically: the corpus programs
+// are run on the concrete interpreter with real inputs. The programs the
+// checker proved safe execute to completion and compute what they claim
+// to compute; the violations the checker reported (PagingPolicy's null
+// dereference, StackSmashing's buffer overflow) actually happen.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "sparc/AsmParser.h"
+#include "sparc/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+using namespace mcsafe::corpus;
+
+namespace {
+
+Module assembleCorpus(const char *Name) {
+  std::string Error;
+  std::optional<Module> M = assemble(corpusProgram(Name).Asm, &Error);
+  EXPECT_TRUE(M.has_value()) << Error;
+  return std::move(*M);
+}
+
+/// Writes a word array into interpreter memory.
+void writeArray(Interpreter &I, uint32_t Base,
+                const std::vector<int32_t> &Values) {
+  I.mapRegion(Base, static_cast<uint32_t>(4 * Values.size()));
+  for (size_t K = 0; K < Values.size(); ++K)
+    I.write32(Base + 4 * static_cast<uint32_t>(K),
+              static_cast<uint32_t>(Values[K]));
+}
+
+std::vector<int32_t> readArray(const Interpreter &I, uint32_t Base,
+                               size_t N) {
+  std::vector<int32_t> Out;
+  for (size_t K = 0; K < N; ++K)
+    Out.push_back(static_cast<int32_t>(
+        I.read32(Base + 4 * static_cast<uint32_t>(K))));
+  return Out;
+}
+
+TEST(DynamicValidation, SumComputesTheSum) {
+  Module M = assembleCorpus("Sum");
+  Interpreter I(M);
+  writeArray(I, 0x1000, {3, 1, 4, 1, 5});
+  I.setReg(O0, 0x1000);
+  I.setReg(O1, 5);
+  Interpreter::Result R = I.run();
+  ASSERT_EQ(R.Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 14u);
+}
+
+TEST(DynamicValidation, SumOfEmptyArrayIsZero) {
+  Module M = assembleCorpus("Sum");
+  Interpreter I(M);
+  writeArray(I, 0x1000, {42});
+  I.setReg(O0, 0x1000);
+  I.setReg(O1, 0); // The guard must keep us out of the loop.
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 0u);
+}
+
+TEST(DynamicValidation, BubbleSortSorts) {
+  Module M = assembleCorpus("BubbleSort");
+  Interpreter I(M);
+  std::vector<int32_t> Data = {9, -3, 5, 0, 5, 1, 8};
+  writeArray(I, 0x1000, Data);
+  I.setReg(O0, 0x1000);
+  I.setReg(O1, static_cast<uint32_t>(Data.size()));
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  std::vector<int32_t> Sorted = Data;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(readArray(I, 0x1000, Data.size()), Sorted);
+}
+
+TEST(DynamicValidation, HeapSortSorts) {
+  Module M = assembleCorpus("HeapSort");
+  Interpreter I(M);
+  std::vector<int32_t> Data = {4, 7, 1, 9, 3, 3, 12, -8, 0, 2};
+  writeArray(I, 0x1000, Data);
+  I.setReg(O0, 0x1000);
+  I.setReg(O1, static_cast<uint32_t>(Data.size()));
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  std::vector<int32_t> Sorted = Data;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(readArray(I, 0x1000, Data.size()), Sorted);
+}
+
+TEST(DynamicValidation, HeapSort2SortsInterprocedurally) {
+  Module M = assembleCorpus("HeapSort2");
+  Interpreter I(M);
+  std::vector<int32_t> Data = {6, 2, 8, 1, 9, 9, -5, 4};
+  writeArray(I, 0x1000, Data);
+  I.setReg(O0, 0x1000);
+  I.setReg(O1, static_cast<uint32_t>(Data.size()));
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  std::vector<int32_t> Sorted = Data;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(readArray(I, 0x1000, Data.size()), Sorted);
+}
+
+/// Lays out a little search tree: node = {key, val, left, right}.
+uint32_t makeNode(Interpreter &I, uint32_t Addr, int32_t Key, int32_t Val,
+                  uint32_t Left, uint32_t Right) {
+  I.mapRegion(Addr, 16);
+  I.write32(Addr + 0, static_cast<uint32_t>(Key));
+  I.write32(Addr + 4, static_cast<uint32_t>(Val));
+  I.write32(Addr + 8, Left);
+  I.write32(Addr + 12, Right);
+  return Addr;
+}
+
+TEST(DynamicValidation, BtreeCountsHits) {
+  Module M = assembleCorpus("Btree");
+  Interpreter I(M);
+  uint32_t L = makeNode(I, 0x2010, 5, 2, 0, 0);
+  uint32_t R = makeNode(I, 0x2020, 15, 0, 0, 0); // val 0 = deleted
+  uint32_t Root = makeNode(I, 0x2000, 10, 1, L, R);
+  writeArray(I, 0x3000, {5, 15, 10, -1, 99});
+  I.setReg(O0, Root);
+  I.setReg(O1, 0x3000);
+  I.setReg(O2, 5);
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  // 5 and 10 hit; 15 is deleted; -1 is skipped; 99 misses.
+  EXPECT_EQ(I.reg(O0), 2u);
+}
+
+TEST(DynamicValidation, Btree2AgreesWithBtree) {
+  Module M = assembleCorpus("Btree2");
+  Interpreter I(M);
+  uint32_t L = makeNode(I, 0x2010, 5, 2, 0, 0);
+  uint32_t R = makeNode(I, 0x2020, 15, 0, 0, 0);
+  uint32_t Root = makeNode(I, 0x2000, 10, 1, L, R);
+  writeArray(I, 0x3000, {5, 15, 10, -1, 99});
+  I.setReg(O0, Root);
+  I.setReg(O1, 0x3000);
+  I.setReg(O2, 5);
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 2u);
+}
+
+TEST(DynamicValidation, PagingPolicyNullHeadTrapsAsPredicted) {
+  // The checker's reported violation manifests concretely: with a null
+  // list head, the first dereference traps at address 4 (head->refbit).
+  Module M = assembleCorpus("PagingPolicy");
+  Interpreter I(M);
+  I.setReg(O0, 0); // null head
+  I.setReg(O1, 1);
+  Interpreter::Result R = I.run();
+  EXPECT_EQ(R.Reason, StopReason::UnmappedAccess);
+  EXPECT_EQ(R.FaultAddr, 4u);
+}
+
+TEST(DynamicValidation, PagingPolicyFindsVictimOnValidList) {
+  Module M = assembleCorpus("PagingPolicy");
+  Interpreter I(M);
+  // Two pages: pfn 7 referenced, pfn 9 unreferenced -> victim 9.
+  I.mapRegion(0x2000, 24);
+  I.write32(0x2000 + 0, 7);      // page0.pfn
+  I.write32(0x2000 + 4, 1);      // page0.refbit
+  I.write32(0x2000 + 8, 0x200C); // page0.next
+  I.write32(0x200C + 0, 9);      // page1.pfn
+  I.write32(0x200C + 4, 0);      // page1.refbit
+  I.write32(0x200C + 8, 0);      // page1.next = null
+  I.setReg(O0, 0x2000);
+  I.setReg(O1, 1);
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 9u);
+}
+
+TEST(DynamicValidation, StackSmashingOverflowsAsPredicted) {
+  Module M = assembleCorpus("StackSmashing");
+  Interpreter I(M);
+  I.registerHost("get_request", [](Interpreter &It) {
+    It.setReg(O0, 3); // A ladder case that reaches the copy loop.
+  });
+  I.registerHost("get_length", [](Interpreter &It) {
+    It.setReg(O0, 20); // Attacker-controlled: beyond the 16-word buffer.
+  });
+  // The frame lives at %sp - 112 within the interpreter's default stack.
+  uint32_t FrameBase = 0xEFFFF000u - 112;
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  // buf[16] (offset 64) is the 'req' slot, written as 3 before the copy
+  // loop; the out-of-bounds write at i == 16 clobbered it with 16.
+  EXPECT_EQ(I.read32(FrameBase + 64), 16u);
+}
+
+TEST(DynamicValidation, StackSmashingInBoundsLeavesFrameIntact) {
+  Module M = assembleCorpus("StackSmashing");
+  Interpreter I(M);
+  I.registerHost("get_request", [](Interpreter &It) {
+    It.setReg(O0, 3);
+  });
+  I.registerHost("get_length", [](Interpreter &It) {
+    It.setReg(O0, 8); // In bounds: no smash.
+  });
+  uint32_t FrameBase = 0xEFFFF000u - 112;
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.read32(FrameBase + 64), 3u); // 'req' survives.
+}
+
+TEST(DynamicValidation, Md5UpdateIsDeterministic) {
+  Module M = assembleCorpus("MD5");
+  auto RunOnce = [&M](uint32_t Seed) {
+    Interpreter I(M);
+    I.mapRegion(0x2000, 88); // md5ctx
+    for (int K = 0; K < 4; ++K)
+      I.write32(0x2000 + 4 * K, 0x67452301u + Seed * K);
+    std::vector<int32_t> Msg;
+    for (int K = 0; K < 20; ++K)
+      Msg.push_back(static_cast<int32_t>(K * 2654435761u));
+    writeArray(I, 0x4000, Msg);
+    I.setReg(O0, 0x2000);
+    I.setReg(O1, 0x4000);
+    I.setReg(O2, 20);
+    EXPECT_EQ(I.run(4000000).Reason, StopReason::Returned);
+    std::vector<uint32_t> State;
+    for (int K = 0; K < 4; ++K)
+      State.push_back(I.read32(0x2000 + 4 * K));
+    return State;
+  };
+  std::vector<uint32_t> A = RunOnce(0);
+  std::vector<uint32_t> B = RunOnce(0);
+  EXPECT_EQ(A, B); // Deterministic.
+  std::vector<uint32_t> C = RunOnce(1);
+  EXPECT_NE(A, C); // And input-sensitive.
+}
+
+TEST(DynamicValidation, TimersFollowTheCounter) {
+  Module M = assembleCorpus("StartTimer");
+  Interpreter I(M);
+  I.mapRegion(0x2000, 12); // counter {count, active, overflow}
+  int Started = 0;
+  I.registerHost("DYNINSTstartWallTimer",
+                 [&Started](Interpreter &) { ++Started; });
+  I.setReg(O0, 0x2000);
+  I.setReg(O1, 0x3000); // Opaque timer handle.
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(Started, 1);           // 0 -> 1 starts the timer.
+  EXPECT_EQ(I.read32(0x2000), 1u); // count incremented.
+
+  // Second invocation: count 1 -> 2, no start.
+  Interpreter I2(M);
+  I2.mapRegion(0x2000, 12);
+  I2.write32(0x2000, 1);
+  int Started2 = 0;
+  I2.registerHost("DYNINSTstartWallTimer",
+                  [&Started2](Interpreter &) { ++Started2; });
+  I2.setReg(O0, 0x2000);
+  I2.setReg(O1, 0x3000);
+  ASSERT_EQ(I2.run().Reason, StopReason::Returned);
+  EXPECT_EQ(Started2, 0);
+  EXPECT_EQ(I2.read32(0x2000), 2u);
+}
+
+TEST(DynamicValidation, HashFindsValueInChain) {
+  Module M = assembleCorpus("Hash");
+  Interpreter I(M);
+  // Two entries chained in bucket 2 of a 4-bucket table.
+  I.mapRegion(0x5000, 16); // buckets
+  I.mapRegion(0x6000, 24); // entries
+  I.write32(0x5000 + 8, 0x6000);
+  I.write32(0x6000 + 0, 77);     // e0.key
+  I.write32(0x6000 + 4, 123);    // e0.val
+  I.write32(0x6000 + 8, 0x600C); // e0.next
+  I.write32(0x600C + 0, 42);     // e1.key
+  I.write32(0x600C + 4, 999);    // e1.val
+  I.write32(0x600C + 8, 0);
+  I.registerHost("hash_index", [](Interpreter &It) {
+    It.setReg(O0, It.reg(O0) % 4);
+  });
+  I.setReg(O0, 42); // key 42 hashes to bucket 2.
+  I.setReg(O1, 0x5000);
+  I.setReg(O2, 4);
+  ASSERT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 999u);
+
+  // A missing key returns 0.
+  Interpreter I2(M);
+  I2.mapRegion(0x5000, 16);
+  I2.registerHost("hash_index", [](Interpreter &It) {
+    It.setReg(O0, It.reg(O0) % 4);
+  });
+  I2.setReg(O0, 5);
+  I2.setReg(O1, 0x5000);
+  I2.setReg(O2, 4);
+  ASSERT_EQ(I2.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I2.reg(O0), 0u);
+}
+
+} // namespace

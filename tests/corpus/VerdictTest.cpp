@@ -1,0 +1,48 @@
+//===- VerdictTest.cpp - Section 6 verdicts over the Figure 9 corpus ------===//
+//
+// "In our experiments, we were able to find a safety violation in the
+// example that implements a page-replacement policy ... and we identified
+// all array out-of-bounds violations in the stack-smashing example."
+// Everything else verifies (jPVM modulo the documented summarization
+// false positive).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+#include "corpus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::corpus;
+
+namespace {
+
+class CorpusVerdict : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CorpusVerdict, MatchesExpectedOutcome) {
+  const CorpusProgram &P = corpusProgram(GetParam());
+  SafetyChecker Checker;
+  CheckReport Report = Checker.checkSource(P.Asm, P.Policy);
+  ASSERT_TRUE(Report.InputsOk) << Report.Diags.str();
+  EXPECT_EQ(Report.Safe, P.ExpectSafe) << Report.Diags.str();
+  for (const auto &[Kind, MinCount] : P.ExpectedViolations) {
+    EXPECT_GE(Report.Diags.countOfKind(Kind), MinCount)
+        << "missing expected " << safetyKindName(Kind)
+        << " violations:\n"
+        << Report.Diags.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure9, CorpusVerdict,
+    ::testing::Values("Sum", "PagingPolicy", "StartTimer", "Hash",
+                      "BubbleSort", "StopTimer", "Btree", "Btree2",
+                      "HeapSort2", "HeapSort", "jPVM", "StackSmashing",
+                      "MD5"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- PolicyParserTest.cpp -----------------------------------------------===//
+
+#include "policy/PolicyParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::policy;
+using namespace mcsafe::typestate;
+
+namespace {
+
+/// The paper's Figure 1 policy.
+const char *SumPolicy = R"(
+# Summing the elements of an integer array.
+loc e : int32 state=init summary
+loc arr : int32[n] state={e}
+region V { arr, e }
+allow V : int32 : r,o
+allow V : int32[n] : r,f,o
+invoke %o0 = arr
+invoke %o1 = n
+constraint n >= 1
+)";
+
+TEST(PolicyParser, Figure1PolicyParses) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(SumPolicy, &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  ASSERT_EQ(P->Locations.size(), 2u);
+  EXPECT_EQ(P->Locations[0].Name, "e");
+  EXPECT_TRUE(P->Locations[0].Summary);
+  EXPECT_EQ(P->Locations[0].State.K, StateSpec::Kind::Init);
+  EXPECT_EQ(P->Locations[1].Name, "arr");
+  EXPECT_EQ(P->Locations[1].Type->kind(), TypeKind::ArrayBase);
+  EXPECT_TRUE(P->Locations[1].Type->arraySize().Symbolic);
+  ASSERT_EQ(P->Locations[1].State.Targets.size(), 1u);
+  EXPECT_EQ(P->Locations[1].State.Targets[0].first, "e");
+
+  ASSERT_EQ(P->Regions.count("V"), 1u);
+  EXPECT_EQ(P->Regions["V"].size(), 2u);
+  ASSERT_EQ(P->Rules.size(), 2u);
+  EXPECT_TRUE(P->Rules[0].R);
+  EXPECT_FALSE(P->Rules[0].W);
+  EXPECT_TRUE(P->Rules[0].O);
+  EXPECT_TRUE(P->Rules[1].F);
+
+  ASSERT_EQ(P->Invocation.size(), 2u);
+  EXPECT_EQ(P->Invocation[0].Reg, sparc::O0);
+  EXPECT_EQ(P->Invocation[0].K, InvocationBinding::Kind::ValueOfLoc);
+  EXPECT_EQ(P->Invocation[1].K, InvocationBinding::Kind::Symbol);
+  ASSERT_EQ(P->Constraints.size(), 1u);
+  // n >= 1, i.e. n - 1 >= 0.
+  EXPECT_EQ(P->Constraints[0]->kind(), FormulaKind::Atom);
+}
+
+TEST(PolicyParser, StructWithRecursivePointer) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+struct thread { tid: int32 @0; lwpid: int32 @4; next: thread* @8 } size 12 align 4
+loc t0 : thread state=init
+loc head : thread* state={t0}
+region H { t0, head }
+allow H : thread.tid : r,o
+allow H : thread.lwpid : r,o
+allow H : thread.next : r,f,o
+invoke %o0 = head
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  ASSERT_EQ(P->NamedTypes.count("thread"), 1u);
+  TypeRef Thread = P->NamedTypes["thread"];
+  EXPECT_EQ(Thread->kind(), TypeKind::Struct);
+  ASSERT_EQ(Thread->members().size(), 3u);
+  EXPECT_EQ(Thread->members()[2].Label, "next");
+  EXPECT_EQ(Thread->members()[2].Type->kind(), TypeKind::Ptr);
+  EXPECT_TRUE(typeEquals(Thread->members()[2].Type->pointee(), Thread));
+  EXPECT_EQ(Thread->sizeInBytes(), 12u);
+
+  // Field-category rules.
+  ASSERT_EQ(P->Rules.size(), 3u);
+  EXPECT_EQ(P->Rules[2].StructName, "thread");
+  EXPECT_EQ(P->Rules[2].FieldName, "next");
+}
+
+TEST(PolicyParser, EmbeddedArrayField) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+struct frame { pad: int32 @0 x 16; buf: int32 @64 x 8 } size 96 align 8
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  TypeRef F = P->NamedTypes["frame"];
+  ASSERT_EQ(F->members().size(), 2u);
+  EXPECT_EQ(F->members()[0].Count, 16u);
+  EXPECT_EQ(F->members()[1].Offset, 64u);
+  EXPECT_EQ(F->members()[1].Count, 8u);
+}
+
+TEST(PolicyParser, TrustedSummary) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+abstract timer size 16 align 8
+loc tmr : timer
+trusted DYNINSTstartWallTimer {
+  param %o0 : timer* state={tmr} access=f,o
+  pre %o0 > 0
+  returns void
+  writes tmr
+}
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  const TrustedSummary *S = P->findTrusted("DYNINSTstartWallTimer");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Params.size(), 1u);
+  EXPECT_EQ(S->Params[0].Reg, sparc::O0);
+  EXPECT_TRUE(S->Params[0].Access.F);
+  EXPECT_TRUE(S->Params[0].Access.O);
+  EXPECT_FALSE(S->Params[0].Access.X);
+  EXPECT_FALSE(S->Pre->isTrue()); // %o0 > 0 recorded.
+  EXPECT_EQ(S->ReturnType, nullptr);
+  ASSERT_EQ(S->Writes.size(), 1u);
+  EXPECT_EQ(S->Writes[0], "tmr");
+}
+
+TEST(PolicyParser, ConstraintForms) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+constraint n >= 1
+constraint n = %o1
+constraint 2*n - 3 < m + 4
+constraint 4 | %o0
+constraint k != 0
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  ASSERT_EQ(P->Constraints.size(), 5u);
+  EXPECT_EQ(P->Constraints[3]->constraint().kind(), ConstraintKind::DIV);
+  // != parses into a disjunction of strict inequalities.
+  EXPECT_EQ(P->Constraints[4]->kind(), FormulaKind::Or);
+}
+
+TEST(PolicyParser, InvokeForms) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+loc buf : int32 state=uninit
+invoke %o0 = &buf
+invoke %o1 = &buf+8
+invoke %o2 = 42
+invoke %o3 = -7
+invoke %o4 = size
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  ASSERT_EQ(P->Invocation.size(), 5u);
+  EXPECT_EQ(P->Invocation[0].K, InvocationBinding::Kind::AddressOfLoc);
+  EXPECT_EQ(P->Invocation[1].Offset, 8);
+  EXPECT_EQ(P->Invocation[2].K, InvocationBinding::Kind::Literal);
+  EXPECT_EQ(P->Invocation[2].Literal, 42);
+  EXPECT_EQ(P->Invocation[3].Literal, -7);
+  EXPECT_EQ(P->Invocation[4].K, InvocationBinding::Kind::Symbol);
+}
+
+TEST(PolicyParser, FrameDirective) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+struct f { slot: int32 @0 } size 96 align 8
+frame md5body : f
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  EXPECT_EQ(P->FrameTypes["md5body"], "f");
+}
+
+TEST(PolicyParser, Errors) {
+  std::string Error;
+  EXPECT_FALSE(parsePolicy("loc x : nosuchtype\n", &Error).has_value());
+  EXPECT_NE(Error.find("unknown type"), std::string::npos);
+
+  EXPECT_FALSE(parsePolicy("bogus directive\n", &Error).has_value());
+  EXPECT_NE(Error.find("unknown directive"), std::string::npos);
+
+  EXPECT_FALSE(parsePolicy("region R { ghost }\n", &Error).has_value());
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+
+  EXPECT_FALSE(
+      parsePolicy("loc p : int32 state={ghost}\n", &Error).has_value());
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+
+  EXPECT_FALSE(parsePolicy("invoke %o0 = &ghost\n", &Error).has_value());
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+
+  EXPECT_FALSE(parsePolicy("trusted f { param %o0 : int32\n", &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("unterminated"), std::string::npos);
+
+  EXPECT_FALSE(parsePolicy("frame g : nosuch\n", &Error).has_value());
+  EXPECT_NE(Error.find("unknown frame type"), std::string::npos);
+}
+
+TEST(PolicyParser, ErrorsCarryLineNumbers) {
+  std::string Error;
+  EXPECT_FALSE(
+      parsePolicy("constraint n >= 1\nloc x : nosuch\n", &Error).has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+}
+
+TEST(PolicyParser, PointerAndInteriorTypes) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+loc p : int32(n] state=init
+loc q : int32** state=uninit
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  EXPECT_EQ(P->Locations[0].Type->kind(), TypeKind::ArrayInterior);
+  EXPECT_EQ(P->Locations[1].Type->kind(), TypeKind::Ptr);
+  EXPECT_EQ(P->Locations[1].Type->pointee()->kind(), TypeKind::Ptr);
+}
+
+TEST(PolicyParser, PostconditionDirectives) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+loc ctr : int32 state=init
+postconstraint val:ctr >= 1
+postconstraint %o0 >= 0
+postconstraint addr:ctr > 0
+postloc ctr state=init
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  ASSERT_EQ(P->PostConstraints.size(), 3u);
+  // val:ctr resolves to the location-value variable.
+  std::set<VarId> Vars = P->PostConstraints[0]->freeVars();
+  EXPECT_TRUE(Vars.count(locValueVar("ctr")));
+  Vars = P->PostConstraints[2]->freeVars();
+  EXPECT_TRUE(Vars.count(locAddrVar("ctr")));
+  ASSERT_EQ(P->PostStates.size(), 1u);
+  EXPECT_EQ(P->PostStates[0].first, "ctr");
+  EXPECT_EQ(P->PostStates[0].second.K, StateSpec::Kind::Init);
+}
+
+TEST(PolicyParser, AutomatonDirective) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+trusted f {
+}
+automaton proto {
+  state a
+  state b
+  start a
+  transition a -> b on f
+  final a
+}
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  ASSERT_EQ(P->Automata.size(), 1u);
+  EXPECT_EQ(P->Automata[0].States.size(), 2u);
+  EXPECT_EQ(P->Automata[0].Final.size(), 1u);
+}
+
+TEST(PolicyParser, TrustedWritesList) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(R"(
+loc a : int32 state=uninit
+loc b : int32 state=uninit
+trusted fill {
+  writes a, b
+}
+)", &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  const TrustedSummary *S = P->findTrusted("fill");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Writes.size(), 2u);
+  EXPECT_EQ(S->Writes[1], "b");
+}
+
+TEST(PolicyParser, RegValueVarNaming) {
+  EXPECT_EQ(varName(regValueVar(0, sparc::O1)), "w0.%o1");
+  EXPECT_EQ(varName(regValueVar(2, sparc::L0)), "w2.%l0");
+  // Globals are depth-independent.
+  EXPECT_EQ(varName(regValueVar(3, sparc::Reg(3))), "w0.%g3");
+  EXPECT_EQ(varName(iccVar()), "icc");
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+//===- AsmParserTest.cpp --------------------------------------------------===//
+
+#include "sparc/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+/// The paper's Figure 1 program: summing the elements of an integer array.
+const char *SumSource = R"(
+  mov %o0,%o2    ! move %o0 into %o2
+  clr %o0        ! set %o0 to zero
+  cmp %o0,%o1    ! compare %o0 and %o1
+  bge 12         ! branch to 12 if %o0 >= %o1
+  clr %g3        ! set %g3 to zero
+  sll %g3,2,%g2  ! %g2 = 4 x %g3
+  ld [%o2+%g2],%g2
+  inc %g3
+  cmp %g3,%o1
+  bl 6
+  add %o0,%g2,%o0
+  retl
+  nop
+)";
+
+TEST(AsmParser, Figure1Assembles) {
+  std::string Error;
+  std::optional<Module> M = assemble(SumSource, &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  ASSERT_EQ(M->size(), 13u);
+  // Statement 1: mov -> or %g0,%o0,%o2.
+  EXPECT_EQ(M->Insts[0].Op, Opcode::OR);
+  EXPECT_EQ(M->Insts[0].Rs1, G0);
+  EXPECT_EQ(M->Insts[0].Rs2, O0);
+  EXPECT_EQ(M->Insts[0].Rd, O2);
+  // Statement 3: cmp -> subcc %o0,%o1,%g0.
+  EXPECT_EQ(M->Insts[2].Op, Opcode::SUBCC);
+  EXPECT_EQ(M->Insts[2].Rd, G0);
+  // Statement 4: bge 12 targets the retl (index 11).
+  EXPECT_EQ(M->Insts[3].Op, Opcode::BGE);
+  EXPECT_EQ(M->Insts[3].Target, 11);
+  // Statement 7: ld [%o2+%g2],%g2.
+  EXPECT_EQ(M->Insts[6].Op, Opcode::LD);
+  EXPECT_EQ(M->Insts[6].Rs1, O2);
+  EXPECT_FALSE(M->Insts[6].UsesImm);
+  EXPECT_EQ(M->Insts[6].Rs2, Reg(2));
+  EXPECT_EQ(M->Insts[6].Rd, Reg(2));
+  // Statement 10: bl 6 targets the sll (index 5).
+  EXPECT_EQ(M->Insts[9].Op, Opcode::BL);
+  EXPECT_EQ(M->Insts[9].Target, 5);
+  // Statement 12: retl -> jmpl %o7+8,%g0.
+  EXPECT_TRUE(M->Insts[11].isReturn());
+  // Statement 13: nop -> sethi 0,%g0.
+  EXPECT_EQ(M->Insts[12].Op, Opcode::SETHI);
+  EXPECT_TRUE(M->Insts[12].Rd.isZero());
+}
+
+TEST(AsmParser, LabelsResolve) {
+  std::string Error;
+  std::optional<Module> M = assemble(R"(
+    clr %o0
+  loop:
+    inc %o0
+    cmp %o0, 10
+    bl loop
+    nop
+    retl
+    nop
+  )", &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->lookupLabel("loop"), 1);
+  EXPECT_EQ(M->Insts[3].Target, 1);
+}
+
+TEST(AsmParser, AnnulledBranch) {
+  std::optional<Module> M = assemble("ba,a 1\n nop\n");
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->Insts[0].Op, Opcode::BA);
+  EXPECT_TRUE(M->Insts[0].Annul);
+  EXPECT_EQ(M->Insts[0].Target, 0);
+}
+
+TEST(AsmParser, MemoryOperandForms) {
+  std::string Error;
+  std::optional<Module> M = assemble(R"(
+    ld [%o0], %o1
+    ld [%o0+8], %o1
+    ld [%o0-4], %o1
+    ld [%fp-12], %o1
+    st %o1, [%o0+%g1]
+    stb %o1, [%o0]
+    sth %o1, [%o0+2]
+  )", &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_TRUE(M->Insts[0].UsesImm);
+  EXPECT_EQ(M->Insts[0].Imm, 0);
+  EXPECT_EQ(M->Insts[1].Imm, 8);
+  EXPECT_EQ(M->Insts[2].Imm, -4);
+  EXPECT_EQ(M->Insts[3].Rs1, FP);
+  EXPECT_EQ(M->Insts[3].Imm, -12);
+  EXPECT_FALSE(M->Insts[4].UsesImm);
+  EXPECT_EQ(M->Insts[4].Rs2, Reg(1));
+  EXPECT_EQ(M->Insts[5].Op, Opcode::STB);
+  EXPECT_EQ(M->Insts[6].Op, Opcode::STH);
+}
+
+TEST(AsmParser, SyntheticSetSmallImmediate) {
+  std::optional<Module> M = assemble("set 100, %o0\n");
+  ASSERT_TRUE(M.has_value());
+  ASSERT_EQ(M->size(), 1u);
+  EXPECT_EQ(M->Insts[0].Op, Opcode::OR);
+  EXPECT_EQ(M->Insts[0].Imm, 100);
+}
+
+TEST(AsmParser, SyntheticSetLargeImmediate) {
+  std::optional<Module> M = assemble("set 0x12345678, %o0\n");
+  ASSERT_TRUE(M.has_value());
+  ASSERT_EQ(M->size(), 2u);
+  EXPECT_EQ(M->Insts[0].Op, Opcode::SETHI);
+  EXPECT_EQ(M->Insts[1].Op, Opcode::OR);
+  // sethi imm22 << 10 | low 10 bits reassembles the constant.
+  uint32_t Value = (static_cast<uint32_t>(M->Insts[0].Imm) << 10) |
+                   static_cast<uint32_t>(M->Insts[1].Imm);
+  EXPECT_EQ(Value, 0x12345678u);
+}
+
+TEST(AsmParser, SyntheticExpansions) {
+  std::string Error;
+  std::optional<Module> M = assemble(R"(
+    tst %o0
+    neg %o1
+    not %o2
+    dec %o3
+    inc 4, %o4
+    clr [%o5]
+  )", &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->Insts[0].Op, Opcode::ORCC);
+  EXPECT_EQ(M->Insts[1].Op, Opcode::SUB);   // neg: sub %g0,%o1,%o1
+  EXPECT_EQ(M->Insts[1].Rs1, G0);
+  EXPECT_EQ(M->Insts[2].Op, Opcode::XNOR);
+  EXPECT_EQ(M->Insts[3].Op, Opcode::SUB);
+  EXPECT_EQ(M->Insts[3].Imm, 1);
+  EXPECT_EQ(M->Insts[4].Op, Opcode::ADD);
+  EXPECT_EQ(M->Insts[4].Imm, 4);
+  EXPECT_EQ(M->Insts[5].Op, Opcode::ST);    // clr [addr]: st %g0,[addr]
+  EXPECT_TRUE(M->Insts[5].Rd.isZero());
+}
+
+TEST(AsmParser, CallLocalAndExternal) {
+  std::string Error;
+  std::optional<Module> M = assemble(R"(
+    call helper
+    nop
+    call DYNINSTstartWallTimer
+    nop
+    retl
+    nop
+  helper:
+    retl
+    nop
+  )", &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->Insts[0].Target, 6);
+  EXPECT_TRUE(M->Insts[0].CalleeName.empty());
+  EXPECT_EQ(M->Insts[2].Target, -1);
+  EXPECT_EQ(M->Insts[2].CalleeName, "DYNINSTstartWallTimer");
+  ASSERT_EQ(M->ExternalCallees.size(), 1u);
+  EXPECT_EQ(M->ExternalCallees[0], "DYNINSTstartWallTimer");
+  // helper is a local function entry.
+  EXPECT_TRUE(M->isFunctionEntry(6));
+  EXPECT_TRUE(M->isFunctionEntry(0));
+}
+
+TEST(AsmParser, SaveRestore) {
+  std::string Error;
+  std::optional<Module> M = assemble(R"(
+    save %sp, -96, %sp
+    restore
+    ret
+    nop
+  )", &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->Insts[0].Op, Opcode::SAVE);
+  EXPECT_EQ(M->Insts[0].Rs1, SP);
+  EXPECT_EQ(M->Insts[0].Imm, -96);
+  EXPECT_EQ(M->Insts[1].Op, Opcode::RESTORE);
+  EXPECT_TRUE(M->Insts[1].Rd.isZero());
+  EXPECT_EQ(M->Insts[2].Rs1, I7); // ret = jmpl %i7+8.
+}
+
+TEST(AsmParser, ErrorsCarryLineNumbers) {
+  std::string Error;
+  EXPECT_FALSE(assemble("nop\nbogus %o0\n", &Error).has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(assemble("bl nowhere\nnop\n", &Error).has_value());
+  EXPECT_NE(Error.find("undefined label"), std::string::npos);
+
+  EXPECT_FALSE(assemble("add %o0, 99999, %o0\n", &Error).has_value());
+  EXPECT_NE(Error.find("simm13"), std::string::npos);
+
+  EXPECT_FALSE(assemble("bge 42\nnop\n", &Error).has_value());
+  EXPECT_NE(Error.find("does not exist"), std::string::npos);
+}
+
+TEST(AsmParser, DuplicateLabelRejected) {
+  std::string Error;
+  EXPECT_FALSE(assemble("x:\n nop\nx:\n nop\n", &Error).has_value());
+  EXPECT_NE(Error.find("duplicate label"), std::string::npos);
+}
+
+TEST(AsmParser, CommentsAndBlankLines) {
+  std::optional<Module> M = assemble(R"(
+    ! full-line comment
+    # hash comment
+
+    nop ! trailing
+  )");
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->size(), 1u);
+}
+
+TEST(AsmParser, ModuleListingRendersLabels) {
+  std::optional<Module> M = assemble("top:\n nop\n ba top\n nop\n");
+  ASSERT_TRUE(M.has_value());
+  std::string Listing = M->str();
+  EXPECT_NE(Listing.find("top:"), std::string::npos);
+  EXPECT_NE(Listing.find("ba 1"), std::string::npos);
+}
+
+} // namespace

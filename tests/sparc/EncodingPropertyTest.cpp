@@ -1,0 +1,130 @@
+//===- EncodingPropertyTest.cpp - Randomized encode/decode round trips ----===//
+
+#include "sparc/Encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 33;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() %
+                                     static_cast<uint64_t>(Hi - Lo + 1));
+  }
+};
+
+const Opcode ArithOps[] = {
+    Opcode::ADD,  Opcode::ADDCC, Opcode::SUB,   Opcode::SUBCC,
+    Opcode::AND,  Opcode::ANDCC, Opcode::ANDN,  Opcode::OR,
+    Opcode::ORCC, Opcode::ORN,   Opcode::XOR,   Opcode::XORCC,
+    Opcode::XNOR, Opcode::SLL,   Opcode::SRL,   Opcode::SRA,
+    Opcode::UMUL, Opcode::SMUL,  Opcode::UDIV,  Opcode::SDIV,
+    Opcode::JMPL, Opcode::SAVE,  Opcode::RESTORE};
+
+const Opcode MemOps[] = {Opcode::LDSB, Opcode::LDSH, Opcode::LDUB,
+                         Opcode::LDUH, Opcode::LD,   Opcode::STB,
+                         Opcode::STH,  Opcode::ST};
+
+const Opcode BranchOps[] = {
+    Opcode::BA,  Opcode::BN,   Opcode::BNE,  Opcode::BE,
+    Opcode::BG,  Opcode::BLE,  Opcode::BGE,  Opcode::BL,
+    Opcode::BGU, Opcode::BLEU, Opcode::BCC,  Opcode::BCS,
+    Opcode::BPOS, Opcode::BNEG, Opcode::BVC, Opcode::BVS};
+
+Instruction randomInstruction(Lcg &Rng) {
+  Instruction I;
+  switch (Rng.range(0, 3)) {
+  case 0: { // Arithmetic.
+    I.Op = ArithOps[Rng.range(0, std::size(ArithOps) - 1)];
+    I.Rd = Reg(static_cast<uint8_t>(Rng.range(0, 31)));
+    I.Rs1 = Reg(static_cast<uint8_t>(Rng.range(0, 31)));
+    if (Rng.range(0, 1)) {
+      I.UsesImm = true;
+      I.Imm = static_cast<int32_t>(Rng.range(-4096, 4095));
+    } else {
+      I.Rs2 = Reg(static_cast<uint8_t>(Rng.range(0, 31)));
+    }
+    break;
+  }
+  case 1: { // Memory.
+    I.Op = MemOps[Rng.range(0, std::size(MemOps) - 1)];
+    I.Rd = Reg(static_cast<uint8_t>(Rng.range(0, 31)));
+    I.Rs1 = Reg(static_cast<uint8_t>(Rng.range(0, 31)));
+    if (Rng.range(0, 1)) {
+      I.UsesImm = true;
+      I.Imm = static_cast<int32_t>(Rng.range(-4096, 4095));
+    } else {
+      I.Rs2 = Reg(static_cast<uint8_t>(Rng.range(0, 31)));
+    }
+    break;
+  }
+  case 2: { // Branch.
+    I.Op = BranchOps[Rng.range(0, std::size(BranchOps) - 1)];
+    I.Annul = Rng.range(0, 1) != 0;
+    I.Target = static_cast<int32_t>(Rng.range(0, 4095));
+    break;
+  }
+  default: { // Sethi / call.
+    if (Rng.range(0, 1)) {
+      I.Op = Opcode::SETHI;
+      I.Rd = Reg(static_cast<uint8_t>(Rng.range(0, 31)));
+      I.UsesImm = true;
+      I.Imm = static_cast<int32_t>(Rng.range(0, 0x3FFFFF));
+    } else {
+      I.Op = Opcode::CALL;
+      I.Target = static_cast<int32_t>(Rng.range(0, 100000));
+    }
+    break;
+  }
+  }
+  return I;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingRoundTrip, RandomInstructionsSurvive) {
+  Lcg Rng(0xC0FFEEull + static_cast<uint64_t>(GetParam()) * 104729ull);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    Instruction I = randomInstruction(Rng);
+    uint32_t Index = static_cast<uint32_t>(Rng.range(0, 2048));
+    std::optional<uint32_t> Word = encode(I, Index);
+    ASSERT_TRUE(Word.has_value())
+        << I.str() << " at " << Index << " (iter " << Iter << ")";
+    std::optional<Instruction> Back = decode(*Word, Index);
+    ASSERT_TRUE(Back.has_value()) << I.str();
+    EXPECT_EQ(Back->Op, I.Op) << I.str();
+    if (isBranch(I.Op) || I.Op == Opcode::CALL) {
+      EXPECT_EQ(Back->Target, I.Target) << I.str();
+      if (isBranch(I.Op)) {
+        EXPECT_EQ(Back->Annul, I.Annul) << I.str();
+      }
+      continue;
+    }
+    EXPECT_EQ(Back->Rd, I.Rd) << I.str();
+    if (I.Op == Opcode::SETHI) {
+      EXPECT_EQ(Back->Imm, I.Imm) << I.str();
+      continue;
+    }
+    EXPECT_EQ(Back->Rs1, I.Rs1) << I.str();
+    EXPECT_EQ(Back->UsesImm, I.UsesImm) << I.str();
+    if (I.UsesImm)
+      EXPECT_EQ(Back->Imm, I.Imm) << I.str();
+    else
+      EXPECT_EQ(Back->Rs2, I.Rs2) << I.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EncodingRoundTrip, ::testing::Range(0, 8));
+
+} // namespace

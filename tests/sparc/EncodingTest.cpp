@@ -1,0 +1,200 @@
+//===- EncodingTest.cpp ---------------------------------------------------===//
+
+#include "sparc/AsmParser.h"
+#include "sparc/Encoding.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+/// Encode/decode round trip for a single instruction at a given index.
+void expectRoundTrip(const Instruction &Inst, uint32_t Index = 0) {
+  std::optional<uint32_t> Word = encode(Inst, Index);
+  ASSERT_TRUE(Word.has_value()) << Inst.str();
+  std::optional<Instruction> Back = decode(*Word, Index);
+  ASSERT_TRUE(Back.has_value()) << Inst.str();
+  EXPECT_EQ(Back->Op, Inst.Op) << Inst.str();
+  EXPECT_EQ(Back->Rd, Inst.Rd) << Inst.str();
+  if (Inst.Op != Opcode::CALL && Inst.Op != Opcode::SETHI &&
+      !isBranch(Inst.Op)) {
+    EXPECT_EQ(Back->Rs1, Inst.Rs1) << Inst.str();
+    EXPECT_EQ(Back->UsesImm, Inst.UsesImm) << Inst.str();
+    if (Inst.UsesImm)
+      EXPECT_EQ(Back->Imm, Inst.Imm) << Inst.str();
+    else
+      EXPECT_EQ(Back->Rs2, Inst.Rs2) << Inst.str();
+  }
+  if (isBranch(Inst.Op) || Inst.Op == Opcode::CALL) {
+    EXPECT_EQ(Back->Target, Inst.Target) << Inst.str();
+  }
+  if (isBranch(Inst.Op)) {
+    EXPECT_EQ(Back->Annul, Inst.Annul) << Inst.str();
+  }
+}
+
+TEST(Encoding, ArithmeticRoundTrip) {
+  Instruction I;
+  I.Op = Opcode::ADD;
+  I.Rs1 = O0;
+  I.Rs2 = Reg(2);
+  I.Rd = O0;
+  expectRoundTrip(I);
+
+  I.Op = Opcode::SUBCC;
+  I.UsesImm = true;
+  I.Imm = -4096;
+  expectRoundTrip(I);
+  I.Imm = 4095;
+  expectRoundTrip(I);
+}
+
+TEST(Encoding, SimmRangeEnforced) {
+  Instruction I;
+  I.Op = Opcode::ADD;
+  I.Rs1 = O0;
+  I.Rd = O0;
+  I.UsesImm = true;
+  I.Imm = 4096;
+  EXPECT_FALSE(encode(I, 0).has_value());
+  I.Imm = -4097;
+  EXPECT_FALSE(encode(I, 0).has_value());
+}
+
+TEST(Encoding, MemoryRoundTrip) {
+  Instruction I;
+  I.Op = Opcode::LD;
+  I.Rs1 = O2;
+  I.Rs2 = Reg(2);
+  I.Rd = Reg(2);
+  expectRoundTrip(I);
+
+  I.Op = Opcode::STB;
+  I.UsesImm = true;
+  I.Imm = -1;
+  expectRoundTrip(I);
+}
+
+TEST(Encoding, BranchDisplacement) {
+  Instruction I;
+  I.Op = Opcode::BL;
+  I.Target = 5;
+  expectRoundTrip(I, /*Index=*/9); // Backward branch.
+  I.Target = 100;
+  expectRoundTrip(I, /*Index=*/3); // Forward branch.
+  I.Annul = true;
+  expectRoundTrip(I, /*Index=*/3);
+}
+
+TEST(Encoding, CallDisplacement) {
+  Instruction I;
+  I.Op = Opcode::CALL;
+  I.Target = 42;
+  expectRoundTrip(I, /*Index=*/7);
+  I.Target = 0;
+  expectRoundTrip(I, /*Index=*/100);
+}
+
+TEST(Encoding, ExternalCallRejected) {
+  Instruction I;
+  I.Op = Opcode::CALL;
+  I.Target = -1;
+  I.CalleeName = "printf";
+  EXPECT_FALSE(encode(I, 0).has_value());
+}
+
+TEST(Encoding, SethiRoundTrip) {
+  Instruction I;
+  I.Op = Opcode::SETHI;
+  I.Rd = Reg(1);
+  I.UsesImm = true;
+  I.Imm = 0x3FFFFF;
+  expectRoundTrip(I);
+  I.Imm = 0;
+  expectRoundTrip(I);
+}
+
+TEST(Encoding, SaveRestoreJmplRoundTrip) {
+  Instruction I;
+  I.Op = Opcode::SAVE;
+  I.Rs1 = SP;
+  I.Rd = SP;
+  I.UsesImm = true;
+  I.Imm = -96;
+  expectRoundTrip(I);
+
+  I.Op = Opcode::RESTORE;
+  I.UsesImm = false;
+  I.Rs1 = G0;
+  I.Rs2 = G0;
+  I.Rd = G0;
+  expectRoundTrip(I);
+
+  I.Op = Opcode::JMPL;
+  I.Rs1 = O7;
+  I.UsesImm = true;
+  I.Imm = 8;
+  I.Rd = G0;
+  expectRoundTrip(I);
+}
+
+TEST(Encoding, UnknownWordRejected) {
+  // op=00, op2=011 is unimplemented (FBfcc and friends).
+  EXPECT_FALSE(decode(0x00C00000u, 0).has_value());
+  // op=10 with an op3 we do not support (e.g. 0x29, RDPSR).
+  EXPECT_FALSE(decode(0x81480000u | (0x29u << 19), 0).has_value());
+}
+
+/// Property: every instruction produced by assembling a local-only module
+/// survives a module-level encode/decode round trip.
+TEST(Encoding, ModuleRoundTripMatchesAssembler) {
+  const char *Source = R"(
+    mov %o0,%o2
+    clr %o0
+    cmp %o0,%o1
+    bge 12
+    clr %g3
+    sll %g3,2,%g2
+    ld [%o2+%g2],%g2
+    inc %g3
+    cmp %g3,%o1
+    bl 6
+    add %o0,%g2,%o0
+    retl
+    nop
+  )";
+  std::optional<Module> M = assemble(Source);
+  ASSERT_TRUE(M.has_value());
+  std::optional<std::vector<uint32_t>> Words = encodeModule(*M);
+  ASSERT_TRUE(Words.has_value());
+  ASSERT_EQ(Words->size(), M->size());
+  std::optional<Module> Decoded = decodeModule(*Words);
+  ASSERT_TRUE(Decoded.has_value());
+  ASSERT_EQ(Decoded->size(), M->size());
+  for (uint32_t I = 0; I < M->size(); ++I) {
+    EXPECT_EQ(Decoded->Insts[I].Op, M->Insts[I].Op) << "index " << I;
+    EXPECT_EQ(Decoded->Insts[I].Target, M->Insts[I].Target) << "index " << I;
+    EXPECT_EQ(Decoded->Insts[I].str(), M->Insts[I].str()) << "index " << I;
+  }
+}
+
+TEST(Encoding, DecodeModuleRejectsOutOfRangeTarget) {
+  // A branch to instruction 100 in a 2-word module.
+  Instruction I;
+  I.Op = Opcode::BA;
+  I.Target = 100;
+  std::optional<uint32_t> W = encode(I, 0);
+  ASSERT_TRUE(W.has_value());
+  Instruction Nop;
+  Nop.Op = Opcode::SETHI;
+  Nop.Rd = G0;
+  Nop.UsesImm = true;
+  Nop.Imm = 0;
+  std::optional<uint32_t> W2 = encode(Nop, 1);
+  ASSERT_TRUE(W2.has_value());
+  EXPECT_FALSE(decodeModule({*W, *W2}).has_value());
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- InstructionTest.cpp ------------------------------------------------===//
+
+#include "sparc/Instruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+TEST(Instruction, OpcodePredicates) {
+  EXPECT_TRUE(isLoad(Opcode::LD));
+  EXPECT_TRUE(isLoad(Opcode::LDSB));
+  EXPECT_FALSE(isLoad(Opcode::ST));
+  EXPECT_TRUE(isStore(Opcode::STH));
+  EXPECT_FALSE(isStore(Opcode::LDUH));
+  EXPECT_TRUE(isBranch(Opcode::BA));
+  EXPECT_TRUE(isBranch(Opcode::BLEU));
+  EXPECT_FALSE(isBranch(Opcode::CALL));
+  EXPECT_TRUE(isConditionalBranch(Opcode::BL));
+  EXPECT_FALSE(isConditionalBranch(Opcode::BA));
+  EXPECT_FALSE(isConditionalBranch(Opcode::BN));
+  EXPECT_TRUE(setsIcc(Opcode::SUBCC));
+  EXPECT_TRUE(setsIcc(Opcode::ORCC));
+  EXPECT_FALSE(setsIcc(Opcode::SUB));
+}
+
+TEST(Instruction, MemAccessSize) {
+  EXPECT_EQ(memAccessSize(Opcode::LDSB), 1u);
+  EXPECT_EQ(memAccessSize(Opcode::LDUB), 1u);
+  EXPECT_EQ(memAccessSize(Opcode::LDSH), 2u);
+  EXPECT_EQ(memAccessSize(Opcode::LDUH), 2u);
+  EXPECT_EQ(memAccessSize(Opcode::LD), 4u);
+  EXPECT_EQ(memAccessSize(Opcode::STB), 1u);
+  EXPECT_EQ(memAccessSize(Opcode::STH), 2u);
+  EXPECT_EQ(memAccessSize(Opcode::ST), 4u);
+}
+
+TEST(Instruction, SignedLoads) {
+  EXPECT_TRUE(isSignedLoad(Opcode::LDSB));
+  EXPECT_TRUE(isSignedLoad(Opcode::LDSH));
+  EXPECT_FALSE(isSignedLoad(Opcode::LDUB));
+  EXPECT_FALSE(isSignedLoad(Opcode::LD));
+}
+
+TEST(Instruction, ReturnDetection) {
+  Instruction I;
+  I.Op = Opcode::JMPL;
+  I.Rs1 = O7;
+  I.UsesImm = true;
+  I.Imm = 8;
+  I.Rd = G0;
+  EXPECT_TRUE(I.isReturn()); // retl.
+  I.Rs1 = I7;
+  EXPECT_TRUE(I.isReturn()); // ret.
+  I.Imm = 12;
+  EXPECT_FALSE(I.isReturn());
+  I.Imm = 8;
+  I.Rs1 = O0;
+  EXPECT_FALSE(I.isReturn());
+}
+
+TEST(Instruction, ControlTransferDetection) {
+  Instruction I;
+  I.Op = Opcode::ADD;
+  EXPECT_FALSE(I.isControlTransfer());
+  I.Op = Opcode::BL;
+  EXPECT_TRUE(I.isControlTransfer());
+  I.Op = Opcode::CALL;
+  EXPECT_TRUE(I.isControlTransfer());
+  I.Op = Opcode::JMPL;
+  EXPECT_TRUE(I.isControlTransfer());
+}
+
+TEST(Instruction, PrintsArithmetic) {
+  Instruction I;
+  I.Op = Opcode::ADD;
+  I.Rs1 = O0;
+  I.Rs2 = Reg(2);
+  I.Rd = O0;
+  EXPECT_EQ(I.str(), "add %o0,%g2,%o0");
+  I.UsesImm = true;
+  I.Imm = -4;
+  EXPECT_EQ(I.str(), "add %o0,-4,%o0");
+}
+
+TEST(Instruction, PrintsMemory) {
+  Instruction I;
+  I.Op = Opcode::LD;
+  I.Rs1 = O2;
+  I.Rs2 = Reg(2);
+  I.Rd = Reg(2);
+  EXPECT_EQ(I.str(), "ld [%o2+%g2],%g2");
+  I.Op = Opcode::ST;
+  I.UsesImm = true;
+  I.Imm = 8;
+  EXPECT_EQ(I.str(), "st %g2,[%o2+8]");
+}
+
+TEST(Instruction, PrintsBranch) {
+  Instruction I;
+  I.Op = Opcode::BGE;
+  I.Target = 11;
+  EXPECT_EQ(I.str(), "bge 12"); // 1-based listing numbers.
+  I.Annul = true;
+  EXPECT_EQ(I.str(), "bge,a 12");
+}
+
+TEST(Instruction, PrintsCall) {
+  Instruction I;
+  I.Op = Opcode::CALL;
+  I.CalleeName = "hash";
+  EXPECT_EQ(I.str(), "call hash");
+  I.CalleeName.clear();
+  I.Target = 4;
+  EXPECT_EQ(I.str(), "call 5");
+}
+
+TEST(Instruction, OpcodeNamesAreCanonical) {
+  EXPECT_STREQ(opcodeName(Opcode::LDSB), "ldsb");
+  EXPECT_STREQ(opcodeName(Opcode::SUBCC), "subcc");
+  EXPECT_STREQ(opcodeName(Opcode::BLEU), "bleu");
+  EXPECT_STREQ(opcodeName(Opcode::RESTORE), "restore");
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+//===- InterpreterTest.cpp - Concrete execution of the subset -------------===//
+
+#include "sparc/AsmParser.h"
+#include "sparc/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+Module assembleOrDie(const char *Source) {
+  std::string Error;
+  std::optional<Module> M = assemble(Source, &Error);
+  EXPECT_TRUE(M.has_value()) << Error;
+  return std::move(*M);
+}
+
+TEST(Interpreter, StraightLineArithmetic) {
+  Module M = assembleOrDie(R"(
+  mov 6,%o0
+  mov 7,%o1
+  smul %o0,%o1,%o2
+  add %o2,%o2,%o3
+  retl
+  nop
+)");
+  Interpreter I(M);
+  Interpreter::Result R = I.run();
+  EXPECT_EQ(R.Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O2), 42u);
+  EXPECT_EQ(I.reg(O3), 84u);
+}
+
+TEST(Interpreter, DelaySlotExecutesOnTakenBranch) {
+  Module M = assembleOrDie(R"(
+  clr %o0
+  cmp %o0,0
+  be 6
+  mov 9,%o1     ! delay slot: must execute
+  mov 1,%o2     ! skipped by the branch
+  retl
+  nop
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 9u);
+  EXPECT_EQ(I.reg(O2), 0u);
+}
+
+TEST(Interpreter, AnnulledBranchSkipsDelayWhenUntaken) {
+  Module M = assembleOrDie(R"(
+  mov 1,%o0
+  cmp %o0,0
+  be,a 6
+  mov 9,%o1     ! annulled: must NOT execute (branch untaken)
+  mov 2,%o2
+  retl
+  nop
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 0u);
+  EXPECT_EQ(I.reg(O2), 2u);
+}
+
+TEST(Interpreter, SignedBranchSemantics) {
+  // Computes max(%o0, %o1) via bl with negative numbers.
+  Module M = assembleOrDie(R"(
+  cmp %o0,%o1
+  bl 5
+  nop
+  retl           ! %o0 already the max
+  nop
+  mov %o1,%o0
+  retl
+  nop
+)");
+  Interpreter I(M);
+  I.setReg(O0, static_cast<uint32_t>(-5));
+  I.setReg(O1, 3);
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 3u);
+}
+
+TEST(Interpreter, MemoryRoundTrip) {
+  Module M = assembleOrDie(R"(
+  ld [%o0],%g1
+  inc %g1
+  st %g1,[%o0+4]
+  stb %g1,[%o0+8]
+  ldsb [%o0+8],%g2
+  retl
+  nop
+)");
+  Interpreter I(M);
+  I.mapRegion(0x1000, 64);
+  I.write32(0x1000, 0x1234);
+  I.setReg(O0, 0x1000);
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.read32(0x1004), 0x1235u);
+  EXPECT_EQ(I.read8(0x1008), 0x35u);
+  EXPECT_EQ(I.reg(Reg(2)), 0x35u);
+}
+
+TEST(Interpreter, NullDereferenceTraps) {
+  Module M = assembleOrDie(R"(
+  clr %o0
+  ld [%o0],%g1
+  retl
+  nop
+)");
+  Interpreter I(M);
+  Interpreter::Result R = I.run();
+  EXPECT_EQ(R.Reason, StopReason::UnmappedAccess);
+  EXPECT_EQ(R.FaultAddr, 0u);
+  EXPECT_EQ(R.FaultLine, 3u); // 1-based line in the source text.
+}
+
+TEST(Interpreter, MisalignmentTraps) {
+  Module M = assembleOrDie(R"(
+  ld [%o0+2],%g1
+  retl
+  nop
+)");
+  Interpreter I(M);
+  I.mapRegion(0x1000, 16);
+  I.setReg(O0, 0x1000);
+  EXPECT_EQ(I.run().Reason, StopReason::MisalignedAccess);
+}
+
+TEST(Interpreter, DivisionByZeroTraps) {
+  Module M = assembleOrDie(R"(
+  mov 10,%o0
+  clr %o1
+  udiv %o0,%o1,%o2
+  retl
+  nop
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run().Reason, StopReason::DivisionByZero);
+}
+
+TEST(Interpreter, SaveRestoreWindows) {
+  Module M = assembleOrDie(R"(
+  mov 11,%o0
+  mov %o7,%g1     ! a non-leaf caller must preserve its return address
+  call helper
+  nop
+  add %o0,1,%o3   ! 23
+  mov %g1,%o7
+  retl
+  nop
+helper:
+  save %sp,-96,%sp
+  add %i0,%i0,%i0 ! return 22 through the window overlap
+  ret
+  restore
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O3), 23u);
+}
+
+TEST(Interpreter, WindowUnderflowTraps) {
+  Module M = assembleOrDie(R"(
+  restore
+  retl
+  nop
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run().Reason, StopReason::WindowUnderflow);
+}
+
+TEST(Interpreter, HostCallWithDelaySlotArgument) {
+  Module M = assembleOrDie(R"(
+  mov %o7,%g1
+  call double_it
+  mov 21,%o0      ! argument set in the delay slot
+  mov %o0,%o4
+  mov %g1,%o7
+  retl
+  nop
+)");
+  Interpreter I(M);
+  I.registerHost("double_it", [](Interpreter &It) {
+    It.setReg(O0, It.reg(O0) * 2);
+  });
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O4), 42u);
+}
+
+TEST(Interpreter, UnknownHostCallStops) {
+  Module M = assembleOrDie(R"(
+  call mystery
+  nop
+  retl
+  nop
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run().Reason, StopReason::UnknownCallee);
+}
+
+TEST(Interpreter, StepLimit) {
+  Module M = assembleOrDie(R"(
+spin:
+  ba spin
+  nop
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run(100).Reason, StopReason::StepLimit);
+}
+
+TEST(Interpreter, LoopComputesTriangularNumber) {
+  Module M = assembleOrDie(R"(
+  clr %o2
+  clr %g1
+loop:
+  cmp %g1,%o0
+  bge done
+  nop
+  inc %g1
+  add %o2,%g1,%o2
+  ba loop
+  nop
+done:
+  mov %o2,%o0
+  retl
+  nop
+)");
+  Interpreter I(M);
+  I.setReg(O0, 10);
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 55u);
+}
+
+} // namespace

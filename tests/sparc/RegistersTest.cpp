@@ -1,0 +1,74 @@
+//===- RegistersTest.cpp --------------------------------------------------===//
+
+#include "sparc/Registers.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::sparc;
+
+namespace {
+
+TEST(Registers, Groups) {
+  EXPECT_TRUE(Reg(0).isGlobal());
+  EXPECT_TRUE(Reg(7).isGlobal());
+  EXPECT_TRUE(Reg(8).isOut());
+  EXPECT_TRUE(Reg(15).isOut());
+  EXPECT_TRUE(Reg(16).isLocal());
+  EXPECT_TRUE(Reg(23).isLocal());
+  EXPECT_TRUE(Reg(24).isIn());
+  EXPECT_TRUE(Reg(31).isIn());
+  EXPECT_TRUE(G0.isZero());
+  EXPECT_FALSE(O0.isZero());
+}
+
+TEST(Registers, Names) {
+  EXPECT_EQ(Reg(0).name(), "%g0");
+  EXPECT_EQ(Reg(3).name(), "%g3");
+  EXPECT_EQ(Reg(8).name(), "%o0");
+  EXPECT_EQ(Reg(14).name(), "%sp");
+  EXPECT_EQ(Reg(15).name(), "%o7");
+  EXPECT_EQ(Reg(17).name(), "%l1");
+  EXPECT_EQ(Reg(30).name(), "%fp");
+  EXPECT_EQ(Reg(31).name(), "%i7");
+}
+
+TEST(Registers, ParseCanonical) {
+  EXPECT_EQ(parseReg("%g0"), G0);
+  EXPECT_EQ(parseReg("%o2"), O2);
+  EXPECT_EQ(parseReg("%l0"), L0);
+  EXPECT_EQ(parseReg("%i1"), I1);
+  EXPECT_EQ(parseReg("%sp"), SP);
+  EXPECT_EQ(parseReg("%fp"), FP);
+  EXPECT_EQ(parseReg(" %o0 "), O0);
+}
+
+TEST(Registers, ParseNumericAlias) {
+  EXPECT_EQ(parseReg("%r0"), Reg(0));
+  EXPECT_EQ(parseReg("%r14"), SP);
+  EXPECT_EQ(parseReg("%r31"), I7);
+  EXPECT_FALSE(parseReg("%r32").has_value());
+}
+
+TEST(Registers, ParseRejectsGarbage) {
+  EXPECT_FALSE(parseReg("").has_value());
+  EXPECT_FALSE(parseReg("%").has_value());
+  EXPECT_FALSE(parseReg("g0").has_value());
+  EXPECT_FALSE(parseReg("%g8").has_value());
+  EXPECT_FALSE(parseReg("%x1").has_value());
+  EXPECT_FALSE(parseReg("%o12").has_value());
+}
+
+/// Round-trip name -> parse -> number for every register.
+class RegRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegRoundTrip, NameParsesBack) {
+  Reg R(static_cast<uint8_t>(GetParam()));
+  std::optional<Reg> Back = parseReg(R.name());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, R);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegs, RegRoundTrip, ::testing::Range(0, 32));
+
+} // namespace

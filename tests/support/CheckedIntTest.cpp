@@ -1,0 +1,102 @@
+//===- CheckedIntTest.cpp -------------------------------------------------===//
+
+#include "support/CheckedInt.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace mcsafe;
+
+namespace {
+
+TEST(CheckedInt, AddDetectsOverflow) {
+  EXPECT_EQ(checkedAdd(2, 3), 5);
+  EXPECT_EQ(checkedAdd(-2, -3), -5);
+  EXPECT_FALSE(checkedAdd(INT64_MAX, 1).has_value());
+  EXPECT_FALSE(checkedAdd(INT64_MIN, -1).has_value());
+  EXPECT_EQ(checkedAdd(INT64_MAX, 0), INT64_MAX);
+}
+
+TEST(CheckedInt, SubDetectsOverflow) {
+  EXPECT_EQ(checkedSub(2, 3), -1);
+  EXPECT_FALSE(checkedSub(INT64_MIN, 1).has_value());
+  EXPECT_FALSE(checkedSub(0, INT64_MIN).has_value());
+}
+
+TEST(CheckedInt, MulDetectsOverflow) {
+  EXPECT_EQ(checkedMul(7, -6), -42);
+  EXPECT_FALSE(checkedMul(INT64_MAX, 2).has_value());
+  EXPECT_FALSE(checkedMul(INT64_MIN, -1).has_value());
+  EXPECT_EQ(checkedMul(INT64_MIN, 1), INT64_MIN);
+}
+
+TEST(CheckedInt, NegDetectsOverflow) {
+  EXPECT_EQ(checkedNeg(5), -5);
+  EXPECT_FALSE(checkedNeg(INT64_MIN).has_value());
+}
+
+TEST(CheckedInt, Gcd) {
+  EXPECT_EQ(gcdInt64(0, 0), 0);
+  EXPECT_EQ(gcdInt64(0, 7), 7);
+  EXPECT_EQ(gcdInt64(12, 18), 6);
+  EXPECT_EQ(gcdInt64(-12, 18), 6);
+  EXPECT_EQ(gcdInt64(12, -18), 6);
+  EXPECT_EQ(gcdInt64(-12, -18), 6);
+  EXPECT_EQ(gcdInt64(1, 999), 1);
+}
+
+TEST(CheckedInt, FloorDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+}
+
+TEST(CheckedInt, CeilDiv) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+}
+
+TEST(CheckedInt, FloorMod) {
+  EXPECT_EQ(floorMod(7, 4), 3);
+  EXPECT_EQ(floorMod(-7, 4), 1);
+  EXPECT_EQ(floorMod(7, -4), -1);
+  EXPECT_EQ(floorMod(-7, -4), -3);
+  EXPECT_EQ(floorMod(8, 4), 0);
+  EXPECT_EQ(floorMod(-8, 4), 0);
+}
+
+/// floorDiv/floorMod form a Euclidean pair: a == b*floorDiv(a,b) +
+/// floorMod(a,b), with 0 <= floorMod(a,b) < |b| for b > 0.
+class FloorDivModProperty
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(FloorDivModProperty, PairIdentity) {
+  auto [A, B] = GetParam();
+  ASSERT_NE(B, 0);
+  EXPECT_EQ(A, B * floorDiv(A, B) + floorMod(A, B));
+  if (B > 0) {
+    EXPECT_GE(floorMod(A, B), 0);
+    EXPECT_LT(floorMod(A, B), B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FloorDivModProperty,
+    ::testing::Values(std::pair<int64_t, int64_t>{17, 5},
+                      std::pair<int64_t, int64_t>{-17, 5},
+                      std::pair<int64_t, int64_t>{17, -5},
+                      std::pair<int64_t, int64_t>{-17, -5},
+                      std::pair<int64_t, int64_t>{0, 3},
+                      std::pair<int64_t, int64_t>{1000000007, 97},
+                      std::pair<int64_t, int64_t>{-1000000007, 97},
+                      std::pair<int64_t, int64_t>{INT64_MAX, 2},
+                      std::pair<int64_t, int64_t>{INT64_MAX - 1, 7}));
+
+} // namespace

@@ -1,0 +1,80 @@
+//===- DiagnosticsTest.cpp ------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+
+namespace {
+
+TEST(Diagnostics, StartsEmpty) {
+  DiagnosticEngine Engine;
+  EXPECT_FALSE(Engine.hasViolations());
+  EXPECT_FALSE(Engine.hasFatal());
+  EXPECT_TRUE(Engine.diagnostics().empty());
+  EXPECT_EQ(Engine.str(), "");
+}
+
+TEST(Diagnostics, RecordsViolation) {
+  DiagnosticEngine Engine;
+  Engine.report(DiagSeverity::Violation, SafetyKind::ArrayBounds,
+                "index may exceed 4n", 7, 7);
+  EXPECT_TRUE(Engine.hasViolations());
+  EXPECT_FALSE(Engine.hasFatal());
+  EXPECT_EQ(Engine.countOfKind(SafetyKind::ArrayBounds), 1u);
+  EXPECT_EQ(Engine.countOfKind(SafetyKind::Alignment), 0u);
+  const Diagnostic &D = Engine.diagnostics().front();
+  EXPECT_EQ(D.Message, "index may exceed 4n");
+  EXPECT_EQ(D.SourceLine, 7u);
+}
+
+TEST(Diagnostics, NotesAreNotViolations) {
+  DiagnosticEngine Engine;
+  Engine.note("synthesized invariant: n > %g3");
+  EXPECT_FALSE(Engine.hasViolations());
+  EXPECT_EQ(Engine.diagnostics().size(), 1u);
+}
+
+TEST(Diagnostics, FatalIsDetected) {
+  DiagnosticEngine Engine;
+  Engine.fatal("bad assembly");
+  EXPECT_TRUE(Engine.hasFatal());
+  EXPECT_FALSE(Engine.hasViolations());
+}
+
+TEST(Diagnostics, StrRendersKindAndLine) {
+  DiagnosticEngine Engine;
+  Engine.report(DiagSeverity::Violation, SafetyKind::NullDereference,
+                "pointer may be null", 3, 12);
+  std::string S = Engine.str();
+  EXPECT_NE(S.find("violation"), std::string::npos);
+  EXPECT_NE(S.find("null-dereference"), std::string::npos);
+  EXPECT_NE(S.find("line 12"), std::string::npos);
+  EXPECT_NE(S.find("pointer may be null"), std::string::npos);
+}
+
+TEST(Diagnostics, CountOnlyCountsViolations) {
+  DiagnosticEngine Engine;
+  Engine.report(DiagSeverity::Warning, SafetyKind::ArrayBounds, "w");
+  Engine.report(DiagSeverity::Violation, SafetyKind::ArrayBounds, "v1");
+  Engine.report(DiagSeverity::Violation, SafetyKind::ArrayBounds, "v2");
+  EXPECT_EQ(Engine.countOfKind(SafetyKind::ArrayBounds), 2u);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Engine;
+  Engine.report(DiagSeverity::Violation, SafetyKind::AccessPolicy, "x");
+  Engine.clear();
+  EXPECT_FALSE(Engine.hasViolations());
+  EXPECT_TRUE(Engine.diagnostics().empty());
+}
+
+TEST(Diagnostics, KindNamesAreStable) {
+  EXPECT_STREQ(safetyKindName(SafetyKind::ArrayBounds), "array-bounds");
+  EXPECT_STREQ(safetyKindName(SafetyKind::StackDiscipline),
+               "stack-discipline");
+  EXPECT_STREQ(severityName(DiagSeverity::Violation), "violation");
+}
+
+} // namespace

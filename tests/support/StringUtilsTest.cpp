@@ -1,0 +1,74 @@
+//===- StringUtilsTest.cpp ------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+
+namespace {
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtils, Split) {
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "b");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtils, SplitWhitespace) {
+  auto Parts = splitWhitespace("  ld  [%o2+%g2],%g2 \t x ");
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "ld");
+  EXPECT_EQ(Parts[1], "[%o2+%g2],%g2");
+  EXPECT_EQ(Parts[2], "x");
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("%hi(42)", "%hi("));
+  EXPECT_FALSE(startsWith("%h", "%hi("));
+  EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(StringUtils, ParseIntDecimal) {
+  EXPECT_EQ(parseInt("0"), 0);
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-42"), -42);
+  EXPECT_EQ(parseInt("+7"), 7);
+  EXPECT_EQ(parseInt(" 13 "), 13);
+}
+
+TEST(StringUtils, ParseIntHex) {
+  EXPECT_EQ(parseInt("0x10"), 16);
+  EXPECT_EQ(parseInt("0xFF"), 255);
+  EXPECT_EQ(parseInt("0xff"), 255);
+  EXPECT_EQ(parseInt("-0x10"), -16);
+}
+
+TEST(StringUtils, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("-").has_value());
+  EXPECT_FALSE(parseInt("12a").has_value());
+  EXPECT_FALSE(parseInt("0x").has_value());
+  EXPECT_FALSE(parseInt("%o0").has_value());
+  EXPECT_FALSE(parseInt("1 2").has_value());
+}
+
+TEST(StringUtils, ParseIntRejectsOverflow) {
+  EXPECT_FALSE(parseInt("99999999999999999999999").has_value());
+  EXPECT_EQ(parseInt("9223372036854775807"), INT64_MAX);
+  EXPECT_FALSE(parseInt("9223372036854775808").has_value());
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- AbsLocTest.cpp - Abstract locations and field lookup ---------------===//
+
+#include "typestate/AbsLoc.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::typestate;
+
+namespace {
+
+/// Builds a thread-struct location: {tid@0, lwpid@4, next@8}.
+struct ThreadFixture {
+  LocationTable Locs;
+  AbsLocId Thread, Tid, Lwpid, Next;
+
+  ThreadFixture() {
+    TypeRef ThreadTy = TypeFactory::strct("thread", {}, 12, 4);
+    AbstractLocation T;
+    T.Name = "t";
+    T.Type = ThreadTy;
+    T.Size = 12;
+    T.Align = 4;
+    Thread = Locs.create(T);
+    auto Field = [&](const char *Name, uint32_t Size, TypeRef Ty) {
+      AbstractLocation F;
+      F.Name = Name;
+      F.Type = std::move(Ty);
+      F.Size = Size;
+      F.Align = 4;
+      F.Parent = Thread;
+      return Locs.create(F);
+    };
+    Tid = Field("t.tid", 4, TypeFactory::int32());
+    Lwpid = Field("t.lwpid", 4, TypeFactory::int32());
+    Next = Field("t.next", 4, TypeFactory::ptr(ThreadTy));
+    Locs.loc(Thread).Fields = {{0, Tid}, {4, Lwpid}, {8, Next}};
+  }
+};
+
+TEST(AbsLoc, LookupByName) {
+  ThreadFixture F;
+  EXPECT_EQ(F.Locs.lookup("t"), F.Thread);
+  EXPECT_EQ(F.Locs.lookup("t.next"), F.Next);
+  EXPECT_EQ(F.Locs.lookup("ghost"), InvalidLoc);
+}
+
+TEST(AbsLoc, ResolveStructFields) {
+  ThreadFixture F;
+  EXPECT_EQ(F.Locs.resolveField(F.Thread, 0, 4), F.Tid);
+  EXPECT_EQ(F.Locs.resolveField(F.Thread, 4, 4), F.Lwpid);
+  EXPECT_EQ(F.Locs.resolveField(F.Thread, 8, 4), F.Next);
+  // Misaligned or out-of-bounds accesses fail.
+  EXPECT_EQ(F.Locs.resolveField(F.Thread, 2, 4), InvalidLoc);
+  EXPECT_EQ(F.Locs.resolveField(F.Thread, 12, 4), InvalidLoc);
+  // Wrong width fails (no ground subtyping in the lookup).
+  EXPECT_EQ(F.Locs.resolveField(F.Thread, 0, 2), InvalidLoc);
+}
+
+TEST(AbsLoc, ScalarLeafResolvesItself) {
+  LocationTable Locs;
+  AbstractLocation L;
+  L.Name = "x";
+  L.Type = TypeFactory::int32();
+  L.Size = 4;
+  AbsLocId Id = Locs.create(L);
+  EXPECT_EQ(Locs.resolveField(Id, 0, 4), Id);
+  EXPECT_EQ(Locs.resolveField(Id, 4, 4), InvalidLoc);
+}
+
+TEST(AbsLoc, FreeStandingSummaryElement) {
+  // The paper's "e": any element-aligned, element-sized offset hits it.
+  LocationTable Locs;
+  AbstractLocation E;
+  E.Name = "e";
+  E.Type = TypeFactory::int32();
+  E.Size = 4;
+  E.Summary = true;
+  AbsLocId Id = Locs.create(E);
+  EXPECT_EQ(Locs.resolveField(Id, 0, 4), Id);
+  EXPECT_EQ(Locs.resolveField(Id, 40, 4), Id);
+  EXPECT_EQ(Locs.resolveField(Id, 2, 4), InvalidLoc);  // Misaligned.
+  EXPECT_EQ(Locs.resolveField(Id, 0, 2), InvalidLoc);  // Wrong width.
+  EXPECT_EQ(Locs.resolveField(Id, -4, 4), InvalidLoc); // Negative.
+}
+
+TEST(AbsLoc, EmbeddedArrayField) {
+  // struct frame { int32 buf[16] @0; int32 canary @64 }.
+  LocationTable Locs;
+  AbstractLocation Frame;
+  Frame.Name = "f";
+  Frame.Type = TypeFactory::strct("frame", {}, 68, 8);
+  Frame.Size = 68;
+  AbsLocId FrameId = Locs.create(Frame);
+  AbstractLocation Buf;
+  Buf.Name = "f.buf";
+  Buf.Type = TypeFactory::int32();
+  Buf.Size = 4;
+  Buf.Extent = 64;
+  Buf.Summary = true;
+  Buf.Parent = FrameId;
+  AbsLocId BufId = Locs.create(Buf);
+  AbstractLocation Canary;
+  Canary.Name = "f.canary";
+  Canary.Type = TypeFactory::int32();
+  Canary.Size = 4;
+  Canary.Parent = FrameId;
+  AbsLocId CanaryId = Locs.create(Canary);
+  Locs.loc(FrameId).Fields = {{0, BufId}, {64, CanaryId}};
+
+  EXPECT_EQ(Locs.resolveField(FrameId, 0, 4), BufId);
+  EXPECT_EQ(Locs.resolveField(FrameId, 60, 4), BufId);
+  EXPECT_EQ(Locs.resolveField(FrameId, 64, 4), CanaryId);
+  EXPECT_EQ(Locs.resolveField(FrameId, 62, 4), InvalidLoc); // Straddles.
+  EXPECT_EQ(Locs.resolveField(FrameId, 68, 4), InvalidLoc);
+  EXPECT_EQ(Buf.extent(), 64u);
+  EXPECT_EQ(Canary.extent(), 4u);
+}
+
+TEST(AbsLoc, CollectLeaves) {
+  ThreadFixture F;
+  std::vector<AbsLocId> Leaves;
+  F.Locs.collectLeaves(F.Thread, Leaves);
+  ASSERT_EQ(Leaves.size(), 3u);
+  EXPECT_EQ(Leaves[0], F.Tid);
+  EXPECT_EQ(Leaves[2], F.Next);
+  Leaves.clear();
+  F.Locs.collectLeaves(F.Tid, Leaves);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], F.Tid);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===- AbstractStoreTest.cpp ----------------------------------------------===//
+
+#include "typestate/AbstractStore.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::typestate;
+using namespace mcsafe::sparc;
+
+namespace {
+
+Typestate scalar(State S) {
+  Typestate Ts;
+  Ts.Type = TypeFactory::int32();
+  Ts.S = std::move(S);
+  Ts.A = Access::o();
+  return Ts;
+}
+
+TEST(AbstractStore, TopBehaviour) {
+  AbstractStore T = AbstractStore::top();
+  EXPECT_TRUE(T.isTop());
+  AbstractStore E = AbstractStore::empty();
+  EXPECT_FALSE(E.isTop());
+  // Top is the identity of meet.
+  AbstractStore S = AbstractStore::empty();
+  S.setReg(0, O0, scalar(State::initConst(5)));
+  EXPECT_EQ(AbstractStore::meet(T, S), S);
+  EXPECT_EQ(AbstractStore::meet(S, T), S);
+}
+
+TEST(AbstractStore, G0ReadsAsZeroAndIgnoresWrites) {
+  AbstractStore S = AbstractStore::empty();
+  EXPECT_EQ(S.reg(0, G0).S.constant(), 0);
+  S.setReg(0, G0, scalar(State::initConst(42)));
+  EXPECT_EQ(S.reg(0, G0).S.constant(), 0);
+}
+
+TEST(AbstractStore, UnsetEntriesAreDefault) {
+  AbstractStore S = AbstractStore::empty();
+  EXPECT_EQ(S.reg(0, O3), AbstractStore::defaultTypestate());
+  EXPECT_EQ(S.loc(17), AbstractStore::defaultTypestate());
+  EXPECT_TRUE(S.reg(0, O3).S.isBottom());
+}
+
+TEST(AbstractStore, SettingDefaultErases) {
+  AbstractStore A = AbstractStore::empty();
+  AbstractStore B = AbstractStore::empty();
+  A.setReg(0, O1, scalar(State::init()));
+  A.setReg(0, O1, AbstractStore::defaultTypestate());
+  EXPECT_EQ(A, B); // Normalized maps compare equal.
+}
+
+TEST(AbstractStore, GlobalsSharedAcrossDepths) {
+  AbstractStore S = AbstractStore::empty();
+  S.setReg(0, Reg(3), scalar(State::initConst(7)));
+  EXPECT_EQ(S.reg(5, Reg(3)).S.constant(), 7);
+  // Window registers are per-depth.
+  S.setReg(0, O0, scalar(State::initConst(1)));
+  EXPECT_TRUE(S.reg(1, O0).S.isBottom());
+}
+
+TEST(AbstractStore, MeetIsPointwise) {
+  AbstractStore A = AbstractStore::empty();
+  AbstractStore B = AbstractStore::empty();
+  A.setReg(0, O0, scalar(State::initConst(1)));
+  B.setReg(0, O0, scalar(State::initConst(1)));
+  A.setReg(0, O1, scalar(State::init()));
+  // O1 set only in A: meets with the bottom default.
+  AbstractStore M = AbstractStore::meet(A, B);
+  EXPECT_EQ(M.reg(0, O0).S.constant(), 1);
+  EXPECT_TRUE(M.reg(0, O1).S.isBottom());
+}
+
+TEST(AbstractStore, IccOriginSurvivesEqualMeet) {
+  AbstractStore A = AbstractStore::empty();
+  AbstractStore B = AbstractStore::empty();
+  AbstractStore::IccOrigin Origin{0, O0, 0};
+  A.setIccOrigin(Origin);
+  B.setIccOrigin(Origin);
+  EXPECT_TRUE(AbstractStore::meet(A, B).iccOrigin().has_value());
+  B.setIccOrigin(AbstractStore::IccOrigin{0, O1, 0});
+  EXPECT_FALSE(AbstractStore::meet(A, B).iccOrigin().has_value());
+}
+
+TEST(AbstractStore, WideningDropsGrowingBounds) {
+  AbstractStore Old = AbstractStore::empty();
+  AbstractStore New = AbstractStore::empty();
+  Old.setReg(0, O0, scalar(State::initRange(0, 4)));
+  New.setReg(0, O0, scalar(State::initRange(0, 8))); // Upper grew.
+  AbstractStore W = AbstractStore::widen(Old, New);
+  EXPECT_EQ(W.reg(0, O0).S.lower(), 0);
+  EXPECT_FALSE(W.reg(0, O0).S.upper().has_value());
+
+  // A stable interval is untouched.
+  New.setReg(0, O0, scalar(State::initRange(0, 4)));
+  W = AbstractStore::widen(Old, New);
+  EXPECT_EQ(W.reg(0, O0).S.upper(), 4);
+}
+
+TEST(AbstractStore, LocationsIndependentOfRegisters) {
+  AbstractStore S = AbstractStore::empty();
+  S.setLoc(3, scalar(State::init()));
+  EXPECT_TRUE(S.loc(3).S.isInit());
+  EXPECT_TRUE(S.reg(0, Reg(3)).S.isBottom());
+}
+
+TEST(AbstractStore, ForEachRegVisitsEntries) {
+  AbstractStore S = AbstractStore::empty();
+  S.setReg(0, O0, scalar(State::init()));
+  S.setReg(2, L0, scalar(State::init()));
+  S.setLoc(9, scalar(State::init()));
+  unsigned Regs = 0, Locs = 0;
+  S.forEachReg([&](int32_t Depth, Reg R, const Typestate &) {
+    ++Regs;
+    EXPECT_TRUE((Depth == 0 && R == O0) || (Depth == 2 && R == L0));
+  });
+  S.forEachLoc([&](AbsLocId Id, const Typestate &) {
+    ++Locs;
+    EXPECT_EQ(Id, 9u);
+  });
+  EXPECT_EQ(Regs, 2u);
+  EXPECT_EQ(Locs, 1u);
+}
+
+TEST(AbstractStore, StrRendersDepthsAndNames) {
+  AbstractStore S = AbstractStore::empty();
+  S.setReg(1, L0, scalar(State::initConst(3)));
+  std::string Out = S.str();
+  EXPECT_NE(Out.find("w1.%l0"), std::string::npos);
+  EXPECT_NE(Out.find("init(3)"), std::string::npos);
+}
+
+} // namespace

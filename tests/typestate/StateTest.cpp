@@ -1,0 +1,146 @@
+//===- StateTest.cpp - The Figure 5 state lattice -------------------------===//
+
+#include "typestate/Typestate.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::typestate;
+
+namespace {
+
+TEST(State, TopIsMeetIdentity) {
+  State Init = State::init();
+  EXPECT_EQ(State::meet(State::top(), Init), Init);
+  EXPECT_EQ(State::meet(Init, State::top()), Init);
+}
+
+TEST(State, BottomAbsorbs) {
+  EXPECT_TRUE(State::meet(State::bottom(), State::init()).isBottom());
+  EXPECT_TRUE(State::meet(State::uninit(), State::bottom()).isBottom());
+}
+
+TEST(State, InitMeetUninitIsUninit) {
+  // A value initialized on only one path cannot be used.
+  EXPECT_TRUE(State::meet(State::init(), State::uninit()).isUninit());
+  EXPECT_TRUE(
+      State::meet(State::pointsToLoc(3), State::uninit()).isUninit());
+}
+
+TEST(State, ConstantsMeet) {
+  EXPECT_EQ(State::meet(State::initConst(4), State::initConst(4)),
+            State::initConst(4));
+  // Different constants hull to a range.
+  State M = State::meet(State::initConst(2), State::initConst(5));
+  EXPECT_TRUE(M.isInit());
+  EXPECT_FALSE(M.constant().has_value());
+  EXPECT_EQ(M.lower(), 2);
+  EXPECT_EQ(M.upper(), 5);
+}
+
+TEST(State, IntervalHull) {
+  State A = State::initRange(0, 10);
+  State B = State::initRange(5, std::nullopt);
+  State M = State::meet(A, B);
+  EXPECT_EQ(M.lower(), 0);
+  EXPECT_FALSE(M.upper().has_value());
+}
+
+TEST(State, PointsToMeetIsUnion) {
+  // P1 below P2 iff P2 subset of P1: meet unions the sets.
+  State A = State::pointsTo({PtrTarget{1, 0}}, false);
+  State B = State::pointsTo({PtrTarget{2, 4}}, true);
+  State M = State::meet(A, B);
+  ASSERT_TRUE(M.isPointsTo());
+  EXPECT_EQ(M.targets().size(), 2u);
+  EXPECT_TRUE(M.mayBeNull());
+}
+
+TEST(State, NullPointerForms) {
+  State Null = State::nullPtr();
+  EXPECT_TRUE(Null.isDefinitelyNull());
+  EXPECT_TRUE(Null.mayBeNull());
+  EXPECT_TRUE(Null.isInitialized());
+  State P = State::pointsToLoc(7);
+  EXPECT_FALSE(P.mayBeNull());
+  EXPECT_FALSE(P.isDefinitelyNull());
+  State M = State::meet(Null, P);
+  EXPECT_TRUE(M.mayBeNull());
+  EXPECT_FALSE(M.isDefinitelyNull());
+  EXPECT_EQ(M.targets().size(), 1u);
+}
+
+TEST(State, OffsetsDistinguishTargets) {
+  State A = State::pointsToLoc(1, 0);
+  State B = State::pointsToLoc(1, 8);
+  State M = State::meet(A, B);
+  EXPECT_EQ(M.targets().size(), 2u);
+}
+
+TEST(State, InitializedPredicate) {
+  EXPECT_TRUE(State::init().isInitialized());
+  EXPECT_TRUE(State::pointsToLoc(0).isInitialized());
+  EXPECT_FALSE(State::uninit().isInitialized());
+  EXPECT_FALSE(State::bottom().isInitialized());
+  EXPECT_FALSE(State::top().isInitialized());
+}
+
+TEST(State, Printing) {
+  EXPECT_EQ(State::uninit().str(), "uninit");
+  EXPECT_EQ(State::initConst(3).str(), "init(3)");
+  EXPECT_EQ(State::initRange(0, std::nullopt).str(), "init[0,+inf]");
+  EXPECT_EQ(State::init().str(), "init");
+  EXPECT_EQ(State::nullPtr().str(), "{null}");
+}
+
+TEST(Access, MeetIsIntersection) {
+  Access A = Access::fo();
+  Access B = Access::o();
+  Access M = Access::meet(A, B);
+  EXPECT_FALSE(M.F);
+  EXPECT_FALSE(M.X);
+  EXPECT_TRUE(M.O);
+  EXPECT_EQ(Access::meet(Access::full(), Access::none()).str(), "-");
+}
+
+TEST(Typestate, MeetCombinesComponents) {
+  Typestate A;
+  A.Type = TypeFactory::int32();
+  A.S = State::initConst(1);
+  A.A = Access::full();
+  Typestate B;
+  B.Type = TypeFactory::int32();
+  B.S = State::initConst(2);
+  B.A = Access::o();
+  Typestate M = Typestate::meet(A, B);
+  EXPECT_TRUE(typeEquals(M.Type, TypeFactory::int32()));
+  EXPECT_TRUE(M.S.isInit());
+  EXPECT_EQ(M.S.lower(), 1);
+  EXPECT_EQ(M.S.upper(), 2);
+  EXPECT_FALSE(M.A.F);
+  EXPECT_TRUE(M.A.O);
+}
+
+TEST(Typestate, TopIsIdentity) {
+  Typestate A;
+  A.Type = TypeFactory::ptr(TypeFactory::int32());
+  A.S = State::pointsToLoc(5);
+  A.A = Access::fo();
+  EXPECT_EQ(Typestate::meet(Typestate::top(), A), A);
+  EXPECT_EQ(Typestate::meet(A, Typestate::top()), A);
+}
+
+TEST(Typestate, MismatchedTypesMeetToBottomType) {
+  Typestate A;
+  A.Type = TypeFactory::int32();
+  A.S = State::init();
+  Typestate B;
+  B.Type = TypeFactory::ptr(TypeFactory::int32());
+  B.S = State::pointsToLoc(1);
+  Typestate M = Typestate::meet(A, B);
+  EXPECT_TRUE(M.Type->isBottom());
+  // Scalar-init against pointer state degrades to uninit.
+  EXPECT_TRUE(M.S.isUninit());
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- TypeTest.cpp - The Figure 4 type system ----------------------------===//
+
+#include "typestate/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::typestate;
+
+namespace {
+
+TEST(Type, GroundSizesAndAlignment) {
+  EXPECT_EQ(TypeFactory::int8()->sizeInBytes(), 1u);
+  EXPECT_EQ(TypeFactory::uint16()->sizeInBytes(), 2u);
+  EXPECT_EQ(TypeFactory::int32()->sizeInBytes(), 4u);
+  EXPECT_EQ(TypeFactory::int32()->alignment(), 4u);
+  EXPECT_TRUE(isSignedGround(GroundKind::Int16));
+  EXPECT_FALSE(isSignedGround(GroundKind::UInt16));
+  EXPECT_EQ(groundWidth(GroundKind::UInt32), 4u);
+}
+
+TEST(Type, PointersAreWordSized) {
+  TypeRef P = TypeFactory::ptr(TypeFactory::int32());
+  EXPECT_EQ(P->sizeInBytes(), 4u);
+  EXPECT_EQ(P->alignment(), 4u);
+  EXPECT_TRUE(P->isPointerLike());
+  TypeRef A =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::literal(8));
+  EXPECT_EQ(A->sizeInBytes(), 4u); // It is a pointer to the base.
+  EXPECT_TRUE(A->isPointerLike());
+}
+
+TEST(Type, GroundSingletons) {
+  EXPECT_EQ(TypeFactory::int32(), TypeFactory::int32());
+  EXPECT_EQ(TypeFactory::top(), TypeFactory::top());
+  EXPECT_EQ(TypeFactory::bottom(), TypeFactory::bottom());
+}
+
+TEST(Type, StructuralEquality) {
+  TypeRef A =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::symbolic(varId("tn")));
+  TypeRef B =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::symbolic(varId("tn")));
+  EXPECT_TRUE(typeEquals(A, B));
+  TypeRef C =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::symbolic(varId("tm")));
+  EXPECT_FALSE(typeEquals(A, C));
+  TypeRef D =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::literal(4));
+  TypeRef E =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::literal(4));
+  EXPECT_TRUE(typeEquals(D, E));
+}
+
+TEST(Type, NominalStructEquality) {
+  TypeRef S1 = TypeFactory::strct("pair", {}, 8, 4);
+  TypeRef S2 = TypeFactory::strct(
+      "pair", {{"a", TypeFactory::int32(), 0, 1}}, 8, 4);
+  // Same name: nominally equal even with different member lists (the
+  // placeholder-then-complete pattern for recursive types relies on it).
+  EXPECT_TRUE(typeEquals(S1, S2));
+  TypeRef S3 = TypeFactory::strct("other", {}, 8, 4);
+  EXPECT_FALSE(typeEquals(S1, S3));
+}
+
+TEST(Type, MeetWithTopAndBottom) {
+  TypeRef I = TypeFactory::int32();
+  EXPECT_TRUE(typeEquals(typeMeet(TypeFactory::top(), I), I));
+  EXPECT_TRUE(typeEquals(typeMeet(I, TypeFactory::top()), I));
+  EXPECT_TRUE(typeMeet(TypeFactory::bottom(), I)->isBottom());
+}
+
+TEST(Type, MeetBaseAndInteriorArray) {
+  // meet(t[n], t(n]) = t(n].
+  ArraySize N = ArraySize::symbolic(varId("tmeet_n"));
+  TypeRef Base = TypeFactory::arrayBase(TypeFactory::int32(), N);
+  TypeRef Interior = TypeFactory::arrayInterior(TypeFactory::int32(), N);
+  EXPECT_TRUE(typeEquals(typeMeet(Base, Interior), Interior));
+  EXPECT_TRUE(typeEquals(typeMeet(Interior, Base), Interior));
+}
+
+TEST(Type, MeetMismatchedArraysIsBottom) {
+  TypeRef A =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::literal(4));
+  TypeRef B =
+      TypeFactory::arrayBase(TypeFactory::int32(), ArraySize::literal(8));
+  EXPECT_TRUE(typeMeet(A, B)->isBottom());
+  // Pointer vs non-pointer.
+  EXPECT_TRUE(typeMeet(A, TypeFactory::int32())->isBottom());
+  // Distinct grounds.
+  EXPECT_TRUE(
+      typeMeet(TypeFactory::int8(), TypeFactory::int32())->isBottom());
+}
+
+TEST(Type, Printing) {
+  EXPECT_EQ(TypeFactory::int32()->str(), "int32");
+  EXPECT_EQ(TypeFactory::ptr(TypeFactory::int32())->str(), "int32 ptr");
+  EXPECT_EQ(TypeFactory::arrayBase(TypeFactory::int32(),
+                                   ArraySize::symbolic(varId("pn")))
+                ->str(),
+            "int32[pn]");
+  EXPECT_EQ(TypeFactory::arrayInterior(TypeFactory::int32(),
+                                       ArraySize::literal(8))
+                ->str(),
+            "int32(8]");
+  EXPECT_EQ(TypeFactory::strct("thread", {}, 12, 4)->str(),
+            "struct thread");
+}
+
+TEST(Type, FuncCarriesSummaryName) {
+  TypeRef F = TypeFactory::func("DYNINSTstartWallTimer");
+  EXPECT_EQ(F->kind(), TypeKind::Func);
+  EXPECT_EQ(F->name(), "DYNINSTstartWallTimer");
+  EXPECT_TRUE(F->isPointerLike());
+}
+
+} // namespace

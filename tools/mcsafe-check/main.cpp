@@ -1,0 +1,179 @@
+//===- main.cpp - The mcsafe-check command-line tool ----------------------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Checks a piece of untrusted SPARC code against a host safety policy:
+//
+//   mcsafe-check prog.s policy.pol [-v] [--listing] [--conditions]
+//   mcsafe-check --corpus Sum [-v]
+//   mcsafe-check --list-corpus
+//
+// Exit status: 0 = safe, 1 = safety violations, 2 = malformed inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Annotation.h"
+#include "checker/CheckContext.h"
+#include "checker/Propagation.h"
+#include "checker/Report.h"
+#include "checker/SafetyChecker.h"
+#include "corpus/Corpus.h"
+#include "policy/PolicyParser.h"
+#include "sparc/AsmParser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+void usage() {
+  std::printf(
+      "usage: mcsafe-check <prog.s> <policy.pol> [options]\n"
+      "       mcsafe-check --corpus <name> [options]\n"
+      "       mcsafe-check --list-corpus\n"
+      "options:\n"
+      "  -v             verbose: listing + conditions + statistics\n"
+      "  --listing      print the per-instruction typestates (Figure 6)\n"
+      "  --conditions   print the global safety preconditions (Figure 3)\n");
+}
+
+int runCheck(const std::string &Asm, const std::string &Policy,
+             bool Listing, bool Conditions, bool Stats) {
+  SafetyChecker Checker;
+  CheckReport R = Checker.checkSource(Asm, Policy);
+  if (!R.InputsOk) {
+    std::fprintf(stderr, "%s", R.Diags.str().c_str());
+    return 2;
+  }
+
+  if (Listing || Conditions) {
+    // Re-run the front phases to render the intermediate views (the
+    // checker API deliberately keeps CheckReport small).
+    std::string Error;
+    std::optional<sparc::Module> M = sparc::assemble(Asm, &Error);
+    std::optional<policy::Policy> Pol = policy::parsePolicy(Policy, &Error);
+    DiagnosticEngine Diags;
+    if (M && Pol) {
+      std::optional<CheckContext> Ctx = prepare(*M, *Pol, Diags);
+      if (Ctx) {
+        PropagationResult Prop = propagate(*Ctx);
+        if (Listing) {
+          std::printf("--- typestates (Figure 6 view) ---\n%s\n",
+                      renderTypestateListing(*Ctx, Prop).c_str());
+        }
+        if (Conditions) {
+          AnnotationResult Annot = annotateAndVerifyLocal(*Ctx, Prop);
+          std::printf("--- global safety preconditions ---\n%s\n",
+                      renderObligations(*Ctx, Annot).c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("verdict: %s\n", R.Safe ? "SAFE" : "UNSAFE");
+  if (!R.Safe)
+    std::printf("%s", R.Diags.str().c_str());
+  if (Stats) {
+    std::printf(
+        "instructions: %u, branches: %u, loops: %u (%u inner), "
+        "calls: %u (%u trusted)\n",
+        R.Chars.Instructions, R.Chars.Branches, R.Chars.Loops,
+        R.Chars.InnerLoops, R.Chars.Calls, R.Chars.TrustedCalls);
+    std::printf(
+        "global conditions: %llu (proved %llu, failed %llu, quick %llu), "
+        "invariants: %llu (+%llu reused)\n",
+        static_cast<unsigned long long>(R.Chars.GlobalConditions),
+        static_cast<unsigned long long>(R.Global.ObligationsProved),
+        static_cast<unsigned long long>(R.Global.ObligationsFailed),
+        static_cast<unsigned long long>(R.Global.QuickDischarges),
+        static_cast<unsigned long long>(R.Global.InvariantsSynthesized),
+        static_cast<unsigned long long>(R.Global.InvariantReuses));
+    std::printf("times: typestate %.4fs, annotation+local %.4fs, "
+                "global %.4fs, total %.4fs\n",
+                R.TimeTypestate, R.TimeAnnotation, R.TimeGlobal,
+                R.total());
+  }
+  return R.Safe ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Listing = false, Conditions = false, Stats = false;
+  std::string CorpusName;
+  std::vector<std::string> Files;
+  bool ListCorpus = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-v") {
+      Listing = Conditions = Stats = true;
+    } else if (Arg == "--listing") {
+      Listing = true;
+    } else if (Arg == "--conditions") {
+      Conditions = true;
+    } else if (Arg == "--list-corpus") {
+      ListCorpus = true;
+    } else if (Arg == "--corpus") {
+      if (I + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      CorpusName = argv[++I];
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  if (ListCorpus) {
+    for (const corpus::CorpusProgram &P : corpus::corpus())
+      std::printf("%-14s %s\n", P.Name.c_str(),
+                  P.ExpectSafe ? "(verifies)" : "(has violations)");
+    return 0;
+  }
+
+  if (!CorpusName.empty()) {
+    for (const corpus::CorpusProgram &P : corpus::corpus())
+      if (P.Name == CorpusName)
+        return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats);
+    std::fprintf(stderr, "unknown corpus program '%s'\n",
+                 CorpusName.c_str());
+    return 2;
+  }
+
+  if (Files.size() != 2) {
+    usage();
+    return 2;
+  }
+  std::optional<std::string> Asm = readFile(Files[0]);
+  if (!Asm) {
+    std::fprintf(stderr, "cannot read '%s'\n", Files[0].c_str());
+    return 2;
+  }
+  std::optional<std::string> Policy = readFile(Files[1]);
+  if (!Policy) {
+    std::fprintf(stderr, "cannot read '%s'\n", Files[1].c_str());
+    return 2;
+  }
+  return runCheck(*Asm, *Policy, Listing, Conditions, Stats);
+}
