@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invariant.dir/bench_invariant.cpp.o"
+  "CMakeFiles/bench_invariant.dir/bench_invariant.cpp.o.d"
+  "bench_invariant"
+  "bench_invariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

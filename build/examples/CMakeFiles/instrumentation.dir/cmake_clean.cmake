@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumentation.dir/instrumentation.cpp.o"
+  "CMakeFiles/instrumentation.dir/instrumentation.cpp.o.d"
+  "instrumentation"
+  "instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_extension.dir/kernel_extension.cpp.o"
+  "CMakeFiles/kernel_extension.dir/kernel_extension.cpp.o.d"
+  "kernel_extension"
+  "kernel_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

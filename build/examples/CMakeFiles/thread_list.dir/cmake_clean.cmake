@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_list.dir/thread_list.cpp.o"
+  "CMakeFiles/thread_list.dir/thread_list.cpp.o.d"
+  "thread_list"
+  "thread_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

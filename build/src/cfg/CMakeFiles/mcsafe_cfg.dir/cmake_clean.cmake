@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/mcsafe_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/mcsafe_cfg.dir/Dominators.cpp.o"
+  "CMakeFiles/mcsafe_cfg.dir/Dominators.cpp.o.d"
+  "CMakeFiles/mcsafe_cfg.dir/LoopInfo.cpp.o"
+  "CMakeFiles/mcsafe_cfg.dir/LoopInfo.cpp.o.d"
+  "libmcsafe_cfg.a"
+  "libmcsafe_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/Annotation.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/Annotation.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/Annotation.cpp.o.d"
+  "/root/repo/src/checker/Automata.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/Automata.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/Automata.cpp.o.d"
+  "/root/repo/src/checker/GlobalVerify.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/GlobalVerify.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/GlobalVerify.cpp.o.d"
+  "/root/repo/src/checker/Preparation.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/Preparation.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/Preparation.cpp.o.d"
+  "/root/repo/src/checker/Propagation.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/Propagation.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/Propagation.cpp.o.d"
+  "/root/repo/src/checker/Report.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/Report.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/Report.cpp.o.d"
+  "/root/repo/src/checker/SafetyChecker.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/SafetyChecker.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/SafetyChecker.cpp.o.d"
+  "/root/repo/src/checker/Wlp.cpp" "src/checker/CMakeFiles/mcsafe_checker.dir/Wlp.cpp.o" "gcc" "src/checker/CMakeFiles/mcsafe_checker.dir/Wlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/mcsafe_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/typestate/CMakeFiles/mcsafe_typestate.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mcsafe_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/mcsafe_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparc/CMakeFiles/mcsafe_sparc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_checker.dir/Annotation.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/Annotation.cpp.o.d"
+  "CMakeFiles/mcsafe_checker.dir/Automata.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/Automata.cpp.o.d"
+  "CMakeFiles/mcsafe_checker.dir/GlobalVerify.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/GlobalVerify.cpp.o.d"
+  "CMakeFiles/mcsafe_checker.dir/Preparation.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/Preparation.cpp.o.d"
+  "CMakeFiles/mcsafe_checker.dir/Propagation.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/Propagation.cpp.o.d"
+  "CMakeFiles/mcsafe_checker.dir/Report.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/Report.cpp.o.d"
+  "CMakeFiles/mcsafe_checker.dir/SafetyChecker.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/SafetyChecker.cpp.o.d"
+  "CMakeFiles/mcsafe_checker.dir/Wlp.cpp.o"
+  "CMakeFiles/mcsafe_checker.dir/Wlp.cpp.o.d"
+  "libmcsafe_checker.a"
+  "libmcsafe_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/Constraint.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Constraint.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Constraint.cpp.o.d"
+  "/root/repo/src/constraints/Eliminate.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Eliminate.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Eliminate.cpp.o.d"
+  "/root/repo/src/constraints/Formula.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Formula.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Formula.cpp.o.d"
+  "/root/repo/src/constraints/LinearExpr.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/LinearExpr.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/LinearExpr.cpp.o.d"
+  "/root/repo/src/constraints/Normalize.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Normalize.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Normalize.cpp.o.d"
+  "/root/repo/src/constraints/OmegaTest.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/OmegaTest.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/OmegaTest.cpp.o.d"
+  "/root/repo/src/constraints/Prover.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Prover.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Prover.cpp.o.d"
+  "/root/repo/src/constraints/Var.cpp" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Var.cpp.o" "gcc" "src/constraints/CMakeFiles/mcsafe_constraints.dir/Var.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_constraints.dir/Constraint.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/Constraint.cpp.o.d"
+  "CMakeFiles/mcsafe_constraints.dir/Eliminate.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/Eliminate.cpp.o.d"
+  "CMakeFiles/mcsafe_constraints.dir/Formula.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/Formula.cpp.o.d"
+  "CMakeFiles/mcsafe_constraints.dir/LinearExpr.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/mcsafe_constraints.dir/Normalize.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/Normalize.cpp.o.d"
+  "CMakeFiles/mcsafe_constraints.dir/OmegaTest.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/OmegaTest.cpp.o.d"
+  "CMakeFiles/mcsafe_constraints.dir/Prover.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/Prover.cpp.o.d"
+  "CMakeFiles/mcsafe_constraints.dir/Var.cpp.o"
+  "CMakeFiles/mcsafe_constraints.dir/Var.cpp.o.d"
+  "libmcsafe_constraints.a"
+  "libmcsafe_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

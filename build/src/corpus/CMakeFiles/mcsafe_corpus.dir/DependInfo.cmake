@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Btree.cpp" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Btree.cpp.o" "gcc" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Btree.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/Generated.cpp" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Generated.cpp.o" "gcc" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Generated.cpp.o.d"
+  "/root/repo/src/corpus/HeapSort.cpp" "src/corpus/CMakeFiles/mcsafe_corpus.dir/HeapSort.cpp.o" "gcc" "src/corpus/CMakeFiles/mcsafe_corpus.dir/HeapSort.cpp.o.d"
+  "/root/repo/src/corpus/Jpvm.cpp" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Jpvm.cpp.o" "gcc" "src/corpus/CMakeFiles/mcsafe_corpus.dir/Jpvm.cpp.o.d"
+  "/root/repo/src/corpus/SmallPrograms.cpp" "src/corpus/CMakeFiles/mcsafe_corpus.dir/SmallPrograms.cpp.o" "gcc" "src/corpus/CMakeFiles/mcsafe_corpus.dir/SmallPrograms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

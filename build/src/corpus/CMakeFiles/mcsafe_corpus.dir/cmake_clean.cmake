@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_corpus.dir/Btree.cpp.o"
+  "CMakeFiles/mcsafe_corpus.dir/Btree.cpp.o.d"
+  "CMakeFiles/mcsafe_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/mcsafe_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/mcsafe_corpus.dir/Generated.cpp.o"
+  "CMakeFiles/mcsafe_corpus.dir/Generated.cpp.o.d"
+  "CMakeFiles/mcsafe_corpus.dir/HeapSort.cpp.o"
+  "CMakeFiles/mcsafe_corpus.dir/HeapSort.cpp.o.d"
+  "CMakeFiles/mcsafe_corpus.dir/Jpvm.cpp.o"
+  "CMakeFiles/mcsafe_corpus.dir/Jpvm.cpp.o.d"
+  "CMakeFiles/mcsafe_corpus.dir/SmallPrograms.cpp.o"
+  "CMakeFiles/mcsafe_corpus.dir/SmallPrograms.cpp.o.d"
+  "libmcsafe_corpus.a"
+  "libmcsafe_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

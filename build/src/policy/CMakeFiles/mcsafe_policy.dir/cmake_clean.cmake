@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_policy.dir/Policy.cpp.o"
+  "CMakeFiles/mcsafe_policy.dir/Policy.cpp.o.d"
+  "CMakeFiles/mcsafe_policy.dir/PolicyParser.cpp.o"
+  "CMakeFiles/mcsafe_policy.dir/PolicyParser.cpp.o.d"
+  "libmcsafe_policy.a"
+  "libmcsafe_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcsafe_policy.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparc/AsmParser.cpp" "src/sparc/CMakeFiles/mcsafe_sparc.dir/AsmParser.cpp.o" "gcc" "src/sparc/CMakeFiles/mcsafe_sparc.dir/AsmParser.cpp.o.d"
+  "/root/repo/src/sparc/Encoding.cpp" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Encoding.cpp.o" "gcc" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Encoding.cpp.o.d"
+  "/root/repo/src/sparc/Instruction.cpp" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Instruction.cpp.o" "gcc" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Instruction.cpp.o.d"
+  "/root/repo/src/sparc/Interpreter.cpp" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Interpreter.cpp.o" "gcc" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/sparc/Module.cpp" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Module.cpp.o" "gcc" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Module.cpp.o.d"
+  "/root/repo/src/sparc/Registers.cpp" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Registers.cpp.o" "gcc" "src/sparc/CMakeFiles/mcsafe_sparc.dir/Registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_sparc.dir/AsmParser.cpp.o"
+  "CMakeFiles/mcsafe_sparc.dir/AsmParser.cpp.o.d"
+  "CMakeFiles/mcsafe_sparc.dir/Encoding.cpp.o"
+  "CMakeFiles/mcsafe_sparc.dir/Encoding.cpp.o.d"
+  "CMakeFiles/mcsafe_sparc.dir/Instruction.cpp.o"
+  "CMakeFiles/mcsafe_sparc.dir/Instruction.cpp.o.d"
+  "CMakeFiles/mcsafe_sparc.dir/Interpreter.cpp.o"
+  "CMakeFiles/mcsafe_sparc.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/mcsafe_sparc.dir/Module.cpp.o"
+  "CMakeFiles/mcsafe_sparc.dir/Module.cpp.o.d"
+  "CMakeFiles/mcsafe_sparc.dir/Registers.cpp.o"
+  "CMakeFiles/mcsafe_sparc.dir/Registers.cpp.o.d"
+  "libmcsafe_sparc.a"
+  "libmcsafe_sparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_sparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcsafe_sparc.a"
+)

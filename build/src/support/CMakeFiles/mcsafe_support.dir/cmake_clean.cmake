@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_support.dir/CheckedInt.cpp.o"
+  "CMakeFiles/mcsafe_support.dir/CheckedInt.cpp.o.d"
+  "CMakeFiles/mcsafe_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/mcsafe_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/mcsafe_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/mcsafe_support.dir/StringUtils.cpp.o.d"
+  "libmcsafe_support.a"
+  "libmcsafe_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

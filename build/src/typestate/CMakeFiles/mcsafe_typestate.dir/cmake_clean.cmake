@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe_typestate.dir/AbsLoc.cpp.o"
+  "CMakeFiles/mcsafe_typestate.dir/AbsLoc.cpp.o.d"
+  "CMakeFiles/mcsafe_typestate.dir/AbstractStore.cpp.o"
+  "CMakeFiles/mcsafe_typestate.dir/AbstractStore.cpp.o.d"
+  "CMakeFiles/mcsafe_typestate.dir/Type.cpp.o"
+  "CMakeFiles/mcsafe_typestate.dir/Type.cpp.o.d"
+  "CMakeFiles/mcsafe_typestate.dir/Typestate.cpp.o"
+  "CMakeFiles/mcsafe_typestate.dir/Typestate.cpp.o.d"
+  "libmcsafe_typestate.a"
+  "libmcsafe_typestate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe_typestate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

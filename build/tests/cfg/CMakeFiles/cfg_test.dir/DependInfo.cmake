@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfg/CfgTest.cpp" "tests/cfg/CMakeFiles/cfg_test.dir/CfgTest.cpp.o" "gcc" "tests/cfg/CMakeFiles/cfg_test.dir/CfgTest.cpp.o.d"
+  "/root/repo/tests/cfg/DominatorsTest.cpp" "tests/cfg/CMakeFiles/cfg_test.dir/DominatorsTest.cpp.o" "gcc" "tests/cfg/CMakeFiles/cfg_test.dir/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/cfg/LoopInfoTest.cpp" "tests/cfg/CMakeFiles/cfg_test.dir/LoopInfoTest.cpp.o" "gcc" "tests/cfg/CMakeFiles/cfg_test.dir/LoopInfoTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/mcsafe_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparc/CMakeFiles/mcsafe_sparc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_test.dir/AutomataTest.cpp.o"
+  "CMakeFiles/checker_test.dir/AutomataTest.cpp.o.d"
+  "CMakeFiles/checker_test.dir/PostconditionTest.cpp.o"
+  "CMakeFiles/checker_test.dir/PostconditionTest.cpp.o.d"
+  "CMakeFiles/checker_test.dir/PropagationTest.cpp.o"
+  "CMakeFiles/checker_test.dir/PropagationTest.cpp.o.d"
+  "CMakeFiles/checker_test.dir/RunningExampleTest.cpp.o"
+  "CMakeFiles/checker_test.dir/RunningExampleTest.cpp.o.d"
+  "CMakeFiles/checker_test.dir/SafetyFeaturesTest.cpp.o"
+  "CMakeFiles/checker_test.dir/SafetyFeaturesTest.cpp.o.d"
+  "CMakeFiles/checker_test.dir/TrustedCallTest.cpp.o"
+  "CMakeFiles/checker_test.dir/TrustedCallTest.cpp.o.d"
+  "CMakeFiles/checker_test.dir/VerifierOptionsTest.cpp.o"
+  "CMakeFiles/checker_test.dir/VerifierOptionsTest.cpp.o.d"
+  "CMakeFiles/checker_test.dir/WlpTest.cpp.o"
+  "CMakeFiles/checker_test.dir/WlpTest.cpp.o.d"
+  "checker_test"
+  "checker_test.pdb"
+  "checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/constraints/ConstraintTest.cpp" "tests/constraints/CMakeFiles/constraints_test.dir/ConstraintTest.cpp.o" "gcc" "tests/constraints/CMakeFiles/constraints_test.dir/ConstraintTest.cpp.o.d"
+  "/root/repo/tests/constraints/EliminateTest.cpp" "tests/constraints/CMakeFiles/constraints_test.dir/EliminateTest.cpp.o" "gcc" "tests/constraints/CMakeFiles/constraints_test.dir/EliminateTest.cpp.o.d"
+  "/root/repo/tests/constraints/FormulaTest.cpp" "tests/constraints/CMakeFiles/constraints_test.dir/FormulaTest.cpp.o" "gcc" "tests/constraints/CMakeFiles/constraints_test.dir/FormulaTest.cpp.o.d"
+  "/root/repo/tests/constraints/LinearExprTest.cpp" "tests/constraints/CMakeFiles/constraints_test.dir/LinearExprTest.cpp.o" "gcc" "tests/constraints/CMakeFiles/constraints_test.dir/LinearExprTest.cpp.o.d"
+  "/root/repo/tests/constraints/OmegaPropertyTest.cpp" "tests/constraints/CMakeFiles/constraints_test.dir/OmegaPropertyTest.cpp.o" "gcc" "tests/constraints/CMakeFiles/constraints_test.dir/OmegaPropertyTest.cpp.o.d"
+  "/root/repo/tests/constraints/OmegaTestTest.cpp" "tests/constraints/CMakeFiles/constraints_test.dir/OmegaTestTest.cpp.o" "gcc" "tests/constraints/CMakeFiles/constraints_test.dir/OmegaTestTest.cpp.o.d"
+  "/root/repo/tests/constraints/ProverTest.cpp" "tests/constraints/CMakeFiles/constraints_test.dir/ProverTest.cpp.o" "gcc" "tests/constraints/CMakeFiles/constraints_test.dir/ProverTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/mcsafe_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraints_test.dir/ConstraintTest.cpp.o"
+  "CMakeFiles/constraints_test.dir/ConstraintTest.cpp.o.d"
+  "CMakeFiles/constraints_test.dir/EliminateTest.cpp.o"
+  "CMakeFiles/constraints_test.dir/EliminateTest.cpp.o.d"
+  "CMakeFiles/constraints_test.dir/FormulaTest.cpp.o"
+  "CMakeFiles/constraints_test.dir/FormulaTest.cpp.o.d"
+  "CMakeFiles/constraints_test.dir/LinearExprTest.cpp.o"
+  "CMakeFiles/constraints_test.dir/LinearExprTest.cpp.o.d"
+  "CMakeFiles/constraints_test.dir/OmegaPropertyTest.cpp.o"
+  "CMakeFiles/constraints_test.dir/OmegaPropertyTest.cpp.o.d"
+  "CMakeFiles/constraints_test.dir/OmegaTestTest.cpp.o"
+  "CMakeFiles/constraints_test.dir/OmegaTestTest.cpp.o.d"
+  "CMakeFiles/constraints_test.dir/ProverTest.cpp.o"
+  "CMakeFiles/constraints_test.dir/ProverTest.cpp.o.d"
+  "constraints_test"
+  "constraints_test.pdb"
+  "constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corpus/CharacteristicsTest.cpp" "tests/corpus/CMakeFiles/corpus_test.dir/CharacteristicsTest.cpp.o" "gcc" "tests/corpus/CMakeFiles/corpus_test.dir/CharacteristicsTest.cpp.o.d"
+  "/root/repo/tests/corpus/DynamicValidationTest.cpp" "tests/corpus/CMakeFiles/corpus_test.dir/DynamicValidationTest.cpp.o" "gcc" "tests/corpus/CMakeFiles/corpus_test.dir/DynamicValidationTest.cpp.o.d"
+  "/root/repo/tests/corpus/RoundTripTest.cpp" "tests/corpus/CMakeFiles/corpus_test.dir/RoundTripTest.cpp.o" "gcc" "tests/corpus/CMakeFiles/corpus_test.dir/RoundTripTest.cpp.o.d"
+  "/root/repo/tests/corpus/VerdictTest.cpp" "tests/corpus/CMakeFiles/corpus_test.dir/VerdictTest.cpp.o" "gcc" "tests/corpus/CMakeFiles/corpus_test.dir/VerdictTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/mcsafe_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/mcsafe_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mcsafe_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/typestate/CMakeFiles/mcsafe_typestate.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mcsafe_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/mcsafe_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparc/CMakeFiles/mcsafe_sparc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

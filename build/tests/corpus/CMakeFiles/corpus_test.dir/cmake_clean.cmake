@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/CharacteristicsTest.cpp.o"
+  "CMakeFiles/corpus_test.dir/CharacteristicsTest.cpp.o.d"
+  "CMakeFiles/corpus_test.dir/DynamicValidationTest.cpp.o"
+  "CMakeFiles/corpus_test.dir/DynamicValidationTest.cpp.o.d"
+  "CMakeFiles/corpus_test.dir/RoundTripTest.cpp.o"
+  "CMakeFiles/corpus_test.dir/RoundTripTest.cpp.o.d"
+  "CMakeFiles/corpus_test.dir/VerdictTest.cpp.o"
+  "CMakeFiles/corpus_test.dir/VerdictTest.cpp.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+  "corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

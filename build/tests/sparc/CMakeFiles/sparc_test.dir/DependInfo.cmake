@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparc/AsmParserTest.cpp" "tests/sparc/CMakeFiles/sparc_test.dir/AsmParserTest.cpp.o" "gcc" "tests/sparc/CMakeFiles/sparc_test.dir/AsmParserTest.cpp.o.d"
+  "/root/repo/tests/sparc/EncodingPropertyTest.cpp" "tests/sparc/CMakeFiles/sparc_test.dir/EncodingPropertyTest.cpp.o" "gcc" "tests/sparc/CMakeFiles/sparc_test.dir/EncodingPropertyTest.cpp.o.d"
+  "/root/repo/tests/sparc/EncodingTest.cpp" "tests/sparc/CMakeFiles/sparc_test.dir/EncodingTest.cpp.o" "gcc" "tests/sparc/CMakeFiles/sparc_test.dir/EncodingTest.cpp.o.d"
+  "/root/repo/tests/sparc/InstructionTest.cpp" "tests/sparc/CMakeFiles/sparc_test.dir/InstructionTest.cpp.o" "gcc" "tests/sparc/CMakeFiles/sparc_test.dir/InstructionTest.cpp.o.d"
+  "/root/repo/tests/sparc/InterpreterTest.cpp" "tests/sparc/CMakeFiles/sparc_test.dir/InterpreterTest.cpp.o" "gcc" "tests/sparc/CMakeFiles/sparc_test.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/sparc/RegistersTest.cpp" "tests/sparc/CMakeFiles/sparc_test.dir/RegistersTest.cpp.o" "gcc" "tests/sparc/CMakeFiles/sparc_test.dir/RegistersTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparc/CMakeFiles/mcsafe_sparc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparc_test.dir/AsmParserTest.cpp.o"
+  "CMakeFiles/sparc_test.dir/AsmParserTest.cpp.o.d"
+  "CMakeFiles/sparc_test.dir/EncodingPropertyTest.cpp.o"
+  "CMakeFiles/sparc_test.dir/EncodingPropertyTest.cpp.o.d"
+  "CMakeFiles/sparc_test.dir/EncodingTest.cpp.o"
+  "CMakeFiles/sparc_test.dir/EncodingTest.cpp.o.d"
+  "CMakeFiles/sparc_test.dir/InstructionTest.cpp.o"
+  "CMakeFiles/sparc_test.dir/InstructionTest.cpp.o.d"
+  "CMakeFiles/sparc_test.dir/InterpreterTest.cpp.o"
+  "CMakeFiles/sparc_test.dir/InterpreterTest.cpp.o.d"
+  "CMakeFiles/sparc_test.dir/RegistersTest.cpp.o"
+  "CMakeFiles/sparc_test.dir/RegistersTest.cpp.o.d"
+  "sparc_test"
+  "sparc_test.pdb"
+  "sparc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

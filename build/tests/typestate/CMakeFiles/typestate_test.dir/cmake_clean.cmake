@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typestate_test.dir/AbsLocTest.cpp.o"
+  "CMakeFiles/typestate_test.dir/AbsLocTest.cpp.o.d"
+  "CMakeFiles/typestate_test.dir/AbstractStoreTest.cpp.o"
+  "CMakeFiles/typestate_test.dir/AbstractStoreTest.cpp.o.d"
+  "CMakeFiles/typestate_test.dir/StateTest.cpp.o"
+  "CMakeFiles/typestate_test.dir/StateTest.cpp.o.d"
+  "CMakeFiles/typestate_test.dir/TypeTest.cpp.o"
+  "CMakeFiles/typestate_test.dir/TypeTest.cpp.o.d"
+  "typestate_test"
+  "typestate_test.pdb"
+  "typestate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typestate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

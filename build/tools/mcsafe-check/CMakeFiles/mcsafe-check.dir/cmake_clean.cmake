@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsafe-check.dir/main.cpp.o"
+  "CMakeFiles/mcsafe-check.dir/main.cpp.o.d"
+  "mcsafe-check"
+  "mcsafe-check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsafe-check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
