@@ -1,0 +1,157 @@
+//===- Dataflow.h - Generic worklist dataflow framework ---------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic forward/backward worklist dataflow solver over the
+/// normalized mcsafe CFG. Because the CFG replicates delay-slot
+/// instructions onto the edges on which they execute (and annulled
+/// slots onto the taken edge only), clients get correct delayed-branch
+/// semantics for free: a dataflow problem only ever reasons about plain
+/// nodes and edges.
+///
+/// A problem type P supplies:
+///
+///   using Value = ...;                     // the lattice element
+///   static constexpr Direction Dir;        // Forward or Backward
+///   Value top() const;                     // unreached / identity of meet
+///   Value boundary() const;                // value at entry (forward)
+///                                          // or exit (backward)
+///   void meet(Value &Into, const Value &From) const;
+///   void transfer(cfg::NodeId, Value &V) const;  // in-place flow function
+///
+/// and optionally refines values along edges by overriding
+///   void edge(cfg::NodeId From, const cfg::CfgEdge &E, Value &V) const;
+/// (the default, inherited from DataflowProblem, is the identity).
+///
+/// The solver returns per-node In/Out values in *program order*: In is
+/// the value before the node executes and Out the value after it, for
+/// both directions. Values require operator== for the fixpoint test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_DATAFLOW_H
+#define MCSAFE_ANALYSIS_DATAFLOW_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace mcsafe {
+namespace analysis {
+
+enum class Direction { Forward, Backward };
+
+/// Base class providing the default (identity) edge transfer.
+struct DataflowProblem {
+  template <typename Value>
+  void edge(cfg::NodeId, const cfg::CfgEdge &, Value &) const {}
+};
+
+template <typename Value> struct DataflowResult {
+  std::vector<Value> In;  ///< Value before each node (program order).
+  std::vector<Value> Out; ///< Value after each node (program order).
+  std::vector<bool> Visited; ///< Node was reached by the iteration.
+  uint64_t NodeVisits = 0;
+  bool Converged = true;
+};
+
+/// Runs the worklist fixpoint for \p P over \p G. The worklist is a
+/// priority queue ordered by reverse postorder (forward) or its reverse
+/// (backward), which visits nodes in near-topological order and keeps
+/// the iteration deterministic.
+template <typename Problem>
+DataflowResult<typename Problem::Value> solveDataflow(const cfg::Cfg &G,
+                                                      const Problem &P) {
+  using Value = typename Problem::Value;
+  constexpr bool Forward = Problem::Dir == Direction::Forward;
+
+  uint32_t N = G.size();
+  DataflowResult<Value> R;
+  R.In.assign(N, P.top());
+  R.Out.assign(N, P.top());
+  R.Visited.assign(N, false);
+
+  // Priority = position in (reverse of) reverse postorder. Unreachable
+  // nodes keep UINT32_MAX and are never enqueued.
+  std::vector<uint32_t> Priority(N, UINT32_MAX);
+  std::vector<cfg::NodeId> Rpo = G.reversePostOrder();
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    Priority[Rpo[I]] =
+        Forward ? I : static_cast<uint32_t>(Rpo.size() - 1 - I);
+
+  auto Less = [&Priority](cfg::NodeId A, cfg::NodeId B) {
+    if (Priority[A] != Priority[B])
+      return Priority[A] < Priority[B];
+    return A < B;
+  };
+  // Seed every reachable node, not just the boundary: a node's transfer
+  // can generate facts (e.g. liveness uses) even before any neighbor
+  // value changes, so each node must be processed at least once.
+  std::set<cfg::NodeId, decltype(Less)> Worklist(Less);
+  for (cfg::NodeId Id : Rpo)
+    Worklist.insert(Id);
+  cfg::NodeId Boundary = Forward ? G.entry() : G.exit();
+
+  uint64_t Budget = static_cast<uint64_t>(N) * 256 + 10000;
+  while (!Worklist.empty()) {
+    if (R.NodeVisits++ > Budget) {
+      R.Converged = false;
+      break;
+    }
+    cfg::NodeId Id = *Worklist.begin();
+    Worklist.erase(Worklist.begin());
+    R.Visited[Id] = true;
+
+    // Gather the incoming value: from predecessors' Out (forward) or
+    // successors' In (backward); the boundary node also meets the
+    // boundary value.
+    Value Incoming = P.top();
+    if (Id == Boundary)
+      P.meet(Incoming, P.boundary());
+    if (Forward) {
+      for (cfg::NodeId Pred : G.node(Id).Preds) {
+        for (const cfg::CfgEdge &E : G.node(Pred).Succs) {
+          if (E.To != Id)
+            continue;
+          Value V = R.Out[Pred];
+          P.edge(Pred, E, V);
+          P.meet(Incoming, V);
+        }
+      }
+    } else {
+      for (const cfg::CfgEdge &E : G.node(Id).Succs) {
+        Value V = R.In[E.To];
+        P.edge(Id, E, V);
+        P.meet(Incoming, V);
+      }
+    }
+
+    Value &Before = Forward ? R.In[Id] : R.Out[Id];
+    Value &After = Forward ? R.Out[Id] : R.In[Id];
+    Before = std::move(Incoming);
+    Value NewAfter = Before;
+    P.transfer(Id, NewAfter);
+    if (!(NewAfter == After)) {
+      After = std::move(NewAfter);
+      if (Forward) {
+        for (const cfg::CfgEdge &E : G.node(Id).Succs)
+          Worklist.insert(E.To);
+      } else {
+        for (cfg::NodeId Pred : G.node(Id).Preds)
+          Worklist.insert(Pred);
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,114 @@
+//===- Lint.cpp -----------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/StackDelta.h"
+#include "sparc/Instruction.h"
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+using namespace mcsafe::sparc;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+
+namespace {
+
+/// True for the instruction classes whose rd write the dead-write
+/// metric counts: ordinary value-producing instructions. Window moves,
+/// calls, and branches write registers as a side effect of control flow
+/// and are not interesting as "dead code" signals.
+bool isValueWrite(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADD:
+  case Opcode::ADDCC:
+  case Opcode::SUB:
+  case Opcode::SUBCC:
+  case Opcode::AND:
+  case Opcode::ANDCC:
+  case Opcode::ANDN:
+  case Opcode::OR:
+  case Opcode::ORCC:
+  case Opcode::ORN:
+  case Opcode::XOR:
+  case Opcode::XORCC:
+  case Opcode::XNOR:
+  case Opcode::SLL:
+  case Opcode::SRL:
+  case Opcode::SRA:
+  case Opcode::UMUL:
+  case Opcode::SMUL:
+  case Opcode::UDIV:
+  case Opcode::SDIV:
+  case Opcode::SETHI:
+    return true;
+  default:
+    return isLoad(Op);
+  }
+}
+
+std::string describeUse(const cfg::Cfg &G, const UninitUseFinding &F) {
+  const CfgNode &Node = G.node(F.Node);
+  std::string What;
+  if (F.IsIcc)
+    What = "the condition codes are";
+  else if (F.IsTrustedParam)
+    What = "trusted-call argument " + F.R.name() + " is";
+  else
+    What = F.R.name() + " is";
+  std::string Where;
+  if (Node.Kind == NodeKind::TrustedCall)
+    Where = "call to " + Node.TrustedCallee;
+  else if (Node.InstIndex != UINT32_MAX)
+    Where = "'" + G.module().Insts[Node.InstIndex].str() + "'";
+  return What + " never initialized on any path to " + Where;
+}
+
+} // namespace
+
+LintResult analysis::runLint(const cfg::Cfg &G, const policy::Policy &Pol,
+                             const typestate::AbstractStore &EntryStore,
+                             DiagnosticEngine &Diags) {
+  LintResult R(G);
+
+  R.Live = computeLiveness(G, Pol);
+  R.Stats.NodeVisits += R.Live.NodeVisits;
+
+  UninitUseResult Uninit = findUninitUses(G, Pol, EntryStore);
+  R.Stats.NodeVisits += Uninit.NodeVisits;
+  for (const UninitUseFinding &F : Uninit.Findings) {
+    const CfgNode &Node = G.node(F.Node);
+    std::optional<uint32_t> InstIndex, SourceLine;
+    if (Node.InstIndex != UINT32_MAX) {
+      InstIndex = Node.InstIndex;
+      SourceLine = G.module().Insts[Node.InstIndex].SourceLine;
+    }
+    Diags.report(DiagSeverity::Violation,
+                 F.IsTrustedParam ? SafetyKind::TrustedCall
+                                  : SafetyKind::UninitializedUse,
+                 "lint: " + describeUse(G, F), InstIndex, SourceLine);
+  }
+  R.Stats.UninitUses = static_cast<uint32_t>(Uninit.Findings.size());
+  // Only a converged must-analysis justifies skipping the full pipeline.
+  R.Rejected = Uninit.Converged && !Uninit.Findings.empty();
+
+  StackDeltaResult Stack = computeStackDeltas(G, Pol);
+  R.Stats.NodeVisits += Stack.NodeVisits;
+  R.Stats.MaxStackDelta = Stack.MaxDown;
+  R.Stats.StackDeltaBounded = Stack.Bounded;
+
+  // Dead value-producing writes: rd is not live after the instruction.
+  if (R.Live.Converged) {
+    for (NodeId Id : G.reversePostOrder()) {
+      const CfgNode &Node = G.node(Id);
+      if (Node.Kind != NodeKind::Normal || Node.InstIndex == UINT32_MAX)
+        continue;
+      const Instruction &Inst = G.module().Insts[Node.InstIndex];
+      if (!isValueWrite(Inst.Op) || Inst.Rd.isZero())
+        continue;
+      if (!R.Live.liveOut(Id, Node.WindowDepth, Inst.Rd))
+        ++R.Stats.DeadRegWrites;
+    }
+  }
+  return R;
+}

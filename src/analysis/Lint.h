@@ -1,0 +1,66 @@
+//===- Lint.h - Phase-0 pre-verification lint pass --------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint pass runs the cheap bit-vector dataflow analyses before
+/// typestate propagation:
+///
+///  - uninitialized-use detection fast-rejects programs that read a
+///    never-written register on every path (a must-violation the full
+///    pipeline would also reject, reported with the same safety kinds);
+///  - liveness is handed to propagation so it can drop abstract-store
+///    entries for dead registers;
+///  - the stack-delta tracker and dead-write counts feed the report's
+///    program characteristics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_LINT_H
+#define MCSAFE_ANALYSIS_LINT_H
+
+#include "analysis/Liveness.h"
+#include "analysis/UninitUse.h"
+#include "support/Diagnostics.h"
+
+namespace mcsafe {
+namespace analysis {
+
+struct LintStats {
+  /// Checked uses of definitely-uninitialized registers (each one also
+  /// produced a violation diagnostic).
+  uint32_t UninitUses = 0;
+  /// Register writes whose value no path can read again.
+  uint32_t DeadRegWrites = 0;
+  /// Deepest constant downward %sp excursion, in bytes.
+  int64_t MaxStackDelta = 0;
+  /// Every reachable %sp delta is a compile-time constant.
+  bool StackDeltaBounded = true;
+  /// Dataflow node visits summed over all lint analyses.
+  uint64_t NodeVisits = 0;
+};
+
+struct LintResult {
+  /// The program provably violates a safety condition; typestate
+  /// propagation can be skipped.
+  bool Rejected = false;
+  LintStats Stats;
+  /// Liveness, kept for dead-register pruning during propagation.
+  LivenessResult Live;
+
+  explicit LintResult(const cfg::Cfg &G) : Live(G) {}
+};
+
+/// Runs all lint analyses over \p G, emitting a Violation diagnostic
+/// per definite uninitialized use.
+LintResult runLint(const cfg::Cfg &G, const policy::Policy &Pol,
+                   const typestate::AbstractStore &EntryStore,
+                   DiagnosticEngine &Diags);
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_LINT_H

@@ -1,0 +1,113 @@
+//===- Liveness.cpp -------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/Dataflow.h"
+#include "sparc/Instruction.h"
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+using namespace mcsafe::sparc;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+
+namespace {
+
+struct LivenessProblem : DataflowProblem {
+  using Value = BitSet;
+  static constexpr Direction Dir = Direction::Backward;
+
+  const cfg::Cfg &G;
+  const RegKeyMap &Keys;
+  const std::vector<NodeUseDef> &UseDefs;
+  BitSet ExitLive;
+
+  LivenessProblem(const cfg::Cfg &G, const RegKeyMap &Keys,
+                  const std::vector<NodeUseDef> &UseDefs, BitSet ExitLive)
+      : G(G), Keys(Keys), UseDefs(UseDefs), ExitLive(std::move(ExitLive)) {}
+
+  Value top() const { return BitSet(Keys.size()); }
+  Value boundary() const { return ExitLive; }
+  void meet(Value &Into, const Value &From) const { Into |= From; }
+
+  bool liveBit(const Value &V, int32_t Depth, Reg R) const {
+    uint32_t K = Keys.key(Depth, R);
+    return K != RegKeyMap::NoKey && V.test(K);
+  }
+  void setBit(Value &V, int32_t Depth, Reg R) const {
+    uint32_t K = Keys.key(Depth, R);
+    if (K != RegKeyMap::NoKey)
+      V.set(K);
+  }
+
+  void transfer(NodeId Id, Value &V) const {
+    const CfgNode &Node = G.node(Id);
+    const NodeUseDef &UD = UseDefs[Id];
+
+    // save/restore are exact renamings, so their liveness transfer is
+    // copy-aware: a window register is demanded from before the move
+    // only when its renamed counterpart is live after it. The generic
+    // use list (which conservatively keeps the whole source window
+    // alive) is not used here.
+    const Instruction *Inst =
+        Node.Kind == NodeKind::Normal && Node.InstIndex != UINT32_MAX
+            ? &G.module().Insts[Node.InstIndex]
+            : nullptr;
+    if (Inst &&
+        (Inst->Op == Opcode::SAVE || Inst->Op == Opcode::RESTORE)) {
+      int32_t D = Node.WindowDepth;
+      bool IsSave = Inst->Op == Opcode::SAVE;
+      // Copy targets: new %i_k (save) / caller %o_k (restore); a target
+      // the destination register overwrites carries no copy.
+      bool CopyLive[8];
+      for (uint8_t K = 0; K < 8; ++K) {
+        Reg Target = IsSave ? Reg(24 + K) : Reg(8 + K);
+        CopyLive[K] = !(Target == Inst->Rd) &&
+                      liveBit(V, IsSave ? D + 1 : D - 1, Target);
+      }
+      for (uint32_t Key : UD.Defs)
+        V.reset(Key);
+      for (uint8_t K = 0; K < 8; ++K)
+        if (CopyLive[K])
+          setBit(V, D, IsSave ? Reg(8 + K) : Reg(24 + K));
+      // The operands feed rd in the shifted window.
+      setBit(V, D, Inst->Rs1);
+      if (!Inst->UsesImm)
+        setBit(V, D, Inst->Rs2);
+      return;
+    }
+
+    for (uint32_t K : UD.Defs)
+      V.reset(K);
+    for (uint32_t K : UD.Uses)
+      V.set(K);
+  }
+};
+
+} // namespace
+
+LivenessResult analysis::computeLiveness(const cfg::Cfg &G,
+                                         const policy::Policy &Pol) {
+  LivenessResult R(G);
+  std::vector<NodeUseDef> UseDefs = computeUseDefs(G, Pol, R.Keys);
+
+  // Registers the safety postcondition constrains stay live to the exit
+  // (their exit values are what phase 5 proves facts about).
+  BitSet ExitLive(R.Keys.size());
+  for (const FormulaRef &F : Pol.PostConstraints)
+    for (VarId V : F->freeVars())
+      if (auto RV = parseRegVar(varName(V))) {
+        uint32_t K = R.Keys.key(RV->first, RV->second);
+        if (K != RegKeyMap::NoKey)
+          ExitLive.set(K);
+      }
+
+  LivenessProblem P(G, R.Keys, UseDefs, std::move(ExitLive));
+  DataflowResult<BitSet> D = solveDataflow(G, P);
+  R.LiveIn = std::move(D.In);
+  R.LiveOut = std::move(D.Out);
+  R.NodeVisits = D.NodeVisits;
+  R.Converged = D.Converged;
+  return R;
+}

@@ -1,0 +1,57 @@
+//===- Liveness.h - Live-register analysis ----------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward may-analysis computing, for every CFG node, the set of
+/// (window depth, register) keys whose value may still be read on some
+/// path from that node. The boundary at the exit node is the set of
+/// registers the policy's safety postcondition constrains.
+///
+/// The result is what lets typestate propagation skip dead registers:
+/// an abstract-store entry for a register that is not live-in at a node
+/// can be dropped without changing any downstream check, because every
+/// fact the later phases consume about a register value corresponds to
+/// a (possibly indirect) use of that register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_LIVENESS_H
+#define MCSAFE_ANALYSIS_LIVENESS_H
+
+#include "analysis/RegUseDef.h"
+
+namespace mcsafe {
+namespace analysis {
+
+struct LivenessResult {
+  RegKeyMap Keys;
+  std::vector<BitSet> LiveIn;  ///< Per node: live before the node.
+  std::vector<BitSet> LiveOut; ///< Per node: live after the node.
+  uint64_t NodeVisits = 0;
+  bool Converged = true;
+
+  explicit LivenessResult(const cfg::Cfg &G) : Keys(G) {}
+
+  bool liveIn(cfg::NodeId Id, int32_t Depth, sparc::Reg R) const {
+    uint32_t K = Keys.key(Depth, R);
+    return K != RegKeyMap::NoKey && LiveIn[Id].test(K);
+  }
+  bool liveOut(cfg::NodeId Id, int32_t Depth, sparc::Reg R) const {
+    uint32_t K = Keys.key(Depth, R);
+    return K != RegKeyMap::NoKey && LiveOut[Id].test(K);
+  }
+};
+
+/// Runs the analysis. \p Pol supplies trusted-call parameter uses and
+/// the postcondition registers live at exit.
+LivenessResult computeLiveness(const cfg::Cfg &G,
+                               const policy::Policy &Pol);
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_LIVENESS_H

@@ -1,0 +1,80 @@
+//===- ReachingDefs.cpp ---------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include "analysis/Dataflow.h"
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+
+namespace {
+
+struct ReachingProblem : DataflowProblem {
+  using Value = BitSet;
+  static constexpr Direction Dir = Direction::Forward;
+
+  uint32_t NumSites;
+  const std::vector<std::vector<uint32_t>> &GenByNode;
+  const std::vector<BitSet> &KillByNode;
+  BitSet EntryDefs;
+
+  ReachingProblem(uint32_t NumSites,
+                  const std::vector<std::vector<uint32_t>> &GenByNode,
+                  const std::vector<BitSet> &KillByNode, BitSet EntryDefs)
+      : NumSites(NumSites), GenByNode(GenByNode), KillByNode(KillByNode),
+        EntryDefs(std::move(EntryDefs)) {}
+
+  Value top() const { return BitSet(NumSites); }
+  Value boundary() const { return EntryDefs; }
+  void meet(Value &Into, const Value &From) const { Into |= From; }
+
+  void transfer(cfg::NodeId Id, Value &V) const {
+    V.subtract(KillByNode[Id]);
+    for (uint32_t Site : GenByNode[Id])
+      V.set(Site);
+  }
+};
+
+} // namespace
+
+ReachingDefsResult analysis::computeReachingDefs(const cfg::Cfg &G,
+                                                 const policy::Policy &Pol) {
+  ReachingDefsResult R(G);
+  std::vector<NodeUseDef> UseDefs = computeUseDefs(G, Pol, R.Keys);
+
+  // Number the definition sites: one synthetic entry site per key, plus
+  // one per (node, defined key).
+  R.SitesOfKey.assign(R.Keys.size(), {});
+  for (uint32_t K = 0; K < R.Keys.size(); ++K) {
+    R.SitesOfKey[K].push_back(static_cast<uint32_t>(R.Sites.size()));
+    R.Sites.push_back(DefSite{cfg::InvalidNode, K});
+  }
+  std::vector<std::vector<uint32_t>> GenByNode(G.size());
+  for (cfg::NodeId Id = 0; Id < G.size(); ++Id)
+    for (uint32_t K : UseDefs[Id].Defs) {
+      uint32_t Site = static_cast<uint32_t>(R.Sites.size());
+      R.Sites.push_back(DefSite{Id, K});
+      R.SitesOfKey[K].push_back(Site);
+      GenByNode[Id].push_back(Site);
+    }
+
+  uint32_t NumSites = static_cast<uint32_t>(R.Sites.size());
+  std::vector<BitSet> KillByNode(G.size(), BitSet(NumSites));
+  for (cfg::NodeId Id = 0; Id < G.size(); ++Id)
+    for (uint32_t K : UseDefs[Id].Defs)
+      for (uint32_t Site : R.SitesOfKey[K])
+        KillByNode[Id].set(Site);
+
+  BitSet EntryDefs(NumSites);
+  for (uint32_t K = 0; K < R.Keys.size(); ++K)
+    EntryDefs.set(R.SitesOfKey[K].front());
+
+  ReachingProblem P(NumSites, GenByNode, KillByNode,
+                    std::move(EntryDefs));
+  DataflowResult<BitSet> D = solveDataflow(G, P);
+  R.In = std::move(D.In);
+  R.Out = std::move(D.Out);
+  R.NodeVisits = D.NodeVisits;
+  R.Converged = D.Converged;
+  return R;
+}

@@ -1,0 +1,67 @@
+//===- ReachingDefs.h - Reaching register definitions -----------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward may-analysis computing which register definitions (node,
+/// key) can reach each program point. Definition sites are numbered
+/// densely; the lattice is a bit set over sites. The entry node gets a
+/// synthetic "entry" definition for every register so that a use
+/// reached only by the entry definition can be distinguished from one
+/// reached by a real write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_REACHINGDEFS_H
+#define MCSAFE_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/RegUseDef.h"
+
+namespace mcsafe {
+namespace analysis {
+
+/// One definition site. Node == InvalidNode marks the synthetic
+/// entry definition of the key.
+struct DefSite {
+  cfg::NodeId Node = cfg::InvalidNode;
+  uint32_t Key = 0;
+
+  bool isEntry() const { return Node == cfg::InvalidNode; }
+};
+
+struct ReachingDefsResult {
+  RegKeyMap Keys;
+  std::vector<DefSite> Sites;          ///< Dense def-site table.
+  std::vector<std::vector<uint32_t>> SitesOfKey; ///< Key -> site ids.
+  std::vector<BitSet> In;              ///< Per node: sites reaching entry.
+  std::vector<BitSet> Out;             ///< Per node: sites reaching exit.
+  uint64_t NodeVisits = 0;
+  bool Converged = true;
+
+  explicit ReachingDefsResult(const cfg::Cfg &G) : Keys(G) {}
+
+  /// The definition sites of (depth, reg) that reach the entry of
+  /// \p Id.
+  std::vector<DefSite> defsReaching(cfg::NodeId Id, int32_t Depth,
+                                    sparc::Reg R) const {
+    std::vector<DefSite> Result;
+    uint32_t K = Keys.key(Depth, R);
+    if (K == RegKeyMap::NoKey)
+      return Result;
+    for (uint32_t Site : SitesOfKey[K])
+      if (In[Id].test(Site))
+        Result.push_back(Sites[Site]);
+    return Result;
+  }
+};
+
+ReachingDefsResult computeReachingDefs(const cfg::Cfg &G,
+                                       const policy::Policy &Pol);
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_REACHINGDEFS_H

@@ -1,0 +1,217 @@
+//===- RegUseDef.cpp ------------------------------------------------------===//
+
+#include "analysis/RegUseDef.h"
+
+#include "sparc/Instruction.h"
+
+#include <algorithm>
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+using namespace mcsafe::sparc;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+
+std::optional<std::pair<int32_t, sparc::Reg>>
+analysis::parseRegVar(std::string_view Name) {
+  if (Name.size() < 4 || Name[0] != 'w')
+    return std::nullopt;
+  size_t Dot = Name.find('.');
+  if (Dot == std::string_view::npos || Dot + 1 >= Name.size())
+    return std::nullopt;
+  int32_t Depth = 0;
+  bool Negative = false;
+  size_t I = 1;
+  if (Name[I] == '-') {
+    Negative = true;
+    ++I;
+  }
+  if (I == Dot)
+    return std::nullopt;
+  for (; I < Dot; ++I) {
+    if (Name[I] < '0' || Name[I] > '9')
+      return std::nullopt;
+    Depth = Depth * 10 + (Name[I] - '0');
+  }
+  std::optional<Reg> R = parseReg(Name.substr(Dot + 1));
+  if (!R)
+    return std::nullopt;
+  return std::make_pair(Negative ? -Depth : Depth, *R);
+}
+
+namespace {
+
+class Collector {
+public:
+  Collector(const RegKeyMap &Keys, NodeUseDef &UD)
+      : Keys(Keys), UD(UD) {}
+
+  void use(int32_t Depth, Reg R, bool Checked) {
+    uint32_t K = Keys.key(Depth, R);
+    if (K == RegKeyMap::NoKey)
+      return;
+    UD.Uses.push_back(K);
+    if (Checked)
+      UD.CheckedUses.push_back(K);
+  }
+  void useKey(uint32_t K, bool Checked) {
+    UD.Uses.push_back(K);
+    if (Checked)
+      UD.CheckedUses.push_back(K);
+  }
+  void def(int32_t Depth, Reg R) {
+    uint32_t K = Keys.key(Depth, R);
+    if (K != RegKeyMap::NoKey)
+      UD.Defs.push_back(K);
+  }
+  void defKey(uint32_t K) { UD.Defs.push_back(K); }
+
+  void finish() {
+    auto Dedup = [](std::vector<uint32_t> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end()), V.end());
+    };
+    Dedup(UD.Uses);
+    Dedup(UD.CheckedUses);
+    Dedup(UD.Defs);
+  }
+
+private:
+  const RegKeyMap &Keys;
+  NodeUseDef &UD;
+};
+
+void collectTrustedCall(const CfgNode &Node, const policy::Policy &Pol,
+                        const RegKeyMap &Keys, Collector &C) {
+  int32_t Depth = Node.WindowDepth;
+  if (const policy::TrustedSummary *Summary =
+          Pol.findTrusted(Node.TrustedCallee)) {
+    for (const policy::TrustedParam &Param : Summary->Params)
+      C.use(Depth, Param.Reg, /*Checked=*/true);
+    // The precondition is written over depth-0 out registers and
+    // instantiated at the caller's depth.
+    for (VarId V : Summary->Pre->freeVars()) {
+      if (auto RV = parseRegVar(varName(V)))
+        C.use(RV->second.isOut() ? Depth : RV->first, RV->second,
+              /*Checked=*/false);
+    }
+  }
+  // SPARC convention: the out registers and %g1 are caller-saved (same
+  // clobber set as the typestate transfer); the summary's return value
+  // lands in %o0 and the condition codes are scrambled.
+  static const uint8_t Clobbered[] = {8, 9, 10, 11, 12, 13, 15, 1};
+  for (uint8_t R : Clobbered)
+    C.def(Depth, Reg(R));
+  C.defKey(Keys.iccKey());
+}
+
+void collectInstruction(const Instruction &Inst, int32_t Depth,
+                        const RegKeyMap &Keys, Collector &C) {
+  auto UseOperands = [&](bool Checked) {
+    C.use(Depth, Inst.Rs1, Checked);
+    if (!Inst.UsesImm)
+      C.use(Depth, Inst.Rs2, Checked);
+  };
+
+  switch (Inst.Op) {
+  case Opcode::ADD:
+  case Opcode::ADDCC:
+  case Opcode::SUB:
+  case Opcode::SUBCC:
+  case Opcode::AND:
+  case Opcode::ANDCC:
+  case Opcode::ANDN:
+  case Opcode::OR:
+  case Opcode::ORCC:
+  case Opcode::ORN:
+  case Opcode::XOR:
+  case Opcode::XORCC:
+  case Opcode::XNOR:
+  case Opcode::SLL:
+  case Opcode::SRL:
+  case Opcode::SRA:
+  case Opcode::UMUL:
+  case Opcode::SMUL:
+  case Opcode::UDIV:
+  case Opcode::SDIV:
+    UseOperands(/*Checked=*/true);
+    C.def(Depth, Inst.Rd);
+    break;
+  case Opcode::SETHI:
+    C.def(Depth, Inst.Rd);
+    break;
+
+  case Opcode::LD:
+  case Opcode::LDSB:
+  case Opcode::LDSH:
+  case Opcode::LDUB:
+  case Opcode::LDUH:
+    UseOperands(/*Checked=*/true);
+    C.def(Depth, Inst.Rd);
+    break;
+  case Opcode::ST:
+  case Opcode::STB:
+  case Opcode::STH:
+    UseOperands(/*Checked=*/true);
+    C.use(Depth, Inst.Rd, /*Checked=*/true); // The stored value.
+    break;
+
+  case Opcode::SAVE:
+    // The operands feed the new window's rd but are not themselves
+    // checked (the result merely becomes uninitialized when they are);
+    // the outgoing window renames into the new in registers.
+    UseOperands(/*Checked=*/false);
+    for (uint8_t K = 0; K < 8; ++K)
+      C.use(Depth, Reg(8 + K), /*Checked=*/false);
+    for (uint8_t K = 0; K < 24; ++K)
+      C.def(Depth + 1, Reg(8 + K));
+    C.def(Depth + 1, Inst.Rd);
+    break;
+  case Opcode::RESTORE:
+    UseOperands(/*Checked=*/false);
+    for (uint8_t K = 0; K < 8; ++K)
+      C.use(Depth, Reg(24 + K), /*Checked=*/false);
+    for (uint8_t K = 0; K < 24; ++K)
+      C.def(Depth, Reg(8 + K)); // The abandoned window.
+    for (uint8_t K = 0; K < 8; ++K)
+      C.def(Depth - 1, Reg(8 + K));
+    C.def(Depth - 1, Inst.Rd);
+    break;
+
+  case Opcode::CALL:
+    C.def(Depth, O7);
+    break;
+  case Opcode::JMPL:
+    UseOperands(/*Checked=*/false);
+    C.def(Depth, Inst.Rd);
+    break;
+
+  default:
+    if (isConditionalBranch(Inst.Op))
+      C.useKey(Keys.iccKey(), /*Checked=*/true);
+    break;
+  }
+
+  if (setsIcc(Inst.Op))
+    C.defKey(Keys.iccKey());
+}
+
+} // namespace
+
+std::vector<NodeUseDef> analysis::computeUseDefs(const cfg::Cfg &G,
+                                                 const policy::Policy &Pol,
+                                                 const RegKeyMap &Keys) {
+  std::vector<NodeUseDef> Result(G.size());
+  for (NodeId Id = 0; Id < G.size(); ++Id) {
+    const CfgNode &Node = G.node(Id);
+    Collector C(Keys, Result[Id]);
+    if (Node.Kind == NodeKind::TrustedCall)
+      collectTrustedCall(Node, Pol, Keys, C);
+    else if (Node.Kind == NodeKind::Normal && Node.InstIndex != UINT32_MAX)
+      collectInstruction(G.module().Insts[Node.InstIndex],
+                         Node.WindowDepth, Keys, C);
+    C.finish();
+  }
+  return Result;
+}

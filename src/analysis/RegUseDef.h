@@ -1,0 +1,58 @@
+//===- RegUseDef.h - Per-node register uses and definitions -----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The syntactic register use/def sets every register-level dataflow
+/// problem shares. Uses distinguishes two strengths:
+///
+///  - Uses: every key whose value the node's semantics read, including
+///    the window-renaming copies of save/restore and the operands of
+///    control transfers. This is what liveness must treat as a use for
+///    store pruning to be sound.
+///
+///  - CheckedUses: the subset whose initialization the checker's local
+///    verification actually demands (operands of checked arithmetic,
+///    resolved memory operands, stored values, branch condition codes,
+///    trusted-call parameters). Only these may be reported as
+///    uninitialized-use violations by the lint, mirroring phases 3-4.
+///
+/// Trusted-call summary nodes take their parameter registers and
+/// precondition variables from the policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_REGUSEDEF_H
+#define MCSAFE_ANALYSIS_REGUSEDEF_H
+
+#include "analysis/RegisterSet.h"
+#include "policy/Policy.h"
+
+#include <vector>
+
+namespace mcsafe {
+namespace analysis {
+
+struct NodeUseDef {
+  std::vector<uint32_t> Uses;        ///< All keys read.
+  std::vector<uint32_t> CheckedUses; ///< Reads that must be initialized.
+  std::vector<uint32_t> Defs;        ///< Keys unconditionally written.
+};
+
+/// Computes use/def sets for every node of \p G under \p Keys.
+std::vector<NodeUseDef> computeUseDefs(const cfg::Cfg &G,
+                                       const policy::Policy &Pol,
+                                       const RegKeyMap &Keys);
+
+/// Parses a register-value variable name of the regValueVar form
+/// ("w<depth>.%<reg>"); nullopt for any other variable.
+std::optional<std::pair<int32_t, sparc::Reg>>
+parseRegVar(std::string_view Name);
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_REGUSEDEF_H

@@ -1,0 +1,36 @@
+//===- RegisterSet.cpp ----------------------------------------------------===//
+
+#include "analysis/RegisterSet.h"
+
+#include "sparc/Instruction.h"
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+
+RegKeyMap::RegKeyMap(const cfg::Cfg &G) {
+  for (cfg::NodeId Id = 0; Id < G.size(); ++Id) {
+    const cfg::CfgNode &Node = G.node(Id);
+    int32_t Depth = Node.WindowDepth;
+    MinDepth = std::min(MinDepth, Depth);
+    // A save writes the next-deeper window even if (degenerately) it has
+    // no successor node at that depth.
+    if (Node.Kind == cfg::NodeKind::Normal &&
+        Node.InstIndex != UINT32_MAX &&
+        G.module().Insts[Node.InstIndex].Op == sparc::Opcode::SAVE)
+      ++Depth;
+    MaxDepth = std::max(MaxDepth, Depth);
+  }
+  uint32_t Depths = static_cast<uint32_t>(MaxDepth - MinDepth + 1);
+  // 7 shared globals + 24 windowed registers per depth + icc.
+  NumKeys = 7 + Depths * 24 + 1;
+}
+
+std::pair<int32_t, sparc::Reg> RegKeyMap::decode(uint32_t Key) const {
+  if (Key < 7)
+    return {0, sparc::Reg(static_cast<uint8_t>(Key + 1))};
+  if (Key >= iccKey())
+    return {0, sparc::Reg(0)};
+  Key -= 7;
+  return {MinDepth + static_cast<int32_t>(Key / 24),
+          sparc::Reg(static_cast<uint8_t>(8 + Key % 24))};
+}

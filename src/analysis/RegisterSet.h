@@ -1,0 +1,143 @@
+//===- RegisterSet.h - Dense register-key sets for dataflow -----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-level dataflow problems (liveness, reaching definitions,
+/// uninitialized-use detection) operate on (window depth, register)
+/// pairs, because after CFG normalization every node has a static window
+/// depth and save/restore are exact renamings. RegKeyMap assigns each
+/// such pair a dense bit index — globals are shared across depths, %g0
+/// is excluded (it is a constant), and the integer condition codes get
+/// one extra slot — so set-valued lattices become small bit vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_REGISTERSET_H
+#define MCSAFE_ANALYSIS_REGISTERSET_H
+
+#include "cfg/Cfg.h"
+#include "sparc/Registers.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mcsafe {
+namespace analysis {
+
+/// A fixed-universe bit set with the operations dataflow needs.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(uint32_t Size) : Bits(Size), Words((Size + 63) / 64, 0) {}
+
+  uint32_t universe() const { return Bits; }
+
+  bool test(uint32_t I) const {
+    return (Words[I >> 6] >> (I & 63)) & 1;
+  }
+  void set(uint32_t I) { Words[I >> 6] |= uint64_t(1) << (I & 63); }
+  void reset(uint32_t I) { Words[I >> 6] &= ~(uint64_t(1) << (I & 63)); }
+
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    trim();
+  }
+
+  BitSet &operator|=(const BitSet &O) {
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] |= O.Words[I];
+    return *this;
+  }
+  BitSet &operator&=(const BitSet &O) {
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= O.Words[I];
+    return *this;
+  }
+  /// Removes every bit of \p O from this set.
+  BitSet &subtract(const BitSet &O) {
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~O.Words[I];
+    return *this;
+  }
+
+  uint32_t count() const {
+    uint32_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<uint32_t>(__builtin_popcountll(W));
+    return N;
+  }
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  friend bool operator==(const BitSet &A, const BitSet &B) {
+    return A.Words == B.Words;
+  }
+  friend bool operator!=(const BitSet &A, const BitSet &B) {
+    return !(A == B);
+  }
+
+private:
+  void trim() {
+    if (Bits & 63)
+      Words.back() &= (uint64_t(1) << (Bits & 63)) - 1;
+  }
+
+  uint32_t Bits = 0;
+  std::vector<uint64_t> Words;
+};
+
+/// Dense numbering of the (depth, register) pairs a CFG can touch, plus
+/// the condition codes.
+class RegKeyMap {
+public:
+  static constexpr uint32_t NoKey = UINT32_MAX;
+
+  explicit RegKeyMap(const cfg::Cfg &G);
+
+  /// Bit universe size (all keys + icc).
+  uint32_t size() const { return NumKeys; }
+
+  /// The bit index of (depth, reg); NoKey for %g0. Globals are shared
+  /// across depths. Depths outside the CFG's static range (which cannot
+  /// occur on any executed path) clamp into it.
+  uint32_t key(int32_t Depth, sparc::Reg R) const {
+    if (R.isZero())
+      return NoKey;
+    if (R.isGlobal())
+      return R.number() - 1; // 7 global slots, %g1-%g7.
+    if (Depth < MinDepth)
+      Depth = MinDepth;
+    if (Depth > MaxDepth)
+      Depth = MaxDepth;
+    return 7 + static_cast<uint32_t>(Depth - MinDepth) * 24 +
+           (R.number() - 8);
+  }
+
+  uint32_t iccKey() const { return NumKeys - 1; }
+
+  int32_t minDepth() const { return MinDepth; }
+  int32_t maxDepth() const { return MaxDepth; }
+
+  /// Decodes a bit index back to (depth, reg) for diagnostics; icc and
+  /// out-of-range indices decode to (0, %g0).
+  std::pair<int32_t, sparc::Reg> decode(uint32_t Key) const;
+
+private:
+  int32_t MinDepth = 0;
+  int32_t MaxDepth = 0;
+  uint32_t NumKeys = 0;
+};
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_REGISTERSET_H

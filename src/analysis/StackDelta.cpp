@@ -1,0 +1,148 @@
+//===- StackDelta.cpp -----------------------------------------------------===//
+
+#include "analysis/StackDelta.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/RegisterSet.h"
+#include "sparc/Instruction.h"
+
+#include <algorithm>
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+using namespace mcsafe::sparc;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+
+namespace {
+
+using Slots = std::vector<SpDelta>;
+
+void meetSlot(SpDelta &Into, const SpDelta &From) {
+  if (From.K == SpDelta::Top)
+    return;
+  if (Into.K == SpDelta::Top) {
+    Into = From;
+    return;
+  }
+  if (Into.K == SpDelta::Bottom || From.K == SpDelta::Bottom ||
+      Into.Delta != From.Delta)
+    Into = SpDelta::bottom();
+}
+
+struct StackDeltaProblem : DataflowProblem {
+  using Value = Slots;
+  static constexpr Direction Dir = Direction::Forward;
+
+  const cfg::Cfg &G;
+  int32_t MinDepth;
+  uint32_t NumDepths;
+
+  StackDeltaProblem(const cfg::Cfg &G, int32_t MinDepth, uint32_t NumDepths)
+      : G(G), MinDepth(MinDepth), NumDepths(NumDepths) {}
+
+  Value top() const { return Slots(NumDepths); }
+  Value boundary() const {
+    Slots V(NumDepths);
+    if (!V.empty()) // The range always covers depth 0 (the entry node).
+      V[slot(0)] = SpDelta::constant(0); // Entry %sp is the reference.
+    return V;
+  }
+  void meet(Value &Into, const Value &From) const {
+    for (uint32_t I = 0; I < NumDepths; ++I)
+      meetSlot(Into[I], From[I]);
+  }
+
+  size_t slot(int32_t Depth) const {
+    int32_t I = Depth - MinDepth;
+    if (I < 0)
+      I = 0;
+    if (I >= static_cast<int32_t>(NumDepths))
+      I = static_cast<int32_t>(NumDepths) - 1;
+    return static_cast<size_t>(I);
+  }
+
+  void transfer(NodeId Id, Value &V) const {
+    const CfgNode &Node = G.node(Id);
+    if (Node.Kind != NodeKind::Normal || Node.InstIndex == UINT32_MAX)
+      return; // Trusted calls preserve %sp (only caller-saves scramble).
+    const Instruction &Inst = G.module().Insts[Node.InstIndex];
+    int32_t D = Node.WindowDepth;
+
+    switch (Inst.Op) {
+    case Opcode::SAVE: {
+      // rd (normally the new %sp) = caller rs1 + operand2, in the new
+      // window.
+      SpDelta New = SpDelta::bottom();
+      if (Inst.Rs1 == SP && Inst.UsesImm) {
+        SpDelta Cur = V[slot(D)];
+        if (Cur.isConst())
+          New = SpDelta::constant(Cur.Delta + Inst.Imm);
+      }
+      V[slot(D + 1)] = Inst.Rd == SP ? New : SpDelta::bottom();
+      return;
+    }
+    case Opcode::RESTORE:
+      // The window vanishes; the caller's %sp is untouched unless it is
+      // the restore destination.
+      V[slot(D)] = SpDelta::top();
+      if (Inst.Rd == SP)
+        V[slot(D - 1)] = SpDelta::bottom();
+      return;
+    case Opcode::ADD:
+    case Opcode::SUB:
+      if (Inst.Rd == SP) {
+        SpDelta New = SpDelta::bottom();
+        if (Inst.Rs1 == SP && Inst.UsesImm) {
+          SpDelta Cur = V[slot(D)];
+          if (Cur.isConst())
+            New = SpDelta::constant(Cur.Delta + (Inst.Op == Opcode::ADD
+                                                     ? Inst.Imm
+                                                     : -Inst.Imm));
+        }
+        V[slot(D)] = New;
+      }
+      return;
+    default:
+      // Every other write to %sp makes the delta unknown. (Stores,
+      // branches, and %g0-destination instructions never hit this.)
+      if (!isStore(Inst.Op) && !isBranch(Inst.Op) && Inst.Rd == SP)
+        V[slot(D)] = SpDelta::bottom();
+      return;
+    }
+  }
+};
+
+} // namespace
+
+StackDeltaResult analysis::computeStackDeltas(const cfg::Cfg &G,
+                                              const policy::Policy &) {
+  RegKeyMap Keys(G); // Reuse its static window-depth range computation.
+  uint32_t NumDepths =
+      static_cast<uint32_t>(Keys.maxDepth() - Keys.minDepth() + 1);
+
+  StackDeltaProblem P(G, Keys.minDepth(), NumDepths);
+  DataflowResult<Slots> D = solveDataflow(G, P);
+
+  StackDeltaResult R;
+  R.MinDepth = Keys.minDepth();
+  R.In = std::move(D.In);
+  R.Visited = std::move(D.Visited);
+  R.NodeVisits = D.NodeVisits;
+  R.Converged = D.Converged;
+
+  // Summarize the executing window's delta at every reachable node.
+  for (NodeId Id : G.reversePostOrder()) {
+    if (!R.Visited[Id])
+      continue;
+    const SpDelta &Cur = R.In[Id][P.slot(G.node(Id).WindowDepth)];
+    if (Cur.isConst())
+      R.MaxDown = std::max(R.MaxDown, -Cur.Delta);
+    else if (Cur.K == SpDelta::Bottom)
+      R.Bounded = false;
+  }
+  if (!R.Converged)
+    R.Bounded = false;
+  return R;
+}

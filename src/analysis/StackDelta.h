@@ -1,0 +1,85 @@
+//===- StackDelta.h - Constant stack-pointer-delta tracking -----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward analysis tracking, per window depth, the offset of that
+/// window's %sp from the %sp the program was entered with, as an
+/// element of the flat constant lattice (Top / Const c / Bottom).
+/// save and restore move between depths; add/sub with an immediate
+/// adjust the current depth; any other write to %sp drops to Bottom.
+///
+/// The results are informational — they feed the report's stack
+/// characteristics (deepest downward excursion, whether every frame
+/// size is a compile-time constant) — and never cause a lint reject:
+/// a non-constant %sp is not by itself a safety violation (the
+/// typestate phases handle access checks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_STACKDELTA_H
+#define MCSAFE_ANALYSIS_STACKDELTA_H
+
+#include "cfg/Cfg.h"
+#include "policy/Policy.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mcsafe {
+namespace analysis {
+
+/// One flat-lattice element: the delta of a window's %sp from the entry
+/// %sp, in bytes (negative = grown downward).
+struct SpDelta {
+  enum Kind : uint8_t { Top, Const, Bottom };
+  Kind K = Top;
+  int64_t Delta = 0;
+
+  static SpDelta top() { return {}; }
+  static SpDelta constant(int64_t D) { return {Const, D}; }
+  static SpDelta bottom() { return {Bottom, 0}; }
+
+  bool isConst() const { return K == Const; }
+
+  friend bool operator==(const SpDelta &A, const SpDelta &B) {
+    return A.K == B.K && (A.K != Const || A.Delta == B.Delta);
+  }
+};
+
+struct StackDeltaResult {
+  int32_t MinDepth = 0;
+  /// Per node, per depth slot (index = depth - MinDepth): the delta at
+  /// node entry.
+  std::vector<std::vector<SpDelta>> In;
+  std::vector<bool> Visited;
+
+  /// Deepest downward %sp excursion observed at any reachable point, in
+  /// bytes (>= 0); only counts points where the delta is constant.
+  int64_t MaxDown = 0;
+  /// True when the %sp of the executing window has a constant delta at
+  /// every reachable node — i.e. every frame size is statically known.
+  bool Bounded = true;
+
+  uint64_t NodeVisits = 0;
+  bool Converged = true;
+
+  /// The delta of \p Depth's %sp at entry to \p Id.
+  SpDelta deltaIn(cfg::NodeId Id, int32_t Depth) const {
+    size_t Slot = static_cast<size_t>(Depth - MinDepth);
+    if (Id >= In.size() || Slot >= In[Id].size())
+      return SpDelta::bottom();
+    return In[Id][Slot];
+  }
+};
+
+StackDeltaResult computeStackDeltas(const cfg::Cfg &G,
+                                    const policy::Policy &Pol);
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_STACKDELTA_H

@@ -1,0 +1,219 @@
+//===- UninitUse.cpp ------------------------------------------------------===//
+
+#include "analysis/UninitUse.h"
+
+#include "analysis/Dataflow.h"
+#include "sparc/Instruction.h"
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+using namespace mcsafe::sparc;
+using mcsafe::cfg::CfgNode;
+using mcsafe::cfg::NodeId;
+using mcsafe::cfg::NodeKind;
+
+namespace {
+
+/// The "definitely uninitialized on every path" problem. The transfer
+/// under-approximates: a key is marked uninitialized only when the
+/// typestate transfer is guaranteed to produce a non-initialized state
+/// for it, so a finding can never contradict the full pipeline.
+struct UninitProblem : DataflowProblem {
+  using Value = BitSet;
+  static constexpr Direction Dir = Direction::Forward;
+
+  const cfg::Cfg &G;
+  const policy::Policy &Pol;
+  const RegKeyMap &Keys;
+  BitSet EntryUninit;
+
+  UninitProblem(const cfg::Cfg &G, const policy::Policy &Pol,
+                const RegKeyMap &Keys, BitSet EntryUninit)
+      : G(G), Pol(Pol), Keys(Keys), EntryUninit(std::move(EntryUninit)) {}
+
+  Value top() const {
+    BitSet Full(Keys.size());
+    Full.setAll(); // Identity of intersection: unreached points.
+    return Full;
+  }
+  Value boundary() const { return EntryUninit; }
+  void meet(Value &Into, const Value &From) const { Into &= From; }
+
+  bool bit(const Value &V, int32_t Depth, Reg R) const {
+    uint32_t K = Keys.key(Depth, R);
+    return K != RegKeyMap::NoKey && V.test(K);
+  }
+  void assign(Value &V, int32_t Depth, Reg R, bool Uninit) const {
+    uint32_t K = Keys.key(Depth, R);
+    if (K == RegKeyMap::NoKey)
+      return;
+    if (Uninit)
+      V.set(K);
+    else
+      V.reset(K);
+  }
+
+  void transfer(NodeId Id, Value &V) const {
+    const CfgNode &Node = G.node(Id);
+    int32_t D = Node.WindowDepth;
+
+    if (Node.Kind == NodeKind::TrustedCall) {
+      // Caller-saved registers come back scrambled; the return value
+      // (when the summary declares one) is initialized in %o0.
+      static const uint8_t Clobbered[] = {8, 9, 10, 11, 12, 13, 15, 1};
+      for (uint8_t R : Clobbered)
+        assign(V, D, Reg(R), true);
+      V.set(Keys.iccKey());
+      const policy::TrustedSummary *Summary =
+          Pol.findTrusted(Node.TrustedCallee);
+      if (Summary && Summary->ReturnType)
+        assign(V, D, O0, false);
+      return;
+    }
+    if (Node.Kind != NodeKind::Normal || Node.InstIndex == UINT32_MAX)
+      return;
+
+    const Instruction &Inst = G.module().Insts[Node.InstIndex];
+    // Is any read operand definitely uninitialized? (Immediates and %g0
+    // are constants.)
+    bool OperandUninit =
+        bit(V, D, Inst.Rs1) || (!Inst.UsesImm && bit(V, D, Inst.Rs2));
+
+    switch (Inst.Op) {
+    case Opcode::ADD:
+    case Opcode::ADDCC:
+    case Opcode::SUB:
+    case Opcode::SUBCC:
+    case Opcode::AND:
+    case Opcode::ANDCC:
+    case Opcode::ANDN:
+    case Opcode::OR:
+    case Opcode::ORCC:
+    case Opcode::ORN:
+    case Opcode::XOR:
+    case Opcode::XORCC:
+    case Opcode::XNOR:
+    case Opcode::SLL:
+    case Opcode::SRL:
+    case Opcode::SRA:
+    case Opcode::UMUL:
+    case Opcode::SMUL:
+    case Opcode::UDIV:
+    case Opcode::SDIV:
+      // The typestate transfer yields an uninitialized result exactly
+      // when an operand is uninitialized.
+      assign(V, D, Inst.Rd, OperandUninit);
+      break;
+    case Opcode::SETHI:
+      assign(V, D, Inst.Rd, false);
+      break;
+
+    case Opcode::LD:
+    case Opcode::LDSB:
+    case Opcode::LDSH:
+    case Opcode::LDUB:
+    case Opcode::LDUH:
+      // The loaded value may or may not be initialized; assume it is.
+      assign(V, D, Inst.Rd, false);
+      break;
+    case Opcode::STB:
+    case Opcode::STH:
+    case Opcode::ST:
+      break; // No register definition.
+
+    case Opcode::SAVE: {
+      // New window: %i inherits the caller's %o; %l and %o are fresh
+      // and definitely uninitialized.
+      bool OutBits[8];
+      for (uint8_t K = 0; K < 8; ++K)
+        OutBits[K] = bit(V, D, Reg(8 + K));
+      for (uint8_t K = 0; K < 8; ++K) {
+        assign(V, D + 1, Reg(24 + K), OutBits[K]);
+        assign(V, D + 1, Reg(16 + K), true);
+        assign(V, D + 1, Reg(8 + K), true);
+      }
+      // The destination (normally the new %sp) gets the computed sum.
+      assign(V, D + 1, Inst.Rd, OperandUninit);
+      break;
+    }
+    case Opcode::RESTORE: {
+      bool InBits[8];
+      for (uint8_t K = 0; K < 8; ++K)
+        InBits[K] = bit(V, D, Reg(24 + K));
+      // The abandoned window's contents are gone.
+      for (uint8_t K = 8; K < 32; ++K)
+        assign(V, D, Reg(K), true);
+      for (uint8_t K = 0; K < 8; ++K)
+        assign(V, D - 1, Reg(8 + K), InBits[K]);
+      if (!Inst.Rd.isZero())
+        assign(V, D - 1, Inst.Rd, OperandUninit);
+      break;
+    }
+
+    case Opcode::CALL:
+      assign(V, D, O7, false);
+      break;
+    case Opcode::JMPL:
+      assign(V, D, Inst.Rd, false);
+      break;
+    default:
+      break;
+    }
+
+    if (setsIcc(Inst.Op))
+      V.reset(Keys.iccKey()); // icc becomes a (possibly garbage) value.
+  }
+};
+
+} // namespace
+
+UninitUseResult
+analysis::findUninitUses(const cfg::Cfg &G, const policy::Policy &Pol,
+                         const typestate::AbstractStore &EntryStore) {
+  UninitUseResult Result;
+  RegKeyMap Keys(G);
+  std::vector<NodeUseDef> UseDefs = computeUseDefs(G, Pol, Keys);
+
+  // At entry, everything the invocation specification does not
+  // initialize is definitely uninitialized (deeper windows do not exist
+  // yet; save marks them when they are created).
+  BitSet EntryUninit(Keys.size());
+  EntryUninit.setAll();
+  for (uint8_t R = 1; R < 32; ++R)
+    if (EntryStore.reg(0, Reg(R)).S.isInitialized()) {
+      uint32_t K = Keys.key(0, Reg(R));
+      if (K != RegKeyMap::NoKey)
+        EntryUninit.reset(K);
+    }
+  if (EntryStore.icc().S.isInitialized())
+    EntryUninit.reset(Keys.iccKey());
+
+  UninitProblem P(G, Pol, Keys, std::move(EntryUninit));
+  DataflowResult<BitSet> D = solveDataflow(G, P);
+  Result.NodeVisits = D.NodeVisits;
+  Result.Converged = D.Converged;
+  if (!D.Converged)
+    return Result; // Without a fixpoint the sets are not trustworthy.
+
+  // Scan the checked uses of reachable nodes.
+  for (NodeId Id : G.reversePostOrder()) {
+    if (!D.Visited[Id])
+      continue;
+    const CfgNode &Node = G.node(Id);
+    for (uint32_t K : UseDefs[Id].CheckedUses) {
+      if (!D.In[Id].test(K))
+        continue;
+      UninitUseFinding F;
+      F.Node = Id;
+      F.IsIcc = K == Keys.iccKey();
+      F.IsTrustedParam = Node.Kind == NodeKind::TrustedCall;
+      if (!F.IsIcc) {
+        auto [Depth, R] = Keys.decode(K);
+        F.Depth = Depth;
+        F.R = R;
+      }
+      Result.Findings.push_back(F);
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- UninitUse.h - Definite uninitialized-register-use check --*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward must-analysis over the "definitely uninitialized" register
+/// sets: a key is in the set at a program point when *every* path to
+/// that point leaves it unwritten (including values that are merely
+/// copies or arithmetic combinations of uninitialized inputs, matching
+/// the typestate transfer). A checked use of such a key is a safety
+/// violation on every execution, so the lint can reject the program
+/// without running typestate propagation — the full pipeline, whose
+/// may-uninitialized reasoning subsumes this must-reasoning, would
+/// reject it too.
+///
+/// The merge is set intersection (uninit on all paths), save introduces
+/// a definitely-uninitialized fresh window, and restore both abandons
+/// the callee window and renames %i back to the caller's %o.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_UNINITUSE_H
+#define MCSAFE_ANALYSIS_UNINITUSE_H
+
+#include "analysis/RegUseDef.h"
+#include "typestate/AbstractStore.h"
+
+namespace mcsafe {
+namespace analysis {
+
+/// One definite use of a never-initialized register.
+struct UninitUseFinding {
+  cfg::NodeId Node = cfg::InvalidNode;
+  int32_t Depth = 0;
+  sparc::Reg R;      ///< %g0 when the use is of the condition codes.
+  bool IsIcc = false;
+  bool IsTrustedParam = false; ///< Use is a trusted-call parameter.
+};
+
+struct UninitUseResult {
+  std::vector<UninitUseFinding> Findings;
+  uint64_t NodeVisits = 0;
+  bool Converged = true;
+};
+
+/// Runs the analysis. \p EntryStore tells which registers the
+/// invocation specification initializes at the program entry.
+UninitUseResult findUninitUses(const cfg::Cfg &G,
+                               const policy::Policy &Pol,
+                               const typestate::AbstractStore &EntryStore);
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_UNINITUSE_H

@@ -834,7 +834,11 @@ AbstractStore checker::refineEdge(const CheckContext &Ctx,
   return Refined;
 }
 
-PropagationResult checker::propagate(const CheckContext &Ctx) {
+PropagationResult
+checker::propagate(const CheckContext &Ctx,
+                   const analysis::LivenessResult *Live) {
+  if (Live && !Live->Converged)
+    Live = nullptr; // Only a converged liveness result is trustworthy.
   PropagationResult Result;
   uint32_t N = Ctx.Graph.size();
   Result.In.assign(N, AbstractStore::top());
@@ -884,6 +888,15 @@ PropagationResult checker::propagate(const CheckContext &Ctx) {
     }
     if (NewIn.isTop())
       continue; // Not yet reachable.
+    if (Live)
+      NewIn.pruneRegs([&](int32_t Depth, Reg R, const Typestate &Ts) {
+        if (Live->liveIn(Id, Depth, R))
+          return true;
+        // A contradictory interval proves the paths meeting here cannot
+        // both execute; that fact matters even for a dead register.
+        auto Lo = Ts.S.lower(), Hi = Ts.S.upper();
+        return Lo && Hi && *Lo > *Hi;
+      });
     if (++Visits[Id] > WidenAfter)
       NewIn = AbstractStore::widen(Result.In[Id], NewIn);
     Result.In[Id] = NewIn;

@@ -24,6 +24,7 @@
 #ifndef MCSAFE_CHECKER_PROPAGATION_H
 #define MCSAFE_CHECKER_PROPAGATION_H
 
+#include "analysis/Liveness.h"
 #include "checker/CheckContext.h"
 #include "typestate/AbstractStore.h"
 
@@ -78,8 +79,15 @@ struct PropagationResult {
   uint64_t NodeVisits = 0;
 };
 
-/// Runs the worklist fixpoint.
-PropagationResult propagate(const CheckContext &Ctx);
+/// Runs the worklist fixpoint. When \p Live is given (and converged),
+/// abstract-store entries of registers that are not live-in at a node
+/// are pruned from that node's in-store: no later phase can consume a
+/// fact about a dead register, so dropping the entry only shrinks the
+/// stores the fixpoint pushes around. The one exception — entries whose
+/// scalar interval is contradictory (lower > upper), which witness that
+/// the paths meeting here are mutually exclusive — are always kept.
+PropagationResult propagate(const CheckContext &Ctx,
+                            const analysis::LivenessResult *Live = nullptr);
 
 /// The abstract transformer for one node (exposed for tests).
 typestate::AbstractStore transfer(const CheckContext &Ctx, cfg::NodeId Id,

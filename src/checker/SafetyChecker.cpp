@@ -2,6 +2,7 @@
 
 #include "checker/SafetyChecker.h"
 
+#include "analysis/Lint.h"
 #include "checker/Annotation.h"
 #include "checker/Automata.h"
 #include "checker/CheckContext.h"
@@ -50,10 +51,34 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
   Report.Chars.Loops = static_cast<uint32_t>(Ctx->Loops->loops().size());
   Report.Chars.InnerLoops = Ctx->Loops->innerLoopCount();
 
+  // Phase 0: bit-vector dataflow lint. Fast-rejects definite
+  // violations and computes the liveness the propagation phase uses to
+  // prune dead registers.
+  std::optional<analysis::LintResult> Lint;
+  if (Opts.Lint) {
+    auto TL = std::chrono::steady_clock::now();
+    Lint.emplace(
+        analysis::runLint(Ctx->Graph, Pol, Ctx->EntryStore, Report.Diags));
+    Report.TimeLint = secondsSince(TL);
+    Report.Chars.LintUninitUses = Lint->Stats.UninitUses;
+    Report.Chars.DeadRegWrites = Lint->Stats.DeadRegWrites;
+    Report.Chars.MaxStackDelta = Lint->Stats.MaxStackDelta;
+    Report.Chars.StackDeltaBounded = Lint->Stats.StackDeltaBounded;
+    if (Opts.LintReject && Lint->Rejected) {
+      // Every finding is a violation on all executions; the expensive
+      // phases cannot prove the program safe.
+      Report.LintRejected = true;
+      Report.Safe = false;
+      return Report;
+    }
+  }
+
   // Phase 2: typestate propagation.
   auto T0 = std::chrono::steady_clock::now();
-  PropagationResult Prop = propagate(*Ctx);
+  PropagationResult Prop =
+      propagate(*Ctx, Lint && Opts.PruneDeadRegs ? &Lint->Live : nullptr);
   Report.TimeTypestate = secondsSince(T0);
+  Report.TypestateNodeVisits = Prop.NodeVisits;
 
   // Phases 3 + 4: annotation and local verification (including the
   // security-automaton extension, which is typestate-level checking).

@@ -49,6 +49,12 @@ struct ProgramCharacteristics {
   uint32_t Calls = 0;         ///< Call instructions.
   uint32_t TrustedCalls = 0;  ///< Calls to host (external) functions.
   uint64_t GlobalConditions = 0;
+
+  // Phase-0 lint characteristics.
+  uint32_t LintUninitUses = 0;  ///< Definite uninitialized-register uses.
+  uint32_t DeadRegWrites = 0;   ///< Register writes no path reads again.
+  int64_t MaxStackDelta = 0;    ///< Deepest constant %sp excursion, bytes.
+  bool StackDeltaBounded = true; ///< All %sp deltas statically constant.
 };
 
 /// The result of checking one program against one policy.
@@ -59,17 +65,25 @@ struct CheckReport {
   /// True when every safety condition was verified.
   bool Safe = false;
 
+  /// The phase-0 lint proved a safety violation and the expensive
+  /// phases were skipped (TypestateNodeVisits stays 0).
+  bool LintRejected = false;
+
   DiagnosticEngine Diags;
   ProgramCharacteristics Chars;
 
-  /// Per-phase wall-clock seconds (Figure 9's time rows).
+  /// Per-phase wall-clock seconds (Figure 9's time rows, plus lint).
+  double TimeLint = 0;
   double TimeTypestate = 0;
   double TimeAnnotation = 0; ///< Annotation + local verification.
   double TimeGlobal = 0;
   double total() const {
-    return TimeTypestate + TimeAnnotation + TimeGlobal;
+    return TimeLint + TimeTypestate + TimeAnnotation + TimeGlobal;
   }
 
+  /// Worklist visits of the typestate-propagation fixpoint (0 when the
+  /// lint rejected first).
+  uint64_t TypestateNodeVisits = 0;
   uint64_t LocalChecks = 0;
   uint64_t LocalViolations = 0;
   GlobalVerifyStats Global;
@@ -83,6 +97,12 @@ public:
   struct Options {
     GlobalVerifyOptions Global;
     Prover::Options ProverOpts;
+    /// Run the phase-0 dataflow lint before typestate propagation.
+    bool Lint = true;
+    /// Let a definite lint violation skip the expensive phases.
+    bool LintReject = true;
+    /// Prune dead registers from propagated stores using lint liveness.
+    bool PruneDeadRegs = true;
   };
 
   SafetyChecker() = default;

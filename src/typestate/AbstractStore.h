@@ -96,6 +96,22 @@ public:
           sparc::Reg(static_cast<uint8_t>(K & 0xFF)), Ts);
   }
 
+  /// Drops every explicitly-tracked register entry for which \p Keep
+  /// returns false (icc and memory locations are never touched).
+  /// Dropped entries read as the default typestate afterwards. Used to
+  /// discard registers liveness proved dead.
+  template <typename Fn> void pruneRegs(Fn Keep) {
+    for (auto It = Entries.begin(); It != Entries.end();) {
+      if (It->first >= 0 &&
+          !Keep(static_cast<int32_t>(It->first >> 8),
+                sparc::Reg(static_cast<uint8_t>(It->first & 0xFF)),
+                It->second))
+        It = Entries.erase(It);
+      else
+        ++It;
+    }
+  }
+
   /// Visits every explicitly-tracked memory location as fn(id, typestate).
   template <typename Fn> void forEachLoc(Fn F) const {
     for (const auto &[K, Ts] : Entries)

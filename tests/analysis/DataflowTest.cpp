@@ -1,0 +1,219 @@
+//===- DataflowTest.cpp - Framework, liveness, reaching defs --------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "sparc/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+using namespace mcsafe::cfg;
+using namespace mcsafe::sparc;
+
+namespace {
+
+std::optional<Cfg> build(const char *Source, DiagnosticEngine &Diags) {
+  std::string Error;
+  std::optional<Module> M = assemble(Source, &Error);
+  EXPECT_TRUE(M.has_value()) << Error;
+  if (!M)
+    return std::nullopt;
+  static std::vector<Module> Keep; // The Cfg borrows the module.
+  Keep.push_back(std::move(*M));
+  return Cfg::build(Keep.back(), Diags);
+}
+
+/// The first node executing the instruction at module index \p Index.
+NodeId findNode(const Cfg &G, uint32_t Index) {
+  for (NodeId Id = 0; Id < G.size(); ++Id)
+    if (G.node(Id).Kind == NodeKind::Normal &&
+        G.node(Id).InstIndex == Index)
+      return Id;
+  ADD_FAILURE() << "no node for instruction " << Index;
+  return InvalidNode;
+}
+
+/// All nodes executing the instruction at module index \p Index
+/// (delay-slot instructions are replicated per edge).
+std::vector<NodeId> findNodes(const Cfg &G, uint32_t Index) {
+  std::vector<NodeId> Ids;
+  for (NodeId Id = 0; Id < G.size(); ++Id)
+    if (G.node(Id).Kind == NodeKind::Normal &&
+        G.node(Id).InstIndex == Index)
+      Ids.push_back(Id);
+  return Ids;
+}
+
+TEST(Liveness, StraightLineUseKillsBackward) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    clr %o0
+    add %o0,1,%o1
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+
+  policy::Policy Pol;
+  LivenessResult L = computeLiveness(*G, Pol);
+  ASSERT_TRUE(L.Converged);
+
+  NodeId Clr = findNode(*G, 0), Add = findNode(*G, 1);
+  // %o0 is consumed by the add, so it is live into the add but dead
+  // into the clr (which redefines it).
+  EXPECT_TRUE(L.liveIn(Add, 0, O0));
+  EXPECT_FALSE(L.liveIn(Clr, 0, O0));
+  // %o1 is never read and the policy constrains nothing at exit.
+  EXPECT_FALSE(L.liveOut(Add, 0, Reg(9)));
+}
+
+TEST(Liveness, AnnulledDelaySlotUseOnTakenEdgeOnly) {
+  // The annulled slot instruction (add, reading %o1) executes only when
+  // the branch is taken, so %o1 must be live along the taken edge but
+  // not into the fall-through block.
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    cmp %o0,0
+    be,a taken
+    add %o1,1,%o2
+    clr %o3
+  taken:
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+
+  policy::Policy Pol;
+  LivenessResult L = computeLiveness(*G, Pol);
+  ASSERT_TRUE(L.Converged);
+
+  NodeId Cmp = findNode(*G, 0);
+  NodeId Fallthrough = findNode(*G, 3); // clr %o3
+  // The annulled slot is replicated onto exactly one edge.
+  EXPECT_EQ(findNodes(*G, 2).size(), 1u);
+  EXPECT_TRUE(L.liveIn(Cmp, 0, Reg(9)));         // %o1, via taken edge.
+  EXPECT_FALSE(L.liveIn(Fallthrough, 0, Reg(9))); // Not on this path.
+}
+
+TEST(Liveness, NonAnnulledDelaySlotLiveOnBothEdges) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    cmp %o0,0
+    be taken
+    add %o1,1,%o2
+    clr %o3
+  taken:
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+
+  policy::Policy Pol;
+  LivenessResult L = computeLiveness(*G, Pol);
+  ASSERT_TRUE(L.Converged);
+
+  // Both replicas of the slot read %o1, so it is live into the branch
+  // on both edges (i.e. live-in at the cmp too).
+  EXPECT_EQ(findNodes(*G, 2).size(), 2u);
+  EXPECT_TRUE(L.liveIn(findNode(*G, 0), 0, Reg(9)));
+}
+
+TEST(Liveness, BranchConsumesConditionCodes) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    cmp %o0,0
+    be done
+    nop
+    clr %o1
+  done:
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+
+  policy::Policy Pol;
+  LivenessResult L = computeLiveness(*G, Pol);
+  NodeId Cmp = findNode(*G, 0), Be = findNode(*G, 1);
+  // icc is live out of the cmp (the be reads it) and dead after the be.
+  EXPECT_TRUE(L.LiveOut[Cmp].test(L.Keys.iccKey()));
+  EXPECT_TRUE(L.LiveIn[Be].test(L.Keys.iccKey()));
+  EXPECT_FALSE(L.LiveOut[Be].test(L.Keys.iccKey()));
+}
+
+TEST(Liveness, SaveRenamesOutToIn) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    save %sp,-96,%sp
+    add %i0,1,%o0
+    ret
+    restore
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+
+  policy::Policy Pol;
+  LivenessResult L = computeLiveness(*G, Pol);
+  ASSERT_TRUE(L.Converged);
+
+  NodeId Save = findNode(*G, 0);
+  // The add reads %i0 at depth 1; through the save that is the caller's
+  // %o0 at depth 0.
+  EXPECT_TRUE(L.liveIn(Save, 0, O0));
+  EXPECT_FALSE(L.liveIn(Save, 0, Reg(9))); // %o1 is not.
+}
+
+TEST(ReachingDefs, LoopCarriesBothDefinitions) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    clr %o0
+  loop:
+    cmp %o0,10
+    bge done
+    nop
+    inc %o0
+    ba loop
+    nop
+  done:
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+
+  policy::Policy Pol;
+  ReachingDefsResult R = computeReachingDefs(*G, Pol);
+  ASSERT_TRUE(R.Converged);
+
+  NodeId Clr = findNode(*G, 0), Cmp = findNode(*G, 1);
+  NodeId Inc = findNode(*G, 4);
+
+  // At the loop head both the initial clr and the back-edge inc reach.
+  std::vector<DefSite> AtCmp = R.defsReaching(Cmp, 0, O0);
+  ASSERT_EQ(AtCmp.size(), 2u);
+  EXPECT_TRUE((AtCmp[0].Node == Clr && AtCmp[1].Node == Inc) ||
+              (AtCmp[0].Node == Inc && AtCmp[1].Node == Clr));
+
+  // Before the clr only the synthetic entry definition reaches.
+  std::vector<DefSite> AtClr = R.defsReaching(Clr, 0, O0);
+  ASSERT_EQ(AtClr.size(), 1u);
+  EXPECT_TRUE(AtClr[0].isEntry());
+}
+
+TEST(ReachingDefs, KillIsStrongForStraightLine) {
+  DiagnosticEngine Diags;
+  std::optional<Cfg> G = build(R"(
+    clr %o0
+    inc %o0
+    retl
+    nop
+  )", Diags);
+  ASSERT_TRUE(G.has_value()) << Diags.str();
+
+  policy::Policy Pol;
+  ReachingDefsResult R = computeReachingDefs(*G, Pol);
+  NodeId Inc = findNode(*G, 1);
+  std::vector<DefSite> AtInc = R.defsReaching(Inc, 0, O0);
+  ASSERT_EQ(AtInc.size(), 1u);
+  EXPECT_EQ(AtInc[0].Node, findNode(*G, 0)); // Only the clr.
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+//===- LintTest.cpp - Phase-0 lint: uninit uses, stack deltas, report -----===//
+
+#include "analysis/Lint.h"
+#include "analysis/StackDelta.h"
+#include "checker/CheckContext.h"
+#include "checker/SafetyChecker.h"
+#include "corpus/Corpus.h"
+#include "policy/PolicyParser.h"
+#include "sparc/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+using namespace mcsafe::checker;
+
+namespace {
+
+/// A program whose only path reads %o1, which nothing ever writes.
+const char *UninitAsm = R"(
+  add %o1,1,%o2
+  retl
+  nop
+)";
+
+/// %o1 is written on the fall-through path only: a may-uninit use the
+/// full pipeline flags, but not a definite one — the lint must pass it.
+const char *MaybeUninitAsm = R"(
+  cmp %o0,0
+  be join
+  nop
+  clr %o1
+join:
+  add %o1,1,%o2
+  retl
+  nop
+)";
+
+/// The uninitialized %o1 flows through a copy before being consumed;
+/// plain gen/kill bit-vectors would miss this, the copy-aware transfer
+/// must not.
+const char *CopyUninitAsm = R"(
+  mov %o1,%o2
+  retl
+  add %o2,1,%o3
+)";
+
+const char *SimplePolicy = R"(
+invoke %o0 = n
+constraint n >= 0
+)";
+
+struct Prepared {
+  std::optional<sparc::Module> M;
+  std::optional<policy::Policy> Pol;
+  DiagnosticEngine Diags;
+  std::optional<CheckContext> Ctx;
+};
+
+Prepared prepareSource(const std::string &Asm, const std::string &Policy) {
+  Prepared P;
+  std::string Error;
+  P.M = sparc::assemble(Asm, &Error);
+  EXPECT_TRUE(P.M.has_value()) << Error;
+  P.Pol = policy::parsePolicy(Policy, &Error);
+  EXPECT_TRUE(P.Pol.has_value()) << Error;
+  if (P.M && P.Pol)
+    P.Ctx = prepare(*P.M, *P.Pol, P.Diags);
+  return P;
+}
+
+TEST(Lint, DefiniteUninitUseRejected) {
+  Prepared P = prepareSource(UninitAsm, SimplePolicy);
+  ASSERT_TRUE(P.Ctx.has_value()) << P.Diags.str();
+  LintResult L = runLint(P.Ctx->Graph, *P.Pol, P.Ctx->EntryStore, P.Diags);
+  EXPECT_TRUE(L.Rejected);
+  EXPECT_GE(L.Stats.UninitUses, 1u);
+  EXPECT_GE(P.Diags.countOfKind(SafetyKind::UninitializedUse), 1u);
+}
+
+TEST(Lint, MayUninitUseIsNotDefinite) {
+  Prepared P = prepareSource(MaybeUninitAsm, SimplePolicy);
+  ASSERT_TRUE(P.Ctx.has_value()) << P.Diags.str();
+  LintResult L = runLint(P.Ctx->Graph, *P.Pol, P.Ctx->EntryStore, P.Diags);
+  // One path initializes %o1, so this is not a must-violation; only the
+  // full pipeline may flag it.
+  EXPECT_FALSE(L.Rejected);
+  EXPECT_EQ(L.Stats.UninitUses, 0u);
+}
+
+TEST(Lint, CopyOfUninitValueTracked) {
+  Prepared P = prepareSource(CopyUninitAsm, SimplePolicy);
+  ASSERT_TRUE(P.Ctx.has_value()) << P.Diags.str();
+  LintResult L = runLint(P.Ctx->Graph, *P.Pol, P.Ctx->EntryStore, P.Diags);
+  EXPECT_TRUE(L.Rejected);
+}
+
+TEST(Lint, InvocationRegistersAreInitialized) {
+  // %o0 comes from the invocation specification: using it is fine.
+  Prepared P = prepareSource(R"(
+    add %o0,1,%o2
+    retl
+    nop
+  )", SimplePolicy);
+  ASSERT_TRUE(P.Ctx.has_value()) << P.Diags.str();
+  LintResult L = runLint(P.Ctx->Graph, *P.Pol, P.Ctx->EntryStore, P.Diags);
+  EXPECT_FALSE(L.Rejected);
+  EXPECT_EQ(L.Stats.UninitUses, 0u);
+}
+
+TEST(Lint, DeadWriteCounted) {
+  // %o5 is written and never read (and unconstrained at exit).
+  Prepared P = prepareSource(R"(
+    clr %o5
+    add %o0,1,%o2
+    retl
+    nop
+  )", SimplePolicy);
+  ASSERT_TRUE(P.Ctx.has_value()) << P.Diags.str();
+  LintResult L = runLint(P.Ctx->Graph, *P.Pol, P.Ctx->EntryStore, P.Diags);
+  EXPECT_GE(L.Stats.DeadRegWrites, 1u);
+}
+
+// --- Phase attribution through SafetyChecker. ----------------------------
+
+TEST(Lint, FastRejectSkipsTypestatePropagation) {
+  SafetyChecker Checker; // Defaults: lint on, reject on.
+  CheckReport R = Checker.checkSource(UninitAsm, SimplePolicy);
+  ASSERT_TRUE(R.InputsOk);
+  EXPECT_FALSE(R.Safe);
+  EXPECT_TRUE(R.LintRejected);
+  // The expensive phases never ran.
+  EXPECT_EQ(R.TypestateNodeVisits, 0u);
+  EXPECT_EQ(R.LocalChecks, 0u);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::UninitializedUse), 1u);
+}
+
+TEST(Lint, DisabledLintStillRejectsViaPipeline) {
+  SafetyChecker::Options Opts;
+  Opts.Lint = false;
+  Opts.PruneDeadRegs = false;
+  SafetyChecker Checker(Opts);
+  CheckReport R = Checker.checkSource(UninitAsm, SimplePolicy);
+  ASSERT_TRUE(R.InputsOk);
+  EXPECT_FALSE(R.Safe);
+  EXPECT_FALSE(R.LintRejected);
+  EXPECT_GT(R.TypestateNodeVisits, 0u);
+  EXPECT_GE(R.Diags.countOfKind(SafetyKind::UninitializedUse), 1u);
+}
+
+TEST(Lint, LintWithoutRejectStillRunsPipeline) {
+  SafetyChecker::Options Opts;
+  Opts.LintReject = false;
+  SafetyChecker Checker(Opts);
+  CheckReport R = Checker.checkSource(UninitAsm, SimplePolicy);
+  ASSERT_TRUE(R.InputsOk);
+  EXPECT_FALSE(R.Safe);
+  EXPECT_FALSE(R.LintRejected);
+  EXPECT_GT(R.TypestateNodeVisits, 0u);
+}
+
+TEST(Lint, ReportCarriesLintCharacteristics) {
+  SafetyChecker Checker;
+  CheckReport R = Checker.checkSource(R"(
+    clr %o5
+    add %o0,1,%o2
+    retl
+    nop
+  )", SimplePolicy);
+  ASSERT_TRUE(R.InputsOk);
+  EXPECT_TRUE(R.Safe);
+  EXPECT_GE(R.Chars.DeadRegWrites, 1u);
+  EXPECT_EQ(R.Chars.LintUninitUses, 0u);
+  EXPECT_TRUE(R.Chars.StackDeltaBounded);
+}
+
+// --- Verdict parity: lint + pruning must not flip corpus verdicts. -------
+
+TEST(Lint, CorpusVerdictsUnchangedByLintAndPruning) {
+  for (const corpus::CorpusProgram &P : corpus::corpus()) {
+    SafetyChecker::Options Off;
+    Off.Lint = Off.LintReject = Off.PruneDeadRegs = false;
+    CheckReport ROn = SafetyChecker().checkSource(P.Asm, P.Policy);
+    CheckReport ROff = SafetyChecker(Off).checkSource(P.Asm, P.Policy);
+    EXPECT_EQ(ROn.Safe, ROff.Safe) << P.Name;
+    EXPECT_EQ(ROn.Safe, P.ExpectSafe) << P.Name;
+  }
+}
+
+// --- Stack deltas on corpus programs. ------------------------------------
+
+TEST(StackDelta, HeapSort2NestedSaves) {
+  for (const corpus::CorpusProgram &P : corpus::corpus()) {
+    if (P.Name != "HeapSort2")
+      continue;
+    Prepared Prep = prepareSource(P.Asm, P.Policy);
+    ASSERT_TRUE(Prep.Ctx.has_value()) << Prep.Diags.str();
+    StackDeltaResult R = computeStackDeltas(Prep.Ctx->Graph, *Prep.Pol);
+    EXPECT_TRUE(R.Converged);
+    EXPECT_TRUE(R.Bounded);
+    // Two nested save %sp,-96,%sp frames (sort + inlined heapify).
+    EXPECT_EQ(R.MaxDown, 192);
+    return;
+  }
+  FAIL() << "HeapSort2 not in corpus";
+}
+
+TEST(StackDelta, LeafProgramStaysAtZero) {
+  for (const corpus::CorpusProgram &P : corpus::corpus()) {
+    if (P.Name != "HeapSort")
+      continue;
+    Prepared Prep = prepareSource(P.Asm, P.Policy);
+    ASSERT_TRUE(Prep.Ctx.has_value()) << Prep.Diags.str();
+    StackDeltaResult R = computeStackDeltas(Prep.Ctx->Graph, *Prep.Pol);
+    // The interprocedural HeapSort variant runs windowless: %sp never
+    // moves.
+    EXPECT_TRUE(R.Bounded);
+    EXPECT_EQ(R.MaxDown, 0);
+    return;
+  }
+  FAIL() << "HeapSort not in corpus";
+}
+
+TEST(StackDelta, ExplicitSpAdjustTracked) {
+  Prepared P = prepareSource(R"(
+    sub %sp,64,%sp
+    add %o0,1,%o2
+    add %sp,64,%sp
+    retl
+    nop
+  )", SimplePolicy);
+  ASSERT_TRUE(P.Ctx.has_value()) << P.Diags.str();
+  StackDeltaResult R = computeStackDeltas(P.Ctx->Graph, *P.Pol);
+  EXPECT_TRUE(R.Bounded);
+  EXPECT_EQ(R.MaxDown, 64);
+}
+
+} // namespace

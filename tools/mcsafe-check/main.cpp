@@ -6,6 +6,7 @@
 // Checks a piece of untrusted SPARC code against a host safety policy:
 //
 //   mcsafe-check prog.s policy.pol [-v] [--listing] [--conditions]
+//                                  [--lint-only] [--no-lint]
 //   mcsafe-check --corpus Sum [-v]
 //   mcsafe-check --list-corpus
 //
@@ -13,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "checker/Annotation.h"
 #include "checker/CheckContext.h"
 #include "checker/Propagation.h"
@@ -51,12 +53,57 @@ void usage() {
       "options:\n"
       "  -v             verbose: listing + conditions + statistics\n"
       "  --listing      print the per-instruction typestates (Figure 6)\n"
-      "  --conditions   print the global safety preconditions (Figure 3)\n");
+      "  --conditions   print the global safety preconditions (Figure 3)\n"
+      "  --lint-only    run only the phase-0 dataflow lint\n"
+      "  --no-lint      disable the phase-0 lint (and dead-reg pruning)\n");
+}
+
+enum class LintMode { On, Off, Only };
+
+/// Runs just the phase-0 lint and reports its findings.
+int runLintOnly(const std::string &Asm, const std::string &Policy,
+                bool Stats) {
+  std::string Error;
+  std::optional<sparc::Module> M = sparc::assemble(Asm, &Error);
+  if (!M) {
+    std::fprintf(stderr, "assembly error: %s\n", Error.c_str());
+    return 2;
+  }
+  std::optional<policy::Policy> Pol = policy::parsePolicy(Policy, &Error);
+  if (!Pol) {
+    std::fprintf(stderr, "policy error: %s\n", Error.c_str());
+    return 2;
+  }
+  DiagnosticEngine Diags;
+  std::optional<CheckContext> Ctx = prepare(*M, *Pol, Diags);
+  if (!Ctx) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 2;
+  }
+  analysis::LintResult Lint =
+      analysis::runLint(Ctx->Graph, *Pol, Ctx->EntryStore, Diags);
+  std::printf("lint verdict: %s\n", Lint.Rejected ? "UNSAFE" : "PASSED");
+  if (Lint.Rejected)
+    std::printf("%s", Diags.str().c_str());
+  if (Stats)
+    std::printf("lint: uninit uses %u, dead writes %u, max stack delta "
+                "%lld bytes (%s)\n",
+                Lint.Stats.UninitUses, Lint.Stats.DeadRegWrites,
+                static_cast<long long>(Lint.Stats.MaxStackDelta),
+                Lint.Stats.StackDeltaBounded ? "bounded" : "unbounded");
+  return Lint.Rejected ? 1 : 0;
 }
 
 int runCheck(const std::string &Asm, const std::string &Policy,
-             bool Listing, bool Conditions, bool Stats) {
-  SafetyChecker Checker;
+             bool Listing, bool Conditions, bool Stats, LintMode Lint) {
+  if (Lint == LintMode::Only)
+    return runLintOnly(Asm, Policy, Stats);
+  SafetyChecker::Options Opts;
+  if (Lint == LintMode::Off) {
+    Opts.Lint = false;
+    Opts.PruneDeadRegs = false;
+  }
+  SafetyChecker Checker(Opts);
   CheckReport R = Checker.checkSource(Asm, Policy);
   if (!R.InputsOk) {
     std::fprintf(stderr, "%s", R.Diags.str().c_str());
@@ -87,7 +134,8 @@ int runCheck(const std::string &Asm, const std::string &Policy,
     }
   }
 
-  std::printf("verdict: %s\n", R.Safe ? "SAFE" : "UNSAFE");
+  std::printf("verdict: %s%s\n", R.Safe ? "SAFE" : "UNSAFE",
+              R.LintRejected ? " (rejected by phase-0 lint)" : "");
   if (!R.Safe)
     std::printf("%s", R.Diags.str().c_str());
   if (Stats) {
@@ -96,6 +144,12 @@ int runCheck(const std::string &Asm, const std::string &Policy,
         "calls: %u (%u trusted)\n",
         R.Chars.Instructions, R.Chars.Branches, R.Chars.Loops,
         R.Chars.InnerLoops, R.Chars.Calls, R.Chars.TrustedCalls);
+    if (Lint == LintMode::On)
+      std::printf("lint: uninit uses %u, dead writes %u, max stack delta "
+                  "%lld bytes (%s)\n",
+                  R.Chars.LintUninitUses, R.Chars.DeadRegWrites,
+                  static_cast<long long>(R.Chars.MaxStackDelta),
+                  R.Chars.StackDeltaBounded ? "bounded" : "unbounded");
     std::printf(
         "global conditions: %llu (proved %llu, failed %llu, quick %llu), "
         "invariants: %llu (+%llu reused)\n",
@@ -105,10 +159,11 @@ int runCheck(const std::string &Asm, const std::string &Policy,
         static_cast<unsigned long long>(R.Global.QuickDischarges),
         static_cast<unsigned long long>(R.Global.InvariantsSynthesized),
         static_cast<unsigned long long>(R.Global.InvariantReuses));
-    std::printf("times: typestate %.4fs, annotation+local %.4fs, "
-                "global %.4fs, total %.4fs\n",
-                R.TimeTypestate, R.TimeAnnotation, R.TimeGlobal,
-                R.total());
+    std::printf("times: lint %.4fs, typestate %.4fs (%llu visits), "
+                "annotation+local %.4fs, global %.4fs, total %.4fs\n",
+                R.TimeLint, R.TimeTypestate,
+                static_cast<unsigned long long>(R.TypestateNodeVisits),
+                R.TimeAnnotation, R.TimeGlobal, R.total());
   }
   return R.Safe ? 0 : 1;
 }
@@ -117,6 +172,7 @@ int runCheck(const std::string &Asm, const std::string &Policy,
 
 int main(int argc, char **argv) {
   bool Listing = false, Conditions = false, Stats = false;
+  LintMode Lint = LintMode::On;
   std::string CorpusName;
   std::vector<std::string> Files;
   bool ListCorpus = false;
@@ -129,6 +185,10 @@ int main(int argc, char **argv) {
       Listing = true;
     } else if (Arg == "--conditions") {
       Conditions = true;
+    } else if (Arg == "--lint-only") {
+      Lint = LintMode::Only;
+    } else if (Arg == "--no-lint") {
+      Lint = LintMode::Off;
     } else if (Arg == "--list-corpus") {
       ListCorpus = true;
     } else if (Arg == "--corpus") {
@@ -155,7 +215,7 @@ int main(int argc, char **argv) {
   if (!CorpusName.empty()) {
     for (const corpus::CorpusProgram &P : corpus::corpus())
       if (P.Name == CorpusName)
-        return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats);
+        return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats, Lint);
     std::fprintf(stderr, "unknown corpus program '%s'\n",
                  CorpusName.c_str());
     return 2;
@@ -175,5 +235,5 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "cannot read '%s'\n", Files[1].c_str());
     return 2;
   }
-  return runCheck(*Asm, *Policy, Listing, Conditions, Stats);
+  return runCheck(*Asm, *Policy, Listing, Conditions, Stats, Lint);
 }
