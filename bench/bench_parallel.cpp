@@ -1,0 +1,107 @@
+//===- bench_parallel.cpp - Parallel verification throughput --------------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Measures the parallel verification engine: the full corpus is checked
+// end-to-end at 1, 2, 4, and 8 workers (corpus-level parallelism plus
+// speculative VC discharge through the shared prover cache), reporting
+// wall time, throughput, speedup over the 1-job baseline, and shared-
+// cache hit rates.
+//
+// The engine's contract is that verdicts and diagnostics are
+// byte-identical for every job count; this bench enforces it (exit 1 on
+// any divergence), so it doubles as a stress test of the determinism
+// machinery under real scheduling noise.
+//
+// Speedup is bounded by the machine: on a single-core host the extra
+// workers only interleave, so the bench prints the available hardware
+// concurrency next to the table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ParallelCheck.h"
+#include "corpus/Corpus.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+struct Row {
+  unsigned Jobs = 0;
+  double Wall = 0;
+  double ProgsPerSec = 0;
+  double HitRate = 0;
+  std::string Report;
+};
+
+Row runConfig(const std::vector<CheckJob> &Jobs, unsigned N, int Reps) {
+  Row R;
+  R.Jobs = N;
+  R.Wall = 1e9;
+  for (int I = 0; I < Reps; ++I) {
+    ParallelCheckOptions Opts;
+    Opts.Jobs = N;
+    // A fresh shared cache per run: no warm-cache bleed between configs.
+    ParallelCheckResult Result = checkJobs(Jobs, Opts);
+    if (Result.WallSeconds < R.Wall) {
+      R.Wall = Result.WallSeconds;
+      uint64_t Lookups = Result.Cache.Hits + Result.Cache.Misses;
+      R.HitRate =
+          Lookups ? double(Result.Cache.Hits) / double(Lookups) : 0.0;
+    }
+    R.Report = renderParallelReport(Result);
+  }
+  R.ProgsPerSec = R.Wall > 0 ? double(Jobs.size()) / R.Wall : 0.0;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  constexpr int Reps = 3;
+  const unsigned Configs[] = {1, 2, 4, 8};
+
+  std::vector<CheckJob> Jobs;
+  for (const corpus::CorpusProgram &P : corpus::corpus())
+    Jobs.push_back({P.Name, P.Asm, P.Policy});
+
+  unsigned Cores = support::ThreadPool::hardwareConcurrency();
+  std::printf("parallel verification, %zu corpus programs, best of %d "
+              "(hardware concurrency: %u)\n\n",
+              Jobs.size(), Reps, Cores);
+  std::printf("%6s %10s %10s %9s %9s\n", "jobs", "wall", "progs/s",
+              "speedup", "hit rate");
+
+  std::vector<Row> Rows;
+  for (unsigned N : Configs)
+    Rows.push_back(runConfig(Jobs, N, Reps));
+
+  double Base = Rows.front().Wall;
+  for (const Row &R : Rows)
+    std::printf("%6u %9.4fs %10.1f %8.2fx %8.1f%%\n", R.Jobs, R.Wall,
+                R.ProgsPerSec, R.Wall > 0 ? Base / R.Wall : 0.0,
+                R.HitRate * 100.0);
+
+  if (Cores <= 1)
+    std::printf("\nnote: single hardware thread — workers can only "
+                "interleave, so speedup ~1x is expected here; the table "
+                "above measures scheduling overhead, not scaling.\n");
+
+  // Determinism gate: every config must render the identical report.
+  for (const Row &R : Rows) {
+    if (R.Report != Rows.front().Report) {
+      std::printf("\nFAIL: report at --jobs %u differs from --jobs %u\n",
+                  R.Jobs, Rows.front().Jobs);
+      return 1;
+    }
+  }
+  std::printf("\nreports byte-identical across all job counts\n");
+  return 0;
+}

@@ -5,12 +5,14 @@
 #include "constraints/Eliminate.h"
 #include "policy/Policy.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <unordered_set>
 
 using namespace mcsafe;
 using namespace mcsafe::checker;
@@ -114,6 +116,20 @@ private:
     return TheProver.checkImplies(P, Q);
   }
 
+  /// True when speculative VC-level parallelism is available: a pool
+  /// with real workers and a prover cache to carry results back.
+  bool canPrefetch() const {
+    return Opts.Pool && Opts.Pool->workerCount() > 1 &&
+           TheProver.cacheHandle() != nullptr;
+  }
+
+  /// Discharges the validity queries \p Queries concurrently on the
+  /// pool, each on a per-worker prover over the shared cache. Purely a
+  /// cache warmer: the sequential pass re-asks each query and hits. The
+  /// queries are deduplicated by structural hash (dropping one by a
+  /// hash collision only loses the prefetch, never correctness).
+  void prefetchValidity(const std::vector<FormulaRef> &Queries);
+
   void computePureFacts();
 
   /// The innermost loop of a node, or -1.
@@ -179,6 +195,29 @@ private:
   unsigned RecursionDepth = 0;
   static constexpr unsigned MaxRecursionDepth = 24;
 };
+
+void Verifier::prefetchValidity(const std::vector<FormulaRef> &Queries) {
+  if (!canPrefetch())
+    return;
+  std::shared_ptr<ProverCache> SharedCache = TheProver.cacheHandle();
+  Prover::Options ProverOpts = TheProver.options();
+  std::unordered_set<size_t> Seen;
+  support::TaskGroup Group(Opts.Pool);
+  for (const FormulaRef &Q : Queries) {
+    if (Q->isTrue() || !Seen.insert(Q->hash()).second)
+      continue;
+    ++Stats.SpeculativeQueries;
+    Group.spawn([Q, SharedCache, ProverOpts] {
+      // Pool tasks run outside the check's VarNamespace: names minted
+      // while answering the query must not consume the check's
+      // deterministic fresh-name counters.
+      VarScopeSuspend NoScope;
+      Prover Local(ProverOpts, SharedCache);
+      Local.checkValid(Q);
+    });
+  }
+  Group.wait();
+}
 
 void Verifier::computePureFacts() {
   std::vector<FormulaRef> Pure;
@@ -494,7 +533,19 @@ Verifier::SynthesisResult Verifier::synthesize(int32_t LoopIdx,
     // the final certification can succeed) and, when the loop entry is
     // known, holds on entry.
     if (I > 0) {
-      for (const FormulaRef &C : candidates(LoopIdx, W[I])) {
+      std::vector<FormulaRef> Cands = candidates(LoopIdx, W[I]);
+      if (Cands.size() > 1 && canPrefetch()) {
+        // Discharge every candidate's chain implication concurrently;
+        // the selection loop below re-asks them in ranked order and
+        // reads the answers from the shared cache.
+        std::vector<FormulaRef> Queries;
+        Queries.reserve(Cands.size());
+        for (const FormulaRef &C : Cands)
+          Queries.push_back(Formula::implies(
+              Formula::conj({LPrev, C, PureFacts}), W[I]));
+        prefetchValidity(Queries);
+      }
+      for (const FormulaRef &C : Cands) {
         MCSAFE_TRACE_LOG("[synth L%d] candidate for W%u: %s\n", LoopIdx,
                          I, C->str().c_str());
         if (implies(Formula::conj({LPrev, C, PureFacts}), W[I]) !=
@@ -589,6 +640,19 @@ ProverResult Verifier::proveAt(NodeId N, const FormulaRef &Q) {
 }
 
 GlobalVerifyStats Verifier::run() {
+  if (canPrefetch()) {
+    // Corpus-level obligations mostly fall to the quick discharge from
+    // node assertions; those queries are pairwise independent, so fire
+    // them all concurrently before the sequential pass.
+    std::vector<FormulaRef> Queries;
+    for (const GlobalObligation &Ob : Annot.Obligations) {
+      if (Prop.In[Ob.Node].isTop() || Ob.Q->isTrue())
+        continue;
+      Queries.push_back(Formula::implies(
+          Formula::conj2(Annot.Assertions[Ob.Node], PureFacts), Ob.Q));
+    }
+    prefetchValidity(Queries);
+  }
   for (const GlobalObligation &Ob : Annot.Obligations) {
     if (Prop.In[Ob.Node].isTop())
       continue; // Unreachable node: vacuous.

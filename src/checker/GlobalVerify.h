@@ -43,6 +43,10 @@
 #include <vector>
 
 namespace mcsafe {
+namespace support {
+class ThreadPool;
+} // namespace support
+
 namespace checker {
 
 /// Strategy switches (all on by default; the ablation benches toggle
@@ -55,6 +59,15 @@ struct GlobalVerifyOptions {
   bool ReuseInvariants = true;  ///< The grouping enhancement.
   bool CertifyInvariants = true;
   size_t MaxFormulaSize = 20000;
+  /// When set (and the prover has a cache), independent verification
+  /// conditions — per-obligation quick-discharge queries and
+  /// induction-iteration candidate-invariant implications — are
+  /// discharged concurrently on the pool by per-worker provers sharing
+  /// the main prover's cache. The sequential decision logic then reads
+  /// every result back from the cache, so verdicts and reports are
+  /// byte-identical with or without a pool (results are pure functions
+  /// of formula structure and budget). Non-owning.
+  support::ThreadPool *Pool = nullptr;
 };
 
 /// Per-run statistics.
@@ -66,6 +79,9 @@ struct GlobalVerifyStats {
   uint64_t InvariantReuses = 0;
   uint64_t IterationsRun = 0;
   uint64_t GeneralizationsTried = 0;
+  /// Verification conditions discharged speculatively on the thread pool
+  /// (their results are consumed through the shared prover cache).
+  uint64_t SpeculativeQueries = 0;
 };
 
 /// Runs phase 5 over the annotation result. Unproved obligations are

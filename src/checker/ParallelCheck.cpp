@@ -1,0 +1,86 @@
+//===- ParallelCheck.cpp --------------------------------------------------===//
+
+#include "checker/ParallelCheck.h"
+
+#include "constraints/Var.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+ParallelCheckResult checker::checkJobs(const std::vector<CheckJob> &Jobs,
+                                       const ParallelCheckOptions &Opts) {
+  ParallelCheckResult Result;
+  Result.Programs.resize(Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Result.Programs[I].Name = Jobs[I].Name;
+
+  unsigned NJobs = Opts.Jobs ? Opts.Jobs : support::ThreadPool::hardwareConcurrency();
+  if (NJobs == 0)
+    NJobs = 1;
+  Result.JobsUsed = NJobs;
+
+  std::shared_ptr<ProverCache> Shared;
+  if (Opts.ShareProverCache) {
+    ProverCache::Config C;
+    C.MaxEntries = Opts.SharedCacheMaxEntries;
+    Shared = std::make_shared<ProverCache>(C);
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (NJobs > 1)
+    Pool = std::make_unique<support::ThreadPool>(NJobs);
+
+  auto RunOne = [&](size_t I) {
+    // A private namespace makes this check's variable-id and fresh-name
+    // sequences a pure function of its own inputs — the determinism
+    // anchor for byte-identical reports under any scheduling.
+    VarNamespace NS;
+    SafetyChecker::Options O = Opts.Check;
+    O.SharedProverCache = Shared;
+    O.Global.Pool = (Opts.VcParallelism && Pool) ? Pool.get() : nullptr;
+    SafetyChecker Checker(O);
+    Result.Programs[I].Report =
+        Checker.checkSource(Jobs[I].Asm, Jobs[I].Policy);
+  };
+
+  if (Pool) {
+    support::TaskGroup Group(Pool.get());
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Group.spawn([&RunOne, I] { RunOne(I); });
+    Group.wait();
+  } else {
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      RunOne(I);
+  }
+
+  Result.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  if (Shared)
+    Result.Cache = Shared->stats();
+  return Result;
+}
+
+std::string checker::renderParallelReport(const ParallelCheckResult &R) {
+  std::ostringstream OS;
+  for (const ParallelCheckResult::Program &P : R.Programs) {
+    OS << "== " << P.Name << " ==\n";
+    if (!P.Report.InputsOk)
+      OS << "verdict: ERROR\n";
+    else
+      OS << "verdict: " << (P.Report.Safe ? "SAFE" : "UNSAFE") << "\n";
+    std::string Diags = P.Report.Diags.str();
+    if (!Diags.empty()) {
+      OS << Diags;
+      if (Diags.back() != '\n')
+        OS << "\n";
+    }
+  }
+  return OS.str();
+}

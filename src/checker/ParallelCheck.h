@@ -1,0 +1,85 @@
+//===- ParallelCheck.h - Corpus-level parallel verification -----*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the five-phase checker over a batch of independent programs on
+/// a work-stealing thread pool. Two levels of parallelism compose:
+///
+///   - corpus-level: each program is checked on its own worker, inside
+///     its own VarNamespace (so its variable-id and fresh-name sequences
+///     depend only on its own inputs, not on scheduling);
+///   - VC-level: each check hands the pool to phase 5, which discharges
+///     independent verification conditions speculatively through the
+///     shared prover cache.
+///
+/// Determinism contract: verdicts and diagnostics are byte-identical for
+/// any job count, including 1. Timing and cache counters naturally vary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_PARALLELCHECK_H
+#define MCSAFE_CHECKER_PARALLELCHECK_H
+
+#include "checker/SafetyChecker.h"
+#include "constraints/ProverCache.h"
+
+#include <string>
+#include <vector>
+
+namespace mcsafe {
+namespace checker {
+
+/// One unit of work: a program and the policy to check it against.
+struct CheckJob {
+  std::string Name;
+  std::string Asm;
+  std::string Policy;
+};
+
+struct ParallelCheckOptions {
+  /// Worker count; 0 means hardware concurrency. 1 runs inline with no
+  /// pool at all (the baseline the determinism tests diff against).
+  unsigned Jobs = 0;
+  /// Per-check options. Global.Pool and SharedProverCache are overwritten
+  /// by the driver.
+  SafetyChecker::Options Check;
+  /// Bound on the shared formula-result cache.
+  size_t SharedCacheMaxEntries = size_t(1) << 20;
+  /// Share one prover cache across all jobs (and their speculative VC
+  /// workers). Off gives each check a private cache.
+  bool ShareProverCache = true;
+  /// Also discharge independent VCs inside each check on the pool.
+  bool VcParallelism = true;
+};
+
+struct ParallelCheckResult {
+  struct Program {
+    std::string Name;
+    CheckReport Report;
+  };
+  /// One entry per job, in input order regardless of completion order.
+  std::vector<Program> Programs;
+  unsigned JobsUsed = 0;
+  double WallSeconds = 0;
+  /// Stats of the shared cache (zero when ShareProverCache is off).
+  ProverCache::Stats Cache;
+};
+
+/// Checks every job, possibly concurrently. Verdicts and diagnostics are
+/// byte-identical for any Jobs value.
+ParallelCheckResult checkJobs(const std::vector<CheckJob> &Jobs,
+                              const ParallelCheckOptions &Opts = {});
+
+/// Renders the determinism-relevant slice of a batch result — program
+/// names, verdicts, and diagnostics, in input order; no timings or
+/// counters. Byte-identical across job counts by construction.
+std::string renderParallelReport(const ParallelCheckResult &R);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_PARALLELCHECK_H

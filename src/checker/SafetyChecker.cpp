@@ -92,7 +92,7 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
 
   // Phase 5: global verification.
   auto T2 = std::chrono::steady_clock::now();
-  Prover TheProver(Opts.ProverOpts);
+  Prover TheProver(Opts.ProverOpts, Opts.SharedProverCache);
   Report.Global = verifyGlobal(*Ctx, Prop, Annot, TheProver, Opts.Global);
   Report.TimeGlobal = secondsSince(T2);
   Report.ProverStats = TheProver.stats();

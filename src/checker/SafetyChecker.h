@@ -97,6 +97,11 @@ public:
   struct Options {
     GlobalVerifyOptions Global;
     Prover::Options ProverOpts;
+    /// When set, the phase-5 prover attaches to this cache instead of a
+    /// private one. Shared across concurrent checks (the cache is
+    /// thread-safe); sharing is sound because entries are keyed on
+    /// formula structure plus query budget.
+    std::shared_ptr<ProverCache> SharedProverCache;
     /// Run the phase-0 dataflow lint before typestate propagation.
     bool Lint = true;
     /// Let a definite lint violation skip the expensive phases.

@@ -4,47 +4,84 @@
 
 using namespace mcsafe;
 
-Prover::SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
+Prover::Prover(Options Opts, std::shared_ptr<ProverCache> SharedCache)
+    : Opts(Opts), Omega(Opts.Omega) {
+  if (SharedCache)
+    Cache = std::move(SharedCache);
+  else if (Opts.EnableCache) {
+    ProverCache::Config C;
+    C.MaxEntries = Opts.CacheMaxEntries;
+    Cache = std::make_shared<ProverCache>(C);
+  }
+}
+
+QueryBudget Prover::budget() const {
+  QueryBudget B;
+  B.DnfMaxDisjuncts = Opts.DnfMaxDisjuncts;
+  B.DnfMaxAtoms = Opts.DnfMaxAtoms;
+  B.OmegaMaxSteps = Opts.Omega.MaxSteps;
+  B.OmegaMaxNdivModulus = Opts.Omega.MaxNdivModulus;
+  return B;
+}
+
+Prover::Stats Prover::stats() const {
+  Stats S = Counters;
+  if (Cache)
+    S.CacheEvictions = Cache->stats().Evictions;
+  return S;
+}
+
+SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
   ++Counters.SatQueries;
   if (F->isTrue())
     return {SatResult::Sat, false};
   if (F->isFalse())
     return {SatResult::Unsat, false};
 
-  if (Opts.EnableCache) {
-    auto It = Cache.find(F->hash());
-    if (It != Cache.end()) {
-      for (const CacheEntry &E : It->second) {
-        if (Formula::equal(E.Key, F)) {
-          ++Counters.CacheHits;
-          return E.Outcome;
-        }
-      }
+  size_t Key = 0;
+  QueryBudget B;
+  if (Cache) {
+    B = budget();
+    Key = ProverCache::keyFor(F, B);
+    if (std::optional<SatOutcome> Hit = Cache->lookupHashed(Key, F, B)) {
+      ++Counters.CacheHits;
+      return *Hit;
     }
   }
 
-  DnfResult Dnf = toDNF(F, Opts.DnfMaxDisjuncts, Opts.DnfMaxAtoms);
-  SatOutcome Outcome{SatResult::Unsat, Dnf.ApproximatedForall};
-  if (Dnf.BudgetExceeded) {
-    Outcome.Result = SatResult::Unknown;
-  } else {
-    bool SawUnknown = false;
-    for (const std::vector<Constraint> &Disjunct : Dnf.Disjuncts) {
-      SatResult R = Omega.isSatisfiable(Disjunct);
-      if (R == SatResult::Sat) {
-        Outcome.Result = SatResult::Sat;
-        SawUnknown = false;
-        break;
-      }
-      if (R == SatResult::Unknown)
-        SawUnknown = true;
-    }
-    if (Outcome.Result != SatResult::Sat && SawUnknown)
+  SatOutcome Outcome{SatResult::Unsat, false};
+  {
+    // Fresh variables minted while answering a query (DNF quantifier
+    // instantiation, Omega quotient/splinter variables) never escape it.
+    // Minting them outside any active VarNamespace keeps a check's
+    // deterministic name sequence independent of cache hit patterns —
+    // and hence of how much speculative parallel work warmed the cache.
+    VarScopeSuspend NoScope;
+    DnfResult Dnf = toDNF(F, Opts.DnfMaxDisjuncts, Opts.DnfMaxAtoms);
+    Outcome.ApproximatedForall = Dnf.ApproximatedForall;
+    if (Dnf.BudgetExceeded) {
       Outcome.Result = SatResult::Unknown;
+    } else {
+      bool SawUnknown = false;
+      for (const std::vector<Constraint> &Disjunct : Dnf.Disjuncts) {
+        SatResult R = Omega.isSatisfiable(Disjunct);
+        if (R == SatResult::Sat) {
+          Outcome.Result = SatResult::Sat;
+          SawUnknown = false;
+          break;
+        }
+        if (R == SatResult::Unknown)
+          SawUnknown = true;
+      }
+      if (Outcome.Result != SatResult::Sat && SawUnknown)
+        Outcome.Result = SatResult::Unknown;
+    }
   }
 
-  if (Opts.EnableCache)
-    Cache[F->hash()].push_back({F, Outcome});
+  // Caching budget-limited Unknowns is sound because the key carries the
+  // budget: a query under a different budget can never see this entry.
+  if (Cache)
+    Cache->insertHashed(Key, F, B, Outcome);
   return Outcome;
 }
 
@@ -61,7 +98,7 @@ ProverResult Prover::checkValid(const FormulaRef &F) {
   case SatResult::Sat:
     // A spurious model is possible when a Forall inside not(F) was
     // replaced by a free variable; report Unknown rather than a definite
-    // countermodel.
+    // countermodel. The flag comes back from cache hits too.
     return Outcome.ApproximatedForall ? ProverResult::Unknown
                                       : ProverResult::NotProved;
   case SatResult::Unknown:

@@ -16,10 +16,14 @@
 /// approximated during satisfiability checking; the safety checker treats
 /// Unknown as "not proved", which is sound.
 ///
-/// The prover optionally caches query results keyed by structural formula
-/// identity — the caching enhancement sketched in Section 5.2.3 of the
-/// paper ("represent formulas in a canonical form and use previous results
-/// whenever possible"); the ablation bench measures its effect.
+/// The prover caches query results keyed by structural formula identity
+/// plus the exact resource budgets the query ran under — the caching
+/// enhancement sketched in Section 5.2.3 of the paper ("represent
+/// formulas in a canonical form and use previous results whenever
+/// possible"). The cache (see ProverCache.h) is bounded, and can be
+/// shared between provers: the parallel verification engine gives every
+/// worker its own Prover over one shared cache, which is sound because
+/// outcomes are pure functions of formula structure and budget.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,9 +33,10 @@
 #include "constraints/Formula.h"
 #include "constraints/Normalize.h"
 #include "constraints/OmegaTest.h"
+#include "constraints/ProverCache.h"
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 
 namespace mcsafe {
 
@@ -50,16 +55,25 @@ public:
     size_t DnfMaxDisjuncts = 1024;
     size_t DnfMaxAtoms = 512;
     bool EnableCache = true;
+    /// Capacity of a privately-owned cache (ignored when a shared cache
+    /// is supplied).
+    size_t CacheMaxEntries = size_t(1) << 18;
   };
 
   struct Stats {
     uint64_t ValidityQueries = 0;
     uint64_t SatQueries = 0;
     uint64_t CacheHits = 0;
+    /// Evictions of the attached cache. Cache-global: with a shared
+    /// cache this counts evictions caused by every sharer.
+    uint64_t CacheEvictions = 0;
   };
 
   Prover() : Prover(Options()) {}
-  explicit Prover(Options Opts) : Opts(Opts), Omega(Opts.Omega) {}
+  explicit Prover(Options Opts) : Prover(Opts, nullptr) {}
+  /// A prover over a shared result cache. All provers sharing one cache
+  /// may use different budgets — entries are budget-keyed.
+  Prover(Options Opts, std::shared_ptr<ProverCache> SharedCache);
 
   /// Is the conjunction-closure of \p F satisfiable (free variables
   /// existential)?
@@ -73,33 +87,32 @@ public:
     return checkValid(Formula::implies(P, Q));
   }
 
-  const Stats &stats() const { return Counters; }
+  Stats stats() const;
   const OmegaTest::Stats &omegaStats() const { return Omega.stats(); }
   void resetStats() {
     Counters = Stats();
     Omega.resetStats();
   }
-  void clearCache() { Cache.clear(); }
+  /// Clears the attached cache (the shared one, if sharing).
+  void clearCache() {
+    if (Cache)
+      Cache->clear();
+  }
 
   const Options &options() const { return Opts; }
+  /// The attached cache; null when caching is disabled. Hand this to
+  /// another Prover to share results.
+  std::shared_ptr<ProverCache> cacheHandle() const { return Cache; }
+  /// The budgets queries of this prover run under (the cache key part).
+  QueryBudget budget() const;
 
 private:
-  struct SatOutcome {
-    SatResult Result;
-    bool ApproximatedForall;
-  };
   SatOutcome checkSatInternal(const FormulaRef &F);
 
   Options Opts;
   OmegaTest Omega;
   Stats Counters;
-  /// Cache keyed by structural hash; collisions verified with
-  /// Formula::equal on the stored formula.
-  struct CacheEntry {
-    FormulaRef Key;
-    SatOutcome Outcome;
-  };
-  std::unordered_map<size_t, std::vector<CacheEntry>> Cache;
+  std::shared_ptr<ProverCache> Cache;
 };
 
 } // namespace mcsafe

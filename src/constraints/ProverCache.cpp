@@ -1,0 +1,147 @@
+//===- ProverCache.cpp ----------------------------------------------------===//
+
+#include "constraints/ProverCache.h"
+
+#include <algorithm>
+
+using namespace mcsafe;
+
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer) for combining hashes.
+size_t mix(size_t H) {
+  uint64_t X = H;
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return static_cast<size_t>(X);
+}
+
+size_t combine(size_t A, size_t B) {
+  return mix(A + 0x9e3779b97f4a7c15ULL + (B << 6) + (B >> 2));
+}
+
+} // namespace
+
+size_t QueryBudget::hash() const {
+  size_t H = mix(DnfMaxDisjuncts);
+  H = combine(H, DnfMaxAtoms);
+  H = combine(H, OmegaMaxSteps);
+  H = combine(H, static_cast<size_t>(OmegaMaxNdivModulus));
+  return H;
+}
+
+size_t ProverCache::keyFor(const FormulaRef &F, const QueryBudget &B) {
+  return combine(F->hash(), B.hash());
+}
+
+ProverCache::ProverCache(const Config &C) {
+  unsigned ShardCount = std::max(1u, C.Shards);
+  // Per-shard hot capacity; hot + cold together stay within MaxEntries.
+  PerShardCap = std::max<size_t>(1, C.MaxEntries / (2 * ShardCount));
+  Shards.reserve(ShardCount);
+  for (unsigned I = 0; I < ShardCount; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+ProverCache::Shard &ProverCache::shardFor(size_t Key) {
+  return *Shards[mix(Key) % Shards.size()];
+}
+
+ProverCache::Entry *ProverCache::findIn(Table &T, size_t Key,
+                                        const FormulaRef &F,
+                                        const QueryBudget &B) {
+  auto It = T.find(Key);
+  if (It == T.end())
+    return nullptr;
+  for (Entry &E : It->second)
+    if (E.Budget == B && Formula::equal(E.Key, F))
+      return &E;
+  return nullptr;
+}
+
+void ProverCache::maybeFlipLocked(Shard &S) {
+  if (S.HotEntries < PerShardCap)
+    return;
+  S.Evictions += S.ColdEntries;
+  S.Cold = std::move(S.Hot);
+  S.ColdEntries = S.HotEntries;
+  S.Hot = Table();
+  S.HotEntries = 0;
+}
+
+std::optional<SatOutcome> ProverCache::lookup(const FormulaRef &F,
+                                              const QueryBudget &B) {
+  return lookupHashed(keyFor(F, B), F, B);
+}
+
+std::optional<SatOutcome> ProverCache::lookupHashed(size_t Key,
+                                                    const FormulaRef &F,
+                                                    const QueryBudget &B) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> L(S.M);
+  if (const Entry *E = findIn(S.Hot, Key, F, B)) {
+    ++S.Hits;
+    return E->Outcome;
+  }
+  if (Entry *E = findIn(S.Cold, Key, F, B)) {
+    ++S.Hits;
+    // Promote into the hot generation so it survives the next flip.
+    SatOutcome O = E->Outcome;
+    S.Hot[Key].push_back(std::move(*E));
+    ++S.HotEntries;
+    auto It = S.Cold.find(Key);
+    It->second.erase(It->second.begin() +
+                     (E - It->second.data()));
+    if (It->second.empty())
+      S.Cold.erase(It);
+    --S.ColdEntries;
+    maybeFlipLocked(S);
+    return O;
+  }
+  ++S.Misses;
+  return std::nullopt;
+}
+
+void ProverCache::insert(const FormulaRef &F, const QueryBudget &B,
+                         SatOutcome O) {
+  insertHashed(keyFor(F, B), F, B, O);
+}
+
+void ProverCache::insertHashed(size_t Key, const FormulaRef &F,
+                               const QueryBudget &B, SatOutcome O) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> L(S.M);
+  // Concurrent workers may race to compute the same query; keep the
+  // first result (outcomes are pure, so they agree).
+  if (findIn(S.Hot, Key, F, B) || findIn(S.Cold, Key, F, B))
+    return;
+  S.Hot[Key].push_back(Entry{F, B, O});
+  ++S.HotEntries;
+  ++S.Insertions;
+  maybeFlipLocked(S);
+}
+
+void ProverCache::clear() {
+  for (auto &S : Shards) {
+    std::lock_guard<std::mutex> L(S->M);
+    S->Hot.clear();
+    S->Cold.clear();
+    S->HotEntries = S->ColdEntries = 0;
+  }
+}
+
+ProverCache::Stats ProverCache::stats() const {
+  Stats Total;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> L(S->M);
+    Total.Hits += S->Hits;
+    Total.Misses += S->Misses;
+    Total.Insertions += S->Insertions;
+    Total.Evictions += S->Evictions;
+    Total.Entries += S->HotEntries + S->ColdEntries;
+  }
+  return Total;
+}

@@ -10,8 +10,21 @@
 /// Variables are interned strings: registers ("%o0"), symbolic constants
 /// from annotations ("n"), abstract-location value variables ("val:e"),
 /// and fresh variables minted during wlp computation and quantifier
-/// elimination. The intern pool is process-wide and not thread-safe; the
-/// checker is single-threaded (as was the paper's prototype).
+/// elimination.
+///
+/// The intern pool is process-wide and thread-safe: ids are allocated
+/// under a writer lock, while varName() reads the published name storage
+/// lock-free (names are immutable once published). For the parallel
+/// verification engine, a check can additionally run inside a
+/// VarNamespace: name->id lookups then resolve in a private per-check
+/// table, so the sequence of ids a check observes — and every fresh
+/// variable name it mints — depends only on that check's own inputs,
+/// never on what other checks running concurrently intern. That is what
+/// makes reports byte-identical for any --jobs value. Ids stay globally
+/// unique (they are allocated from the shared pool), so formulas from
+/// different namespaces can meet in the shared prover cache, where equal
+/// id structure means alpha-equivalent formulas with identical
+/// satisfiability.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,14 +61,46 @@ private:
 };
 
 /// Interns \p Name and returns its id (stable for the process lifetime).
+/// Inside a VarNamespace the lookup is namespace-local: the same name
+/// resolves to one id per namespace.
 VarId varId(std::string_view Name);
 
-/// The name a VarId was interned under.
+/// The name a VarId was interned under. Lock-free; valid for ids from any
+/// namespace for the process lifetime.
 const std::string &varName(VarId Id);
 
-/// Mints a fresh variable that has never been returned before, named
-/// "<prefix>.<counter>".
+/// Mints a fresh variable named "<prefix>.<counter>". Globally it has
+/// never been returned before; inside a VarNamespace the counter is
+/// namespace-local (deterministic per check) and the name is fresh within
+/// that namespace.
 VarId freshVar(std::string_view Prefix);
+
+/// RAII: routes this thread's varId/freshVar calls into a private
+/// namespace until destruction. One check = one namespace = one
+/// deterministic id/name sequence. A namespace must be used from a single
+/// thread; speculative pool tasks suspend it with VarScopeSuspend.
+class VarNamespace {
+public:
+  VarNamespace();
+  ~VarNamespace();
+  VarNamespace(const VarNamespace &) = delete;
+  VarNamespace &operator=(const VarNamespace &) = delete;
+
+private:
+  void *Frame;
+};
+
+/// RAII: temporarily deactivates the current thread's VarNamespace (if
+/// any). The prover wraps its internal work in this so that speculative /
+/// cached query evaluation can never perturb a check's deterministic
+/// fresh-name sequence.
+class VarScopeSuspend {
+public:
+  VarScopeSuspend();
+  ~VarScopeSuspend();
+  VarScopeSuspend(const VarScopeSuspend &) = delete;
+  VarScopeSuspend &operator=(const VarScopeSuspend &) = delete;
+};
 
 } // namespace mcsafe
 

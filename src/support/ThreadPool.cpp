@@ -1,0 +1,154 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace mcsafe;
+using namespace mcsafe::support;
+
+namespace {
+
+/// Which pool (if any) the current thread is a worker of, and its index.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = 0;
+
+} // namespace
+
+unsigned ThreadPool::hardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  WorkerCount = std::max(1u, WorkerCount);
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I < WorkerCount; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(WorkerCount);
+  for (unsigned I = 0; I < WorkerCount; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+    Stop = true;
+  }
+  SleepCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(Task T) {
+  unsigned Idx = CurrentPool == this
+                     ? CurrentWorker
+                     : NextWorker.fetch_add(1, std::memory_order_relaxed) %
+                           Workers.size();
+  {
+    std::lock_guard<std::mutex> L(Workers[Idx]->M);
+    Workers[Idx]->Q.push_back(std::move(T));
+  }
+  Queued.fetch_add(1, std::memory_order_release);
+  SleepCv.notify_one();
+}
+
+bool ThreadPool::popTask(unsigned Preferred, Task &Out) {
+  // Own deque first, newest task first (LIFO keeps the working set hot).
+  {
+    Worker &W = *Workers[Preferred];
+    std::lock_guard<std::mutex> L(W.M);
+    if (!W.Q.empty()) {
+      Out = std::move(W.Q.back());
+      W.Q.pop_back();
+      Queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal the oldest task of another worker (FIFO steals take the work
+  // least likely to be wanted by the victim next).
+  for (size_t Off = 1; Off < Workers.size(); ++Off) {
+    Worker &V = *Workers[(Preferred + Off) % Workers.size()];
+    std::lock_guard<std::mutex> L(V.M);
+    if (!V.Q.empty()) {
+      Out = std::move(V.Q.front());
+      V.Q.pop_front();
+      Queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::tryRunOne() {
+  Task T;
+  unsigned Preferred =
+      CurrentPool == this
+          ? CurrentWorker
+          : NextWorker.load(std::memory_order_relaxed) % Workers.size();
+  if (!popTask(Preferred, T))
+    return false;
+  T();
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentPool = this;
+  CurrentWorker = Index;
+  while (true) {
+    Task T;
+    while (popTask(Index, T)) {
+      T();
+      T = nullptr; // Release captures before sleeping.
+    }
+    std::unique_lock<std::mutex> L(SleepM);
+    SleepCv.wait(L, [this] {
+      return Stop || Queued.load(std::memory_order_acquire) > 0;
+    });
+    if (Stop && Queued.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void TaskGroup::spawn(ThreadPool::Task T) {
+  if (!Pool) {
+    T();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(S->M);
+    S->Q.push_back(std::move(T));
+    ++S->Unfinished;
+  }
+  // The proxy owns a reference to the state, so a group task can still
+  // find its queue even if the TaskGroup object is already gone.
+  Pool->submit([St = S] { runOne(*St); });
+}
+
+bool TaskGroup::runOne(State &S) {
+  ThreadPool::Task T;
+  {
+    std::lock_guard<std::mutex> L(S.M);
+    if (S.Q.empty())
+      return false;
+    T = std::move(S.Q.front());
+    S.Q.pop_front();
+  }
+  T();
+  {
+    std::lock_guard<std::mutex> L(S.M);
+    if (--S.Unfinished == 0)
+      S.Cv.notify_all();
+  }
+  return true;
+}
+
+void TaskGroup::wait() {
+  if (!Pool || !S)
+    return;
+  // Help: drain the group's queue on this thread.
+  while (runOne(*S))
+    ;
+  // Tasks stolen by workers may still be running; block for those.
+  std::unique_lock<std::mutex> L(S->M);
+  S->Cv.wait(L, [this] { return S->Unfinished == 0; });
+}

@@ -1,0 +1,129 @@
+//===- ThreadPool.h - Work-stealing thread pool -----------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool driving the parallel verification
+/// engine: corpus-level parallelism (each program checked on its own
+/// worker) and VC-level parallelism (independent verification conditions
+/// discharged concurrently inside one check).
+///
+/// Each worker owns a deque; it pops its own work LIFO (locality) and
+/// steals FIFO from the other workers when its deque runs dry. Tasks are
+/// grouped with TaskGroup, whose wait() *helps*: the waiting thread drains
+/// the group's remaining tasks itself instead of blocking, so a pool task
+/// that spawns and waits on a nested group can never deadlock the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_THREADPOOL_H
+#define MCSAFE_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcsafe {
+namespace support {
+
+/// A fixed-size work-stealing thread pool.
+class ThreadPool {
+public:
+  using Task = std::function<void()>;
+
+  /// Spawns \p Workers worker threads (at least one).
+  explicit ThreadPool(unsigned Workers);
+
+  /// Drains all remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Enqueues a task. Called from a worker of this pool, the task goes to
+  /// that worker's own deque (LIFO pop keeps it cache-hot); called from
+  /// any other thread, deques are fed round-robin.
+  void submit(Task T);
+
+  /// Runs one pending task on the calling thread, if any is queued.
+  /// Returns false when every deque was empty.
+  bool tryRunOne();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareConcurrency();
+
+private:
+  struct Worker {
+    std::mutex M;
+    std::deque<Task> Q;
+  };
+
+  void workerLoop(unsigned Index);
+  bool popTask(unsigned Preferred, Task &Out);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+
+  /// Tasks sitting in some deque (not yet started). Guarded writes happen
+  /// under the owning deque's mutex; the sleep path re-checks under
+  /// SleepM, so a submit can never be missed.
+  std::atomic<uint64_t> Queued{0};
+  std::mutex SleepM;
+  std::condition_variable SleepCv;
+  bool Stop = false; // Guarded by SleepM.
+  std::atomic<unsigned> NextWorker{0};
+};
+
+/// A batch of tasks whose completion can be awaited. wait() helps run the
+/// group's own tasks on the calling thread, so waiting from inside a pool
+/// task is deadlock-free. With a null pool, spawn() runs the task inline —
+/// the serial (--jobs 1) path goes through the same code.
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool *Pool) : Pool(Pool) {
+    if (Pool)
+      S = std::make_shared<State>();
+  }
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  /// Adds a task to the group (inline execution when the pool is null).
+  void spawn(ThreadPool::Task T);
+
+  /// Blocks until every spawned task has finished, executing queued group
+  /// tasks on the calling thread while it waits.
+  void wait();
+
+private:
+  struct State {
+    std::mutex M;
+    std::condition_variable Cv;
+    std::deque<ThreadPool::Task> Q;
+    uint64_t Unfinished = 0;
+  };
+  /// Runs one queued task of \p S; false when the queue was empty.
+  static bool runOne(State &S);
+
+  ThreadPool *Pool;
+  std::shared_ptr<State> S; // Shared with in-flight proxy tasks.
+};
+
+} // namespace support
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_THREADPOOL_H

@@ -1,0 +1,76 @@
+//===- ParallelDeterminismTest.cpp ----------------------------------------===//
+//
+// The parallel verification engine's central contract: verdicts and
+// diagnostics over the full corpus are byte-identical for any job count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ParallelCheck.h"
+#include "corpus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+std::vector<CheckJob> corpusJobs() {
+  std::vector<CheckJob> Jobs;
+  for (const corpus::CorpusProgram &P : corpus::corpus())
+    Jobs.push_back({P.Name, P.Asm, P.Policy});
+  return Jobs;
+}
+
+std::string runCorpus(unsigned Jobs) {
+  ParallelCheckOptions Opts;
+  Opts.Jobs = Jobs;
+  return renderParallelReport(checkJobs(corpusJobs(), Opts));
+}
+
+TEST(ParallelDeterminism, ReportsIdenticalAcrossJobCounts) {
+  std::string Serial = runCorpus(1);
+  ASSERT_FALSE(Serial.empty());
+  // The serial baseline must carry every program and its verdict.
+  for (const corpus::CorpusProgram &P : corpus::corpus()) {
+    EXPECT_NE(Serial.find("== " + P.Name + " =="), std::string::npos);
+    EXPECT_NE(
+        Serial.find(P.ExpectSafe ? "verdict: SAFE" : "verdict: UNSAFE"),
+        std::string::npos);
+  }
+  std::string Parallel = runCorpus(8);
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {
+  // Two 8-job runs see different schedules and different shared-cache
+  // warm-up; the reports must not.
+  EXPECT_EQ(runCorpus(8), runCorpus(8));
+}
+
+TEST(ParallelDeterminism, VerdictsMatchExpectations) {
+  ParallelCheckOptions Opts;
+  Opts.Jobs = 4;
+  ParallelCheckResult R = checkJobs(corpusJobs(), Opts);
+  ASSERT_EQ(R.Programs.size(), corpus::corpus().size());
+  for (size_t I = 0; I < R.Programs.size(); ++I) {
+    const corpus::CorpusProgram &P = corpus::corpus()[I];
+    EXPECT_EQ(R.Programs[I].Name, P.Name); // Input order preserved.
+    EXPECT_TRUE(R.Programs[I].Report.InputsOk) << P.Name;
+    EXPECT_EQ(R.Programs[I].Report.Safe, P.ExpectSafe) << P.Name;
+  }
+}
+
+TEST(ParallelDeterminism, PrivateCachesAndNoVcParallelismAgreeToo) {
+  // The engine's knobs must not change verdicts either.
+  ParallelCheckOptions A;
+  A.Jobs = 1;
+  ParallelCheckOptions B;
+  B.Jobs = 8;
+  B.ShareProverCache = false;
+  B.VcParallelism = false;
+  EXPECT_EQ(renderParallelReport(checkJobs(corpusJobs(), A)),
+            renderParallelReport(checkJobs(corpusJobs(), B)));
+}
+
+} // namespace

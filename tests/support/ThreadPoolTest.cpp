@@ -1,0 +1,115 @@
+//===- ThreadPoolTest.cpp -------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace mcsafe::support;
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  // The destructor drains the queue; check after scope exit.
+  {
+    TaskGroup Group(&Pool);
+    for (int I = 0; I < 100; ++I)
+      Group.spawn([&Count] { ++Count; });
+  }
+  while (Count.load() < 200)
+    std::this_thread::yield();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPoolTest, TaskGroupWaitIsABarrier) {
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  TaskGroup Group(&Pool);
+  for (int I = 0; I < 500; ++I)
+    Group.spawn([&Count] { ++Count; });
+  Group.wait();
+  EXPECT_EQ(Count.load(), 500);
+  // A group is reusable after wait().
+  Group.spawn([&Count] { ++Count; });
+  Group.wait();
+  EXPECT_EQ(Count.load(), 501);
+}
+
+TEST(ThreadPoolTest, NullPoolRunsInline) {
+  TaskGroup Group(nullptr);
+  int Count = 0;
+  Group.spawn([&Count] { ++Count; });
+  EXPECT_EQ(Count, 1); // Ran synchronously, before wait().
+  Group.wait();
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(ThreadPoolTest, NestedGroupsDoNotDeadlock) {
+  // More outer tasks than workers, each waiting on an inner group: the
+  // helping wait() must keep every worker productive.
+  ThreadPool Pool(2);
+  std::atomic<int> Inner{0};
+  TaskGroup Outer(&Pool);
+  for (int I = 0; I < 8; ++I)
+    Outer.spawn([&Pool, &Inner] {
+      TaskGroup Group(&Pool);
+      for (int J = 0; J < 16; ++J)
+        Group.spawn([&Inner] { ++Inner; });
+      Group.wait();
+    });
+  Outer.wait();
+  EXPECT_EQ(Inner.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, WaitHelpsFromNonWorkerThread) {
+  // With a single worker and many tasks, the main thread's wait() must
+  // pitch in rather than block on a saturated queue.
+  ThreadPool Pool(1);
+  std::atomic<int> Count{0};
+  TaskGroup Group(&Pool);
+  for (int I = 0; I < 256; ++I)
+    Group.spawn([&Count] { ++Count; });
+  Group.wait();
+  EXPECT_EQ(Count.load(), 256);
+}
+
+TEST(ThreadPoolTest, ParallelSumStress) {
+  ThreadPool Pool(8);
+  constexpr int N = 2000;
+  std::vector<int> Results(N, 0);
+  TaskGroup Group(&Pool);
+  for (int I = 0; I < N; ++I)
+    Group.spawn([&Results, I] { Results[I] = I; });
+  Group.wait();
+  long long Sum = 0;
+  for (int R : Results)
+    Sum += R;
+  EXPECT_EQ(Sum, static_cast<long long>(N) * (N - 1) / 2);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool Pool(2);
+  std::set<std::thread::id> Ids;
+  std::mutex M;
+  TaskGroup Group(&Pool);
+  for (int I = 0; I < 64; ++I)
+    Group.spawn([&Ids, &M] {
+      std::lock_guard<std::mutex> Lock(M);
+      Ids.insert(std::this_thread::get_id());
+    });
+  Group.wait();
+  // Tasks ran somewhere — workers and possibly the helping main thread.
+  EXPECT_GE(Ids.size(), 1u);
+  EXPECT_LE(Ids.size(), 3u);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyNonZero) {
+  EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}

@@ -18,15 +18,19 @@
 #include "checker/Annotation.h"
 #include "checker/CheckContext.h"
 #include "checker/Propagation.h"
+#include "checker/ParallelCheck.h"
 #include "checker/Report.h"
 #include "checker/SafetyChecker.h"
+#include "support/ThreadPool.h"
 #include "corpus/Corpus.h"
 #include "policy/PolicyParser.h"
 #include "sparc/AsmParser.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -49,13 +53,16 @@ void usage() {
   std::printf(
       "usage: mcsafe-check <prog.s> <policy.pol> [options]\n"
       "       mcsafe-check --corpus <name> [options]\n"
+      "       mcsafe-check --corpus all [options]\n"
       "       mcsafe-check --list-corpus\n"
       "options:\n"
       "  -v             verbose: listing + conditions + statistics\n"
       "  --listing      print the per-instruction typestates (Figure 6)\n"
       "  --conditions   print the global safety preconditions (Figure 3)\n"
       "  --lint-only    run only the phase-0 dataflow lint\n"
-      "  --no-lint      disable the phase-0 lint (and dead-reg pruning)\n");
+      "  --no-lint      disable the phase-0 lint (and dead-reg pruning)\n"
+      "  --jobs N       verify with N worker threads (default: hardware\n"
+      "                 concurrency); verdicts are identical for any N\n");
 }
 
 enum class LintMode { On, Off, Only };
@@ -95,13 +102,21 @@ int runLintOnly(const std::string &Asm, const std::string &Policy,
 }
 
 int runCheck(const std::string &Asm, const std::string &Policy,
-             bool Listing, bool Conditions, bool Stats, LintMode Lint) {
+             bool Listing, bool Conditions, bool Stats, LintMode Lint,
+             unsigned Jobs) {
   if (Lint == LintMode::Only)
     return runLintOnly(Asm, Policy, Stats);
   SafetyChecker::Options Opts;
   if (Lint == LintMode::Off) {
     Opts.Lint = false;
     Opts.PruneDeadRegs = false;
+  }
+  if (Jobs == 0)
+    Jobs = support::ThreadPool::hardwareConcurrency();
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Jobs > 1) {
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
+    Opts.Global.Pool = Pool.get();
   }
   SafetyChecker Checker(Opts);
   CheckReport R = Checker.checkSource(Asm, Policy);
@@ -159,6 +174,14 @@ int runCheck(const std::string &Asm, const std::string &Policy,
         static_cast<unsigned long long>(R.Global.QuickDischarges),
         static_cast<unsigned long long>(R.Global.InvariantsSynthesized),
         static_cast<unsigned long long>(R.Global.InvariantReuses));
+    std::printf(
+        "prover: %llu validity + %llu sat queries, %llu cache hits, "
+        "%llu evictions, %llu speculative (jobs %u)\n",
+        static_cast<unsigned long long>(R.ProverStats.ValidityQueries),
+        static_cast<unsigned long long>(R.ProverStats.SatQueries),
+        static_cast<unsigned long long>(R.ProverStats.CacheHits),
+        static_cast<unsigned long long>(R.ProverStats.CacheEvictions),
+        static_cast<unsigned long long>(R.Global.SpeculativeQueries), Jobs);
     std::printf("times: lint %.4fs, typestate %.4fs (%llu visits), "
                 "annotation+local %.4fs, global %.4fs, total %.4fs\n",
                 R.TimeLint, R.TimeTypestate,
@@ -166,6 +189,67 @@ int runCheck(const std::string &Asm, const std::string &Policy,
                 R.TimeAnnotation, R.TimeGlobal, R.total());
   }
   return R.Safe ? 0 : 1;
+}
+
+/// Checks the whole corpus, possibly in parallel. The non-verbose output
+/// is the deterministic batch report — byte-identical for any job count.
+int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs) {
+  ParallelCheckOptions Opts;
+  Opts.Jobs = Jobs;
+  if (Lint == LintMode::Off) {
+    Opts.Check.Lint = false;
+    Opts.Check.PruneDeadRegs = false;
+  }
+  std::vector<CheckJob> Jobs2;
+  for (const corpus::CorpusProgram &P : corpus::corpus())
+    Jobs2.push_back({P.Name, P.Asm, P.Policy});
+  ParallelCheckResult R = checkJobs(Jobs2, Opts);
+
+  std::printf("%s", renderParallelReport(R).c_str());
+  unsigned Safe = 0, Unsafe = 0, Errors = 0;
+  for (const ParallelCheckResult::Program &P : R.Programs) {
+    if (!P.Report.InputsOk)
+      ++Errors;
+    else if (P.Report.Safe)
+      ++Safe;
+    else
+      ++Unsafe;
+  }
+  std::printf("total: %zu programs, %u safe, %u unsafe, %u errors\n",
+              R.Programs.size(), Safe, Unsafe, Errors);
+
+  if (Stats) {
+    double Lint2 = 0, Typestate = 0, Annotation = 0, Global = 0;
+    uint64_t Validity = 0, Sat = 0, Hits = 0, Speculative = 0;
+    for (const ParallelCheckResult::Program &P : R.Programs) {
+      Lint2 += P.Report.TimeLint;
+      Typestate += P.Report.TimeTypestate;
+      Annotation += P.Report.TimeAnnotation;
+      Global += P.Report.TimeGlobal;
+      Validity += P.Report.ProverStats.ValidityQueries;
+      Sat += P.Report.ProverStats.SatQueries;
+      Hits += P.Report.ProverStats.CacheHits;
+      Speculative += P.Report.Global.SpeculativeQueries;
+    }
+    std::printf("jobs: %u, wall: %.4fs (cpu: lint %.4fs, typestate %.4fs, "
+                "annotation+local %.4fs, global %.4fs)\n",
+                R.JobsUsed, R.WallSeconds, Lint2, Typestate, Annotation,
+                Global);
+    std::printf("prover: %llu validity + %llu sat queries, %llu per-prover "
+                "cache hits, %llu speculative\n",
+                static_cast<unsigned long long>(Validity),
+                static_cast<unsigned long long>(Sat),
+                static_cast<unsigned long long>(Hits),
+                static_cast<unsigned long long>(Speculative));
+    std::printf("shared cache: %llu hits, %llu misses, %llu insertions, "
+                "%llu evictions, %llu entries\n",
+                static_cast<unsigned long long>(R.Cache.Hits),
+                static_cast<unsigned long long>(R.Cache.Misses),
+                static_cast<unsigned long long>(R.Cache.Insertions),
+                static_cast<unsigned long long>(R.Cache.Evictions),
+                static_cast<unsigned long long>(R.Cache.Entries));
+  }
+  return Errors ? 2 : (Unsafe ? 1 : 0);
 }
 
 } // namespace
@@ -176,10 +260,29 @@ int main(int argc, char **argv) {
   std::string CorpusName;
   std::vector<std::string> Files;
   bool ListCorpus = false;
+  unsigned Jobs = 0; // 0 = hardware concurrency.
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "-v") {
+    if (Arg == "--jobs" || Arg.rfind("--jobs=", 0) == 0) {
+      std::string Value;
+      if (Arg == "--jobs") {
+        if (I + 1 >= argc) {
+          usage();
+          return 2;
+        }
+        Value = argv[++I];
+      } else {
+        Value = Arg.substr(strlen("--jobs="));
+      }
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0' || N == 0 || N > 1024) {
+        std::fprintf(stderr, "invalid --jobs value '%s'\n", Value.c_str());
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "-v") {
       Listing = Conditions = Stats = true;
     } else if (Arg == "--listing") {
       Listing = true;
@@ -213,9 +316,12 @@ int main(int argc, char **argv) {
   }
 
   if (!CorpusName.empty()) {
+    if (CorpusName == "all")
+      return runCorpusAll(Stats, Lint, Jobs);
     for (const corpus::CorpusProgram &P : corpus::corpus())
       if (P.Name == CorpusName)
-        return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats, Lint);
+        return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats, Lint,
+                        Jobs);
     std::fprintf(stderr, "unknown corpus program '%s'\n",
                  CorpusName.c_str());
     return 2;
@@ -235,5 +341,5 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "cannot read '%s'\n", Files[1].c_str());
     return 2;
   }
-  return runCheck(*Asm, *Policy, Listing, Conditions, Stats, Lint);
+  return runCheck(*Asm, *Policy, Listing, Conditions, Stats, Lint, Jobs);
 }
