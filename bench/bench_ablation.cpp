@@ -118,12 +118,16 @@ int main() {
   for (const char *Name : {"HeapSort2", "HeapSort"}) {
     const CorpusProgram &P = corpusProgram(Name);
     SafetyChecker Checker(Base);
+    auto Start = std::chrono::steady_clock::now();
     CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    double Total = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
     std::printf("%-10s insts=%-4u conds=%-4llu total=%.4fs "
                 "(paper: %.2fs)\n",
                 Name, R.Chars.Instructions,
                 static_cast<unsigned long long>(R.Chars.GlobalConditions),
-                R.total(), P.Paper.TimeTotal);
+                Total, P.Paper.TimeTotal);
   }
   return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "checker/ParallelCheck.h"
 #include "corpus/Corpus.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -46,15 +47,24 @@ Row runConfig(const std::vector<CheckJob> &Jobs, unsigned N, int Reps) {
   R.Jobs = N;
   R.Wall = 1e9;
   for (int I = 0; I < Reps; ++I) {
+    // A fresh registry and shared cache per run: no warm-cache bleed
+    // between configs. Wall time and hit rates come from the registry —
+    // the result struct itself is deterministic data only.
+    support::MetricsRegistry Reg;
     ParallelCheckOptions Opts;
     Opts.Jobs = N;
-    // A fresh shared cache per run: no warm-cache bleed between configs.
+    Opts.Metrics = &Reg;
     ParallelCheckResult Result = checkJobs(Jobs, Opts);
-    if (Result.WallSeconds < R.Wall) {
-      R.Wall = Result.WallSeconds;
-      uint64_t Lookups = Result.Cache.Hits + Result.Cache.Misses;
-      R.HitRate =
-          Lookups ? double(Result.Cache.Hits) / double(Lookups) : 0.0;
+    double Wall =
+        support::usToSeconds(Reg.value("parallel/wall_us").value_or(0));
+    if (Wall < R.Wall) {
+      R.Wall = Wall;
+      uint64_t Hits =
+          static_cast<uint64_t>(Reg.value("cache/shared/hits").value_or(0));
+      uint64_t Lookups =
+          Hits + static_cast<uint64_t>(
+                     Reg.value("cache/shared/misses").value_or(0));
+      R.HitRate = Lookups ? double(Hits) / double(Lookups) : 0.0;
     }
     R.Report = renderParallelReport(Result);
   }

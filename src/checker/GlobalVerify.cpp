@@ -6,6 +6,7 @@
 #include "policy/Policy.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -199,6 +200,7 @@ private:
 void Verifier::prefetchValidity(const std::vector<FormulaRef> &Queries) {
   if (!canPrefetch())
     return;
+  support::TraceSpan Span("global/prefetch");
   std::shared_ptr<ProverCache> SharedCache = TheProver.cacheHandle();
   Prover::Options ProverOpts = TheProver.options();
   std::unordered_set<size_t> Seen;
@@ -431,6 +433,7 @@ std::vector<FormulaRef> Verifier::candidates(int32_t LoopIdx,
 Verifier::SynthesisResult Verifier::synthesize(int32_t LoopIdx,
                                                const FormulaRef &QhIn,
                                                bool CheckEntry) {
+  support::TraceSpan Span("global/synthesize");
   SynthesisResult Result;
   FormulaRef Qh = simplify(QhIn);
   if (Qh->isTrue()) {

@@ -4,6 +4,7 @@
 
 #include "constraints/Var.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <sstream>
@@ -30,6 +31,7 @@ ParallelCheckResult checker::checkJobs(const std::vector<CheckJob> &Jobs,
     Shared = std::make_shared<ProverCache>(C);
   }
 
+  support::TraceSpan BatchSpan("parallel/batch");
   auto Start = std::chrono::steady_clock::now();
 
   std::unique_ptr<support::ThreadPool> Pool;
@@ -37,6 +39,7 @@ ParallelCheckResult checker::checkJobs(const std::vector<CheckJob> &Jobs,
     Pool = std::make_unique<support::ThreadPool>(NJobs);
 
   auto RunOne = [&](size_t I) {
+    support::TraceSpan JobSpan("parallel/job", Jobs[I].Name);
     // A private namespace makes this check's variable-id and fresh-name
     // sequences a pure function of its own inputs — the determinism
     // anchor for byte-identical reports under any scheduling.
@@ -44,6 +47,8 @@ ParallelCheckResult checker::checkJobs(const std::vector<CheckJob> &Jobs,
     SafetyChecker::Options O = Opts.Check;
     O.SharedProverCache = Shared;
     O.Global.Pool = (Opts.VcParallelism && Pool) ? Pool.get() : nullptr;
+    O.Metrics = Opts.Metrics;
+    O.MetricScope = "program/" + Jobs[I].Name;
     SafetyChecker Checker(O);
     Result.Programs[I].Report =
         Checker.checkSource(Jobs[I].Asm, Jobs[I].Policy);
@@ -59,28 +64,79 @@ ParallelCheckResult checker::checkJobs(const std::vector<CheckJob> &Jobs,
       RunOne(I);
   }
 
-  Result.WallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
-  if (Shared)
-    Result.Cache = Shared->stats();
+  if (support::MetricsRegistry *Reg = Opts.Metrics) {
+    Reg->counter("parallel/wall_us")
+        .inc(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count()));
+    Reg->gauge("parallel/jobs").set(NJobs);
+    if (Shared) {
+      // Shared-cache counters are published exactly once, from the cache
+      // itself. Per-worker Prover::stats() intentionally report 0
+      // evictions for a shared cache, so nothing here is double-counted.
+      ProverCache::Stats CS = Shared->stats();
+      Reg->counter("cache/shared/hits").inc(CS.Hits);
+      Reg->counter("cache/shared/misses").inc(CS.Misses);
+      Reg->counter("cache/shared/insertions").inc(CS.Insertions);
+      Reg->counter("cache/shared/evictions").inc(CS.Evictions);
+      Reg->gauge("cache/shared/entries").set(
+          static_cast<int64_t>(CS.Entries));
+    }
+    if (Pool) {
+      support::ThreadPool::Stats PS = Pool->stats();
+      Reg->counter("pool/submitted").inc(PS.Submitted);
+      Reg->counter("pool/executed").inc(PS.Executed);
+      Reg->counter("pool/steals").inc(PS.Steals);
+      Reg->counter("pool/idle_us").inc(PS.IdleUs);
+      Reg->gauge("pool/workers").set(Pool->workerCount());
+    }
+  }
   return Result;
 }
 
 std::string checker::renderParallelReport(const ParallelCheckResult &R) {
   std::ostringstream OS;
   for (const ParallelCheckResult::Program &P : R.Programs) {
+    const CheckReport &Rep = P.Report;
     OS << "== " << P.Name << " ==\n";
-    if (!P.Report.InputsOk)
+    if (!Rep.InputsOk)
       OS << "verdict: ERROR\n";
     else
-      OS << "verdict: " << (P.Report.Safe ? "SAFE" : "UNSAFE") << "\n";
-    std::string Diags = P.Report.Diags.str();
+      OS << "verdict: " << (Rep.Safe ? "SAFE" : "UNSAFE") << "\n";
+    std::string Diags = Rep.Diags.str();
     if (!Diags.empty()) {
       OS << Diags;
       if (Diags.back() != '\n')
         OS << "\n";
     }
+    if (!Rep.InputsOk)
+      continue;
+    // Deterministic work counters only — no wall-clock values, and none
+    // of the series that vary with cache warmth or scheduling (cache
+    // hits, budget exhaustions, speculative queries, Omega internals).
+    const ProgramCharacteristics &C = Rep.Chars;
+    OS << "insts: " << C.Instructions << "  branches: " << C.Branches
+       << "  loops: " << C.Loops << " (inner " << C.InnerLoops << ")"
+       << "  calls: " << C.Calls << " (trusted " << C.TrustedCalls
+       << ")\n";
+    if (Rep.LintRejected) {
+      OS << "lint: rejected\n";
+      continue;
+    }
+    OS << "typestate visits: " << Rep.TypestateNodeVisits
+       << "  local checks: " << Rep.LocalChecks << " (violations "
+       << Rep.LocalViolations << ")\n";
+    OS << "global: conditions " << C.GlobalConditions << "  proved "
+       << Rep.Global.ObligationsProved << "  failed "
+       << Rep.Global.ObligationsFailed << "  quick "
+       << Rep.Global.QuickDischarges << "\n";
+    OS << "loops: invariants " << Rep.Global.InvariantsSynthesized
+       << " (reused " << Rep.Global.InvariantReuses << ")  iterations "
+       << Rep.Global.IterationsRun << "  generalizations "
+       << Rep.Global.GeneralizationsTried << "\n";
+    OS << "prover: validity " << Rep.ProverStats.ValidityQueries
+       << "  sat " << Rep.ProverStats.SatQueries << "\n";
   }
   return OS.str();
 }

@@ -54,6 +54,12 @@ struct ParallelCheckOptions {
   bool ShareProverCache = true;
   /// Also discharge independent VCs inside each check on the pool.
   bool VcParallelism = true;
+  /// Observability sink for the whole batch. Each program publishes
+  /// under "program/<name>/..."; the driver adds batch-level series:
+  /// "parallel/wall_us", "parallel/jobs", "cache/shared/*" (published
+  /// once — eviction counts are cache-global, not per-worker), and
+  /// "pool/*" (tasks submitted/executed, steals, idle time).
+  support::MetricsRegistry *Metrics = nullptr;
 };
 
 struct ParallelCheckResult {
@@ -64,9 +70,9 @@ struct ParallelCheckResult {
   /// One entry per job, in input order regardless of completion order.
   std::vector<Program> Programs;
   unsigned JobsUsed = 0;
-  double WallSeconds = 0;
-  /// Stats of the shared cache (zero when ShareProverCache is off).
-  ProverCache::Stats Cache;
+  // Wall time and cache counters live in ParallelCheckOptions::Metrics,
+  // not here: everything in this struct is deterministic for a given
+  // job list, independent of job count and scheduling.
 };
 
 /// Checks every job, possibly concurrently. Verdicts and diagnostics are
@@ -74,9 +80,13 @@ struct ParallelCheckResult {
 ParallelCheckResult checkJobs(const std::vector<CheckJob> &Jobs,
                               const ParallelCheckOptions &Opts = {});
 
-/// Renders the determinism-relevant slice of a batch result — program
-/// names, verdicts, and diagnostics, in input order; no timings or
-/// counters. Byte-identical across job counts by construction.
+/// Renders the full deterministic batch report — program names,
+/// verdicts, diagnostics, program characteristics, and the work counters
+/// that are pure functions of the inputs (typestate visits, local
+/// checks, proof obligations, prover query counts), in input order.
+/// Byte-identical across job counts; scheduling-dependent series (cache
+/// hits, speculative queries, timings) are deliberately absent — those
+/// live in the metrics registry.
 std::string renderParallelReport(const ParallelCheckResult &R);
 
 } // namespace checker

@@ -9,6 +9,7 @@
 #include "checker/Propagation.h"
 #include "policy/PolicyParser.h"
 #include "sparc/AsmParser.h"
+#include "support/Trace.h"
 
 #include <chrono>
 
@@ -17,10 +18,66 @@ using namespace mcsafe::checker;
 
 namespace {
 
-double secondsSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       Start)
-      .count();
+using Clock = std::chrono::steady_clock;
+
+uint64_t usSince(Clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Start)
+          .count());
+}
+
+/// Measures one checker phase: an RAII pair of a trace span and a
+/// microsecond counter under "<scope>/phase/<name>_us", plus the
+/// cross-program latency histogram "phase/<name>_us".
+class PhaseTimer {
+public:
+  PhaseTimer(support::MetricsRegistry *Metrics, const std::string &Scope,
+             const char *SpanName, const char *Phase)
+      : Span(SpanName, Scope), Metrics(Metrics), Scope(Scope),
+        Phase(Phase), Start(Clock::now()) {}
+  ~PhaseTimer() {
+    if (!Metrics)
+      return;
+    uint64_t Us = usSince(Start);
+    Metrics->counter(Scope + "/phase/" + Phase + "_us").inc(Us);
+    Metrics->histogram(std::string("phase/") + Phase + "_us").observe(Us);
+  }
+
+private:
+  support::TraceSpan Span;
+  support::MetricsRegistry *Metrics;
+  const std::string &Scope;
+  const char *Phase;
+  Clock::time_point Start;
+};
+
+void publishCounters(support::MetricsRegistry &Reg, const std::string &Scope,
+                     const CheckReport &Report) {
+  auto Put = [&](const char *Name, uint64_t V) {
+    Reg.counter(Scope + "/" + Name).inc(V);
+  };
+  Put("typestate/node_visits", Report.TypestateNodeVisits);
+  Put("local/checks", Report.LocalChecks);
+  Put("local/violations", Report.LocalViolations);
+  Put("global/obligations_proved", Report.Global.ObligationsProved);
+  Put("global/obligations_failed", Report.Global.ObligationsFailed);
+  Put("global/quick_discharges", Report.Global.QuickDischarges);
+  Put("global/invariants_synthesized", Report.Global.InvariantsSynthesized);
+  Put("global/invariant_reuses", Report.Global.InvariantReuses);
+  Put("global/iterations_run", Report.Global.IterationsRun);
+  Put("global/generalizations_tried", Report.Global.GeneralizationsTried);
+  Put("global/speculative_queries", Report.Global.SpeculativeQueries);
+  Put("prover/validity_queries", Report.ProverStats.ValidityQueries);
+  Put("prover/sat_queries", Report.ProverStats.SatQueries);
+  Put("prover/cache_hits", Report.ProverStats.CacheHits);
+  Put("prover/cache_evictions", Report.ProverStats.CacheEvictions);
+  Put("prover/budget_exhaustions", Report.ProverStats.BudgetExhaustions);
+  Put("omega/calls", Report.OmegaStats.Calls);
+  Put("omega/eq_eliminations", Report.OmegaStats.EqEliminations);
+  Put("omega/ineq_eliminations", Report.OmegaStats.IneqEliminations);
+  Put("omega/dark_shadow_hits", Report.OmegaStats.DarkShadowHits);
+  Put("omega/splinters", Report.OmegaStats.Splinters);
 }
 
 } // namespace
@@ -28,6 +85,8 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
 CheckReport SafetyChecker::check(const sparc::Module &M,
                                  const policy::Policy &Pol) {
   CheckReport Report;
+  support::TraceSpan CheckSpan("checker/check", Opts.MetricScope);
+  Clock::time_point CheckStart = Clock::now();
 
   // Static characteristics of the untrusted code.
   Report.Chars.Instructions = M.size();
@@ -42,7 +101,12 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
   }
 
   // Phase 1: preparation.
-  std::optional<CheckContext> Ctx = prepare(M, Pol, Report.Diags);
+  std::optional<CheckContext> Ctx;
+  {
+    PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/prepare",
+                 "prepare");
+    Ctx = prepare(M, Pol, Report.Diags);
+  }
   if (!Ctx) {
     Report.InputsOk = false;
     return Report;
@@ -51,15 +115,22 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
   Report.Chars.Loops = static_cast<uint32_t>(Ctx->Loops->loops().size());
   Report.Chars.InnerLoops = Ctx->Loops->innerLoopCount();
 
+  auto Finish = [&] {
+    if (Opts.Metrics) {
+      Opts.Metrics->counter(Opts.MetricScope + "/phase/total_us")
+          .inc(usSince(CheckStart));
+      publishCounters(*Opts.Metrics, Opts.MetricScope, Report);
+    }
+  };
+
   // Phase 0: bit-vector dataflow lint. Fast-rejects definite
   // violations and computes the liveness the propagation phase uses to
   // prune dead registers.
   std::optional<analysis::LintResult> Lint;
   if (Opts.Lint) {
-    auto TL = std::chrono::steady_clock::now();
+    PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/lint", "lint");
     Lint.emplace(
         analysis::runLint(Ctx->Graph, Pol, Ctx->EntryStore, Report.Diags));
-    Report.TimeLint = secondsSince(TL);
     Report.Chars.LintUninitUses = Lint->Stats.UninitUses;
     Report.Chars.DeadRegWrites = Lint->Stats.DeadRegWrites;
     Report.Chars.MaxStackDelta = Lint->Stats.MaxStackDelta;
@@ -69,36 +140,46 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
       // phases cannot prove the program safe.
       Report.LintRejected = true;
       Report.Safe = false;
+      Finish();
       return Report;
     }
   }
 
   // Phase 2: typestate propagation.
-  auto T0 = std::chrono::steady_clock::now();
-  PropagationResult Prop =
-      propagate(*Ctx, Lint && Opts.PruneDeadRegs ? &Lint->Live : nullptr);
-  Report.TimeTypestate = secondsSince(T0);
+  PropagationResult Prop;
+  {
+    PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/typestate",
+                 "typestate");
+    Prop =
+        propagate(*Ctx, Lint && Opts.PruneDeadRegs ? &Lint->Live : nullptr);
+  }
   Report.TypestateNodeVisits = Prop.NodeVisits;
 
   // Phases 3 + 4: annotation and local verification (including the
   // security-automaton extension, which is typestate-level checking).
-  auto T1 = std::chrono::steady_clock::now();
-  AnnotationResult Annot = annotateAndVerifyLocal(*Ctx, Prop);
-  Annot.LocalViolations += checkAutomata(*Ctx);
-  Report.TimeAnnotation = secondsSince(T1);
+  AnnotationResult Annot;
+  {
+    PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/annotation",
+                 "annotation");
+    Annot = annotateAndVerifyLocal(*Ctx, Prop);
+    Annot.LocalViolations += checkAutomata(*Ctx);
+  }
   Report.LocalChecks = Annot.LocalChecks;
   Report.LocalViolations = Annot.LocalViolations;
   Report.Chars.GlobalConditions = Annot.Obligations.size();
 
   // Phase 5: global verification.
-  auto T2 = std::chrono::steady_clock::now();
-  Prover TheProver(Opts.ProverOpts, Opts.SharedProverCache);
-  Report.Global = verifyGlobal(*Ctx, Prop, Annot, TheProver, Opts.Global);
-  Report.TimeGlobal = secondsSince(T2);
-  Report.ProverStats = TheProver.stats();
-  Report.OmegaStats = TheProver.omegaStats();
+  {
+    PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/global",
+                 "global");
+    Prover TheProver(Opts.ProverOpts, Opts.SharedProverCache);
+    Report.Global = verifyGlobal(*Ctx, Prop, Annot, TheProver, Opts.Global);
+    Report.ProverStats = TheProver.stats();
+    Report.OmegaStats = TheProver.omegaStats();
+  }
 
   Report.Safe = !Report.Diags.hasViolations() && !Report.Diags.hasFatal();
+  Finish();
   return Report;
 }
 

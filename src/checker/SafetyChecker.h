@@ -10,9 +10,10 @@
 /// propagation, annotation, local verification, and global verification
 /// over a piece of untrusted SPARC code and a host-provided safety
 /// policy, and reports either "safe" or the places where safety
-/// conditions are violated. Per-phase wall-clock times and program
-/// characteristics are collected in the same shape as the paper's
-/// Figure 9.
+/// conditions are violated. Program characteristics are collected in
+/// the same shape as the paper's Figure 9; per-phase wall-clock times go
+/// to the metrics registry attached via Options::Metrics (reports hold
+/// only deterministic data, so byte-comparing them is meaningful).
 ///
 /// Typical use:
 /// \code
@@ -33,6 +34,7 @@
 #include "policy/Policy.h"
 #include "sparc/Module.h"
 #include "support/Diagnostics.h"
+#include "support/Metrics.h"
 
 #include <string>
 #include <string_view>
@@ -72,14 +74,11 @@ struct CheckReport {
   DiagnosticEngine Diags;
   ProgramCharacteristics Chars;
 
-  /// Per-phase wall-clock seconds (Figure 9's time rows, plus lint).
-  double TimeLint = 0;
-  double TimeTypestate = 0;
-  double TimeAnnotation = 0; ///< Annotation + local verification.
-  double TimeGlobal = 0;
-  double total() const {
-    return TimeLint + TimeTypestate + TimeAnnotation + TimeGlobal;
-  }
+  // Wall-clock values deliberately do NOT live here: every field of a
+  // CheckReport is a deterministic function of the inputs, so reports
+  // can be compared byte-for-byte across job counts and runs. Phase
+  // times (Figure 9's time rows) are published to Options::Metrics as
+  // "<scope>/phase/{prepare,lint,typestate,annotation,global,total}_us".
 
   /// Worklist visits of the typestate-propagation fixpoint (0 when the
   /// lint rejected first).
@@ -108,6 +107,12 @@ public:
     bool LintReject = true;
     /// Prune dead registers from propagated stores using lint liveness.
     bool PruneDeadRegs = true;
+    /// Observability sink: when set, per-phase timings and all phase /
+    /// prover / omega counters are published under
+    /// "<MetricScope>/...". Null disables publication entirely.
+    support::MetricsRegistry *Metrics = nullptr;
+    /// Name prefix for this check's metrics, e.g. "program/Sum".
+    std::string MetricScope = "check";
   };
 
   SafetyChecker() = default;

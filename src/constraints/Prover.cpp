@@ -1,6 +1,7 @@
 //===- Prover.cpp ---------------------------------------------------------===//
 
 #include "constraints/Prover.h"
+#include "support/Trace.h"
 
 using namespace mcsafe;
 
@@ -12,6 +13,7 @@ Prover::Prover(Options Opts, std::shared_ptr<ProverCache> SharedCache)
     ProverCache::Config C;
     C.MaxEntries = Opts.CacheMaxEntries;
     Cache = std::make_shared<ProverCache>(C);
+    OwnsCache = true;
   }
 }
 
@@ -26,7 +28,11 @@ QueryBudget Prover::budget() const {
 
 Prover::Stats Prover::stats() const {
   Stats S = Counters;
-  if (Cache)
+  // A shared cache's evictions belong to the cache, not to this prover:
+  // reporting them here would let a batch summary over N workers count
+  // each eviction N times. The batch driver reads ProverCache::stats()
+  // once instead.
+  if (Cache && OwnsCache)
     S.CacheEvictions = Cache->stats().Evictions;
   return S;
 }
@@ -57,6 +63,7 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
     // deterministic name sequence independent of cache hit patterns —
     // and hence of how much speculative parallel work warmed the cache.
     VarScopeSuspend NoScope;
+    support::TraceSpan Span("prover/sat");
     DnfResult Dnf = toDNF(F, Opts.DnfMaxDisjuncts, Opts.DnfMaxAtoms);
     Outcome.ApproximatedForall = Dnf.ApproximatedForall;
     if (Dnf.BudgetExceeded) {
@@ -77,6 +84,11 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
         Outcome.Result = SatResult::Unknown;
     }
   }
+
+  // Unknown from the compute path always means some resource budget ran
+  // out (DNF explosion cap or an Omega step/modulus limit).
+  if (Outcome.Result == SatResult::Unknown)
+    ++Counters.BudgetExhaustions;
 
   // Caching budget-limited Unknowns is sound because the key carries the
   // budget: a query under a different budget can never see this entry.

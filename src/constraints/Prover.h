@@ -64,9 +64,14 @@ public:
     uint64_t ValidityQueries = 0;
     uint64_t SatQueries = 0;
     uint64_t CacheHits = 0;
-    /// Evictions of the attached cache. Cache-global: with a shared
-    /// cache this counts evictions caused by every sharer.
+    /// Evictions of a privately-owned cache. Always 0 when the cache is
+    /// shared: eviction is a property of the cache, not of any one
+    /// sharer, so batch drivers read it once from ProverCache::stats()
+    /// instead of summing it per worker.
     uint64_t CacheEvictions = 0;
+    /// Sat computations that ended Unknown because a resource budget ran
+    /// out (DNF disjunct/atom limits, Omega step or modulus limits).
+    uint64_t BudgetExhaustions = 0;
   };
 
   Prover() : Prover(Options()) {}
@@ -113,6 +118,8 @@ private:
   OmegaTest Omega;
   Stats Counters;
   std::shared_ptr<ProverCache> Cache;
+  /// True when this prover created Cache itself (nobody else shares it).
+  bool OwnsCache = false;
 };
 
 } // namespace mcsafe

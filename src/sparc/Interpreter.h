@@ -98,6 +98,11 @@ public:
   /// Runs from instruction 0 until the top-level return or a stop.
   Result run(uint64_t MaxSteps = 1000000);
 
+  /// The index of the next instruction to execute. Values at or beyond
+  /// the module size are pseudo-PCs (host trampoline, returned-to-host).
+  /// Combined with run(1) this supports single-step tracing.
+  uint32_t pc() const { return PC; }
+
 private:
   struct Flags {
     bool N = false, Z = false, V = false, C = false;

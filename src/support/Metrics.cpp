@@ -1,0 +1,209 @@
+//===- Metrics.cpp - Typed counter/gauge/histogram registry ---------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace mcsafe {
+namespace support {
+
+void Histogram::observe(uint64_t Value) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  // bit_width(0) == 0, so zero lands in bucket 0 and value V in bucket
+  // bit_width(V), i.e. [2^(B-1), 2^B).
+  unsigned B = std::bit_width(Value);
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  // Lock-free monotonic min/max: CAS until our value no longer improves.
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Value < Cur &&
+         !Min.compare_exchange_weak(Cur, Value, std::memory_order_relaxed)) {
+  }
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Value > Cur &&
+         !Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  S.Min = S.Count ? Min.load(std::memory_order_relaxed) : 0;
+  S.Max = Max.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Metrics.find(Name);
+  if (It == Metrics.end()) {
+    Metric &E = Metrics[std::string(Name)];
+    E.C = std::make_unique<Counter>();
+    return *E.C;
+  }
+  if (It->second.C)
+    return *It->second.C;
+  auto Shadow = std::make_unique<Metric>();
+  Shadow->C = std::make_unique<Counter>();
+  Counter &Ref = *Shadow->C;
+  Shadows.push_back(std::move(Shadow));
+  return Ref;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Metrics.find(Name);
+  if (It == Metrics.end()) {
+    Metric &E = Metrics[std::string(Name)];
+    E.G = std::make_unique<Gauge>();
+    return *E.G;
+  }
+  if (It->second.G)
+    return *It->second.G;
+  auto Shadow = std::make_unique<Metric>();
+  Shadow->G = std::make_unique<Gauge>();
+  Gauge &Ref = *Shadow->G;
+  Shadows.push_back(std::move(Shadow));
+  return Ref;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Metrics.find(Name);
+  if (It == Metrics.end()) {
+    Metric &E = Metrics[std::string(Name)];
+    E.H = std::make_unique<Histogram>();
+    return *E.H;
+  }
+  if (It->second.H)
+    return *It->second.H;
+  auto Shadow = std::make_unique<Metric>();
+  Shadow->H = std::make_unique<Histogram>();
+  Histogram &Ref = *Shadow->H;
+  Shadows.push_back(std::move(Shadow));
+  return Ref;
+}
+
+std::optional<int64_t> MetricsRegistry::value(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Metrics.find(Name);
+  if (It == Metrics.end())
+    return std::nullopt;
+  if (It->second.C)
+    return static_cast<int64_t>(It->second.C->value());
+  if (It->second.G)
+    return It->second.G->value();
+  return std::nullopt;
+}
+
+namespace {
+
+void jsonEscape(std::ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        OS << "\\u00" << Hex[(Ch >> 4) & 0xF] << Hex[Ch & 0xF];
+      } else {
+        OS << Ch;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void indent(std::ostream &OS, unsigned Depth) {
+  for (unsigned I = 0; I < Depth; ++I)
+    OS << "  ";
+}
+
+} // namespace
+
+void MetricsRegistry::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(M);
+  // Emit the sorted flat map as a nested object. std::map iteration is
+  // already in path order, and '/' sorts before any path character we
+  // use, so a simple open/close-to-common-prefix walk is enough.
+  OS << "{";
+  std::vector<std::string_view> Open; // Currently open object path.
+  bool FirstAtDepth = true;
+  for (auto It = Metrics.begin(); It != Metrics.end(); ++It) {
+    std::string_view Name = It->first;
+    // Split the name into components.
+    std::vector<std::string_view> Parts;
+    size_t Pos = 0;
+    while (Pos <= Name.size()) {
+      size_t Slash = Name.find('/', Pos);
+      if (Slash == std::string_view::npos)
+        Slash = Name.size();
+      Parts.push_back(Name.substr(Pos, Slash - Pos));
+      Pos = Slash + 1;
+    }
+    // Close objects until Open is a prefix of Parts' directory part.
+    size_t Common = 0;
+    while (Common < Open.size() && Common + 1 < Parts.size() &&
+           Open[Common] == Parts[Common])
+      ++Common;
+    while (Open.size() > Common) {
+      Open.pop_back();
+      OS << "\n";
+      indent(OS, Open.size() + 1);
+      OS << "}";
+      FirstAtDepth = false;
+    }
+    // Open new objects for the remaining directory components.
+    for (size_t I = Common; I + 1 < Parts.size(); ++I) {
+      OS << (FirstAtDepth ? "\n" : ",\n");
+      indent(OS, Open.size() + 1);
+      jsonEscape(OS, Parts[I]);
+      OS << ": {";
+      Open.push_back(Parts[I]);
+      FirstAtDepth = true;
+    }
+    // Emit the leaf.
+    OS << (FirstAtDepth ? "\n" : ",\n");
+    indent(OS, Open.size() + 1);
+    jsonEscape(OS, Parts.back());
+    OS << ": ";
+    const Metric &E = It->second;
+    if (E.C) {
+      OS << E.C->value();
+    } else if (E.G) {
+      OS << E.G->value();
+    } else {
+      Histogram::Snapshot S = E.H->snapshot();
+      OS << "{\"count\": " << S.Count << ", \"sum\": " << S.Sum
+         << ", \"min\": " << S.Min << ", \"max\": " << S.Max << "}";
+    }
+    FirstAtDepth = false;
+  }
+  while (!Open.empty()) {
+    Open.pop_back();
+    OS << "\n";
+    indent(OS, Open.size() + 1);
+    OS << "}";
+  }
+  OS << "\n}\n";
+}
+
+} // namespace support
+} // namespace mcsafe

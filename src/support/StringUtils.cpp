@@ -59,29 +59,35 @@ std::optional<int64_t> mcsafe::parseInt(std::string_view S) {
     if (S.empty())
       return std::nullopt;
   }
-  int Base = 10;
-  if (S.size() > 2 && S[0] == '0' && (S[1] == 'x' || S[1] == 'X')) {
+  uint64_t Base = 10;
+  if (S.size() >= 2 && S[0] == '0' && (S[1] == 'x' || S[1] == 'X')) {
     Base = 16;
     S.remove_prefix(2);
+    if (S.empty()) // "0x", "-0x", "+0x": prefix with no digits.
+      return std::nullopt;
   }
-  int64_t Value = 0;
+  // Accumulate the magnitude unsigned. The admissible magnitude is
+  // INT64_MAX for positive inputs but INT64_MAX + 1 for negative ones,
+  // so "-9223372036854775808" (INT64_MIN) parses without ever forming
+  // +9223372036854775808 in a signed variable.
+  const uint64_t Limit =
+      static_cast<uint64_t>(INT64_MAX) + (Negative ? 1u : 0u);
+  uint64_t Mag = 0;
   for (char C : S) {
-    int Digit;
+    uint64_t Digit;
     if (C >= '0' && C <= '9')
-      Digit = C - '0';
+      Digit = static_cast<uint64_t>(C - '0');
     else if (Base == 16 && C >= 'a' && C <= 'f')
-      Digit = C - 'a' + 10;
+      Digit = static_cast<uint64_t>(C - 'a' + 10);
     else if (Base == 16 && C >= 'A' && C <= 'F')
-      Digit = C - 'A' + 10;
+      Digit = static_cast<uint64_t>(C - 'A' + 10);
     else
       return std::nullopt;
-    if (__builtin_mul_overflow(Value, static_cast<int64_t>(Base), &Value) ||
-        __builtin_add_overflow(Value, static_cast<int64_t>(Digit), &Value))
+    if (Mag > (Limit - Digit) / Base)
       return std::nullopt;
+    Mag = Mag * Base + Digit;
   }
-  if (Negative) {
-    if (__builtin_sub_overflow(static_cast<int64_t>(0), Value, &Value))
-      return std::nullopt;
-  }
-  return Value;
+  if (Negative) // Two's-complement negate; well-defined on uint64_t.
+    return static_cast<int64_t>(0u - Mag);
+  return static_cast<int64_t>(Mag);
 }

@@ -3,6 +3,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace mcsafe;
 using namespace mcsafe::support;
@@ -49,6 +50,7 @@ void ThreadPool::submit(Task T) {
     Workers[Idx]->Q.push_back(std::move(T));
   }
   Queued.fetch_add(1, std::memory_order_release);
+  StatSubmitted.fetch_add(1, std::memory_order_relaxed);
   SleepCv.notify_one();
 }
 
@@ -73,6 +75,7 @@ bool ThreadPool::popTask(unsigned Preferred, Task &Out) {
       Out = std::move(V.Q.front());
       V.Q.pop_front();
       Queued.fetch_sub(1, std::memory_order_relaxed);
+      StatSteals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -88,7 +91,17 @@ bool ThreadPool::tryRunOne() {
   if (!popTask(Preferred, T))
     return false;
   T();
+  StatExecuted.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats S;
+  S.Submitted = StatSubmitted.load(std::memory_order_relaxed);
+  S.Executed = StatExecuted.load(std::memory_order_relaxed);
+  S.Steals = StatSteals.load(std::memory_order_relaxed);
+  S.IdleUs = StatIdleUs.load(std::memory_order_relaxed);
+  return S;
 }
 
 void ThreadPool::workerLoop(unsigned Index) {
@@ -99,11 +112,19 @@ void ThreadPool::workerLoop(unsigned Index) {
     while (popTask(Index, T)) {
       T();
       T = nullptr; // Release captures before sleeping.
+      StatExecuted.fetch_add(1, std::memory_order_relaxed);
     }
+    auto IdleStart = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> L(SleepM);
     SleepCv.wait(L, [this] {
       return Stop || Queued.load(std::memory_order_acquire) > 0;
     });
+    StatIdleUs.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - IdleStart)
+                .count()),
+        std::memory_order_relaxed);
     if (Stop && Queued.load(std::memory_order_acquire) == 0)
       return;
   }

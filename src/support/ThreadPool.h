@@ -65,6 +65,17 @@ public:
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned hardwareConcurrency();
 
+  /// Pool activity since construction. Counters are relaxed atomics —
+  /// snapshots taken while tasks are in flight are approximate; after a
+  /// full drain they are exact.
+  struct Stats {
+    uint64_t Submitted = 0; ///< Tasks handed to submit().
+    uint64_t Executed = 0;  ///< Tasks run by workers or tryRunOne().
+    uint64_t Steals = 0;    ///< Pops that took another worker's task.
+    uint64_t IdleUs = 0;    ///< Total worker time blocked on the sleep CV.
+  };
+  Stats stats() const;
+
 private:
   struct Worker {
     std::mutex M;
@@ -85,6 +96,11 @@ private:
   std::condition_variable SleepCv;
   bool Stop = false; // Guarded by SleepM.
   std::atomic<unsigned> NextWorker{0};
+
+  std::atomic<uint64_t> StatSubmitted{0};
+  std::atomic<uint64_t> StatExecuted{0};
+  std::atomic<uint64_t> StatSteals{0};
+  std::atomic<uint64_t> StatIdleUs{0};
 };
 
 /// A batch of tasks whose completion can be awaited. wait() helps run the

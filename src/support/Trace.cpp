@@ -1,0 +1,96 @@
+//===- Trace.cpp - Span-based execution tracer ----------------------------===//
+
+#include "support/Trace.h"
+
+#include <unordered_map>
+
+namespace mcsafe {
+namespace support {
+
+std::atomic<Tracer *> Tracer::GlobalTracer{nullptr};
+
+namespace {
+// Map opaque std::thread::id values to small dense ints, per tracer
+// lifetime. Thread-local cache keyed by tracer keeps record() at one
+// hash lookup after the first span on a thread.
+thread_local std::unordered_map<const Tracer *, uint32_t> CachedTids;
+} // namespace
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint32_t Tracer::threadId() {
+  auto It = CachedTids.find(this);
+  if (It != CachedTids.end())
+    return It->second;
+  uint32_t Tid;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Tid = NextTid++;
+  }
+  CachedTids[this] = Tid;
+  return Tid;
+}
+
+void Tracer::record(std::string_view Name, uint64_t StartUs, uint64_t DurUs,
+                    std::string_view Arg) {
+  uint32_t Tid = threadId();
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(
+      {std::string(Name), std::string(Arg), StartUs, DurUs, Tid});
+}
+
+size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+namespace {
+void jsonEscape(std::ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        OS << "\\u00" << Hex[(Ch >> 4) & 0xF] << Hex[Ch & 0xF];
+      } else {
+        OS << Ch;
+      }
+    }
+  }
+  OS << '"';
+}
+} // namespace
+
+void Tracer::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(M);
+  OS << "{\"traceEvents\": [";
+  bool First = true;
+  for (const Event &E : Events) {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+    OS << "  {\"name\": ";
+    jsonEscape(OS, E.Name);
+    OS << ", \"cat\": \"mcsafe\", \"ph\": \"X\", \"ts\": " << E.StartUs
+       << ", \"dur\": " << E.DurUs << ", \"pid\": 1, \"tid\": " << E.Tid;
+    if (!E.Arg.empty()) {
+      OS << ", \"args\": {\"detail\": ";
+      jsonEscape(OS, E.Arg);
+      OS << "}";
+    }
+    OS << "}";
+  }
+  OS << "\n]}\n";
+}
+
+} // namespace support
+} // namespace mcsafe

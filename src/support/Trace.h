@@ -1,0 +1,128 @@
+//===- Trace.h - Span-based execution tracer --------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead span tracer. Instrumented code opens RAII `TraceSpan`s
+/// ("checker/typestate", "prover/omega"); when a `Tracer` is installed
+/// the span records a complete event (name, thread, start, duration)
+/// that `Tracer::writeJson` serializes in Chrome `trace_event` format —
+/// load the file at chrome://tracing or https://ui.perfetto.dev.
+///
+/// When no tracer is installed (the default), constructing a span reads
+/// one relaxed atomic and does nothing else: instrumentation can stay in
+/// hot paths permanently. The installed tracer is a process-wide atomic
+/// pointer rather than a per-component member because spans cross layers
+/// (a prover span nests inside a checker phase span inside a pool task)
+/// and threading a pointer through every signature would distort the
+/// APIs the tracer is meant to observe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_TRACE_H
+#define MCSAFE_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsafe {
+namespace support {
+
+/// Collects spans from any thread; serializes them as Chrome trace JSON.
+class Tracer {
+public:
+  Tracer();
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  /// Records one complete span. Thread-safe.
+  void record(std::string_view Name, uint64_t StartUs, uint64_t DurUs,
+              std::string_view Arg);
+
+  /// Microseconds since this tracer was constructed.
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// Emits {"traceEvents": [...]} with "ph":"X" complete events.
+  void writeJson(std::ostream &OS) const;
+
+  /// The installed process-wide tracer, or null (tracing off).
+  static Tracer *global() {
+    return GlobalTracer.load(std::memory_order_acquire);
+  }
+  /// Installs (or, with null, removes) the process-wide tracer. Not
+  /// synchronized against in-flight spans: install before instrumented
+  /// work starts and remove after it drains.
+  static void setGlobal(Tracer *T) {
+    GlobalTracer.store(T, std::memory_order_release);
+  }
+
+  size_t eventCount() const;
+
+private:
+  struct Event {
+    std::string Name;
+    std::string Arg; ///< Optional free-form detail; empty = none.
+    uint64_t StartUs;
+    uint64_t DurUs;
+    uint32_t Tid;
+  };
+
+  /// Small stable per-thread id for the "tid" field (thread::id values
+  /// are opaque and ugly in the viewer).
+  uint32_t threadId();
+
+  static std::atomic<Tracer *> GlobalTracer;
+
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex M;
+  std::vector<Event> Events;
+  uint32_t NextTid = 0;
+};
+
+/// RAII span: records [construction, destruction) on the global tracer.
+/// `Name` must outlive the span (string literals in practice).
+class TraceSpan {
+public:
+  explicit TraceSpan(std::string_view Name) : Name(Name) {
+    T = Tracer::global();
+    if (T)
+      StartUs = T->nowUs();
+  }
+  TraceSpan(std::string_view Name, std::string_view Arg)
+      : Name(Name), Arg(Arg) {
+    T = Tracer::global();
+    if (T)
+      StartUs = T->nowUs();
+  }
+  ~TraceSpan() {
+    if (T)
+      T->record(Name, StartUs, T->nowUs() - StartUs, Arg);
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  Tracer *T;
+  std::string_view Name;
+  std::string_view Arg;
+  uint64_t StartUs = 0;
+};
+
+} // namespace support
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_TRACE_H

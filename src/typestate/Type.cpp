@@ -2,6 +2,7 @@
 
 #include "typestate/Type.h"
 
+#include <array>
 #include <cassert>
 #include <sstream>
 
@@ -138,15 +139,20 @@ TypeRef TypeFactory::top() {
 }
 
 TypeRef TypeFactory::ground(GroundKind K) {
-  static TypeRef Cache[6];
-  size_t Index = static_cast<size_t>(K);
-  if (!Cache[Index]) {
-    auto N = std::shared_ptr<TypeNode>(new TypeNode());
-    N->Kind = TypeKind::Ground;
-    N->Ground = K;
-    Cache[Index] = N;
-  }
-  return Cache[Index];
+  // Built eagerly under the guaranteed-once static initialization: the
+  // lazy check-then-fill this replaces raced when concurrent checks
+  // requested the same ground type.
+  static const std::array<TypeRef, 6> Cache = [] {
+    std::array<TypeRef, 6> A;
+    for (size_t I = 0; I < A.size(); ++I) {
+      auto N = std::shared_ptr<TypeNode>(new TypeNode());
+      N->Kind = TypeKind::Ground;
+      N->Ground = static_cast<GroundKind>(I);
+      A[I] = TypeRef(N);
+    }
+    return A;
+  }();
+  return Cache[static_cast<size_t>(K)];
 }
 
 TypeRef TypeFactory::abstract(std::string Name, uint32_t Size,

@@ -105,6 +105,50 @@ TEST(ProverCache, BoundedCacheEvictsAndCounts) {
   EXPECT_GT(P.stats().CacheEvictions, 0u);
 }
 
+// Eviction-dedupe regression: evictions are a property of the cache, so
+// a prover attached to a SHARED cache must report 0 — otherwise a batch
+// summary over N workers counts every eviction N times. The cache-global
+// number stays available from ProverCache::stats() itself.
+TEST(ProverCache, SharedCacheEvictionsNotDoubleCounted) {
+  ProverCache::Config C;
+  C.MaxEntries = 16;
+  C.Shards = 1;
+  auto Shared = std::make_shared<ProverCache>(C);
+
+  Prover::Options Opts;
+  Prover P1(Opts, Shared);
+  Prover P2(Opts, Shared);
+  for (int I = 0; I < 200; ++I) {
+    P1.checkSat(ge(var("pc.s1").plusConstant(-I)));
+    P2.checkSat(ge(var("pc.s2").plusConstant(-I)));
+  }
+  ASSERT_GT(Shared->stats().Evictions, 0u); // The cache did evict...
+  EXPECT_EQ(P1.stats().CacheEvictions, 0u); // ...but no sharer owns them:
+  EXPECT_EQ(P2.stats().CacheEvictions, 0u);
+  // summing per-worker stats plus one cache-level read counts each
+  // eviction exactly once.
+  uint64_t BatchTotal = P1.stats().CacheEvictions +
+                        P2.stats().CacheEvictions +
+                        Shared->stats().Evictions;
+  EXPECT_EQ(BatchTotal, Shared->stats().Evictions);
+}
+
+TEST(ProverCache, BudgetExhaustionsCounted) {
+  Prover::Options SmallOpts;
+  SmallOpts.DnfMaxDisjuncts = 2; // Exceeded by wideFormula()'s 16.
+  Prover P(SmallOpts);
+  FormulaRef F = wideFormula();
+  EXPECT_EQ(P.checkSat(F), SatResult::Unknown);
+  EXPECT_EQ(P.stats().BudgetExhaustions, 1u);
+  // A cache hit replays the Unknown without a fresh exhaustion.
+  EXPECT_EQ(P.checkSat(F), SatResult::Unknown);
+  EXPECT_EQ(P.stats().BudgetExhaustions, 1u);
+  // An ample budget never exhausts.
+  Prover Big;
+  EXPECT_EQ(Big.checkSat(F), SatResult::Sat);
+  EXPECT_EQ(Big.stats().BudgetExhaustions, 0u);
+}
+
 TEST(ProverCache, CapacityBoundHolds) {
   ProverCache::Config C;
   C.MaxEntries = 64;

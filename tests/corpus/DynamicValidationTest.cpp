@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cfg/Cfg.h"
 #include "corpus/Corpus.h"
 #include "sparc/AsmParser.h"
 #include "sparc/Interpreter.h"
@@ -15,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <vector>
 
 using namespace mcsafe;
@@ -295,6 +297,253 @@ TEST(DynamicValidation, HashFindsValueInChain) {
   I2.setReg(O2, 4);
   ASSERT_EQ(I2.run().Reason, StopReason::Returned);
   EXPECT_EQ(I2.reg(O0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Delay-slot / annul cross-validation.
+//
+// The interpreter implements delayed branches operationally (the PC/nPC
+// pair); the CFG implements them structurally (the delay instruction is
+// replicated onto exactly the edges on which it executes, the paper's
+// Figure 8 device). The two encodings must describe the same set of
+// executions: every concrete single-stepped trace must be a path of the
+// CFG, and the traces a divergence would produce must NOT be.
+//===----------------------------------------------------------------------===//
+
+Module assembleSource(const char *Source) {
+  std::string Error;
+  std::optional<Module> M = assemble(Source, &Error);
+  EXPECT_TRUE(M.has_value()) << Error;
+  return std::move(*M);
+}
+
+cfg::Cfg buildCfg(const Module &M) {
+  DiagnosticEngine Diags;
+  std::optional<cfg::Cfg> G = cfg::Cfg::build(M, Diags);
+  EXPECT_TRUE(G.has_value()) << Diags.str();
+  return std::move(*G);
+}
+
+/// Single-steps \p I to completion, recording the module index of every
+/// instruction that actually executed (pseudo-PCs — host trampoline,
+/// returned-to-host — are not instructions and are skipped).
+Interpreter::Result runTraced(Interpreter &I, const Module &M,
+                              std::vector<uint32_t> &Trace) {
+  for (int Fuel = 0; Fuel < 100000; ++Fuel) {
+    uint32_t Pc = I.pc();
+    Interpreter::Result R = I.run(1);
+    if (R.Reason != StopReason::StepLimit)
+      return R; // Stopped before executing another instruction.
+    if (Pc < M.size())
+      Trace.push_back(Pc);
+  }
+  ADD_FAILURE() << "trace did not terminate";
+  return Interpreter::Result{};
+}
+
+/// Whether \p Trace is a complete entry-to-exit path of \p G: each
+/// executed instruction index must be matched by a CFG node reachable
+/// from the previous step's candidates, and the final step must flow
+/// into the synthetic exit. Delay-slot clones share the InstIndex of
+/// their original, so a candidate *set* tracks the ambiguity.
+bool cfgAcceptsTrace(const cfg::Cfg &G, const std::vector<uint32_t> &Trace) {
+  if (Trace.empty())
+    return false;
+  std::set<cfg::NodeId> Cur;
+  if (G.node(G.entry()).InstIndex == Trace[0])
+    Cur.insert(G.entry());
+  for (size_t K = 1; K < Trace.size() && !Cur.empty(); ++K) {
+    std::set<cfg::NodeId> Next;
+    for (cfg::NodeId N : Cur)
+      for (const cfg::CfgEdge &E : G.node(N).Succs)
+        if (G.node(E.To).InstIndex == Trace[K])
+          Next.insert(E.To);
+    Cur = std::move(Next);
+  }
+  for (cfg::NodeId N : Cur)
+    for (const cfg::CfgEdge &E : G.node(N).Succs)
+      if (G.node(E.To).Kind == cfg::NodeKind::Exit)
+        return true;
+  return false;
+}
+
+TEST(DelaySlotCrossValidation, UntakenAnnulledBranchSkipsDelay) {
+  // Interpreter.cpp's untaken-annulled path: bne,a with the condition
+  // false must skip the delay instruction; the CFG models this with a
+  // NotTaken edge that bypasses the delay clone.
+  Module M = assembleSource(R"(
+  cmp %g0,0
+  bne,a target
+  mov 9,%o1      ! annulled and untaken: must not execute
+  mov 2,%o2
+target:
+  retl
+  nop
+)");
+  Interpreter I(M);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 0u); // The delay slot really was annulled.
+  EXPECT_EQ(I.reg(O2), 2u); // The fall-through path really ran.
+  EXPECT_EQ(Trace, (std::vector<uint32_t>{0, 1, 3, 4, 5}));
+
+  cfg::Cfg G = buildCfg(M);
+  EXPECT_TRUE(cfgAcceptsTrace(G, Trace));
+  // The trace a non-annulling interpreter would produce (delay slot
+  // executed on the untaken path) must be structurally impossible.
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 1, 2, 3, 4, 5}));
+}
+
+TEST(DelaySlotCrossValidation, TakenAnnulledBranchExecutesDelay) {
+  // be,a with the condition true: annul only cancels the delay slot on
+  // the UNTAKEN path, so here the delay instruction must execute.
+  Module M = assembleSource(R"(
+  cmp %g0,0
+  be,a target
+  mov 9,%o1      ! taken-annulled: executes
+  mov 2,%o2      ! skipped by the branch
+target:
+  retl
+  nop
+)");
+  Interpreter I(M);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 9u);
+  EXPECT_EQ(I.reg(O2), 0u);
+  EXPECT_EQ(Trace, (std::vector<uint32_t>{0, 1, 2, 4, 5}));
+
+  cfg::Cfg G = buildCfg(M);
+  EXPECT_TRUE(cfgAcceptsTrace(G, Trace));
+  // Branching while skipping the delay slot is not a CFG path.
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 1, 4, 5}));
+}
+
+TEST(DelaySlotCrossValidation, BranchAlwaysWithAnnulSkipsDelayEntirely) {
+  // ba,a is the one case where a TAKEN branch annuls its delay slot.
+  Module M = assembleSource(R"(
+  ba,a target
+  mov 9,%o1      ! never executes
+  mov 2,%o2      ! unreachable
+target:
+  retl
+  nop
+)");
+  Interpreter I(M);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 0u);
+  EXPECT_EQ(I.reg(O2), 0u);
+  EXPECT_EQ(Trace, (std::vector<uint32_t>{0, 3, 4}));
+
+  cfg::Cfg G = buildCfg(M);
+  EXPECT_TRUE(cfgAcceptsTrace(G, Trace));
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 1, 3, 4})); // Delay must not run.
+}
+
+TEST(DelaySlotCrossValidation, BranchAlwaysWithoutAnnulExecutesDelay) {
+  Module M = assembleSource(R"(
+  ba target
+  mov 9,%o1      ! delay slot: executes before the jump
+  mov 2,%o2      ! unreachable
+target:
+  retl
+  nop
+)");
+  Interpreter I(M);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 9u);
+  EXPECT_EQ(I.reg(O2), 0u);
+  EXPECT_EQ(Trace, (std::vector<uint32_t>{0, 1, 3, 4}));
+
+  cfg::Cfg G = buildCfg(M);
+  EXPECT_TRUE(cfgAcceptsTrace(G, Trace));
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 3, 4}));       // Delay required.
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 1, 2, 3, 4})); // No fall-through.
+}
+
+TEST(DelaySlotCrossValidation, BranchNeverWithAnnulSkipsDelay) {
+  // bn,a: never taken, so annul cancels the delay slot — the instruction
+  // pair acts as a two-word skip.
+  Module M = assembleSource(R"(
+  bn,a target
+  mov 9,%o1      ! annulled: skipped
+  mov 2,%o2
+target:
+  retl
+  nop
+)");
+  Interpreter I(M);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 0u);
+  EXPECT_EQ(I.reg(O2), 2u);
+  EXPECT_EQ(Trace, (std::vector<uint32_t>{0, 2, 3, 4}));
+
+  cfg::Cfg G = buildCfg(M);
+  EXPECT_TRUE(cfgAcceptsTrace(G, Trace));
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 1, 2, 3, 4}));
+}
+
+TEST(DelaySlotCrossValidation, BranchNeverWithoutAnnulExecutesDelay) {
+  Module M = assembleSource(R"(
+  bn target
+  mov 9,%o1      ! delay slot of the untaken bn: executes
+  mov 2,%o2
+target:
+  retl
+  nop
+)");
+  Interpreter I(M);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 9u);
+  EXPECT_EQ(I.reg(O2), 2u);
+  EXPECT_EQ(Trace, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+
+  cfg::Cfg G = buildCfg(M);
+  EXPECT_TRUE(cfgAcceptsTrace(G, Trace));
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 2, 3, 4}));
+}
+
+TEST(DelaySlotCrossValidation, UntakenPlainBranchExecutesDelay) {
+  // The non-annulled counterpart of the first test: the delay slot runs
+  // on BOTH paths, which the CFG models by cloning it onto both edges.
+  Module M = assembleSource(R"(
+  cmp %g0,0
+  bne target
+  mov 9,%o1      ! executes even though the branch is untaken
+  mov 2,%o2
+target:
+  retl
+  nop
+)");
+  Interpreter I(M);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 9u);
+  EXPECT_EQ(I.reg(O2), 2u);
+  EXPECT_EQ(Trace, (std::vector<uint32_t>{0, 1, 2, 3, 4, 5}));
+
+  cfg::Cfg G = buildCfg(M);
+  EXPECT_TRUE(cfgAcceptsTrace(G, Trace));
+  EXPECT_FALSE(cfgAcceptsTrace(G, {0, 1, 3, 4, 5})); // Delay required.
+}
+
+TEST(DelaySlotCrossValidation, CorpusTracesAreCfgPaths) {
+  // The same cross-check over real corpus executions: Sum's loop (a
+  // taken-annulled bl with the increment in the delay slot) must walk
+  // the CFG's replicated delay nodes, iteration after iteration.
+  Module M = assembleCorpus("Sum");
+  Interpreter I(M);
+  writeArray(I, 0x1000, {3, 1, 4, 1, 5});
+  I.setReg(O0, 0x1000);
+  I.setReg(O1, 5);
+  std::vector<uint32_t> Trace;
+  ASSERT_EQ(runTraced(I, M, Trace).Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O0), 14u);
+  EXPECT_TRUE(cfgAcceptsTrace(buildCfg(M), Trace));
 }
 
 } // namespace

@@ -1,0 +1,136 @@
+//===- MetricsTest.cpp ----------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace mcsafe::support;
+
+namespace {
+
+TEST(Metrics, CounterBasics) {
+  MetricsRegistry Reg;
+  Counter &C = Reg.counter("a/b");
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&Reg.counter("a/b"), &C);
+  EXPECT_EQ(Reg.value("a/b"), 42);
+  EXPECT_FALSE(Reg.value("a/missing").has_value());
+}
+
+TEST(Metrics, GaugeBasics) {
+  MetricsRegistry Reg;
+  Gauge &G = Reg.gauge("jobs");
+  G.set(8);
+  EXPECT_EQ(G.value(), 8);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 5);
+  EXPECT_EQ(Reg.value("jobs"), 5);
+}
+
+TEST(Metrics, HistogramBasics) {
+  MetricsRegistry Reg;
+  Histogram &H = Reg.histogram("lat");
+  for (uint64_t V : {0u, 1u, 2u, 3u, 100u})
+    H.observe(V);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, 106u);
+  EXPECT_EQ(S.Min, 0u);
+  EXPECT_EQ(S.Max, 100u);
+  EXPECT_EQ(S.Buckets[0], 1u); // 0
+  EXPECT_EQ(S.Buckets[1], 1u); // 1
+  EXPECT_EQ(S.Buckets[2], 2u); // 2, 3
+  EXPECT_EQ(S.Buckets[7], 1u); // 100 in [64, 128)
+}
+
+TEST(Metrics, KindMismatchIsSafe) {
+  MetricsRegistry Reg;
+  Counter &C = Reg.counter("x");
+  C.inc(7);
+  // Asking for the same name as a gauge must not crash or corrupt the
+  // counter; the shadow gauge is simply not emitted.
+  Gauge &G = Reg.gauge("x");
+  G.set(99);
+  EXPECT_EQ(Reg.value("x"), 7);
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  EXPECT_NE(OS.str().find("\"x\": 7"), std::string::npos);
+  EXPECT_EQ(OS.str().find("99"), std::string::npos);
+}
+
+TEST(Metrics, JsonNesting) {
+  MetricsRegistry Reg;
+  Reg.counter("program/Sum/phase/global_us").inc(12);
+  Reg.counter("program/Sum/phase/lint_us").inc(3);
+  Reg.counter("program/Copy/phase/lint_us").inc(5);
+  Reg.gauge("parallel/jobs").set(4);
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  std::string J = OS.str();
+  // Nested objects along '/' boundaries, keys sorted.
+  EXPECT_NE(J.find("\"program\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"Sum\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"Copy\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"global_us\": 12"), std::string::npos);
+  EXPECT_NE(J.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_LT(J.find("\"Copy\""), J.find("\"Sum\"")); // Sorted.
+  // Balanced braces.
+  EXPECT_EQ(std::count(J.begin(), J.end(), '{'),
+            std::count(J.begin(), J.end(), '}'));
+}
+
+TEST(Metrics, JsonDeterministic) {
+  auto Render = [](bool ReverseOrder) {
+    MetricsRegistry Reg;
+    std::vector<std::string> Names = {"b/x", "a/y", "a/x", "c"};
+    if (ReverseOrder)
+      std::reverse(Names.begin(), Names.end());
+    for (const std::string &N : Names)
+      Reg.counter(N).inc(1);
+    std::ostringstream OS;
+    Reg.writeJson(OS);
+    return OS.str();
+  };
+  EXPECT_EQ(Render(false), Render(true));
+}
+
+TEST(Metrics, JsonHistogram) {
+  MetricsRegistry Reg;
+  Reg.histogram("phase/lint_us").observe(10);
+  Reg.histogram("phase/lint_us").observe(20);
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  EXPECT_NE(OS.str().find("{\"count\": 2, \"sum\": 30, \"min\": 10, "
+                          "\"max\": 20}"),
+            std::string::npos);
+}
+
+TEST(Metrics, ConcurrentUpdates) {
+  MetricsRegistry Reg;
+  constexpr int Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&Reg] {
+      // Mix registration (locked) and updates (lock-free).
+      for (int I = 0; I < PerThread; ++I) {
+        Reg.counter("shared").inc();
+        Reg.histogram("dist").observe(static_cast<uint64_t>(I));
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(Reg.value("shared"), Threads * PerThread);
+  EXPECT_EQ(Reg.histogram("dist").snapshot().Count,
+            static_cast<uint64_t>(Threads) * PerThread);
+}
+
+} // namespace

@@ -71,4 +71,62 @@ TEST(StringUtils, ParseIntRejectsOverflow) {
   EXPECT_FALSE(parseInt("9223372036854775808").has_value());
 }
 
+TEST(StringUtils, ParseIntDecimalBoundaries) {
+  // INT64_MIN has no positive counterpart; a magnitude-based parse must
+  // accept it without overflowing on negation.
+  EXPECT_EQ(parseInt("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(parseInt("-9223372036854775809").has_value());
+  EXPECT_EQ(parseInt("-9223372036854775807"), INT64_MIN + 1);
+  EXPECT_EQ(parseInt("+9223372036854775807"), INT64_MAX);
+  EXPECT_FALSE(parseInt("+9223372036854775808").has_value());
+  // Leading zeros must not change the overflow decision.
+  EXPECT_EQ(parseInt("-0009223372036854775808"), INT64_MIN);
+  EXPECT_EQ(parseInt("0009223372036854775807"), INT64_MAX);
+  // One digit past the limit in length overflows regardless of value.
+  EXPECT_FALSE(parseInt("92233720368547758070").has_value());
+  EXPECT_FALSE(parseInt("-92233720368547758080").has_value());
+}
+
+TEST(StringUtils, ParseIntHexBoundaries) {
+  EXPECT_EQ(parseInt("0x7fffffffffffffff"), INT64_MAX);
+  EXPECT_EQ(parseInt("+0x7FFFFFFFFFFFFFFF"), INT64_MAX);
+  EXPECT_FALSE(parseInt("0x8000000000000000").has_value());
+  EXPECT_EQ(parseInt("-0x8000000000000000"), INT64_MIN);
+  EXPECT_FALSE(parseInt("-0x8000000000000001").has_value());
+  EXPECT_FALSE(parseInt("0xFFFFFFFFFFFFFFFF").has_value());
+  EXPECT_FALSE(parseInt("-0xFFFFFFFFFFFFFFFF").has_value());
+  EXPECT_FALSE(parseInt("0x10000000000000000").has_value());
+}
+
+TEST(StringUtils, ParseIntHexPrefixEdgeCases) {
+  // A bare prefix has no digits, whatever the sign.
+  EXPECT_FALSE(parseInt("0x").has_value());
+  EXPECT_FALSE(parseInt("0X").has_value());
+  EXPECT_FALSE(parseInt("-0x").has_value());
+  EXPECT_FALSE(parseInt("+0x").has_value());
+  // Two-character hex values (prefix + one digit) are valid — the
+  // prefix check must not require a minimum length of three.
+  EXPECT_EQ(parseInt("0x0"), 0);
+  EXPECT_EQ(parseInt("0x7"), 7);
+  EXPECT_EQ(parseInt("0XA"), 10);
+  EXPECT_EQ(parseInt("-0x1"), -1);
+  EXPECT_EQ(parseInt("+0xf"), 15);
+  // Hex digits are only digits after a proper prefix.
+  EXPECT_FALSE(parseInt("ff").has_value());
+  EXPECT_FALSE(parseInt("x10").has_value());
+  EXPECT_FALSE(parseInt("0y10").has_value());
+}
+
+TEST(StringUtils, ParseIntSignEdgeCases) {
+  EXPECT_EQ(parseInt("+0"), 0);
+  EXPECT_EQ(parseInt("-0"), 0);
+  EXPECT_EQ(parseInt("+0x0"), 0);
+  EXPECT_EQ(parseInt("-0x0"), 0);
+  EXPECT_FALSE(parseInt("+").has_value());
+  EXPECT_FALSE(parseInt("++1").has_value());
+  EXPECT_FALSE(parseInt("--1").has_value());
+  EXPECT_FALSE(parseInt("+-1").has_value());
+  EXPECT_FALSE(parseInt("- 1").has_value());
+}
+
 } // namespace

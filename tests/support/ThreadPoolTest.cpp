@@ -113,3 +113,42 @@ TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
 TEST(ThreadPoolTest, HardwareConcurrencyNonZero) {
   EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
 }
+
+TEST(ThreadPoolTest, StatsCountSubmittedAndExecuted) {
+  ThreadPool Pool(4);
+  constexpr int N = 300;
+  std::atomic<int> Count{0};
+  for (int I = 0; I < N; ++I)
+    Pool.submit([&Count] { ++Count; });
+  // Executed trails the task body by one counter update; spin until the
+  // pool has fully accounted for the batch.
+  while (Pool.stats().Executed < N)
+    std::this_thread::yield();
+  ThreadPool::Stats S = Pool.stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(N));
+  EXPECT_EQ(S.Executed, static_cast<uint64_t>(N));
+  EXPECT_EQ(Count.load(), N);
+}
+
+TEST(ThreadPoolTest, StatsStayConsistentUnderStealing) {
+  // Steal counts depend on scheduling, so assert invariants rather than
+  // exact values: a steal is a kind of execution, and the pool cannot
+  // execute more than was submitted (group tasks drained by the helping
+  // wait() run outside the pool's counters).
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  {
+    TaskGroup Group(&Pool);
+    for (int I = 0; I < 2000; ++I)
+      Group.spawn([&Count] { ++Count; });
+  }
+  EXPECT_EQ(Count.load(), 2000);
+  // Proxy tasks drained by the helping wait() still run (as no-ops) on
+  // the workers; wait for the full batch so the counters are settled.
+  while (Pool.stats().Executed < 2000)
+    std::this_thread::yield();
+  ThreadPool::Stats S = Pool.stats();
+  EXPECT_LE(S.Steals, S.Executed);
+  EXPECT_EQ(S.Executed, 2000u);
+  EXPECT_EQ(S.Submitted, 2000u);
+}

@@ -1,0 +1,85 @@
+//===- TraceTest.cpp ------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace mcsafe::support;
+
+namespace {
+
+/// Restores the global tracer even when an assertion aborts the test.
+struct GlobalTracerGuard {
+  explicit GlobalTracerGuard(Tracer *T) { Tracer::setGlobal(T); }
+  ~GlobalTracerGuard() { Tracer::setGlobal(nullptr); }
+};
+
+TEST(Trace, DisabledSpansAreNoOps) {
+  ASSERT_EQ(Tracer::global(), nullptr);
+  // Must not crash, allocate a tracer, or record anywhere.
+  for (int I = 0; I < 1000; ++I)
+    TraceSpan Span("checker/typestate");
+  EXPECT_EQ(Tracer::global(), nullptr);
+}
+
+TEST(Trace, RecordsSpans) {
+  Tracer T;
+  GlobalTracerGuard G(&T);
+  {
+    TraceSpan Outer("checker/check", "Sum");
+    TraceSpan Inner("prover/sat");
+  }
+  EXPECT_EQ(T.eventCount(), 2u);
+}
+
+TEST(Trace, ChromeJsonShape) {
+  Tracer T;
+  {
+    GlobalTracerGuard G(&T);
+    TraceSpan Span("parallel/job", "a \"quoted\" name");
+  }
+  std::ostringstream OS;
+  T.writeJson(OS);
+  std::string J = OS.str();
+  EXPECT_NE(J.find("{\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"parallel/job\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(J.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(J.find("\"pid\": 1"), std::string::npos);
+  // The arg string is escaped.
+  EXPECT_NE(J.find("a \\\"quoted\\\" name"), std::string::npos);
+}
+
+TEST(Trace, EmptyTracerStillValidJson) {
+  Tracer T;
+  std::ostringstream OS;
+  T.writeJson(OS);
+  EXPECT_EQ(OS.str(), "{\"traceEvents\": [\n]}\n");
+}
+
+TEST(Trace, ThreadsGetDistinctSmallIds) {
+  Tracer T;
+  GlobalTracerGuard G(&T);
+  constexpr int Threads = 4;
+  std::vector<std::thread> Ts;
+  for (int I = 0; I < Threads; ++I)
+    Ts.emplace_back([] {
+      for (int K = 0; K < 100; ++K)
+        TraceSpan Span("pool/task");
+    });
+  for (std::thread &Th : Ts)
+    Th.join();
+  EXPECT_EQ(T.eventCount(), 400u);
+  std::ostringstream OS;
+  T.writeJson(OS);
+  // Tids are small dense ints; with 4 recording threads the highest
+  // possible id is 3.
+  EXPECT_EQ(OS.str().find("\"tid\": 4"), std::string::npos);
+}
+
+} // namespace

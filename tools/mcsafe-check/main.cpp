@@ -8,6 +8,7 @@
 //   mcsafe-check prog.s policy.pol [-v] [--listing] [--conditions]
 //                                  [--lint-only] [--no-lint]
 //   mcsafe-check --corpus Sum [-v]
+//   mcsafe-check --corpus all [--phase-table] [--metrics-json m.json]
 //   mcsafe-check --list-corpus
 //
 // Exit status: 0 = safe, 1 = safety violations, 2 = malformed inputs.
@@ -21,11 +22,14 @@
 #include "checker/ParallelCheck.h"
 #include "checker/Report.h"
 #include "checker/SafetyChecker.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "corpus/Corpus.h"
 #include "policy/PolicyParser.h"
 #include "sparc/AsmParser.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,10 +66,34 @@ void usage() {
       "  --lint-only    run only the phase-0 dataflow lint\n"
       "  --no-lint      disable the phase-0 lint (and dead-reg pruning)\n"
       "  --jobs N       verify with N worker threads (default: hardware\n"
-      "                 concurrency); verdicts are identical for any N\n");
+      "                 concurrency); verdicts are identical for any N\n"
+      "  --trace FILE   write a Chrome trace_event JSON span timeline\n"
+      "                 (load at chrome://tracing or ui.perfetto.dev)\n"
+      "  --metrics-json FILE\n"
+      "                 write all collected metrics (per-phase timings,\n"
+      "                 prover/cache/pool counters) as JSON\n"
+      "  --phase-table  with --corpus all: per-program phase-time\n"
+      "                 breakdown in the layout of the paper's Figure 9\n");
 }
 
 enum class LintMode { On, Off, Only };
+
+/// Observability state shared by the run modes: one registry for the
+/// whole invocation, plus the output files requested on the command
+/// line (written by main after the run).
+struct Observability {
+  support::MetricsRegistry Registry;
+  std::string TracePath;
+  std::string MetricsPath;
+  bool PhaseTable = false;
+};
+
+/// Reads a microsecond counter back out of the registry as seconds.
+double scopeSeconds(const support::MetricsRegistry &Reg,
+                    const std::string &Scope, const char *Phase) {
+  return support::usToSeconds(
+      Reg.value(Scope + "/phase/" + Phase + "_us").value_or(0));
+}
 
 /// Runs just the phase-0 lint and reports its findings.
 int runLintOnly(const std::string &Asm, const std::string &Policy,
@@ -103,10 +131,11 @@ int runLintOnly(const std::string &Asm, const std::string &Policy,
 
 int runCheck(const std::string &Asm, const std::string &Policy,
              bool Listing, bool Conditions, bool Stats, LintMode Lint,
-             unsigned Jobs) {
+             unsigned Jobs, Observability &Obs) {
   if (Lint == LintMode::Only)
     return runLintOnly(Asm, Policy, Stats);
   SafetyChecker::Options Opts;
+  Opts.Metrics = &Obs.Registry;
   if (Lint == LintMode::Off) {
     Opts.Lint = false;
     Opts.PruneDeadRegs = false;
@@ -176,26 +205,88 @@ int runCheck(const std::string &Asm, const std::string &Policy,
         static_cast<unsigned long long>(R.Global.InvariantReuses));
     std::printf(
         "prover: %llu validity + %llu sat queries, %llu cache hits, "
-        "%llu evictions, %llu speculative (jobs %u)\n",
+        "%llu evictions, %llu budget exhaustions, %llu speculative "
+        "(jobs %u)\n",
         static_cast<unsigned long long>(R.ProverStats.ValidityQueries),
         static_cast<unsigned long long>(R.ProverStats.SatQueries),
         static_cast<unsigned long long>(R.ProverStats.CacheHits),
         static_cast<unsigned long long>(R.ProverStats.CacheEvictions),
+        static_cast<unsigned long long>(R.ProverStats.BudgetExhaustions),
         static_cast<unsigned long long>(R.Global.SpeculativeQueries), Jobs);
+    // Wall-clock values come from the registry — CheckReport holds only
+    // deterministic data.
+    const support::MetricsRegistry &Reg = Obs.Registry;
+    const std::string Scope = "check";
     std::printf("times: lint %.4fs, typestate %.4fs (%llu visits), "
                 "annotation+local %.4fs, global %.4fs, total %.4fs\n",
-                R.TimeLint, R.TimeTypestate,
+                scopeSeconds(Reg, Scope, "lint"),
+                scopeSeconds(Reg, Scope, "typestate"),
                 static_cast<unsigned long long>(R.TypestateNodeVisits),
-                R.TimeAnnotation, R.TimeGlobal, R.total());
+                scopeSeconds(Reg, Scope, "annotation"),
+                scopeSeconds(Reg, Scope, "global"),
+                scopeSeconds(Reg, Scope, "total"));
   }
   return R.Safe ? 0 : 1;
 }
 
+/// Prints the per-program phase breakdown in the layout of the paper's
+/// Figure 9: programs as columns; characteristics, then per-phase times,
+/// as rows. All values come from the metrics registry.
+void printPhaseTable(const support::MetricsRegistry &Reg,
+                     const ParallelCheckResult &R) {
+  std::vector<const ParallelCheckResult::Program *> Ps;
+  for (const ParallelCheckResult::Program &P : R.Programs)
+    if (P.Report.InputsOk)
+      Ps.push_back(&P);
+  if (Ps.empty())
+    return;
+
+  size_t Width = 10;
+  for (const auto *P : Ps)
+    Width = std::max(Width, P->Name.size() + 2);
+
+  auto Row = [&](const char *Label, auto Cell) {
+    std::printf("%-22s", Label);
+    for (const auto *P : Ps)
+      std::printf("%*s", static_cast<int>(Width), Cell(*P).c_str());
+    std::printf("\n");
+  };
+  auto Num = [](uint64_t V) { return std::to_string(V); };
+  auto Sec = [&](const ParallelCheckResult::Program &P, const char *Ph) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.4f",
+                  scopeSeconds(Reg, "program/" + P.Name, Ph));
+    return std::string(Buf);
+  };
+
+  std::printf("--- phase breakdown (Figure 9 layout) ---\n");
+  Row("program", [](const auto &P) { return P.Name; });
+  Row("instructions",
+      [&](const auto &P) { return Num(P.Report.Chars.Instructions); });
+  Row("branches",
+      [&](const auto &P) { return Num(P.Report.Chars.Branches); });
+  Row("loops", [&](const auto &P) { return Num(P.Report.Chars.Loops); });
+  Row("inner loops",
+      [&](const auto &P) { return Num(P.Report.Chars.InnerLoops); });
+  Row("trusted calls",
+      [&](const auto &P) { return Num(P.Report.Chars.TrustedCalls); });
+  Row("global conditions",
+      [&](const auto &P) { return Num(P.Report.Chars.GlobalConditions); });
+  Row("lint (s)", [&](const auto &P) { return Sec(P, "lint"); });
+  Row("typestate (s)", [&](const auto &P) { return Sec(P, "typestate"); });
+  Row("annotation+local (s)",
+      [&](const auto &P) { return Sec(P, "annotation"); });
+  Row("global verify (s)", [&](const auto &P) { return Sec(P, "global"); });
+  Row("total (s)", [&](const auto &P) { return Sec(P, "total"); });
+}
+
 /// Checks the whole corpus, possibly in parallel. The non-verbose output
 /// is the deterministic batch report — byte-identical for any job count.
-int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs) {
+int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
+                 Observability &Obs) {
   ParallelCheckOptions Opts;
   Opts.Jobs = Jobs;
+  Opts.Metrics = &Obs.Registry;
   if (Lint == LintMode::Off) {
     Opts.Check.Lint = false;
     Opts.Check.PruneDeadRegs = false;
@@ -218,14 +309,19 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs) {
   std::printf("total: %zu programs, %u safe, %u unsafe, %u errors\n",
               R.Programs.size(), Safe, Unsafe, Errors);
 
+  const support::MetricsRegistry &Reg = Obs.Registry;
+  if (Obs.PhaseTable)
+    printPhaseTable(Reg, R);
+
   if (Stats) {
-    double Lint2 = 0, Typestate = 0, Annotation = 0, Global = 0;
+    double LintS = 0, Typestate = 0, Annotation = 0, Global = 0;
     uint64_t Validity = 0, Sat = 0, Hits = 0, Speculative = 0;
     for (const ParallelCheckResult::Program &P : R.Programs) {
-      Lint2 += P.Report.TimeLint;
-      Typestate += P.Report.TimeTypestate;
-      Annotation += P.Report.TimeAnnotation;
-      Global += P.Report.TimeGlobal;
+      std::string Scope = "program/" + P.Name;
+      LintS += scopeSeconds(Reg, Scope, "lint");
+      Typestate += scopeSeconds(Reg, Scope, "typestate");
+      Annotation += scopeSeconds(Reg, Scope, "annotation");
+      Global += scopeSeconds(Reg, Scope, "global");
       Validity += P.Report.ProverStats.ValidityQueries;
       Sat += P.Report.ProverStats.SatQueries;
       Hits += P.Report.ProverStats.CacheHits;
@@ -233,21 +329,32 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs) {
     }
     std::printf("jobs: %u, wall: %.4fs (cpu: lint %.4fs, typestate %.4fs, "
                 "annotation+local %.4fs, global %.4fs)\n",
-                R.JobsUsed, R.WallSeconds, Lint2, Typestate, Annotation,
-                Global);
+                R.JobsUsed,
+                support::usToSeconds(Reg.value("parallel/wall_us").value_or(0)),
+                LintS, Typestate, Annotation, Global);
     std::printf("prover: %llu validity + %llu sat queries, %llu per-prover "
                 "cache hits, %llu speculative\n",
                 static_cast<unsigned long long>(Validity),
                 static_cast<unsigned long long>(Sat),
                 static_cast<unsigned long long>(Hits),
                 static_cast<unsigned long long>(Speculative));
-    std::printf("shared cache: %llu hits, %llu misses, %llu insertions, "
-                "%llu evictions, %llu entries\n",
-                static_cast<unsigned long long>(R.Cache.Hits),
-                static_cast<unsigned long long>(R.Cache.Misses),
-                static_cast<unsigned long long>(R.Cache.Insertions),
-                static_cast<unsigned long long>(R.Cache.Evictions),
-                static_cast<unsigned long long>(R.Cache.Entries));
+    std::printf("shared cache: %lld hits, %lld misses, %lld insertions, "
+                "%lld evictions, %lld entries\n",
+                static_cast<long long>(
+                    Reg.value("cache/shared/hits").value_or(0)),
+                static_cast<long long>(
+                    Reg.value("cache/shared/misses").value_or(0)),
+                static_cast<long long>(
+                    Reg.value("cache/shared/insertions").value_or(0)),
+                static_cast<long long>(
+                    Reg.value("cache/shared/evictions").value_or(0)),
+                static_cast<long long>(
+                    Reg.value("cache/shared/entries").value_or(0)));
+    std::printf("pool: %lld tasks (%lld steals), idle %.4fs\n",
+                static_cast<long long>(
+                    Reg.value("pool/executed").value_or(0)),
+                static_cast<long long>(Reg.value("pool/steals").value_or(0)),
+                support::usToSeconds(Reg.value("pool/idle_us").value_or(0)));
   }
   return Errors ? 2 : (Unsafe ? 1 : 0);
 }
@@ -261,27 +368,54 @@ int main(int argc, char **argv) {
   std::vector<std::string> Files;
   bool ListCorpus = false;
   unsigned Jobs = 0; // 0 = hardware concurrency.
+  Observability Obs;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--jobs" || Arg.rfind("--jobs=", 0) == 0) {
-      std::string Value;
-      if (Arg == "--jobs") {
-        if (I + 1 >= argc) {
-          usage();
-          return 2;
-        }
-        Value = argv[++I];
-      } else {
-        Value = Arg.substr(strlen("--jobs="));
+    // Matches "--flag V" and "--flag=V"; nullopt when the value is
+    // missing (caller prints usage).
+    auto isFlag = [&](const char *Name) {
+      return Arg == Name ||
+             Arg.rfind(std::string(Name) + "=", 0) == 0;
+    };
+    auto flagValue = [&](const char *Name) -> std::optional<std::string> {
+      if (Arg == Name) {
+        if (I + 1 >= argc)
+          return std::nullopt;
+        return std::string(argv[++I]);
+      }
+      return Arg.substr(std::strlen(Name) + 1);
+    };
+
+    if (isFlag("--jobs")) {
+      std::optional<std::string> Value = flagValue("--jobs");
+      if (!Value) {
+        usage();
+        return 2;
       }
       char *End = nullptr;
-      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
-      if (Value.empty() || *End != '\0' || N == 0 || N > 1024) {
-        std::fprintf(stderr, "invalid --jobs value '%s'\n", Value.c_str());
+      unsigned long N = std::strtoul(Value->c_str(), &End, 10);
+      if (Value->empty() || *End != '\0' || N == 0 || N > 1024) {
+        std::fprintf(stderr, "invalid --jobs value '%s'\n", Value->c_str());
         return 2;
       }
       Jobs = static_cast<unsigned>(N);
+    } else if (isFlag("--trace")) {
+      std::optional<std::string> Value = flagValue("--trace");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      Obs.TracePath = *Value;
+    } else if (isFlag("--metrics-json")) {
+      std::optional<std::string> Value = flagValue("--metrics-json");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      Obs.MetricsPath = *Value;
+    } else if (Arg == "--phase-table") {
+      Obs.PhaseTable = true;
     } else if (Arg == "-v") {
       Listing = Conditions = Stats = true;
     } else if (Arg == "--listing") {
@@ -315,31 +449,60 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  if (!CorpusName.empty()) {
-    if (CorpusName == "all")
-      return runCorpusAll(Stats, Lint, Jobs);
-    for (const corpus::CorpusProgram &P : corpus::corpus())
-      if (P.Name == CorpusName)
-        return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats, Lint,
-                        Jobs);
-    std::fprintf(stderr, "unknown corpus program '%s'\n",
-                 CorpusName.c_str());
-    return 2;
+  // Install the tracer before any instrumented work runs.
+  std::unique_ptr<support::Tracer> Tracer;
+  if (!Obs.TracePath.empty()) {
+    Tracer = std::make_unique<support::Tracer>();
+    support::Tracer::setGlobal(Tracer.get());
   }
 
-  if (Files.size() != 2) {
-    usage();
-    return 2;
+  auto Run = [&]() -> int {
+    if (!CorpusName.empty()) {
+      if (CorpusName == "all")
+        return runCorpusAll(Stats, Lint, Jobs, Obs);
+      for (const corpus::CorpusProgram &P : corpus::corpus())
+        if (P.Name == CorpusName)
+          return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats,
+                          Lint, Jobs, Obs);
+      std::fprintf(stderr, "unknown corpus program '%s'\n",
+                   CorpusName.c_str());
+      return 2;
+    }
+    if (Files.size() != 2) {
+      usage();
+      return 2;
+    }
+    std::optional<std::string> Asm = readFile(Files[0]);
+    if (!Asm) {
+      std::fprintf(stderr, "cannot read '%s'\n", Files[0].c_str());
+      return 2;
+    }
+    std::optional<std::string> Policy = readFile(Files[1]);
+    if (!Policy) {
+      std::fprintf(stderr, "cannot read '%s'\n", Files[1].c_str());
+      return 2;
+    }
+    return runCheck(*Asm, *Policy, Listing, Conditions, Stats, Lint, Jobs,
+                    Obs);
+  };
+  int Ret = Run();
+
+  if (Tracer) {
+    support::Tracer::setGlobal(nullptr);
+    std::ofstream Out(Obs.TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", Obs.TracePath.c_str());
+      return 2;
+    }
+    Tracer->writeJson(Out);
   }
-  std::optional<std::string> Asm = readFile(Files[0]);
-  if (!Asm) {
-    std::fprintf(stderr, "cannot read '%s'\n", Files[0].c_str());
-    return 2;
+  if (!Obs.MetricsPath.empty()) {
+    std::ofstream Out(Obs.MetricsPath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", Obs.MetricsPath.c_str());
+      return 2;
+    }
+    Obs.Registry.writeJson(Out);
   }
-  std::optional<std::string> Policy = readFile(Files[1]);
-  if (!Policy) {
-    std::fprintf(stderr, "cannot read '%s'\n", Files[1].c_str());
-    return 2;
-  }
-  return runCheck(*Asm, *Policy, Listing, Conditions, Stats, Lint, Jobs);
+  return Ret;
 }
