@@ -1,0 +1,136 @@
+//===- bench_governor.cpp - Resource-governor poll overhead ---------------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// The governor's contract is that a check which never exhausts its
+// budget pays almost nothing for the poll points threaded through the
+// pipeline. Two measurements back that up:
+//
+//   1. Micro: ns/op for poll() and chargeProverStep() on an untripped
+//      governor, with and without a deadline (the deadline adds an
+//      amortized steady-clock read).
+//
+//   2. End-to-end A/B on the Figure 9 corpus: total checking time with
+//      no governor (the limits-free fast path keeps the pointer null)
+//      versus a governor with effectively unreachable limits (every
+//      poll point live). The target overhead is < 2%; the bench prints
+//      the ratio and exits 1 above 5% to keep CI noise-tolerant while
+//      still catching a regression that makes polling hot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+#include "corpus/Corpus.h"
+#include "support/Governor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::support;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// ns/op over \p N calls of \p Fn.
+template <typename FnT> double nsPerOp(uint64_t N, FnT Fn) {
+  Clock::time_point Start = Clock::now();
+  for (uint64_t I = 0; I < N; ++I)
+    Fn(I);
+  return secondsSince(Start) * 1e9 / static_cast<double>(N);
+}
+
+void microBench() {
+  constexpr uint64_t N = 50'000'000;
+
+  GovernorLimits StepsOnly;
+  StepsOnly.ProverSteps = N + 1;
+  ResourceGovernor StepGov(StepsOnly);
+
+  GovernorLimits WithDeadline = StepsOnly;
+  WithDeadline.DeadlineMs = 3'600'000; // one hour: never trips here
+  ResourceGovernor DeadlineGov(WithDeadline);
+
+  volatile bool Sink = false;
+  std::printf("--- micro (untripped governor, %llu calls each) ---\n",
+              static_cast<unsigned long long>(N));
+  std::printf("poll, no deadline:         %6.2f ns/op\n",
+              nsPerOp(N, [&](uint64_t) { Sink = StepGov.poll("bench"); }));
+  std::printf("poll, amortized deadline:  %6.2f ns/op\n",
+              nsPerOp(N, [&](uint64_t) { Sink = DeadlineGov.poll("bench"); }));
+  ResourceGovernor ChargeGov(StepsOnly);
+  std::printf("chargeProverStep:          %6.2f ns/op\n",
+              nsPerOp(N, [&](uint64_t) {
+                Sink = ChargeGov.chargeProverStep("bench");
+              }));
+  (void)Sink;
+}
+
+/// Checks the whole corpus once; Limits all-zero means the governed
+/// paths stay on the null-pointer fast path.
+double corpusSeconds(const GovernorLimits &Limits, uint64_t *Steps) {
+  Clock::time_point Start = Clock::now();
+  for (const corpus::CorpusProgram &P : corpus::corpus()) {
+    SafetyChecker::Options Opts;
+    Opts.Limits = Limits;
+    SafetyChecker Checker(Opts);
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    if (R.Verdict == CheckVerdict::InternalError) {
+      std::fprintf(stderr, "internal error checking %s\n", P.Name.c_str());
+      std::exit(1);
+    }
+    if (Steps)
+      *Steps += R.ProverStats.SatQueries;
+  }
+  return secondsSince(Start);
+}
+
+int corpusAb() {
+  // Warm-up pass so one-time lazy initialization (type singletons,
+  // formula factory pools) lands on neither side of the A/B.
+  corpusSeconds(GovernorLimits{}, nullptr);
+
+  GovernorLimits Huge;
+  Huge.DeadlineMs = 3'600'000;
+  Huge.ProverSteps = 1ull << 60;
+  Huge.MemoryBytes = 1ull << 60;
+
+  constexpr int Reps = 5;
+  double Off = 1e9, On = 1e9;
+  uint64_t Steps = 0;
+  for (int I = 0; I < Reps; ++I) {
+    Off = std::min(Off, corpusSeconds(GovernorLimits{}, nullptr));
+    On = std::min(On, corpusSeconds(Huge, I ? nullptr : &Steps));
+  }
+
+  double Overhead = (On - Off) / Off * 100.0;
+  std::printf("--- corpus A/B (best of %d) ---\n", Reps);
+  std::printf("no governor:   %8.4f s\n", Off);
+  std::printf("all budgets:   %8.4f s  (every poll point live)\n", On);
+  std::printf("overhead:      %+7.2f %%  (target < 2%%)\n", Overhead);
+
+  if (Overhead > 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: governor poll overhead %.2f%% exceeds the 5%% "
+                 "regression gate\n",
+                 Overhead);
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main() {
+  microBench();
+  return corpusAb();
+}

@@ -144,7 +144,14 @@ CfgBuilder::expandFunction(uint32_t EntryIdx,
     };
 
     if (isConditionalBranch(Inst.Op)) {
-      assert(Inst.Target >= 0 && "unresolved branch target");
+      // The decoder rejects branches with negative targets, but the CFG
+      // builder sits on the untrusted-input path too: fail with a
+      // diagnostic, never an assert, if one slips through another
+      // frontend.
+      if (Inst.Target < 0) {
+        fatal("conditional branch has an unresolved target", Index);
+        return std::nullopt;
+      }
       std::optional<NodeId> TakenDst =
           GetOrCreate(static_cast<uint32_t>(Inst.Target));
       std::optional<NodeId> FallDst = GetOrCreate(Index + 2);
@@ -165,6 +172,10 @@ CfgBuilder::expandFunction(uint32_t EntryIdx,
     }
 
     if (Inst.Op == Opcode::BA || Inst.Op == Opcode::BN) {
+      if (Inst.Op == Opcode::BA && Inst.Target < 0) {
+        fatal("branch-always has an unresolved target", Index);
+        return std::nullopt;
+      }
       uint32_t Dest = Inst.Op == Opcode::BA
                           ? static_cast<uint32_t>(Inst.Target)
                           : Index + 2;

@@ -4,6 +4,7 @@
 
 #include "policy/Policy.h"
 #include "support/CheckedInt.h"
+#include "support/Governor.h"
 
 #include <cassert>
 #include <sstream>
@@ -559,8 +560,14 @@ void Annotator::visitNode(NodeId Id) {
 
 AnnotationResult Annotator::run() {
   Result.Assertions.assign(Ctx.Graph.size(), Formula::mkTrue());
-  for (NodeId Id = 0; Id < Ctx.Graph.size(); ++Id)
+  for (NodeId Id = 0; Id < Ctx.Graph.size(); ++Id) {
+    // On a governor trip the annotation (and its obligation list) is
+    // incomplete; SafetyChecker sees the exhausted governor and skips
+    // global verification rather than certifying a partial set.
+    if (Ctx.Governor && !Ctx.Governor->poll("annotation/node"))
+      break;
     visitNode(Id);
+  }
   return std::move(Result);
 }
 

@@ -20,6 +20,7 @@
 #include "cfg/Cfg.h"
 #include "cfg/Dominators.h"
 #include "cfg/LoopInfo.h"
+#include "checker/Failure.h"
 #include "constraints/Formula.h"
 #include "policy/Policy.h"
 #include "typestate/AbstractStore.h"
@@ -27,8 +28,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 namespace mcsafe {
+
+namespace support {
+class ResourceGovernor;
+} // namespace support
+
 namespace checker {
 
 /// The prepared checking problem.
@@ -61,6 +68,14 @@ struct CheckContext {
   /// Value access (f/x/o) granted by the access policy to values of the
   /// typestate found in each declared location, precomputed per location.
   std::map<typestate::AbsLocId, typestate::Access> GrantedAccess;
+
+  /// The per-check resource governor (null = unlimited). Phases poll it
+  /// at loop heads and degrade to partial results when a budget trips.
+  support::ResourceGovernor *Governor = nullptr;
+
+  /// Structured failures accumulated by the phases (owned by the
+  /// CheckReport; null only in unit tests driving a phase directly).
+  std::vector<CheckFailure> *Failures = nullptr;
 
   const typestate::AbstractLocation &loc(typestate::AbsLocId Id) const {
     return Locs.loc(Id);

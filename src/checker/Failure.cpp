@@ -1,0 +1,90 @@
+//===- Failure.cpp - Structured failure taxonomy --------------------------===//
+
+#include "checker/Failure.h"
+
+namespace mcsafe {
+namespace checker {
+
+const char *verdictName(CheckVerdict V) {
+  switch (V) {
+  case CheckVerdict::Safe:
+    return "SAFE";
+  case CheckVerdict::Unsafe:
+    return "UNSAFE";
+  case CheckVerdict::Unknown:
+    return "UNKNOWN";
+  case CheckVerdict::MalformedInput:
+    return "MALFORMED-INPUT";
+  case CheckVerdict::InternalError:
+    return "INTERNAL-ERROR";
+  }
+  return "INTERNAL-ERROR";
+}
+
+const char *checkPhaseName(CheckPhase P) {
+  switch (P) {
+  case CheckPhase::Input:
+    return "input";
+  case CheckPhase::Prepare:
+    return "prepare";
+  case CheckPhase::Lint:
+    return "lint";
+  case CheckPhase::Typestate:
+    return "typestate";
+  case CheckPhase::Annotation:
+    return "annotation";
+  case CheckPhase::Global:
+    return "global";
+  case CheckPhase::Driver:
+    return "driver";
+  }
+  return "driver";
+}
+
+const char *failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::MalformedAssembly:
+    return "malformed-assembly";
+  case FailureKind::MalformedPolicy:
+    return "malformed-policy";
+  case FailureKind::UnsupportedConstruct:
+    return "unsupported-construct";
+  case FailureKind::ResourceExhausted:
+    return "resource-exhausted";
+  case FailureKind::Cancelled:
+    return "cancelled";
+  case FailureKind::InternalError:
+    return "internal-error";
+  }
+  return "internal-error";
+}
+
+int exitCode(CheckVerdict V) {
+  switch (V) {
+  case CheckVerdict::Safe:
+    return 0;
+  case CheckVerdict::Unsafe:
+    return 1;
+  case CheckVerdict::MalformedInput:
+    return 2;
+  case CheckVerdict::Unknown:
+    return 3;
+  case CheckVerdict::InternalError:
+    return 4;
+  }
+  return 4;
+}
+
+std::string CheckFailure::str() const {
+  std::string S = checkPhaseName(Phase);
+  S += "/";
+  S += failureKindName(Kind);
+  if (Pc)
+    S += " at #" + std::to_string(*Pc);
+  S += ": ";
+  S += Detail;
+  return S;
+}
+
+} // namespace checker
+} // namespace mcsafe

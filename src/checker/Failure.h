@@ -1,0 +1,83 @@
+//===- Failure.h - Structured failure taxonomy ------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured failure taxonomy for the checking pipeline. Every way
+/// a check can end short of a definitive Safe/Unsafe answer is a
+/// CheckFailure recorded in the CheckReport — never an assert, an abort,
+/// or an exception escaping the process boundary. The five-way
+/// CheckVerdict maps one-to-one onto mcsafe-check exit codes, so a
+/// trusted host embedding the checker can distinguish "proved safe"
+/// from "gave up" from "your input is garbage" without parsing text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_FAILURE_H
+#define MCSAFE_CHECKER_FAILURE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mcsafe {
+namespace checker {
+
+/// The overall outcome of one safety check. Ordered by "how bad":
+/// anything past Unsafe means the checker could not finish the job.
+enum class CheckVerdict : uint8_t {
+  Safe,           ///< All conditions proved; the code honors the policy.
+  Unsafe,         ///< At least one safety condition provably violated.
+  Unknown,        ///< Gave up (resource budget, cancellation); fail sound.
+  MalformedInput, ///< The assembly or policy failed to parse/prepare.
+  InternalError,  ///< A checker bug surfaced; the result is meaningless.
+};
+
+/// Where in the pipeline a failure happened.
+enum class CheckPhase : uint8_t {
+  Input,      ///< Assembling / decoding / policy parsing.
+  Prepare,    ///< CFG construction, location tree, entry store.
+  Lint,       ///< Phase-0 dataflow lint.
+  Typestate,  ///< Typestate propagation fixpoint.
+  Annotation, ///< Annotation + local verification.
+  Global,     ///< Global verification (induction iteration).
+  Driver,     ///< Outside any phase: scheduling, report assembly.
+};
+
+/// What went wrong.
+enum class FailureKind : uint8_t {
+  MalformedAssembly,    ///< The untrusted binary/assembly is ill-formed.
+  MalformedPolicy,      ///< The host's policy/annotation file is ill-formed.
+  UnsupportedConstruct, ///< Well-formed input the checker cannot handle.
+  ResourceExhausted,    ///< A governor budget tripped; partial results kept.
+  Cancelled,            ///< Cooperative cancellation tripped.
+  InternalError,        ///< An exception or invariant breach in the checker.
+};
+
+/// One structured failure. Pc is the instruction index (when the failure
+/// is attributable to one), not a byte address.
+struct CheckFailure {
+  CheckPhase Phase = CheckPhase::Driver;
+  FailureKind Kind = FailureKind::InternalError;
+  std::optional<uint32_t> Pc;
+  std::string Detail;
+
+  /// "phase/kind[ at #pc]: detail" — deterministic, no wall-clock.
+  std::string str() const;
+};
+
+const char *verdictName(CheckVerdict V);
+const char *checkPhaseName(CheckPhase P);
+const char *failureKindName(FailureKind K);
+
+/// The documented mcsafe-check exit code for a verdict:
+/// Safe=0, Unsafe=1, MalformedInput=2, Unknown=3, InternalError=4.
+int exitCode(CheckVerdict V);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_FAILURE_H

@@ -4,6 +4,7 @@
 
 #include "constraints/Eliminate.h"
 #include "policy/Policy.h"
+#include "support/Governor.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -59,7 +60,7 @@ public:
            const AnnotationResult &Annot, Prover &TheProver,
            const GlobalVerifyOptions &Opts)
       : Ctx(Ctx), Prop(Prop), Annot(Annot), TheProver(TheProver),
-        Opts(Opts), Wlp(Ctx, Prop) {
+        Opts(Opts), Gov(Ctx.Governor), Wlp(Ctx, Prop) {
     Rpo = Ctx.Graph.reversePostOrder();
     RpoIndex.assign(Ctx.Graph.size(), UINT32_MAX);
     for (uint32_t I = 0; I < Rpo.size(); ++I)
@@ -174,6 +175,7 @@ private:
   const AnnotationResult &Annot;
   Prover &TheProver;
   GlobalVerifyOptions Opts;
+  support::ResourceGovernor *Gov;
   WlpEngine Wlp;
   GlobalVerifyStats Stats;
   std::map<int32_t, std::set<VarId>> ModifiedCache;
@@ -198,11 +200,15 @@ private:
 };
 
 void Verifier::prefetchValidity(const std::vector<FormulaRef> &Queries) {
-  if (!canPrefetch())
+  if (!canPrefetch() || (Gov && Gov->exhausted()))
     return;
   support::TraceSpan Span("global/prefetch");
   std::shared_ptr<ProverCache> SharedCache = TheProver.cacheHandle();
   Prover::Options ProverOpts = TheProver.options();
+  // Speculative workers poll the governor but never charge prover
+  // steps: the deterministic step sequence belongs to the sequential
+  // pass alone (see Prover::Options::ChargeGovernorSteps).
+  ProverOpts.ChargeGovernorSteps = false;
   std::unordered_set<size_t> Seen;
   support::TaskGroup Group(Opts.Pool);
   for (const FormulaRef &Q : Queries) {
@@ -213,9 +219,15 @@ void Verifier::prefetchValidity(const std::vector<FormulaRef> &Queries) {
       // Pool tasks run outside the check's VarNamespace: names minted
       // while answering the query must not consume the check's
       // deterministic fresh-name counters.
-      VarScopeSuspend NoScope;
-      Prover Local(ProverOpts, SharedCache);
-      Local.checkValid(Q);
+      // A throwing pool task would std::terminate the process, so the
+      // speculative path absorbs everything (it is only a cache warmer;
+      // the sequential pass recomputes whatever is missing).
+      try {
+        VarScopeSuspend NoScope;
+        Prover Local(ProverOpts, SharedCache);
+        Local.checkValid(Q);
+      } catch (...) {
+      }
     });
   }
   Group.wait();
@@ -264,10 +276,37 @@ Verifier::backSubstRegion(int32_t LoopIdx,
     return It == FirstNeed.end() ? Formula::mkTrue() : It->second;
   };
 
+  // Formula bytes charged against the governor while this region's phi
+  // map is alive; released wholesale on every exit path.
+  uint64_t ChargedBytes = 0;
+  struct MemRelease {
+    support::ResourceGovernor *Gov;
+    uint64_t &Bytes;
+    ~MemRelease() {
+      if (Gov)
+        Gov->releaseMemory(Bytes);
+    }
+  } Release{Gov, ChargedBytes};
+  auto ChargePhi = [&](const FormulaRef &F) {
+    if (!Gov)
+      return true;
+    uint64_t B = static_cast<uint64_t>(F->size()) * 48; // ~node footprint
+    ChargedBytes += B;
+    return Gov->noteMemory("global/phi", B);
+  };
+
   // Process region nodes in reverse RPO (a reverse topological order of
   // the region DAG, since the graph is reducible).
   for (auto It = Rpo.rbegin(); It != Rpo.rend(); ++It) {
     NodeId N = *It;
+    // Back-substitution is the checker's hottest unbounded loop (its
+    // formulas can grow with every node): poll here so deadlines and
+    // memory trips land promptly, failing the region rather than the
+    // process.
+    if (Gov && !Gov->poll("global/backsubst")) {
+      Failed = true;
+      return Formula::mkFalse();
+    }
     if (!InRegion(N))
       continue;
     int32_t Unit = unitOf(LoopIdx, N);
@@ -368,6 +407,10 @@ Verifier::backSubstRegion(int32_t LoopIdx,
     if (Before->size() > Opts.MaxFormulaSize) {
       Failed = true;
       Before = Formula::mkFalse();
+    }
+    if (!ChargePhi(Before)) {
+      Failed = true;
+      return Formula::mkFalse();
     }
     Phi[N] = std::move(Before);
   }
@@ -498,6 +541,10 @@ Verifier::SynthesisResult Verifier::synthesize(int32_t LoopIdx,
                    int(CheckEntry), Qh->str().c_str());
 
   for (unsigned I = 0;; ++I) {
+    // Induction iteration is the paper's potentially-unbounded search;
+    // a governor trip abandons synthesis (FAILED → obligation Unknown).
+    if (Gov && !Gov->poll("global/synthesize"))
+      break;
     ++Stats.IterationsRun;
     // inv.1(I-1): (W(0) and ... and W(I-1)) => W(I).
     std::vector<FormulaRef> Prefix(W.begin(), W.begin() + I);
@@ -656,22 +703,66 @@ GlobalVerifyStats Verifier::run() {
     }
     prefetchValidity(Queries);
   }
-  for (const GlobalObligation &Ob : Annot.Obligations) {
+  // Records an obligation left undecided because the governor tripped:
+  // a Global-phase CheckFailure (the program was never shown wrong), not
+  // a violation diagnostic.
+  auto RecordUnknown = [&](const GlobalObligation &Ob) {
+    ++Stats.ObligationsUnknown;
+    if (Ctx.Failures)
+      Ctx.Failures->push_back(
+          {CheckPhase::Global,
+           Gov->exhaustedKind() == support::BudgetKind::Cancelled
+               ? FailureKind::Cancelled
+               : FailureKind::ResourceExhausted,
+           Ob.Node, Ob.Description + ": undecided (" + Gov->reason() + ")"});
+  };
+
+  const std::vector<GlobalObligation> &Obs = Annot.Obligations;
+  for (size_t I = 0; I < Obs.size(); ++I) {
+    const GlobalObligation &Ob = Obs[I];
     if (Prop.In[Ob.Node].isTop())
       continue; // Unreachable node: vacuous.
-    ProverResult R = proveAt(Ob.Node, Ob.Q);
+    ProverResult R = ProverResult::Unknown;
+    bool Decided = false;
+    if (!Gov || Gov->poll("global/obligation")) {
+      R = proveAt(Ob.Node, Ob.Q);
+      // An Unknown produced while the governor is exhausted reflects the
+      // interrupted search, not the obligation; only a completed query
+      // (or a proof that landed before the trip) counts as an answer.
+      Decided = R == ProverResult::Proved || !Gov || !Gov->exhausted();
+    }
     if (R == ProverResult::Proved) {
       ++Stats.ObligationsProved;
       continue;
     }
-    ++Stats.ObligationsFailed;
-    std::string Why = R == ProverResult::NotProved
-                          ? "a counterexample exists"
-                          : "the condition could not be proved";
-    Ctx.Diags->report(DiagSeverity::Violation, Ob.Kind,
-                      Ob.Description + ": " + Why + " [" + Ob.Q->str() +
-                          "]",
-                      Ob.Node, Ctx.Graph.sourceLine(Ob.Node));
+    if (Decided) {
+      ++Stats.ObligationsFailed;
+      std::string Why = R == ProverResult::NotProved
+                            ? "a counterexample exists"
+                            : "the condition could not be proved";
+      Ctx.Diags->report(DiagSeverity::Violation, Ob.Kind,
+                        Ob.Description + ": " + Why + " [" + Ob.Q->str() +
+                            "]",
+                        Ob.Node, Ctx.Graph.sourceLine(Ob.Node));
+      continue;
+    }
+    RecordUnknown(Ob);
+    if (!Opts.FailSoft) {
+      // Summarize the rest instead of enumerating every obligation the
+      // budget will no longer reach.
+      uint64_t Remaining = 0;
+      for (size_t J = I + 1; J < Obs.size(); ++J)
+        if (!Prop.In[Obs[J].Node].isTop())
+          ++Remaining;
+      Stats.ObligationsUnknown += Remaining;
+      if (Remaining && Ctx.Failures)
+        Ctx.Failures->push_back(
+            {CheckPhase::Global, FailureKind::ResourceExhausted,
+             std::nullopt,
+             std::to_string(Remaining) +
+                 " further obligation(s) undecided: " + Gov->reason()});
+      break;
+    }
   }
   return Stats;
 }

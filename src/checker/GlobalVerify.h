@@ -68,12 +68,21 @@ struct GlobalVerifyOptions {
   /// byte-identical with or without a pool (results are pure functions
   /// of formula structure and budget). Non-owning.
   support::ThreadPool *Pool = nullptr;
+  /// When the governor trips mid-run, keep walking the remaining
+  /// obligations and record each as its own Unknown failure (instead of
+  /// one summary failure for the rest). Costs one pass over the
+  /// obligation list; proves nothing further.
+  bool FailSoft = false;
 };
 
 /// Per-run statistics.
 struct GlobalVerifyStats {
   uint64_t ObligationsProved = 0;
   uint64_t ObligationsFailed = 0;
+  /// Obligations left undecided because a resource budget tripped (they
+  /// are CheckFailures, not violations: the program was never shown
+  /// wrong, the checker just ran out).
+  uint64_t ObligationsUnknown = 0;
   uint64_t QuickDischarges = 0; ///< Proved from node assertions alone.
   uint64_t InvariantsSynthesized = 0;
   uint64_t InvariantReuses = 0;

@@ -39,19 +39,52 @@ ParallelCheckResult checker::checkJobs(const std::vector<CheckJob> &Jobs,
     Pool = std::make_unique<support::ThreadPool>(NJobs);
 
   auto RunOne = [&](size_t I) {
-    support::TraceSpan JobSpan("parallel/job", Jobs[I].Name);
-    // A private namespace makes this check's variable-id and fresh-name
-    // sequences a pure function of its own inputs — the determinism
-    // anchor for byte-identical reports under any scheduling.
-    VarNamespace NS;
-    SafetyChecker::Options O = Opts.Check;
-    O.SharedProverCache = Shared;
-    O.Global.Pool = (Opts.VcParallelism && Pool) ? Pool.get() : nullptr;
-    O.Metrics = Opts.Metrics;
-    O.MetricScope = "program/" + Jobs[I].Name;
-    SafetyChecker Checker(O);
-    Result.Programs[I].Report =
-        Checker.checkSource(Jobs[I].Asm, Jobs[I].Policy);
+    CheckReport &Rep = Result.Programs[I].Report;
+    // Pool tasks that throw would std::terminate the process, and one
+    // job's failure must never take down its batch-mates: everything a
+    // job can raise lands in its own report.
+    try {
+      // A batch-level governor that already tripped (shared deadline,
+      // cooperative cancel) skips the remaining jobs outright, each with
+      // a structured failure instead of silence.
+      if (support::ResourceGovernor *BGov = Opts.Check.Governor;
+          BGov && BGov->exhausted()) {
+        Rep.Safe = false;
+        Rep.Verdict = CheckVerdict::Unknown;
+        Rep.Failures.push_back(
+            {CheckPhase::Driver,
+             BGov->exhaustedKind() == support::BudgetKind::Cancelled
+                 ? FailureKind::Cancelled
+                 : FailureKind::ResourceExhausted,
+             std::nullopt, "check skipped: " + BGov->reason()});
+        return;
+      }
+      support::TraceSpan JobSpan("parallel/job", Jobs[I].Name);
+      // A private namespace makes this check's variable-id and fresh-name
+      // sequences a pure function of its own inputs — the determinism
+      // anchor for byte-identical reports under any scheduling.
+      VarNamespace NS;
+      SafetyChecker::Options O = Opts.Check;
+      O.SharedProverCache = Shared;
+      O.Global.Pool = (Opts.VcParallelism && Pool) ? Pool.get() : nullptr;
+      O.Metrics = Opts.Metrics;
+      O.MetricScope = "program/" + Jobs[I].Name;
+      SafetyChecker Checker(O);
+      Rep = Checker.checkSource(Jobs[I].Asm, Jobs[I].Policy);
+    } catch (const std::exception &E) {
+      Rep.Safe = false;
+      Rep.Verdict = CheckVerdict::InternalError;
+      Rep.Failures.push_back({CheckPhase::Driver, FailureKind::InternalError,
+                              std::nullopt,
+                              std::string("unhandled exception: ") +
+                                  E.what()});
+    } catch (...) {
+      Rep.Safe = false;
+      Rep.Verdict = CheckVerdict::InternalError;
+      Rep.Failures.push_back({CheckPhase::Driver, FailureKind::InternalError,
+                              std::nullopt,
+                              "unhandled non-standard exception"});
+    }
   };
 
   if (Pool) {
@@ -100,16 +133,18 @@ std::string checker::renderParallelReport(const ParallelCheckResult &R) {
   for (const ParallelCheckResult::Program &P : R.Programs) {
     const CheckReport &Rep = P.Report;
     OS << "== " << P.Name << " ==\n";
-    if (!Rep.InputsOk)
-      OS << "verdict: ERROR\n";
-    else
-      OS << "verdict: " << (Rep.Safe ? "SAFE" : "UNSAFE") << "\n";
+    OS << "verdict: " << verdictName(Rep.Verdict) << "\n";
     std::string Diags = Rep.Diags.str();
     if (!Diags.empty()) {
       OS << Diags;
       if (Diags.back() != '\n')
         OS << "\n";
     }
+    // Structured failures, in the order encountered. For step-budget and
+    // malformed-input failures these are deterministic; wall-clock
+    // deadline runs are inherently not, and are never byte-compared.
+    for (const CheckFailure &F : Rep.Failures)
+      OS << "failure: " << F.str() << "\n";
     if (!Rep.InputsOk)
       continue;
     // Deterministic work counters only — no wall-clock values, and none

@@ -287,14 +287,27 @@ void Preparer::buildEntryStore() {
     Typestate Ts;
     switch (B.K) {
     case InvocationBinding::Kind::ValueOfLoc: {
+      // The parser validates dotted paths against the declared types,
+      // but this is the untrusted boundary: re-check rather than assert,
+      // so a parser gap degrades to a diagnostic instead of an abort.
       AbsLocId Id = Ctx.Locs.lookup(B.LocName);
-      assert(Id != InvalidLoc && "validated by the parser");
+      if (Id == InvalidLoc) {
+        fatal("invocation binds value of undeclared location '" +
+              B.LocName + "'");
+        Failed = true;
+        return;
+      }
       Ts = Store.loc(Id);
       break;
     }
     case InvocationBinding::Kind::AddressOfLoc: {
       AbsLocId Id = Ctx.Locs.lookup(B.LocName);
-      assert(Id != InvalidLoc && "validated by the parser");
+      if (Id == InvalidLoc) {
+        fatal("invocation binds address of undeclared location '" +
+              B.LocName + "'");
+        Failed = true;
+        return;
+      }
       Ts.Type = TypeFactory::ptr(Ctx.Locs.loc(Id).Type);
       Ts.S = State::pointsToLoc(Id, B.Offset);
       Ts.A = Access::fo();

@@ -3,6 +3,7 @@
 #include "checker/Propagation.h"
 
 #include "support/CheckedInt.h"
+#include "support/Governor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -870,6 +871,12 @@ checker::propagate(const CheckContext &Ctx,
                         "typestate propagation exceeded its budget");
       break;
     }
+    // A governor trip abandons the fixpoint mid-flight. The partial
+    // result may be smaller than the true fixpoint, so the caller must
+    // not run any later phase over it (SafetyChecker degrades to
+    // Unknown when it sees the governor exhausted here).
+    if (Ctx.Governor && !Ctx.Governor->poll("typestate/worklist"))
+      break;
     NodeId Id = *Worklist.begin();
     Worklist.erase(Worklist.begin());
 

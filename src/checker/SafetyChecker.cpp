@@ -80,13 +80,59 @@ void publishCounters(support::MetricsRegistry &Reg, const std::string &Scope,
   Put("omega/splinters", Report.OmegaStats.Splinters);
 }
 
+/// Converts Fatal diagnostics added at or after \p From into structured
+/// CheckFailures attributed to \p Phase.
+void captureFatals(CheckReport &Report, size_t From, CheckPhase Phase,
+                   FailureKind Kind) {
+  const std::vector<Diagnostic> &Diags = Report.Diags.diagnostics();
+  for (size_t I = From; I < Diags.size(); ++I) {
+    if (Diags[I].Severity != DiagSeverity::Fatal)
+      continue;
+    Report.Failures.push_back(
+        {Phase, Kind, Diags[I].InstIndex, Diags[I].Message});
+  }
+}
+
 } // namespace
 
 CheckReport SafetyChecker::check(const sparc::Module &M,
                                  const policy::Policy &Pol) {
   CheckReport Report;
+  // The process-boundary guarantee: no exception (allocator failure, a
+  // checker bug, an injected fault) escapes a check. Anything thrown
+  // becomes an InternalError verdict — meaningless as an answer, but
+  // structured and crash-free.
+  try {
+    checkImpl(M, Pol, Report);
+  } catch (const std::exception &E) {
+    Report.Safe = false;
+    Report.Verdict = CheckVerdict::InternalError;
+    Report.Failures.push_back({CheckPhase::Driver, FailureKind::InternalError,
+                               std::nullopt,
+                               std::string("unhandled exception: ") +
+                                   E.what()});
+  } catch (...) {
+    Report.Safe = false;
+    Report.Verdict = CheckVerdict::InternalError;
+    Report.Failures.push_back({CheckPhase::Driver, FailureKind::InternalError,
+                               std::nullopt,
+                               "unhandled non-standard exception"});
+  }
+  return Report;
+}
+
+void SafetyChecker::checkImpl(const sparc::Module &M,
+                              const policy::Policy &Pol,
+                              CheckReport &Report) {
   support::TraceSpan CheckSpan("checker/check", Opts.MetricScope);
   Clock::time_point CheckStart = Clock::now();
+
+  // The governor: external if the caller supplied one, local if limits
+  // were configured, absent (null — zero overhead) otherwise.
+  support::ResourceGovernor LocalGov(Opts.Limits);
+  support::ResourceGovernor *Gov = Opts.Governor;
+  if (!Gov && Opts.Limits.any())
+    Gov = &LocalGov;
 
   // Static characteristics of the untrusted code.
   Report.Chars.Instructions = M.size();
@@ -101,6 +147,7 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
   }
 
   // Phase 1: preparation.
+  size_t DiagsBefore = Report.Diags.diagnostics().size();
   std::optional<CheckContext> Ctx;
   {
     PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/prepare",
@@ -109,9 +156,14 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
   }
   if (!Ctx) {
     Report.InputsOk = false;
-    return Report;
+    Report.Verdict = CheckVerdict::MalformedInput;
+    captureFatals(Report, DiagsBefore, CheckPhase::Prepare,
+                  FailureKind::MalformedAssembly);
+    return;
   }
   Report.InputsOk = true;
+  Ctx->Governor = Gov;
+  Ctx->Failures = &Report.Failures;
   Report.Chars.Loops = static_cast<uint32_t>(Ctx->Loops->loops().size());
   Report.Chars.InnerLoops = Ctx->Loops->innerLoopCount();
 
@@ -120,7 +172,40 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
       Opts.Metrics->counter(Opts.MetricScope + "/phase/total_us")
           .inc(usSince(CheckStart));
       publishCounters(*Opts.Metrics, Opts.MetricScope, Report);
+      if (Gov) {
+        auto &Reg = *Opts.Metrics;
+        Reg.counter(Opts.MetricScope + "/governor/prover_steps")
+            .inc(Gov->stepsUsed());
+        Reg.counter(Opts.MetricScope + "/governor/mem_high_water")
+            .inc(Gov->memoryHighWater());
+        if (Gov->exhausted()) {
+          Reg.counter(Opts.MetricScope + "/governor/exhausted/" +
+                      support::budgetKindName(Gov->exhaustedKind()))
+              .inc();
+          Reg.counter(Opts.MetricScope + "/governor/died_at/" +
+                      Gov->exhaustedSite())
+              .inc();
+        }
+      }
     }
+  };
+
+  // A phase ran out of budget: record where, mark the check Unknown
+  // (unless a violation was already proved — that verdict is sound and
+  // stands), and skip the remaining phases. Partial results collected so
+  // far stay in the report.
+  auto Degrade = [&](CheckPhase Phase) {
+    support::TraceSpan Died("governor/exhausted", Opts.MetricScope);
+    Report.Failures.push_back(
+        {Phase,
+         Gov->exhaustedKind() == support::BudgetKind::Cancelled
+             ? FailureKind::Cancelled
+             : FailureKind::ResourceExhausted,
+         std::nullopt, Gov->reason()});
+    Report.Safe = false;
+    Report.Verdict = Report.Diags.hasViolations() ? CheckVerdict::Unsafe
+                                                  : CheckVerdict::Unknown;
+    Finish();
   };
 
   // Phase 0: bit-vector dataflow lint. Fast-rejects definite
@@ -140,10 +225,13 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
       // phases cannot prove the program safe.
       Report.LintRejected = true;
       Report.Safe = false;
+      Report.Verdict = CheckVerdict::Unsafe;
       Finish();
-      return Report;
+      return;
     }
   }
+  if (Gov && !Gov->poll("checker/after-lint"))
+    return Degrade(CheckPhase::Lint);
 
   // Phase 2: typestate propagation.
   PropagationResult Prop;
@@ -154,6 +242,12 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
         propagate(*Ctx, Lint && Opts.PruneDeadRegs ? &Lint->Live : nullptr);
   }
   Report.TypestateNodeVisits = Prop.NodeVisits;
+  // A partial typestate fixpoint may be *smaller* than the true one, and
+  // the later phases could then "prove" safety from facts that do not
+  // hold on all paths. Fail sound: when the fixpoint did not converge,
+  // nothing downstream may run.
+  if (Gov && Gov->exhausted())
+    return Degrade(CheckPhase::Typestate);
 
   // Phases 3 + 4: annotation and local verification (including the
   // security-automaton extension, which is typestate-level checking).
@@ -167,36 +261,90 @@ CheckReport SafetyChecker::check(const sparc::Module &M,
   Report.LocalChecks = Annot.LocalChecks;
   Report.LocalViolations = Annot.LocalViolations;
   Report.Chars.GlobalConditions = Annot.Obligations.size();
+  // An interrupted annotation pass has an incomplete obligation set;
+  // running global verification over it could certify a program whose
+  // unvisited nodes hide violations.
+  if (Gov && Gov->exhausted())
+    return Degrade(CheckPhase::Annotation);
 
   // Phase 5: global verification.
   {
     PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/global",
                  "global");
-    Prover TheProver(Opts.ProverOpts, Opts.SharedProverCache);
-    Report.Global = verifyGlobal(*Ctx, Prop, Annot, TheProver, Opts.Global);
+    Prover::Options ProverOpts = Opts.ProverOpts;
+    if (!ProverOpts.Governor)
+      ProverOpts.Governor = Gov;
+    GlobalVerifyOptions GlobalOpts = Opts.Global;
+    GlobalOpts.FailSoft = GlobalOpts.FailSoft || Opts.FailSoft;
+    Prover TheProver(ProverOpts, Opts.SharedProverCache);
+    Report.Global = verifyGlobal(*Ctx, Prop, Annot, TheProver, GlobalOpts);
     Report.ProverStats = TheProver.stats();
     Report.OmegaStats = TheProver.omegaStats();
   }
 
   Report.Safe = !Report.Diags.hasViolations() && !Report.Diags.hasFatal();
+  if (Report.Diags.hasViolations()) {
+    Report.Verdict = CheckVerdict::Unsafe;
+  } else if (Report.Diags.hasFatal()) {
+    Report.Verdict = CheckVerdict::MalformedInput;
+  } else if (Gov && Gov->exhausted()) {
+    // The global phase ran out mid-way: obligations it never reached are
+    // recorded as failures, and "no violations found" must not read as
+    // Safe when the search was cut short.
+    Report.Safe = false;
+    Report.Verdict = CheckVerdict::Unknown;
+    if (Report.Failures.empty())
+      Report.Failures.push_back(
+          {CheckPhase::Global,
+           Gov->exhaustedKind() == support::BudgetKind::Cancelled
+               ? FailureKind::Cancelled
+               : FailureKind::ResourceExhausted,
+           std::nullopt, Gov->reason()});
+  } else {
+    Report.Verdict = CheckVerdict::Safe;
+  }
   Finish();
-  return Report;
 }
 
 CheckReport SafetyChecker::checkSource(std::string_view Asm,
                                        std::string_view PolicyText) {
   CheckReport Report;
-  std::string Error;
-  std::optional<sparc::Module> M = sparc::assemble(Asm, &Error);
-  if (!M) {
-    Report.Diags.fatal("assembly error: " + Error);
+  try {
+    std::string Error;
+    std::optional<sparc::Module> M = sparc::assemble(Asm, &Error);
+    if (!M) {
+      Report.Diags.fatal("assembly error: " + Error);
+      Report.Verdict = CheckVerdict::MalformedInput;
+      Report.Failures.push_back({CheckPhase::Input,
+                                 FailureKind::MalformedAssembly, std::nullopt,
+                                 "assembly error: " + Error});
+      return Report;
+    }
+    std::optional<policy::Policy> Pol =
+        policy::parsePolicy(PolicyText, &Error);
+    if (!Pol) {
+      Report.Diags.fatal("policy error: " + Error);
+      Report.Verdict = CheckVerdict::MalformedInput;
+      Report.Failures.push_back({CheckPhase::Input,
+                                 FailureKind::MalformedPolicy, std::nullopt,
+                                 "policy error: " + Error});
+      return Report;
+    }
+    return check(*M, *Pol);
+  } catch (const std::exception &E) {
+    Report.Safe = false;
+    Report.Verdict = CheckVerdict::InternalError;
+    Report.Failures.push_back({CheckPhase::Input, FailureKind::InternalError,
+                               std::nullopt,
+                               std::string("unhandled exception: ") +
+                                   E.what()});
+    return Report;
+  } catch (...) {
+    Report.Safe = false;
+    Report.Verdict = CheckVerdict::InternalError;
+    Report.Failures.push_back({CheckPhase::Input, FailureKind::InternalError,
+                               std::nullopt,
+                               "unhandled non-standard exception"});
     return Report;
   }
-  std::optional<policy::Policy> Pol =
-      policy::parsePolicy(PolicyText, &Error);
-  if (!Pol) {
-    Report.Diags.fatal("policy error: " + Error);
-    return Report;
-  }
-  return check(*M, *Pol);
 }

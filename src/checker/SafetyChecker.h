@@ -29,15 +29,18 @@
 #ifndef MCSAFE_CHECKER_SAFETYCHECKER_H
 #define MCSAFE_CHECKER_SAFETYCHECKER_H
 
+#include "checker/Failure.h"
 #include "checker/GlobalVerify.h"
 #include "constraints/Prover.h"
 #include "policy/Policy.h"
 #include "sparc/Module.h"
 #include "support/Diagnostics.h"
+#include "support/Governor.h"
 #include "support/Metrics.h"
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mcsafe {
 namespace checker {
@@ -66,6 +69,16 @@ struct CheckReport {
   bool InputsOk = false;
   /// True when every safety condition was verified.
   bool Safe = false;
+
+  /// The five-way outcome. Refines (InputsOk, Safe): Unknown means the
+  /// checker gave up soundly (budget/cancellation) rather than proving
+  /// anything; see Failure.h for the exit-code mapping.
+  CheckVerdict Verdict = CheckVerdict::InternalError;
+
+  /// Structured failures: every way this check fell short of a
+  /// definitive verdict (malformed input, budget exhaustion,
+  /// cancellation, internal errors), in the order encountered.
+  std::vector<CheckFailure> Failures;
 
   /// The phase-0 lint proved a safety violation and the expensive
   /// phases were skipped (TypestateNodeVisits stays 0).
@@ -113,19 +126,37 @@ public:
     support::MetricsRegistry *Metrics = nullptr;
     /// Name prefix for this check's metrics, e.g. "program/Sum".
     std::string MetricScope = "check";
+    /// Per-check resource limits. All-zero (the default) means
+    /// unlimited, and the check runs with no governor at all — the
+    /// poll points reduce to a null-pointer test.
+    support::GovernorLimits Limits;
+    /// External governor (overrides Limits). Lets a batch driver share
+    /// one budget across many checks or cancel them cooperatively; the
+    /// governor must outlive the check.
+    support::ResourceGovernor *Governor = nullptr;
+    /// On budget exhaustion in the global phase, keep enumerating the
+    /// remaining obligations as individual Unknown failures instead of
+    /// stopping at the first.
+    bool FailSoft = false;
   };
 
   SafetyChecker() = default;
   explicit SafetyChecker(Options Opts) : Opts(Opts) {}
 
-  /// Checks an assembled module against a parsed policy.
+  /// Checks an assembled module against a parsed policy. Never throws:
+  /// any exception escaping the pipeline becomes an InternalError
+  /// verdict with a Driver-phase CheckFailure.
   CheckReport check(const sparc::Module &M, const policy::Policy &Pol);
 
   /// Convenience: assembles \p Asm, parses \p PolicyText, checks.
+  /// Never throws; parse failures yield a MalformedInput verdict.
   CheckReport checkSource(std::string_view Asm,
                           std::string_view PolicyText);
 
 private:
+  void checkImpl(const sparc::Module &M, const policy::Policy &Pol,
+                 CheckReport &Report);
+
   Options Opts;
 };
 

@@ -2,9 +2,12 @@
 
 #include "constraints/Formula.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <new>
 #include <sstream>
 
 using namespace mcsafe;
@@ -15,6 +18,11 @@ namespace mcsafe {
 class FormulaFactory {
 public:
   static std::shared_ptr<Formula> make(FormulaKind Kind) {
+    // Injected allocator fault: simulate memory exhaustion at the one
+    // chokepoint every formula passes through. The check boundary turns
+    // the bad_alloc into an InternalError verdict, never a crash.
+    if (support::faultPoint("alloc/formula"))
+      throw std::bad_alloc();
     return std::shared_ptr<Formula>(new Formula(Kind));
   }
   static void setChildren(Formula &F, std::vector<FormulaRef> Children) {

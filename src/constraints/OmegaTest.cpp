@@ -3,6 +3,7 @@
 #include "constraints/OmegaTest.h"
 
 #include "support/CheckedInt.h"
+#include "support/Governor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -34,7 +35,9 @@ struct OmegaTest::System {
 };
 
 bool OmegaTest::budgetExceeded() {
-  return ++StepsUsed > Opts.MaxSteps;
+  if (++StepsUsed > Opts.MaxSteps)
+    return true;
+  return Opts.Governor && !Opts.Governor->poll("omega/step");
 }
 
 SatResult OmegaTest::isSatisfiable(const std::vector<Constraint> &Conjuncts) {

@@ -36,6 +36,10 @@
 
 namespace mcsafe {
 
+namespace support {
+class ResourceGovernor;
+} // namespace support
+
 /// Tri-state satisfiability verdict.
 enum class SatResult : uint8_t {
   Unsat,   ///< Definitely no integer solution.
@@ -51,6 +55,9 @@ public:
     uint64_t MaxSteps = 200000;
     /// Largest NDIV modulus expanded into residue cases.
     int64_t MaxNdivModulus = 64;
+    /// Optional per-check governor: elimination loops poll it so a
+    /// deadline can interrupt a blowup mid-query (result: Unknown).
+    support::ResourceGovernor *Governor = nullptr;
   };
 
   struct Stats {

@@ -1,12 +1,22 @@
 //===- Prover.cpp ---------------------------------------------------------===//
 
 #include "constraints/Prover.h"
+#include "support/FaultInjection.h"
+#include "support/Governor.h"
 #include "support/Trace.h"
 
 using namespace mcsafe;
 
+namespace {
+Prover::Options propagateGovernor(Prover::Options O) {
+  if (O.Governor && !O.Omega.Governor)
+    O.Omega.Governor = O.Governor;
+  return O;
+}
+} // namespace
+
 Prover::Prover(Options Opts, std::shared_ptr<ProverCache> SharedCache)
-    : Opts(Opts), Omega(Opts.Omega) {
+    : Opts(propagateGovernor(Opts)), Omega(this->Opts.Omega) {
   if (SharedCache)
     Cache = std::move(SharedCache);
   else if (Opts.EnableCache) {
@@ -39,6 +49,22 @@ Prover::Stats Prover::stats() const {
 
 SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
   ++Counters.SatQueries;
+  // The step budget is charged per query, before the trivial-formula and
+  // cache shortcuts: the charge count is then a pure function of the
+  // query sequence, independent of cache warmth, which keeps step-budget
+  // exhaustion byte-deterministic across --jobs.
+  if (support::ResourceGovernor *Gov = Opts.Governor) {
+    bool Ok = Opts.ChargeGovernorSteps ? Gov->chargeProverStep("prover/sat")
+                                       : Gov->poll("prover/sat");
+    if (!Ok) {
+      ++Counters.BudgetExhaustions;
+      return {SatResult::Unknown, false};
+    }
+  }
+  // Injected prover fault: the degraded path is an uncached Unknown,
+  // which the callers already treat as "not proved" (sound).
+  if (support::faultPoint("prover/sat"))
+    return {SatResult::Unknown, false};
   if (F->isTrue())
     return {SatResult::Sat, false};
   if (F->isFalse())
@@ -49,9 +75,12 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
   if (Cache) {
     B = budget();
     Key = ProverCache::keyFor(F, B);
-    if (std::optional<SatOutcome> Hit = Cache->lookupHashed(Key, F, B)) {
-      ++Counters.CacheHits;
-      return *Hit;
+    // Injected cache fault: degrade to a recompute (lookup "misses").
+    if (!support::faultPoint("cache/lookup")) {
+      if (std::optional<SatOutcome> Hit = Cache->lookupHashed(Key, F, B)) {
+        ++Counters.CacheHits;
+        return *Hit;
+      }
     }
   }
 
@@ -65,8 +94,15 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
     VarScopeSuspend NoScope;
     support::TraceSpan Span("prover/sat");
     DnfResult Dnf = toDNF(F, Opts.DnfMaxDisjuncts, Opts.DnfMaxAtoms);
+    // The DNF expansion is where prover memory blows up; charge its
+    // footprint against the governor for the lifetime of the query.
+    uint64_t DnfBytes = 0;
+    for (const std::vector<Constraint> &D : Dnf.Disjuncts)
+      DnfBytes += D.size() * sizeof(Constraint);
+    support::MemoryCharge Mem(Opts.Governor, "prover/dnf", DnfBytes);
     Outcome.ApproximatedForall = Dnf.ApproximatedForall;
-    if (Dnf.BudgetExceeded) {
+    if (Dnf.BudgetExceeded ||
+        (Opts.Governor && Opts.Governor->exhausted())) {
       Outcome.Result = SatResult::Unknown;
     } else {
       bool SawUnknown = false;
@@ -92,7 +128,11 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
 
   // Caching budget-limited Unknowns is sound because the key carries the
   // budget: a query under a different budget can never see this entry.
-  if (Cache)
+  // But an Unknown produced because the *governor* interrupted the
+  // computation is NOT a pure function of (formula, budget) — it depends
+  // on when the deadline fired — so it must never enter the cache.
+  if (Cache && !(Opts.Governor && Opts.Governor->exhausted()) &&
+      !support::faultPoint("cache/insert"))
     Cache->insertHashed(Key, F, B, Outcome);
   return Outcome;
 }

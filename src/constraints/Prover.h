@@ -58,6 +58,15 @@ public:
     /// Capacity of a privately-owned cache (ignored when a shared cache
     /// is supplied).
     size_t CacheMaxEntries = size_t(1) << 18;
+    /// Optional per-check governor (null = unlimited). Propagated to the
+    /// Omega test unless Omega.Governor is already set.
+    support::ResourceGovernor *Governor = nullptr;
+    /// Whether queries charge the governor's prover-step budget. The
+    /// sequential verification path charges (making step exhaustion a
+    /// deterministic function of the inputs); speculative prefetch
+    /// workers only poll, so their scheduling cannot perturb the charge
+    /// sequence.
+    bool ChargeGovernorSteps = true;
   };
 
   struct Stats {

@@ -6,6 +6,7 @@
 
 #include <cassert>
 #include <cctype>
+#include <cstdint>
 #include <sstream>
 
 using namespace mcsafe;
@@ -25,6 +26,9 @@ struct Token {
   Kind K = Kind::End;
   std::string Text;
   int64_t Value = 0;
+  /// The literal did not fit in int64 — the parser must reject it rather
+  /// than silently compute with a clamped value.
+  bool Overflow = false;
 };
 
 class Tokenizer {
@@ -52,7 +56,10 @@ public:
       }
       T.K = Token::Kind::Int;
       T.Text = std::string(S.substr(B, Pos - B));
-      T.Value = parseInt(T.Text).value_or(0);
+      if (std::optional<int64_t> V = parseInt(T.Text))
+        T.Value = *V;
+      else
+        T.Overflow = true;
       return T;
     }
     if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
@@ -151,6 +158,9 @@ private:
   bool parseFrame(Cursor &C);
   bool parseAutomaton(Cursor &C);
 
+  std::optional<int64_t> takeInt(Cursor &C, const char *What);
+  std::optional<uint32_t> takeU32(Cursor &C, const char *What);
+
   std::optional<TypeRef> parseType(Cursor &C);
   std::optional<StateSpec> parseStateSpec(Cursor &C);
   bool parsePerms(Cursor &C, bool &R, bool &W, bool &F, bool &X, bool &O);
@@ -182,6 +192,38 @@ bool Parser::isGroundName(const std::string &Name, GroundKind &K) const {
   else
     return false;
   return true;
+}
+
+/// Consumes the current token as an integer literal. Fails (with the
+/// token position's line) when the token is not an integer or the
+/// literal overflows int64 — `parseInt` returns nullopt in that case and
+/// the old `.value_or(0)` fallback silently turned 99999999999999999999
+/// into 0.
+std::optional<int64_t> Parser::takeInt(Cursor &C, const char *What) {
+  if (C.peek().K != Token::Kind::Int) {
+    fail(std::string("expected ") + What);
+    return std::nullopt;
+  }
+  if (C.peek().Overflow) {
+    fail("integer literal '" + C.peek().Text + "' is out of range");
+    return std::nullopt;
+  }
+  return C.take().Value;
+}
+
+/// takeInt narrowed to uint32 — offsets, sizes, counts, and alignments
+/// are stored in 32 bits, and an unchecked static_cast would quietly
+/// wrap 0x100000004 to 4.
+std::optional<uint32_t> Parser::takeU32(Cursor &C, const char *What) {
+  std::optional<int64_t> V = takeInt(C, What);
+  if (!V)
+    return std::nullopt;
+  if (*V < 0 || *V > static_cast<int64_t>(UINT32_MAX)) {
+    fail(std::string(What) + " " + std::to_string(*V) +
+         " does not fit in 32 bits");
+    return std::nullopt;
+  }
+  return static_cast<uint32_t>(*V);
 }
 
 std::optional<TypeRef> Parser::parseType(Cursor &C) {
@@ -219,7 +261,14 @@ std::optional<TypeRef> Parser::parseType(Cursor &C) {
       C.take();
       ArraySize Size;
       if (C.peek().K == Token::Kind::Int) {
-        Size = ArraySize::literal(C.take().Value);
+        std::optional<int64_t> N = takeInt(C, "an array size");
+        if (!N)
+          return std::nullopt;
+        if (*N < 0) {
+          fail("array size must be non-negative");
+          return std::nullopt;
+        }
+        Size = ArraySize::literal(*N);
       } else if (C.peek().K == Token::Kind::Ident) {
         Size = ArraySize::symbolic(varId(C.take().Text));
       } else {
@@ -249,11 +298,10 @@ std::optional<StateSpec> Parser::parseStateSpec(Cursor &C) {
     S.K = StateSpec::Kind::Init;
     if (C.eatPunct("(")) {
       bool Neg = C.eatPunct("-");
-      if (C.peek().K != Token::Kind::Int) {
-        fail("expected a constant in init(...)");
+      std::optional<int64_t> V = takeInt(C, "a constant in init(...)");
+      if (!V)
         return std::nullopt;
-      }
-      S.Const = (Neg ? -1 : 1) * C.take().Value;
+      S.Const = (Neg ? -1 : 1) * *V;
       if (!C.eatPunct(")")) {
         fail("expected ')' after init constant");
         return std::nullopt;
@@ -275,11 +323,10 @@ std::optional<StateSpec> Parser::parseStateSpec(Cursor &C) {
         std::string Name = C.take().Text;
         int64_t Offset = 0;
         if (C.eatPunct("+")) {
-          if (C.peek().K != Token::Kind::Int) {
-            fail("expected a byte offset after '+'");
+          std::optional<int64_t> V = takeInt(C, "a byte offset after '+'");
+          if (!V)
             return std::nullopt;
-          }
-          Offset = C.take().Value;
+          Offset = *V;
         }
         S.Targets.emplace_back(Name, Offset);
       } else {
@@ -340,7 +387,10 @@ std::optional<LinearExpr> Parser::parseTerm(Cursor &C) {
     Neg = !Neg;
   LinearExpr E;
   if (C.peek().K == Token::Kind::Int) {
-    int64_t V = C.take().Value;
+    std::optional<int64_t> Lit = takeInt(C, "a constant");
+    if (!Lit)
+      return std::nullopt;
+    int64_t V = *Lit;
     if (C.eatPunct("*")) {
       if (C.peek().K != Token::Kind::Ident) {
         fail("expected an identifier after '*'");
@@ -460,13 +510,16 @@ bool Parser::parseStruct(Cursor &C, bool IsUnion) {
     M.Type = *T;
     if (!C.eatPunct("@"))
       return fail("expected '@offset' for field '" + M.Label + "'");
-    if (C.peek().K != Token::Kind::Int)
-      return fail("expected a byte offset");
-    M.Offset = static_cast<uint32_t>(C.take().Value);
+    std::optional<uint32_t> Off = takeU32(C, "a byte offset");
+    if (!Off)
+      return false;
+    M.Offset = *Off;
     if (C.eatIdent("x")) {
-      if (C.peek().K != Token::Kind::Int)
-        return fail("expected an element count after 'x'");
-      M.Count = static_cast<uint32_t>(C.take().Value);
+      std::optional<uint32_t> Count =
+          takeU32(C, "an element count after 'x'");
+      if (!Count)
+        return false;
+      M.Count = *Count;
       if (M.Count == 0)
         return fail("element count must be positive");
     }
@@ -474,18 +527,26 @@ bool Parser::parseStruct(Cursor &C, bool IsUnion) {
   }
   uint32_t Size = 0, Align = 4;
   if (C.eatIdent("size")) {
-    if (C.peek().K != Token::Kind::Int)
-      return fail("expected a size");
-    Size = static_cast<uint32_t>(C.take().Value);
+    std::optional<uint32_t> V = takeU32(C, "a size");
+    if (!V)
+      return false;
+    Size = *V;
   } else {
-    // Default: end of the last field.
+    // Default: end of the last field, computed in 64 bits — a large
+    // offset or count must not wrap the 32-bit size.
+    uint64_t End = 0;
     for (const Member &M : Members)
-      Size = std::max(Size, M.Offset + M.Count * M.Type->sizeInBytes());
+      End = std::max(End, M.Offset + uint64_t(M.Count) *
+                              M.Type->sizeInBytes());
+    if (End > UINT32_MAX)
+      return fail("struct '" + Name + "' is larger than 32 bits can hold");
+    Size = static_cast<uint32_t>(End);
   }
   if (C.eatIdent("align")) {
-    if (C.peek().K != Token::Kind::Int)
-      return fail("expected an alignment");
-    Align = static_cast<uint32_t>(C.take().Value);
+    std::optional<uint32_t> V = takeU32(C, "an alignment");
+    if (!V)
+      return false;
+    Align = *V;
   }
   P.NamedTypes[Name] = IsUnion
                            ? TypeFactory::unon(Name, std::move(Members),
@@ -503,14 +564,16 @@ bool Parser::parseAbstract(Cursor &C) {
     return fail("duplicate type '" + Name + "'");
   uint32_t Size = 4, Align = 4;
   if (C.eatIdent("size")) {
-    if (C.peek().K != Token::Kind::Int)
-      return fail("expected a size");
-    Size = static_cast<uint32_t>(C.take().Value);
+    std::optional<uint32_t> V = takeU32(C, "a size");
+    if (!V)
+      return false;
+    Size = *V;
   }
   if (C.eatIdent("align")) {
-    if (C.peek().K != Token::Kind::Int)
-      return fail("expected an alignment");
-    Align = static_cast<uint32_t>(C.take().Value);
+    std::optional<uint32_t> V = takeU32(C, "an alignment");
+    if (!V)
+      return false;
+    Align = *V;
   }
   P.NamedTypes[Name] = TypeFactory::abstract(Name, Size, Align);
   return true;
@@ -615,6 +678,12 @@ bool Parser::parseInvoke(Cursor &C) {
     return fail("invalid register in 'invoke'");
   InvocationBinding B;
   B.Reg = *R;
+  // Two bindings for the same register would make the entry context
+  // depend on the order the facts are applied — reject the policy.
+  for (const InvocationBinding &Existing : P.Invocation)
+    if (Existing.Reg == B.Reg)
+      return fail("duplicate 'invoke' binding for register '" +
+                  B.Reg.name() + "'");
   if (!C.eatPunct("="))
     return fail("expected '=' in 'invoke'");
   if (C.eatPunct("&")) {
@@ -623,17 +692,19 @@ bool Parser::parseInvoke(Cursor &C) {
     B.K = InvocationBinding::Kind::AddressOfLoc;
     B.LocName = C.take().Text;
     if (C.eatPunct("+")) {
-      if (C.peek().K != Token::Kind::Int)
-        return fail("expected a byte offset");
-      B.Offset = C.take().Value;
+      std::optional<int64_t> V = takeInt(C, "a byte offset");
+      if (!V)
+        return false;
+      B.Offset = *V;
     }
   } else if (C.peek().K == Token::Kind::Int ||
              C.isPunct("-")) {
     bool Neg = C.eatPunct("-");
-    if (C.peek().K != Token::Kind::Int)
-      return fail("expected a literal");
+    std::optional<int64_t> V = takeInt(C, "a literal");
+    if (!V)
+      return false;
     B.K = InvocationBinding::Kind::Literal;
-    B.Literal = (Neg ? -1 : 1) * C.take().Value;
+    B.Literal = (Neg ? -1 : 1) * *V;
   } else if (C.peek().K == Token::Kind::Ident) {
     std::string Name = C.take().Text;
     bool IsLoc = false;
@@ -979,14 +1050,37 @@ std::optional<Policy> Parser::run(std::string *Error) {
   }
 
   // Cross-checks: points-to targets, regions, and invocation locations
-  // must name declared locations (struct children "parent.field" are
-  // validated against their parent).
+  // must name declared locations. A dotted path "parent.field.sub" is
+  // resolved the same way Preparation materializes the location tree —
+  // each segment must label a member of the preceding aggregate — so a
+  // policy can no longer smuggle in "buf.no_such_field" just because
+  // "buf" exists.
   auto LocExists = [this](const std::string &Name) {
-    std::string Base = Name.substr(0, Name.find('.'));
+    std::string_view Path = Name;
+    size_t Dot = Path.find('.');
+    std::string_view Base = Path.substr(0, Dot);
+    const LocationDecl *Decl = nullptr;
     for (const LocationDecl &D : P.Locations)
       if (D.Name == Base)
-        return true;
-    return false;
+        Decl = &D;
+    if (!Decl)
+      return false;
+    TypeRef T = Decl->Type;
+    while (Dot != std::string_view::npos) {
+      Path = Path.substr(Dot + 1);
+      Dot = Path.find('.');
+      std::string_view Label = Path.substr(0, Dot);
+      if (!T || !T->isAggregate())
+        return false;
+      const Member *Found = nullptr;
+      for (const Member &M : T->members())
+        if (M.Label == Label)
+          Found = &M;
+      if (!Found)
+        return false;
+      T = Found->Type;
+    }
+    return true;
   };
   for (const LocationDecl &D : P.Locations) {
     for (const auto &[Target, Offset] : D.State.Targets) {

@@ -345,8 +345,15 @@ std::optional<Module> sparc::decodeModule(const std::vector<uint32_t> &Words) {
   // Validate control-transfer targets and synthesize entries.
   M.FunctionEntries.push_back(0);
   for (const Instruction &Inst : M.Insts) {
-    if (Inst.Target < 0)
+    if (Inst.Target < 0) {
+      // Only a CALL may carry a negative target (an external callee,
+      // resolved by name). A branch whose displacement lands before the
+      // module start is malformed — letting it through would hand the
+      // CFG builder an unresolvable target.
+      if (isBranch(Inst.Op))
+        return std::nullopt;
       continue;
+    }
     if (Inst.Target >= static_cast<int32_t>(M.size()))
       return std::nullopt;
     if (Inst.Op == Opcode::CALL &&

@@ -1,0 +1,165 @@
+//===- Governor.h - Per-check resource governor -----------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative resource governor for one safety check. The checker is
+/// part of the trusted computing base: a hostile input that crashes or
+/// stalls it denies service to the trusted host, so every long-running
+/// loop in the pipeline polls a ResourceGovernor and degrades to an
+/// Unknown verdict ("fail sound") when a budget runs out.
+///
+/// Budgets:
+///   - a wall-clock deadline (steady clock, checked at poll points — no
+///     signals, no extra threads);
+///   - a prover-step budget, charged once per sequential-path prover
+///     query. The count is a pure function of the check's inputs —
+///     independent of cache warmth and worker scheduling — so reports
+///     produced under a step budget stay byte-identical for any --jobs;
+///   - a memory high-water estimate, charged at sites that know the size
+///     of what they build (DNF expansions, back-substitution formulas);
+///   - a cancellation token (cancel() from any thread).
+///
+/// The first budget to trip wins; its kind and the poll site where it
+/// died are recorded once and are immutable afterwards. All methods are
+/// thread-safe; poll() on an untripped governor is one relaxed load plus,
+/// every few calls, one steady-clock read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_GOVERNOR_H
+#define MCSAFE_SUPPORT_GOVERNOR_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mcsafe {
+namespace support {
+
+/// Per-check resource limits. Zero means "unlimited" for every field.
+struct GovernorLimits {
+  /// Wall-clock deadline for the whole check, in milliseconds.
+  uint32_t DeadlineMs = 0;
+  /// Upper bound on sequential prover queries (see chargeProverStep).
+  uint64_t ProverSteps = 0;
+  /// Upper bound on the memory high-water estimate, in bytes.
+  uint64_t MemoryBytes = 0;
+
+  bool any() const { return DeadlineMs || ProverSteps || MemoryBytes; }
+};
+
+/// Which budget tripped a governor.
+enum class BudgetKind : uint8_t {
+  None,        ///< Nothing tripped; the check may proceed.
+  Deadline,    ///< The wall-clock deadline passed.
+  ProverSteps, ///< The prover-step budget ran out.
+  Memory,      ///< The memory high-water estimate exceeded its bound.
+  Cancelled,   ///< cancel() was called (cooperative cancellation).
+};
+
+const char *budgetKindName(BudgetKind Kind);
+
+/// The governor one check (and all provers / workers serving it) polls.
+class ResourceGovernor {
+public:
+  /// An unlimited governor: poll() always succeeds, nothing ever trips
+  /// except an explicit cancel().
+  ResourceGovernor() = default;
+  explicit ResourceGovernor(const GovernorLimits &Limits);
+
+  ResourceGovernor(const ResourceGovernor &) = delete;
+  ResourceGovernor &operator=(const ResourceGovernor &) = delete;
+
+  /// Has any budget tripped? One relaxed load; safe to call anywhere.
+  bool exhausted() const {
+    return Tripped.load(std::memory_order_acquire) != BudgetKind::None;
+  }
+  BudgetKind exhaustedKind() const {
+    return Tripped.load(std::memory_order_acquire);
+  }
+  /// The poll site that observed the trip first ("" before any trip).
+  const char *exhaustedSite() const {
+    const char *S = Site.load(std::memory_order_acquire);
+    return S ? S : "";
+  }
+  /// Human-readable reason, e.g. "prover-step budget of 100 exhausted at
+  /// prover/sat". Deterministic for step/memory budgets.
+  std::string reason() const;
+
+  /// The cheap cooperative checkpoint: false once any budget tripped.
+  /// Checks the deadline every few calls (amortized) and records \p Where
+  /// as the site of death when it trips here.
+  bool poll(const char *Where);
+
+  /// Charges one prover step and checks both the step budget and the
+  /// deadline. Only the sequential verification path charges steps;
+  /// speculative pool workers use poll() instead, which keeps the charge
+  /// sequence — and hence step-budget exhaustion — deterministic.
+  bool chargeProverStep(const char *Where);
+
+  /// Adds \p Bytes to the live-memory estimate and updates the high
+  /// water. Returns false when the memory budget trips.
+  bool noteMemory(const char *Where, uint64_t Bytes);
+  /// Releases \p Bytes of the live-memory estimate.
+  void releaseMemory(uint64_t Bytes);
+
+  /// Trips the Cancelled budget. Thread-safe; idempotent.
+  void cancel(const char *Where = "cancel");
+
+  uint64_t stepsUsed() const {
+    return Steps.load(std::memory_order_relaxed);
+  }
+  uint64_t memoryHighWater() const {
+    return MemHigh.load(std::memory_order_relaxed);
+  }
+  const GovernorLimits &limits() const { return Limits; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Records the first trip (kind + site); later trips are ignored.
+  void trip(BudgetKind Kind, const char *Where);
+  /// Deadline check, unconditionally reading the clock.
+  bool deadlinePassed(const char *Where);
+
+  GovernorLimits Limits;
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};
+
+  std::atomic<BudgetKind> Tripped{BudgetKind::None};
+  std::atomic<const char *> Site{nullptr};
+  std::atomic<uint64_t> Steps{0};
+  std::atomic<uint64_t> MemLive{0};
+  std::atomic<uint64_t> MemHigh{0};
+};
+
+/// RAII memory charge against a governor (null governor = no-op). The
+/// destructor releases exactly what the constructor managed to charge.
+class MemoryCharge {
+public:
+  MemoryCharge(ResourceGovernor *Gov, const char *Where, uint64_t Bytes)
+      : Gov(Gov), Bytes(Bytes) {
+    if (Gov)
+      Gov->noteMemory(Where, Bytes);
+  }
+  ~MemoryCharge() {
+    if (Gov)
+      Gov->releaseMemory(Bytes);
+  }
+  MemoryCharge(const MemoryCharge &) = delete;
+  MemoryCharge &operator=(const MemoryCharge &) = delete;
+
+private:
+  ResourceGovernor *Gov;
+  uint64_t Bytes;
+};
+
+} // namespace support
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_GOVERNOR_H

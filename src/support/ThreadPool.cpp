@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <chrono>
 
@@ -131,7 +133,10 @@ void ThreadPool::workerLoop(unsigned Index) {
 }
 
 void TaskGroup::spawn(ThreadPool::Task T) {
-  if (!Pool) {
+  // Injected spawn fault: degrade to running the task inline on the
+  // caller, exactly the null-pool path. Correctness never depends on
+  // where a group task runs.
+  if (!Pool || faultPoint("pool/spawn")) {
     T();
     return;
   }

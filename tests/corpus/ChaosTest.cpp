@@ -1,0 +1,91 @@
+//===- ChaosTest.cpp ------------------------------------------------------===//
+//
+// The chaos driver from the fault-injection harness: replay the corpus
+// with deterministic faults injected at allocator, prover, cache, and
+// pool sites, and assert the fail-sound invariant:
+//
+//   (1) no crash and no uncaught exception,
+//   (2) no hang (every check returns),
+//   (3) never a Safe verdict the fault-free run did not also produce.
+//
+// In builds without MCSAFE_FAULT_INJECTION the fault points compile to
+// `false`, so these tests still run — they then simply assert that an
+// installed-but-disarmed plan changes nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+#include "corpus/Corpus.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::corpus;
+
+namespace {
+
+std::map<std::string, CheckVerdict> runCorpus() {
+  std::map<std::string, CheckVerdict> Verdicts;
+  for (const CorpusProgram &P : corpus::corpus()) {
+    SafetyChecker Checker;
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    Verdicts[P.Name] = R.Verdict;
+  }
+  return Verdicts;
+}
+
+class Chaos : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Chaos, FaultsNeverManufactureASafeVerdict) {
+  std::map<std::string, CheckVerdict> Baseline = runCorpus();
+
+  support::FaultPlan Plan(GetParam());
+  support::FaultPlan::install(&Plan);
+  std::map<std::string, CheckVerdict> Faulted = runCorpus();
+  support::FaultPlan::install(nullptr);
+
+  for (const auto &[Name, Verdict] : Faulted) {
+    // Every degraded path moves toward Unknown / recompute / inline /
+    // InternalError — never toward Safe. A Safe under faults that the
+    // fault-free run did not produce would be an unsound degradation.
+    if (Verdict == CheckVerdict::Safe)
+      EXPECT_EQ(Baseline[Name], CheckVerdict::Safe) << Name;
+    // Likewise a fault must not invent violations.
+    if (Verdict == CheckVerdict::Unsafe)
+      EXPECT_EQ(Baseline[Name], CheckVerdict::Unsafe) << Name;
+  }
+
+#if !defined(MCSAFE_FAULT_INJECTION)
+  // Fault points are compiled out: the plan never fires and the run is
+  // bit-for-bit the baseline.
+  EXPECT_EQ(Plan.firedCount(), 0u);
+  EXPECT_EQ(Faulted, Baseline);
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Chaos, ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<uint64_t> &I) {
+                           return "seed" + std::to_string(I.param);
+                         });
+
+TEST(Chaos, FaultsComposeWithAStepBudget) {
+  // Faults and budgets together must still produce structured verdicts.
+  support::FaultPlan Plan(5);
+  support::FaultPlan::install(&Plan);
+  for (const CorpusProgram &P : corpus::corpus()) {
+    SafetyChecker::Options Opts;
+    Opts.Limits.ProverSteps = 50;
+    SafetyChecker Checker(Opts);
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    if (R.Verdict == CheckVerdict::Safe)
+      EXPECT_TRUE(P.ExpectSafe) << P.Name;
+  }
+  support::FaultPlan::install(nullptr);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- MalformedCorpusTest.cpp --------------------------------------------===//
+//
+// Adversarial inputs: every malformed program or policy must produce a
+// structured MalformedInput rejection — a verdict, a diagnostic, and a
+// CheckFailure — never a crash, an abort, or an uncaught exception. The
+// batch report for the whole adversarial set must be byte-identical for
+// any worker count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ParallelCheck.h"
+#include "checker/SafetyChecker.h"
+#include "sparc/Encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+/// A minimal well-formed policy for cases where only the assembly is
+/// malformed.
+const char *OkPolicy = R"(
+loc e : int32 state=init
+invoke %o0 = e
+)";
+
+/// A minimal well-formed program for cases where only the policy is
+/// malformed.
+const char *OkAsm = "  retl\n  nop\n";
+
+struct Adversarial {
+  const char *Name;
+  const char *Asm;
+  const char *Policy;
+};
+
+// ~20 adversarial inputs, covering the assembler, the decoder-adjacent
+// target validation, the CFG builder, and the policy parser (including
+// the hardening for overflow, duplicate bindings, and dotted paths).
+const Adversarial Cases[] = {
+    // -- malformed assembly --
+    {"unknown-mnemonic", "  frobnicate %o0, %o1\n", OkPolicy},
+    {"truncated-operands", "  add %o0,\n  retl\n  nop\n", OkPolicy},
+    {"bad-register", "  add %z9, %o1, %o2\n  retl\n  nop\n", OkPolicy},
+    {"undefined-label", "  ba missing\n  nop\n  retl\n  nop\n", OkPolicy},
+    {"branch-past-end", "  ba 99\n  nop\n  retl\n  nop\n", OkPolicy},
+    {"immediate-overflow", "  add %o0, 999999, %o1\n  retl\n  nop\n",
+     OkPolicy},
+    {"garbage-bytes", "\x01\x02\x7f\xff garbage \xfe\n", OkPolicy},
+    {"empty-program", "", OkPolicy},
+    // -- malformed control flow --
+    {"branch-in-delay-slot",
+     "  ba 2\n  ba 4\n  retl\n  nop\n  retl\n  nop\n", OkPolicy},
+    {"fallthrough-off-end", "  cmp %o0, 0\n  bne 0\n  nop\n", OkPolicy},
+    // -- malformed policy: syntax --
+    {"unknown-directive", OkAsm, "frobnicate everything\n"},
+    {"unbalanced-brace", OkAsm, "struct S { f : int32 @ 0\n"},
+    {"unknown-type", OkAsm, "loc e : no_such_type\n"},
+    {"trailing-garbage", OkAsm,
+     "loc e : int32 state=init\nregion V { e } surprise\n"},
+    {"unknown-permission", OkAsm,
+     "loc e : int32 state=init\nregion V { e }\nallow V : int32 : r,q\n"},
+    // -- malformed policy: hardened validation --
+    {"integer-overflow", OkAsm,
+     "loc e : int32 state=init(99999999999999999999)\n"},
+    {"struct-offset-wraps", OkAsm,
+     "struct S { f : int32 @ 4294967296 }\nloc s : S\n"},
+    {"duplicate-location", OkAsm,
+     "loc e : int32 state=init\nloc e : int32 state=init\n"},
+    {"duplicate-invoke-register", OkAsm,
+     "loc e : int32 state=init\ninvoke %o0 = e\ninvoke %o0 = 4\n"},
+    {"invalid-invoke-register", OkAsm, "invoke %q7 = 4\n"},
+    {"region-undeclared-location", OkAsm,
+     "loc e : int32 state=init\nregion V { ghost }\n"},
+    {"points-to-undeclared", OkAsm, "loc p : int32* state={ghost}\n"},
+    {"dotted-path-bogus-field", OkAsm,
+     "struct S { f : int32 @ 0 }\nloc s : S\nregion V { s.ghost }\n"},
+};
+
+std::vector<CheckJob> adversarialJobs() {
+  std::vector<CheckJob> Jobs;
+  for (const Adversarial &A : Cases)
+    Jobs.push_back({A.Name, A.Asm, A.Policy});
+  return Jobs;
+}
+
+TEST(MalformedCorpus, EveryInputIsStructurallyRejected) {
+  for (const Adversarial &A : Cases) {
+    SafetyChecker Checker;
+    CheckReport R = Checker.checkSource(A.Asm, A.Policy);
+    EXPECT_EQ(R.Verdict, CheckVerdict::MalformedInput) << A.Name;
+    EXPECT_FALSE(R.InputsOk) << A.Name;
+    EXPECT_FALSE(R.Safe) << A.Name;
+    EXPECT_FALSE(R.Failures.empty()) << A.Name;
+    EXPECT_EQ(exitCode(R.Verdict), 2) << A.Name;
+  }
+}
+
+TEST(MalformedCorpus, DottedPathToRealFieldIsAccepted) {
+  // The hardened dotted-path validation must not over-reject: a path
+  // through a declared member is fine.
+  SafetyChecker Checker;
+  CheckReport R = Checker.checkSource(
+      OkAsm, "struct S { f : int32 @ 0 }\nloc s : S\nregion V { s.f }\n");
+  EXPECT_NE(R.Verdict, CheckVerdict::MalformedInput) << R.Diags.str();
+}
+
+TEST(MalformedCorpus, BatchReportIsByteIdenticalAcrossJobCounts) {
+  auto Render = [](unsigned Jobs) {
+    ParallelCheckOptions Opts;
+    Opts.Jobs = Jobs;
+    return renderParallelReport(checkJobs(adversarialJobs(), Opts));
+  };
+  std::string One = Render(1);
+  EXPECT_NE(One.find("MALFORMED-INPUT"), std::string::npos);
+  EXPECT_EQ(One, Render(4));
+  EXPECT_EQ(One, Render(8));
+}
+
+TEST(MalformedCorpus, DecoderRejectsBranchBeforeModuleStart) {
+  // A Bicc word whose sign-extended 22-bit displacement lands before
+  // instruction 0. Letting it through would hand the CFG builder an
+  // unresolvable negative target (formerly an assert).
+  uint32_t BranchMinusOne =
+      (0x8u << 25) | (0x2u << 22) | 0x3FFFFFu; // ba . -1 at index 0
+  EXPECT_FALSE(sparc::decodeModule({BranchMinusOne}).has_value());
+
+  uint32_t BranchMinusFour = (0x9u << 25) | (0x2u << 22) |
+                             (static_cast<uint32_t>(-4) & 0x3FFFFFu);
+  EXPECT_FALSE(
+      sparc::decodeModule({0x01000000u /* nop */, BranchMinusFour})
+          .has_value());
+}
+
+TEST(MalformedCorpus, DecoderStillAcceptsExternalCalls) {
+  // A CALL with a negative displacement is an external callee resolved
+  // by name — that stays legal.
+  uint32_t CallMinusOne = (0x1u << 30) | (0x3FFFFFFFu); // call . -1
+  EXPECT_TRUE(sparc::decodeModule({CallMinusOne}).has_value());
+}
+
+TEST(MalformedCorpus, DecoderRejectsBranchPastModuleEnd) {
+  uint32_t BranchPlusEight = (0x8u << 25) | (0x2u << 22) | 8u;
+  EXPECT_FALSE(sparc::decodeModule({BranchPlusEight}).has_value());
+}
+
+} // namespace

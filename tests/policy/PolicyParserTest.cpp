@@ -268,6 +268,105 @@ trusted fill {
   EXPECT_EQ(S->Writes[1], "b");
 }
 
+// -- hardening: positioned rejection of hostile or sloppy inputs --
+
+/// Expects \p Source to be rejected with an error containing \p Needle.
+void expectRejected(const char *Source, const char *Needle) {
+  std::string Error;
+  std::optional<Policy> P = parsePolicy(Source, &Error);
+  EXPECT_FALSE(P.has_value()) << "accepted: " << Source;
+  EXPECT_NE(Error.find(Needle), std::string::npos)
+      << "error was: " << Error;
+}
+
+TEST(PolicyParser, IntegerOverflowIsRejectedNotClampedToZero) {
+  // parseInt returns nullopt on overflow; the old .value_or(0) fallback
+  // silently turned the literal into 0.
+  expectRejected("loc e : int32 state=init(99999999999999999999)\n",
+                 "out of range");
+  expectRejected("loc a : int32[99999999999999999999] state=uninit\n",
+                 "out of range");
+  expectRejected(
+      "loc e : int32 state=init\ninvoke %o0 = 99999999999999999999\n",
+      "out of range");
+  expectRejected("constraint 99999999999999999999 >= 1\n", "out of range");
+}
+
+TEST(PolicyParser, StructFieldValuesMustFitInUint32) {
+  expectRejected("struct S { f : int32 @ 4294967296 }\n",
+                 "does not fit in 32 bits");
+  expectRejected("struct S { f : int32 @ 0 x 4294967296 }\n",
+                 "does not fit in 32 bits");
+  expectRejected("struct S { f : int32 @ 0 } size 4294967296\n",
+                 "does not fit in 32 bits");
+  expectRejected("abstract A size 4294967296\n", "does not fit in 32 bits");
+  expectRejected("struct S { f : int32 @ 0 } align 4294967296\n",
+                 "does not fit in 32 bits");
+  // The boundary value itself is fine.
+  std::string Error;
+  EXPECT_TRUE(
+      parsePolicy("struct S { f : int32 @ 0 } size 4294967295\n", &Error)
+          .has_value())
+      << Error;
+}
+
+TEST(PolicyParser, DefaultStructSizeCannotWrap) {
+  // offset + count * elem-size computed in 64 bits: 4 * 0x7FFFFFFF * 4
+  // would wrap a 32-bit size computation to something tiny.
+  expectRejected("struct S { f : int32 @ 8 x 4294967295 }\n",
+                 "larger than 32 bits");
+}
+
+TEST(PolicyParser, DuplicateInvokeRegisterIsRejected) {
+  expectRejected("loc e : int32 state=init\n"
+                 "invoke %o0 = e\n"
+                 "invoke %o0 = 4\n",
+                 "duplicate 'invoke' binding for register '%o0'");
+  // Distinct registers remain fine.
+  std::string Error;
+  EXPECT_TRUE(parsePolicy("loc e : int32 state=init\n"
+                          "invoke %o0 = e\n"
+                          "invoke %o1 = 4\n",
+                          &Error)
+                  .has_value())
+      << Error;
+}
+
+TEST(PolicyParser, DottedPathsAreValidatedThroughMemberLabels) {
+  const char *Prefix = "struct Inner { x : int32 @ 0 }\n"
+                       "struct Outer { a : int32 @ 0 ; b : Inner @ 4 }\n"
+                       "loc s : Outer\n";
+  std::string Error;
+  // Paths through declared members, at any depth, are accepted.
+  EXPECT_TRUE(
+      parsePolicy((std::string(Prefix) + "region V { s.a }\n").c_str(),
+                  &Error)
+          .has_value())
+      << Error;
+  EXPECT_TRUE(
+      parsePolicy((std::string(Prefix) + "region V { s.b.x }\n").c_str(),
+                  &Error)
+          .has_value())
+      << Error;
+  // A bogus field anywhere along the path is rejected — previously only
+  // the base name before the first '.' was checked.
+  expectRejected((std::string(Prefix) + "region V { s.ghost }\n").c_str(),
+                 "undeclared location");
+  expectRejected((std::string(Prefix) + "region V { s.b.ghost }\n").c_str(),
+                 "undeclared location");
+  // A path through a scalar has no members to name.
+  expectRejected((std::string(Prefix) + "region V { s.a.x }\n").c_str(),
+                 "undeclared location");
+  // The same walk guards points-to targets and postloc references.
+  expectRejected(std::string(Prefix)
+                     .append("loc p : int32* state={s.ghost}\n")
+                     .c_str(),
+                 "undeclared");
+  expectRejected(
+      std::string(Prefix).append("postloc s.ghost state=init\n").c_str(),
+      "undeclared");
+}
+
 TEST(PolicyParser, RegValueVarNaming) {
   EXPECT_EQ(varName(regValueVar(0, sparc::O1)), "w0.%o1");
   EXPECT_EQ(varName(regValueVar(2, sparc::L0)), "w2.%l0");

@@ -1,0 +1,75 @@
+//===- FaultInjectionTest.cpp ---------------------------------------------===//
+//
+// The fault plan's schedule must be a pure function of (seed, site, call
+// index): chaos runs are reproducible from the seed alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace mcsafe::support;
+
+namespace {
+
+std::vector<bool> schedule(FaultPlan &Plan, const char *Site, int N) {
+  std::vector<bool> S;
+  S.reserve(N);
+  for (int I = 0; I < N; ++I)
+    S.push_back(Plan.shouldFail(Site));
+  return S;
+}
+
+TEST(FaultInjection, SameSeedSameSchedule) {
+  FaultPlan A(42), B(42);
+  EXPECT_EQ(schedule(A, "prover/sat", 200), schedule(B, "prover/sat", 200));
+  EXPECT_EQ(schedule(A, "cache/lookup", 200),
+            schedule(B, "cache/lookup", 200));
+}
+
+TEST(FaultInjection, EverySiteFiresWithinItsPeriod) {
+  // Periods are bounded (<= 37 calls), so 100 calls at any site must
+  // fire at least twice.
+  FaultPlan Plan(7);
+  for (const char *Site :
+       {"prover/sat", "cache/lookup", "cache/insert", "pool/spawn",
+        "alloc/formula"}) {
+    std::vector<bool> S = schedule(Plan, Site, 100);
+    int Fired = 0;
+    for (bool B : S)
+      Fired += B;
+    EXPECT_GE(Fired, 2) << Site;
+  }
+  EXPECT_GE(Plan.firedCount(), 10u);
+}
+
+TEST(FaultInjection, DifferentSeedsDiffer) {
+  // Not guaranteed for every pair of seeds in principle, but these two
+  // are fixed, so this is a deterministic regression check that the seed
+  // actually feeds the schedule.
+  FaultPlan A(1), B(2);
+  EXPECT_NE(schedule(A, "prover/sat", 200), schedule(B, "prover/sat", 200));
+}
+
+TEST(FaultInjection, InstallAndDisarm) {
+  EXPECT_EQ(FaultPlan::current(), nullptr);
+  FaultPlan Plan(3);
+  FaultPlan::install(&Plan);
+  EXPECT_EQ(FaultPlan::current(), &Plan);
+  FaultPlan::install(nullptr);
+  EXPECT_EQ(FaultPlan::current(), nullptr);
+  // With no plan installed, a fault point never fires regardless of the
+  // build configuration.
+  EXPECT_FALSE(faultPoint("prover/sat"));
+}
+
+TEST(FaultInjection, SeedIsReported) {
+  FaultPlan Plan(12345);
+  EXPECT_EQ(Plan.seed(), 12345u);
+  EXPECT_EQ(Plan.firedCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- GovernorTest.cpp ---------------------------------------------------===//
+//
+// The fail-sound resource governor: budgets trip exactly once, record
+// where they died, and degrade cooperatively — no exceptions, no
+// signals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Governor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace mcsafe::support;
+
+namespace {
+
+TEST(Governor, NoLimitsNeverExhausts) {
+  GovernorLimits L;
+  EXPECT_FALSE(L.any());
+  ResourceGovernor G(L);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_TRUE(G.poll("test/loop"));
+    EXPECT_TRUE(G.chargeProverStep("test/step"));
+  }
+  EXPECT_FALSE(G.exhausted());
+  EXPECT_EQ(G.exhaustedKind(), BudgetKind::None);
+  EXPECT_EQ(G.stepsUsed(), 1000u);
+}
+
+TEST(Governor, ProverStepBudgetTripsAtLimit) {
+  GovernorLimits L;
+  L.ProverSteps = 10;
+  ResourceGovernor G(L);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(G.chargeProverStep("test/step")) << "step " << I;
+  EXPECT_FALSE(G.exhausted());
+  EXPECT_FALSE(G.chargeProverStep("test/step"));
+  EXPECT_TRUE(G.exhausted());
+  EXPECT_EQ(G.exhaustedKind(), BudgetKind::ProverSteps);
+  EXPECT_STREQ(G.exhaustedSite(), "test/step");
+  // Once tripped, everything cooperatively reports exhaustion.
+  EXPECT_FALSE(G.poll("test/later"));
+  EXPECT_FALSE(G.chargeProverStep("test/later"));
+  // The site of the *first* trip is what the reason reports.
+  EXPECT_NE(G.reason().find("test/step"), std::string::npos) << G.reason();
+  EXPECT_NE(G.reason().find("10"), std::string::npos) << G.reason();
+}
+
+TEST(Governor, CancellationTripsImmediately) {
+  GovernorLimits L;
+  L.ProverSteps = 1000000;
+  ResourceGovernor G(L);
+  EXPECT_TRUE(G.poll("test/before"));
+  G.cancel();
+  EXPECT_TRUE(G.exhausted());
+  EXPECT_EQ(G.exhaustedKind(), BudgetKind::Cancelled);
+  EXPECT_FALSE(G.poll("test/after"));
+}
+
+TEST(Governor, FirstTripWins) {
+  GovernorLimits L;
+  L.ProverSteps = 1;
+  ResourceGovernor G(L);
+  G.chargeProverStep("a");
+  EXPECT_FALSE(G.chargeProverStep("b"));
+  G.cancel();
+  EXPECT_EQ(G.exhaustedKind(), BudgetKind::ProverSteps);
+  EXPECT_STREQ(G.exhaustedSite(), "b");
+}
+
+TEST(Governor, MemoryBudgetAndHighWater) {
+  GovernorLimits L;
+  L.MemoryBytes = 1000;
+  ResourceGovernor G(L);
+  EXPECT_TRUE(G.noteMemory("test/a", 400));
+  EXPECT_TRUE(G.noteMemory("test/b", 400));
+  EXPECT_EQ(G.memoryHighWater(), 800u);
+  G.releaseMemory(400);
+  // High water is sticky; live usage is not.
+  EXPECT_EQ(G.memoryHighWater(), 800u);
+  EXPECT_TRUE(G.noteMemory("test/c", 500));
+  EXPECT_EQ(G.memoryHighWater(), 900u);
+  EXPECT_FALSE(G.noteMemory("test/d", 200));
+  EXPECT_EQ(G.exhaustedKind(), BudgetKind::Memory);
+}
+
+TEST(Governor, MemoryChargeRaii) {
+  GovernorLimits L;
+  L.MemoryBytes = 1000;
+  ResourceGovernor G(L);
+  {
+    MemoryCharge C(&G, "test/scope", 600);
+    EXPECT_EQ(G.memoryHighWater(), 600u);
+  }
+  {
+    // The previous charge was released, so this fits again.
+    MemoryCharge C(&G, "test/scope", 600);
+    EXPECT_FALSE(G.exhausted());
+  }
+  // A null governor is a no-op, not a crash.
+  MemoryCharge Null(nullptr, "test/null", 1 << 30);
+}
+
+TEST(Governor, DeadlineTripsViaChargeProverStep) {
+  GovernorLimits L;
+  L.DeadlineMs = 1;
+  ResourceGovernor G(L);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // chargeProverStep consults the clock on every call.
+  EXPECT_FALSE(G.chargeProverStep("test/deadline"));
+  EXPECT_EQ(G.exhaustedKind(), BudgetKind::Deadline);
+}
+
+TEST(Governor, DeadlineTripsViaPollEventually) {
+  GovernorLimits L;
+  L.DeadlineMs = 1;
+  ResourceGovernor G(L);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // poll() amortizes clock reads over a fixed stride; well within that
+  // stride it must notice the expired deadline.
+  bool Tripped = false;
+  for (int I = 0; I < 256 && !Tripped; ++I)
+    Tripped = !G.poll("test/deadline");
+  EXPECT_TRUE(Tripped);
+  EXPECT_EQ(G.exhaustedKind(), BudgetKind::Deadline);
+}
+
+TEST(Governor, BudgetKindNames) {
+  EXPECT_STREQ(budgetKindName(BudgetKind::None), "none");
+  EXPECT_STREQ(budgetKindName(BudgetKind::Deadline), "deadline");
+  EXPECT_STREQ(budgetKindName(BudgetKind::ProverSteps), "prover-steps");
+  EXPECT_STREQ(budgetKindName(BudgetKind::Memory), "memory");
+  EXPECT_STREQ(budgetKindName(BudgetKind::Cancelled), "cancelled");
+}
+
+} // namespace

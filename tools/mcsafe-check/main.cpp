@@ -11,7 +11,9 @@
 //   mcsafe-check --corpus all [--phase-table] [--metrics-json m.json]
 //   mcsafe-check --list-corpus
 //
-// Exit status: 0 = safe, 1 = safety violations, 2 = malformed inputs.
+// Exit status (see DESIGN.md section 8):
+//   0 = safe, 1 = safety violations, 2 = malformed inputs,
+//   3 = unknown (a resource budget expired first), 4 = internal error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +24,8 @@
 #include "checker/ParallelCheck.h"
 #include "checker/Report.h"
 #include "checker/SafetyChecker.h"
+#include "support/FaultInjection.h"
+#include "support/Governor.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -30,6 +34,7 @@
 #include "sparc/AsmParser.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,7 +78,19 @@ void usage() {
       "                 write all collected metrics (per-phase timings,\n"
       "                 prover/cache/pool counters) as JSON\n"
       "  --phase-table  with --corpus all: per-program phase-time\n"
-      "                 breakdown in the layout of the paper's Figure 9\n");
+      "                 breakdown in the layout of the paper's Figure 9\n"
+      "  --deadline-ms N\n"
+      "                 give up with verdict UNKNOWN after N milliseconds\n"
+      "  --prover-steps N\n"
+      "                 give up with verdict UNKNOWN after N prover\n"
+      "                 queries (deterministic, unlike --deadline-ms)\n"
+      "  --fail-soft    keep verifying the remaining obligations after a\n"
+      "                 budget expires instead of stopping at the first\n"
+      "  --fault-seed N enable the deterministic fault-injection plan\n"
+      "                 with seed N (needs an MCSAFE_FAULT_INJECTION\n"
+      "                 build; a no-op otherwise)\n"
+      "exit codes: 0 safe, 1 unsafe, 2 malformed input, 3 unknown,\n"
+      "            4 internal error\n");
 }
 
 enum class LintMode { On, Off, Only };
@@ -86,6 +103,13 @@ struct Observability {
   std::string TracePath;
   std::string MetricsPath;
   bool PhaseTable = false;
+};
+
+/// Resource-governor settings from the command line, applied to every
+/// check this invocation runs.
+struct GovernorConfig {
+  support::GovernorLimits Limits;
+  bool FailSoft = false;
 };
 
 /// Reads a microsecond counter back out of the registry as seconds.
@@ -131,11 +155,13 @@ int runLintOnly(const std::string &Asm, const std::string &Policy,
 
 int runCheck(const std::string &Asm, const std::string &Policy,
              bool Listing, bool Conditions, bool Stats, LintMode Lint,
-             unsigned Jobs, Observability &Obs) {
+             unsigned Jobs, const GovernorConfig &Gov, Observability &Obs) {
   if (Lint == LintMode::Only)
     return runLintOnly(Asm, Policy, Stats);
   SafetyChecker::Options Opts;
   Opts.Metrics = &Obs.Registry;
+  Opts.Limits = Gov.Limits;
+  Opts.FailSoft = Gov.FailSoft;
   if (Lint == LintMode::Off) {
     Opts.Lint = false;
     Opts.PruneDeadRegs = false;
@@ -151,7 +177,9 @@ int runCheck(const std::string &Asm, const std::string &Policy,
   CheckReport R = Checker.checkSource(Asm, Policy);
   if (!R.InputsOk) {
     std::fprintf(stderr, "%s", R.Diags.str().c_str());
-    return 2;
+    for (const CheckFailure &F : R.Failures)
+      std::fprintf(stderr, "failure: %s\n", F.str().c_str());
+    return exitCode(R.Verdict);
   }
 
   if (Listing || Conditions) {
@@ -178,10 +206,12 @@ int runCheck(const std::string &Asm, const std::string &Policy,
     }
   }
 
-  std::printf("verdict: %s%s\n", R.Safe ? "SAFE" : "UNSAFE",
+  std::printf("verdict: %s%s\n", verdictName(R.Verdict),
               R.LintRejected ? " (rejected by phase-0 lint)" : "");
   if (!R.Safe)
     std::printf("%s", R.Diags.str().c_str());
+  for (const CheckFailure &F : R.Failures)
+    std::printf("failure: %s\n", F.str().c_str());
   if (Stats) {
     std::printf(
         "instructions: %u, branches: %u, loops: %u (%u inner), "
@@ -226,7 +256,7 @@ int runCheck(const std::string &Asm, const std::string &Policy,
                 scopeSeconds(Reg, Scope, "global"),
                 scopeSeconds(Reg, Scope, "total"));
   }
-  return R.Safe ? 0 : 1;
+  return exitCode(R.Verdict);
 }
 
 /// Prints the per-program phase breakdown in the layout of the paper's
@@ -283,10 +313,12 @@ void printPhaseTable(const support::MetricsRegistry &Reg,
 /// Checks the whole corpus, possibly in parallel. The non-verbose output
 /// is the deterministic batch report — byte-identical for any job count.
 int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
-                 Observability &Obs) {
+                 const GovernorConfig &Gov, Observability &Obs) {
   ParallelCheckOptions Opts;
   Opts.Jobs = Jobs;
   Opts.Metrics = &Obs.Registry;
+  Opts.Check.Limits = Gov.Limits;
+  Opts.Check.FailSoft = Gov.FailSoft;
   if (Lint == LintMode::Off) {
     Opts.Check.Lint = false;
     Opts.Check.PruneDeadRegs = false;
@@ -297,17 +329,13 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
   ParallelCheckResult R = checkJobs(Jobs2, Opts);
 
   std::printf("%s", renderParallelReport(R).c_str());
-  unsigned Safe = 0, Unsafe = 0, Errors = 0;
-  for (const ParallelCheckResult::Program &P : R.Programs) {
-    if (!P.Report.InputsOk)
-      ++Errors;
-    else if (P.Report.Safe)
-      ++Safe;
-    else
-      ++Unsafe;
-  }
-  std::printf("total: %zu programs, %u safe, %u unsafe, %u errors\n",
-              R.Programs.size(), Safe, Unsafe, Errors);
+  unsigned Counts[5] = {0, 0, 0, 0, 0};
+  for (const ParallelCheckResult::Program &P : R.Programs)
+    ++Counts[exitCode(P.Report.Verdict)];
+  std::printf("total: %zu programs, %u safe, %u unsafe, %u malformed, "
+              "%u unknown, %u errors\n",
+              R.Programs.size(), Counts[0], Counts[1], Counts[2], Counts[3],
+              Counts[4]);
 
   const support::MetricsRegistry &Reg = Obs.Registry;
   if (Obs.PhaseTable)
@@ -356,7 +384,15 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
                 static_cast<long long>(Reg.value("pool/steals").value_or(0)),
                 support::usToSeconds(Reg.value("pool/idle_us").value_or(0)));
   }
-  return Errors ? 2 : (Unsafe ? 1 : 0);
+  // The most alarming verdict in the batch wins the exit status:
+  // internal errors over malformed inputs over unknowns over violations.
+  if (Counts[4])
+    return 4;
+  if (Counts[2])
+    return 2;
+  if (Counts[3])
+    return 3;
+  return Counts[1] ? 1 : 0;
 }
 
 } // namespace
@@ -369,6 +405,8 @@ int main(int argc, char **argv) {
   bool ListCorpus = false;
   unsigned Jobs = 0; // 0 = hardware concurrency.
   Observability Obs;
+  GovernorConfig Gov;
+  std::optional<uint64_t> FaultSeed;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -387,7 +425,43 @@ int main(int argc, char **argv) {
       return Arg.substr(std::strlen(Name) + 1);
     };
 
-    if (isFlag("--jobs")) {
+    // Parses the value of a numeric flag into *Out; false (after its own
+    // diagnostic) when the value is missing, non-numeric, or above Max.
+    auto numericFlag = [&](const char *Name, uint64_t Max,
+                           uint64_t *Out) -> bool {
+      std::optional<std::string> Value = flagValue(Name);
+      if (!Value) {
+        usage();
+        return false;
+      }
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Value->c_str(), &End, 10);
+      if (Value->empty() || *End != '\0' || N > Max) {
+        std::fprintf(stderr, "invalid %s value '%s'\n", Name,
+                     Value->c_str());
+        return false;
+      }
+      *Out = N;
+      return true;
+    };
+
+    if (isFlag("--deadline-ms")) {
+      uint64_t Ms = 0;
+      if (!numericFlag("--deadline-ms", UINT32_MAX, &Ms))
+        return 2;
+      Gov.Limits.DeadlineMs = static_cast<uint32_t>(Ms);
+    } else if (isFlag("--prover-steps")) {
+      if (!numericFlag("--prover-steps", UINT64_MAX,
+                       &Gov.Limits.ProverSteps))
+        return 2;
+    } else if (Arg == "--fail-soft") {
+      Gov.FailSoft = true;
+    } else if (isFlag("--fault-seed")) {
+      uint64_t Seed = 0;
+      if (!numericFlag("--fault-seed", UINT64_MAX, &Seed))
+        return 2;
+      FaultSeed = Seed;
+    } else if (isFlag("--jobs")) {
       std::optional<std::string> Value = flagValue("--jobs");
       if (!Value) {
         usage();
@@ -456,14 +530,29 @@ int main(int argc, char **argv) {
     support::Tracer::setGlobal(Tracer.get());
   }
 
+  // A --fault-seed installs the deterministic fault plan for the whole
+  // run. The fault points compile to nothing unless the binary was built
+  // with -DMCSAFE_FAULT_INJECTION=ON, so warn rather than surprise.
+  std::unique_ptr<support::FaultPlan> Plan;
+  if (FaultSeed) {
+#if !defined(MCSAFE_FAULT_INJECTION)
+    std::fprintf(stderr,
+                 "warning: this build has no fault-injection points; "
+                 "--fault-seed %llu is a no-op\n",
+                 static_cast<unsigned long long>(*FaultSeed));
+#endif
+    Plan = std::make_unique<support::FaultPlan>(*FaultSeed);
+    support::FaultPlan::install(Plan.get());
+  }
+
   auto Run = [&]() -> int {
     if (!CorpusName.empty()) {
       if (CorpusName == "all")
-        return runCorpusAll(Stats, Lint, Jobs, Obs);
+        return runCorpusAll(Stats, Lint, Jobs, Gov, Obs);
       for (const corpus::CorpusProgram &P : corpus::corpus())
         if (P.Name == CorpusName)
           return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats,
-                          Lint, Jobs, Obs);
+                          Lint, Jobs, Gov, Obs);
       std::fprintf(stderr, "unknown corpus program '%s'\n",
                    CorpusName.c_str());
       return 2;
@@ -483,9 +572,27 @@ int main(int argc, char **argv) {
       return 2;
     }
     return runCheck(*Asm, *Policy, Listing, Conditions, Stats, Lint, Jobs,
-                    Obs);
+                    Gov, Obs);
   };
-  int Ret = Run();
+  // Everything input-reachable returns a structured verdict; anything
+  // that still escapes as an exception is an internal error, reported on
+  // stderr with the dedicated exit code rather than a terminate().
+  int Ret;
+  try {
+    Ret = Run();
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "internal error: %s\n", E.what());
+    Ret = 4;
+  } catch (...) {
+    std::fprintf(stderr, "internal error: non-standard exception\n");
+    Ret = 4;
+  }
+  if (Plan) {
+    support::FaultPlan::install(nullptr);
+    Obs.Registry.counter("fault/fired").inc(Plan->firedCount());
+    Obs.Registry.gauge("fault/seed").set(
+        static_cast<int64_t>(Plan->seed()));
+  }
 
   if (Tracer) {
     support::Tracer::setGlobal(nullptr);
