@@ -1,0 +1,384 @@
+//===- bench_prover.cpp - Constraint-kernel benchmark + BENCH_5.json ------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Benchmarks the hash-consed constraint kernel and the tiered solver:
+//
+//   - the eight macro workloads of bench_invariant (Omega core, Figure 3
+//     validity, five end-to-end corpus checks, the Section 5.2.2
+//     walkthrough), timed with a plain wall-clock loop so the numbers are
+//     comparable with the pre-change google-benchmark baseline embedded
+//     below;
+//   - VC-discharge micro-benchmarks, one per solver tier shape
+//     (single-variable interval systems, unit-coefficient difference
+//     systems, dense Omega-only systems), reporting ns/VC and the tier
+//     hit rates actually observed;
+//   - a parallel discharge workload where worker provers share one
+//     ProverCache, measuring ns per query under contention.
+//
+// `--json [FILE]` writes the whole report (baseline, current, per-bench
+// and geomean speedups, tier hit rates) as JSON — the PR's BENCH_5.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SafetyChecker.h"
+#include "constraints/PreSolve.h"
+#include "constraints/Prover.h"
+#include "corpus/Corpus.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::corpus;
+
+namespace {
+
+// Pre-change baseline, ns/iteration, recorded with bench_invariant
+// (google-benchmark, --benchmark_min_time=0.2, wall time) at commit
+// 75ea081 — the last commit before the hash-consed kernel — on the same
+// machine this benchmark targets. Keeping it in this file makes
+// BENCH_5.json self-contained: the JSON carries both sides of the
+// comparison.
+struct BaselineEntry {
+  const char *Name;
+  double Ns;
+};
+constexpr BaselineEntry Baseline[] = {
+    {"OmegaPughExample", 160569.9},
+    {"ProveFigure3Bounds", 37011.7},
+    {"CheckCorpus/Sum", 1345074.2},
+    {"CheckCorpus/BubbleSort", 3875706.2},
+    {"CheckCorpus/Btree", 12892701.3},
+    {"CheckCorpus/HeapSort", 17729468.7},
+    {"CheckCorpus/MD5", 150903758.5},
+    {"SumGlobalVerification", 1353545.1},
+};
+
+using Clock = std::chrono::steady_clock;
+
+// Defeats dead-code elimination of results; atomic because the parallel
+// workload's workers all write it.
+std::atomic<uint64_t> SinkWord{0};
+void sink(uint64_t V) { SinkWord.fetch_add(V, std::memory_order_relaxed); }
+
+/// Times one workload the way google-benchmark does for the baseline
+/// numbers above: grow the iteration count until a batch runs for at
+/// least MinSeconds of wall time, then report mean ns/iteration of that
+/// final batch.
+template <typename Fn> double timeBench(Fn &&Body, double MinSeconds = 0.25) {
+  Body(); // Warm-up: first-touch allocations, interner population.
+  for (uint64_t Iters = 1;; Iters *= 4) {
+    Clock::time_point Start = Clock::now();
+    for (uint64_t I = 0; I < Iters; ++I)
+      Body();
+    double Secs = std::chrono::duration<double>(Clock::now() - Start).count();
+    if (Secs >= MinSeconds || Iters > (uint64_t(1) << 30))
+      return Secs * 1e9 / double(Iters);
+  }
+}
+
+LinearExpr var(const char *Name) { return LinearExpr::variable(varId(Name)); }
+
+std::vector<Constraint> pughSystem() {
+  LinearExpr X = var("b.x"), Y = var("b.y");
+  return {
+      Constraint::ge(X.scaled(11) + Y.scaled(13) - LinearExpr::constant(27)),
+      Constraint::le(X.scaled(11) + Y.scaled(13), LinearExpr::constant(45)),
+      Constraint::ge(X.scaled(7) - Y.scaled(9) + LinearExpr::constant(10)),
+      Constraint::le(X.scaled(7) - Y.scaled(9), LinearExpr::constant(4))};
+}
+
+double benchOmegaPugh() {
+  std::vector<Constraint> System = pughSystem();
+  return timeBench([&] {
+    OmegaTest Omega;
+    sink(uint64_t(Omega.isSatisfiable(System)));
+  });
+}
+
+FormulaRef figure3Context() {
+  return Formula::conj(
+      {Formula::atom(Constraint::ge(var("b.%g3"))),
+       Formula::atom(Constraint::lt(var("b.%g3"), var("b.n"))),
+       Formula::atom(Constraint::eq(var("b.n") - var("b.%o1"))),
+       Formula::atom(Constraint::eq(var("b.%g2") - var("b.%g3").scaled(4)))});
+}
+
+FormulaRef figure3Goal() {
+  return Formula::conj(
+      {Formula::atom(Constraint::ge(var("b.%g2"))),
+       Formula::atom(Constraint::lt(var("b.%g2"), var("b.n").scaled(4))),
+       Formula::atom(Constraint::divides(4, var("b.%g2")))});
+}
+
+double benchProveFigure3() {
+  FormulaRef Context = figure3Context();
+  FormulaRef Goal = figure3Goal();
+  return timeBench([&] {
+    Prover::Options Opts;
+    Opts.EnableCache = false; // Measure the raw query.
+    Prover P(Opts);
+    sink(uint64_t(P.checkImplies(Context, Goal)));
+  });
+}
+
+double benchCheckCorpus(const char *Name) {
+  const CorpusProgram &P = corpusProgram(Name);
+  return timeBench([&] {
+    SafetyChecker Checker;
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    sink(uint64_t(R.Safe));
+  });
+}
+
+double benchSumGlobal() {
+  const CorpusProgram &P = corpusProgram("Sum");
+  return timeBench([&] {
+    SafetyChecker Checker;
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    sink(R.Global.InvariantsSynthesized);
+  });
+}
+
+/// One tier-shaped VC family: the systems a micro-bench discharges, plus
+/// what the tiered solver reported afterwards.
+struct MicroResult {
+  std::string Name;
+  double NsPerVc = 0;       // Tiered solver.
+  double OmegaNsPerVc = 0;  // Same systems through the raw Omega test.
+  TieredSolver::TierStats Tiers;
+};
+
+MicroResult benchMicro(const std::string &Name,
+                       const std::vector<std::vector<Constraint>> &Systems) {
+  MicroResult R;
+  R.Name = Name;
+  TieredSolver Tiered;
+  R.NsPerVc = timeBench([&] {
+                for (const std::vector<Constraint> &S : Systems)
+                  sink(uint64_t(Tiered.isSatisfiable(S)));
+              }) /
+              double(Systems.size());
+  R.Tiers = Tiered.tierStats();
+  R.OmegaNsPerVc = timeBench([&] {
+                     OmegaTest Omega;
+                     for (const std::vector<Constraint> &S : Systems)
+                       sink(uint64_t(Omega.isSatisfiable(S)));
+                   }) /
+                   double(Systems.size());
+  return R;
+}
+
+/// Single-variable bound + congruence systems — the interval tier's home
+/// turf (array-index VCs after substitution).
+std::vector<std::vector<Constraint>> intervalSystems() {
+  std::vector<std::vector<Constraint>> Out;
+  for (int K = 0; K < 16; ++K) {
+    LinearExpr X = var("m.i");
+    Out.push_back({Constraint::ge(X.plusConstant(-K)),
+                   Constraint::le(X, LinearExpr::constant(4 * K + 64)),
+                   Constraint::divides(4, X)});
+  }
+  return Out;
+}
+
+/// Unit-coefficient difference systems — the DBM tier (loop-counter
+/// orderings; half are infeasible cycles).
+std::vector<std::vector<Constraint>> dbmSystems() {
+  std::vector<std::vector<Constraint>> Out;
+  for (int K = 0; K < 16; ++K) {
+    LinearExpr X = var("m.x"), Y = var("m.y"), Z = var("m.z");
+    std::vector<Constraint> S = {
+        Constraint::ge(X - Y + LinearExpr::constant(K)),
+        Constraint::ge(Y - Z + LinearExpr::constant(1)),
+    };
+    // Even K: close a negative cycle (unsat); odd K: leave it open.
+    if (K % 2 == 0)
+      S.push_back(Constraint::ge(Z - X - LinearExpr::constant(K + 2)));
+    else
+      S.push_back(Constraint::ge(Z.plusConstant(-1)));
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// Dense multi-variable systems neither pre-solver can represent — every
+/// query falls through to Omega (the tiers' worst case: pure overhead).
+std::vector<std::vector<Constraint>> omegaSystems() {
+  std::vector<std::vector<Constraint>> Out;
+  for (int K = 1; K <= 8; ++K) {
+    std::vector<Constraint> S = pughSystem();
+    S.push_back(Constraint::ge(var("b.x").scaled(K) + var("b.y")));
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// N worker provers share one cache and discharge the same obligation
+/// stream — the parallel engine's steady state. Reported as mean ns per
+/// checkImplies across all workers (cache hits dominate after warm-up).
+double benchParallelSharedCache(unsigned Workers, unsigned QueriesPerWorker) {
+  FormulaRef Context = figure3Context();
+  FormulaRef Goal = figure3Goal();
+  auto SharedCache = std::make_shared<ProverCache>();
+  Clock::time_point Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W < Workers; ++W)
+    Threads.emplace_back([&] {
+      Prover P(Prover::Options(), SharedCache);
+      for (unsigned Q = 0; Q < QueriesPerWorker; ++Q)
+        sink(uint64_t(P.checkImplies(Context, Goal)));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double Secs = std::chrono::duration<double>(Clock::now() - Start).count();
+  return Secs * 1e9 / double(Workers * QueriesPerWorker);
+}
+
+double tierRate(uint64_t Hits, uint64_t Misses) {
+  uint64_t Total = Hits + Misses;
+  return Total ? double(Hits) / double(Total) : 0.0;
+}
+
+void writeTierJson(std::ostream &OS, const TieredSolver::TierStats &T,
+                   const char *Indent) {
+  OS << Indent << "\"interval\": {\"hits\": " << T.IntervalHits
+     << ", \"misses\": " << T.IntervalMisses << ", \"hit_rate\": "
+     << tierRate(T.IntervalHits, T.IntervalMisses) << "},\n"
+     << Indent << "\"dbm\": {\"hits\": " << T.DbmHits
+     << ", \"misses\": " << T.DbmMisses << ", \"hit_rate\": "
+     << tierRate(T.DbmHits, T.DbmMisses) << "},\n"
+     << Indent << "\"omega\": {\"hits\": " << T.OmegaHits
+     << ", \"misses\": " << T.OmegaMisses << ", \"hit_rate\": "
+     << tierRate(T.OmegaHits, T.OmegaMisses) << "}\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  std::string JsonPath = "BENCH_5.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        JsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: bench_prover [--json [FILE]]\n");
+      return 2;
+    }
+  }
+
+  // Macro workloads (same set and methodology as the baseline).
+  struct Macro {
+    const char *Name;
+    double Ns;
+  };
+  std::vector<Macro> Macros;
+  std::fprintf(stderr, "running macro workloads...\n");
+  Macros.push_back({"OmegaPughExample", benchOmegaPugh()});
+  Macros.push_back({"ProveFigure3Bounds", benchProveFigure3()});
+  for (const char *P : {"Sum", "BubbleSort", "Btree", "HeapSort", "MD5"}) {
+    std::fprintf(stderr, "  CheckCorpus/%s\n", P);
+    Macros.push_back({P, benchCheckCorpus(P)});
+  }
+  Macros.push_back({"SumGlobalVerification", benchSumGlobal()});
+
+  // Pair with the baseline and compute speedups.
+  double LogSum = 0;
+  struct Line {
+    std::string Name;
+    double BaselineNs, CurrentNs, Speedup;
+  };
+  std::vector<Line> Lines;
+  for (size_t I = 0; I < Macros.size(); ++I) {
+    const BaselineEntry &B = Baseline[I];
+    double Ns = Macros[I].Ns;
+    double Speedup = B.Ns / Ns;
+    LogSum += std::log(Speedup);
+    Lines.push_back({B.Name, B.Ns, Ns, Speedup});
+  }
+  double Geomean = std::exp(LogSum / double(Lines.size()));
+
+  std::fprintf(stderr, "running tier micro-benchmarks...\n");
+  std::vector<MicroResult> Micros;
+  Micros.push_back(benchMicro("interval", intervalSystems()));
+  Micros.push_back(benchMicro("dbm", dbmSystems()));
+  Micros.push_back(benchMicro("omega_fallback", omegaSystems()));
+
+  std::fprintf(stderr, "running parallel shared-cache workload...\n");
+  double ParallelNs = benchParallelSharedCache(4, 2000);
+
+  // Human-readable report.
+  std::printf("%-26s %14s %14s %8s\n", "benchmark", "baseline ns", "now ns",
+              "speedup");
+  for (const Line &L : Lines)
+    std::printf("%-26s %14.1f %14.1f %7.2fx\n", L.Name.c_str(), L.BaselineNs,
+                L.CurrentNs, L.Speedup);
+  std::printf("%-26s %14s %14s %7.2fx\n", "geomean", "", "", Geomean);
+  for (const MicroResult &M : Micros)
+    std::printf("micro/%-20s %10.1f ns/VC (omega-only %.1f, interval "
+                "%.0f%%, dbm %.0f%%, omega %.0f%%)\n",
+                M.Name.c_str(), M.NsPerVc, M.OmegaNsPerVc,
+                100 * tierRate(M.Tiers.IntervalHits, M.Tiers.IntervalMisses),
+                100 * tierRate(M.Tiers.DbmHits, M.Tiers.DbmMisses),
+                100 * tierRate(M.Tiers.OmegaHits, M.Tiers.OmegaMisses));
+  std::printf("parallel shared cache: %.1f ns/query (4 workers)\n",
+              ParallelNs);
+  Formula::InternStats Intern = Formula::internStats();
+  std::printf("interner: %llu formulas, %llu dedup hits, %llu bytes\n",
+              static_cast<unsigned long long>(Intern.Nodes),
+              static_cast<unsigned long long>(Intern.DedupHits),
+              static_cast<unsigned long long>(Intern.Bytes));
+
+  if (!Json)
+    return 0;
+
+  std::ofstream OS(JsonPath);
+  if (!OS) {
+    std::fprintf(stderr, "cannot write '%s'\n", JsonPath.c_str());
+    return 2;
+  }
+  OS << "{\n"
+     << "  \"bench\": \"bench_prover\",\n"
+     << "  \"baseline_commit\": \"75ea081\",\n"
+     << "  \"unit\": \"ns_per_iteration\",\n"
+     << "  \"benchmarks\": [\n";
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const Line &L = Lines[I];
+    OS << "    {\"name\": \"" << L.Name << "\", \"baseline_ns\": "
+       << L.BaselineNs << ", \"current_ns\": " << L.CurrentNs
+       << ", \"speedup\": " << L.Speedup << "}"
+       << (I + 1 < Lines.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n"
+     << "  \"geomean_speedup\": " << Geomean << ",\n"
+     << "  \"micro\": {\n";
+  for (size_t I = 0; I < Micros.size(); ++I) {
+    const MicroResult &M = Micros[I];
+    OS << "    \"" << M.Name << "\": {\n"
+       << "      \"ns_per_vc\": " << M.NsPerVc << ",\n"
+       << "      \"omega_only_ns_per_vc\": " << M.OmegaNsPerVc << ",\n"
+       << "      \"tiers\": {\n";
+    writeTierJson(OS, M.Tiers, "        ");
+    OS << "      }\n    }" << (I + 1 < Micros.size() ? "," : "") << "\n";
+  }
+  OS << "  },\n"
+     << "  \"parallel_shared_cache\": {\"workers\": 4, \"ns_per_query\": "
+     << ParallelNs << "},\n"
+     << "  \"interner\": {\"formulas\": " << Intern.Nodes
+     << ", \"dedup_hits\": " << Intern.DedupHits
+     << ", \"bytes\": " << Intern.Bytes << "}\n"
+     << "}\n";
+  std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
+  return 0;
+}

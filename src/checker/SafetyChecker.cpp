@@ -73,6 +73,16 @@ void publishCounters(support::MetricsRegistry &Reg, const std::string &Scope,
   Put("prover/cache_hits", Report.ProverStats.CacheHits);
   Put("prover/cache_evictions", Report.ProverStats.CacheEvictions);
   Put("prover/budget_exhaustions", Report.ProverStats.BudgetExhaustions);
+  Put("prover/tier/interval/hits", Report.ProverStats.Tiers.IntervalHits);
+  Put("prover/tier/interval/misses", Report.ProverStats.Tiers.IntervalMisses);
+  Put("prover/tier/dbm/hits", Report.ProverStats.Tiers.DbmHits);
+  Put("prover/tier/dbm/misses", Report.ProverStats.Tiers.DbmMisses);
+  Put("prover/tier/omega/hits", Report.ProverStats.Tiers.OmegaHits);
+  Put("prover/tier/omega/misses", Report.ProverStats.Tiers.OmegaMisses);
+  Formula::InternStats Intern = Formula::internStats();
+  Reg.gauge("intern/formulas").set(int64_t(Intern.Nodes));
+  Reg.gauge("intern/dedup_hits").set(int64_t(Intern.DedupHits));
+  Reg.gauge("intern/bytes").set(int64_t(Intern.Bytes));
   Put("omega/calls", Report.OmegaStats.Calls);
   Put("omega/eq_eliminations", Report.OmegaStats.EqEliminations);
   Put("omega/ineq_eliminations", Report.OmegaStats.IneqEliminations);

@@ -2,55 +2,212 @@
 
 #include "constraints/Formula.h"
 
+#include "support/Arena.h"
 #include "support/FaultInjection.h"
 
-#include <algorithm>
 #include <cassert>
 #include <map>
+#include <mutex>
 #include <new>
 #include <sstream>
+#include <unordered_map>
 
 using namespace mcsafe;
 
+//===----------------------------------------------------------------------===//
+// The interner
+//===----------------------------------------------------------------------===//
+
 namespace mcsafe {
-/// Grants access to the private constructor and fields from the file-local
-/// helper functions.
-class FormulaFactory {
+
+/// The process-wide hash-consing table. Nodes are immortal: they are
+/// placement-constructed into arena slabs and never destroyed, so a
+/// FormulaRef (a bare pointer) can be copied freely across threads and
+/// cached for the process lifetime, exactly like interned VarIds. The
+/// singleton itself is heap-allocated and intentionally leaked so no
+/// static-destruction order can invalidate live handles (it stays
+/// reachable from the global pointer, which keeps LeakSanitizer quiet).
+class FormulaInterner {
 public:
-  static std::shared_ptr<Formula> make(FormulaKind Kind) {
+  static FormulaInterner &get() {
+    static FormulaInterner *I = new FormulaInterner();
+    return *I;
+  }
+
+  /// Interns a node with the given shape, returning the canonical ref.
+  /// \p Children must already be canonical refs.
+  FormulaRef intern(FormulaKind Kind, VarId BoundVar,
+                    std::optional<Constraint> Atom,
+                    std::vector<FormulaRef> Children) {
     // Injected allocator fault: simulate memory exhaustion at the one
     // chokepoint every formula passes through. The check boundary turns
     // the bad_alloc into an InternalError verdict, never a crash.
     if (support::faultPoint("alloc/formula"))
       throw std::bad_alloc();
-    return std::shared_ptr<Formula>(new Formula(Kind));
+
+    size_t Hash = hashNode(Kind, BoundVar, Atom, Children);
+    Shard &S = Shards[Hash % NumShards];
+    std::lock_guard<std::mutex> L(S.M);
+    auto It = S.Table.find(Hash);
+    if (It != S.Table.end()) {
+      for (const Formula *N : It->second)
+        if (sameNode(*N, Kind, BoundVar, Atom, Children)) {
+          DedupHits.fetch_add(1, std::memory_order_relaxed);
+          return FormulaRef(N);
+        }
+    }
+
+    Formula *N = ::new (S.NodeArena.allocate(sizeof(Formula),
+                                             alignof(Formula))) Formula();
+    N->Kind = Kind;
+    N->BoundVar = BoundVar;
+    N->Hash = Hash;
+    N->Atom = std::move(Atom);
+    N->Children = std::move(Children);
+    N->Id = NextId.fetch_add(1, std::memory_order_relaxed);
+    N->TreeSize = 1;
+    for (const FormulaRef &C : N->Children) {
+      uint64_t Sum = N->TreeSize + C->TreeSize;
+      N->TreeSize = Sum >= N->TreeSize ? Sum : UINT64_MAX; // Saturate.
+    }
+    computeFreeVars(*N);
+    S.Table[Hash].push_back(N);
+    ++S.NodeCount;
+    return FormulaRef(N);
   }
-  static void setChildren(Formula &F, std::vector<FormulaRef> Children) {
-    F.Children = std::move(Children);
+
+  Formula::InternStats stats() const {
+    Formula::InternStats Out;
+    Out.DedupHits = DedupHits.load(std::memory_order_relaxed);
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.M);
+      Out.Nodes += S.NodeCount;
+      Out.Bytes += S.NodeArena.bytesReserved();
+    }
+    return Out;
   }
-  static void setBoundVar(Formula &F, VarId V) { F.BoundVar = V; }
-  static void setAtom(Formula &F, Constraint C) {
-    F.Atom = std::make_shared<Constraint>(std::move(C));
+
+private:
+  FormulaInterner() = default;
+
+  static size_t hashNode(FormulaKind Kind, VarId BoundVar,
+                         const std::optional<Constraint> &Atom,
+                         const std::vector<FormulaRef> &Children) {
+    size_t H = std::hash<int>()(static_cast<int>(Kind));
+    auto Mix = [&H](size_t V) {
+      H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+    };
+    if (Atom)
+      Mix(Atom->hash());
+    if (Kind == FormulaKind::Exists || Kind == FormulaKind::Forall)
+      Mix(std::hash<uint32_t>()(BoundVar.index()));
+    // Children are canonical, so their memoized hashes identify them.
+    for (const FormulaRef &C : Children)
+      Mix(C->hash());
+    return H;
   }
+
+  static bool sameNode(const Formula &N, FormulaKind Kind, VarId BoundVar,
+                       const std::optional<Constraint> &Atom,
+                       const std::vector<FormulaRef> &Children) {
+    if (N.Kind != Kind || N.Children.size() != Children.size())
+      return false;
+    if (Kind == FormulaKind::Exists || Kind == FormulaKind::Forall)
+      if (N.BoundVar != BoundVar)
+        return false;
+    // Children are canonical: pointer compare is structural compare.
+    for (size_t I = 0; I < Children.size(); ++I)
+      if (N.Children[I] != Children[I])
+        return false;
+    if (Kind == FormulaKind::Atom)
+      return *N.Atom == *Atom;
+    return true;
+  }
+
+  static void computeFreeVars(Formula &N) {
+    std::vector<VarId> &Out = N.Free.Sorted;
+    switch (N.Kind) {
+    case FormulaKind::True:
+    case FormulaKind::False:
+      return;
+    case FormulaKind::Atom:
+      // Terms are sorted by VarId, so the collection is already a sorted
+      // set.
+      N.Atom->collectVars(Out);
+      return;
+    case FormulaKind::And:
+    case FormulaKind::Or: {
+      size_t Total = 0;
+      for (const FormulaRef &C : N.Children)
+        Total += C->freeVars().size();
+      Out.reserve(Total);
+      for (const FormulaRef &C : N.Children)
+        Out.insert(Out.end(), C->freeVars().begin(), C->freeVars().end());
+      std::sort(Out.begin(), Out.end());
+      Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+      Out.shrink_to_fit();
+      return;
+    }
+    case FormulaKind::Exists:
+    case FormulaKind::Forall: {
+      const FreeVarSet &Body = N.Children.front()->freeVars();
+      Out.reserve(Body.size());
+      for (VarId V : Body)
+        if (V != N.BoundVar)
+          Out.push_back(V);
+      return;
+    }
+    }
+  }
+
+  static constexpr unsigned NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    /// Hash -> collision chain of canonical nodes.
+    std::unordered_map<size_t, std::vector<const Formula *>> Table;
+    /// Immortal node storage. Nodes hold std::vector members whose heap
+    /// blocks stay reachable through this slab, so nothing ever leaks in
+    /// the LeakSanitizer sense even though nothing is freed.
+    support::Arena NodeArena;
+    uint64_t NodeCount = 0;
+  };
+
+  Shard Shards[NumShards];
+  std::atomic<uint32_t> NextId{0};
+  std::atomic<uint64_t> DedupHits{0};
 };
+
 } // namespace mcsafe
 
+Formula::InternStats Formula::internStats() {
+  return FormulaInterner::get().stats();
+}
+
+static FormulaRef internNode(FormulaKind Kind, VarId BoundVar,
+                             std::optional<Constraint> Atom,
+                             std::vector<FormulaRef> Children) {
+  return FormulaInterner::get().intern(Kind, BoundVar, std::move(Atom),
+                                       std::move(Children));
+}
+
+//===----------------------------------------------------------------------===//
+// Smart constructors
+//===----------------------------------------------------------------------===//
+
 FormulaRef Formula::mkTrue() {
-  static FormulaRef T = FormulaFactory::make(FormulaKind::True);
+  static FormulaRef T = internNode(FormulaKind::True, VarId(), {}, {});
   return T;
 }
 
 FormulaRef Formula::mkFalse() {
-  static FormulaRef F = FormulaFactory::make(FormulaKind::False);
+  static FormulaRef F = internNode(FormulaKind::False, VarId(), {}, {});
   return F;
 }
 
 FormulaRef Formula::atom(Constraint C) {
   if (std::optional<bool> Truth = C.constantTruth())
     return *Truth ? mkTrue() : mkFalse();
-  auto Node = FormulaFactory::make(FormulaKind::Atom);
-  FormulaFactory::setAtom(*Node, std::move(C));
-  return Node;
+  return internNode(FormulaKind::Atom, VarId(), std::move(C), {});
 }
 
 const Constraint &Formula::constraint() const {
@@ -60,9 +217,9 @@ const Constraint &Formula::constraint() const {
 
 namespace {
 
-/// Flattens \p Children of kind \p K into \p Out, deduplicating
-/// structurally. Returns false if an absorbing child (False for And, True
-/// for Or) was found.
+/// Flattens \p Children of kind \p K into \p Out, deduplicating (canonical
+/// refs make that a pointer compare). Returns false if an absorbing child
+/// (False for And, True for Or) was found.
 bool flattenInto(FormulaKind K, const std::vector<FormulaRef> &Children,
                  std::vector<FormulaRef> &Out) {
   FormulaKind Absorbing =
@@ -82,7 +239,7 @@ bool flattenInto(FormulaKind K, const std::vector<FormulaRef> &Children,
     }
     bool Duplicate = false;
     for (const FormulaRef &Existing : Out)
-      if (Formula::equal(Existing, C)) {
+      if (Existing == C) {
         Duplicate = true;
         break;
       }
@@ -100,9 +257,7 @@ FormulaRef makeNary(FormulaKind K, std::vector<FormulaRef> Children) {
     return K == FormulaKind::And ? Formula::mkTrue() : Formula::mkFalse();
   if (Flat.size() == 1)
     return Flat.front();
-  auto Node = FormulaFactory::make(K);
-  FormulaFactory::setChildren(*Node, std::move(Flat));
-  return Node;
+  return internNode(K, VarId(), {}, std::move(Flat));
 }
 
 } // namespace
@@ -117,127 +272,99 @@ FormulaRef Formula::disj(std::vector<FormulaRef> Children) {
 
 FormulaRef Formula::exists(VarId V, FormulaRef Body) {
   assert(Body && "null body");
-  if (Body->isTrue() || Body->isFalse() || !Body->freeVars().count(V))
+  if (Body->isTrue() || Body->isFalse() || !Body->hasFreeVar(V))
     return Body;
-  auto Node = FormulaFactory::make(FormulaKind::Exists);
-  Node->Children.push_back(std::move(Body));
-  Node->BoundVar = V;
-  return Node;
+  return internNode(FormulaKind::Exists, V, {}, {std::move(Body)});
 }
 
 FormulaRef Formula::forall(VarId V, FormulaRef Body) {
   assert(Body && "null body");
-  if (Body->isTrue() || Body->isFalse() || !Body->freeVars().count(V))
+  if (Body->isTrue() || Body->isFalse() || !Body->hasFreeVar(V))
     return Body;
-  auto Node = FormulaFactory::make(FormulaKind::Forall);
-  Node->Children.push_back(std::move(Body));
-  Node->BoundVar = V;
-  return Node;
+  return internNode(FormulaKind::Forall, V, {}, {std::move(Body)});
 }
 
 FormulaRef Formula::implies(const FormulaRef &A, FormulaRef B) {
   return disj2(negate(A), std::move(B));
 }
 
-FormulaRef Formula::negate(const FormulaRef &F) {
-  assert(F && "null formula");
+namespace {
+
+FormulaRef computeNegate(const FormulaRef &F) {
   switch (F->kind()) {
   case FormulaKind::True:
-    return mkFalse();
+    return Formula::mkFalse();
   case FormulaKind::False:
-    return mkTrue();
+    return Formula::mkTrue();
   case FormulaKind::Atom: {
     const Constraint &C = F->constraint();
     switch (C.kind()) {
     case ConstraintKind::GE:
       // not (e >= 0)  <=>  -e - 1 >= 0.
-      return atom(Constraint::ge((-C.expr()).plusConstant(-1)));
+      return Formula::atom(Constraint::ge((-C.expr()).plusConstant(-1)));
     case ConstraintKind::EQ:
       // not (e == 0)  <=>  e >= 1  or  e <= -1.
-      return disj2(atom(Constraint::ge(C.expr().plusConstant(-1))),
-                   atom(Constraint::ge((-C.expr()).plusConstant(-1))));
+      return Formula::disj2(
+          Formula::atom(Constraint::ge(C.expr().plusConstant(-1))),
+          Formula::atom(Constraint::ge((-C.expr()).plusConstant(-1))));
     case ConstraintKind::DIV:
-      return atom(Constraint::notDivides(C.modulus(), C.expr()));
+      return Formula::atom(Constraint::notDivides(C.modulus(), C.expr()));
     case ConstraintKind::NDIV:
-      return atom(Constraint::divides(C.modulus(), C.expr()));
+      return Formula::atom(Constraint::divides(C.modulus(), C.expr()));
     }
     assert(false && "unknown constraint kind");
-    return mkTrue();
+    return Formula::mkTrue();
   }
   case FormulaKind::And:
   case FormulaKind::Or: {
     std::vector<FormulaRef> Negated;
     Negated.reserve(F->children().size());
     for (const FormulaRef &C : F->children())
-      Negated.push_back(negate(C));
-    return F->kind() == FormulaKind::And ? disj(std::move(Negated))
-                                         : conj(std::move(Negated));
+      Negated.push_back(Formula::negate(C));
+    return F->kind() == FormulaKind::And ? Formula::disj(std::move(Negated))
+                                         : Formula::conj(std::move(Negated));
   }
   case FormulaKind::Exists:
-    return forall(F->boundVar(), negate(F->children().front()));
+    return Formula::forall(F->boundVar(),
+                           Formula::negate(F->children().front()));
   case FormulaKind::Forall:
-    return exists(F->boundVar(), negate(F->children().front()));
+    return Formula::exists(F->boundVar(),
+                           Formula::negate(F->children().front()));
   }
   assert(false && "unknown formula kind");
-  return mkTrue();
-}
-
-size_t Formula::size() const {
-  size_t N = 1;
-  for (const FormulaRef &C : Children)
-    N += C->size();
-  return N;
-}
-
-namespace {
-
-void collectFreeVars(const Formula &F, std::set<VarId> &Bound,
-                     std::set<VarId> &Out) {
-  switch (F.kind()) {
-  case FormulaKind::True:
-  case FormulaKind::False:
-    return;
-  case FormulaKind::Atom: {
-    std::vector<VarId> Vars;
-    F.constraint().collectVars(Vars);
-    for (VarId V : Vars)
-      if (!Bound.count(V))
-        Out.insert(V);
-    return;
-  }
-  case FormulaKind::And:
-  case FormulaKind::Or:
-    for (const FormulaRef &C : F.children())
-      collectFreeVars(*C, Bound, Out);
-    return;
-  case FormulaKind::Exists:
-  case FormulaKind::Forall: {
-    bool Inserted = Bound.insert(F.boundVar()).second;
-    collectFreeVars(*F.children().front(), Bound, Out);
-    if (Inserted)
-      Bound.erase(F.boundVar());
-    return;
-  }
-  }
+  return Formula::mkTrue();
 }
 
 } // namespace
 
-std::set<VarId> Formula::freeVars() const {
-  std::set<VarId> Bound, Out;
-  collectFreeVars(*this, Bound, Out);
-  return Out;
+FormulaRef Formula::negate(const FormulaRef &F) {
+  assert(F && "null formula");
+  if (const Formula *Memo = F->NegMemo.load(std::memory_order_acquire))
+    return FormulaRef(Memo);
+  FormulaRef Result = computeNegate(F);
+  // Negation is a pure function onto canonical nodes, so concurrent
+  // writers always store the same pointer.
+  F->NegMemo.store(Result.get(), std::memory_order_release);
+  return Result;
 }
+
+//===----------------------------------------------------------------------===//
+// Traversals
+//===----------------------------------------------------------------------===//
 
 FormulaRef Formula::substitute(const FormulaRef &F, VarId V,
                                const LinearExpr &Replacement) {
+  // The memoized free-variable set makes the no-op case — most nodes of a
+  // large conjunction — a binary search instead of a traversal. A bound
+  // occurrence of V is not free, so this also covers the
+  // quantifier-shadowing early-out.
+  if (!F->hasFreeVar(V))
+    return F;
   switch (F->kind()) {
   case FormulaKind::True:
   case FormulaKind::False:
     return F;
   case FormulaKind::Atom:
-    if (!F->constraint().expr().references(V))
-      return F;
     return atom(F->constraint().substitute(V, Replacement));
   case FormulaKind::And:
   case FormulaKind::Or: {
@@ -256,8 +383,6 @@ FormulaRef Formula::substitute(const FormulaRef &F, VarId V,
   }
   case FormulaKind::Exists:
   case FormulaKind::Forall: {
-    if (F->boundVar() == V)
-      return F;
     FormulaRef NewBody = substitute(F->children().front(), V, Replacement);
     if (NewBody == F->children().front())
       return F;
@@ -268,48 +393,6 @@ FormulaRef Formula::substitute(const FormulaRef &F, VarId V,
   }
   assert(false && "unknown formula kind");
   return F;
-}
-
-bool Formula::equal(const FormulaRef &A, const FormulaRef &B) {
-  if (A == B)
-    return true;
-  if (!A || !B || A->Kind != B->Kind)
-    return false;
-  switch (A->Kind) {
-  case FormulaKind::True:
-  case FormulaKind::False:
-    return true;
-  case FormulaKind::Atom:
-    return *A->Atom == *B->Atom;
-  case FormulaKind::And:
-  case FormulaKind::Or: {
-    if (A->Children.size() != B->Children.size())
-      return false;
-    for (size_t I = 0; I < A->Children.size(); ++I)
-      if (!equal(A->Children[I], B->Children[I]))
-        return false;
-    return true;
-  }
-  case FormulaKind::Exists:
-  case FormulaKind::Forall:
-    return A->BoundVar == B->BoundVar &&
-           equal(A->Children.front(), B->Children.front());
-  }
-  return false;
-}
-
-size_t Formula::hash() const {
-  size_t H = std::hash<int>()(static_cast<int>(Kind));
-  auto Mix = [&H](size_t V) {
-    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
-  };
-  if (Kind == FormulaKind::Atom)
-    Mix(Atom->hash());
-  if (Kind == FormulaKind::Exists || Kind == FormulaKind::Forall)
-    Mix(std::hash<uint32_t>()(BoundVar.index()));
-  for (const FormulaRef &C : Children)
-    Mix(C->hash());
-  return H;
 }
 
 std::string Formula::str() const {
@@ -344,6 +427,10 @@ std::string Formula::str() const {
   return "?";
 }
 
+//===----------------------------------------------------------------------===//
+// Simplification
+//===----------------------------------------------------------------------===//
+
 namespace {
 
 /// Prunes duplicate / subsumed GE atoms among the atomic conjuncts of an
@@ -352,20 +439,13 @@ namespace {
 FormulaRef pruneConjuncts(const FormulaRef &F) {
   if (F->kind() != FormulaKind::And)
     return F;
-  // Map from term-vector signature to the tightest GE atom seen.
+  // Map from the variable-term vector to the tightest GE atom seen.
   struct GeInfo {
     size_t ChildIndex;
     int64_t Constant;
   };
-  std::map<std::string, GeInfo> TightestGe;
+  std::map<std::vector<LinearExpr::Term>, GeInfo> TightestGe;
   std::vector<bool> Dropped(F->children().size(), false);
-
-  auto TermSignature = [](const LinearExpr &E) {
-    std::ostringstream OS;
-    for (const auto &[V, C] : E.terms())
-      OS << V.index() << '*' << C << ';';
-    return OS.str();
-  };
 
   for (size_t I = 0; I < F->children().size(); ++I) {
     const FormulaRef &C = F->children()[I];
@@ -374,10 +454,12 @@ FormulaRef pruneConjuncts(const FormulaRef &F) {
     const Constraint &A = C->constraint();
     if (A.kind() != ConstraintKind::GE || A.isPoisoned())
       continue;
-    std::string Sig = TermSignature(A.expr());
+    std::vector<LinearExpr::Term> Sig(A.expr().terms().begin(),
+                                      A.expr().terms().end());
     auto It = TightestGe.find(Sig);
     if (It == TightestGe.end()) {
-      TightestGe[Sig] = {I, A.expr().constantValue()};
+      TightestGe.emplace(std::move(Sig),
+                         GeInfo{I, A.expr().constantValue()});
       continue;
     }
     // e + c >= 0 means e >= -c: smaller c is tighter.
@@ -403,9 +485,7 @@ FormulaRef pruneConjuncts(const FormulaRef &F) {
   return Formula::conj(std::move(Kept));
 }
 
-} // namespace
-
-FormulaRef mcsafe::simplify(const FormulaRef &F) {
+FormulaRef computeSimplify(const FormulaRef &F) {
   switch (F->kind()) {
   case FormulaKind::True:
   case FormulaKind::False:
@@ -423,11 +503,19 @@ FormulaRef mcsafe::simplify(const FormulaRef &F) {
     return pruneConjuncts(Rebuilt);
   }
   case FormulaKind::Exists:
-    return Formula::exists(F->boundVar(),
-                           simplify(F->children().front()));
+    return Formula::exists(F->boundVar(), simplify(F->children().front()));
   case FormulaKind::Forall:
-    return Formula::forall(F->boundVar(),
-                           simplify(F->children().front()));
+    return Formula::forall(F->boundVar(), simplify(F->children().front()));
   }
   return F;
+}
+
+} // namespace
+
+FormulaRef mcsafe::simplify(const FormulaRef &F) {
+  if (const Formula *Memo = F->SimpMemo.load(std::memory_order_acquire))
+    return FormulaRef(Memo);
+  FormulaRef Result = computeSimplify(F);
+  F->SimpMemo.store(Result.get(), std::memory_order_release);
+  return Result;
 }

@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Immutable formula trees over atomic linear constraints, combined with
+/// Immutable formula DAGs over atomic linear constraints, combined with
 /// conjunction, disjunction, and the quantifiers exists/forall — the
 /// annotation language of the paper ("linear equalities and inequalities
 /// ... combined with and, or, not, and the quantifiers forall, exists").
@@ -16,6 +16,13 @@
 /// negate to atoms; EQ negates to a disjunction of two strict
 /// inequalities), and swaps And/Or and Exists/Forall.
 ///
+/// Nodes are hash-consed: a process-wide, thread-safe interner gives every
+/// structurally distinct formula exactly one immortal node, identified by
+/// a canonical 32-bit id. Structural equality is therefore a pointer
+/// compare, and each node carries its structural hash, its tree size, and
+/// its sorted free-variable set, memoized at interning time. FormulaRef is
+/// a trivially-copyable handle (one pointer) onto such a node.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCSAFE_CONSTRAINTS_FORMULA_H
@@ -23,17 +30,47 @@
 
 #include "constraints/Constraint.h"
 
-#include <memory>
-#include <set>
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace mcsafe {
 
 class Formula;
+class FormulaInterner;
 
-/// Shared immutable formula handle.
-using FormulaRef = std::shared_ptr<const Formula>;
+/// A handle to an interned, immortal formula node. Equality of handles is
+/// structural equality of formulas (hash-consing canonicalizes).
+class FormulaRef {
+public:
+  constexpr FormulaRef() = default;
+  constexpr FormulaRef(std::nullptr_t) {}
+
+  const Formula *operator->() const { return Node; }
+  const Formula &operator*() const { return *Node; }
+  constexpr explicit operator bool() const { return Node != nullptr; }
+  constexpr const Formula *get() const { return Node; }
+
+  friend constexpr bool operator==(FormulaRef A, FormulaRef B) {
+    return A.Node == B.Node;
+  }
+  friend constexpr bool operator!=(FormulaRef A, FormulaRef B) {
+    return A.Node != B.Node;
+  }
+
+private:
+  constexpr explicit FormulaRef(const Formula *Node) : Node(Node) {}
+
+  const Formula *Node = nullptr;
+
+  friend class Formula;
+  friend class FormulaInterner;
+  friend FormulaRef simplify(const FormulaRef &F);
+};
 
 /// Node kinds. There is deliberately no Not node; see file comment.
 enum class FormulaKind : uint8_t {
@@ -46,7 +83,30 @@ enum class FormulaKind : uint8_t {
   Forall,
 };
 
-/// An immutable formula node.
+/// The sorted free-variable set of a formula, memoized on its node.
+/// Iterates in increasing VarId order; membership is a binary search.
+class FreeVarSet {
+public:
+  using const_iterator = std::vector<VarId>::const_iterator;
+
+  const_iterator begin() const { return Sorted.begin(); }
+  const_iterator end() const { return Sorted.end(); }
+  size_t size() const { return Sorted.size(); }
+  bool empty() const { return Sorted.empty(); }
+  bool contains(VarId V) const {
+    return std::binary_search(Sorted.begin(), Sorted.end(), V);
+  }
+  /// std::set-style membership count (0 or 1).
+  size_t count(VarId V) const { return contains(V) ? 1 : 0; }
+
+private:
+  std::vector<VarId> Sorted;
+
+  friend class FormulaInterner;
+};
+
+/// An immutable, interned formula node. Instances are created only by the
+/// interner (via the smart constructors) and live for the process.
 class Formula {
 public:
   // --- Smart constructors (perform local simplification). ----------------
@@ -71,7 +131,8 @@ public:
   /// A => B, as disj(negate(A), B).
   static FormulaRef implies(const FormulaRef &A, FormulaRef B);
 
-  /// The negation, pushed all the way to the atoms (stays NNF).
+  /// The negation, pushed all the way to the atoms (stays NNF). Memoized
+  /// per node: repeated negation of the same formula is O(1).
   static FormulaRef negate(const FormulaRef &F);
 
   // --- Accessors. ---------------------------------------------------------
@@ -87,11 +148,16 @@ public:
   /// Bound variable of Exists/Forall.
   VarId boundVar() const { return BoundVar; }
 
-  /// Total node count (used for blowup budgets).
-  size_t size() const;
+  /// The canonical interner id: equal ids <=> structurally equal formulas.
+  uint32_t id() const { return Id; }
 
-  /// Free variables of the formula.
-  std::set<VarId> freeVars() const;
+  /// Total node count of the formula as a tree (used for blowup budgets;
+  /// shared subterms count once per occurrence). Memoized.
+  size_t size() const { return TreeSize; }
+
+  /// The free variables, memoized on the node.
+  const FreeVarSet &freeVars() const { return Free; }
+  bool hasFreeVar(VarId V) const { return Free.contains(V); }
 
   /// Capture-avoiding only in the sense that substitution stops at a
   /// quantifier binding the same variable; bound variables are always
@@ -99,29 +165,51 @@ public:
   static FormulaRef substitute(const FormulaRef &F, VarId V,
                                const LinearExpr &Replacement);
 
-  /// Structural equality.
-  static bool equal(const FormulaRef &A, const FormulaRef &B);
+  /// Structural equality — with hash-consing, a pointer compare.
+  static bool equal(const FormulaRef &A, const FormulaRef &B) {
+    return A == B;
+  }
 
-  size_t hash() const;
+  /// Structural hash, memoized at interning time.
+  size_t hash() const { return Hash; }
 
   std::string str() const;
 
+  /// Interner occupancy, surfaced as a metrics gauge.
+  struct InternStats {
+    uint64_t Nodes = 0;      ///< Distinct formula nodes interned.
+    uint64_t DedupHits = 0;  ///< Constructions answered by an existing node.
+    uint64_t Bytes = 0;      ///< Node-slab bytes reserved by the interner.
+  };
+  static InternStats internStats();
+
 private:
-  Formula(FormulaKind Kind) : Kind(Kind) {}
+  Formula() = default;
+  Formula(const Formula &) = delete;
+  Formula &operator=(const Formula &) = delete;
 
-  FormulaKind Kind;
-  std::vector<FormulaRef> Children;
-  std::shared_ptr<Constraint> Atom; // Set for Atom nodes.
+  FormulaKind Kind = FormulaKind::True;
   VarId BoundVar;
+  uint32_t Id = 0;
+  size_t Hash = 0;
+  uint64_t TreeSize = 1;
+  std::vector<FormulaRef> Children;
+  std::optional<Constraint> Atom; ///< Set for Atom nodes.
+  FreeVarSet Free;
+  /// Memoized negation / simplification results (null until computed).
+  /// Benignly racy: all writers store the same canonical node.
+  mutable std::atomic<const Formula *> NegMemo{nullptr};
+  mutable std::atomic<const Formula *> SimpMemo{nullptr};
 
-  friend class FormulaFactory;
+  friend class FormulaInterner;
+  friend FormulaRef simplify(const FormulaRef &F);
 };
 
 /// Bottom-up simplification: constant-folds atoms, re-runs the smart
 /// constructors, and prunes redundant conjuncts inside And-of-atoms
 /// (duplicate or subsumed GE atoms over the same coefficient vector).
 /// Used at junction points during VC generation to keep wlp formulas
-/// small (Section 5.2.1, enhancement five).
+/// small (Section 5.2.1, enhancement five). Memoized per node.
 FormulaRef simplify(const FormulaRef &F);
 
 } // namespace mcsafe

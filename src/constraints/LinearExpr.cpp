@@ -6,9 +6,76 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <sstream>
 
 using namespace mcsafe;
+
+void LinearExpr::copyFrom(const LinearExpr &O) {
+  Size = O.Size;
+  Constant = O.Constant;
+  Poisoned = O.Poisoned;
+  if (Size <= InlineCapacity) {
+    // Copies re-compact: a heap-spilled expression that shrank back under
+    // the inline capacity lands inline again.
+    std::copy(O.data(), O.data() + Size, InlineTerms);
+  } else {
+    HeapTerms = new Term[Size];
+    HeapCapacity = Size;
+    std::copy(O.data(), O.data() + Size, HeapTerms);
+  }
+}
+
+void LinearExpr::moveFrom(LinearExpr &O) noexcept {
+  Size = O.Size;
+  Constant = O.Constant;
+  Poisoned = O.Poisoned;
+  if (O.HeapTerms) {
+    HeapTerms = O.HeapTerms;
+    HeapCapacity = O.HeapCapacity;
+    O.HeapTerms = nullptr;
+    O.HeapCapacity = 0;
+  } else {
+    std::copy(O.InlineTerms, O.InlineTerms + Size, InlineTerms);
+  }
+  O.Size = 0;
+  O.Constant = 0;
+  O.Poisoned = false;
+}
+
+void LinearExpr::grow(uint32_t MinCapacity) {
+  uint32_t Current = HeapTerms ? HeapCapacity : InlineCapacity;
+  if (MinCapacity <= Current)
+    return;
+  uint32_t NewCapacity = std::max(MinCapacity, Current * 2);
+  Term *Fresh = new Term[NewCapacity];
+  std::copy(data(), data() + Size, Fresh);
+  delete[] HeapTerms;
+  HeapTerms = Fresh;
+  HeapCapacity = NewCapacity;
+}
+
+void LinearExpr::insertAt(uint32_t Idx, Term T) {
+  assert(Idx <= Size);
+  grow(Size + 1);
+  Term *D = data();
+  std::copy_backward(D + Idx, D + Size, D + Size + 1);
+  D[Idx] = T;
+  ++Size;
+}
+
+void LinearExpr::eraseAt(uint32_t Idx) {
+  assert(Idx < Size);
+  Term *D = data();
+  std::copy(D + Idx + 1, D + Size, D + Idx);
+  --Size;
+}
+
+void LinearExpr::appendTerm(VarId V, int64_t Coefficient) {
+  assert((Size == 0 || data()[Size - 1].first < V) && "terms out of order");
+  grow(Size + 1);
+  data()[Size++] = Term(V, Coefficient);
+}
 
 LinearExpr LinearExpr::constant(int64_t C) {
   LinearExpr E;
@@ -18,7 +85,7 @@ LinearExpr LinearExpr::constant(int64_t C) {
 
 LinearExpr LinearExpr::variable(VarId V) {
   LinearExpr E;
-  E.Terms.emplace_back(V, 1);
+  E.appendTerm(V, 1);
   return E;
 }
 
@@ -29,12 +96,11 @@ LinearExpr LinearExpr::poisoned() {
 }
 
 int64_t LinearExpr::coeff(VarId V) const {
-  auto It = std::lower_bound(
-      Terms.begin(), Terms.end(), V,
-      [](const std::pair<VarId, int64_t> &T, VarId Key) {
-        return T.first < Key;
-      });
-  if (It != Terms.end() && It->first == V)
+  const Term *Begin = data(), *End = Begin + Size;
+  const Term *It = std::lower_bound(
+      Begin, End, V,
+      [](const Term &T, VarId Key) { return T.first < Key; });
+  if (It != End && It->first == V)
     return It->second;
   return 0;
 }
@@ -42,38 +108,52 @@ int64_t LinearExpr::coeff(VarId V) const {
 void LinearExpr::addTerm(VarId V, int64_t Coefficient) {
   if (Coefficient == 0 || Poisoned)
     return;
-  auto It = std::lower_bound(
-      Terms.begin(), Terms.end(), V,
-      [](const std::pair<VarId, int64_t> &T, VarId Key) {
-        return T.first < Key;
-      });
-  if (It != Terms.end() && It->first == V) {
+  Term *Begin = data(), *End = Begin + Size;
+  Term *It = std::lower_bound(
+      Begin, End, V,
+      [](const Term &T, VarId Key) { return T.first < Key; });
+  if (It != End && It->first == V) {
     std::optional<int64_t> Sum = checkedAdd(It->second, Coefficient);
     if (!Sum) {
       Poisoned = true;
       return;
     }
     if (*Sum == 0)
-      Terms.erase(It);
+      eraseAt(static_cast<uint32_t>(It - Begin));
     else
       It->second = *Sum;
     return;
   }
-  Terms.insert(It, {V, Coefficient});
+  insertAt(static_cast<uint32_t>(It - Begin), Term(V, Coefficient));
 }
 
 LinearExpr LinearExpr::operator+(const LinearExpr &RHS) const {
   if (Poisoned || RHS.Poisoned)
     return poisoned();
-  LinearExpr Result = *this;
-  std::optional<int64_t> C = checkedAdd(Result.Constant, RHS.Constant);
+  std::optional<int64_t> C = checkedAdd(Constant, RHS.Constant);
   if (!C)
     return poisoned();
+  // Merge the two sorted term arrays directly rather than repeated
+  // binary-search inserts.
+  LinearExpr Result;
   Result.Constant = *C;
-  for (const auto &[V, Coeff] : RHS.Terms) {
-    Result.addTerm(V, Coeff);
-    if (Result.Poisoned)
-      return poisoned();
+  Result.grow(Size + RHS.Size);
+  const Term *A = data(), *AEnd = A + Size;
+  const Term *B = RHS.data(), *BEnd = B + RHS.Size;
+  while (A != AEnd || B != BEnd) {
+    if (B == BEnd || (A != AEnd && A->first < B->first)) {
+      Result.data()[Result.Size++] = *A++;
+    } else if (A == AEnd || B->first < A->first) {
+      Result.data()[Result.Size++] = *B++;
+    } else {
+      std::optional<int64_t> Sum = checkedAdd(A->second, B->second);
+      if (!Sum)
+        return poisoned();
+      if (*Sum != 0)
+        Result.data()[Result.Size++] = Term(A->first, *Sum);
+      ++A;
+      ++B;
+    }
   }
   return Result;
 }
@@ -94,12 +174,12 @@ LinearExpr LinearExpr::scaled(int64_t Factor) const {
   if (!C)
     return poisoned();
   Result.Constant = *C;
-  Result.Terms.reserve(Terms.size());
-  for (const auto &[V, Coeff] : Terms) {
+  Result.grow(Size);
+  for (const auto &[V, Coeff] : terms()) {
     std::optional<int64_t> Scaled = checkedMul(Coeff, Factor);
     if (!Scaled)
       return poisoned();
-    Result.Terms.emplace_back(V, *Scaled);
+    Result.data()[Result.Size++] = Term(V, *Scaled);
   }
   return Result;
 }
@@ -123,17 +203,16 @@ LinearExpr LinearExpr::substitute(VarId V,
   if (C == 0)
     return *this;
   LinearExpr Without = *this;
-  for (auto It = Without.Terms.begin(); It != Without.Terms.end(); ++It) {
-    if (It->first == V) {
-      Without.Terms.erase(It);
-      break;
-    }
-  }
+  const Term *Begin = Without.data();
+  const Term *It = std::lower_bound(
+      Begin, Begin + Without.Size, V,
+      [](const Term &T, VarId Key) { return T.first < Key; });
+  Without.eraseAt(static_cast<uint32_t>(It - Begin));
   return Without + Replacement.scaled(C);
 }
 
 void LinearExpr::collectVars(std::vector<VarId> &Out) const {
-  for (const auto &[V, Coeff] : Terms) {
+  for (const auto &[V, Coeff] : terms()) {
     (void)Coeff;
     Out.push_back(V);
   }
@@ -141,7 +220,7 @@ void LinearExpr::collectVars(std::vector<VarId> &Out) const {
 
 int64_t LinearExpr::coeffGcd() const {
   int64_t G = 0;
-  for (const auto &[V, Coeff] : Terms) {
+  for (const auto &[V, Coeff] : terms()) {
     (void)V;
     G = gcdInt64(G, Coeff);
   }
@@ -153,7 +232,7 @@ std::string LinearExpr::str() const {
     return "<overflow>";
   std::ostringstream OS;
   bool First = true;
-  for (const auto &[V, Coeff] : Terms) {
+  for (const auto &[V, Coeff] : terms()) {
     if (First) {
       if (Coeff == -1)
         OS << '-';
@@ -182,7 +261,7 @@ size_t LinearExpr::hash() const {
   auto Mix = [&H](size_t V) {
     H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
   };
-  for (const auto &[V, Coeff] : Terms) {
+  for (const auto &[V, Coeff] : terms()) {
     Mix(std::hash<uint32_t>()(V.index()));
     Mix(std::hash<int64_t>()(Coeff));
   }

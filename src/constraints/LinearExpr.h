@@ -11,6 +11,12 @@
 /// poisons the expression, and poisoned expressions make the prover answer
 /// "unknown" rather than something unsound.
 ///
+/// Storage is small-size optimized: the VCs machine code generates almost
+/// always mention at most a handful of variables, so up to 4 terms live
+/// inline in the expression itself and only wider expressions (deep in
+/// Fourier-Motzkin elimination) touch the heap. terms() exposes the sorted
+/// term array as a lightweight span either way.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCSAFE_CONSTRAINTS_LINEAREXPR_H
@@ -18,6 +24,8 @@
 
 #include "constraints/Var.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -30,8 +38,52 @@ namespace mcsafe {
 /// (modulo poisoning).
 class LinearExpr {
 public:
+  /// One  coefficient * variable  term.
+  using Term = std::pair<VarId, int64_t>;
+
+  /// A non-owning view of an expression's sorted term array.
+  class TermSpan {
+  public:
+    using value_type = Term;
+    using const_iterator = const Term *;
+
+    constexpr TermSpan() = default;
+    constexpr TermSpan(const Term *Begin, const Term *End)
+        : Begin_(Begin), End_(End) {}
+
+    constexpr const_iterator begin() const { return Begin_; }
+    constexpr const_iterator end() const { return End_; }
+    constexpr size_t size() const { return End_ - Begin_; }
+    constexpr bool empty() const { return Begin_ == End_; }
+    constexpr const Term &front() const { return *Begin_; }
+    constexpr const Term &back() const { return End_[-1]; }
+    constexpr const Term &operator[](size_t I) const { return Begin_[I]; }
+
+  private:
+    const Term *Begin_ = nullptr;
+    const Term *End_ = nullptr;
+  };
+
   /// The zero expression.
   LinearExpr() = default;
+
+  LinearExpr(const LinearExpr &O) { copyFrom(O); }
+  LinearExpr(LinearExpr &&O) noexcept { moveFrom(O); }
+  LinearExpr &operator=(const LinearExpr &O) {
+    if (this != &O) {
+      releaseHeap();
+      copyFrom(O);
+    }
+    return *this;
+  }
+  LinearExpr &operator=(LinearExpr &&O) noexcept {
+    if (this != &O) {
+      releaseHeap();
+      moveFrom(O);
+    }
+    return *this;
+  }
+  ~LinearExpr() { releaseHeap(); }
 
   /// The constant expression \p C.
   static LinearExpr constant(int64_t C);
@@ -43,15 +95,18 @@ public:
   static LinearExpr poisoned();
 
   bool isPoisoned() const { return Poisoned; }
-  bool isConstant() const { return Terms.empty(); }
-  bool isZero() const { return !Poisoned && Terms.empty() && Constant == 0; }
+  bool isConstant() const { return Size == 0; }
+  bool isZero() const { return !Poisoned && Size == 0 && Constant == 0; }
   int64_t constantValue() const { return Constant; }
 
-  const std::vector<std::pair<VarId, int64_t>> &terms() const {
-    return Terms;
-  }
+  /// The sorted (VarId, coefficient) terms.
+  TermSpan terms() const { return TermSpan(data(), data() + Size); }
 
-  /// Coefficient of \p V (0 when absent).
+  /// Number of variable terms.
+  size_t termCount() const { return Size; }
+
+  /// Coefficient of \p V (0 when absent). Binary search over the sorted
+  /// terms.
   int64_t coeff(VarId V) const;
 
   bool references(VarId V) const { return coeff(V) != 0; }
@@ -78,7 +133,8 @@ public:
   /// poisoned expressions.
   friend bool operator==(const LinearExpr &A, const LinearExpr &B) {
     return A.Poisoned == B.Poisoned && A.Constant == B.Constant &&
-           A.Terms == B.Terms;
+           A.Size == B.Size &&
+           std::equal(A.data(), A.data() + A.Size, B.data());
   }
 
   /// Renders e.g. "4*%g3 - n + 1".
@@ -87,9 +143,32 @@ public:
   size_t hash() const;
 
 private:
+  /// Inline term slots; expressions wider than this spill to the heap.
+  static constexpr uint32_t InlineCapacity = 4;
+
+  const Term *data() const { return HeapTerms ? HeapTerms : InlineTerms; }
+  Term *data() { return HeapTerms ? HeapTerms : InlineTerms; }
+
+  void releaseHeap() {
+    delete[] HeapTerms;
+    HeapTerms = nullptr;
+    HeapCapacity = 0;
+  }
+  void copyFrom(const LinearExpr &O);
+  void moveFrom(LinearExpr &O) noexcept;
+  /// Grows storage to hold at least \p MinCapacity terms.
+  void grow(uint32_t MinCapacity);
+  /// Inserts \p T at sorted position \p Idx.
+  void insertAt(uint32_t Idx, Term T);
+  void eraseAt(uint32_t Idx);
+  /// Appends a term; caller maintains sorted order.
+  void appendTerm(VarId V, int64_t Coefficient);
   void addTerm(VarId V, int64_t Coefficient);
 
-  std::vector<std::pair<VarId, int64_t>> Terms;
+  Term InlineTerms[InlineCapacity];
+  Term *HeapTerms = nullptr; ///< Non-null once spilled past InlineCapacity.
+  uint32_t Size = 0;
+  uint32_t HeapCapacity = 0;
   int64_t Constant = 0;
   bool Poisoned = false;
 };

@@ -249,9 +249,11 @@ SatResult OmegaTest::solveInequalities(System Sys, unsigned Depth) {
           Reduced = Reduced + LinearExpr::variable(V).scaled(C / G);
         E = std::move(Reduced);
       }
-      auto It = Tightest.find(E.terms());
+      std::vector<std::pair<VarId, int64_t>> Key(E.terms().begin(),
+                                                 E.terms().end());
+      auto It = Tightest.find(Key);
       if (It == Tightest.end())
-        Tightest.emplace(E.terms(), E.constantValue());
+        Tightest.emplace(std::move(Key), E.constantValue());
       else
         It->second = std::min(It->second, E.constantValue());
     }

@@ -13,10 +13,17 @@ Prover::Options propagateGovernor(Prover::Options O) {
     O.Omega.Governor = O.Governor;
   return O;
 }
+
+TieredSolver::Options solverOptions(const Prover::Options &O) {
+  TieredSolver::Options S;
+  S.Omega = O.Omega;
+  S.EnableTiers = O.EnableTiers;
+  return S;
+}
 } // namespace
 
 Prover::Prover(Options Opts, std::shared_ptr<ProverCache> SharedCache)
-    : Opts(propagateGovernor(Opts)), Omega(this->Opts.Omega) {
+    : Opts(propagateGovernor(Opts)), Solver(solverOptions(this->Opts)) {
   if (SharedCache)
     Cache = std::move(SharedCache);
   else if (Opts.EnableCache) {
@@ -33,11 +40,13 @@ QueryBudget Prover::budget() const {
   B.DnfMaxAtoms = Opts.DnfMaxAtoms;
   B.OmegaMaxSteps = Opts.Omega.MaxSteps;
   B.OmegaMaxNdivModulus = Opts.Omega.MaxNdivModulus;
+  B.SolverTiers = Opts.EnableTiers ? 1 : 0;
   return B;
 }
 
 Prover::Stats Prover::stats() const {
   Stats S = Counters;
+  S.Tiers = Solver.tierStats();
   // A shared cache's evictions belong to the cache, not to this prover:
   // reporting them here would let a batch summary over N workers count
   // each eviction N times. The batch driver reads ProverCache::stats()
@@ -107,7 +116,7 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
     } else {
       bool SawUnknown = false;
       for (const std::vector<Constraint> &Disjunct : Dnf.Disjuncts) {
-        SatResult R = Omega.isSatisfiable(Disjunct);
+        SatResult R = Solver.isSatisfiable(Disjunct);
         if (R == SatResult::Sat) {
           Outcome.Result = SatResult::Sat;
           SawUnknown = false;

@@ -33,6 +33,7 @@
 #include "constraints/Formula.h"
 #include "constraints/Normalize.h"
 #include "constraints/OmegaTest.h"
+#include "constraints/PreSolve.h"
 #include "constraints/ProverCache.h"
 
 #include <cstdint>
@@ -67,6 +68,10 @@ public:
     /// workers only poll, so their scheduling cannot perturb the charge
     /// sequence.
     bool ChargeGovernorSteps = true;
+    /// Whether interval/difference-bound pre-solvers run in front of the
+    /// Omega test (see PreSolve.h). Part of the cache key: tiered and
+    /// untiered provers sharing one cache never exchange entries.
+    bool EnableTiers = true;
   };
 
   struct Stats {
@@ -81,6 +86,10 @@ public:
     /// Sat computations that ended Unknown because a resource budget ran
     /// out (DNF disjunct/atom limits, Omega step or modulus limits).
     uint64_t BudgetExhaustions = 0;
+    /// Per-tier disjunct outcomes, copied from TieredSolver::TierStats
+    /// (see PreSolve.h): how many disjunct queries each solving tier
+    /// answered (hits) or declined/failed (misses).
+    TieredSolver::TierStats Tiers;
   };
 
   Prover() : Prover(Options()) {}
@@ -102,10 +111,13 @@ public:
   }
 
   Stats stats() const;
-  const OmegaTest::Stats &omegaStats() const { return Omega.stats(); }
+  const OmegaTest::Stats &omegaStats() const { return Solver.omegaStats(); }
+  const TieredSolver::TierStats &tierStats() const {
+    return Solver.tierStats();
+  }
   void resetStats() {
     Counters = Stats();
-    Omega.resetStats();
+    Solver.resetStats();
   }
   /// Clears the attached cache (the shared one, if sharing).
   void clearCache() {
@@ -124,7 +136,7 @@ private:
   SatOutcome checkSatInternal(const FormulaRef &F);
 
   Options Opts;
-  OmegaTest Omega;
+  TieredSolver Solver;
   Stats Counters;
   std::shared_ptr<ProverCache> Cache;
   /// True when this prover created Cache itself (nobody else shares it).

@@ -30,11 +30,14 @@ size_t QueryBudget::hash() const {
   H = combine(H, DnfMaxAtoms);
   H = combine(H, OmegaMaxSteps);
   H = combine(H, static_cast<size_t>(OmegaMaxNdivModulus));
+  H = combine(H, SolverTiers);
   return H;
 }
 
 size_t ProverCache::keyFor(const FormulaRef &F, const QueryBudget &B) {
-  return combine(F->hash(), B.hash());
+  // Hash-consing makes the interner id a complete witness of formula
+  // structure, so the key derives from it directly; no tree walk.
+  return combine(mix(F->id()), B.hash());
 }
 
 ProverCache::ProverCache(const Config &C) {

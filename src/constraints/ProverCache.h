@@ -11,10 +11,12 @@
 /// table so that the parallel verification engine's per-worker provers
 /// can pool their results.
 ///
-/// Entries are keyed by structural formula hash, verified on collision
-/// with Formula::equal, and additionally carry the exact resource budgets
-/// the query ran under: an Unknown produced by budget exhaustion under a
-/// small budget must never answer a query run under a larger one.
+/// Entries are keyed by the formula's interned node id (hash-consing makes
+/// the id a complete witness of structure), verified on key collision with
+/// Formula::equal — an O(1) pointer compare — and additionally carry the
+/// exact resource budgets the query ran under: an Unknown produced by
+/// budget exhaustion under a small budget must never answer a query run
+/// under a larger one.
 ///
 /// Concurrency: the table is split into mutex-striped shards selected by
 /// key hash. Capacity is bounded with segmented-LRU ("generational")
@@ -58,12 +60,18 @@ struct QueryBudget {
   uint64_t DnfMaxAtoms = 0;
   uint64_t OmegaMaxSteps = 0;
   int64_t OmegaMaxNdivModulus = 0;
+  /// Solver configuration (1 = pre-solver tiers enabled, 0 = Omega only).
+  /// Tiers can answer queries the Omega budgets would give up on, so a
+  /// tiered result is not reproducible by an untiered prover — the
+  /// configurations must not exchange cache entries.
+  uint64_t SolverTiers = 0;
 
   friend bool operator==(const QueryBudget &A, const QueryBudget &B) {
     return A.DnfMaxDisjuncts == B.DnfMaxDisjuncts &&
            A.DnfMaxAtoms == B.DnfMaxAtoms &&
            A.OmegaMaxSteps == B.OmegaMaxSteps &&
-           A.OmegaMaxNdivModulus == B.OmegaMaxNdivModulus;
+           A.OmegaMaxNdivModulus == B.OmegaMaxNdivModulus &&
+           A.SolverTiers == B.SolverTiers;
   }
 
   size_t hash() const;

@@ -1,0 +1,68 @@
+//===- Arena.cpp ----------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <cassert>
+
+using namespace mcsafe;
+using namespace mcsafe::support;
+
+Arena::Arena(size_t ChunkBytes)
+    : ChunkBytes(ChunkBytes < 256 ? 256 : ChunkBytes) {}
+
+Arena::~Arena() {
+  Chunk *C = Head;
+  while (C) {
+    Chunk *Next = C->Next;
+    ::operator delete(static_cast<void *>(C));
+    C = Next;
+  }
+}
+
+void Arena::activate(Chunk *&Slot, size_t PayloadBytes) {
+  // Ensure *Slot exists and can serve PayloadBytes, inserting a fresh
+  // chunk in front of a retained-but-too-small one (which stays on the
+  // list for reuse after the next reset(); chunks are never freed
+  // mid-list, pointers into them may be live).
+  if (!Slot || Slot->Size < PayloadBytes) {
+    auto *Raw =
+        static_cast<char *>(::operator new(sizeof(Chunk) + PayloadBytes));
+    Chunk *Fresh = ::new (Raw) Chunk();
+    Fresh->Size = PayloadBytes;
+    Fresh->Next = Slot;
+    Slot = Fresh;
+    Reserved += PayloadBytes;
+  }
+  Current = Slot;
+  Ptr = reinterpret_cast<char *>(Current) + sizeof(Chunk);
+  End = Ptr + Current->Size;
+}
+
+void *Arena::allocate(size_t Bytes, size_t Align) {
+  assert(Align && (Align & (Align - 1)) == 0 && "alignment not a power of 2");
+  if (Bytes == 0)
+    Bytes = 1;
+  for (;;) {
+    if (Current) {
+      uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+      uintptr_t Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+      if (Aligned + Bytes <= reinterpret_cast<uintptr_t>(End)) {
+        Ptr = reinterpret_cast<char *>(Aligned + Bytes);
+        Allocated += Bytes;
+        return reinterpret_cast<void *>(Aligned);
+      }
+    }
+    // Move to the next chunk (retained from before a reset(), or fresh).
+    // Oversized requests get a dedicated chunk so one huge scratch table
+    // does not inflate the steady-state chunk size.
+    size_t Need = Bytes + Align;
+    activate(Current ? Current->Next : Head,
+             Need > ChunkBytes ? Need : ChunkBytes);
+  }
+}
+
+void Arena::reset() {
+  Current = nullptr;
+  Ptr = End = nullptr;
+  Allocated = 0;
+}

@@ -104,7 +104,7 @@ TEST(Wlp, CmpSetsIcc) {
   FormulaRef Post =
       Formula::atom(Constraint::ge((-Icc).plusConstant(-1)));
   FormulaRef Pre = S.Engine->transformNode(S.nodeAt(1), Post);
-  std::set<VarId> Free = Pre->freeVars();
+  const FreeVarSet &Free = Pre->freeVars();
   EXPECT_FALSE(Free.count(policy::iccVar()));
   EXPECT_TRUE(Free.count(regValueVar(0, Reg(3))));
   EXPECT_TRUE(Free.count(regValueVar(0, O1)));

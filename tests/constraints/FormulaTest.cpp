@@ -102,7 +102,7 @@ TEST(Formula, FreeVarsRespectBinding) {
   VarId Q = varId("bound_q");
   FormulaRef F = Formula::exists(
       Q, geAtom(LinearExpr::variable(Q) + x()));
-  std::set<VarId> Free = F->freeVars();
+  const FreeVarSet &Free = F->freeVars();
   EXPECT_TRUE(Free.count(varId("x")));
   EXPECT_FALSE(Free.count(Q));
 }

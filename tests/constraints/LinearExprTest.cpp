@@ -108,6 +108,71 @@ TEST(LinearExpr, Printing) {
   EXPECT_EQ((-LinearExpr::variable(varId("lp.n"))).str(), "-lp.n");
 }
 
+TEST(LinearExpr, CoeffBinarySearchEdges) {
+  // coeff() binary-searches the sorted term array; probe the positions
+  // that bite: absent id (below, between, above), first term, last term.
+  VarId Ids[6];
+  for (int I = 0; I < 6; ++I)
+    Ids[I] = varId("bs.v" + std::to_string(I));
+  // Use every other id so the gaps are probeable.
+  LinearExpr E = LinearExpr::variable(Ids[1]).scaled(11) +
+                 LinearExpr::variable(Ids[3]).scaled(33) +
+                 LinearExpr::variable(Ids[5]).scaled(55);
+  EXPECT_EQ(E.coeff(Ids[1]), 11); // First term.
+  EXPECT_EQ(E.coeff(Ids[3]), 33); // Middle term.
+  EXPECT_EQ(E.coeff(Ids[5]), 55); // Last term.
+  EXPECT_EQ(E.coeff(Ids[0]), 0);  // Below the first.
+  EXPECT_EQ(E.coeff(Ids[2]), 0);  // In a gap.
+  EXPECT_EQ(E.coeff(Ids[4]), 0);  // In the last gap.
+  EXPECT_EQ(LinearExpr::constant(7).coeff(Ids[0]), 0); // Empty term list.
+}
+
+TEST(LinearExpr, InlineStorageSpillsToHeap) {
+  // Grow past the 4-term inline buffer and verify nothing is lost.
+  std::vector<VarId> Ids;
+  for (int I = 0; I < 12; ++I)
+    Ids.push_back(varId("sso.v" + std::to_string(I)));
+  LinearExpr E;
+  for (int I = 0; I < 12; ++I)
+    E = E + LinearExpr::variable(Ids[size_t(I)]).scaled(I + 1);
+  EXPECT_EQ(E.termCount(), 12u);
+  for (int I = 0; I < 12; ++I)
+    EXPECT_EQ(E.coeff(Ids[size_t(I)]), I + 1);
+  // Terms stay sorted by VarId (the representation invariant).
+  auto Terms = E.terms();
+  for (size_t I = 1; I < Terms.size(); ++I)
+    EXPECT_LT(Terms[I - 1].first, Terms[I].first);
+}
+
+TEST(LinearExpr, CopyAndMoveAcrossSpillBoundary) {
+  std::vector<VarId> Ids;
+  for (int I = 0; I < 8; ++I)
+    Ids.push_back(varId("cm.v" + std::to_string(I)));
+  LinearExpr Small = LinearExpr::variable(Ids[0]).plusConstant(9);
+  LinearExpr Big;
+  for (int I = 0; I < 8; ++I)
+    Big = Big + LinearExpr::variable(Ids[size_t(I)]).scaled(I + 1);
+
+  LinearExpr CopyBig = Big;
+  EXPECT_TRUE(CopyBig == Big);
+  LinearExpr CopySmall = Small;
+  EXPECT_TRUE(CopySmall == Small);
+
+  // Cross-assign in both directions (heap -> inline, inline -> heap).
+  CopyBig = Small;
+  EXPECT_TRUE(CopyBig == Small);
+  CopySmall = Big;
+  EXPECT_TRUE(CopySmall == Big);
+
+  LinearExpr MovedBig = std::move(CopySmall);
+  EXPECT_TRUE(MovedBig == Big);
+  LinearExpr MovedSmall = std::move(CopyBig);
+  EXPECT_TRUE(MovedSmall == Small);
+  // Self-consistency after move-assign.
+  MovedBig = std::move(MovedSmall);
+  EXPECT_TRUE(MovedBig == Small);
+}
+
 TEST(LinearExpr, EqualityAndHash) {
   LinearExpr A = LinearExpr::variable(X()).scaled(2).plusConstant(1);
   LinearExpr B =

@@ -224,10 +224,8 @@ postloc ctr state=init
   ASSERT_TRUE(P.has_value()) << Error;
   ASSERT_EQ(P->PostConstraints.size(), 3u);
   // val:ctr resolves to the location-value variable.
-  std::set<VarId> Vars = P->PostConstraints[0]->freeVars();
-  EXPECT_TRUE(Vars.count(locValueVar("ctr")));
-  Vars = P->PostConstraints[2]->freeVars();
-  EXPECT_TRUE(Vars.count(locAddrVar("ctr")));
+  EXPECT_TRUE(P->PostConstraints[0]->freeVars().count(locValueVar("ctr")));
+  EXPECT_TRUE(P->PostConstraints[2]->freeVars().count(locAddrVar("ctr")));
   ASSERT_EQ(P->PostStates.size(), 1u);
   EXPECT_EQ(P->PostStates[0].first, "ctr");
   EXPECT_EQ(P->PostStates[0].second.K, StateSpec::Kind::Init);

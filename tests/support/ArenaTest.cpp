@@ -1,0 +1,84 @@
+//===- ArenaTest.cpp - Bump-pointer arena -------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+using mcsafe::support::Arena;
+
+namespace {
+
+TEST(Arena, AlignmentHonored) {
+  Arena A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+        << "align " << Align;
+  }
+}
+
+TEST(Arena, AllocationsAreDisjointAndWritable) {
+  Arena A(256); // Small chunks to force several.
+  std::vector<unsigned char *> Ps;
+  for (int I = 0; I < 100; ++I) {
+    auto *P = static_cast<unsigned char *>(A.allocate(40, 8));
+    std::memset(P, I, 40);
+    Ps.push_back(P);
+  }
+  for (int I = 0; I < 100; ++I)
+    for (int B = 0; B < 40; ++B)
+      ASSERT_EQ(Ps[I][B], static_cast<unsigned char>(I));
+}
+
+TEST(Arena, ResetRecyclesChunks) {
+  Arena A(1024);
+  for (int I = 0; I < 50; ++I)
+    A.allocate(100, 8);
+  size_t Reserved = A.bytesReserved();
+  EXPECT_GT(Reserved, 0u);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.bytesReserved(), Reserved); // Chunks retained.
+  // The same workload fits in the retained chunks: no new reservation.
+  for (int I = 0; I < 50; ++I)
+    A.allocate(100, 8);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena A(256);
+  auto *P = static_cast<unsigned char *>(A.allocate(10000, 8));
+  std::memset(P, 0xAB, 10000);
+  EXPECT_GE(A.bytesReserved(), 10000u);
+  // Small allocations still work afterwards.
+  void *Q = A.allocate(16, 8);
+  EXPECT_NE(Q, nullptr);
+}
+
+TEST(Arena, ByteAccounting) {
+  Arena A;
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  A.allocate(64, 8);
+  A.allocate(64, 8);
+  EXPECT_GE(A.bytesAllocated(), 128u);
+}
+
+TEST(Arena, CreateAndArray) {
+  Arena A;
+  struct Pair {
+    int X, Y;
+  };
+  Pair *P = A.create<Pair>(Pair{3, 4});
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+  int64_t *Arr = A.allocateArray<int64_t>(32);
+  for (int I = 0; I < 32; ++I)
+    Arr[I] = I * I;
+  EXPECT_EQ(Arr[31], 31 * 31);
+}
+
+} // namespace

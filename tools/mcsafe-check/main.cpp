@@ -86,6 +86,9 @@ void usage() {
       "                 queries (deterministic, unlike --deadline-ms)\n"
       "  --fail-soft    keep verifying the remaining obligations after a\n"
       "                 budget expires instead of stopping at the first\n"
+      "  --no-tiers     disable the interval/difference-bound pre-solver\n"
+      "                 tiers; every satisfiability query runs the full\n"
+      "                 Omega test (for differential testing and timing)\n"
       "  --fault-seed N enable the deterministic fault-injection plan\n"
       "                 with seed N (needs an MCSAFE_FAULT_INJECTION\n"
       "                 build; a no-op otherwise)\n"
@@ -110,6 +113,8 @@ struct Observability {
 struct GovernorConfig {
   support::GovernorLimits Limits;
   bool FailSoft = false;
+  /// --no-tiers: route every satisfiability query straight to Omega.
+  bool EnableTiers = true;
 };
 
 /// Reads a microsecond counter back out of the registry as seconds.
@@ -162,6 +167,7 @@ int runCheck(const std::string &Asm, const std::string &Policy,
   Opts.Metrics = &Obs.Registry;
   Opts.Limits = Gov.Limits;
   Opts.FailSoft = Gov.FailSoft;
+  Opts.ProverOpts.EnableTiers = Gov.EnableTiers;
   if (Lint == LintMode::Off) {
     Opts.Lint = false;
     Opts.PruneDeadRegs = false;
@@ -302,6 +308,16 @@ void printPhaseTable(const support::MetricsRegistry &Reg,
       [&](const auto &P) { return Num(P.Report.Chars.TrustedCalls); });
   Row("global conditions",
       [&](const auto &P) { return Num(P.Report.Chars.GlobalConditions); });
+  auto Cnt = [&](const ParallelCheckResult::Program &P, const char *Name) {
+    return Num(uint64_t(
+        Reg.value("program/" + P.Name + "/" + Name).value_or(0)));
+  };
+  Row("tier interval hits",
+      [&](const auto &P) { return Cnt(P, "prover/tier/interval/hits"); });
+  Row("tier dbm hits",
+      [&](const auto &P) { return Cnt(P, "prover/tier/dbm/hits"); });
+  Row("tier omega hits",
+      [&](const auto &P) { return Cnt(P, "prover/tier/omega/hits"); });
   Row("lint (s)", [&](const auto &P) { return Sec(P, "lint"); });
   Row("typestate (s)", [&](const auto &P) { return Sec(P, "typestate"); });
   Row("annotation+local (s)",
@@ -319,6 +335,7 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
   Opts.Metrics = &Obs.Registry;
   Opts.Check.Limits = Gov.Limits;
   Opts.Check.FailSoft = Gov.FailSoft;
+  Opts.Check.ProverOpts.EnableTiers = Gov.EnableTiers;
   if (Lint == LintMode::Off) {
     Opts.Check.Lint = false;
     Opts.Check.PruneDeadRegs = false;
@@ -456,6 +473,8 @@ int main(int argc, char **argv) {
         return 2;
     } else if (Arg == "--fail-soft") {
       Gov.FailSoft = true;
+    } else if (Arg == "--no-tiers") {
+      Gov.EnableTiers = false;
     } else if (isFlag("--fault-seed")) {
       uint64_t Seed = 0;
       if (!numericFlag("--fault-seed", UINT64_MAX, &Seed))
