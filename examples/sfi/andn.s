@@ -1,0 +1,5 @@
+  and %o1,2047,%o1   ! bound the offset to [0,2047]
+  andn %o1,7,%o1     ! clear the low three bits: 8-aligned
+  ld [%o0+%o1],%o2
+  retl
+  nop

@@ -1,0 +1,5 @@
+  and %o1,510,%o1    ! [0,510], 2-aligned
+  lduh [%o0+%o1],%o2
+  sth %o2,[%o0+%o1]
+  retl
+  nop

@@ -1,0 +1,12 @@
+  clr %o1            ! i = 0
+loop:
+  sll %o1,2,%o2      ! byte offset = 4*i
+  and %o2,1020,%o2   ! re-establish the sandbox mask
+  ld [%o0+%o2],%g1
+  st %g1,[%o0+%o2]
+  inc %o1
+  cmp %o1,%o3
+  bl loop
+  nop
+  retl
+  nop

@@ -1,0 +1,5 @@
+  and %o1,1020,%o1   ! mask the byte offset into [0,1020], 4-aligned
+  ld [%o0+%o1],%o2   ! sandboxed word load
+  st %o2,[%o0+%o1]   ! sandboxed word store
+  retl
+  nop

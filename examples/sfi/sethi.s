@@ -1,0 +1,6 @@
+  sethi %hi(8188),%g1
+  or %g1,1020,%g1    ! %g1 = 0x1ffc: the sandbox mask
+  and %o1,%g1,%o1
+  ld [%o0+%o1],%o2
+  retl
+  nop

@@ -1,0 +1,5 @@
+  and %o1,255,%o1    ! word index in [0,255]
+  sll %o1,2,%o1      ! scale to a 4-aligned byte offset
+  ld [%o0+%o1],%o2
+  retl
+  nop

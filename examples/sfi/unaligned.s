@@ -1,0 +1,5 @@
+  and %o1,1020,%o1   ! 4-aligned so far
+  add %o1,2,%o1      ! skews the offset: = 2 mod 4
+  ld [%o0+%o1],%o2
+  retl
+  nop

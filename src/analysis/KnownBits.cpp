@@ -1,0 +1,208 @@
+//===- KnownBits.cpp ------------------------------------------------------===//
+
+#include "analysis/KnownBits.h"
+
+#include <algorithm>
+
+using namespace mcsafe;
+using namespace mcsafe::analysis;
+
+KnownBits KnownBits::bitAnd(KnownBits A, KnownBits B) {
+  return {A.Zeros | B.Zeros, A.Ones & B.Ones};
+}
+
+KnownBits KnownBits::bitOr(KnownBits A, KnownBits B) {
+  return {A.Zeros & B.Zeros, A.Ones | B.Ones};
+}
+
+KnownBits KnownBits::bitXor(KnownBits A, KnownBits B) {
+  return {(A.Zeros & B.Zeros) | (A.Ones & B.Ones),
+          (A.Zeros & B.Ones) | (A.Ones & B.Zeros)};
+}
+
+KnownBits KnownBits::bitNot(KnownBits A) { return {A.Ones, A.Zeros}; }
+
+KnownBits KnownBits::bitAndNot(KnownBits A, KnownBits B) {
+  return bitAnd(A, bitNot(B));
+}
+
+KnownBits KnownBits::bitOrNot(KnownBits A, KnownBits B) {
+  return bitOr(A, bitNot(B));
+}
+
+KnownBits KnownBits::bitXnor(KnownBits A, KnownBits B) {
+  return bitNot(bitXor(A, B));
+}
+
+namespace {
+
+KnownBits shlByConst(KnownBits A, unsigned K) {
+  if (K == 0)
+    return A;
+  return {(A.Zeros << K) | ((1u << K) - 1u), A.Ones << K};
+}
+
+KnownBits lshrByConst(KnownBits A, unsigned K) {
+  if (K == 0)
+    return A;
+  // The vacated high bits are zero; ">> K" on Zeros would claim them
+  // unknown, so add them back explicitly.
+  uint32_t HighMask = ~(0xFFFFFFFFu >> K);
+  return {(A.Zeros >> K) | HighMask, A.Ones >> K};
+}
+
+KnownBits ashrByConst(KnownBits A, unsigned K) {
+  if (K == 0)
+    return A;
+  uint32_t HighMask = ~(0xFFFFFFFFu >> K);
+  KnownBits R{A.Zeros >> K, A.Ones >> K};
+  if ((A.Zeros >> 31) & 1u)
+    R.Zeros |= HighMask; // Sign bit known zero: behaves like lshr.
+  else if ((A.Ones >> 31) & 1u)
+    R.Ones |= HighMask; // Sign bit known one: ones shift in.
+  return R;
+}
+
+/// Applies \p Op for every shift distance compatible with \p Count's low
+/// five bits (the only ones SPARC consumes) and meets the results. At
+/// most 32 iterations; a fully-known count visits exactly one.
+template <typename Fn> KnownBits forEachCount(KnownBits Count, Fn Op) {
+  bool Any = false;
+  KnownBits Result;
+  for (unsigned K = 0; K < 32; ++K) {
+    if ((K & (Count.Zeros & 31u)) != 0 || (~K & (Count.Ones & 31u)) != 0)
+      continue; // Distance K contradicts a known bit of the count.
+    KnownBits R = Op(K);
+    Result = Any ? KnownBits::meet(Result, R) : R;
+    Any = true;
+  }
+  return Any ? Result : KnownBits::top();
+}
+
+} // namespace
+
+KnownBits KnownBits::shl(KnownBits A, KnownBits Count) {
+  return forEachCount(Count, [&](unsigned K) { return shlByConst(A, K); });
+}
+
+KnownBits KnownBits::lshr(KnownBits A, KnownBits Count) {
+  return forEachCount(Count, [&](unsigned K) { return lshrByConst(A, K); });
+}
+
+KnownBits KnownBits::ashr(KnownBits A, KnownBits Count) {
+  return forEachCount(Count, [&](unsigned K) { return ashrByConst(A, K); });
+}
+
+namespace {
+
+/// Carry-aware addition of two known-bits facts with a known or unknown
+/// carry-in: computes, per bit, whether the carry into it is determined,
+/// and keeps exactly the output bits whose operands and carry are all
+/// known. Wrapping uint32 arithmetic throughout.
+KnownBits addCarry(KnownBits A, KnownBits B, bool CarryZero,
+                   bool CarryOne) {
+  uint32_t PossibleSumZero = ~A.Zeros + ~B.Zeros + (CarryZero ? 0u : 1u);
+  uint32_t PossibleSumOne = A.Ones + B.Ones + (CarryOne ? 1u : 0u);
+  uint32_t CarryKnownZero = ~(PossibleSumZero ^ A.Zeros ^ B.Zeros);
+  uint32_t CarryKnownOne = PossibleSumOne ^ A.Ones ^ B.Ones;
+  uint32_t Known = (A.Zeros | A.Ones) & (B.Zeros | B.Ones) &
+                   (CarryKnownZero | CarryKnownOne);
+  return {~PossibleSumZero & Known, PossibleSumOne & Known};
+}
+
+} // namespace
+
+KnownBits KnownBits::add(KnownBits A, KnownBits B) {
+  return addCarry(A, B, /*CarryZero=*/true, /*CarryOne=*/false);
+}
+
+KnownBits KnownBits::sub(KnownBits A, KnownBits B) {
+  // a - b = a + ~b + 1.
+  return addCarry(A, bitNot(B), /*CarryZero=*/false, /*CarryOne=*/true);
+}
+
+BitsRange analysis::crossRefine(KnownBits Bits, std::optional<int64_t> Lo,
+                                std::optional<int64_t> Hi, bool Exact32) {
+  BitsRange R{Bits, Lo, Hi, false};
+  auto Contradict = [&R] {
+    // Encode the empty value set as an empty interval; the propagation
+    // keeps such intervals as unreachability witnesses.
+    R.Lo = 0;
+    R.Hi = -1;
+    R.Contradiction = true;
+    return R;
+  };
+  if ((Bits.Zeros & Bits.Ones) != 0)
+    return Contradict();
+  if (R.Lo && R.Hi && *R.Lo > *R.Hi)
+    return R; // Already empty: nothing further to learn.
+
+  // Iterate to a fixpoint: newly-learned bits can shrink the interval
+  // and vice versa. Each round either learns a bit (at most 32 rounds)
+  // or changes nothing, so this terminates quickly.
+  for (bool Changed = true; Changed;) {
+    BitsRange Prev = R;
+
+    // Pattern == value only when the value provably lies in
+    // [0, 2^31 - 1] — either the interval says so, or the producer
+    // guaranteed the value is the signed reading of its pattern and the
+    // sign bit is known zero.
+    bool NonNegPattern =
+        (R.Lo && R.Hi && *R.Lo >= 0 && *R.Hi <= INT32_MAX) ||
+        (Exact32 && ((R.Bits.Zeros >> 31) & 1u));
+    if (Exact32 && !NonNegPattern && ((R.Bits.Ones >> 31) & 1u)) {
+      // Known-negative signed-32 value: min / max from the pattern bits.
+      int64_t PatLo = static_cast<int32_t>(R.Bits.Ones);
+      int64_t PatHi = static_cast<int32_t>(~R.Bits.Zeros);
+      R.Lo = R.Lo ? std::max(*R.Lo, PatLo) : PatLo;
+      R.Hi = R.Hi ? std::min(*R.Hi, PatHi) : PatHi;
+      if (*R.Lo > *R.Hi)
+        return Contradict();
+      return R;
+    }
+    if (!NonNegPattern)
+      return R;
+
+    // --- Bits tighten bounds: unsigned min / max of compatible patterns.
+    int64_t PatLo = static_cast<int64_t>(R.Bits.Ones);
+    int64_t PatHi = static_cast<int64_t>(~R.Bits.Zeros & 0x7FFFFFFFu);
+    R.Lo = R.Lo ? std::max(*R.Lo, PatLo) : PatLo;
+    R.Hi = R.Hi ? std::min(*R.Hi, PatHi) : PatHi;
+    // Round the bounds onto the known congruence class mod 2^k.
+    unsigned K = R.Bits.lowKnown();
+    if (K >= 1 && K < 31) {
+      int64_t Mod = int64_t(1) << K;
+      int64_t Res = R.Bits.residue();
+      int64_t LoOff = (Res - *R.Lo) % Mod;
+      *R.Lo += LoOff < 0 ? LoOff + Mod : LoOff;
+      int64_t HiOff = (*R.Hi - Res) % Mod;
+      *R.Hi -= HiOff < 0 ? HiOff + Mod : HiOff;
+    }
+    if (*R.Lo > *R.Hi)
+      return Contradict();
+
+    // --- Bounds tighten bits: the leading bits Lo and Hi share are
+    // known.
+    uint32_t L = static_cast<uint32_t>(*R.Lo);
+    uint32_t H = static_cast<uint32_t>(*R.Hi);
+    uint32_t Diff = L ^ H;
+    uint32_t KnownMask;
+    if (Diff == 0) {
+      KnownMask = 0xFFFFFFFFu;
+    } else {
+      unsigned Width = 32;
+      while (!((Diff >> (Width - 1)) & 1u))
+        --Width; // Width of the differing suffix.
+      KnownMask = 0xFFFFFFFFu << Width;
+    }
+    KnownBits FromBounds{KnownMask & ~L, KnownMask & L};
+    std::optional<KnownBits> Unified =
+        KnownBits::unify(R.Bits, FromBounds);
+    if (!Unified)
+      return Contradict();
+    R.Bits = *Unified;
+
+    Changed = R.Bits != Prev.Bits || R.Lo != Prev.Lo || R.Hi != Prev.Hi;
+  }
+  return R;
+}

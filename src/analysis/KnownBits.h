@@ -1,0 +1,192 @@
+//===- KnownBits.h - Bitwise known-bits abstract domain ---------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The known-bits abstract domain over 32-bit values: for every bit
+/// position, "known zero", "known one", or unknown. An element abstracts
+/// the value's 32-bit machine pattern, i.e. the mathematical value the
+/// typestate phase tracks, taken modulo 2^32 — so the transfer functions
+/// use wrapping arithmetic and match the SPARC interpreter exactly, and
+/// the trailing-known-bits fact translates into a sound divisibility
+/// atom 2^k | (x - r) over the checker's mathematical integers (2^k
+/// divides 2^32 for every k we emit).
+///
+/// The lattice core (meet, constants, containment) is header-only so the
+/// typestate layer can embed a KnownBits in its State without linking
+/// the analysis library; the transfer functions and the bits<->bounds
+/// cross-refinement live in KnownBits.cpp, used by the checker and lint
+/// passes (see DESIGN.md section 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_ANALYSIS_KNOWNBITS_H
+#define MCSAFE_ANALYSIS_KNOWNBITS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mcsafe {
+namespace analysis {
+
+/// A known-bits fact: bit i of the abstracted pattern is 0 whenever
+/// Zeros has bit i set, 1 whenever Ones has bit i set. Zeros & Ones == 0
+/// is an invariant; top (nothing known) is {0, 0}.
+struct KnownBits {
+  uint32_t Zeros = 0;
+  uint32_t Ones = 0;
+
+  static KnownBits top() { return {}; }
+  static KnownBits fromConstant(uint32_t V) { return {~V, V}; }
+
+  bool isTop() const { return Zeros == 0 && Ones == 0; }
+  /// Every bit known: the abstracted pattern is a single constant.
+  bool isConstant() const { return (Zeros | Ones) == 0xFFFFFFFFu; }
+  std::optional<uint32_t> constant() const {
+    if (isConstant())
+      return Ones;
+    return std::nullopt;
+  }
+
+  /// Concretization membership: pattern \p V is compatible with the fact.
+  bool contains(uint32_t V) const {
+    return (V & Zeros) == 0 && (~V & Ones) == 0;
+  }
+
+  /// True when this fact is at least as precise as \p Other (knows every
+  /// bit Other knows, with the same value): gamma(this) subset of
+  /// gamma(other).
+  bool refines(const KnownBits &Other) const {
+    return (Zeros & Other.Zeros) == Other.Zeros &&
+           (Ones & Other.Ones) == Other.Ones;
+  }
+
+  /// Lattice meet (abstraction of value-set union): keep only the bits
+  /// both sides agree on.
+  static KnownBits meet(KnownBits A, KnownBits B) {
+    return {A.Zeros & B.Zeros, A.Ones & B.Ones};
+  }
+
+  /// Combines two sound facts about the *same* value (value-set
+  /// intersection). Returns nullopt when they contradict each other
+  /// (some bit known 0 by one and 1 by the other): the value set is
+  /// empty, i.e. the program point is unreachable under the current
+  /// facts.
+  static std::optional<KnownBits> unify(KnownBits A, KnownBits B) {
+    KnownBits R{A.Zeros | B.Zeros, A.Ones | B.Ones};
+    if ((R.Zeros & R.Ones) != 0)
+      return std::nullopt;
+    return R;
+  }
+
+  /// Number of contiguous known low bits (zero or one), i.e. the largest
+  /// k such that the pattern's residue modulo 2^k is known exactly.
+  unsigned lowKnown() const {
+    uint32_t Known = Zeros | Ones;
+    unsigned K = 0;
+    while (K < 32 && (Known >> K) & 1u)
+      ++K;
+    return K;
+  }
+  /// The known residue modulo 2^lowKnown().
+  uint32_t residue() const {
+    unsigned K = lowKnown();
+    return K >= 32 ? Ones : (Ones & ((1u << K) - 1u));
+  }
+  /// log2 of the value's known alignment: number of trailing known-zero
+  /// bits (0 when bit 0 is unknown or known one).
+  unsigned alignLog2() const {
+    unsigned K = 0;
+    while (K < 32 && (Zeros >> K) & 1u)
+      ++K;
+    return K;
+  }
+
+  friend bool operator==(const KnownBits &A, const KnownBits &B) {
+    return A.Zeros == B.Zeros && A.Ones == B.Ones;
+  }
+  friend bool operator!=(const KnownBits &A, const KnownBits &B) {
+    return !(A == B);
+  }
+
+  /// Debug rendering: the pattern msb-to-lsb with '?' for unknown bits,
+  /// leading known zeros trimmed ("0b??100"); "top" when nothing is
+  /// known.
+  std::string str() const {
+    if (isTop())
+      return "top";
+    int Hi = 31;
+    while (Hi > 0 && (Zeros >> Hi) & 1u)
+      --Hi;
+    std::string S = "0b";
+    for (int I = Hi; I >= 0; --I) {
+      if ((Ones >> I) & 1u)
+        S += '1';
+      else if ((Zeros >> I) & 1u)
+        S += '0';
+      else
+        S += '?';
+    }
+    return S;
+  }
+
+  // --- Transfer functions (KnownBits.cpp). -------------------------------
+  //
+  // Each returns a sound fact for the SPARC operation applied to any
+  // concrete patterns compatible with the inputs; shift counts follow
+  // sparc::shiftCount (only the low five bits matter), and add/sub use
+  // carry-aware wrapping propagation.
+
+  static KnownBits bitAnd(KnownBits A, KnownBits B);
+  static KnownBits bitOr(KnownBits A, KnownBits B);
+  static KnownBits bitXor(KnownBits A, KnownBits B);
+  static KnownBits bitNot(KnownBits A);
+  static KnownBits bitAndNot(KnownBits A, KnownBits B); ///< a & ~b (andn).
+  static KnownBits bitOrNot(KnownBits A, KnownBits B);  ///< a | ~b (orn).
+  static KnownBits bitXnor(KnownBits A, KnownBits B);   ///< ~(a ^ b).
+  /// Shifts; \p Count abstracts the count operand (of which only the low
+  /// five bits are consumed — partially-known counts enumerate the
+  /// compatible distances and meet the results).
+  static KnownBits shl(KnownBits A, KnownBits Count);
+  static KnownBits lshr(KnownBits A, KnownBits Count);
+  static KnownBits ashr(KnownBits A, KnownBits Count);
+  static KnownBits add(KnownBits A, KnownBits B);
+  static KnownBits sub(KnownBits A, KnownBits B);
+};
+
+/// Result of cross-refining a known-bits fact against interval bounds
+/// describing the same value.
+struct BitsRange {
+  KnownBits Bits;
+  std::optional<int64_t> Lo, Hi;
+  /// The two facts contradict each other: the value set is empty. The
+  /// caller encodes this as an empty interval so downstream phases treat
+  /// the point as unreachable.
+  bool Contradiction = false;
+};
+
+/// Cross-refinement in both directions (DESIGN.md section 10):
+///  - bounds tighten bits: when [Lo, Hi] lies within [0, 2^31 - 1] the
+///    pattern equals the value, so the shared leading bits of Lo and Hi
+///    are known;
+///  - bits tighten bounds: the pattern's known bits give unsigned min /
+///    max, and the known low residue rounds Lo up / Hi down onto the
+///    congruence class.
+/// \p Exact32 asserts the value is the signed-32-bit reading of its
+/// pattern (true for results of bitwise ops and shifts, whose outputs
+/// can never leave int32 range) — then bounds may also be derived from a
+/// known sign bit alone. Without it, refinement only fires when the
+/// existing interval already confines the value to [0, 2^31 - 1];
+/// arithmetic results tracked as mathematical integers may lie outside
+/// 32-bit range, where pattern and value disagree.
+BitsRange crossRefine(KnownBits Bits, std::optional<int64_t> Lo,
+                      std::optional<int64_t> Hi, bool Exact32 = false);
+
+} // namespace analysis
+} // namespace mcsafe
+
+#endif // MCSAFE_ANALYSIS_KNOWNBITS_H

@@ -2,8 +2,11 @@
 
 #include "analysis/Lint.h"
 
+#include "analysis/KnownBits.h"
 #include "analysis/StackDelta.h"
 #include "sparc/Instruction.h"
+
+#include <map>
 
 using namespace mcsafe;
 using namespace mcsafe::analysis;
@@ -47,6 +50,170 @@ bool isValueWrite(Opcode Op) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Misaligned-access rule: known-bits over single-predecessor chains
+//===----------------------------------------------------------------------===//
+
+/// Register -> known bits, keyed like AbstractStore's register keys:
+/// (window depth << 8) | register number, globals shared at depth 0.
+using BitsMap = std::map<int64_t, KnownBits>;
+
+int64_t bitsKey(int32_t Depth, Reg R) {
+  if (R.isGlobal())
+    Depth = 0;
+  return (static_cast<int64_t>(Depth) << 8) | R.number();
+}
+
+KnownBits lookupBits(const BitsMap &M, int32_t Depth, Reg R) {
+  if (R.isZero())
+    return KnownBits::fromConstant(0);
+  auto It = M.find(bitsKey(Depth, R));
+  return It == M.end() ? KnownBits::top() : It->second;
+}
+
+/// Known bits of the addresses a pointer state may hold: each target's
+/// location alignment pins the low bits (address = base + offset with
+/// base == 0 mod Align), met across targets and null.
+KnownBits pointerBits(const typestate::State &S,
+                      const typestate::LocationTable &Locs) {
+  KnownBits KB;
+  bool First = true;
+  auto Accumulate = [&](KnownBits B) {
+    KB = First ? B : KnownBits::meet(KB, B);
+    First = false;
+  };
+  if (S.mayBeNull())
+    Accumulate(KnownBits::fromConstant(0));
+  for (const typestate::PtrTarget &T : S.targets()) {
+    uint32_t Align = Locs.loc(T.Loc).Align;
+    KnownBits B = KnownBits::top();
+    if (Align > 1 && (Align & (Align - 1)) == 0) {
+      uint32_t LowMask = Align - 1;
+      uint32_t Off = static_cast<uint32_t>(T.Offset);
+      B.Zeros = ~Off & LowMask;
+      B.Ones = Off & LowMask;
+    }
+    Accumulate(B);
+  }
+  return First ? KnownBits::top() : KB;
+}
+
+/// Seeds the entry node's register bits from the initial abstract store:
+/// known constants directly, pointer registers from location alignment.
+BitsMap seedFromEntryStore(const typestate::AbstractStore &EntryStore,
+                           const typestate::LocationTable *Locs) {
+  BitsMap Seed;
+  EntryStore.forEachReg([&](int32_t Depth, Reg R,
+                            const typestate::Typestate &Ts) {
+    KnownBits B = KnownBits::top();
+    if (Ts.S.isInit())
+      B = Ts.S.bits();
+    else if (Ts.S.isPointsTo() && Locs)
+      B = pointerBits(Ts.S, *Locs);
+    if (!B.isTop())
+      Seed[bitsKey(Depth, R)] = B;
+  });
+  return Seed;
+}
+
+/// One instruction's known-bits transfer, plus the misaligned-access
+/// check. Returns the diagnostic message for a provably misaligned
+/// access, if any.
+std::optional<std::string> stepBits(BitsMap &M, const Instruction &Inst,
+                                    int32_t Depth) {
+  auto Operand2 = [&] {
+    return Inst.UsesImm
+               ? KnownBits::fromConstant(static_cast<uint32_t>(Inst.Imm))
+               : lookupBits(M, Depth, Inst.Rs2);
+  };
+  auto SetRd = [&](KnownBits B) {
+    if (Inst.Rd.isZero())
+      return;
+    if (B.isTop())
+      M.erase(bitsKey(Depth, Inst.Rd));
+    else
+      M[bitsKey(Depth, Inst.Rd)] = B;
+  };
+
+  if (isLoad(Inst.Op) || isStore(Inst.Op)) {
+    KnownBits Addr =
+        KnownBits::add(lookupBits(M, Depth, Inst.Rs1), Operand2());
+    unsigned Size = memAccessSize(Inst.Op);
+    unsigned SizeLog2 = Size == 4 ? 2 : Size == 2 ? 1 : 0;
+    std::optional<std::string> Finding;
+    if (SizeLog2 > 0 && Addr.lowKnown() >= SizeLog2 &&
+        (Addr.residue() & (Size - 1)) != 0)
+      Finding = "lint: '" + Inst.str() +
+                "' accesses a provably misaligned address (address = " +
+                std::to_string(Addr.residue() & (Size - 1)) + " mod " +
+                std::to_string(Size) + ")";
+    if (isLoad(Inst.Op))
+      SetRd(KnownBits::top());
+    return Finding;
+  }
+
+  switch (Inst.Op) {
+  case Opcode::ADD:
+  case Opcode::ADDCC:
+    SetRd(KnownBits::add(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::SUB:
+  case Opcode::SUBCC:
+    SetRd(KnownBits::sub(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::AND:
+  case Opcode::ANDCC:
+    SetRd(KnownBits::bitAnd(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::ANDN:
+    SetRd(KnownBits::bitAndNot(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::OR:
+  case Opcode::ORCC:
+    SetRd(KnownBits::bitOr(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::ORN:
+    SetRd(KnownBits::bitOrNot(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::XOR:
+  case Opcode::XORCC:
+    SetRd(KnownBits::bitXor(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::XNOR:
+    SetRd(KnownBits::bitXnor(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::SLL:
+    SetRd(KnownBits::shl(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::SRL:
+    SetRd(KnownBits::lshr(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::SRA:
+    SetRd(KnownBits::ashr(lookupBits(M, Depth, Inst.Rs1), Operand2()));
+    break;
+  case Opcode::SETHI:
+    SetRd(KnownBits::fromConstant(static_cast<uint32_t>(Inst.Imm) << 10));
+    break;
+  case Opcode::UMUL:
+  case Opcode::SMUL:
+  case Opcode::UDIV:
+  case Opcode::SDIV:
+    SetRd(KnownBits::top());
+    break;
+  case Opcode::CALL:
+  case Opcode::JMPL:
+  case Opcode::SAVE:
+  case Opcode::RESTORE:
+    // Window shifts and transfers invalidate the whole chain state (the
+    // depth-keyed map does not model the save/restore renaming).
+    M.clear();
+    break;
+  default:
+    break; // Branches write no register.
+  }
+  return std::nullopt;
+}
+
 std::string describeUse(const cfg::Cfg &G, const UninitUseFinding &F) {
   const CfgNode &Node = G.node(F.Node);
   std::string What;
@@ -68,7 +235,9 @@ std::string describeUse(const cfg::Cfg &G, const UninitUseFinding &F) {
 
 LintResult analysis::runLint(const cfg::Cfg &G, const policy::Policy &Pol,
                              const typestate::AbstractStore &EntryStore,
-                             DiagnosticEngine &Diags) {
+                             DiagnosticEngine &Diags,
+                             const typestate::LocationTable *Locs,
+                             bool CheckAlignment) {
   LintResult R(G);
 
   R.Live = computeLiveness(G, Pol);
@@ -91,6 +260,39 @@ LintResult analysis::runLint(const cfg::Cfg &G, const policy::Policy &Pol,
   R.Stats.UninitUses = static_cast<uint32_t>(Uninit.Findings.size());
   // Only a converged must-analysis justifies skipping the full pipeline.
   R.Rejected = Uninit.Converged && !Uninit.Findings.empty();
+
+  // Misaligned-access rule: propagate known bits along single-predecessor
+  // chains (a must-analysis: every fact holds on all executions reaching
+  // the node, because merge points and back edges reset to top). An
+  // access whose low address bits are fully known and nonzero modulo the
+  // access size faults on every execution that reaches it.
+  if (CheckAlignment) {
+    const BitsMap Seed = seedFromEntryStore(EntryStore, Locs);
+    std::vector<std::optional<BitsMap>> Out(G.size());
+    for (NodeId Id : G.reversePostOrder()) {
+      const CfgNode &Node = G.node(Id);
+      ++R.Stats.NodeVisits;
+      BitsMap M;
+      if (Id == G.entry())
+        M = Seed;
+      else if (Node.Preds.size() == 1 && Out[Node.Preds.front()])
+        M = *Out[Node.Preds.front()];
+      if (Node.Kind == NodeKind::Normal && Node.InstIndex != UINT32_MAX) {
+        if (std::optional<std::string> Finding =
+                stepBits(M, G.module().Insts[Node.InstIndex],
+                         Node.WindowDepth)) {
+          Diags.report(DiagSeverity::Violation, SafetyKind::Alignment,
+                       *Finding, Node.InstIndex,
+                       G.module().Insts[Node.InstIndex].SourceLine);
+          ++R.Stats.MisalignedAccesses;
+        }
+      } else {
+        M.clear(); // Synthetic node: unknown effects.
+      }
+      Out[Id] = std::move(M);
+    }
+    R.Rejected = R.Rejected || R.Stats.MisalignedAccesses > 0;
+  }
 
   StackDeltaResult Stack = computeStackDeltas(G, Pol);
   R.Stats.NodeVisits += Stack.NodeVisits;

@@ -15,7 +15,12 @@
 ///  - liveness is handed to propagation so it can drop abstract-store
 ///    entries for dead registers;
 ///  - the stack-delta tracker and dead-write counts feed the report's
-///    program characteristics.
+///    program characteristics;
+///  - a known-bits scan over single-predecessor chains fast-rejects
+///    memory accesses whose address is provably misaligned (the low
+///    bits of the address are fully known and nonzero modulo the access
+///    size) — the cheap must-analysis face of the known-bits domain the
+///    typestate phase tracks in full.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +40,9 @@ struct LintStats {
   uint32_t UninitUses = 0;
   /// Register writes whose value no path can read again.
   uint32_t DeadRegWrites = 0;
+  /// Memory accesses whose address is provably misaligned (each one
+  /// also produced a violation diagnostic).
+  uint32_t MisalignedAccesses = 0;
   /// Deepest constant downward %sp excursion, in bytes.
   int64_t MaxStackDelta = 0;
   /// Every reachable %sp delta is a compile-time constant.
@@ -55,10 +63,15 @@ struct LintResult {
 };
 
 /// Runs all lint analyses over \p G, emitting a Violation diagnostic
-/// per definite uninitialized use.
+/// per definite uninitialized use and per provably misaligned access.
+/// \p Locs (when given) seeds pointer-register alignment from location
+/// declarations; \p CheckAlignment gates the misaligned-access rule
+/// (off under --no-knownbits so lint and pipeline verdicts agree).
 LintResult runLint(const cfg::Cfg &G, const policy::Policy &Pol,
                    const typestate::AbstractStore &EntryStore,
-                   DiagnosticEngine &Diags);
+                   DiagnosticEngine &Diags,
+                   const typestate::LocationTable *Locs = nullptr,
+                   bool CheckAlignment = true);
 
 } // namespace analysis
 } // namespace mcsafe

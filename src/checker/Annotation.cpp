@@ -136,6 +136,17 @@ FormulaRef Annotator::buildAssertions(NodeId Id,
       if (Ts.S.upper())
         Facts.push_back(Formula::atom(
             Constraint::ge((-Var).plusConstant(*Ts.S.upper()))));
+      // Known trailing bits become a congruence: x == r (mod 2^k). Sound
+      // for the mathematical value because the tracked pattern is the
+      // value mod 2^32 and 2^k | 2^32 (see analysis/KnownBits.h).
+      if (Ctx.KnownBits) {
+        unsigned K = Ts.S.bits().lowKnown();
+        if (K >= 1 && K <= 30)
+          Facts.push_back(Formula::atom(Constraint::divides(
+              int64_t(1) << K,
+              Var.plusConstant(
+                  -static_cast<int64_t>(Ts.S.bits().residue())))));
+      }
       return;
     }
     if (!Ts.S.isPointsTo())

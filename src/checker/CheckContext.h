@@ -73,6 +73,11 @@ struct CheckContext {
   /// at loop heads and degrade to partial results when a budget trips.
   support::ResourceGovernor *Governor = nullptr;
 
+  /// Track the known-bits domain through propagation and emit its
+  /// divisibility atoms during annotation (SafetyChecker::Options's
+  /// KnownBits toggle, --no-knownbits in the driver).
+  bool KnownBits = true;
+
   /// Structured failures accumulated by the phases (owned by the
   /// CheckReport; null only in unit tests driving a phase directly).
   std::vector<CheckFailure> *Failures = nullptr;

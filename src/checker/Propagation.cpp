@@ -2,6 +2,7 @@
 
 #include "checker/Propagation.h"
 
+#include "analysis/KnownBits.h"
 #include "support/CheckedInt.h"
 #include "support/Governor.h"
 
@@ -13,6 +14,7 @@ using namespace mcsafe;
 using namespace mcsafe::checker;
 using namespace mcsafe::typestate;
 using namespace mcsafe::sparc;
+using mcsafe::analysis::KnownBits;
 using mcsafe::cfg::CfgEdge;
 using mcsafe::cfg::CfgNode;
 using mcsafe::cfg::EdgeKind;
@@ -59,6 +61,29 @@ Typestate initScalarRange(std::optional<int64_t> Lo,
   Typestate Ts;
   Ts.Type = TypeFactory::int32();
   Ts.S = State::initRange(Lo, Hi);
+  Ts.A = Access::o();
+  return Ts;
+}
+
+/// Known bits of an operand's state (top unless an Init scalar).
+KnownBits stateBits(const State &S) {
+  return S.isInit() ? S.bits() : KnownBits::top();
+}
+
+/// An initialized int32 scalar carrying \p KB cross-refined against the
+/// interval; falls back to the plain interval when the known-bits domain
+/// is toggled off. \p Exact32 marks producers whose result is the signed
+/// reading of its 32-bit pattern (bitwise ops, shifts).
+Typestate initScalarBits(const CheckContext &Ctx, KnownBits KB,
+                         std::optional<int64_t> Lo = std::nullopt,
+                         std::optional<int64_t> Hi = std::nullopt,
+                         bool Exact32 = false) {
+  if (!Ctx.KnownBits)
+    return initScalarRange(Lo, Hi);
+  analysis::BitsRange R = analysis::crossRefine(KB, Lo, Hi, Exact32);
+  Typestate Ts;
+  Ts.Type = TypeFactory::int32();
+  Ts.S = State::initBits(R.Bits, R.Lo, R.Hi, Exact32);
   Ts.A = Access::o();
   return Ts;
 }
@@ -125,7 +150,8 @@ AddResult evalAdd(const CheckContext &Ctx, const Typestate &A,
       R.Ts = uninitTypestate();
       return;
     }
-    // Interval arithmetic: (x+y) or (x-y).
+    // Interval arithmetic: (x+y) or (x-y), with carry-aware known-bits
+    // propagation alongside.
     std::optional<int64_t> Lo, Hi;
     if (IsSub) {
       Lo = boundSub(X.S.lower(), Y.S.upper());
@@ -134,7 +160,9 @@ AddResult evalAdd(const CheckContext &Ctx, const Typestate &A,
       Lo = boundAdd(X.S.lower(), Y.S.lower());
       Hi = boundAdd(X.S.upper(), Y.S.upper());
     }
-    R.Ts = initScalarRange(Lo, Hi);
+    KnownBits KB = IsSub ? KnownBits::sub(stateBits(X.S), stateBits(Y.S))
+                         : KnownBits::add(stateBits(X.S), stateBits(Y.S));
+    R.Ts = initScalarBits(Ctx, KB, Lo, Hi);
   };
 
   auto PointerPlus = [&](const Typestate &Ptr, const Typestate &Idx) {
@@ -450,7 +478,9 @@ AbstractStore checker::transfer(const CheckContext &Ctx, NodeId Id,
     } else if (A.S.constant() && B.S.constant()) {
       Result = initScalar(*A.S.constant() | *B.S.constant());
     } else if (A.S.isInitialized() && B.S.isInitialized()) {
-      Result = initScalar();
+      Result = initScalarBits(
+          Ctx, KnownBits::bitOr(stateBits(A.S), stateBits(B.S)),
+          std::nullopt, std::nullopt, /*Exact32=*/true);
     } else {
       Result = uninitTypestate();
     }
@@ -503,16 +533,41 @@ AbstractStore checker::transfer(const CheckContext &Ctx, NodeId Id,
       Out.setReg(Depth, Inst.Rd, uninitTypestate());
     } else if (Folded) {
       Out.setReg(Depth, Inst.Rd, initScalar(Folded));
-    } else if ((Inst.Op == Opcode::AND || Inst.Op == Opcode::ANDCC) &&
-               ((B.S.constant() && *B.S.constant() >= 0) ||
-                (A.S.constant() && *A.S.constant() >= 0))) {
-      // x & m with m >= 0 lies in [0, m].
-      int64_t Mask = B.S.constant() && *B.S.constant() >= 0
-                         ? *B.S.constant()
-                         : *A.S.constant();
-      Out.setReg(Depth, Inst.Rd, initScalarRange(0, Mask));
     } else {
-      Out.setReg(Depth, Inst.Rd, initScalar());
+      KnownBits KA = stateBits(A.S), KB = stateBits(B.S);
+      KnownBits Result;
+      switch (Inst.Op) {
+      case Opcode::AND:
+      case Opcode::ANDCC:
+        Result = KnownBits::bitAnd(KA, KB);
+        break;
+      case Opcode::ANDN:
+        Result = KnownBits::bitAndNot(KA, KB);
+        break;
+      case Opcode::XOR:
+      case Opcode::XORCC:
+        Result = KnownBits::bitXor(KA, KB);
+        break;
+      case Opcode::XNOR:
+        Result = KnownBits::bitXnor(KA, KB);
+        break;
+      case Opcode::ORN:
+        Result = KnownBits::bitOrNot(KA, KB);
+        break;
+      default:
+        break;
+      }
+      // x & m with m >= 0 lies in [0, m].
+      std::optional<int64_t> Lo, Hi;
+      if ((Inst.Op == Opcode::AND || Inst.Op == Opcode::ANDCC) &&
+          ((B.S.constant() && *B.S.constant() >= 0) ||
+           (A.S.constant() && *A.S.constant() >= 0))) {
+        Lo = 0;
+        Hi = B.S.constant() && *B.S.constant() >= 0 ? *B.S.constant()
+                                                    : *A.S.constant();
+      }
+      Out.setReg(Depth, Inst.Rd,
+                 initScalarBits(Ctx, Result, Lo, Hi, /*Exact32=*/true));
     }
     if (setsIcc(Inst.Op)) {
       Out.setIcc(initScalar());
@@ -533,18 +588,19 @@ AbstractStore checker::transfer(const CheckContext &Ctx, NodeId Id,
     if (A.S.constant() && B.S.constant()) {
       int64_t X = *A.S.constant(), Y = *B.S.constant();
       switch (Inst.Op) {
+      // Shift folds mask the count through sparc::shiftCount, exactly
+      // like the interpreter (a shift by 33 shifts by 1).
       case Opcode::SLL:
-        if (Y >= 0 && Y < 32)
-          Folded = static_cast<int64_t>(
-              static_cast<int32_t>(static_cast<uint32_t>(X) << Y));
+        Folded = static_cast<int64_t>(static_cast<int32_t>(
+            static_cast<uint32_t>(X) << shiftCount(Y)));
         break;
       case Opcode::SRL:
-        if (Y >= 0 && Y < 32)
-          Folded = static_cast<int64_t>(static_cast<uint32_t>(X) >> Y);
+        Folded = static_cast<int64_t>(static_cast<uint32_t>(X) >>
+                                      shiftCount(Y));
         break;
       case Opcode::SRA:
-        if (Y >= 0 && Y < 32)
-          Folded = static_cast<int64_t>(static_cast<int32_t>(X) >> Y);
+        Folded = static_cast<int64_t>(static_cast<int32_t>(X) >>
+                                      shiftCount(Y));
         break;
       case Opcode::UMUL:
       case Opcode::SMUL:
@@ -568,28 +624,46 @@ AbstractStore checker::transfer(const CheckContext &Ctx, NodeId Id,
       break;
     }
     // Interval propagation for shifts/multiplies by a known positive
-    // constant (monotone scalings).
+    // constant (monotone scalings). Shift distances go through
+    // sparc::shiftCount so a count of 33 scales by 2, like the machine.
     std::optional<int64_t> Lo, Hi;
     std::optional<int64_t> Factor;
-    if (Inst.Op == Opcode::SLL && B.S.constant() && *B.S.constant() >= 0 &&
-        *B.S.constant() < 31)
-      Factor = int64_t(1) << *B.S.constant();
+    if (Inst.Op == Opcode::SLL && B.S.constant() &&
+        shiftCount(*B.S.constant()) < 31)
+      Factor = int64_t(1) << shiftCount(*B.S.constant());
     else if ((Inst.Op == Opcode::SMUL || Inst.Op == Opcode::UMUL) &&
              B.S.constant() && *B.S.constant() > 0)
       Factor = *B.S.constant();
     if (Factor) {
       Lo = boundScale(A.S.lower(), *Factor);
       Hi = boundScale(A.S.upper(), *Factor);
-    } else if (Inst.Op == Opcode::SRA && B.S.constant() &&
-               *B.S.constant() >= 0 && *B.S.constant() < 32) {
+    } else if (Inst.Op == Opcode::SRA && B.S.constant()) {
       // Arithmetic right shift is floorDiv by 2^k: monotone.
-      int64_t K = *B.S.constant();
+      int64_t K = shiftCount(*B.S.constant());
       if (A.S.lower())
         Lo = floorDiv(*A.S.lower(), int64_t(1) << K);
       if (A.S.upper())
         Hi = floorDiv(*A.S.upper(), int64_t(1) << K);
     }
-    Out.setReg(Depth, Inst.Rd, initScalarRange(Lo, Hi));
+    KnownBits KB;
+    switch (Inst.Op) {
+    case Opcode::SLL:
+      KB = KnownBits::shl(stateBits(A.S), stateBits(B.S));
+      break;
+    case Opcode::SRL:
+      KB = KnownBits::lshr(stateBits(A.S), stateBits(B.S));
+      break;
+    case Opcode::SRA:
+      KB = KnownBits::ashr(stateBits(A.S), stateBits(B.S));
+      break;
+    default:
+      break; // Multiplies and divides keep top bits.
+    }
+    Out.setReg(Depth, Inst.Rd,
+               initScalarBits(Ctx, KB, Lo, Hi,
+                              /*Exact32=*/Inst.Op == Opcode::SLL ||
+                                  Inst.Op == Opcode::SRL ||
+                                  Inst.Op == Opcode::SRA));
     break;
   }
   case Opcode::SETHI:
@@ -742,7 +816,6 @@ AbstractStore checker::transfer(const CheckContext &Ctx, NodeId Id,
 AbstractStore checker::refineEdge(const CheckContext &Ctx,
                                   const AbstractStore &Out,
                                   const CfgEdge &Edge) {
-  (void)Ctx;
   if (Out.isTop())
     return Out;
   if (Edge.Kind == EdgeKind::Flow)
@@ -828,8 +901,16 @@ AbstractStore checker::refineEdge(const CheckContext &Ctx,
   case Rel::None:
     break;
   }
-  if (Lo != Ts.S.lower() || Hi != Ts.S.upper()) {
-    Ts.S = State::initRange(Lo, Hi);
+  // Cross-refine the tightened interval against the register's known
+  // bits (branch bounds can fix leading bits; a known congruence class
+  // rounds the new bounds inward).
+  analysis::BitsRange BR =
+      Ctx.KnownBits
+          ? analysis::crossRefine(Ts.S.bits(), Lo, Hi, Ts.S.pattern32())
+          : analysis::BitsRange{Ts.S.bits(), Lo, Hi, false};
+  if (BR.Lo != Ts.S.lower() || BR.Hi != Ts.S.upper() ||
+      BR.Bits != Ts.S.bits()) {
+    Ts.S = State::initBits(BR.Bits, BR.Lo, BR.Hi, Ts.S.pattern32());
     Refined.setReg(Origin->Depth, Origin->R, Ts);
   }
   return Refined;
@@ -904,8 +985,29 @@ checker::propagate(const CheckContext &Ctx,
         auto Lo = Ts.S.lower(), Hi = Ts.S.upper();
         return Lo && Hi && *Lo > *Hi;
       });
-    if (++Visits[Id] > WidenAfter)
+    if (++Visits[Id] > WidenAfter) {
       NewIn = AbstractStore::widen(Result.In[Id], NewIn);
+      // Widening drops any interval bound still in motion, but known
+      // bits are never widened (the domain is finite), so rederive the
+      // bounds the surviving bits imply — e.g. an in-loop and-mask keeps
+      // its upper bound even after the counter feeding it widened to
+      // +inf. Terminates: the rederived bounds are a monotone function
+      // of the bits, which only ever lose precision across iterations.
+      if (Ctx.KnownBits)
+        NewIn.forEachReg([&](int32_t Depth, Reg R, const Typestate &Ts) {
+          if (!Ts.S.isInit() || Ts.S.constant())
+            return;
+          analysis::BitsRange BR = analysis::crossRefine(
+              Ts.S.bits(), Ts.S.lower(), Ts.S.upper(), Ts.S.pattern32());
+          if (BR.Lo == Ts.S.lower() && BR.Hi == Ts.S.upper() &&
+              BR.Bits == Ts.S.bits())
+            return;
+          Typestate Refined = Ts;
+          Refined.S =
+              State::initBits(BR.Bits, BR.Lo, BR.Hi, Ts.S.pattern32());
+          NewIn.setReg(Depth, R, std::move(Refined));
+        });
+    }
     Result.In[Id] = NewIn;
     AbstractStore NewOut = transfer(Ctx, Id, NewIn);
     if (NewOut != Result.Out[Id]) {

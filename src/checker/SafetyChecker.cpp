@@ -73,6 +73,10 @@ void publishCounters(support::MetricsRegistry &Reg, const std::string &Scope,
   Put("prover/cache_hits", Report.ProverStats.CacheHits);
   Put("prover/cache_evictions", Report.ProverStats.CacheEvictions);
   Put("prover/budget_exhaustions", Report.ProverStats.BudgetExhaustions);
+  Put("prover/tier/congruence/hits",
+      Report.ProverStats.Tiers.CongruenceHits);
+  Put("prover/tier/congruence/misses",
+      Report.ProverStats.Tiers.CongruenceMisses);
   Put("prover/tier/interval/hits", Report.ProverStats.Tiers.IntervalHits);
   Put("prover/tier/interval/misses", Report.ProverStats.Tiers.IntervalMisses);
   Put("prover/tier/dbm/hits", Report.ProverStats.Tiers.DbmHits);
@@ -174,6 +178,7 @@ void SafetyChecker::checkImpl(const sparc::Module &M,
   Report.InputsOk = true;
   Ctx->Governor = Gov;
   Ctx->Failures = &Report.Failures;
+  Ctx->KnownBits = Opts.KnownBits;
   Report.Chars.Loops = static_cast<uint32_t>(Ctx->Loops->loops().size());
   Report.Chars.InnerLoops = Ctx->Loops->innerLoopCount();
 
@@ -224,10 +229,12 @@ void SafetyChecker::checkImpl(const sparc::Module &M,
   std::optional<analysis::LintResult> Lint;
   if (Opts.Lint) {
     PhaseTimer T(Opts.Metrics, Opts.MetricScope, "checker/lint", "lint");
-    Lint.emplace(
-        analysis::runLint(Ctx->Graph, Pol, Ctx->EntryStore, Report.Diags));
+    Lint.emplace(analysis::runLint(Ctx->Graph, Pol, Ctx->EntryStore,
+                                   Report.Diags, &Ctx->Locs,
+                                   Opts.KnownBits));
     Report.Chars.LintUninitUses = Lint->Stats.UninitUses;
     Report.Chars.DeadRegWrites = Lint->Stats.DeadRegWrites;
+    Report.Chars.MisalignedAccesses = Lint->Stats.MisalignedAccesses;
     Report.Chars.MaxStackDelta = Lint->Stats.MaxStackDelta;
     Report.Chars.StackDeltaBounded = Lint->Stats.StackDeltaBounded;
     if (Opts.LintReject && Lint->Rejected) {
@@ -284,6 +291,9 @@ void SafetyChecker::checkImpl(const sparc::Module &M,
     Prover::Options ProverOpts = Opts.ProverOpts;
     if (!ProverOpts.Governor)
       ProverOpts.Governor = Gov;
+    // The congruence tier exists to discharge the atoms the known-bits
+    // domain emits; without the domain it only burns cycles.
+    ProverOpts.EnableCongruence = ProverOpts.EnableCongruence && Opts.KnownBits;
     GlobalVerifyOptions GlobalOpts = Opts.Global;
     GlobalOpts.FailSoft = GlobalOpts.FailSoft || Opts.FailSoft;
     Prover TheProver(ProverOpts, Opts.SharedProverCache);

@@ -58,6 +58,7 @@ struct ProgramCharacteristics {
   // Phase-0 lint characteristics.
   uint32_t LintUninitUses = 0;  ///< Definite uninitialized-register uses.
   uint32_t DeadRegWrites = 0;   ///< Register writes no path reads again.
+  uint32_t MisalignedAccesses = 0; ///< Provably misaligned accesses.
   int64_t MaxStackDelta = 0;    ///< Deepest constant %sp excursion, bytes.
   bool StackDeltaBounded = true; ///< All %sp deltas statically constant.
 };
@@ -116,6 +117,11 @@ public:
     std::shared_ptr<ProverCache> SharedProverCache;
     /// Run the phase-0 dataflow lint before typestate propagation.
     bool Lint = true;
+    /// Track the known-bits (alignment) domain: propagate bit patterns
+    /// through phase 2, emit divisibility atoms during annotation, run
+    /// the lint's misaligned-access rule, and enable the prover's
+    /// congruence tier. --no-knownbits in the driver.
+    bool KnownBits = true;
     /// Let a definite lint violation skip the expensive phases.
     bool LintReject = true;
     /// Prune dead registers from propagated stores using lint liveness.

@@ -149,8 +149,12 @@ BackwardRule WlpEngine::buildRule(NodeId Id) const {
              LinearExpr::constant(static_cast<int64_t>(Inst.Imm) << 10));
     break;
   case Opcode::SLL:
-    if (Inst.UsesImm && Inst.Imm >= 0 && Inst.Imm < 31)
-      AssignRd(Inst.Rd, RegExpr(Inst.Rs1).scaled(int64_t(1) << Inst.Imm));
+    // The machine consumes only the low five bits of the count
+    // (sparc::shiftCount), so "sll by 33" scales by 2.
+    if (Inst.UsesImm && shiftCount(Inst.Imm) < 31)
+      AssignRd(Inst.Rd,
+               RegExpr(Inst.Rs1).scaled(int64_t(1)
+                                        << shiftCount(Inst.Imm)));
     else
       AssignRd(Inst.Rd, std::nullopt);
     break;

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <optional>
 
 using namespace mcsafe;
@@ -39,7 +40,203 @@ TieredSolver::constantFold(const std::vector<Constraint> &In,
 }
 
 //===----------------------------------------------------------------------===//
-// Tier 1: per-variable intervals + bounded congruence windows
+// Tier 1: congruence systems (EQ/DIV elimination + NDIV coset analysis)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One linear row, sum(Coef[v] * v) + Const, over "columns": non-negative
+/// keys are constraint VarIds, negative keys are the fresh multiplier
+/// variables minted for DIV atoms (d | e holds iff e + d*t = 0 has an
+/// integer solution in t).
+struct CongruenceRow {
+  std::map<int64_t, int64_t> Coef;
+  int64_t Const = 0;
+};
+
+/// Dst += Src * Scale, checked; false on overflow.
+bool addScaledInto(CongruenceRow &Dst, const CongruenceRow &Src,
+                   int64_t Scale) {
+  for (const auto &[V, A] : Src.Coef) {
+    std::optional<int64_t> SA = checkedMul(A, Scale);
+    if (!SA)
+      return false;
+    std::optional<int64_t> Sum = checkedAdd(Dst.Coef[V], *SA);
+    if (!Sum)
+      return false;
+    if (*Sum == 0)
+      Dst.Coef.erase(V);
+    else
+      Dst.Coef[V] = *Sum;
+  }
+  std::optional<int64_t> SC = checkedMul(Src.Const, Scale);
+  if (!SC)
+    return false;
+  std::optional<int64_t> NC = checkedAdd(Dst.Const, *SC);
+  if (!NC)
+    return false;
+  Dst.Const = *NC;
+  return true;
+}
+
+int64_t coefGcd(const CongruenceRow &R) {
+  int64_t G = 0;
+  for (const auto &[V, A] : R.Coef) {
+    (void)V;
+    G = gcdInt64(G, A);
+  }
+  return G;
+}
+
+} // namespace
+
+std::optional<SatResult>
+TieredSolver::solveCongruences(const std::vector<Constraint> &Conjuncts) {
+  // Applicability: the conjunction carries at least one divisibility atom
+  // (the shape the known-bits annotations emit). The EQ/DIV/NDIV atoms
+  // form the subsystem this tier reasons about exactly; Unsat for the
+  // subsystem refutes the whole conjunction, Sat is only claimed when the
+  // subsystem IS the whole conjunction (no GE atoms).
+  bool HasDivisibility = false, HasGE = false;
+  for (const Constraint &C : Conjuncts) {
+    if (C.kind() == ConstraintKind::DIV || C.kind() == ConstraintKind::NDIV)
+      HasDivisibility = true;
+    else if (C.kind() == ConstraintKind::GE)
+      HasGE = true;
+  }
+  if (!HasDivisibility)
+    return std::nullopt;
+
+  auto toRow = [](const Constraint &C) {
+    CongruenceRow R;
+    for (const auto &[V, A] : C.expr().terms())
+      R.Coef[static_cast<int64_t>(V.index())] = A;
+    R.Const = C.expr().constantValue();
+    return R;
+  };
+
+  std::vector<CongruenceRow> Rows;
+  struct NdivAtom {
+    CongruenceRow Row;
+    int64_t D;
+  };
+  std::vector<NdivAtom> Ndivs;
+  int64_t FreshKey = -1;
+  for (const Constraint &C : Conjuncts) {
+    switch (C.kind()) {
+    case ConstraintKind::GE:
+      break;
+    case ConstraintKind::EQ:
+      Rows.push_back(toRow(C));
+      break;
+    case ConstraintKind::DIV: {
+      CongruenceRow R = toRow(C);
+      R.Coef[FreshKey--] = C.modulus();
+      Rows.push_back(R);
+      break;
+    }
+    case ConstraintKind::NDIV:
+      Ndivs.push_back({toRow(C), C.modulus()});
+      break;
+    }
+  }
+
+  // Triangularize the EQ/DIV system with unit pivots. Each step either
+  // decides a row (gcd infeasibility => Unsat, trivial => drop), finds a
+  // +/-1 pivot and substitutes it away, or declines. When the loop
+  // drains without Unsat, every assignment of the remaining free columns
+  // extends to a solution of the subsystem (back-substitution through
+  // the discarded pivot rows).
+  size_t Steps = 0;
+  while (!Rows.empty()) {
+    if (++Steps > 64)
+      return std::nullopt; // Pathological system: not this tier's shape.
+    CongruenceRow P = std::move(Rows.back());
+    Rows.pop_back();
+    int64_t G = coefGcd(P);
+    if (G == 0) {
+      if (P.Const != 0)
+        return SatResult::Unsat;
+      continue;
+    }
+    if (P.Const % G != 0)
+      return SatResult::Unsat; // gcd test: no integer solution.
+    if (G > 1) {
+      for (auto &[V, A] : P.Coef)
+        A /= G;
+      P.Const /= G;
+    }
+    auto Pivot =
+        std::find_if(P.Coef.begin(), P.Coef.end(), [](const auto &Term) {
+          return Term.second == 1 || Term.second == -1;
+        });
+    if (Pivot == P.Coef.end())
+      return std::nullopt; // No unit coefficient to eliminate with.
+    const int64_t PivotVar = Pivot->first;
+    const int64_t PivotSign = Pivot->second;
+    // Row R with coefficient b on the pivot column:  R += P * (-b * s)
+    // cancels the column exactly (s*s == 1).
+    auto substituteInto = [&](CongruenceRow &R) -> bool {
+      auto It = R.Coef.find(PivotVar);
+      if (It == R.Coef.end())
+        return true;
+      std::optional<int64_t> Scale = checkedMul(It->second, -PivotSign);
+      if (!Scale)
+        return false;
+      return addScaledInto(R, P, *Scale);
+    };
+    for (CongruenceRow &R : Rows)
+      if (!substituteInto(R))
+        return std::nullopt;
+    for (NdivAtom &N : Ndivs)
+      if (!substituteInto(N.Row))
+        return std::nullopt;
+  }
+
+  // The NDIV atoms, now over free columns only. For d | (e) with
+  // G = gcd(coefficients of e), g = gcd(d, G): e mod d ranges over the
+  // coset Const + g*Z, each residue equally often. So the atom is always
+  // false when g == d and d | Const (=> Unsat), always true when
+  // g does not divide Const (drop), and otherwise "d divides e" holds
+  // for exactly a g/d fraction of assignments. A union bound
+  // sum(g_i/d_i) < 1 then witnesses an assignment satisfying every
+  // remaining NDIV atom.
+  int64_t DensityNum = 0, DensityDen = 1;
+  for (const NdivAtom &N : Ndivs) {
+    const int64_t D = N.D; // Constraint guarantees D >= 1.
+    const int64_t G = coefGcd(N.Row);
+    const int64_t C = N.Row.Const;
+    const int64_t Small = G == 0 ? D : gcdInt64(D, G);
+    if (Small == D) {
+      // d divides every coefficient: e == Const (mod d) identically.
+      if (floorMod(C, D) == 0)
+        return SatResult::Unsat; // Atom is identically false.
+      continue;                  // Atom is identically true.
+    }
+    if (floorMod(C, Small) != 0)
+      continue; // 0 is not in the coset: atom identically true.
+    std::optional<int64_t> NumD = checkedMul(DensityNum, D);
+    std::optional<int64_t> SmallDen = checkedMul(Small, DensityDen);
+    std::optional<int64_t> NewDen = checkedMul(DensityDen, D);
+    if (!NumD || !SmallDen || !NewDen)
+      return std::nullopt;
+    std::optional<int64_t> NewNum = checkedAdd(*NumD, *SmallDen);
+    if (!NewNum)
+      return std::nullopt;
+    int64_t Reduce = gcdInt64(*NewNum, *NewDen);
+    DensityNum = *NewNum / Reduce;
+    DensityDen = *NewDen / Reduce;
+    if (DensityNum >= DensityDen)
+      return std::nullopt; // Union bound inconclusive.
+  }
+
+  if (HasGE)
+    return std::nullopt; // Subsystem satisfiable, but GE atoms remain.
+  return SatResult::Sat;
+}
+
+//===----------------------------------------------------------------------===//
+// Tier 2: per-variable intervals + bounded congruence windows
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -204,7 +401,7 @@ TieredSolver::solveIntervals(const std::vector<Constraint> &Conjuncts) {
 }
 
 //===----------------------------------------------------------------------===//
-// Tier 2: unit-coefficient difference systems via Bellman-Ford
+// Tier 3: unit-coefficient difference systems via Bellman-Ford
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -334,6 +531,13 @@ SatResult TieredSolver::isSatisfiable(const std::vector<Constraint> &Conjuncts) 
   }
 
   if (!SawPoisoned) {
+    if (Opts.EnableCongruence) {
+      if (std::optional<SatResult> R = solveCongruences(Live)) {
+        ++Tiers.CongruenceHits;
+        return *R;
+      }
+      ++Tiers.CongruenceMisses;
+    }
     if (std::optional<SatResult> R = solveIntervals(Live)) {
       ++Tiers.IntervalHits;
       return *R;
@@ -345,11 +549,13 @@ SatResult TieredSolver::isSatisfiable(const std::vector<Constraint> &Conjuncts) 
     }
     ++Tiers.DbmMisses;
   } else {
+    if (Opts.EnableCongruence)
+      ++Tiers.CongruenceMisses;
     ++Tiers.IntervalMisses;
     ++Tiers.DbmMisses;
   }
 
-  // Tier 3: the exact Omega test, over the original conjunction (its own
+  // Tier 4: the exact Omega test, over the original conjunction (its own
   // normalization pipeline is the reference behavior).
   SatResult R = Omega.isSatisfiable(Conjuncts);
   ++(R == SatResult::Unknown ? Tiers.OmegaMisses : Tiers.OmegaHits);

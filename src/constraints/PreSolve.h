@@ -14,17 +14,27 @@
 ///
 ///   Tier 0  constant fold:   decide conjunctions of variable-free atoms,
 ///                            drop constant-true atoms for later tiers.
-///   Tier 1  interval:        exact for conjunctions where every atom
+///   Tier 1  congruence:      alignment / divisibility systems (the atoms
+///                            the known-bits domain emits): EQ and DIV
+///                            atoms eliminate as an integer linear system
+///                            (each d | e adds a multiplier variable),
+///                            then NDIV atoms resolve by gcd / coset
+///                            analysis with an exact union bound. Answers
+///                            Unsat as a refutation of the EQ/DIV/NDIV
+///                            subsystem even when GE atoms are present;
+///                            answers Sat only when that subsystem is the
+///                            whole conjunction.
+///   Tier 2  interval:        exact for conjunctions where every atom
 ///                            mentions at most one variable; per-variable
 ///                            [lo, hi] intersection plus a bounded
 ///                            lcm-period window scan for DIV/NDIV atoms.
-///   Tier 2  difference (DBM): exact for unit-coefficient difference
+///   Tier 3  difference (DBM): exact for unit-coefficient difference
 ///                            systems (x - y + c >= 0, +/-x + c >= 0)
 ///                            without divisibility atoms, via Bellman-Ford
 ///                            negative-cycle detection. Integer-exact
 ///                            because difference systems are totally
 ///                            unimodular.
-///   Tier 3  Omega test:      everything else.
+///   Tier 4  Omega test:      everything else.
 ///
 /// Soundness: a tier either answers exactly (its applicability test
 /// guarantees its answer equals the true satisfiability) or declines, in
@@ -57,6 +67,10 @@ public:
     /// When false, every query goes straight to the Omega test (the
     /// pre-kernel behavior; also the differential-testing reference).
     bool EnableTiers = true;
+    /// When false, the congruence tier is skipped (the known-bits
+    /// --no-knownbits configuration); divisibility systems fall through
+    /// to the interval window scan or Omega.
+    bool EnableCongruence = true;
     /// Largest lcm-of-moduli window the interval tier scans to decide
     /// divisibility atoms; beyond it the query falls through to Omega.
     int64_t MaxCongruenceWindow = 4096;
@@ -66,6 +80,8 @@ public:
   /// definitively (for the Omega tier: Sat/Unsat rather than Unknown); a
   /// "miss" is a query the tier saw but had to pass on.
   struct TierStats {
+    uint64_t CongruenceHits = 0;
+    uint64_t CongruenceMisses = 0;
     uint64_t IntervalHits = 0;
     uint64_t IntervalMisses = 0;
     uint64_t DbmHits = 0;
@@ -99,9 +115,12 @@ private:
   std::optional<SatResult> constantFold(const std::vector<Constraint> &In,
                                         std::vector<Constraint> &Live,
                                         bool &SawPoisoned);
-  /// Tier 1. Exact or declines (nullopt).
+  /// Tier 1 (congruence). Applicable when the conjunction carries at
+  /// least one DIV/NDIV atom; sound-or-declines as documented above.
+  std::optional<SatResult> solveCongruences(const std::vector<Constraint> &C);
+  /// Tier 2 (interval). Exact or declines (nullopt).
   std::optional<SatResult> solveIntervals(const std::vector<Constraint> &C);
-  /// Tier 2. Exact or declines (nullopt).
+  /// Tier 3 (difference bounds). Exact or declines (nullopt).
   std::optional<SatResult>
   solveDifferenceBounds(const std::vector<Constraint> &C);
 

@@ -18,6 +18,7 @@ TieredSolver::Options solverOptions(const Prover::Options &O) {
   TieredSolver::Options S;
   S.Omega = O.Omega;
   S.EnableTiers = O.EnableTiers;
+  S.EnableCongruence = O.EnableCongruence;
   return S;
 }
 } // namespace
@@ -40,7 +41,7 @@ QueryBudget Prover::budget() const {
   B.DnfMaxAtoms = Opts.DnfMaxAtoms;
   B.OmegaMaxSteps = Opts.Omega.MaxSteps;
   B.OmegaMaxNdivModulus = Opts.Omega.MaxNdivModulus;
-  B.SolverTiers = Opts.EnableTiers ? 1 : 0;
+  B.SolverTiers = Opts.EnableTiers ? (Opts.EnableCongruence ? 2 : 1) : 0;
   return B;
 }
 

@@ -72,6 +72,10 @@ public:
     /// Omega test (see PreSolve.h). Part of the cache key: tiered and
     /// untiered provers sharing one cache never exchange entries.
     bool EnableTiers = true;
+    /// Whether the congruence tier runs (disabled together with the
+    /// known-bits domain by --no-knownbits). Also part of the cache key,
+    /// via the three-valued SolverTiers budget field.
+    bool EnableCongruence = true;
   };
 
   struct Stats {

@@ -24,6 +24,14 @@ const std::vector<CorpusProgram> &corpus::corpus() {
     P.push_back(detail::makeJpvm());
     P.push_back(detail::makeStackSmashing());
     P.push_back(detail::makeMd5());
+    // SFI mask idioms, after the thirteen Figure 9 rows.
+    P.push_back(detail::makeSfiMask());
+    P.push_back(detail::makeSfiMaskLoop());
+    P.push_back(detail::makeSfiAndn());
+    P.push_back(detail::makeSfiSethi());
+    P.push_back(detail::makeSfiHalfword());
+    P.push_back(detail::makeSfiShift());
+    P.push_back(detail::makeSfiUnaligned());
     return P;
   }();
   return Programs;

@@ -59,7 +59,8 @@ struct CorpusProgram {
   PaperRow Paper;
 };
 
-/// All thirteen programs, in Figure 9 order.
+/// The thirteen Figure 9 programs in order, followed by the SFI
+/// mask-idiom programs (SfiPrograms.cpp).
 const std::vector<CorpusProgram> &corpus();
 
 /// Lookup by name; aborts on unknown names.

@@ -28,6 +28,16 @@ CorpusProgram makeJpvm();
 CorpusProgram makeStackSmashing();
 CorpusProgram makeMd5();
 
+// Software-fault-isolation mask idioms (SfiPrograms.cpp) — not part of
+// Figure 9; they pin the known-bits / alignment domain differential.
+CorpusProgram makeSfiMask();
+CorpusProgram makeSfiMaskLoop();
+CorpusProgram makeSfiAndn();
+CorpusProgram makeSfiSethi();
+CorpusProgram makeSfiHalfword();
+CorpusProgram makeSfiShift();
+CorpusProgram makeSfiUnaligned();
+
 } // namespace detail
 } // namespace corpus
 } // namespace mcsafe

@@ -103,6 +103,15 @@ bool isBranch(Opcode Op);            ///< Any Bicc, including BA and BN.
 /// True if the opcode writes the integer condition codes.
 bool setsIcc(Opcode Op);
 
+/// The effective shift distance of SLL/SRL/SRA: SPARC V8 uses only the
+/// low five bits of the second operand (shift by 33 shifts by 1). Every
+/// consumer of a shift count — the interpreter, constant folding, the
+/// known-bits transfer functions, Wlp scaling — must go through this
+/// helper so their semantics cannot diverge.
+inline uint32_t shiftCount(int64_t Operand2) {
+  return static_cast<uint32_t>(Operand2) & 31u;
+}
+
 /// A decoded instruction.
 ///
 /// Operand conventions:

@@ -253,15 +253,15 @@ std::optional<StopReason> Interpreter::step() {
     setReg(Inst.Rd, ~(reg(Inst.Rs1) ^ operand2(Inst)));
     break;
   case Opcode::SLL:
-    setReg(Inst.Rd, reg(Inst.Rs1) << (operand2(Inst) & 31));
+    setReg(Inst.Rd, reg(Inst.Rs1) << shiftCount(operand2(Inst)));
     break;
   case Opcode::SRL:
-    setReg(Inst.Rd, reg(Inst.Rs1) >> (operand2(Inst) & 31));
+    setReg(Inst.Rd, reg(Inst.Rs1) >> shiftCount(operand2(Inst)));
     break;
   case Opcode::SRA:
     setReg(Inst.Rd,
            static_cast<uint32_t>(static_cast<int32_t>(reg(Inst.Rs1)) >>
-                                 (operand2(Inst) & 31)));
+                                 shiftCount(operand2(Inst))));
     break;
   case Opcode::UMUL:
     setReg(Inst.Rd, reg(Inst.Rs1) * operand2(Inst));

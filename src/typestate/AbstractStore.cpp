@@ -112,7 +112,11 @@ AbstractStore AbstractStore::widen(const AbstractStore &Old,
     if (Hi && (!OldS.upper() || *Hi > *OldS.upper()))
       Hi = std::nullopt;
     if (Lo != Ts.S.lower() || Hi != Ts.S.upper())
-      Ts.S = State::initRange(Lo, Hi);
+      // Known bits need no widening: the domain is finite and only ever
+      // descends, so keeping New's bits cannot prevent stabilization.
+      // (The checker rederives any bounds the bits still imply; see the
+      // post-widen cross-refinement in Propagation.cpp.)
+      Ts.S = State::initBits(Ts.S.bits(), Lo, Hi, Ts.S.pattern32());
   }
   return Result;
 }

@@ -18,13 +18,14 @@ State State::meet(const State &A, const State &B) {
   if (A.K == B.K) {
     switch (A.K) {
     case Kind::Init: {
-      // Interval hull.
+      // Interval hull; known bits keep what both sides agree on.
       std::optional<int64_t> Lo, Hi;
       if (A.Lo && B.Lo)
         Lo = std::min(*A.Lo, *B.Lo);
       if (A.Hi && B.Hi)
         Hi = std::max(*A.Hi, *B.Hi);
-      return initRange(Lo, Hi);
+      return initBits(analysis::KnownBits::meet(A.Bits, B.Bits), Lo, Hi,
+                      A.Pat32 && B.Pat32);
     }
     case Kind::PointsTo: {
       std::set<PtrTarget> Union = A.Targets;
@@ -50,18 +51,21 @@ std::string State::str(const LocationTable *Locs) const {
     return "bottom";
   case Kind::Uninit:
     return "uninit";
-  case Kind::Init:
+  case Kind::Init: {
     if (constant())
       return "init(" + std::to_string(*constant()) + ")";
+    std::string S = "init";
     if (Lo || Hi) {
-      std::string S = "init[";
+      S += "[";
       S += Lo ? std::to_string(*Lo) : "-inf";
       S += ",";
       S += Hi ? std::to_string(*Hi) : "+inf";
       S += "]";
-      return S;
     }
-    return "init";
+    if (!Bits.isTop())
+      S += " " + Bits.str();
+    return S;
+  }
   case Kind::PointsTo: {
     std::ostringstream OS;
     OS << '{';

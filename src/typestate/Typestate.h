@@ -28,6 +28,7 @@
 #ifndef MCSAFE_TYPESTATE_TYPESTATE_H
 #define MCSAFE_TYPESTATE_TYPESTATE_H
 
+#include "analysis/KnownBits.h"
 #include "typestate/AbsLoc.h"
 #include "typestate/Type.h"
 
@@ -85,6 +86,31 @@ public:
     State S = make(Kind::Init);
     S.Lo = Lo;
     S.Hi = Hi;
+    // A constant's 32-bit pattern is fully known; normalizing here keeps
+    // equal intervals equal regardless of which factory built them.
+    if (Lo && Hi && *Lo == *Hi) {
+      S.Bits = analysis::KnownBits::fromConstant(
+          static_cast<uint32_t>(*Lo));
+      S.Pat32 = *Lo >= INT32_MIN && *Lo <= INT32_MAX;
+    }
+    return S;
+  }
+  /// An initialized scalar carrying a known-bits fact about its 32-bit
+  /// pattern (see analysis/KnownBits.h) alongside optional interval
+  /// bounds. Constants keep their exact pattern regardless of \p B.
+  /// \p Exact32 records that the value provably equals the signed-int32
+  /// reading of its pattern (true for bitwise-op and shift results),
+  /// letting later cross-refinement rederive interval bounds from bits
+  /// alone — e.g. after widening dropped them.
+  static State initBits(analysis::KnownBits B,
+                        std::optional<int64_t> Lo = std::nullopt,
+                        std::optional<int64_t> Hi = std::nullopt,
+                        bool Exact32 = false) {
+    State S = initRange(Lo, Hi);
+    if (!S.constant()) {
+      S.Bits = B;
+      S.Pat32 = Exact32;
+    }
     return S;
   }
   static State pointsTo(std::set<PtrTarget> Targets, bool MayBeNull) {
@@ -118,6 +144,12 @@ public:
   /// Interval bounds of an initialized scalar, when tracked.
   std::optional<int64_t> lower() const { return Lo; }
   std::optional<int64_t> upper() const { return Hi; }
+  /// Known bits of an initialized scalar's 32-bit pattern (top when
+  /// nothing is known or the state is not an Init scalar).
+  const analysis::KnownBits &bits() const { return Bits; }
+  /// Whether the value provably equals the signed-int32 reading of its
+  /// pattern (see initBits).
+  bool pattern32() const { return Pat32; }
 
   const std::set<PtrTarget> &targets() const { return Targets; }
   bool mayBeNull() const { return Null; }
@@ -131,7 +163,8 @@ public:
 
   friend bool operator==(const State &A, const State &B) {
     return A.K == B.K && A.Lo == B.Lo && A.Hi == B.Hi &&
-           A.Null == B.Null && A.Targets == B.Targets;
+           A.Bits == B.Bits && A.Pat32 == B.Pat32 && A.Null == B.Null &&
+           A.Targets == B.Targets;
   }
   friend bool operator!=(const State &A, const State &B) {
     return !(A == B);
@@ -148,6 +181,8 @@ private:
 
   Kind K;
   std::optional<int64_t> Lo, Hi;
+  analysis::KnownBits Bits;
+  bool Pat32 = false;
   std::set<PtrTarget> Targets;
   bool Null = false;
 };

@@ -309,4 +309,21 @@ trusted gettime {
   EXPECT_TRUE(AfterCall.reg(0, O3).S.isUninit());
 }
 
+TEST(Propagation, OversizedShiftCountFoldsLikeTheMachine) {
+  // Regression: the constant fold must mask the count through
+  // sparc::shiftCount exactly as the interpreter does — sll by 33 is
+  // sll by 1, not an unfoldable shift (and certainly not a shift that
+  // zeroes the register).
+  const char *Asm = R"(
+  mov 6,%o0
+  sll %o0,33,%o1
+  srl %o0,33,%o2
+  retl
+  nop
+)";
+  Session S(Asm, SumPolicy);
+  EXPECT_EQ(S.inAt(4).reg(0, O1).S.constant(), 12);
+  EXPECT_EQ(S.inAt(4).reg(0, O2).S.constant(), 3);
+}
+
 } // namespace

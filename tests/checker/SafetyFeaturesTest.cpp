@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "checker/SafetyChecker.h"
+#include "corpus/Corpus.h"
 #include "policy/PolicyParser.h"
 #include "sparc/AsmParser.h"
 #include "sparc/Encoding.h"
@@ -380,6 +381,64 @@ TEST(SafetyFeatures, ReportCountsPhases) {
                     .has_value())
         << Phase;
   EXPECT_GT(*Reg.value("program/T/prover/sat_queries"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// The known-bits / alignment domain.
+//===----------------------------------------------------------------------===//
+
+TEST(SafetyFeatures, SfiCorpusNeedsKnownBitsDomain) {
+  // The SFI mask idioms are the differential the domain exists for:
+  // SAFE with it (the default), not provable without. SfiShift's bound
+  // survives through the interval domain, so it stays SAFE either way.
+  SafetyChecker::Options Off;
+  Off.KnownBits = false;
+  for (const char *Name :
+       {"SfiMask", "SfiMaskLoop", "SfiAndn", "SfiSethi", "SfiHalfword"}) {
+    const corpus::CorpusProgram &P = corpus::corpusProgram(Name);
+    EXPECT_TRUE(SafetyChecker().checkSource(P.Asm, P.Policy).Safe) << Name;
+    EXPECT_FALSE(SafetyChecker(Off).checkSource(P.Asm, P.Policy).Safe)
+        << Name;
+  }
+  const corpus::CorpusProgram &Shift = corpus::corpusProgram("SfiShift");
+  EXPECT_TRUE(SafetyChecker().checkSource(Shift.Asm, Shift.Policy).Safe);
+  EXPECT_TRUE(SafetyChecker(Off).checkSource(Shift.Asm, Shift.Policy).Safe);
+}
+
+TEST(SafetyFeatures, MisalignedGuardRejectedByLintAndProver) {
+  // The broken guard is caught twice over: the phase-0 lint proves the
+  // misalignment on every path, and with the lint disabled the phase-5
+  // prover refutes the alignment obligation.
+  const corpus::CorpusProgram &P = corpus::corpusProgram("SfiUnaligned");
+  CheckReport R = SafetyChecker().checkSource(P.Asm, P.Policy);
+  EXPECT_FALSE(R.Safe);
+  EXPECT_TRUE(R.LintRejected);
+  EXPECT_EQ(R.Chars.MisalignedAccesses, 1u);
+
+  SafetyChecker::Options NoLint;
+  NoLint.Lint = NoLint.LintReject = NoLint.PruneDeadRegs = false;
+  CheckReport R2 = SafetyChecker(NoLint).checkSource(P.Asm, P.Policy);
+  EXPECT_FALSE(R2.Safe);
+  EXPECT_FALSE(R2.LintRejected);
+}
+
+TEST(SafetyFeatures, CongruenceTierCountersPublished) {
+  // Alignment obligations from an and-masked access are divisibility
+  // atoms, which the congruence pre-solver tier answers; its counters
+  // surface through the metrics registry (and the driver's
+  // --phase-table / --metrics-json).
+  support::MetricsRegistry Reg;
+  SafetyChecker::Options Opts;
+  Opts.Metrics = &Reg;
+  Opts.MetricScope = "program/S";
+  const corpus::CorpusProgram &P = corpus::corpusProgram("SfiMask");
+  CheckReport R = SafetyChecker(Opts).checkSource(P.Asm, P.Policy);
+  ASSERT_TRUE(R.Safe);
+  auto Hits = Reg.value("program/S/prover/tier/congruence/hits");
+  auto Misses = Reg.value("program/S/prover/tier/congruence/misses");
+  ASSERT_TRUE(Hits.has_value());
+  ASSERT_TRUE(Misses.has_value());
+  EXPECT_GT(*Hits, 0);
 }
 
 } // namespace

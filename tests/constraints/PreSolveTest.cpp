@@ -97,6 +97,101 @@ TEST(PreSolve, IntervalCongruenceWindowScan) {
 }
 
 //===----------------------------------------------------------------------===//
+// Congruence tier exactness.
+//===----------------------------------------------------------------------===//
+
+TEST(PreSolve, CongruenceRefutesEqualityAgainstNotDivides) {
+  // x = 4 with "not 4 | x": the congruence tier substitutes the pinned
+  // value into the NDIV atom and sees an identically-false residue —
+  // before the interval tier even runs.
+  TieredSolver::TierStats St;
+  EXPECT_EQ(solveTiered({Constraint::eq(var("ps.cg_x").plusConstant(-4)),
+                         Constraint::notDivides(4, var("ps.cg_x"))},
+                        &St),
+            SatResult::Unsat);
+  EXPECT_EQ(St.CongruenceHits, 1u);
+  EXPECT_EQ(St.IntervalHits, 0u);
+  EXPECT_EQ(St.OmegaHits + St.OmegaMisses, 0u);
+}
+
+TEST(PreSolve, CongruenceCombinesDivisibilityOfSum) {
+  // 4 | b and 4 | i force 4 | (b + i): the misaligned-sum refutation the
+  // annotation phase produces for a masked base plus masked offset.
+  TieredSolver::TierStats St;
+  EXPECT_EQ(
+      solveTiered({Constraint::divides(4, var("ps.cg_b")),
+                   Constraint::divides(4, var("ps.cg_i")),
+                   Constraint::notDivides(4,
+                                          var("ps.cg_b") + var("ps.cg_i"))},
+                  &St),
+      SatResult::Unsat);
+  EXPECT_EQ(St.CongruenceHits, 1u);
+  EXPECT_EQ(St.OmegaHits + St.OmegaMisses, 0u);
+}
+
+TEST(PreSolve, CongruenceProvesTautologicalNotDivides) {
+  // 4 | x makes x even, so "not 2 | (x + 1)" holds identically; with no
+  // inequalities in sight the tier answers Sat on its own.
+  TieredSolver::TierStats St;
+  EXPECT_EQ(
+      solveTiered({Constraint::divides(4, var("ps.cg_x")),
+                   Constraint::notDivides(2,
+                                          var("ps.cg_x").plusConstant(1))},
+                  &St),
+      SatResult::Sat);
+  EXPECT_EQ(St.CongruenceHits, 1u);
+  EXPECT_EQ(St.OmegaHits + St.OmegaMisses, 0u);
+}
+
+TEST(PreSolve, CongruenceRefutesUnderInequalities) {
+  // Inequalities forbid a Sat answer from the congruence tier but not an
+  // Unsat one: x >= 0, x = 2, 4 | x is modularly impossible.
+  TieredSolver::TierStats St;
+  EXPECT_EQ(solveTiered({Constraint::ge(var("ps.cg_x")),
+                         Constraint::eq(var("ps.cg_x").plusConstant(-2)),
+                         Constraint::divides(4, var("ps.cg_x"))},
+                        &St),
+            SatResult::Unsat);
+  EXPECT_EQ(St.CongruenceHits, 1u);
+
+  // ...while the satisfiable variant falls through to the interval tier.
+  EXPECT_EQ(solveTiered({Constraint::ge(var("ps.cg_x")),
+                         Constraint::divides(4, var("ps.cg_x"))},
+                        &St),
+            SatResult::Sat);
+  EXPECT_EQ(St.CongruenceHits, 0u);
+  EXPECT_EQ(St.CongruenceMisses, 1u);
+  EXPECT_EQ(St.IntervalHits, 1u);
+}
+
+TEST(PreSolve, CongruenceDeclinesWhenDensityReachesOne) {
+  // "not 2 | x" and "not 2 | (x + 1)" cover both residues mod 2 — the
+  // union bound cannot witness a solution, so the tier declines and a
+  // later tier must answer (the system is in fact unsatisfiable).
+  TieredSolver::TierStats St;
+  EXPECT_EQ(
+      solveTiered({Constraint::notDivides(2, var("ps.cg_x")),
+                   Constraint::notDivides(2,
+                                          var("ps.cg_x").plusConstant(1))},
+                  &St),
+      SatResult::Unsat);
+  EXPECT_EQ(St.CongruenceHits, 0u);
+  EXPECT_EQ(St.CongruenceMisses, 1u);
+}
+
+TEST(PreSolve, CongruenceTierCanBeDisabled) {
+  TieredSolver::Options Opts;
+  Opts.EnableCongruence = false;
+  TieredSolver S(Opts);
+  EXPECT_EQ(
+      S.isSatisfiable({Constraint::eq(var("ps.cg_x").plusConstant(-4)),
+                       Constraint::notDivides(4, var("ps.cg_x"))}),
+      SatResult::Unsat);
+  EXPECT_EQ(S.tierStats().CongruenceHits + S.tierStats().CongruenceMisses,
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Difference-bound tier exactness.
 //===----------------------------------------------------------------------===//
 

@@ -235,4 +235,28 @@ done:
   EXPECT_EQ(I.reg(O0), 55u);
 }
 
+TEST(Interpreter, ShiftCountsUseOnlyLowFiveBits) {
+  // SPARC V8 consumes only the low five bits of a shift count
+  // (sparc::shiftCount): shifting by 33 shifts by 1. The same helper
+  // feeds the checker's constant folds, Wlp scaling, and the known-bits
+  // transfers, so the layers cannot disagree about oversized counts.
+  Module M = assembleOrDie(R"(
+  mov 33,%o5
+  mov 6,%o0
+  sll %o0,%o5,%o1
+  mov -8,%o2
+  srl %o2,%o5,%o3
+  sra %o2,%o5,%o4
+  sll %o0,33,%g1   ! immediate form takes the same path
+  retl
+  nop
+)");
+  Interpreter I(M);
+  EXPECT_EQ(I.run().Reason, StopReason::Returned);
+  EXPECT_EQ(I.reg(O1), 12u);
+  EXPECT_EQ(I.reg(O3), 0xFFFFFFF8u >> 1);
+  EXPECT_EQ(I.reg(O4), 0xFFFFFFFCu);
+  EXPECT_EQ(I.reg(Reg(1)), 12u); // %g1
+}
+
 } // namespace

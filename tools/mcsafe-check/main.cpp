@@ -89,6 +89,9 @@ void usage() {
       "  --no-tiers     disable the interval/difference-bound pre-solver\n"
       "                 tiers; every satisfiability query runs the full\n"
       "                 Omega test (for differential testing and timing)\n"
+      "  --no-knownbits disable the known-bits (alignment) domain: no\n"
+      "                 bit-pattern propagation, no divisibility atoms,\n"
+      "                 no misaligned-access lint, no congruence tier\n"
       "  --fault-seed N enable the deterministic fault-injection plan\n"
       "                 with seed N (needs an MCSAFE_FAULT_INJECTION\n"
       "                 build; a no-op otherwise)\n"
@@ -115,6 +118,9 @@ struct GovernorConfig {
   bool FailSoft = false;
   /// --no-tiers: route every satisfiability query straight to Omega.
   bool EnableTiers = true;
+  /// --no-knownbits: switch off the known-bits domain everywhere it
+  /// surfaces (typestate, annotation, lint, congruence tier).
+  bool EnableKnownBits = true;
 };
 
 /// Reads a microsecond counter back out of the registry as seconds.
@@ -168,6 +174,7 @@ int runCheck(const std::string &Asm, const std::string &Policy,
   Opts.Limits = Gov.Limits;
   Opts.FailSoft = Gov.FailSoft;
   Opts.ProverOpts.EnableTiers = Gov.EnableTiers;
+  Opts.KnownBits = Gov.EnableKnownBits;
   if (Lint == LintMode::Off) {
     Opts.Lint = false;
     Opts.PruneDeadRegs = false;
@@ -277,15 +284,16 @@ void printPhaseTable(const support::MetricsRegistry &Reg,
   if (Ps.empty())
     return;
 
-  size_t Width = 10;
-  for (const auto *P : Ps)
-    Width = std::max(Width, P->Name.size() + 2);
-
+  // Rows are collected first so every column's width can be computed
+  // from the content actually rendered (a fixed width truncates or
+  // misaligns once a program name, label, or counter outgrows it).
+  std::vector<std::pair<std::string, std::vector<std::string>>> Rows;
   auto Row = [&](const char *Label, auto Cell) {
-    std::printf("%-22s", Label);
+    std::vector<std::string> Cells;
+    Cells.reserve(Ps.size());
     for (const auto *P : Ps)
-      std::printf("%*s", static_cast<int>(Width), Cell(*P).c_str());
-    std::printf("\n");
+      Cells.push_back(Cell(*P));
+    Rows.emplace_back(Label, std::move(Cells));
   };
   auto Num = [](uint64_t V) { return std::to_string(V); };
   auto Sec = [&](const ParallelCheckResult::Program &P, const char *Ph) {
@@ -295,7 +303,6 @@ void printPhaseTable(const support::MetricsRegistry &Reg,
     return std::string(Buf);
   };
 
-  std::printf("--- phase breakdown (Figure 9 layout) ---\n");
   Row("program", [](const auto &P) { return P.Name; });
   Row("instructions",
       [&](const auto &P) { return Num(P.Report.Chars.Instructions); });
@@ -312,6 +319,8 @@ void printPhaseTable(const support::MetricsRegistry &Reg,
     return Num(uint64_t(
         Reg.value("program/" + P.Name + "/" + Name).value_or(0)));
   };
+  Row("tier congruence hits",
+      [&](const auto &P) { return Cnt(P, "prover/tier/congruence/hits"); });
   Row("tier interval hits",
       [&](const auto &P) { return Cnt(P, "prover/tier/interval/hits"); });
   Row("tier dbm hits",
@@ -324,6 +333,26 @@ void printPhaseTable(const support::MetricsRegistry &Reg,
       [&](const auto &P) { return Sec(P, "annotation"); });
   Row("global verify (s)", [&](const auto &P) { return Sec(P, "global"); });
   Row("total (s)", [&](const auto &P) { return Sec(P, "total"); });
+
+  size_t LabelWidth = 0;
+  for (const auto &[Label, Cells] : Rows) {
+    (void)Cells;
+    LabelWidth = std::max(LabelWidth, Label.size());
+  }
+  std::vector<size_t> ColWidth(Ps.size(), 0);
+  for (const auto &[Label, Cells] : Rows) {
+    (void)Label;
+    for (size_t I = 0; I < Cells.size(); ++I)
+      ColWidth[I] = std::max(ColWidth[I], Cells[I].size());
+  }
+
+  std::printf("--- phase breakdown (Figure 9 layout) ---\n");
+  for (const auto &[Label, Cells] : Rows) {
+    std::printf("%-*s", static_cast<int>(LabelWidth), Label.c_str());
+    for (size_t I = 0; I < Cells.size(); ++I)
+      std::printf("  %*s", static_cast<int>(ColWidth[I]), Cells[I].c_str());
+    std::printf("\n");
+  }
 }
 
 /// Checks the whole corpus, possibly in parallel. The non-verbose output
@@ -336,6 +365,7 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
   Opts.Check.Limits = Gov.Limits;
   Opts.Check.FailSoft = Gov.FailSoft;
   Opts.Check.ProverOpts.EnableTiers = Gov.EnableTiers;
+  Opts.Check.KnownBits = Gov.EnableKnownBits;
   if (Lint == LintMode::Off) {
     Opts.Check.Lint = false;
     Opts.Check.PruneDeadRegs = false;
@@ -475,6 +505,8 @@ int main(int argc, char **argv) {
       Gov.FailSoft = true;
     } else if (Arg == "--no-tiers") {
       Gov.EnableTiers = false;
+    } else if (Arg == "--no-knownbits") {
+      Gov.EnableKnownBits = false;
     } else if (isFlag("--fault-seed")) {
       uint64_t Seed = 0;
       if (!numericFlag("--fault-seed", UINT64_MAX, &Seed))
