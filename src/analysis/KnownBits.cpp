@@ -136,6 +136,15 @@ BitsRange analysis::crossRefine(KnownBits Bits, std::optional<int64_t> Lo,
     return Contradict();
   if (R.Lo && R.Hi && *R.Lo > *R.Hi)
     return R; // Already empty: nothing further to learn.
+  // An interval lying entirely outside [INT32_MIN, INT32_MAX] cannot
+  // describe the signed reading of any 32-bit pattern: the interval and
+  // the Exact32 claim disagree about what the value is (typically an
+  // unwrapped producer bound that escaped int32). Distrust the claim
+  // and leave the facts unrefined rather than manufacture an
+  // unreachability witness from the mismatch.
+  if (Exact32 &&
+      ((R.Lo && *R.Lo > INT32_MAX) || (R.Hi && *R.Hi < INT32_MIN)))
+    Exact32 = false;
 
   // Iterate to a fixpoint: newly-learned bits can shrink the interval
   // and vice versa. Each round either learns a bit (at most 32 rounds)

@@ -566,8 +566,13 @@ AbstractStore checker::transfer(const CheckContext &Ctx, NodeId Id,
         Hi = B.S.constant() && *B.S.constant() >= 0 ? *B.S.constant()
                                                     : *A.S.constant();
       }
+      // A mask constant tracked as an int64 beyond INT32_MAX (sethi
+      // material) makes [0, m] an unwrapped bound that can disagree
+      // with the signed reading of the pattern; drop the exactness
+      // claim rather than let crossRefine contradict the two.
       Out.setReg(Depth, Inst.Rd,
-                 initScalarBits(Ctx, Result, Lo, Hi, /*Exact32=*/true));
+                 initScalarBits(Ctx, Result, Lo, Hi,
+                                /*Exact32=*/!Hi || *Hi <= INT32_MAX));
     }
     if (setsIcc(Inst.Op)) {
       Out.setIcc(initScalar());
@@ -659,11 +664,44 @@ AbstractStore checker::transfer(const CheckContext &Ctx, NodeId Id,
     default:
       break; // Multiplies and divides keep top bits.
     }
-    Out.setReg(Depth, Inst.Rd,
-               initScalarBits(Ctx, KB, Lo, Hi,
-                              /*Exact32=*/Inst.Op == Opcode::SLL ||
-                                  Inst.Op == Opcode::SRL ||
-                                  Inst.Op == Opcode::SRA));
+    // Exact32 (value == signed-int32 reading of the result pattern)
+    // needs two guards for shifts. An effective count of 0 (imm 32/64
+    // mask to 0; an abstract count may be compatible with 0) passes the
+    // operand through unchanged, so the claim only holds if the operand
+    // already made it. And the SLL/SRA bounds above are unwrapped
+    // mathematical scalings: pairing them with the pattern claim is
+    // only sound when they provably stay inside int32 — e.g. sll of
+    // [2^29, 2^29+3] by 2 wraps negative on the machine while the
+    // scaled bounds escape past INT32_MAX, and the claim would let
+    // crossRefine turn the pattern's known sign bit plus the escaped
+    // bounds into a false unreachability witness.
+    bool CountNonzero = (stateBits(B.S).Ones & 31u) != 0;
+    auto InInt32 = [](std::optional<int64_t> L, std::optional<int64_t> H) {
+      return L && H && *L >= INT32_MIN && *H <= INT32_MAX;
+    };
+    bool Exact32 = false;
+    switch (Inst.Op) {
+    case Opcode::SRL:
+      // No scaled bounds are attached: a nonzero count clears the sign
+      // bit, otherwise the result is the operand and must itself be
+      // exact (flagged, or provably inside int32).
+      Exact32 = CountNonzero || A.S.pattern32() ||
+                InInt32(A.S.lower(), A.S.upper());
+      break;
+    case Opcode::SLL:
+    case Opcode::SRA:
+      // With bounds attached, both must stay inside int32 (this also
+      // covers the count-0 pass-through, whose bounds are the
+      // operand's). Without bounds there is no unwrapped claim to
+      // conflict with, so only the pass-through case needs the operand
+      // to be exact.
+      Exact32 = Lo || Hi ? InInt32(Lo, Hi)
+                         : CountNonzero || A.S.pattern32();
+      break;
+    default:
+      break; // Multiplies and divides never claim exactness.
+    }
+    Out.setReg(Depth, Inst.Rd, initScalarBits(Ctx, KB, Lo, Hi, Exact32));
     break;
   }
   case Opcode::SETHI:

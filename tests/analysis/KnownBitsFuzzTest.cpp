@@ -250,6 +250,21 @@ TEST(KnownBitsFuzz, CrossRefineMonotone) {
   }
 }
 
+TEST(KnownBitsFuzz, CrossRefineDistrustsExact32OutsideInt32) {
+  // An interval entirely past INT32_MAX cannot be the signed reading of
+  // any 32-bit pattern — the Exact32 claim and the interval disagree
+  // about what the value is (an unwrapped producer bound). The claim is
+  // dropped and the facts returned unrefined; clamping them together
+  // would fabricate an unreachability witness for a reachable point.
+  KnownBits B{/*Zeros=*/3u, /*Ones=*/0x80000000u}; // sign bit known one
+  BitsRange Out = crossRefine(B, int64_t(1) << 31,
+                              (int64_t(1) << 31) + 12, /*Exact32=*/true);
+  EXPECT_FALSE(Out.Contradiction);
+  EXPECT_EQ(Out.Lo, int64_t(1) << 31);
+  EXPECT_EQ(Out.Hi, (int64_t(1) << 31) + 12);
+  EXPECT_EQ(Out.Bits, B);
+}
+
 TEST(KnownBitsFuzz, CrossRefineDetectsEmptyConcretization) {
   // Bounds incompatible with the known residue: x == 2 mod 4 has no
   // member in [4, 5].

@@ -326,4 +326,61 @@ TEST(Propagation, OversizedShiftCountFoldsLikeTheMachine) {
   EXPECT_EQ(S.inAt(4).reg(0, O2).S.constant(), 3);
 }
 
+TEST(Propagation, SllPastInt32KeepsThePointReachable) {
+  // Regression: sll scales interval bounds mathematically, so a value
+  // in [2^29, 2^29+3] shifted by 2 carries bounds past INT32_MAX while
+  // the machine register wraps negative (concrete %o1=0 yields
+  // 0x80000000) and the shifted pattern's sign bit is known one.
+  // Claiming the result as the exact signed-int32 reading of its
+  // pattern used to let crossRefine clamp the two facts into an empty
+  // interval — an unreachability witness for a perfectly reachable
+  // point, silencing every downstream safety check.
+  const char *Asm = R"(
+  cmp %o1,0
+  bl 12
+  nop
+  cmp %o1,3
+  bg 12
+  nop
+  sethi 0x80000,%o2
+  add %o1,%o2,%o3
+  sll %o3,2,%o4
+  mov %o4,%o5
+  nop
+  retl
+  nop
+)";
+  Session S(Asm, SumPolicy);
+  // Before line 10, %o1 in [0, 3], %o3 in [2^29, 2^29+3], and %o4
+  // carries the scaled bounds — a nonempty interval, not a
+  // contradiction.
+  const AbstractStore &AtMov = S.inAt(10);
+  ASSERT_FALSE(AtMov.isTop());
+  Typestate O4Ts = AtMov.reg(0, O4);
+  ASSERT_TRUE(O4Ts.S.isInit());
+  ASSERT_TRUE(O4Ts.S.lower().has_value());
+  ASSERT_TRUE(O4Ts.S.upper().has_value());
+  EXPECT_LE(*O4Ts.S.lower(), *O4Ts.S.upper());
+  EXPECT_EQ(*O4Ts.S.lower(), int64_t(1) << 31);
+  EXPECT_EQ(*O4Ts.S.upper(), (int64_t(1) << 31) + 12);
+  // The escaped bounds forfeit the exact-pattern claim.
+  EXPECT_FALSE(O4Ts.S.pattern32());
+}
+
+TEST(Propagation, OversizedSrlCountIsNotClaimedExact) {
+  // Regression: srl with an effective count of 0 (32 masks to 0)
+  // returns the operand unchanged, so the result may only claim to be
+  // the signed-int32 reading of its pattern if the operand could; a
+  // known nonzero count clears the sign bit and the claim is sound.
+  const char *Asm = R"(
+  srl %o1,32,%o2
+  srl %o1,1,%o3
+  retl
+  nop
+)";
+  Session S(Asm, SumPolicy);
+  EXPECT_FALSE(S.inAt(2).reg(0, O2).S.pattern32());
+  EXPECT_TRUE(S.inAt(3).reg(0, O3).S.pattern32());
+}
+
 } // namespace
