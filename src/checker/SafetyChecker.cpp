@@ -5,6 +5,7 @@
 #include "analysis/Lint.h"
 #include "checker/Annotation.h"
 #include "checker/Automata.h"
+#include "checker/CertStore.h"
 #include "checker/CheckContext.h"
 #include "checker/Propagation.h"
 #include "policy/PolicyParser.h"
@@ -297,6 +298,8 @@ void SafetyChecker::checkImpl(const sparc::Module &M,
     GlobalVerifyOptions GlobalOpts = Opts.Global;
     GlobalOpts.FailSoft = GlobalOpts.FailSoft || Opts.FailSoft;
     Prover TheProver(ProverOpts, Opts.SharedProverCache);
+    if (Opts.TranscriptSink)
+      TheProver.setTranscript(Opts.TranscriptSink);
     Report.Global = verifyGlobal(*Ctx, Prop, Annot, TheProver, GlobalOpts);
     Report.ProverStats = TheProver.stats();
     Report.OmegaStats = TheProver.omegaStats();
@@ -328,6 +331,8 @@ void SafetyChecker::checkImpl(const sparc::Module &M,
 
 CheckReport SafetyChecker::checkSource(std::string_view Asm,
                                        std::string_view PolicyText) {
+  if (Opts.Certs)
+    return checkWithCerts(Asm, PolicyText);
   CheckReport Report;
   try {
     std::string Error;
@@ -367,4 +372,44 @@ CheckReport SafetyChecker::checkSource(std::string_view Asm,
                                "unhandled non-standard exception"});
     return Report;
   }
+}
+
+CheckReport SafetyChecker::checkWithCerts(std::string_view Asm,
+                                          std::string_view PolicyText) {
+  const std::string Config = canonicalCheckConfig(Opts);
+  const uint64_t Key = CertStore::procedureKey(Asm, PolicyText, Config);
+
+  Certificate Cert;
+  if (Opts.Certs->load(Key, Asm, PolicyText, Config, Cert) ==
+      CertStore::LoadOutcome::Hit) {
+    if (revalidateCertificate(Cert, Opts))
+      return std::move(Cert.Report);
+    Opts.Certs->noteRevalidationFailure();
+  }
+
+  // Cold path, with certificate capture. The inner checker has no store
+  // attached, so this cannot recurse.
+  Certificate Fresh;
+  Fresh.Asm = Asm;
+  Fresh.Policy = PolicyText;
+  Fresh.Config = Config;
+  std::vector<SynthesizedInvariant> Invariants;
+  Options ColdOpts = Opts;
+  ColdOpts.Certs = nullptr;
+  ColdOpts.TranscriptSink = &Fresh.Witnesses;
+  ColdOpts.Global.InvariantSink = &Invariants;
+  CheckReport Report = SafetyChecker(ColdOpts).checkSource(Asm, PolicyText);
+
+  // Only definitive, fully-resourced runs are worth certifying: an
+  // Unknown/Malformed/InternalError verdict (or any recorded failure —
+  // budget exhaustion, cancellation) is not a pure function of the
+  // inputs alone, so replaying it later could misreport.
+  if ((Report.Verdict == CheckVerdict::Safe ||
+       Report.Verdict == CheckVerdict::Unsafe) &&
+      Report.Failures.empty()) {
+    Fresh.Report = Report;
+    Fresh.Invariants = std::move(Invariants);
+    Opts.Certs->save(Key, Fresh);
+  }
+  return Report;
 }

@@ -45,6 +45,8 @@
 namespace mcsafe {
 namespace checker {
 
+class CertStore;
+
 /// Program characteristics, as in the upper half of Figure 9.
 struct ProgramCharacteristics {
   uint32_t Instructions = 0;
@@ -144,6 +146,16 @@ public:
     /// remaining obligations as individual Unknown failures instead of
     /// stopping at the first.
     bool FailSoft = false;
+    /// Persistent certificate store (non-owning; see CertStore.h).
+    /// checkSource() consults it: a validated hit replays the stored
+    /// report without re-running the pipeline; a miss, stale entry, or
+    /// failed revalidation falls back to a cold run that writes a fresh
+    /// certificate. check() ignores it (keys are input-text digests).
+    CertStore *Certs = nullptr;
+    /// When set, the phase-5 prover appends its sat-query transcript
+    /// here (certificate capture; set internally by the warm/cold
+    /// wrapper, also usable by tests). Non-owning.
+    std::vector<QueryRecord> *TranscriptSink = nullptr;
   };
 
   SafetyChecker() = default;
@@ -162,6 +174,10 @@ public:
 private:
   void checkImpl(const sparc::Module &M, const policy::Policy &Pol,
                  CheckReport &Report);
+  /// The certificate-store path of checkSource: warm hit -> revalidate
+  /// and replay; otherwise run cold with capture and store the result.
+  CheckReport checkWithCerts(std::string_view Asm,
+                             std::string_view PolicyText);
 
   Options Opts;
 };

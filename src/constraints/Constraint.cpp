@@ -3,6 +3,7 @@
 #include "constraints/Constraint.h"
 
 #include "support/CheckedInt.h"
+#include "support/Digest.h"
 
 #include <cassert>
 #include <sstream>
@@ -79,6 +80,26 @@ Constraint Constraint::notDivides(int64_t D, LinearExpr E) {
   return Constraint(ConstraintKind::NDIV, C.Expr, D);
 }
 
+std::optional<Constraint> Constraint::fromSerialized(ConstraintKind Kind,
+                                                     LinearExpr E,
+                                                     int64_t Modulus) {
+  switch (Kind) {
+  case ConstraintKind::GE:
+  case ConstraintKind::EQ:
+    if (Modulus != 0)
+      return std::nullopt;
+    break;
+  case ConstraintKind::DIV:
+  case ConstraintKind::NDIV:
+    if (Modulus < 1)
+      return std::nullopt;
+    break;
+  default:
+    return std::nullopt;
+  }
+  return Constraint(Kind, std::move(E), Modulus);
+}
+
 std::optional<bool> Constraint::constantTruth() const {
   if (Expr.isPoisoned())
     return std::nullopt;
@@ -149,11 +170,9 @@ std::string Constraint::str() const {
   return OS.str();
 }
 
-size_t Constraint::hash() const {
-  size_t H = Expr.hash();
-  H ^= std::hash<int>()(static_cast<int>(Kind)) + 0x9e3779b97f4a7c15ull +
-       (H << 6) + (H >> 2);
-  H ^= std::hash<int64_t>()(Modulus) + 0x9e3779b97f4a7c15ull + (H << 6) +
-       (H >> 2);
+uint64_t Constraint::hash() const {
+  uint64_t H = Expr.hash();
+  H = support::combine64(H, static_cast<uint64_t>(Kind));
+  H = support::combine64(H, support::signedBits(Modulus));
   return H;
 }

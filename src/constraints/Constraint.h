@@ -68,6 +68,18 @@ public:
   /// not (d | e). Requires d >= 1.
   static Constraint notDivides(int64_t D, LinearExpr E);
 
+  /// Rebuilds a constraint from its serialized fields WITHOUT
+  /// renormalizing — the deserialization path (constraints/Serialize.h),
+  /// where the expression is already in the canonical form the factories
+  /// above produced before it was stored. Bypassing normalization
+  /// guarantees the reconstruction is structurally identical to the
+  /// original (and hence re-interns to the same formula node); shape
+  /// violations (a modulus where the kind takes none, a modulus < 1
+  /// where it does) return nullopt.
+  static std::optional<Constraint> fromSerialized(ConstraintKind Kind,
+                                                  LinearExpr E,
+                                                  int64_t Modulus);
+
   ConstraintKind kind() const { return Kind; }
   const LinearExpr &expr() const { return Expr; }
   int64_t modulus() const { return Modulus; }
@@ -89,7 +101,8 @@ public:
   }
 
   std::string str() const;
-  size_t hash() const;
+  /// Stable 64-bit content hash (support/Digest.h mixer).
+  uint64_t hash() const;
 
 private:
   Constraint(ConstraintKind Kind, LinearExpr Expr, int64_t Modulus)

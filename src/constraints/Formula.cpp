@@ -3,6 +3,7 @@
 #include "constraints/Formula.h"
 
 #include "support/Arena.h"
+#include "support/Digest.h"
 #include "support/FaultInjection.h"
 
 #include <cassert>
@@ -45,7 +46,7 @@ public:
     if (support::faultPoint("alloc/formula"))
       throw std::bad_alloc();
 
-    size_t Hash = hashNode(Kind, BoundVar, Atom, Children);
+    uint64_t Hash = hashNode(Kind, BoundVar, Atom, Children);
     Shard &S = Shards[Hash % NumShards];
     std::lock_guard<std::mutex> L(S.M);
     auto It = S.Table.find(Hash);
@@ -90,21 +91,21 @@ public:
 private:
   FormulaInterner() = default;
 
-  static size_t hashNode(FormulaKind Kind, VarId BoundVar,
-                         const std::optional<Constraint> &Atom,
-                         const std::vector<FormulaRef> &Children) {
-    size_t H = std::hash<int>()(static_cast<int>(Kind));
-    auto Mix = [&H](size_t V) {
-      H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
-    };
+  static uint64_t hashNode(FormulaKind Kind, VarId BoundVar,
+                           const std::optional<Constraint> &Atom,
+                           const std::vector<FormulaRef> &Children) {
+    // The stable mixer, never std::hash: node hashes must be a pure
+    // function of structure, identical on every platform.
+    support::Digest D;
+    D.add(static_cast<uint64_t>(Kind));
     if (Atom)
-      Mix(Atom->hash());
+      D.add(Atom->hash());
     if (Kind == FormulaKind::Exists || Kind == FormulaKind::Forall)
-      Mix(std::hash<uint32_t>()(BoundVar.index()));
+      D.add(BoundVar.index());
     // Children are canonical, so their memoized hashes identify them.
     for (const FormulaRef &C : Children)
-      Mix(C->hash());
-    return H;
+      D.add(C->hash());
+    return D.value();
   }
 
   static bool sameNode(const Formula &N, FormulaKind Kind, VarId BoundVar,
@@ -164,7 +165,7 @@ private:
   struct Shard {
     mutable std::mutex M;
     /// Hash -> collision chain of canonical nodes.
-    std::unordered_map<size_t, std::vector<const Formula *>> Table;
+    std::unordered_map<uint64_t, std::vector<const Formula *>> Table;
     /// Immortal node storage. Nodes hold std::vector members whose heap
     /// blocks stay reachable through this slab, so nothing ever leaks in
     /// the LeakSanitizer sense even though nothing is freed.

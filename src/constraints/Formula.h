@@ -170,8 +170,9 @@ public:
     return A == B;
   }
 
-  /// Structural hash, memoized at interning time.
-  size_t hash() const { return Hash; }
+  /// Structural hash, memoized at interning time. Stable (support/Digest.h
+  /// mixer): identical across platforms for the same id structure.
+  uint64_t hash() const { return Hash; }
 
   std::string str() const;
 
@@ -191,7 +192,7 @@ private:
   FormulaKind Kind = FormulaKind::True;
   VarId BoundVar;
   uint32_t Id = 0;
-  size_t Hash = 0;
+  uint64_t Hash = 0;
   uint64_t TreeSize = 1;
   std::vector<FormulaRef> Children;
   std::optional<Constraint> Atom; ///< Set for Atom nodes.

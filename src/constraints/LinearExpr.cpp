@@ -3,6 +3,7 @@
 #include "constraints/LinearExpr.h"
 
 #include "support/CheckedInt.h"
+#include "support/Digest.h"
 
 #include <algorithm>
 #include <cassert>
@@ -92,6 +93,21 @@ LinearExpr LinearExpr::variable(VarId V) {
 LinearExpr LinearExpr::poisoned() {
   LinearExpr E;
   E.Poisoned = true;
+  return E;
+}
+
+std::optional<LinearExpr> LinearExpr::fromSorted(
+    const std::vector<Term> &Terms, int64_t Constant, bool Poisoned) {
+  LinearExpr E;
+  for (const Term &T : Terms) {
+    if (!T.first.isValid() || T.second == 0)
+      return std::nullopt;
+    if (E.Size != 0 && !(E.data()[E.Size - 1].first < T.first))
+      return std::nullopt;
+    E.appendTerm(T.first, T.second);
+  }
+  E.Constant = Constant;
+  E.Poisoned = Poisoned;
   return E;
 }
 
@@ -256,15 +272,17 @@ std::string LinearExpr::str() const {
   return OS.str();
 }
 
-size_t LinearExpr::hash() const {
-  size_t H = std::hash<int64_t>()(Constant);
-  auto Mix = [&H](size_t V) {
-    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
-  };
+uint64_t LinearExpr::hash() const {
+  // The stable mixer, never std::hash: expression hashes feed the
+  // interner's formula hashes and (via serialization digests) persisted
+  // certificate keys, so they must not vary across standard libraries or
+  // size_t widths.
+  support::Digest D;
+  D.addSigned(Constant);
   for (const auto &[V, Coeff] : terms()) {
-    Mix(std::hash<uint32_t>()(V.index()));
-    Mix(std::hash<int64_t>()(Coeff));
+    D.add(V.index());
+    D.addSigned(Coeff);
   }
-  Mix(Poisoned ? 1 : 0);
-  return H;
+  D.add(Poisoned ? 1 : 0);
+  return D.value();
 }

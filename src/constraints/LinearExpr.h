@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -94,6 +95,14 @@ public:
   /// A poisoned expression (records an overflow).
   static LinearExpr poisoned();
 
+  /// Rebuilds an expression from already-sorted terms — the
+  /// deserialization path (constraints/Serialize.h). Validates the
+  /// representation invariants (strictly ascending valid VarIds, no zero
+  /// coefficients) and returns nullopt on violation rather than
+  /// constructing an ill-formed expression from untrusted bytes.
+  static std::optional<LinearExpr>
+  fromSorted(const std::vector<Term> &Terms, int64_t Constant, bool Poisoned);
+
   bool isPoisoned() const { return Poisoned; }
   bool isConstant() const { return Size == 0; }
   bool isZero() const { return !Poisoned && Size == 0 && Constant == 0; }
@@ -140,7 +149,9 @@ public:
   /// Renders e.g. "4*%g3 - n + 1".
   std::string str() const;
 
-  size_t hash() const;
+  /// Stable 64-bit content hash (support/Digest.h mixer; identical on
+  /// every platform for the same term/constant structure).
+  uint64_t hash() const;
 
 private:
   /// Inline term slots; expressions wider than this spill to the heap.

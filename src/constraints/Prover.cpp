@@ -80,15 +80,17 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
   if (F->isFalse())
     return {SatResult::Unsat, false};
 
-  size_t Key = 0;
+  uint64_t Key = 0;
   QueryBudget B;
-  if (Cache) {
+  if (Cache || Transcript)
     B = budget();
+  if (Cache) {
     Key = ProverCache::keyFor(F, B);
     // Injected cache fault: degrade to a recompute (lookup "misses").
     if (!support::faultPoint("cache/lookup")) {
       if (std::optional<SatOutcome> Hit = Cache->lookupHashed(Key, F, B)) {
         ++Counters.CacheHits;
+        recordQuery(F, B, *Hit);
         return *Hit;
       }
     }
@@ -144,7 +146,16 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
   if (Cache && !(Opts.Governor && Opts.Governor->exhausted()) &&
       !support::faultPoint("cache/insert"))
     Cache->insertHashed(Key, F, B, Outcome);
+  recordQuery(F, B, Outcome);
   return Outcome;
+}
+
+void Prover::recordQuery(const FormulaRef &F, const QueryBudget &B,
+                         const SatOutcome &Outcome) {
+  if (!Transcript)
+    return;
+  if (TranscriptSeen.insert(F->id()).second)
+    Transcript->push_back({F, B, Outcome});
 }
 
 SatResult Prover::checkSat(const FormulaRef &F) {

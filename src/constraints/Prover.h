@@ -38,6 +38,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
+#include <vector>
 
 namespace mcsafe {
 
@@ -46,6 +48,17 @@ enum class ProverResult : uint8_t {
   Proved,    ///< The formula is valid.
   NotProved, ///< A countermodel exists (the formula is not valid).
   Unknown,   ///< Resources exhausted or approximation interfered.
+};
+
+/// One satisfiability query as the prover answered it: the formula, the
+/// exact budget it ran under, and the outcome. A check records these as
+/// its certificate witnesses (checker/CertStore.h); re-verification
+/// re-discharges the Unsat ones — the queries a Safe verdict rests on —
+/// through a fresh prover instead of re-running invariant synthesis.
+struct QueryRecord {
+  FormulaRef F;
+  QueryBudget Budget;
+  SatOutcome Outcome;
 };
 
 /// Validity / satisfiability oracle over formulas.
@@ -129,6 +142,15 @@ public:
       Cache->clear();
   }
 
+  /// Starts (or stops, with null) appending every answered sat query to
+  /// \p T, deduplicated by formula identity. Outcomes are recorded for
+  /// cache hits and fresh computations alike, so the transcript is the
+  /// same whatever the cache was warmed with.
+  void setTranscript(std::vector<QueryRecord> *T) {
+    Transcript = T;
+    TranscriptSeen.clear();
+  }
+
   const Options &options() const { return Opts; }
   /// The attached cache; null when caching is disabled. Hand this to
   /// another Prover to share results.
@@ -138,6 +160,8 @@ public:
 
 private:
   SatOutcome checkSatInternal(const FormulaRef &F);
+  void recordQuery(const FormulaRef &F, const QueryBudget &B,
+                   const SatOutcome &Outcome);
 
   Options Opts;
   TieredSolver Solver;
@@ -145,6 +169,10 @@ private:
   std::shared_ptr<ProverCache> Cache;
   /// True when this prover created Cache itself (nobody else shares it).
   bool OwnsCache = false;
+  /// Certificate witness sink; null when not recording.
+  std::vector<QueryRecord> *Transcript = nullptr;
+  /// Formula ids already recorded (one witness per distinct query).
+  std::unordered_set<uint32_t> TranscriptSeen;
 };
 
 } // namespace mcsafe

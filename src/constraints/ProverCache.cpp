@@ -2,42 +2,27 @@
 
 #include "constraints/ProverCache.h"
 
+#include "support/Digest.h"
+
 #include <algorithm>
 
 using namespace mcsafe;
+using support::combine64;
+using support::mix64;
 
-namespace {
-
-/// 64-bit mix (splitmix64 finalizer) for combining hashes.
-size_t mix(size_t H) {
-  uint64_t X = H;
-  X ^= X >> 30;
-  X *= 0xbf58476d1ce4e5b9ULL;
-  X ^= X >> 27;
-  X *= 0x94d049bb133111ebULL;
-  X ^= X >> 31;
-  return static_cast<size_t>(X);
-}
-
-size_t combine(size_t A, size_t B) {
-  return mix(A + 0x9e3779b97f4a7c15ULL + (B << 6) + (B >> 2));
-}
-
-} // namespace
-
-size_t QueryBudget::hash() const {
-  size_t H = mix(DnfMaxDisjuncts);
-  H = combine(H, DnfMaxAtoms);
-  H = combine(H, OmegaMaxSteps);
-  H = combine(H, static_cast<size_t>(OmegaMaxNdivModulus));
-  H = combine(H, SolverTiers);
+uint64_t QueryBudget::hash() const {
+  uint64_t H = mix64(DnfMaxDisjuncts);
+  H = combine64(H, DnfMaxAtoms);
+  H = combine64(H, OmegaMaxSteps);
+  H = combine64(H, support::signedBits(OmegaMaxNdivModulus));
+  H = combine64(H, SolverTiers);
   return H;
 }
 
-size_t ProverCache::keyFor(const FormulaRef &F, const QueryBudget &B) {
+uint64_t ProverCache::keyFor(const FormulaRef &F, const QueryBudget &B) {
   // Hash-consing makes the interner id a complete witness of formula
   // structure, so the key derives from it directly; no tree walk.
-  return combine(mix(F->id()), B.hash());
+  return combine64(mix64(F->id()), B.hash());
 }
 
 ProverCache::ProverCache(const Config &C) {
@@ -49,11 +34,11 @@ ProverCache::ProverCache(const Config &C) {
     Shards.push_back(std::make_unique<Shard>());
 }
 
-ProverCache::Shard &ProverCache::shardFor(size_t Key) {
-  return *Shards[mix(Key) % Shards.size()];
+ProverCache::Shard &ProverCache::shardFor(uint64_t Key) {
+  return *Shards[mix64(Key) % Shards.size()];
 }
 
-ProverCache::Entry *ProverCache::findIn(Table &T, size_t Key,
+ProverCache::Entry *ProverCache::findIn(Table &T, uint64_t Key,
                                         const FormulaRef &F,
                                         const QueryBudget &B) {
   auto It = T.find(Key);
@@ -80,7 +65,7 @@ std::optional<SatOutcome> ProverCache::lookup(const FormulaRef &F,
   return lookupHashed(keyFor(F, B), F, B);
 }
 
-std::optional<SatOutcome> ProverCache::lookupHashed(size_t Key,
+std::optional<SatOutcome> ProverCache::lookupHashed(uint64_t Key,
                                                     const FormulaRef &F,
                                                     const QueryBudget &B) {
   Shard &S = shardFor(Key);
@@ -113,7 +98,7 @@ void ProverCache::insert(const FormulaRef &F, const QueryBudget &B,
   insertHashed(keyFor(F, B), F, B, O);
 }
 
-void ProverCache::insertHashed(size_t Key, const FormulaRef &F,
+void ProverCache::insertHashed(uint64_t Key, const FormulaRef &F,
                                const QueryBudget &B, SatOutcome O) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> L(S.M);

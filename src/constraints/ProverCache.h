@@ -74,7 +74,8 @@ struct QueryBudget {
            A.SolverTiers == B.SolverTiers;
   }
 
-  size_t hash() const;
+  /// Stable 64-bit hash of the budget tuple (support/Digest.h mixer).
+  uint64_t hash() const;
 };
 
 /// A bounded, sharded, thread-safe formula-result cache, shareable
@@ -107,13 +108,15 @@ public:
   /// Same, with a caller-computed key hash. Exposed so the prover can
   /// hash once per query, and so tests can force hash collisions onto
   /// the Formula::equal verification path.
-  std::optional<SatOutcome> lookupHashed(size_t Key, const FormulaRef &F,
+  std::optional<SatOutcome> lookupHashed(uint64_t Key, const FormulaRef &F,
                                          const QueryBudget &B);
-  void insertHashed(size_t Key, const FormulaRef &F, const QueryBudget &B,
+  void insertHashed(uint64_t Key, const FormulaRef &F, const QueryBudget &B,
                     SatOutcome O);
 
-  /// Combines a formula hash and a budget into the cache key.
-  static size_t keyFor(const FormulaRef &F, const QueryBudget &B);
+  /// Combines a formula hash and a budget into the cache key. Stable
+  /// across platforms (the interner id is process-local, so keys are
+  /// process-local too — only the mixing algorithm is portable).
+  static uint64_t keyFor(const FormulaRef &F, const QueryBudget &B);
 
   void clear();
   Stats stats() const; ///< Aggregated over all shards.
@@ -127,7 +130,7 @@ private:
   /// Hash-collision chain; entries are discriminated by Formula::equal
   /// plus exact budget comparison.
   using Bucket = std::vector<Entry>;
-  using Table = std::unordered_map<size_t, Bucket>;
+  using Table = std::unordered_map<uint64_t, Bucket>;
 
   struct Shard {
     mutable std::mutex M;
@@ -137,9 +140,9 @@ private:
     uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
   };
 
-  Shard &shardFor(size_t Key);
+  Shard &shardFor(uint64_t Key);
   /// Finds \p F under \p B in \p T; null when absent.
-  static Entry *findIn(Table &T, size_t Key, const FormulaRef &F,
+  static Entry *findIn(Table &T, uint64_t Key, const FormulaRef &F,
                        const QueryBudget &B);
   /// Flips generations when the hot one is full. Caller holds S.M.
   void maybeFlipLocked(Shard &S);

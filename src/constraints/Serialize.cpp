@@ -1,0 +1,237 @@
+//===- Serialize.cpp ------------------------------------------------------===//
+
+#include "constraints/Serialize.h"
+
+#include "support/Digest.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mcsafe;
+
+//===----------------------------------------------------------------------===//
+// FormulaPoolWriter
+//===----------------------------------------------------------------------===//
+
+uint32_t FormulaPoolWriter::add(const FormulaRef &F) {
+  assert(F && "null formula");
+  auto Known = NodeIx.find(F->id());
+  if (Known != NodeIx.end())
+    return Known->second;
+
+  // Iterative postorder walk so certificate-sized formulas cannot overflow
+  // the stack; every node lands in the pool after all of its children,
+  // which is exactly the forward order the loader re-interns in.
+  struct Item {
+    FormulaRef N;
+    size_t NextChild;
+  };
+  std::vector<Item> Stack;
+  Stack.push_back({F, 0});
+  while (!Stack.empty()) {
+    Item &Top = Stack.back();
+    if (NodeIx.count(Top.N->id())) {
+      Stack.pop_back();
+      continue;
+    }
+    const std::vector<FormulaRef> &Children = Top.N->children();
+    if (Top.NextChild < Children.size()) {
+      const FormulaRef &C = Children[Top.NextChild++];
+      if (!NodeIx.count(C->id()))
+        Stack.push_back({C, 0});
+      continue;
+    }
+    NodeIx.emplace(Top.N->id(), static_cast<uint32_t>(Nodes.size()));
+    Nodes.push_back(Top.N);
+    Stack.pop_back();
+  }
+  return NodeIx.at(F->id());
+}
+
+uint32_t FormulaPoolWriter::varIndex(VarId V) {
+  auto [It, Fresh] = VarIx.try_emplace(V.index(),
+                                       static_cast<uint32_t>(Vars.size()));
+  if (Fresh)
+    Vars.push_back(V);
+  return It->second;
+}
+
+void FormulaPoolWriter::writeTo(ByteWriter &W) {
+  // Var indices are assigned while emitting nodes (in name-sorted term
+  // order), but the name table must precede the node table in the byte
+  // stream — so emit nodes into a scratch buffer first.
+  ByteWriter NodeW;
+  for (const FormulaRef &F : Nodes) {
+    NodeW.u8(static_cast<uint8_t>(F->kind()));
+    switch (F->kind()) {
+    case FormulaKind::True:
+    case FormulaKind::False:
+      break;
+    case FormulaKind::Atom: {
+      const Constraint &C = F->constraint();
+      NodeW.u8(static_cast<uint8_t>(C.kind()));
+      NodeW.i64(C.modulus());
+      const LinearExpr &E = C.expr();
+      NodeW.u8(E.isPoisoned() ? 1 : 0);
+      NodeW.i64(E.constantValue());
+      // Name order, not VarId order: ids are process-local, names are the
+      // portable identity (see the header comment on writeTo).
+      std::vector<LinearExpr::Term> Terms(E.terms().begin(),
+                                          E.terms().end());
+      std::sort(Terms.begin(), Terms.end(),
+                [](const LinearExpr::Term &A, const LinearExpr::Term &B) {
+                  const std::string &NA = varName(A.first);
+                  const std::string &NB = varName(B.first);
+                  if (NA != NB)
+                    return NA < NB;
+                  return A.first < B.first;
+                });
+      NodeW.u32(static_cast<uint32_t>(Terms.size()));
+      for (const auto &[V, Coeff] : Terms) {
+        NodeW.u32(varIndex(V));
+        NodeW.i64(Coeff);
+      }
+      break;
+    }
+    case FormulaKind::And:
+    case FormulaKind::Or: {
+      const std::vector<FormulaRef> &Children = F->children();
+      NodeW.u32(static_cast<uint32_t>(Children.size()));
+      for (const FormulaRef &C : Children)
+        NodeW.u32(NodeIx.at(C->id()));
+      break;
+    }
+    case FormulaKind::Exists:
+    case FormulaKind::Forall:
+      NodeW.u32(varIndex(F->boundVar()));
+      NodeW.u32(NodeIx.at(F->children().front()->id()));
+      break;
+    }
+  }
+
+  W.u32(static_cast<uint32_t>(Vars.size()));
+  for (VarId V : Vars)
+    W.str(varName(V));
+  W.u32(static_cast<uint32_t>(Nodes.size()));
+  W.raw(NodeW.bytes());
+}
+
+//===----------------------------------------------------------------------===//
+// loadFormulaPool
+//===----------------------------------------------------------------------===//
+
+std::optional<std::vector<FormulaRef>> mcsafe::loadFormulaPool(ByteReader &R) {
+  uint32_t VarCount = R.u32();
+  // Every var name costs at least its 4-byte length prefix; a count that
+  // could not possibly fit is corrupt, and bounding it here keeps a
+  // malicious count from reserving gigabytes before the reads fail.
+  if (!R.ok() || VarCount > R.remaining() / 4)
+    return std::nullopt;
+  std::vector<VarId> VarTab;
+  VarTab.reserve(VarCount);
+  for (uint32_t I = 0; I < VarCount; ++I) {
+    std::string_view Name = R.str();
+    if (!R.ok() || Name.empty())
+      return std::nullopt;
+    VarTab.push_back(varId(Name));
+  }
+
+  uint32_t NodeCount = R.u32();
+  if (!R.ok() || NodeCount > R.remaining())
+    return std::nullopt;
+  std::vector<FormulaRef> Pool;
+  Pool.reserve(NodeCount);
+  for (uint32_t I = 0; I < NodeCount; ++I) {
+    uint8_t RawKind = R.u8();
+    if (!R.ok() || RawKind > static_cast<uint8_t>(FormulaKind::Forall))
+      return std::nullopt;
+    switch (static_cast<FormulaKind>(RawKind)) {
+    case FormulaKind::True:
+      Pool.push_back(Formula::mkTrue());
+      break;
+    case FormulaKind::False:
+      Pool.push_back(Formula::mkFalse());
+      break;
+    case FormulaKind::Atom: {
+      uint8_t RawCKind = R.u8();
+      int64_t Modulus = R.i64();
+      uint8_t RawPoisoned = R.u8();
+      int64_t Constant = R.i64();
+      uint32_t TermCount = R.u32();
+      if (!R.ok() || RawCKind > static_cast<uint8_t>(ConstraintKind::NDIV) ||
+          RawPoisoned > 1 || TermCount > R.remaining() / 12)
+        return std::nullopt;
+      std::vector<LinearExpr::Term> Terms;
+      Terms.reserve(TermCount);
+      for (uint32_t T = 0; T < TermCount; ++T) {
+        uint32_t VarIx = R.u32();
+        int64_t Coeff = R.i64();
+        if (!R.ok() || VarIx >= VarTab.size())
+          return std::nullopt;
+        Terms.emplace_back(VarTab[VarIx], Coeff);
+      }
+      // Stored in name order; this process's VarIds may order differently,
+      // so restore the LinearExpr invariant before reconstructing. A
+      // duplicate variable survives the sort and is rejected by
+      // fromSorted's strict-ascending check.
+      std::sort(Terms.begin(), Terms.end(),
+                [](const LinearExpr::Term &A, const LinearExpr::Term &B) {
+                  return A.first < B.first;
+                });
+      std::optional<LinearExpr> E =
+          LinearExpr::fromSorted(Terms, Constant, RawPoisoned != 0);
+      if (!E)
+        return std::nullopt;
+      std::optional<Constraint> C = Constraint::fromSerialized(
+          static_cast<ConstraintKind>(RawCKind), std::move(*E), Modulus);
+      if (!C)
+        return std::nullopt;
+      Pool.push_back(Formula::atom(std::move(*C)));
+      break;
+    }
+    case FormulaKind::And:
+    case FormulaKind::Or: {
+      uint32_t ChildCount = R.u32();
+      if (!R.ok() || ChildCount > R.remaining() / 4)
+        return std::nullopt;
+      std::vector<FormulaRef> Children;
+      Children.reserve(ChildCount);
+      for (uint32_t C = 0; C < ChildCount; ++C) {
+        uint32_t ChildIx = R.u32();
+        // Child-before-parent order: references only reach backward.
+        if (!R.ok() || ChildIx >= I)
+          return std::nullopt;
+        Children.push_back(Pool[ChildIx]);
+      }
+      Pool.push_back(static_cast<FormulaKind>(RawKind) == FormulaKind::And
+                         ? Formula::conj(std::move(Children))
+                         : Formula::disj(std::move(Children)));
+      break;
+    }
+    case FormulaKind::Exists:
+    case FormulaKind::Forall: {
+      uint32_t VarIx = R.u32();
+      uint32_t ChildIx = R.u32();
+      if (!R.ok() || VarIx >= VarTab.size() || ChildIx >= I)
+        return std::nullopt;
+      Pool.push_back(static_cast<FormulaKind>(RawKind) == FormulaKind::Exists
+                         ? Formula::exists(VarTab[VarIx], Pool[ChildIx])
+                         : Formula::forall(VarTab[VarIx], Pool[ChildIx]));
+      break;
+    }
+    }
+  }
+  return Pool;
+}
+
+//===----------------------------------------------------------------------===//
+// stableFormulaDigest
+//===----------------------------------------------------------------------===//
+
+uint64_t mcsafe::stableFormulaDigest(const FormulaRef &F) {
+  FormulaPoolWriter Pool;
+  Pool.add(F);
+  ByteWriter W;
+  Pool.writeTo(W);
+  return support::digestBytes(W.bytes());
+}

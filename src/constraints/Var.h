@@ -31,6 +31,8 @@
 #ifndef MCSAFE_CONSTRAINTS_VAR_H
 #define MCSAFE_CONSTRAINTS_VAR_H
 
+#include "support/Digest.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -106,7 +108,10 @@ public:
 
 template <> struct std::hash<mcsafe::VarId> {
   size_t operator()(mcsafe::VarId Id) const noexcept {
-    return std::hash<uint32_t>()(Id.index());
+    // The stable mixer rather than std::hash<uint32_t> (which libstdc++
+    // implements as the identity — poor bucket spread — and which is
+    // implementation-defined everywhere else).
+    return static_cast<size_t>(mcsafe::support::mix64(Id.index()));
   }
 };
 

@@ -1,0 +1,17 @@
+//===- Digest.cpp ---------------------------------------------------------===//
+
+#include "support/Digest.h"
+
+using namespace mcsafe;
+
+uint64_t support::digestBytes(std::string_view Bytes) {
+  // FNV-1a over the bytes, then the length and a finalizing mix. FNV's
+  // weak avalanche is fine here because every use immediately refeeds the
+  // value through combine64/mix64.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return mix64(combine64(H, Bytes.size()));
+}

@@ -1,0 +1,86 @@
+//===- Digest.h - Stable 64-bit content digests -----------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit 64-bit mixer (splitmix64 finalizer) and a streaming digest
+/// built on it. Every content hash that identifies formulas, constraints,
+/// or expressions — and every key that outlives the process, like the
+/// certificate store's procedure keys — goes through these functions.
+///
+/// std::hash is deliberately banned from such places: its values are
+/// implementation-defined, differing across standard libraries and across
+/// 32/64-bit size_t, which makes it unsound for any persisted key and
+/// untestable against golden values. Everything here is specified purely
+/// in terms of fixed-width uint64_t arithmetic, so a digest computed on
+/// any conforming platform is bit-identical (DigestTest pins golden
+/// values to keep it that way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_DIGEST_H
+#define MCSAFE_SUPPORT_DIGEST_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcsafe {
+namespace support {
+
+/// The splitmix64 finalizer: a cheap, well-distributed, platform-stable
+/// bijection on 64-bit values.
+constexpr uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+/// Folds \p B into the running digest \p A (boost-style golden-ratio
+/// spread followed by the splitmix64 finalizer). Not commutative: order
+/// of combination is part of the digest.
+constexpr uint64_t combine64(uint64_t A, uint64_t B) {
+  return mix64(A + 0x9e3779b97f4a7c15ULL + (B << 6) + (B >> 2));
+}
+
+/// Two's-complement reinterpretation, so signed quantities digest
+/// identically regardless of the platform's sign-conversion behavior
+/// (well-defined since C++20, but explicit is better than implicit).
+constexpr uint64_t signedBits(int64_t V) { return static_cast<uint64_t>(V); }
+
+/// Digests a byte string: length-prefixed FNV-1a folded through the
+/// mixer. The length prefix keeps concatenation attacks out of
+/// multi-field digests ("ab","c" vs "a","bc").
+uint64_t digestBytes(std::string_view Bytes);
+
+/// A streaming digest accumulator for multi-field content keys. Field
+/// order is significant; all inputs reduce to uint64_t before mixing.
+class Digest {
+public:
+  Digest() = default;
+  explicit Digest(uint64_t Seed) : H(mix64(Seed)) {}
+
+  Digest &add(uint64_t V) {
+    H = combine64(H, V);
+    return *this;
+  }
+  Digest &addSigned(int64_t V) { return add(signedBits(V)); }
+  Digest &addBytes(std::string_view Bytes) {
+    return add(digestBytes(Bytes));
+  }
+
+  uint64_t value() const { return H; }
+
+private:
+  uint64_t H = 0x6d63736166655f64ULL; // "mcsafe_d", an arbitrary fixed seed.
+};
+
+} // namespace support
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_DIGEST_H

@@ -1,0 +1,140 @@
+//===- DigestTest.cpp - Golden values for the stable digests --------------===//
+//
+// Pins the exact bit patterns of the support/Digest.h mixer and of
+// stableFormulaDigest(). These values are the persistence contract of
+// the certificate store: a certificate written by any build must hash
+// identically in any other build, so a failure here means either the
+// algorithm changed (bump CertStore::FormatVersion) or a platform is
+// computing different digests (a bug — the functions are pure uint64_t
+// arithmetic).
+//
+//===----------------------------------------------------------------------===//
+
+#include "constraints/Serialize.h"
+#include "support/Digest.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcsafe;
+using support::combine64;
+using support::digestBytes;
+using support::mix64;
+using support::signedBits;
+
+namespace {
+
+LinearExpr var(const char *Name) { return LinearExpr::variable(varId(Name)); }
+
+TEST(Digest, Mix64GoldenValues) {
+  // splitmix64's finalizer fixes 0 (an acceptable quirk: every digest
+  // that matters runs through a seeded accumulator or combine64 first).
+  EXPECT_EQ(mix64(0), 0x0000000000000000ULL);
+  EXPECT_EQ(mix64(1), 0x5692161d100b05e5ULL);
+  EXPECT_EQ(mix64(0xdeadbeefULL), 0x4e062702ec929eeaULL);
+}
+
+TEST(Digest, Combine64GoldenValuesAndOrderSensitivity) {
+  EXPECT_EQ(combine64(0, 0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(combine64(1, 2), 0x96403e918bdbd015ULL);
+  EXPECT_EQ(combine64(2, 1), 0x2c1c719d2c17b759ULL);
+  // Field order is part of multi-field digests.
+  EXPECT_NE(combine64(1, 2), combine64(2, 1));
+}
+
+TEST(Digest, DigestBytesGoldenValues) {
+  EXPECT_EQ(digestBytes(""), 0xa39fc2e1dfa4ad33ULL);
+  EXPECT_EQ(digestBytes("ab"), 0xb82f5e1c6c19a7d9ULL);
+  EXPECT_EQ(digestBytes("mcsafe"), 0xfbd30324ebe58a5eULL);
+}
+
+TEST(Digest, SignedBitsIsTwosComplement) {
+  EXPECT_EQ(signedBits(-1), 0xffffffffffffffffULL);
+  EXPECT_EQ(signedBits(INT64_MIN), 0x8000000000000000ULL);
+  EXPECT_EQ(signedBits(42), 42ULL);
+}
+
+TEST(Digest, StreamingDigestMatchesManualCombineChain) {
+  support::Digest D;
+  D.add(7).addSigned(-3).addBytes("x");
+  uint64_t H = 0x6d63736166655f64ULL; // The documented fixed seed.
+  H = combine64(H, 7);
+  H = combine64(H, signedBits(-3));
+  H = combine64(H, digestBytes("x"));
+  EXPECT_EQ(D.value(), H);
+}
+
+TEST(Digest, LinearExprHashMatchesSpecifiedRecomputation) {
+  LinearExpr E = var("in.x").scaled(3) + var("in.y").scaled(-2);
+  E = E.plusConstant(17);
+  support::Digest D;
+  D.addSigned(17);
+  for (const auto &[V, Coeff] : E.terms()) {
+    D.add(V.index());
+    D.addSigned(Coeff);
+  }
+  D.add(0); // Not poisoned.
+  EXPECT_EQ(E.hash(), D.value());
+}
+
+TEST(Digest, ConstraintHashMatchesSpecifiedRecomputation) {
+  Constraint C = Constraint::divides(8, var("in.p"));
+  uint64_t H = C.expr().hash();
+  H = combine64(H, static_cast<uint64_t>(C.kind()));
+  H = combine64(H, signedBits(C.modulus()));
+  EXPECT_EQ(C.hash(), H);
+}
+
+// The stableFormulaDigest goldens below pin the full pipeline: term
+// ordering by variable name, the pool byte layout, and digestBytes.
+// Any byte-format change lands here first.
+
+TEST(Digest, StableFormulaDigestGoldenValues) {
+  FormulaRef GeX = Formula::atom(Constraint::ge(var("in.x").plusConstant(-5)));
+  EXPECT_EQ(stableFormulaDigest(GeX), 0xdd5a56d735d825cbULL);
+
+  FormulaRef C = Formula::conj2(GeX, Formula::atom(Constraint::ge(var("in.y"))));
+  EXPECT_EQ(stableFormulaDigest(C), 0x059455649b63408cULL);
+
+  FormulaRef Ex = Formula::exists(varId("in.y"), C);
+  EXPECT_EQ(stableFormulaDigest(Ex), 0x72a8ef854c920fb3ULL);
+
+  FormulaRef Dv =
+      Formula::atom(Constraint::divides(4, var("in.x") + var("in.y").scaled(2)));
+  EXPECT_EQ(stableFormulaDigest(Dv), 0x9dbbdbf610b33184ULL);
+
+  EXPECT_EQ(stableFormulaDigest(Formula::mkTrue()), 0x7f95e2d377cf08fbULL);
+  EXPECT_EQ(stableFormulaDigest(Formula::mkFalse()), 0x42ff6bbbc8781ed0ULL);
+}
+
+TEST(Digest, StableFormulaDigestIgnoresVarInterningOrder) {
+  // The digest orders atom terms by variable *name*; the order this
+  // process happened to intern the ids must not show through. Build the
+  // same formula under namespaces that intern the variables in opposite
+  // orders.
+  uint64_t D1, D2;
+  {
+    VarNamespace NS;
+    VarId A = varId("zz.a"), B = varId("zz.b");
+    D1 = stableFormulaDigest(Formula::atom(Constraint::ge(
+        LinearExpr::variable(A) + LinearExpr::variable(B).scaled(2))));
+  }
+  {
+    VarNamespace NS;
+    VarId B = varId("zz.b"), A = varId("zz.a"); // Reverse interning order.
+    D2 = stableFormulaDigest(Formula::atom(Constraint::ge(
+        LinearExpr::variable(A) + LinearExpr::variable(B).scaled(2))));
+  }
+  EXPECT_EQ(D1, D2);
+}
+
+TEST(Digest, StableFormulaDigestSeparatesStructure) {
+  FormulaRef A = Formula::atom(Constraint::ge(var("in.x")));
+  FormulaRef B = Formula::atom(Constraint::ge(var("in.y")));
+  FormulaRef C = Formula::atom(Constraint::eq(var("in.x")));
+  EXPECT_NE(stableFormulaDigest(A), stableFormulaDigest(B));
+  EXPECT_NE(stableFormulaDigest(A), stableFormulaDigest(C));
+  EXPECT_NE(stableFormulaDigest(Formula::conj2(A, B)),
+            stableFormulaDigest(Formula::disj2(A, B)));
+}
+
+} // namespace

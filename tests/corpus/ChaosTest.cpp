@@ -14,14 +14,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "checker/CertStore.h"
 #include "checker/SafetyChecker.h"
 #include "corpus/Corpus.h"
 #include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <string>
+#include <unistd.h>
 
 using namespace mcsafe;
 using namespace mcsafe::checker;
@@ -69,6 +72,77 @@ TEST_P(Chaos, FaultsNeverManufactureASafeVerdict) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Chaos, ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<uint64_t> &I) {
+                           return "seed" + std::to_string(I.param);
+                         });
+
+std::map<std::string, CheckVerdict> runCorpusWithStore(CertStore &Store) {
+  std::map<std::string, CheckVerdict> Verdicts;
+  for (const CorpusProgram &P : corpus::corpus()) {
+    SafetyChecker::Options Opts;
+    Opts.Certs = &Store;
+    SafetyChecker Checker(Opts);
+    Verdicts[P.Name] = Checker.checkSource(P.Asm, P.Policy).Verdict;
+  }
+  return Verdicts;
+}
+
+class CertChaos : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CertChaos, CertFaultSitesDegradeToColdNeverToUnsoundSafe) {
+  // The cert/open, cert/read, and cert/write fault sites: a store that
+  // randomly fails its I/O must only ever cost warm hits (checks fall
+  // back cold), never crash and never change a verdict. The warm pass
+  // runs against a store the cold pass populated, so both directions
+  // (failing reads of good certificates, failing writes of new ones)
+  // are exercised.
+  std::map<std::string, CheckVerdict> Baseline = runCorpus();
+
+  std::string Dir =
+      (std::filesystem::temp_directory_path() /
+       ("mcsafe-chaos-cert-" + std::to_string(GetParam()) + "-" +
+        std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(Dir);
+  CertStore Store(Dir);
+
+  support::FaultPlan Plan(GetParam());
+  support::FaultPlan::install(&Plan);
+  std::map<std::string, CheckVerdict> Cold = runCorpusWithStore(Store);
+  std::map<std::string, CheckVerdict> Warm = runCorpusWithStore(Store);
+  support::FaultPlan::install(nullptr);
+
+  // Fail-sound in both directions, as in the main chaos test: a fault
+  // (cert or otherwise) may cost a definitive verdict, never invent one.
+  for (const auto *Run : {&Cold, &Warm})
+    for (const auto &[Name, Verdict] : *Run) {
+      if (Verdict == CheckVerdict::Safe) {
+        EXPECT_EQ(Baseline[Name], CheckVerdict::Safe) << Name;
+      }
+      if (Verdict == CheckVerdict::Unsafe) {
+        EXPECT_EQ(Baseline[Name], CheckVerdict::Unsafe) << Name;
+      }
+    }
+
+#if !defined(MCSAFE_FAULT_INJECTION)
+  // Fault points compiled out: verdicts are exactly the baseline and
+  // the second pass is all hits.
+  EXPECT_EQ(Plan.firedCount(), 0u);
+  EXPECT_EQ(Cold, Baseline);
+  EXPECT_EQ(Warm, Baseline);
+  EXPECT_EQ(Store.stats().Hits, corpus::corpus().size());
+#else
+  // Under fire the counters still balance: every check either hit or
+  // went cold; nothing vanished.
+  EXPECT_EQ(Store.stats().Hits + Store.stats().Misses +
+                Store.stats().Corrupt + Store.stats().Stale,
+            2 * corpus::corpus().size());
+#endif
+
+  std::filesystem::remove_all(Dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertChaos, ::testing::Values(1u, 2u, 3u),
                          [](const ::testing::TestParamInfo<uint64_t> &I) {
                            return "seed" + std::to_string(I.param);
                          });

@@ -19,6 +19,7 @@
 
 #include "analysis/Lint.h"
 #include "checker/Annotation.h"
+#include "checker/CertStore.h"
 #include "checker/CheckContext.h"
 #include "checker/Propagation.h"
 #include "checker/ParallelCheck.h"
@@ -34,6 +35,7 @@
 #include "sparc/AsmParser.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -49,13 +51,37 @@ using namespace mcsafe::checker;
 
 namespace {
 
-std::optional<std::string> readFile(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
+/// Reads a file fully, in binary mode (inputs are untrusted bytes; text
+/// mode would silently rewrite them on some platforms). On failure
+/// returns nullopt with \p Error set to the cause — missing/unreadable
+/// (with strerror) and empty files are distinguished, not conflated.
+std::optional<std::string> readFile(const std::string &Path,
+                                    std::string &Error) {
+  errno = 0;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open()) {
+    int E = errno;
+    Error = "cannot open '" + Path +
+            "': " + (E ? std::strerror(E) : "unknown error");
     return std::nullopt;
+  }
   std::ostringstream OS;
   OS << In.rdbuf();
-  return OS.str();
+  // Note: inserting an empty rdbuf sets failbit on OS (zero characters
+  // extracted), so only In.bad() signals an actual read error; the
+  // zero-byte case is diagnosed as "empty" below.
+  if (In.bad()) {
+    int E = errno;
+    Error = "read error on '" + Path +
+            "': " + (E ? std::strerror(E) : "unknown error");
+    return std::nullopt;
+  }
+  std::string Bytes = OS.str();
+  if (Bytes.empty()) {
+    Error = "'" + Path + "' is empty";
+    return std::nullopt;
+  }
+  return Bytes;
 }
 
 void usage() {
@@ -95,6 +121,15 @@ void usage() {
       "  --fault-seed N enable the deterministic fault-injection plan\n"
       "                 with seed N (needs an MCSAFE_FAULT_INJECTION\n"
       "                 build; a no-op otherwise)\n"
+      "  --cert-store DIR\n"
+      "                 persistent certificate store: a check whose\n"
+      "                 inputs and configuration match a stored\n"
+      "                 certificate revalidates it instead of re-running\n"
+      "                 the pipeline (identical verdicts and reports\n"
+      "                 either way); misses and corrupt entries fall\n"
+      "                 back to a cold run and write a fresh\n"
+      "                 certificate (counters: cert/store/* in\n"
+      "                 --metrics-json)\n"
       "exit codes: 0 safe, 1 unsafe, 2 malformed input, 3 unknown,\n"
       "            4 internal error\n");
 }
@@ -166,11 +201,13 @@ int runLintOnly(const std::string &Asm, const std::string &Policy,
 
 int runCheck(const std::string &Asm, const std::string &Policy,
              bool Listing, bool Conditions, bool Stats, LintMode Lint,
-             unsigned Jobs, const GovernorConfig &Gov, Observability &Obs) {
+             unsigned Jobs, const GovernorConfig &Gov, Observability &Obs,
+             CertStore *Certs) {
   if (Lint == LintMode::Only)
     return runLintOnly(Asm, Policy, Stats);
   SafetyChecker::Options Opts;
   Opts.Metrics = &Obs.Registry;
+  Opts.Certs = Certs;
   Opts.Limits = Gov.Limits;
   Opts.FailSoft = Gov.FailSoft;
   Opts.ProverOpts.EnableTiers = Gov.EnableTiers;
@@ -358,10 +395,12 @@ void printPhaseTable(const support::MetricsRegistry &Reg,
 /// Checks the whole corpus, possibly in parallel. The non-verbose output
 /// is the deterministic batch report — byte-identical for any job count.
 int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
-                 const GovernorConfig &Gov, Observability &Obs) {
+                 const GovernorConfig &Gov, Observability &Obs,
+                 CertStore *Certs) {
   ParallelCheckOptions Opts;
   Opts.Jobs = Jobs;
   Opts.Metrics = &Obs.Registry;
+  Opts.Check.Certs = Certs;
   Opts.Check.Limits = Gov.Limits;
   Opts.Check.FailSoft = Gov.FailSoft;
   Opts.Check.ProverOpts.EnableTiers = Gov.EnableTiers;
@@ -454,6 +493,7 @@ int main(int argc, char **argv) {
   Observability Obs;
   GovernorConfig Gov;
   std::optional<uint64_t> FaultSeed;
+  std::string CertDir;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -525,6 +565,13 @@ int main(int argc, char **argv) {
         return 2;
       }
       Jobs = static_cast<unsigned>(N);
+    } else if (isFlag("--cert-store")) {
+      std::optional<std::string> Value = flagValue("--cert-store");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      CertDir = *Value;
     } else if (isFlag("--trace")) {
       std::optional<std::string> Value = flagValue("--trace");
       if (!Value || Value->empty()) {
@@ -596,14 +643,18 @@ int main(int argc, char **argv) {
     support::FaultPlan::install(Plan.get());
   }
 
+  std::unique_ptr<CertStore> Certs;
+  if (!CertDir.empty())
+    Certs = std::make_unique<CertStore>(CertDir);
+
   auto Run = [&]() -> int {
     if (!CorpusName.empty()) {
       if (CorpusName == "all")
-        return runCorpusAll(Stats, Lint, Jobs, Gov, Obs);
+        return runCorpusAll(Stats, Lint, Jobs, Gov, Obs, Certs.get());
       for (const corpus::CorpusProgram &P : corpus::corpus())
         if (P.Name == CorpusName)
           return runCheck(P.Asm, P.Policy, Listing, Conditions, Stats,
-                          Lint, Jobs, Gov, Obs);
+                          Lint, Jobs, Gov, Obs, Certs.get());
       std::fprintf(stderr, "unknown corpus program '%s'\n",
                    CorpusName.c_str());
       return 2;
@@ -612,18 +663,26 @@ int main(int argc, char **argv) {
       usage();
       return 2;
     }
-    std::optional<std::string> Asm = readFile(Files[0]);
+    // Unreadable inputs are reported as structured MalformedInput
+    // failures (path + cause), not a bare usage dump: the command line
+    // was well-formed, the input was not.
+    std::string ReadError;
+    std::optional<std::string> Asm = readFile(Files[0], ReadError);
     if (!Asm) {
-      std::fprintf(stderr, "cannot read '%s'\n", Files[0].c_str());
-      return 2;
+      CheckFailure F{CheckPhase::Input, FailureKind::MalformedAssembly,
+                     std::nullopt, ReadError};
+      std::fprintf(stderr, "failure: %s\n", F.str().c_str());
+      return exitCode(CheckVerdict::MalformedInput);
     }
-    std::optional<std::string> Policy = readFile(Files[1]);
+    std::optional<std::string> Policy = readFile(Files[1], ReadError);
     if (!Policy) {
-      std::fprintf(stderr, "cannot read '%s'\n", Files[1].c_str());
-      return 2;
+      CheckFailure F{CheckPhase::Input, FailureKind::MalformedPolicy,
+                     std::nullopt, ReadError};
+      std::fprintf(stderr, "failure: %s\n", F.str().c_str());
+      return exitCode(CheckVerdict::MalformedInput);
     }
     return runCheck(*Asm, *Policy, Listing, Conditions, Stats, Lint, Jobs,
-                    Gov, Obs);
+                    Gov, Obs, Certs.get());
   };
   // Everything input-reachable returns a structured verdict; anything
   // that still escapes as an exception is an internal error, reported on
@@ -638,6 +697,8 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "internal error: non-standard exception\n");
     Ret = 4;
   }
+  if (Certs)
+    Certs->publish(Obs.Registry);
   if (Plan) {
     support::FaultPlan::install(nullptr);
     Obs.Registry.counter("fault/fired").inc(Plan->firedCount());
