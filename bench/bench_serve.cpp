@@ -1,0 +1,267 @@
+//===- bench_serve.cpp - Resident daemon vs cold process + BENCH_7.json ---===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// Measures what mcsafe-serve exists for: the per-request latency of a
+// warm resident daemon (interner, type factory, prover cache, and
+// certificate store all hot in one process) against the cost a host
+// pays today — fork/exec'ing a fresh mcsafe-check process per request,
+// which re-parses, re-analyzes, and re-proves from nothing.
+//
+//   cold: one `mcsafe-check --corpus <name>` process per corpus
+//         program, timed end to end (spawn + link + check + exit);
+//   warm: the same programs through a live Server over a Unix socket,
+//         after a first pass has populated the caches and cert store.
+//
+// Two invariants are enforced (exit 1 on violation):
+//   * warm daemon responses carry the same verdict the cold process
+//     reported via its exit code — the speed must cost nothing;
+//   * warm per-request latency beats cold by at least 5x.
+//
+// Results go to BENCH_7.json (override with --json FILE).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include "corpus/Corpus.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::serve;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Locates the mcsafe-check binary relative to our own executable
+/// (build/bench/bench_serve -> build/tools/mcsafe-check/mcsafe-check).
+std::string defaultCheckBin() {
+  std::error_code Ec;
+  std::filesystem::path Self =
+      std::filesystem::read_symlink("/proc/self/exe", Ec);
+  if (Ec)
+    return {};
+  return (Self.parent_path().parent_path() / "tools" / "mcsafe-check" /
+          "mcsafe-check")
+      .string();
+}
+
+/// Runs `mcsafe-check --corpus <name>` as a fresh process; returns the
+/// exit code (0 safe, 1 unsafe, 2 unknown, ...), or -1 on spawn failure.
+int runColdProcess(const std::string &Bin, const std::string &Name) {
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    // Child: silence the report; we only time and collect the verdict.
+    ::freopen("/dev/null", "w", stdout);
+    ::freopen("/dev/null", "w", stderr);
+    ::execl(Bin.c_str(), Bin.c_str(), "--corpus", Name.c_str(),
+            "--jobs", "1", static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  int Status = 0;
+  if (::waitpid(Pid, &Status, 0) < 0)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+int verdictExitCode(CheckVerdict V) {
+  switch (V) {
+  case CheckVerdict::Safe:
+    return 0;
+  case CheckVerdict::Unsafe:
+    return 1;
+  case CheckVerdict::Unknown:
+    return 2;
+  case CheckVerdict::MalformedInput:
+    return 3;
+  case CheckVerdict::InternalError:
+    return 4;
+  }
+  return 4;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = "BENCH_7.json";
+  std::string CheckBin = defaultCheckBin();
+  unsigned Jobs = 4;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--check-bin") == 0 && I + 1 < argc) {
+      CheckBin = argv[++I];
+    } else if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      Jobs = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--json FILE] [--check-bin PATH] "
+                   "[--jobs N]\n");
+      return 2;
+    }
+  }
+  if (CheckBin.empty() || !std::filesystem::exists(CheckBin)) {
+    std::fprintf(stderr, "cannot find mcsafe-check at '%s' "
+                         "(pass --check-bin)\n",
+                 CheckBin.c_str());
+    return 2;
+  }
+
+  const std::vector<corpus::CorpusProgram> &Programs = corpus::corpus();
+
+  // --- Cold side: one process per program -------------------------------
+  std::fprintf(stderr, "cold: %zu mcsafe-check process starts...\n",
+               Programs.size());
+  std::vector<int> ColdExit(Programs.size(), -1);
+  auto ColdT0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    ColdExit[I] = runColdProcess(CheckBin, Programs[I].Name);
+    if (ColdExit[I] < 0 || ColdExit[I] == 127) {
+      std::fprintf(stderr, "FAIL: could not run %s --corpus %s\n",
+                   CheckBin.c_str(), Programs[I].Name.c_str());
+      return 1;
+    }
+  }
+  double ColdS = secondsSince(ColdT0);
+
+  // --- Warm side: resident daemon, second pass --------------------------
+  std::string CertDir =
+      (std::filesystem::temp_directory_path() /
+       ("mcsafe-bench-serve-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(CertDir);
+  std::string Sock = "/tmp/mcsafe-bench-" + std::to_string(::getpid()) +
+                     ".sock";
+
+  ServerOptions SOpts;
+  SOpts.SocketPath = Sock;
+  SOpts.Jobs = Jobs;
+  SOpts.CertDir = CertDir;
+  Server Srv(SOpts);
+  std::string Error;
+  if (!Srv.start(Error)) {
+    std::fprintf(stderr, "FAIL: server start: %s\n", Error.c_str());
+    return 1;
+  }
+
+  Client Conn;
+  if (!Conn.connect(Sock, Error)) {
+    std::fprintf(stderr, "FAIL: connect: %s\n", Error.c_str());
+    return 1;
+  }
+
+  auto passOnce = [&](std::vector<int> *ExitCodes) -> bool {
+    for (size_t I = 0; I < Programs.size(); ++I) {
+      CheckRequestMsg Req;
+      Req.ReqId = I;
+      Req.Name = Programs[I].Name;
+      Req.Asm = Programs[I].Asm;
+      Req.Policy = Programs[I].Policy;
+      CheckResponseMsg Resp;
+      if (!Conn.check(Req, Resp, Error)) {
+        std::fprintf(stderr, "FAIL: daemon check '%s': %s\n",
+                     Programs[I].Name.c_str(), Error.c_str());
+        return false;
+      }
+      if (Resp.Shed) {
+        std::fprintf(stderr, "FAIL: request '%s' was shed at idle\n",
+                     Programs[I].Name.c_str());
+        return false;
+      }
+      if (ExitCodes)
+        (*ExitCodes)[I] = verdictExitCode(Resp.Report.Verdict);
+    }
+    return true;
+  };
+
+  // First pass populates the prover cache and certificate store.
+  std::fprintf(stderr, "warm-up pass through the daemon...\n");
+  if (!passOnce(nullptr))
+    return 1;
+
+  // Timed warm pass, best of 3.
+  std::fprintf(stderr, "warm: %zu requests against the hot daemon...\n",
+               Programs.size());
+  std::vector<int> WarmExit(Programs.size(), -1);
+  double WarmS = 1e30;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    if (!passOnce(&WarmExit))
+      return 1;
+    WarmS = std::min(WarmS, secondsSince(T0));
+  }
+
+  Srv.requestStop();
+  Srv.wait();
+  std::filesystem::remove_all(CertDir);
+
+  // Verdict parity: the daemon's answers equal the cold processes'.
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    if (WarmExit[I] != ColdExit[I]) {
+      std::fprintf(stderr,
+                   "FAIL: verdict mismatch on '%s': cold exit %d, "
+                   "daemon %d\n",
+                   Programs[I].Name.c_str(), ColdExit[I], WarmExit[I]);
+      return 1;
+    }
+  }
+
+  double ColdPerReq = ColdS / static_cast<double>(Programs.size());
+  double WarmPerReq = WarmS / static_cast<double>(Programs.size());
+  double Speedup = WarmPerReq > 0 ? ColdPerReq / WarmPerReq : 0;
+  std::fprintf(stderr,
+               "cold %.4fs (%.2fms/req), warm %.4fs (%.2fms/req), "
+               "speedup %.1fx\n",
+               ColdS, ColdPerReq * 1e3, WarmS, WarmPerReq * 1e3, Speedup);
+
+  std::ofstream Out(JsonPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", JsonPath.c_str());
+    return 2;
+  }
+  char Buf[1024];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\n"
+                "  \"bench\": \"bench_serve\",\n"
+                "  \"unit\": \"seconds\",\n"
+                "  \"programs\": %zu,\n"
+                "  \"server_jobs\": %u,\n"
+                "  \"cold_process_total_s\": %.6f,\n"
+                "  \"cold_process_per_request_s\": %.6f,\n"
+                "  \"warm_daemon_total_s\": %.6f,\n"
+                "  \"warm_daemon_per_request_s\": %.6f,\n"
+                "  \"speedup_warm_vs_cold\": %.3f,\n"
+                "  \"verdicts_match_cold_exit_codes\": true\n"
+                "}\n",
+                Programs.size(), Jobs, ColdS, ColdPerReq, WarmS, WarmPerReq,
+                Speedup);
+  Out << Buf;
+  Out.close();
+  std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
+
+  if (Speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: speedup %.1fx is below the 5x floor\n",
+                 Speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -2,16 +2,20 @@
 
 #include "checker/CertStore.h"
 
+#include "checker/ReportCodec.h"
 #include "constraints/Serialize.h"
 #include "support/Digest.h"
 #include "support/FaultInjection.h"
+#include "support/Io.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <fcntl.h>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 using namespace mcsafe;
 using namespace mcsafe::checker;
@@ -67,197 +71,12 @@ namespace {
 
 constexpr char Magic[4] = {'M', 'C', 'R', 'T'};
 
-void writeOpt32(ByteWriter &W, const std::optional<uint32_t> &V) {
-  W.u8(V ? 1 : 0);
-  W.u32(V ? *V : 0);
-}
-
-std::optional<uint32_t> readOpt32(ByteReader &R) {
-  uint8_t Has = R.u8();
-  uint32_t V = R.u32();
-  if (Has > 1)
-    R.fail();
-  return Has == 1 ? std::optional<uint32_t>(V) : std::nullopt;
-}
-
-void writeReport(ByteWriter &W, const CheckReport &Rep) {
-  W.u8(Rep.InputsOk ? 1 : 0);
-  W.u8(Rep.Safe ? 1 : 0);
-  W.u8(static_cast<uint8_t>(Rep.Verdict));
-  W.u8(Rep.LintRejected ? 1 : 0);
-
-  W.u32(static_cast<uint32_t>(Rep.Failures.size()));
-  for (const CheckFailure &F : Rep.Failures) {
-    W.u8(static_cast<uint8_t>(F.Phase));
-    W.u8(static_cast<uint8_t>(F.Kind));
-    writeOpt32(W, F.Pc);
-    W.str(F.Detail);
-  }
-
-  const std::vector<Diagnostic> &Diags = Rep.Diags.diagnostics();
-  W.u32(static_cast<uint32_t>(Diags.size()));
-  for (const Diagnostic &D : Diags) {
-    W.u8(static_cast<uint8_t>(D.Severity));
-    W.u8(static_cast<uint8_t>(D.Kind));
-    writeOpt32(W, D.InstIndex);
-    writeOpt32(W, D.SourceLine);
-    W.str(D.Message);
-  }
-
-  const ProgramCharacteristics &C = Rep.Chars;
-  W.u32(C.Instructions);
-  W.u32(C.Branches);
-  W.u32(C.Loops);
-  W.u32(C.InnerLoops);
-  W.u32(C.Calls);
-  W.u32(C.TrustedCalls);
-  W.u64(C.GlobalConditions);
-  W.u32(C.LintUninitUses);
-  W.u32(C.DeadRegWrites);
-  W.u32(C.MisalignedAccesses);
-  W.i64(C.MaxStackDelta);
-  W.u8(C.StackDeltaBounded ? 1 : 0);
-
-  W.u64(Rep.TypestateNodeVisits);
-  W.u64(Rep.LocalChecks);
-  W.u64(Rep.LocalViolations);
-
-  const GlobalVerifyStats &G = Rep.Global;
-  W.u64(G.ObligationsProved);
-  W.u64(G.ObligationsFailed);
-  W.u64(G.ObligationsUnknown);
-  W.u64(G.QuickDischarges);
-  W.u64(G.InvariantsSynthesized);
-  W.u64(G.InvariantReuses);
-  W.u64(G.IterationsRun);
-  W.u64(G.GeneralizationsTried);
-  W.u64(G.SpeculativeQueries);
-
-  const Prover::Stats &P = Rep.ProverStats;
-  W.u64(P.ValidityQueries);
-  W.u64(P.SatQueries);
-  W.u64(P.CacheHits);
-  W.u64(P.CacheEvictions);
-  W.u64(P.BudgetExhaustions);
-  W.u64(P.Tiers.CongruenceHits);
-  W.u64(P.Tiers.CongruenceMisses);
-  W.u64(P.Tiers.IntervalHits);
-  W.u64(P.Tiers.IntervalMisses);
-  W.u64(P.Tiers.DbmHits);
-  W.u64(P.Tiers.DbmMisses);
-  W.u64(P.Tiers.OmegaHits);
-  W.u64(P.Tiers.OmegaMisses);
-
-  const OmegaTest::Stats &Om = Rep.OmegaStats;
-  W.u64(Om.Calls);
-  W.u64(Om.EqEliminations);
-  W.u64(Om.IneqEliminations);
-  W.u64(Om.DarkShadowHits);
-  W.u64(Om.Splinters);
-}
-
-bool readReport(ByteReader &R, CheckReport &Rep) {
-  Rep.InputsOk = R.u8() != 0;
-  Rep.Safe = R.u8() != 0;
-  uint8_t RawVerdict = R.u8();
-  if (RawVerdict > static_cast<uint8_t>(CheckVerdict::InternalError))
-    return false;
-  Rep.Verdict = static_cast<CheckVerdict>(RawVerdict);
-  Rep.LintRejected = R.u8() != 0;
-
-  uint32_t NFailures = R.u32();
-  if (!R.ok() || NFailures > R.remaining() / 10)
-    return false;
-  Rep.Failures.reserve(NFailures);
-  for (uint32_t I = 0; I < NFailures; ++I) {
-    uint8_t Phase = R.u8();
-    uint8_t Kind = R.u8();
-    std::optional<uint32_t> Pc = readOpt32(R);
-    std::string_view Detail = R.str();
-    if (!R.ok() || Phase > static_cast<uint8_t>(CheckPhase::Driver) ||
-        Kind > static_cast<uint8_t>(FailureKind::InternalError))
-      return false;
-    Rep.Failures.push_back({static_cast<CheckPhase>(Phase),
-                            static_cast<FailureKind>(Kind), Pc,
-                            std::string(Detail)});
-  }
-
-  uint32_t NDiags = R.u32();
-  if (!R.ok() || NDiags > R.remaining() / 16)
-    return false;
-  for (uint32_t I = 0; I < NDiags; ++I) {
-    uint8_t Severity = R.u8();
-    uint8_t Kind = R.u8();
-    std::optional<uint32_t> InstIndex = readOpt32(R);
-    std::optional<uint32_t> SourceLine = readOpt32(R);
-    std::string_view Message = R.str();
-    if (!R.ok() || Severity > static_cast<uint8_t>(DiagSeverity::Fatal) ||
-        Kind > static_cast<uint8_t>(SafetyKind::Protocol))
-      return false;
-    Rep.Diags.report(static_cast<DiagSeverity>(Severity),
-                     static_cast<SafetyKind>(Kind), std::string(Message),
-                     InstIndex, SourceLine);
-  }
-
-  ProgramCharacteristics &C = Rep.Chars;
-  C.Instructions = R.u32();
-  C.Branches = R.u32();
-  C.Loops = R.u32();
-  C.InnerLoops = R.u32();
-  C.Calls = R.u32();
-  C.TrustedCalls = R.u32();
-  C.GlobalConditions = R.u64();
-  C.LintUninitUses = R.u32();
-  C.DeadRegWrites = R.u32();
-  C.MisalignedAccesses = R.u32();
-  C.MaxStackDelta = R.i64();
-  C.StackDeltaBounded = R.u8() != 0;
-
-  Rep.TypestateNodeVisits = R.u64();
-  Rep.LocalChecks = R.u64();
-  Rep.LocalViolations = R.u64();
-
-  GlobalVerifyStats &G = Rep.Global;
-  G.ObligationsProved = R.u64();
-  G.ObligationsFailed = R.u64();
-  G.ObligationsUnknown = R.u64();
-  G.QuickDischarges = R.u64();
-  G.InvariantsSynthesized = R.u64();
-  G.InvariantReuses = R.u64();
-  G.IterationsRun = R.u64();
-  G.GeneralizationsTried = R.u64();
-  G.SpeculativeQueries = R.u64();
-
-  Prover::Stats &P = Rep.ProverStats;
-  P.ValidityQueries = R.u64();
-  P.SatQueries = R.u64();
-  P.CacheHits = R.u64();
-  P.CacheEvictions = R.u64();
-  P.BudgetExhaustions = R.u64();
-  P.Tiers.CongruenceHits = R.u64();
-  P.Tiers.CongruenceMisses = R.u64();
-  P.Tiers.IntervalHits = R.u64();
-  P.Tiers.IntervalMisses = R.u64();
-  P.Tiers.DbmHits = R.u64();
-  P.Tiers.DbmMisses = R.u64();
-  P.Tiers.OmegaHits = R.u64();
-  P.Tiers.OmegaMisses = R.u64();
-
-  OmegaTest::Stats &Om = Rep.OmegaStats;
-  Om.Calls = R.u64();
-  Om.EqEliminations = R.u64();
-  Om.IneqEliminations = R.u64();
-  Om.DarkShadowHits = R.u64();
-  Om.Splinters = R.u64();
-  return R.ok();
-}
-
 std::string serializePayload(const Certificate &Cert) {
   ByteWriter W;
   W.str(Cert.Asm);
   W.str(Cert.Policy);
   W.str(Cert.Config);
-  writeReport(W, Cert.Report);
+  serializeCheckReport(W, Cert.Report);
 
   // One shared pool for every formula the certificate mentions; pool
   // indices are assigned before the pool is emitted.
@@ -304,7 +123,7 @@ bool parsePayload(std::string_view Payload, Certificate &Out) {
   Out.Asm = std::string(R.str());
   Out.Policy = std::string(R.str());
   Out.Config = std::string(R.str());
-  if (!R.ok() || !readReport(R, Out.Report))
+  if (!R.ok() || !deserializeCheckReport(R, Out.Report))
     return false;
 
   // Formula re-interning touches the variable pool; suspending any
@@ -426,18 +245,23 @@ CertStore::LoadOutcome CertStore::load(uint64_t Key, std::string_view Asm,
   const std::string Path = pathFor(Key);
   std::string Bytes;
   {
-    std::ifstream In(Path, std::ios::binary);
-    if (!In.is_open() || support::faultPoint("cert/open")) {
+    // EINTR-retrying reads: a signal landing mid-read in a daemon must
+    // not masquerade as a missing or corrupt certificate.
+    std::string ReadError;
+    support::ReadFileError Kind = support::ReadFileError::None;
+    std::optional<std::string> Data =
+        support::readWholeFile(Path, ReadError, &Kind);
+    if ((!Data && Kind == support::ReadFileError::CannotOpen) ||
+        support::faultPoint("cert/open")) {
       Misses.fetch_add(1, std::memory_order_relaxed);
       return LoadOutcome::Miss;
     }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    if (In.bad() || SS.fail() || support::faultPoint("cert/read")) {
+    // A read error or an empty file is a damaged entry, not a miss.
+    if (!Data || support::faultPoint("cert/read")) {
       CorruptCount.fetch_add(1, std::memory_order_relaxed);
       return LoadOutcome::Corrupt;
     }
-    Bytes = SS.str();
+    Bytes = std::move(*Data);
   }
 
   auto Corrupt = [&] {
@@ -491,22 +315,33 @@ bool CertStore::save(uint64_t Key, const Certificate &Cert) {
   };
 
   // Atomic publish: fully write a temporary, then rename over the final
-  // path. The temp name is key-derived, so two workers racing to store
-  // the same certificate write identical bytes to the same temp file and
-  // both renames succeed benignly.
+  // path. The temp name must be unique per writer: two daemon requests
+  // certifying the same procedure race on the same key, and a shared
+  // key-derived temp name would interleave their writes (corrupting the
+  // bytes) and let one rename fail on the other's ENOENT. A process-wide
+  // counter plus the pid keeps every writer — threads in one daemon,
+  // concurrent batch processes — on its own file.
+  static std::atomic<uint64_t> TmpSerial{0};
   const std::string Path = pathFor(Key);
-  const std::string Tmp = Path + ".tmp";
+  char Suffix[64];
+  std::snprintf(Suffix, sizeof(Suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    TmpSerial.fetch_add(1, std::memory_order_relaxed)));
+  const std::string Tmp = Path + Suffix;
   if (support::faultPoint("cert/write"))
     return Failed();
   {
-    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OutF.is_open())
+    int Fd = static_cast<int>(support::retryEintr([&] {
+      return ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    }));
+    if (Fd < 0)
       return Failed();
-    OutF.write(W.bytes().data(),
-               static_cast<std::streamsize>(W.bytes().size()));
-    OutF.flush();
-    if (!OutF.good()) {
-      OutF.close();
+    // writeAllFd retries EINTR and short writes; anything else is a real
+    // I/O failure and the temp file is discarded.
+    bool Ok = support::writeAllFd(Fd, W.bytes());
+    support::closeFd(Fd);
+    if (!Ok) {
       std::remove(Tmp.c_str());
       return Failed();
     }

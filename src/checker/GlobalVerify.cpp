@@ -25,15 +25,14 @@ using mcsafe::cfg::NodeId;
 
 namespace {
 
-/// Debug tracing, enabled with MCSAFE_TRACE=1 in the environment.
-bool traceEnabled() {
-  static bool Enabled = std::getenv("MCSAFE_TRACE") != nullptr;
-  return Enabled;
-}
-
+/// Debug tracing, per check via GlobalVerifyOptions::DebugTrace (the
+/// macro expands inside Verifier methods, where Opts is in scope). The
+/// old function-local-static std::getenv latch is gone: it froze the
+/// setting at first use for the process lifetime, which a resident
+/// daemon could never override per request.
 #define MCSAFE_TRACE_LOG(...)                                              \
   do {                                                                     \
-    if (traceEnabled())                                                    \
+    if (Opts.DebugTrace)                                                   \
       std::fprintf(stderr, __VA_ARGS__);                                   \
   } while (0)
 

@@ -87,6 +87,14 @@ struct GlobalVerifyOptions {
   /// When set, every invariant synthesized during the run is appended
   /// here at the end (certificate capture). Non-owning.
   std::vector<SynthesizedInvariant> *InvariantSink = nullptr;
+  /// Debug-trace the induction-iteration search to stderr. Drivers set
+  /// this from MCSAFE_TRACE (the CLI, once per invocation) or from the
+  /// request header (mcsafe-serve, per request) — it is a per-check
+  /// option, never a process-latched environment read, so a resident
+  /// daemon can honor different settings on every request. Diagnostic
+  /// output only: it never changes a verdict or a report byte, so it is
+  /// deliberately NOT part of canonicalCheckConfig().
+  bool DebugTrace = false;
 };
 
 /// Per-run statistics.

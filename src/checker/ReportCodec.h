@@ -1,0 +1,45 @@
+//===- ReportCodec.h - CheckReport binary serialization ---------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary codec for CheckReport: every deterministic field of a
+/// report, in a fixed little-endian layout on top of constraints/
+/// Serialize's ByteWriter/ByteReader. Two consumers share it — the
+/// certificate store (a certificate replays the stored report verbatim)
+/// and the mcsafe-serve wire protocol (a daemon response carries the
+/// exact report bytes, so a client renders byte-identical output to a
+/// local run). Because a CheckReport holds only deterministic data (no
+/// wall-clock fields), round-tripping through this codec is lossless and
+/// the bytes themselves are a pure function of the check's inputs.
+///
+/// The reader never trusts its input: truncation, out-of-range enum
+/// values, or implausible element counts fail the decode (false / the
+/// latching ByteReader) rather than fabricating a report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_CHECKER_REPORTCODEC_H
+#define MCSAFE_CHECKER_REPORTCODEC_H
+
+#include "checker/SafetyChecker.h"
+#include "constraints/Serialize.h"
+
+namespace mcsafe {
+namespace checker {
+
+/// Appends \p Rep to \p W in the fixed binary layout. Changing the layout
+/// requires bumping CertStore::FormatVersion and serve::ProtocolVersion.
+void serializeCheckReport(ByteWriter &W, const CheckReport &Rep);
+
+/// Decodes a report written by serializeCheckReport. Returns false (with
+/// \p Rep partially filled) on truncated or malformed input.
+bool deserializeCheckReport(ByteReader &R, CheckReport &Rep);
+
+} // namespace checker
+} // namespace mcsafe
+
+#endif // MCSAFE_CHECKER_REPORTCODEC_H

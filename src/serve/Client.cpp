@@ -1,0 +1,171 @@
+//===- Client.cpp - mcsafe-serve client connection ------------------------===//
+
+#include "serve/Client.h"
+
+#include "support/Io.h"
+
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace mcsafe;
+using namespace mcsafe::serve;
+
+bool Client::connect(const std::string &SocketPath, std::string &Error) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + SocketPath + "' is empty or too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  long R = support::retryEintr([&] {
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr));
+  });
+  if (R != 0) {
+    Error = "cannot connect to '" + SocketPath +
+            "': " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    support::closeFd(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::sendFrame(MsgType Type, std::string_view Payload,
+                       std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!support::sendAll(Fd, encodeFrame(Type, Payload))) {
+    Error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::recvFrame(MsgType &Type, std::string &Payload,
+                       std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  char Header[FrameHeaderSize];
+  long N = support::recvFull(Fd, Header, sizeof(Header));
+  if (N == 0) {
+    Error = "server closed the connection";
+    return false;
+  }
+  if (N != static_cast<long>(sizeof(Header))) {
+    Error = std::string("recv: ") + std::strerror(errno);
+    return false;
+  }
+  FrameHeader H;
+  if (!decodeFrameHeader(std::string_view(Header, sizeof(Header)), H)) {
+    Error = "malformed frame header from server";
+    return false;
+  }
+  Payload.assign(H.PayloadLen, '\0');
+  if (H.PayloadLen != 0 &&
+      support::recvFull(Fd, Payload.data(), Payload.size()) !=
+          static_cast<long>(Payload.size())) {
+    Error = "truncated frame from server";
+    return false;
+  }
+  if (!validateFramePayload(H, Payload)) {
+    Error = "corrupt frame from server (digest mismatch)";
+    return false;
+  }
+  Type = H.Type;
+  return true;
+}
+
+bool Client::ping(std::string &Error) {
+  if (!sendFrame(MsgType::Ping, {}, Error))
+    return false;
+  MsgType Type;
+  std::string Payload;
+  if (!recvFrame(Type, Payload, Error))
+    return false;
+  if (Type != MsgType::Pong || !Payload.empty()) {
+    Error = "unexpected reply to ping";
+    return false;
+  }
+  return true;
+}
+
+bool Client::serverStats(std::string &JsonOut, std::string &Error) {
+  if (!sendFrame(MsgType::StatsRequest, {}, Error))
+    return false;
+  MsgType Type;
+  if (!recvFrame(Type, JsonOut, Error))
+    return false;
+  if (Type != MsgType::StatsResponse) {
+    Error = "unexpected reply to stats request";
+    return false;
+  }
+  return true;
+}
+
+bool Client::shutdownServer(std::string &Error) {
+  if (!sendFrame(MsgType::Shutdown, {}, Error))
+    return false;
+  MsgType Type;
+  std::string Payload;
+  if (!recvFrame(Type, Payload, Error))
+    return false;
+  if (Type != MsgType::ShutdownAck) {
+    Error = "unexpected reply to shutdown";
+    return false;
+  }
+  return true;
+}
+
+bool Client::sendCheck(const CheckRequestMsg &Req, std::string &Error) {
+  return sendFrame(MsgType::CheckRequest, encodeCheckRequest(Req), Error);
+}
+
+bool Client::recvCheck(CheckResponseMsg &Resp, std::string &Error) {
+  MsgType Type;
+  std::string Payload;
+  if (!recvFrame(Type, Payload, Error))
+    return false;
+  if (Type != MsgType::CheckResponse) {
+    Error = "unexpected frame type from server";
+    return false;
+  }
+  if (!decodeCheckResponse(Payload, Resp)) {
+    Error = "malformed check response from server";
+    return false;
+  }
+  return true;
+}
+
+bool Client::check(const CheckRequestMsg &Req, CheckResponseMsg &Resp,
+                   std::string &Error) {
+  if (!sendCheck(Req, Error))
+    return false;
+  if (!recvCheck(Resp, Error))
+    return false;
+  if (Resp.ReqId != Req.ReqId) {
+    Error = "response id does not match request";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,118 @@
+//===- Protocol.cpp - mcsafe-serve wire protocol --------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "checker/ReportCodec.h"
+#include "support/Digest.h"
+
+#include <cstring>
+
+using namespace mcsafe;
+using namespace mcsafe::serve;
+
+uint64_t serve::framePayloadDigest(MsgType Type, std::string_view Payload) {
+  return support::Digest()
+      .add(static_cast<uint64_t>(Type))
+      .addBytes(Payload)
+      .value();
+}
+
+std::string serve::encodeFrame(MsgType Type, std::string_view Payload) {
+  ByteWriter W;
+  W.raw(std::string_view(FrameMagic, sizeof(FrameMagic)));
+  W.u8(ProtocolVersion);
+  W.u8(static_cast<uint8_t>(Type));
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  W.u64(framePayloadDigest(Type, Payload));
+  W.raw(Payload);
+  return W.take();
+}
+
+bool serve::decodeFrameHeader(std::string_view HeaderBytes,
+                              FrameHeader &Out) {
+  if (HeaderBytes.size() != FrameHeaderSize)
+    return false;
+  if (std::memcmp(HeaderBytes.data(), FrameMagic, sizeof(FrameMagic)) != 0)
+    return false;
+  ByteReader R(HeaderBytes.substr(sizeof(FrameMagic)));
+  uint8_t Version = R.u8();
+  uint8_t Type = R.u8();
+  Out.PayloadLen = R.u32();
+  Out.PayloadDigest = R.u64();
+  if (!R.ok() || !R.atEnd())
+    return false;
+  if (Version != ProtocolVersion)
+    return false;
+  if (Type < static_cast<uint8_t>(MsgType::CheckRequest) ||
+      Type > static_cast<uint8_t>(MsgType::ShutdownAck))
+    return false;
+  if (Out.PayloadLen > MaxFramePayload)
+    return false;
+  Out.Type = static_cast<MsgType>(Type);
+  return true;
+}
+
+bool serve::validateFramePayload(const FrameHeader &H,
+                                 std::string_view Payload) {
+  return Payload.size() == H.PayloadLen &&
+         framePayloadDigest(H.Type, Payload) == H.PayloadDigest;
+}
+
+std::optional<std::pair<MsgType, std::string>>
+serve::decodeFrame(std::string_view Bytes) {
+  if (Bytes.size() < FrameHeaderSize)
+    return std::nullopt;
+  FrameHeader H;
+  if (!decodeFrameHeader(Bytes.substr(0, FrameHeaderSize), H))
+    return std::nullopt;
+  std::string_view Payload = Bytes.substr(FrameHeaderSize);
+  if (!validateFramePayload(H, Payload))
+    return std::nullopt;
+  return std::make_pair(H.Type, std::string(Payload));
+}
+
+std::string serve::encodeCheckRequest(const CheckRequestMsg &Msg) {
+  ByteWriter W;
+  W.u64(Msg.ReqId);
+  W.str(Msg.Name);
+  W.str(Msg.Asm);
+  W.str(Msg.Policy);
+  W.u32(Msg.DeadlineMs);
+  W.u64(Msg.ProverSteps);
+  W.u32(Msg.Flags);
+  return W.take();
+}
+
+bool serve::decodeCheckRequest(std::string_view Payload,
+                               CheckRequestMsg &Out) {
+  ByteReader R(Payload);
+  Out.ReqId = R.u64();
+  Out.Name = std::string(R.str());
+  Out.Asm = std::string(R.str());
+  Out.Policy = std::string(R.str());
+  Out.DeadlineMs = R.u32();
+  Out.ProverSteps = R.u64();
+  Out.Flags = R.u32();
+  return R.ok() && R.atEnd();
+}
+
+std::string serve::encodeCheckResponse(const CheckResponseMsg &Msg) {
+  ByteWriter W;
+  W.u64(Msg.ReqId);
+  W.u8(Msg.Shed ? 1 : 0);
+  checker::serializeCheckReport(W, Msg.Report);
+  return W.take();
+}
+
+bool serve::decodeCheckResponse(std::string_view Payload,
+                                CheckResponseMsg &Out) {
+  ByteReader R(Payload);
+  Out.ReqId = R.u64();
+  uint8_t Shed = R.u8();
+  if (!R.ok() || Shed > 1)
+    return false;
+  Out.Shed = Shed == 1;
+  if (!checker::deserializeCheckReport(R, Out.Report))
+    return false;
+  return R.ok() && R.atEnd();
+}

@@ -1,0 +1,434 @@
+//===- Server.cpp - The mcsafe-serve resident verifier --------------------===//
+
+#include "serve/Server.h"
+
+#include "checker/CertStore.h"
+#include "constraints/ProverCache.h"
+#include "constraints/Var.h"
+#include "support/FaultInjection.h"
+#include "support/Io.h"
+#include "support/ThreadPool.h"
+
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace mcsafe;
+using namespace mcsafe::serve;
+using checker::CheckFailure;
+using checker::CheckPhase;
+using checker::CheckReport;
+using checker::CheckVerdict;
+using checker::FailureKind;
+
+namespace {
+
+/// The effective budget for a request: the server cap bounds whatever
+/// the client asked for, and an "unlimited" ask (0) gets the cap itself.
+template <typename T> T clampBudget(T Requested, T Cap) {
+  if (Cap == 0)
+    return Requested;
+  if (Requested == 0)
+    return Cap;
+  return Requested < Cap ? Requested : Cap;
+}
+
+} // namespace
+
+Server::Conn::~Conn() {
+  if (Fd >= 0)
+    support::closeFd(Fd);
+}
+
+Server::Server(ServerOptions O) : Opts(std::move(O)) {
+  NJobs = Opts.Jobs ? Opts.Jobs : support::ThreadPool::hardwareConcurrency();
+  if (NJobs == 0)
+    NJobs = 1;
+}
+
+Server::~Server() {
+  requestStop();
+  wait();
+}
+
+void Server::bumpCounter(const char *Name, uint64_t Delta) {
+  if (Opts.Metrics)
+    Opts.Metrics->counter(Name).inc(Delta);
+}
+
+bool Server::start(std::string &Error) {
+  if (Started) {
+    Error = "server already started";
+    return false;
+  }
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.empty() ||
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Opts.SocketPath + "' is empty or too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  WakeRd = Pipe[0];
+  WakeWr = Pipe[1];
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    support::closeFd(WakeRd);
+    support::closeFd(WakeWr);
+    WakeRd = WakeWr = -1;
+    return false;
+  }
+  // A stale socket file from a previous (dead) server blocks bind();
+  // replacing it is the standard Unix-daemon move. A *live* server on
+  // the same path loses its socket — callers pick unique paths.
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 64) != 0) {
+    Error = "cannot listen on '" + Opts.SocketPath +
+            "': " + std::strerror(errno);
+    support::closeFd(ListenFd);
+    support::closeFd(WakeRd);
+    support::closeFd(WakeWr);
+    ListenFd = WakeRd = WakeWr = -1;
+    return false;
+  }
+
+  Pool = std::make_unique<support::ThreadPool>(NJobs);
+  ProverCache::Config CacheCfg;
+  CacheCfg.MaxEntries = Opts.SharedCacheMaxEntries;
+  SharedCache = std::make_shared<ProverCache>(CacheCfg);
+  if (!Opts.CertDir.empty())
+    Certs = std::make_unique<checker::CertStore>(Opts.CertDir);
+
+  Running.store(true, std::memory_order_release);
+  Started = true;
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  DispatchThread = std::thread([this] { dispatchLoop(); });
+  return true;
+}
+
+void Server::requestStop() {
+  // Only async-signal-safe operations here: this runs straight from the
+  // daemon's SIGINT/SIGTERM handler.
+  Running.store(false, std::memory_order_release);
+  if (WakeWr >= 0) {
+    char B = 1;
+    (void)support::retryEintr([&] { return ::write(WakeWr, &B, 1); });
+  }
+}
+
+void Server::wait() {
+  if (!Started)
+    return;
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (DispatchThread.joinable())
+    DispatchThread.join();
+  // In-flight checks finish on the pool; their sends fail harmlessly on
+  // the already-shut-down sockets.
+  Pool.reset();
+  // Join the readers without holding Mu (a reader between its recv and
+  // its admission check briefly takes Mu itself).
+  std::vector<std::shared_ptr<Conn>> Remaining;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Remaining.swap(Conns);
+    Ring.clear();
+    TotalPending = 0;
+  }
+  for (const std::shared_ptr<Conn> &C : Remaining)
+    if (C->Reader.joinable())
+      C->Reader.join();
+  Remaining.clear();
+  if (Certs && Opts.Metrics)
+    Certs->publish(*Opts.Metrics);
+  Certs.reset();
+  if (WakeRd >= 0) {
+    support::closeFd(WakeRd);
+    support::closeFd(WakeWr);
+    WakeRd = WakeWr = -1;
+  }
+  Started = false;
+}
+
+void Server::reapDoneConns() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (size_t I = 0; I < Conns.size();) {
+    std::shared_ptr<Conn> &C = Conns[I];
+    // A connection is reapable once its reader exited and the dispatcher
+    // holds none of its requests. Pool tasks may still hold the
+    // shared_ptr; the struct lives until they drop it.
+    if (C->ReaderDone.load(std::memory_order_acquire) && !C->InRing &&
+        C->Queue.empty()) {
+      if (C->Reader.joinable())
+        C->Reader.join();
+      Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I));
+    } else {
+      ++I;
+    }
+  }
+}
+
+void Server::acceptLoop() {
+  while (Running.load(std::memory_order_acquire)) {
+    pollfd Fds[2];
+    Fds[0] = {ListenFd, POLLIN, 0};
+    Fds[1] = {WakeRd, POLLIN, 0};
+    int N = static_cast<int>(
+        support::retryEintr([&] { return ::poll(Fds, 2, 500); }));
+    if (N < 0)
+      break;
+    if (Fds[1].revents & POLLIN)
+      break; // requestStop() wrote the wake byte.
+    reapDoneConns();
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Fd = static_cast<int>(support::retryEintr(
+        [&] { return ::accept(ListenFd, nullptr, nullptr); }));
+    if (Fd < 0)
+      continue;
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    bumpCounter("serve/connections");
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      C->Id = NextConnId++;
+      Conns.push_back(C);
+    }
+    C->Reader = std::thread([this, C] { readerLoop(C); });
+  }
+
+  support::closeFd(ListenFd);
+  ListenFd = -1;
+  ::unlink(Opts.SocketPath.c_str());
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+    // Unblock every reader stuck in recv().
+    for (const std::shared_ptr<Conn> &C : Conns) {
+      C->Dead.store(true, std::memory_order_release);
+      ::shutdown(C->Fd, SHUT_RDWR);
+    }
+  }
+  CvDispatch.notify_all();
+}
+
+bool Server::sendFrame(Conn &C, MsgType Type, std::string_view Payload) {
+  std::string Frame = encodeFrame(Type, Payload);
+  std::lock_guard<std::mutex> Lock(C.WriteMu);
+  if (C.Dead.load(std::memory_order_acquire))
+    return false;
+  // The chaos suite's mid-write disconnect: the peer vanished right
+  // before this response hits the wire.
+  bool Failed = support::faultPoint("serve/write") ||
+                !support::sendAll(C.Fd, Frame);
+  if (Failed) {
+    // This client is gone (EPIPE thanks to MSG_NOSIGNAL, never a
+    // process-killing SIGPIPE). Latch it dead and wake its reader; every
+    // other connection's in-flight work is untouched.
+    C.Dead.store(true, std::memory_order_release);
+    ::shutdown(C.Fd, SHUT_RDWR);
+    bumpCounter("serve/write_errors");
+    return false;
+  }
+  return true;
+}
+
+void Server::sendShedResponse(const std::shared_ptr<Conn> &C,
+                              uint64_t ReqId) {
+  bumpCounter("serve/shed");
+  CheckResponseMsg Resp;
+  Resp.ReqId = ReqId;
+  Resp.Shed = true;
+  // Fail-sound: a shed request gets UNKNOWN with a structured failure —
+  // the checker never ran, so nothing stronger was earned.
+  Resp.Report.InputsOk = false;
+  Resp.Report.Safe = false;
+  Resp.Report.Verdict = CheckVerdict::Unknown;
+  Resp.Report.Failures.push_back(
+      {CheckPhase::Driver, FailureKind::ResourceExhausted, std::nullopt,
+       "load shed: admission queue full"});
+  sendFrame(*C, MsgType::CheckResponse, encodeCheckResponse(Resp));
+}
+
+void Server::readerLoop(std::shared_ptr<Conn> C) {
+  while (!C->Dead.load(std::memory_order_acquire)) {
+    char Header[FrameHeaderSize];
+    long N = support::recvFull(C->Fd, Header, sizeof(Header));
+    if (N <= 0)
+      break; // Clean EOF or error/truncation.
+    FrameHeader H;
+    if (!decodeFrameHeader(std::string_view(Header, sizeof(Header)), H)) {
+      bumpCounter("serve/protocol_errors");
+      break;
+    }
+    std::string Payload(H.PayloadLen, '\0');
+    if (H.PayloadLen != 0 &&
+        support::recvFull(C->Fd, Payload.data(), Payload.size()) !=
+            static_cast<long>(Payload.size()))
+      break;
+    if (!validateFramePayload(H, Payload)) {
+      bumpCounter("serve/protocol_errors");
+      break;
+    }
+
+    if (H.Type == MsgType::Ping) {
+      if (!sendFrame(*C, MsgType::Pong, {}))
+        break;
+      continue;
+    }
+    if (H.Type == MsgType::StatsRequest) {
+      std::ostringstream OS;
+      if (Opts.Metrics)
+        Opts.Metrics->writeJson(OS);
+      else
+        OS << "{}";
+      if (!sendFrame(*C, MsgType::StatsResponse, OS.str()))
+        break;
+      continue;
+    }
+    if (H.Type == MsgType::Shutdown) {
+      sendFrame(*C, MsgType::ShutdownAck, {});
+      requestStop();
+      break;
+    }
+    if (H.Type != MsgType::CheckRequest) {
+      // Server-to-client message types arriving at the server are a
+      // protocol violation.
+      bumpCounter("serve/protocol_errors");
+      break;
+    }
+
+    CheckRequestMsg Req;
+    if (!decodeCheckRequest(Payload, Req)) {
+      bumpCounter("serve/protocol_errors");
+      break;
+    }
+    bumpCounter("serve/requests");
+
+    bool Shed;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Shed = Stopping || TotalPending >= Opts.MaxQueue;
+      if (!Shed) {
+        ++TotalPending;
+        C->Queue.push_back(std::move(Req));
+        if (!C->InRing) {
+          C->InRing = true;
+          Ring.push_back(C);
+        }
+      }
+    }
+    if (Shed) {
+      sendShedResponse(C, Req.ReqId);
+      continue;
+    }
+    CvDispatch.notify_one();
+  }
+
+  C->Dead.store(true, std::memory_order_release);
+  ::shutdown(C->Fd, SHUT_RDWR);
+  C->ReaderDone.store(true, std::memory_order_release);
+}
+
+void Server::dispatchLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    CvDispatch.wait(Lock, [&] {
+      return Stopping || (!Ring.empty() && Active < NJobs);
+    });
+    if (Stopping)
+      break;
+    // Fair round-robin: one request per connection per turn. A
+    // connection with more queued work goes to the back of the ring.
+    std::shared_ptr<Conn> C = Ring.front();
+    Ring.pop_front();
+    CheckRequestMsg Req = std::move(C->Queue.front());
+    C->Queue.pop_front();
+    --TotalPending;
+    if (!C->Queue.empty())
+      Ring.push_back(C);
+    else
+      C->InRing = false;
+    if (C->Dead.load(std::memory_order_acquire))
+      continue; // The client is gone; its queued work is dropped.
+    ++Active;
+    Lock.unlock();
+    Pool->submit([this, C, Req = std::move(Req)] {
+      runCheckRequest(C, Req);
+      {
+        std::lock_guard<std::mutex> G(Mu);
+        --Active;
+      }
+      CvDispatch.notify_all();
+    });
+    Lock.lock();
+  }
+  // Drain: queued requests at shutdown are simply dropped (their
+  // connections are already shut down).
+  Ring.clear();
+  for (const std::shared_ptr<Conn> &C : Conns) {
+    C->Queue.clear();
+    C->InRing = false;
+  }
+  TotalPending = 0;
+}
+
+void Server::runCheckRequest(const std::shared_ptr<Conn> &C,
+                             const CheckRequestMsg &Req) {
+  CheckResponseMsg Resp;
+  Resp.ReqId = Req.ReqId;
+  CheckReport &Rep = Resp.Report;
+  try {
+    checker::SafetyChecker::Options O;
+    O.Lint = (Req.Flags & ReqFlagLint) != 0;
+    O.PruneDeadRegs = O.Lint;
+    O.KnownBits = (Req.Flags & ReqFlagKnownBits) != 0;
+    O.ProverOpts.EnableTiers = (Req.Flags & ReqFlagTiers) != 0;
+    O.FailSoft = (Req.Flags & ReqFlagFailSoft) != 0;
+    O.Global.DebugTrace = (Req.Flags & ReqFlagTrace) != 0;
+    O.Limits.DeadlineMs =
+        clampBudget(Req.DeadlineMs, Opts.DeadlineCapMs);
+    O.Limits.ProverSteps =
+        clampBudget(Req.ProverSteps, Opts.ProverStepsCap);
+    O.SharedProverCache = SharedCache;
+    O.Global.Pool = NJobs > 1 ? Pool.get() : nullptr;
+    O.Certs = Certs.get();
+    // A private namespace per request: the report is a pure function of
+    // the request's inputs, byte-identical to a cold CLI run no matter
+    // how warm the shared caches are or what ran before.
+    VarNamespace NS;
+    checker::SafetyChecker Checker(O);
+    Rep = Checker.checkSource(Req.Asm, Req.Policy);
+  } catch (const std::exception &E) {
+    Rep.Safe = false;
+    Rep.Verdict = CheckVerdict::InternalError;
+    Rep.Failures.push_back(
+        {CheckPhase::Driver, FailureKind::InternalError, std::nullopt,
+         std::string("unhandled exception: ") + E.what()});
+  } catch (...) {
+    Rep.Safe = false;
+    Rep.Verdict = CheckVerdict::InternalError;
+    Rep.Failures.push_back({CheckPhase::Driver, FailureKind::InternalError,
+                            std::nullopt,
+                            "unhandled non-standard exception"});
+  }
+  if (sendFrame(*C, MsgType::CheckResponse, encodeCheckResponse(Resp)))
+    bumpCounter("serve/responses");
+}

@@ -1,0 +1,171 @@
+//===- Server.h - The mcsafe-serve resident verifier ------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running verification daemon. Starting a fresh process per check
+/// pays the whole warm-up every time — formula interning, type-factory
+/// population, an empty prover cache, a cold certificate store. The
+/// server keeps all of that resident: one process-wide shared prover
+/// cache, one open CertStore, one work-stealing thread pool, reused
+/// across every request.
+///
+/// Concurrency model: one accept thread (poll on the listen socket plus a
+/// self-pipe so requestStop() is async-signal-safe), one reader thread
+/// per connection, one dispatcher thread, and the checker thread pool.
+/// Readers parse frames and enqueue check requests; the dispatcher
+/// round-robins across connections (one request per turn, so a client
+/// that pipelines 100 requests cannot starve one that sends a single
+/// check) and keeps at most `Jobs` checks running on the pool.
+///
+/// Admission control is fail-sound: when the queued-request total reaches
+/// MaxQueue, new requests are shed immediately with an UNKNOWN verdict
+/// and a ResourceExhausted failure — the server never blocks a reader on
+/// a full queue and never fabricates a SAFE it did not earn. Per-request
+/// governor budgets come from the request header, clamped to the server's
+/// caps.
+///
+/// Determinism: each request runs inside its own VarNamespace (exactly
+/// like checker/ParallelCheck), so its report is a pure function of its
+/// inputs — byte-identical to a cold `mcsafe-check` run of the same
+/// program, however warm the caches are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SERVE_SERVER_H
+#define MCSAFE_SERVE_SERVER_H
+
+#include "serve/Protocol.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcsafe {
+namespace support {
+class ThreadPool;
+} // namespace support
+namespace checker {
+class CertStore;
+} // namespace checker
+
+namespace serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path to listen on. Must fit sockaddr_un (~107
+  /// bytes); a stale socket file from a dead server is replaced.
+  std::string SocketPath;
+  /// Checker worker threads; 0 = hardware concurrency.
+  unsigned Jobs = 0;
+  /// Admitted-but-unstarted request bound. At or above it, new requests
+  /// are shed with verdict UNKNOWN. 0 sheds everything (tests).
+  size_t MaxQueue = 256;
+  /// Persistent certificate store directory; empty = none.
+  std::string CertDir;
+  /// Caps on client-requested budgets. 0 = no cap; otherwise the
+  /// effective budget is min(requested, cap), and an "unlimited" request
+  /// (0) gets the cap itself.
+  uint32_t DeadlineCapMs = 0;
+  uint64_t ProverStepsCap = 0;
+  /// Bound on the shared prover-cache entry count.
+  size_t SharedCacheMaxEntries = size_t(1) << 20;
+  /// Observability sink ("serve/*" counters; cert/store/* on stop).
+  /// Non-owning; may be null.
+  support::MetricsRegistry *Metrics = nullptr;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens, then spawns the accept and dispatcher threads.
+  /// False (with \p Error set) when the socket cannot be created.
+  bool start(std::string &Error);
+
+  /// Initiates shutdown. Async-signal-safe: one atomic store plus one
+  /// self-pipe write — callable straight from a SIGINT/SIGTERM handler.
+  void requestStop();
+
+  /// Blocks until the server has fully stopped: all threads joined,
+  /// in-flight checks drained, connections closed, socket unlinked.
+  void wait();
+
+  unsigned jobs() const { return NJobs; }
+
+private:
+  /// One client connection. Reader thread, write lock, and the per-
+  /// connection FIFO the dispatcher drains fairly.
+  struct Conn {
+    int Fd = -1;
+    uint64_t Id = 0;
+    std::thread Reader;
+    std::atomic<bool> ReaderDone{false};
+    /// Latched on any write error or protocol violation; no further
+    /// frames are sent and the socket is shut down.
+    std::atomic<bool> Dead{false};
+    /// Serializes whole frames onto the socket (checker pool tasks and
+    /// the reader thread both send).
+    std::mutex WriteMu;
+    /// Queued requests, guarded by Server::Mu.
+    std::deque<CheckRequestMsg> Queue;
+    bool InRing = false; ///< Guarded by Server::Mu.
+    ~Conn();
+  };
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Conn> C);
+  void dispatchLoop();
+  void runCheckRequest(const std::shared_ptr<Conn> &C,
+                       const CheckRequestMsg &Req);
+  void sendShedResponse(const std::shared_ptr<Conn> &C, uint64_t ReqId);
+  /// Encodes and sends one frame under the connection's write lock. On
+  /// failure the connection is marked dead and shut down; other
+  /// connections (and in-flight checks) are unaffected.
+  bool sendFrame(Conn &C, MsgType Type, std::string_view Payload);
+  void bumpCounter(const char *Name, uint64_t Delta = 1);
+  void reapDoneConns();
+
+  ServerOptions Opts;
+  unsigned NJobs = 1;
+
+  int ListenFd = -1;
+  int WakeRd = -1, WakeWr = -1; ///< Self-pipe for requestStop().
+  std::atomic<bool> Running{false};
+  bool Started = false;
+
+  std::unique_ptr<support::ThreadPool> Pool;
+  std::shared_ptr<ProverCache> SharedCache;
+  std::unique_ptr<checker::CertStore> Certs;
+
+  std::thread AcceptThread, DispatchThread;
+
+  /// Guards Conns, Ring, per-conn queues, TotalPending, Active,
+  /// Stopping.
+  std::mutex Mu;
+  std::condition_variable CvDispatch;
+  std::vector<std::shared_ptr<Conn>> Conns;
+  std::deque<std::shared_ptr<Conn>> Ring; ///< Conns with queued work.
+  size_t TotalPending = 0;
+  unsigned Active = 0;
+  bool Stopping = false;
+  uint64_t NextConnId = 1;
+};
+
+} // namespace serve
+} // namespace mcsafe
+
+#endif // MCSAFE_SERVE_SERVER_H

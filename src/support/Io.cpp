@@ -1,0 +1,106 @@
+//===- Io.cpp -------------------------------------------------------------===//
+
+#include "support/Io.h"
+
+#include <cstring>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace mcsafe;
+using namespace mcsafe::support;
+
+std::optional<std::string>
+support::readWholeFile(const std::string &Path, std::string &Error,
+                       ReadFileError *Kind) {
+  auto Fail = [&](ReadFileError K, std::string Msg) {
+    if (Kind)
+      *Kind = K;
+    Error = std::move(Msg);
+    return std::nullopt;
+  };
+
+  errno = 0;
+  int Fd = static_cast<int>(
+      retryEintr([&] { return ::open(Path.c_str(), O_RDONLY); }));
+  if (Fd < 0) {
+    int E = errno;
+    return Fail(ReadFileError::CannotOpen,
+                "cannot open '" + Path +
+                    "': " + (E ? std::strerror(E) : "unknown error"));
+  }
+
+  std::string Bytes;
+  struct stat St;
+  if (retryEintr([&] { return ::fstat(Fd, &St); }) == 0 && St.st_size > 0)
+    Bytes.reserve(static_cast<size_t>(St.st_size));
+
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = retryEintr(
+        [&]() -> ssize_t { return ::read(Fd, Buf, sizeof(Buf)); });
+    if (N < 0) {
+      int E = errno;
+      closeFd(Fd);
+      return Fail(ReadFileError::ReadFailed,
+                  "read error on '" + Path +
+                      "': " + (E ? std::strerror(E) : "unknown error"));
+    }
+    if (N == 0)
+      break;
+    Bytes.append(Buf, static_cast<size_t>(N));
+  }
+  closeFd(Fd);
+
+  if (Bytes.empty())
+    return Fail(ReadFileError::Empty, "'" + Path + "' is empty");
+  if (Kind)
+    *Kind = ReadFileError::None;
+  return Bytes;
+}
+
+bool support::writeAllFd(int Fd, std::string_view Bytes) {
+  while (!Bytes.empty()) {
+    ssize_t N = retryEintr([&]() -> ssize_t {
+      return ::write(Fd, Bytes.data(), Bytes.size());
+    });
+    if (N <= 0)
+      return false;
+    Bytes.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+long support::recvFull(int Fd, void *Buf, size_t Len) {
+  char *P = static_cast<char *>(Buf);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = retryEintr([&]() -> ssize_t {
+      return ::recv(Fd, P + Got, Len - Got, 0);
+    });
+    if (N < 0)
+      return -1;
+    if (N == 0)
+      return Got == 0 ? 0 : -1; // EOF mid-object is an error.
+    Got += static_cast<size_t>(N);
+  }
+  return static_cast<long>(Got);
+}
+
+bool support::sendAll(int Fd, std::string_view Bytes) {
+  while (!Bytes.empty()) {
+    ssize_t N = retryEintr([&]() -> ssize_t {
+      return ::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL);
+    });
+    if (N <= 0)
+      return false;
+    Bytes.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+void support::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}

@@ -1,0 +1,86 @@
+//===- Io.h - EINTR-safe file and socket I/O --------------------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// POSIX I/O helpers that retry on EINTR. A long-running daemon receives
+/// signals (SIGCHLD from spawned tools, SIGTERM probes, profiling timers)
+/// at arbitrary points; without the retry loops a transient interrupt in
+/// the middle of a read() turns into a spurious "corrupt certificate" or
+/// "malformed input" failure. Every file/socket read and write in the
+/// process goes through these helpers, so EINTR is handled in exactly one
+/// place.
+///
+/// Socket sends additionally pass MSG_NOSIGNAL: a peer that disconnects
+/// mid-response must surface as an EPIPE error on the call, never as a
+/// process-killing SIGPIPE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_IO_H
+#define MCSAFE_SUPPORT_IO_H
+
+#include <cerrno>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mcsafe {
+namespace support {
+
+/// Calls \p F until it returns something other than -1/EINTR. \p F must
+/// return a signed integer type where -1 signals an error in errno.
+template <typename Fn> auto retryEintr(Fn &&F) -> decltype(F()) {
+  decltype(F()) R;
+  do {
+    R = F();
+  } while (R == static_cast<decltype(F())>(-1) && errno == EINTR);
+  return R;
+}
+
+/// Why readWholeFile failed (so callers can distinguish a missing file
+/// from an unreadable or empty one without re-parsing strerror text).
+enum class ReadFileError : uint8_t {
+  None,       ///< Success.
+  CannotOpen, ///< open() failed (missing, permissions, ...).
+  ReadFailed, ///< read() failed after open succeeded.
+  Empty,      ///< The file exists but holds zero bytes.
+};
+
+/// Reads \p Path fully, in binary, retrying interrupted syscalls. On
+/// failure returns nullopt with \p Error set to a human-readable cause
+/// and, when \p Kind is non-null, the failure class. Zero-byte files are
+/// reported as Empty (an empty program or policy is never meaningful
+/// input here).
+std::optional<std::string> readWholeFile(const std::string &Path,
+                                         std::string &Error,
+                                         ReadFileError *Kind = nullptr);
+
+/// Writes all of \p Bytes to \p Fd with write(), retrying EINTR and
+/// short writes. Returns false on any other error (errno is left set).
+bool writeAllFd(int Fd, std::string_view Bytes);
+
+/// Reads exactly \p Len bytes from a socket into \p Buf with recv(),
+/// retrying EINTR and short reads. Returns Len on success, 0 on clean
+/// EOF before any byte, and -1 on error or EOF mid-object.
+long recvFull(int Fd, void *Buf, size_t Len);
+
+/// Sends all of \p Bytes on a socket with send(MSG_NOSIGNAL), retrying
+/// EINTR and short sends. Returns false on error (a disconnected peer is
+/// EPIPE here, never SIGPIPE).
+bool sendAll(int Fd, std::string_view Bytes);
+
+/// close() with EINTR handled (POSIX leaves the fd state unspecified on
+/// EINTR; retrying a close can double-close an fd another thread just
+/// received, so this does NOT retry — it only swallows the errno).
+void closeFd(int Fd);
+
+} // namespace support
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_IO_H

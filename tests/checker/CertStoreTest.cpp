@@ -19,6 +19,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 #include <unistd.h>
 
 using namespace mcsafe;
@@ -303,6 +305,55 @@ TEST(CertStore, UnwritableDirectoryCountsWriteFailuresAndStaysCold) {
   EXPECT_TRUE(R.Safe);
   EXPECT_EQ(Store.stats().Hits, 0u);
   EXPECT_GE(Store.stats().WriteFailures, 1u);
+}
+
+TEST(CertStore, ConcurrentWritersOfTheSameKeyNeverCorruptTheStore) {
+  // The save path writes to a unique temp file and renames into place.
+  // Before temp names carried a pid+serial, every writer of a key shared
+  // ONE temp path — concurrent saves interleaved their writes into it
+  // and the rename could publish a spliced certificate. Hammer one key
+  // from many threads, then prove the store replays a clean report.
+  TempStore T("race");
+  const CorpusProgram &P = corpusProgram("Sum");
+
+  const unsigned NThreads = 8;
+  const unsigned Rounds = 16;
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < NThreads; ++I)
+    Threads.emplace_back([&] {
+      // Each thread has its own CertStore over the SAME directory — the
+      // daemon's many-workers-one-store shape, plus the multi-process
+      // shape (separate stat counters, shared files).
+      CertStore Store(T.Dir);
+      for (unsigned R = 0; R < Rounds; ++R) {
+        // Delete the published certificates (keeping the directory) so
+        // every round goes cold and races its save against the others.
+        std::error_code Ec;
+        for (const auto &E :
+             std::filesystem::directory_iterator(T.Dir, Ec))
+          if (E.path().extension() == ".mcert")
+            std::filesystem::remove(E.path(), Ec);
+        CheckReport Rep = runWithStore(P, &Store);
+        EXPECT_EQ(Rep.Verdict, CheckVerdict::Safe);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // No temp-file droppings survive the stampede...
+  if (std::filesystem::exists(T.Dir))
+    for (const auto &E : std::filesystem::directory_iterator(T.Dir))
+      EXPECT_EQ(E.path().filename().string().find(".tmp"),
+                std::string::npos)
+          << "leftover temp file: " << E.path();
+
+  // ...and whatever certificate won the last rename is whole: a warm
+  // run replays the cold fingerprint exactly.
+  CertStore Fresh(T.Dir);
+  CheckReport Cold = runWithStore(P, &Fresh);
+  CheckReport Warm = runWithStore(P, &Fresh);
+  EXPECT_EQ(Fresh.stats().Corrupt, 0u);
+  EXPECT_EQ(reportFingerprint(Cold), reportFingerprint(Warm));
 }
 
 TEST(CertStore, MetricsPublishCoversEveryCounter) {

@@ -1,0 +1,129 @@
+//===- ServeChaosTest.cpp - daemon under injected faults ------------------===//
+//
+// The chaos driver pointed at the daemon: deterministic faults at the
+// "serve/write" site (and every site inside the checking pipeline) while
+// clients stream the corpus through a live server. The fail-sound
+// invariant, extended to the wire:
+//
+//   (1) no crash, no hang, no SIGPIPE — a failed response write latches
+//       that one connection dead and nothing else;
+//   (2) every response a client DOES receive is fail-sound: never a
+//       Safe verdict the fault-free run did not also produce;
+//   (3) the server outlives every injected fault — once the plan is
+//       disarmed, a fresh client gets service.
+//
+// In builds without MCSAFE_FAULT_INJECTION the fault points compile to
+// `false`; the tests then assert a disarmed plan changes nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include "checker/SafetyChecker.h"
+#include "corpus/Corpus.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+
+#include <unistd.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::corpus;
+using namespace mcsafe::serve;
+
+namespace {
+
+std::atomic<int> SockSerial{0};
+
+std::string freshSocketPath() {
+  return "/tmp/mcsafe-chaos-" + std::to_string(::getpid()) + "-" +
+         std::to_string(SockSerial.fetch_add(1)) + ".sock";
+}
+
+std::map<std::string, CheckVerdict> localBaseline() {
+  std::map<std::string, CheckVerdict> Verdicts;
+  for (const CorpusProgram &P : corpus::corpus()) {
+    SafetyChecker Checker;
+    Verdicts[P.Name] = Checker.checkSource(P.Asm, P.Policy).Verdict;
+  }
+  return Verdicts;
+}
+
+class ServeChaos : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServeChaos, WriteFaultsNeverManufactureASafeVerdict) {
+  std::map<std::string, CheckVerdict> Baseline = localBaseline();
+
+  ServerOptions Opts;
+  Opts.SocketPath = freshSocketPath();
+  Opts.Jobs = 2;
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  support::FaultPlan Plan(GetParam());
+  support::FaultPlan::install(&Plan);
+
+  size_t Received = 0, Dropped = 0;
+  for (const CorpusProgram &P : corpus::corpus()) {
+    // One connection per program: a "serve/write" fault kills at most
+    // this one client, and the next must get a fresh, working one.
+    Client Conn;
+    if (!Conn.connect(Opts.SocketPath, Error)) {
+      ++Dropped;
+      continue;
+    }
+    CheckRequestMsg Req;
+    Req.ReqId = 1;
+    Req.Name = P.Name;
+    Req.Asm = P.Asm;
+    Req.Policy = P.Policy;
+    CheckResponseMsg Resp;
+    if (!Conn.check(Req, Resp, Error)) {
+      // A write fault severed the connection mid-response. That is the
+      // degraded path working: the response is lost, not corrupted.
+      ++Dropped;
+      continue;
+    }
+    ++Received;
+    // Fail-sound in both directions, as in the corpus chaos driver.
+    if (Resp.Report.Verdict == CheckVerdict::Safe)
+      EXPECT_EQ(Baseline[P.Name], CheckVerdict::Safe) << P.Name;
+    if (Resp.Report.Verdict == CheckVerdict::Unsafe)
+      EXPECT_EQ(Baseline[P.Name], CheckVerdict::Unsafe) << P.Name;
+  }
+
+  support::FaultPlan::install(nullptr);
+
+  // The server outlived every injected fault: disarmed, it serves again.
+  Client After;
+  ASSERT_TRUE(After.connect(Opts.SocketPath, Error)) << Error;
+  EXPECT_TRUE(After.ping(Error)) << Error;
+
+#if !defined(MCSAFE_FAULT_INJECTION)
+  // Fault points compiled out: nothing fired, nothing dropped, and every
+  // verdict is exactly the baseline.
+  EXPECT_EQ(Plan.firedCount(), 0u);
+  EXPECT_EQ(Dropped, 0u);
+  EXPECT_EQ(Received, corpus::corpus().size());
+#else
+  (void)Received;
+  (void)Dropped;
+#endif
+
+  Srv.requestStop();
+  Srv.wait();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeChaos, ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<uint64_t> &I) {
+                           return "seed" + std::to_string(I.param);
+                         });
+
+} // namespace

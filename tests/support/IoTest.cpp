@@ -1,0 +1,176 @@
+//===- IoTest.cpp - EINTR-safe I/O helpers --------------------------------===//
+//
+// The I/O layer's contract: interrupted syscalls are retried invisibly,
+// file-read failures are classified (missing vs unreadable vs empty)
+// with stable human-readable messages, and the socket helpers transfer
+// exact byte counts — a clean EOF, a mid-object EOF, and an error are
+// three distinguishable outcomes, never a silent short read.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Io.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace mcsafe;
+using namespace mcsafe::support;
+
+namespace {
+
+struct TempFile {
+  std::string Path;
+  explicit TempFile(const char *Tag) {
+    Path = (std::filesystem::temp_directory_path() /
+            (std::string("mcsafe-io-") + Tag + "-" +
+             std::to_string(::getpid())))
+               .string();
+    std::remove(Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+};
+
+TEST(RetryEintr, PassesThroughSuccessImmediately) {
+  int Calls = 0;
+  long R = retryEintr([&] {
+    ++Calls;
+    return 42L;
+  });
+  EXPECT_EQ(R, 42);
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(RetryEintr, RetriesWhileEintrThenReturns) {
+  int Calls = 0;
+  long R = retryEintr([&]() -> long {
+    if (++Calls < 4) {
+      errno = EINTR;
+      return -1;
+    }
+    return 7;
+  });
+  EXPECT_EQ(R, 7);
+  EXPECT_EQ(Calls, 4);
+}
+
+TEST(RetryEintr, OtherErrorsAreNotRetried) {
+  int Calls = 0;
+  long R = retryEintr([&]() -> long {
+    ++Calls;
+    errno = EBADF;
+    return -1;
+  });
+  EXPECT_EQ(R, -1);
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST(ReadWholeFile, RoundTripsBinaryBytes) {
+  TempFile T("roundtrip");
+  std::string Bytes = "a\0b\xff\ncr\rlf\n";
+  Bytes.push_back('\0');
+  {
+    std::ofstream Out(T.Path, std::ios::binary);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+  std::string Error;
+  ReadFileError Kind = ReadFileError::ReadFailed;
+  std::optional<std::string> Got = readWholeFile(T.Path, Error, &Kind);
+  ASSERT_TRUE(Got.has_value()) << Error;
+  EXPECT_EQ(*Got, Bytes);
+  EXPECT_EQ(Kind, ReadFileError::None);
+}
+
+TEST(ReadWholeFile, MissingFileIsCannotOpenWithPathInMessage) {
+  TempFile T("missing");
+  std::string Error;
+  ReadFileError Kind = ReadFileError::None;
+  EXPECT_FALSE(readWholeFile(T.Path, Error, &Kind).has_value());
+  EXPECT_EQ(Kind, ReadFileError::CannotOpen);
+  EXPECT_NE(Error.find("cannot open '" + T.Path + "'"), std::string::npos)
+      << Error;
+}
+
+TEST(ReadWholeFile, EmptyFileIsItsOwnFailureClass) {
+  TempFile T("empty");
+  { std::ofstream Out(T.Path, std::ios::binary); }
+  std::string Error;
+  ReadFileError Kind = ReadFileError::None;
+  EXPECT_FALSE(readWholeFile(T.Path, Error, &Kind).has_value());
+  EXPECT_EQ(Kind, ReadFileError::Empty);
+  EXPECT_EQ(Error, "'" + T.Path + "' is empty");
+}
+
+TEST(WriteAllFd, WritesEverythingReadBackIdentical) {
+  TempFile T("writeall");
+  std::string Big(1 << 20, 'x');
+  for (size_t I = 0; I < Big.size(); I += 7)
+    Big[I] = static_cast<char>(I & 0xff);
+  int Fd = ::open(T.Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(Fd, 0);
+  EXPECT_TRUE(writeAllFd(Fd, Big));
+  closeFd(Fd);
+  std::string Error;
+  std::optional<std::string> Got = readWholeFile(T.Path, Error);
+  ASSERT_TRUE(Got.has_value()) << Error;
+  EXPECT_EQ(*Got, Big);
+}
+
+TEST(WriteAllFd, BadFdFails) {
+  EXPECT_FALSE(writeAllFd(-1, "bytes"));
+}
+
+TEST(Sockets, SendAllRecvFullTransferExactCounts) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Msg(256 * 1024, 'm'); // Larger than any socket buffer.
+  for (size_t I = 0; I < Msg.size(); ++I)
+    Msg[I] = static_cast<char>(I * 31);
+  std::thread Sender([&] {
+    EXPECT_TRUE(sendAll(Fds[0], Msg));
+    closeFd(Fds[0]);
+  });
+  std::string Got(Msg.size(), '\0');
+  EXPECT_EQ(recvFull(Fds[1], Got.data(), Got.size()),
+            static_cast<long>(Got.size()));
+  EXPECT_EQ(Got, Msg);
+  // The peer closed after sending: a fresh read sees clean EOF.
+  char B;
+  EXPECT_EQ(recvFull(Fds[1], &B, 1), 0);
+  closeFd(Fds[1]);
+  Sender.join();
+}
+
+TEST(Sockets, EofMidObjectIsAnErrorNotAShortRead) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  EXPECT_TRUE(sendAll(Fds[0], "abc"));
+  closeFd(Fds[0]);
+  char Buf[8];
+  // 3 bytes then EOF while 8 were promised: -1, not 3.
+  EXPECT_EQ(recvFull(Fds[1], Buf, sizeof(Buf)), -1);
+  closeFd(Fds[1]);
+}
+
+TEST(Sockets, SendToClosedPeerFailsWithoutSigpipe) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  closeFd(Fds[1]);
+  // MSG_NOSIGNAL turns the broken pipe into EPIPE on the call. Without
+  // it this test would kill the whole process with SIGPIPE.
+  std::string Big(1 << 20, 'p');
+  EXPECT_FALSE(sendAll(Fds[0], Big));
+  closeFd(Fds[0]);
+}
+
+} // namespace

@@ -25,8 +25,10 @@
 #include "checker/ParallelCheck.h"
 #include "checker/Report.h"
 #include "checker/SafetyChecker.h"
+#include "serve/Client.h"
 #include "support/FaultInjection.h"
 #include "support/Governor.h"
+#include "support/Io.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -51,37 +53,13 @@ using namespace mcsafe::checker;
 
 namespace {
 
-/// Reads a file fully, in binary mode (inputs are untrusted bytes; text
-/// mode would silently rewrite them on some platforms). On failure
-/// returns nullopt with \p Error set to the cause — missing/unreadable
-/// (with strerror) and empty files are distinguished, not conflated.
+/// Reads a file fully, in binary (inputs are untrusted bytes; text mode
+/// would silently rewrite them on some platforms), retrying interrupted
+/// syscalls. Missing/unreadable (with strerror) and empty files are
+/// distinguished, not conflated.
 std::optional<std::string> readFile(const std::string &Path,
                                     std::string &Error) {
-  errno = 0;
-  std::ifstream In(Path, std::ios::binary);
-  if (!In.is_open()) {
-    int E = errno;
-    Error = "cannot open '" + Path +
-            "': " + (E ? std::strerror(E) : "unknown error");
-    return std::nullopt;
-  }
-  std::ostringstream OS;
-  OS << In.rdbuf();
-  // Note: inserting an empty rdbuf sets failbit on OS (zero characters
-  // extracted), so only In.bad() signals an actual read error; the
-  // zero-byte case is diagnosed as "empty" below.
-  if (In.bad()) {
-    int E = errno;
-    Error = "read error on '" + Path +
-            "': " + (E ? std::strerror(E) : "unknown error");
-    return std::nullopt;
-  }
-  std::string Bytes = OS.str();
-  if (Bytes.empty()) {
-    Error = "'" + Path + "' is empty";
-    return std::nullopt;
-  }
-  return Bytes;
+  return support::readWholeFile(Path, Error);
 }
 
 void usage() {
@@ -130,6 +108,13 @@ void usage() {
       "                 back to a cold run and write a fresh\n"
       "                 certificate (counters: cert/store/* in\n"
       "                 --metrics-json)\n"
+      "  --connect SOCK check on a running mcsafe-serve daemon instead\n"
+      "                 of in-process; the printed report is\n"
+      "                 byte-identical to a local run (rendering flags\n"
+      "                 like --listing are not available)\n"
+      "  --ping         with --connect: round-trip a ping and exit\n"
+      "  --server-stats with --connect: print the daemon's metrics JSON\n"
+      "  --shutdown     with --connect: stop the daemon\n"
       "exit codes: 0 safe, 1 unsafe, 2 malformed input, 3 unknown,\n"
       "            4 internal error\n");
 }
@@ -156,6 +141,10 @@ struct GovernorConfig {
   /// --no-knownbits: switch off the known-bits domain everywhere it
   /// surfaces (typestate, annotation, lint, congruence tier).
   bool EnableKnownBits = true;
+  /// MCSAFE_TRACE: stderr-trace the induction-iteration search. Read
+  /// from the environment once per invocation here in the driver — the
+  /// checker itself takes it as a plain per-check option.
+  bool DebugTrace = false;
 };
 
 /// Reads a microsecond counter back out of the registry as seconds.
@@ -212,6 +201,7 @@ int runCheck(const std::string &Asm, const std::string &Policy,
   Opts.FailSoft = Gov.FailSoft;
   Opts.ProverOpts.EnableTiers = Gov.EnableTiers;
   Opts.KnownBits = Gov.EnableKnownBits;
+  Opts.Global.DebugTrace = Gov.DebugTrace;
   if (Lint == LintMode::Off) {
     Opts.Lint = false;
     Opts.PruneDeadRegs = false;
@@ -405,6 +395,7 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
   Opts.Check.FailSoft = Gov.FailSoft;
   Opts.Check.ProverOpts.EnableTiers = Gov.EnableTiers;
   Opts.Check.KnownBits = Gov.EnableKnownBits;
+  Opts.Check.Global.DebugTrace = Gov.DebugTrace;
   if (Lint == LintMode::Off) {
     Opts.Check.Lint = false;
     Opts.Check.PruneDeadRegs = false;
@@ -481,6 +472,118 @@ int runCorpusAll(bool Stats, LintMode Lint, unsigned Jobs,
   return Counts[1] ? 1 : 0;
 }
 
+/// The request-side image of this invocation's checking options. The
+/// defaults mirror the local code paths exactly, which is what makes
+/// daemon output byte-comparable to a local run.
+serve::CheckRequestMsg makeRequest(uint64_t Id, std::string Name,
+                                   std::string Asm, std::string Policy,
+                                   LintMode Lint,
+                                   const GovernorConfig &Gov) {
+  serve::CheckRequestMsg Req;
+  Req.ReqId = Id;
+  Req.Name = std::move(Name);
+  Req.Asm = std::move(Asm);
+  Req.Policy = std::move(Policy);
+  Req.DeadlineMs = Gov.Limits.DeadlineMs;
+  Req.ProverSteps = Gov.Limits.ProverSteps;
+  Req.Flags = 0;
+  if (Lint != LintMode::Off)
+    Req.Flags |= serve::ReqFlagLint;
+  if (Gov.EnableKnownBits)
+    Req.Flags |= serve::ReqFlagKnownBits;
+  if (Gov.EnableTiers)
+    Req.Flags |= serve::ReqFlagTiers;
+  if (Gov.FailSoft)
+    Req.Flags |= serve::ReqFlagFailSoft;
+  if (Gov.DebugTrace)
+    Req.Flags |= serve::ReqFlagTrace;
+  return Req;
+}
+
+/// Renders a remote single-check report exactly as runCheck renders a
+/// local one (minus the stats/listing extras, which are rejected with
+/// --connect).
+int renderRemoteSingle(const CheckReport &R) {
+  if (!R.InputsOk) {
+    std::fprintf(stderr, "%s", R.Diags.str().c_str());
+    for (const CheckFailure &F : R.Failures)
+      std::fprintf(stderr, "failure: %s\n", F.str().c_str());
+    return exitCode(R.Verdict);
+  }
+  std::printf("verdict: %s%s\n", verdictName(R.Verdict),
+              R.LintRejected ? " (rejected by phase-0 lint)" : "");
+  if (!R.Safe)
+    std::printf("%s", R.Diags.str().c_str());
+  for (const CheckFailure &F : R.Failures)
+    std::printf("failure: %s\n", F.str().c_str());
+  return exitCode(R.Verdict);
+}
+
+int runConnectSingle(serve::Client &Conn, std::string Name,
+                     std::string Asm, std::string Policy, LintMode Lint,
+                     const GovernorConfig &Gov) {
+  serve::CheckRequestMsg Req =
+      makeRequest(1, std::move(Name), std::move(Asm), std::move(Policy),
+                  Lint, Gov);
+  serve::CheckResponseMsg Resp;
+  std::string Error;
+  if (!Conn.check(Req, Resp, Error)) {
+    std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
+    return 4;
+  }
+  return renderRemoteSingle(Resp.Report);
+}
+
+/// Checks the whole corpus on the daemon: every request is pipelined up
+/// front, responses are matched by id (a shed response can overtake an
+/// in-flight one), and the rendered batch report plus totals line are
+/// byte-identical to a local `--corpus all` run.
+int runConnectCorpusAll(serve::Client &Conn, LintMode Lint,
+                        const GovernorConfig &Gov) {
+  const std::vector<corpus::CorpusProgram> &Programs = corpus::corpus();
+  std::string Error;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    serve::CheckRequestMsg Req =
+        makeRequest(I, Programs[I].Name, Programs[I].Asm,
+                    Programs[I].Policy, Lint, Gov);
+    if (!Conn.sendCheck(Req, Error)) {
+      std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
+      return 4;
+    }
+  }
+  ParallelCheckResult R;
+  R.Programs.resize(Programs.size());
+  for (size_t I = 0; I < Programs.size(); ++I)
+    R.Programs[I].Name = Programs[I].Name;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    serve::CheckResponseMsg Resp;
+    if (!Conn.recvCheck(Resp, Error)) {
+      std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
+      return 4;
+    }
+    if (Resp.ReqId >= R.Programs.size()) {
+      std::fprintf(stderr, "mcsafe-check: bogus response id\n");
+      return 4;
+    }
+    R.Programs[Resp.ReqId].Report = std::move(Resp.Report);
+  }
+  std::printf("%s", renderParallelReport(R).c_str());
+  unsigned Counts[5] = {0, 0, 0, 0, 0};
+  for (const ParallelCheckResult::Program &P : R.Programs)
+    ++Counts[exitCode(P.Report.Verdict)];
+  std::printf("total: %zu programs, %u safe, %u unsafe, %u malformed, "
+              "%u unknown, %u errors\n",
+              R.Programs.size(), Counts[0], Counts[1], Counts[2],
+              Counts[3], Counts[4]);
+  if (Counts[4])
+    return 4;
+  if (Counts[2])
+    return 2;
+  if (Counts[3])
+    return 3;
+  return Counts[1] ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -494,6 +597,14 @@ int main(int argc, char **argv) {
   GovernorConfig Gov;
   std::optional<uint64_t> FaultSeed;
   std::string CertDir;
+  std::string ConnectPath;
+  bool Ping = false, Shutdown = false, ServerStats = false;
+
+  // The trace switch is read from the environment once per invocation,
+  // here in the driver; it reaches the verifier as a plain option (a
+  // daemon gets it per request instead).
+  if (const char *E = std::getenv("MCSAFE_TRACE"))
+    Gov.DebugTrace = *E != '\0';
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -586,6 +697,19 @@ int main(int argc, char **argv) {
         return 2;
       }
       Obs.MetricsPath = *Value;
+    } else if (isFlag("--connect")) {
+      std::optional<std::string> Value = flagValue("--connect");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      ConnectPath = *Value;
+    } else if (Arg == "--ping") {
+      Ping = true;
+    } else if (Arg == "--shutdown") {
+      Shutdown = true;
+    } else if (Arg == "--server-stats") {
+      ServerStats = true;
     } else if (Arg == "--phase-table") {
       Obs.PhaseTable = true;
     } else if (Arg == "-v") {
@@ -648,6 +772,87 @@ int main(int argc, char **argv) {
     Certs = std::make_unique<CertStore>(CertDir);
 
   auto Run = [&]() -> int {
+    if (ConnectPath.empty() && (Ping || Shutdown || ServerStats)) {
+      std::fprintf(stderr,
+                   "--ping/--shutdown/--server-stats need --connect\n");
+      return 2;
+    }
+    if (!ConnectPath.empty()) {
+      // The daemon sends back report bytes, not intermediate views, so
+      // everything that re-runs front phases locally is rejected rather
+      // than silently ignored.
+      if (Listing || Conditions || Stats || Lint == LintMode::Only ||
+          Obs.PhaseTable || !CertDir.empty()) {
+        std::fprintf(stderr,
+                     "--listing/--conditions/-v/--lint-only/"
+                     "--phase-table/--cert-store are not available with "
+                     "--connect\n");
+        return 2;
+      }
+      serve::Client Conn;
+      std::string Error;
+      if (!Conn.connect(ConnectPath, Error)) {
+        std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
+        return 4;
+      }
+      if (Ping) {
+        if (!Conn.ping(Error)) {
+          std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
+          return 4;
+        }
+        std::printf("pong\n");
+        return 0;
+      }
+      if (ServerStats) {
+        std::string Json;
+        if (!Conn.serverStats(Json, Error)) {
+          std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
+          return 4;
+        }
+        std::printf("%s\n", Json.c_str());
+        return 0;
+      }
+      if (Shutdown) {
+        if (!Conn.shutdownServer(Error)) {
+          std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
+          return 4;
+        }
+        std::printf("server stopped\n");
+        return 0;
+      }
+      if (!CorpusName.empty()) {
+        if (CorpusName == "all")
+          return runConnectCorpusAll(Conn, Lint, Gov);
+        for (const corpus::CorpusProgram &P : corpus::corpus())
+          if (P.Name == CorpusName)
+            return runConnectSingle(Conn, P.Name, P.Asm, P.Policy, Lint,
+                                    Gov);
+        std::fprintf(stderr, "unknown corpus program '%s'\n",
+                     CorpusName.c_str());
+        return 2;
+      }
+      if (Files.size() != 2) {
+        usage();
+        return 2;
+      }
+      std::string ReadError;
+      std::optional<std::string> Asm = readFile(Files[0], ReadError);
+      if (!Asm) {
+        CheckFailure F{CheckPhase::Input, FailureKind::MalformedAssembly,
+                       std::nullopt, ReadError};
+        std::fprintf(stderr, "failure: %s\n", F.str().c_str());
+        return exitCode(CheckVerdict::MalformedInput);
+      }
+      std::optional<std::string> Policy = readFile(Files[1], ReadError);
+      if (!Policy) {
+        CheckFailure F{CheckPhase::Input, FailureKind::MalformedPolicy,
+                       std::nullopt, ReadError};
+        std::fprintf(stderr, "failure: %s\n", F.str().c_str());
+        return exitCode(CheckVerdict::MalformedInput);
+      }
+      return runConnectSingle(Conn, Files[0], std::move(*Asm),
+                              std::move(*Policy), Lint, Gov);
+    }
     if (!CorpusName.empty()) {
       if (CorpusName == "all")
         return runCorpusAll(Stats, Lint, Jobs, Gov, Obs, Certs.get());

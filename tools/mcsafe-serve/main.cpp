@@ -1,0 +1,222 @@
+//===- main.cpp - The mcsafe-serve daemon ---------------------------------===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+// A resident verification server: listens on a Unix-domain socket,
+// keeps the prover cache, certificate store, and thread pool warm across
+// requests, and answers `mcsafe-check --connect` with reports that are
+// byte-identical to local runs.
+//
+//   mcsafe-serve --socket /run/mcsafe.sock [--jobs N] [--max-queue N]
+//                [--cert-store DIR] [--deadline-cap-ms N]
+//                [--prover-steps-cap N] [--metrics-json FILE]
+//                [--fault-seed N]
+//
+// Stops cleanly on SIGINT/SIGTERM (or a client Shutdown message); exit
+// status 0 on a clean stop, 2 on bad arguments or a failed bind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/FaultInjection.h"
+#include "support/Metrics.h"
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+using namespace mcsafe;
+
+namespace {
+
+serve::Server *GServer = nullptr;
+
+void onStopSignal(int) {
+  // requestStop is async-signal-safe: an atomic store + a pipe write.
+  if (GServer)
+    GServer->requestStop();
+}
+
+void usage() {
+  std::printf(
+      "usage: mcsafe-serve --socket PATH [options]\n"
+      "options:\n"
+      "  --socket PATH  Unix-domain socket to listen on (required)\n"
+      "  --jobs N       checker worker threads (default: hardware\n"
+      "                 concurrency)\n"
+      "  --max-queue N  admitted-but-unstarted request bound; above it\n"
+      "                 new requests are shed with verdict UNKNOWN\n"
+      "                 (default: 256)\n"
+      "  --cert-store DIR\n"
+      "                 persistent certificate store shared by all\n"
+      "                 requests\n"
+      "  --deadline-cap-ms N\n"
+      "                 clamp every request's deadline budget to N ms\n"
+      "  --prover-steps-cap N\n"
+      "                 clamp every request's prover-step budget to N\n"
+      "  --metrics-json FILE\n"
+      "                 write serve/* and cert/store/* counters as JSON\n"
+      "                 on shutdown\n"
+      "  --fault-seed N enable the deterministic fault-injection plan\n"
+      "                 (needs an MCSAFE_FAULT_INJECTION build)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  serve::ServerOptions Opts;
+  std::string MetricsPath;
+  std::optional<uint64_t> FaultSeed;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto isFlag = [&](const char *Name) {
+      return Arg == Name || Arg.rfind(std::string(Name) + "=", 0) == 0;
+    };
+    auto flagValue = [&](const char *Name) -> std::optional<std::string> {
+      if (Arg == Name) {
+        if (I + 1 >= argc)
+          return std::nullopt;
+        return std::string(argv[++I]);
+      }
+      return Arg.substr(std::strlen(Name) + 1);
+    };
+    auto numericFlag = [&](const char *Name, uint64_t Max,
+                           uint64_t *Out) -> bool {
+      std::optional<std::string> Value = flagValue(Name);
+      if (!Value) {
+        usage();
+        return false;
+      }
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Value->c_str(), &End, 10);
+      if (Value->empty() || *End != '\0' || N > Max) {
+        std::fprintf(stderr, "invalid %s value '%s'\n", Name,
+                     Value->c_str());
+        return false;
+      }
+      *Out = N;
+      return true;
+    };
+
+    if (isFlag("--socket")) {
+      std::optional<std::string> Value = flagValue("--socket");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      Opts.SocketPath = *Value;
+    } else if (isFlag("--jobs")) {
+      uint64_t N = 0;
+      if (!numericFlag("--jobs", 1024, &N))
+        return 2;
+      if (N == 0) {
+        std::fprintf(stderr, "invalid --jobs value '0'\n");
+        return 2;
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (isFlag("--max-queue")) {
+      uint64_t N = 0;
+      if (!numericFlag("--max-queue", 1u << 20, &N))
+        return 2;
+      Opts.MaxQueue = static_cast<size_t>(N);
+    } else if (isFlag("--cert-store")) {
+      std::optional<std::string> Value = flagValue("--cert-store");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      Opts.CertDir = *Value;
+    } else if (isFlag("--deadline-cap-ms")) {
+      uint64_t N = 0;
+      if (!numericFlag("--deadline-cap-ms", UINT32_MAX, &N))
+        return 2;
+      Opts.DeadlineCapMs = static_cast<uint32_t>(N);
+    } else if (isFlag("--prover-steps-cap")) {
+      if (!numericFlag("--prover-steps-cap", UINT64_MAX,
+                       &Opts.ProverStepsCap))
+        return 2;
+    } else if (isFlag("--metrics-json")) {
+      std::optional<std::string> Value = flagValue("--metrics-json");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      MetricsPath = *Value;
+    } else if (isFlag("--fault-seed")) {
+      uint64_t Seed = 0;
+      if (!numericFlag("--fault-seed", UINT64_MAX, &Seed))
+        return 2;
+      FaultSeed = Seed;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::unique_ptr<support::FaultPlan> Plan;
+  if (FaultSeed) {
+#if !defined(MCSAFE_FAULT_INJECTION)
+    std::fprintf(stderr,
+                 "warning: this build has no fault-injection points; "
+                 "--fault-seed %llu is a no-op\n",
+                 static_cast<unsigned long long>(*FaultSeed));
+#endif
+    Plan = std::make_unique<support::FaultPlan>(*FaultSeed);
+    support::FaultPlan::install(Plan.get());
+  }
+
+  support::MetricsRegistry Registry;
+  Opts.Metrics = &Registry;
+  serve::Server Server(Opts);
+
+  // A peer that disconnects mid-response must surface as EPIPE on the
+  // send (which also passes MSG_NOSIGNAL), never kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  GServer = &Server;
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "mcsafe-serve: %s\n", Error.c_str());
+    return 2;
+  }
+  std::printf("mcsafe-serve: listening on %s (%u workers)\n",
+              Opts.SocketPath.c_str(), Server.jobs());
+  std::fflush(stdout);
+
+  Server.wait();
+  GServer = nullptr;
+  std::printf("mcsafe-serve: stopped\n");
+
+  if (Plan) {
+    support::FaultPlan::install(nullptr);
+    Registry.counter("fault/fired").inc(Plan->firedCount());
+    Registry.gauge("fault/seed").set(static_cast<int64_t>(Plan->seed()));
+  }
+  if (!MetricsPath.empty()) {
+    std::ofstream Out(MetricsPath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", MetricsPath.c_str());
+      return 2;
+    }
+    Registry.writeJson(Out);
+  }
+  return 0;
+}
