@@ -55,6 +55,10 @@ const char *failureKindName(FailureKind K) {
     return "cancelled";
   case FailureKind::InternalError:
     return "internal-error";
+  case FailureKind::WorkerCrashed:
+    return "worker-crashed";
+  case FailureKind::Quarantined:
+    return "quarantined";
   }
   return "internal-error";
 }

@@ -55,6 +55,8 @@ enum class FailureKind : uint8_t {
   ResourceExhausted,    ///< A governor budget tripped; partial results kept.
   Cancelled,            ///< Cooperative cancellation tripped.
   InternalError,        ///< An exception or invariant breach in the checker.
+  WorkerCrashed,        ///< An isolated worker process died or hung mid-check.
+  Quarantined,          ///< Input poisoned after repeatedly crashing workers.
 };
 
 /// One structured failure. Pc is the instruction index (when the failure

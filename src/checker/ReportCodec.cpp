@@ -99,6 +99,10 @@ void checker::serializeCheckReport(ByteWriter &W, const CheckReport &Rep) {
 }
 
 bool checker::deserializeCheckReport(ByteReader &R, CheckReport &Rep) {
+  // A decode fully overwrites \p Rep: Failures and Diags below are
+  // appended field by field, and a caller reusing one report across
+  // responses must not accumulate stale entries.
+  Rep = CheckReport();
   Rep.InputsOk = R.u8() != 0;
   Rep.Safe = R.u8() != 0;
   uint8_t RawVerdict = R.u8();
@@ -117,7 +121,7 @@ bool checker::deserializeCheckReport(ByteReader &R, CheckReport &Rep) {
     std::optional<uint32_t> Pc = readOpt32(R);
     std::string_view Detail = R.str();
     if (!R.ok() || Phase > static_cast<uint8_t>(CheckPhase::Driver) ||
-        Kind > static_cast<uint8_t>(FailureKind::InternalError))
+        Kind > static_cast<uint8_t>(FailureKind::Quarantined))
       return false;
     Rep.Failures.push_back({static_cast<CheckPhase>(Phase),
                             static_cast<FailureKind>(Kind), Pc,

@@ -6,12 +6,29 @@
 
 #include <cstring>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 using namespace mcsafe;
 using namespace mcsafe::serve;
+
+namespace {
+
+bool isTimeoutErrno() { return errno == EAGAIN || errno == EWOULDBLOCK; }
+
+void setSocketTimeouts(int Fd, unsigned Ms) {
+  struct timeval TV;
+  TV.tv_sec = static_cast<time_t>(Ms / 1000);
+  TV.tv_usec = static_cast<suseconds_t>((Ms % 1000) * 1000);
+  (void)::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+  (void)::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV));
+}
+
+} // namespace
 
 bool Client::connect(const std::string &SocketPath, std::string &Error) {
   close();
@@ -27,16 +44,54 @@ bool Client::connect(const std::string &SocketPath, std::string &Error) {
     Error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
+  if (TimeoutMs == 0) {
+    long R = support::retryEintr([&] {
+      return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                       sizeof(Addr));
+    });
+    if (R != 0) {
+      Error = "cannot connect to '" + SocketPath +
+              "': " + std::strerror(errno);
+      close();
+      return false;
+    }
+    return true;
+  }
+  // Bounded connect: non-blocking connect + poll. A wedged daemon whose
+  // accept queue is full leaves connect() in progress forever otherwise.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  (void)::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
   long R = support::retryEintr([&] {
-    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
-                     sizeof(Addr));
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
   });
-  if (R != 0) {
+  if (R != 0 && errno != EINPROGRESS && errno != EAGAIN) {
     Error = "cannot connect to '" + SocketPath +
             "': " + std::strerror(errno);
     close();
     return false;
   }
+  if (R != 0) {
+    pollfd P{Fd, POLLOUT, 0};
+    long N = support::retryEintr(
+        [&] { return ::poll(&P, 1, static_cast<int>(TimeoutMs)); });
+    if (N <= 0) {
+      Error = "connect to '" + SocketPath + "' timed out after " +
+              std::to_string(TimeoutMs) + " ms";
+      close();
+      return false;
+    }
+    int SockErr = 0;
+    socklen_t Len = sizeof(SockErr);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SockErr, &Len) != 0 ||
+        SockErr != 0) {
+      Error = "cannot connect to '" + SocketPath +
+              "': " + std::strerror(SockErr ? SockErr : errno);
+      close();
+      return false;
+    }
+  }
+  (void)::fcntl(Fd, F_SETFL, Flags);
+  setSocketTimeouts(Fd, TimeoutMs);
   return true;
 }
 
@@ -54,7 +109,11 @@ bool Client::sendFrame(MsgType Type, std::string_view Payload,
     return false;
   }
   if (!support::sendAll(Fd, encodeFrame(Type, Payload))) {
-    Error = std::string("send: ") + std::strerror(errno);
+    if (TimeoutMs != 0 && isTimeoutErrno())
+      Error = "send to server timed out after " + std::to_string(TimeoutMs) +
+              " ms (daemon wedged?)";
+    else
+      Error = std::string("send: ") + std::strerror(errno);
     return false;
   }
   return true;
@@ -73,7 +132,11 @@ bool Client::recvFrame(MsgType &Type, std::string &Payload,
     return false;
   }
   if (N != static_cast<long>(sizeof(Header))) {
-    Error = std::string("recv: ") + std::strerror(errno);
+    if (TimeoutMs != 0 && isTimeoutErrno())
+      Error = "no response from server within " + std::to_string(TimeoutMs) +
+              " ms (daemon wedged?)";
+    else
+      Error = std::string("recv: ") + std::strerror(errno);
     return false;
   }
   FrameHeader H;
@@ -85,7 +148,11 @@ bool Client::recvFrame(MsgType &Type, std::string &Payload,
   if (H.PayloadLen != 0 &&
       support::recvFull(Fd, Payload.data(), Payload.size()) !=
           static_cast<long>(Payload.size())) {
-    Error = "truncated frame from server";
+    if (TimeoutMs != 0 && isTimeoutErrno())
+      Error = "no response from server within " + std::to_string(TimeoutMs) +
+              " ms (daemon wedged?)";
+    else
+      Error = "truncated frame from server";
     return false;
   }
   if (!validateFramePayload(H, Payload)) {

@@ -48,8 +48,10 @@ namespace mcsafe {
 namespace serve {
 
 /// Bump when the frame layout, a message payload, or the CheckReport
-/// codec (checker/ReportCodec.h) changes shape.
-inline constexpr uint8_t ProtocolVersion = 1;
+/// codec (checker/ReportCodec.h) changes shape. Version 2: the failure
+/// taxonomy grew WorkerCrashed/Quarantined, widening the valid Kind
+/// range in serialized reports.
+inline constexpr uint8_t ProtocolVersion = 2;
 
 inline constexpr char FrameMagic[4] = {'M', 'S', 'R', 'V'};
 inline constexpr size_t FrameHeaderSize = 18;

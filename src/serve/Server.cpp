@@ -9,6 +9,7 @@
 #include "support/Io.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
@@ -25,20 +26,6 @@ using checker::CheckPhase;
 using checker::CheckReport;
 using checker::CheckVerdict;
 using checker::FailureKind;
-
-namespace {
-
-/// The effective budget for a request: the server cap bounds whatever
-/// the client asked for, and an "unlimited" ask (0) gets the cap itself.
-template <typename T> T clampBudget(T Requested, T Cap) {
-  if (Cap == 0)
-    return Requested;
-  if (Requested == 0)
-    return Cap;
-  return Requested < Cap ? Requested : Cap;
-}
-
-} // namespace
 
 Server::Conn::~Conn() {
   if (Fd >= 0)
@@ -109,12 +96,39 @@ bool Server::start(std::string &Error) {
     return false;
   }
 
+  if (Opts.IsolateWorkers) {
+    // Checks run in forked workers; the parent deliberately opens no
+    // cert store and no shared cache, so no daemon thread ever touches
+    // the interner/prover locks a forked child would inherit.
+    WorkerPoolOptions W = Opts.Worker;
+    W.NumWorkers = NJobs;
+    W.CertDir = Opts.CertDir;
+    W.DeadlineCapMs = Opts.DeadlineCapMs;
+    W.ProverStepsCap = Opts.ProverStepsCap;
+    W.MemoryCapBytes = Opts.MemoryCapBytes;
+    W.SharedCacheMaxEntries = Opts.SharedCacheMaxEntries;
+    W.Metrics = Opts.Metrics;
+    W.CollectParentFds = [this] { return parentFdsSnapshot(); };
+    Workers = std::make_unique<WorkerPool>(std::move(W));
+    // Fork the initial workers before any other daemon thread exists.
+    if (!Workers->start(Error)) {
+      Error = "worker pool: " + Error;
+      Workers.reset();
+      support::closeFd(ListenFd);
+      support::closeFd(WakeRd);
+      support::closeFd(WakeWr);
+      ListenFd = WakeRd = WakeWr = -1;
+      ::unlink(Opts.SocketPath.c_str());
+      return false;
+    }
+  } else {
+    ProverCache::Config CacheCfg;
+    CacheCfg.MaxEntries = Opts.SharedCacheMaxEntries;
+    SharedCache = std::make_shared<ProverCache>(CacheCfg);
+    if (!Opts.CertDir.empty())
+      Certs = std::make_unique<checker::CertStore>(Opts.CertDir);
+  }
   Pool = std::make_unique<support::ThreadPool>(NJobs);
-  ProverCache::Config CacheCfg;
-  CacheCfg.MaxEntries = Opts.SharedCacheMaxEntries;
-  SharedCache = std::make_shared<ProverCache>(CacheCfg);
-  if (!Opts.CertDir.empty())
-    Certs = std::make_unique<checker::CertStore>(Opts.CertDir);
 
   Running.store(true, std::memory_order_release);
   Started = true;
@@ -136,21 +150,50 @@ void Server::requestStop() {
 void Server::wait() {
   if (!Started)
     return;
+  // Graceful drain ordering: the accept epilogue shuts down only the
+  // *read* side of every connection, the dispatcher answers everything
+  // still queued with a shed UNKNOWN, and the pool drain lets in-flight
+  // checks finish and send their real responses — every admitted
+  // request is answered before any write side closes.
   if (AcceptThread.joinable())
     AcceptThread.join();
   if (DispatchThread.joinable())
     DispatchThread.join();
-  // In-flight checks finish on the pool; their sends fail harmlessly on
-  // the already-shut-down sockets.
   Pool.reset();
-  // Join the readers without holding Mu (a reader between its recv and
-  // its admission check briefly takes Mu itself).
+  if (Workers) {
+    Workers->stop();
+    Workers.reset();
+  }
+  // The dispatcher and pool have answered everything they admitted, but
+  // a reader may still be draining its receive buffer: requests that
+  // were on the wire at shutdown get their shed responses from the
+  // reader itself, and closing the write side now would race those
+  // sends. Wait for every reader to finish — bounded, so one client
+  // that pipelines requests and never reads its responses cannot wedge
+  // shutdown (its connection is severed below; a visible reset, not a
+  // silent drop).
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    CvReaders.wait_for(Lock, std::chrono::seconds(5), [&] {
+      for (const std::shared_ptr<Conn> &C : Conns)
+        if (!C->ReaderDone.load(std::memory_order_acquire))
+          return false;
+      return true;
+    });
+  }
+  // All responses are on the wire; now close the write sides so clients
+  // see EOF, and join the readers without holding Mu (a reader between
+  // its recv and its admission check briefly takes Mu itself).
   std::vector<std::shared_ptr<Conn>> Remaining;
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Remaining.swap(Conns);
     Ring.clear();
     TotalPending = 0;
+  }
+  for (const std::shared_ptr<Conn> &C : Remaining) {
+    C->Dead.store(true, std::memory_order_release);
+    ::shutdown(C->Fd, SHUT_RDWR);
   }
   for (const std::shared_ptr<Conn> &C : Remaining)
     if (C->Reader.joinable())
@@ -220,11 +263,11 @@ void Server::acceptLoop() {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Stopping = true;
-    // Unblock every reader stuck in recv().
-    for (const std::shared_ptr<Conn> &C : Conns) {
-      C->Dead.store(true, std::memory_order_release);
-      ::shutdown(C->Fd, SHUT_RDWR);
-    }
+    // Unblock every reader stuck in recv() — read side only. The write
+    // side stays open for the drain: queued requests still get their
+    // shed responses and in-flight checks their real ones.
+    for (const std::shared_ptr<Conn> &C : Conns)
+      ::shutdown(C->Fd, SHUT_RD);
   }
   CvDispatch.notify_all();
 }
@@ -250,8 +293,8 @@ bool Server::sendFrame(Conn &C, MsgType Type, std::string_view Payload) {
   return true;
 }
 
-void Server::sendShedResponse(const std::shared_ptr<Conn> &C,
-                              uint64_t ReqId) {
+void Server::sendShedResponse(const std::shared_ptr<Conn> &C, uint64_t ReqId,
+                              const char *Why) {
   bumpCounter("serve/shed");
   CheckResponseMsg Resp;
   Resp.ReqId = ReqId;
@@ -261,9 +304,9 @@ void Server::sendShedResponse(const std::shared_ptr<Conn> &C,
   Resp.Report.InputsOk = false;
   Resp.Report.Safe = false;
   Resp.Report.Verdict = CheckVerdict::Unknown;
-  Resp.Report.Failures.push_back(
-      {CheckPhase::Driver, FailureKind::ResourceExhausted, std::nullopt,
-       "load shed: admission queue full"});
+  Resp.Report.Failures.push_back({CheckPhase::Driver,
+                                  FailureKind::ResourceExhausted, std::nullopt,
+                                  Why});
   sendFrame(*C, MsgType::CheckResponse, encodeCheckResponse(Resp));
 }
 
@@ -323,8 +366,10 @@ void Server::readerLoop(std::shared_ptr<Conn> C) {
     bumpCounter("serve/requests");
 
     bool Shed;
+    bool Draining;
     {
       std::lock_guard<std::mutex> Lock(Mu);
+      Draining = Stopping;
       Shed = Stopping || TotalPending >= Opts.MaxQueue;
       if (!Shed) {
         ++TotalPending;
@@ -336,15 +381,26 @@ void Server::readerLoop(std::shared_ptr<Conn> C) {
       }
     }
     if (Shed) {
-      sendShedResponse(C, Req.ReqId);
+      sendShedResponse(C, Req.ReqId,
+                       Draining ? "load shed: server shutting down"
+                                : "load shed: admission queue full");
       continue;
     }
     CvDispatch.notify_one();
   }
 
-  C->Dead.store(true, std::memory_order_release);
-  ::shutdown(C->Fd, SHUT_RDWR);
+  // A reader exiting because the server is draining must leave the
+  // write side up — responses are still owed to this client. A client
+  // that disconnected on its own is latched dead as before.
+  if (Running.load(std::memory_order_acquire)) {
+    C->Dead.store(true, std::memory_order_release);
+    ::shutdown(C->Fd, SHUT_RDWR);
+  }
   C->ReaderDone.store(true, std::memory_order_release);
+  // Pair with the drain wait in wait(): the empty critical section
+  // orders this store against the waiter's predicate check.
+  { std::lock_guard<std::mutex> Lock(Mu); }
+  CvReaders.notify_all();
 }
 
 void Server::dispatchLoop() {
@@ -380,55 +436,59 @@ void Server::dispatchLoop() {
     });
     Lock.lock();
   }
-  // Drain: queued requests at shutdown are simply dropped (their
-  // connections are already shut down).
+  // Drain: every request still queued at shutdown is answered with a
+  // shed UNKNOWN — never silently dropped. New arrivals past this point
+  // are shed by the readers themselves (Stopping is set).
+  std::vector<std::pair<std::shared_ptr<Conn>, uint64_t>> ToShed;
   Ring.clear();
   for (const std::shared_ptr<Conn> &C : Conns) {
+    for (const CheckRequestMsg &R : C->Queue)
+      ToShed.emplace_back(C, R.ReqId);
     C->Queue.clear();
     C->InRing = false;
   }
   TotalPending = 0;
+  Lock.unlock();
+  for (const auto &[C, ReqId] : ToShed)
+    sendShedResponse(C, ReqId, "load shed: server shutting down");
 }
 
 void Server::runCheckRequest(const std::shared_ptr<Conn> &C,
                              const CheckRequestMsg &Req) {
   CheckResponseMsg Resp;
-  Resp.ReqId = Req.ReqId;
-  CheckReport &Rep = Resp.Report;
-  try {
-    checker::SafetyChecker::Options O;
-    O.Lint = (Req.Flags & ReqFlagLint) != 0;
-    O.PruneDeadRegs = O.Lint;
-    O.KnownBits = (Req.Flags & ReqFlagKnownBits) != 0;
-    O.ProverOpts.EnableTiers = (Req.Flags & ReqFlagTiers) != 0;
-    O.FailSoft = (Req.Flags & ReqFlagFailSoft) != 0;
-    O.Global.DebugTrace = (Req.Flags & ReqFlagTrace) != 0;
-    O.Limits.DeadlineMs =
-        clampBudget(Req.DeadlineMs, Opts.DeadlineCapMs);
-    O.Limits.ProverSteps =
-        clampBudget(Req.ProverSteps, Opts.ProverStepsCap);
+  if (Workers) {
+    // Isolation: the check runs in a supervised worker subprocess. Any
+    // worker death/hang comes back as a structured UNKNOWN — this
+    // thread, the daemon, and every other connection are unaffected.
+    Resp = Workers->runRequest(Req);
+    Resp.ReqId = Req.ReqId;
+  } else {
+    Resp.ReqId = Req.ReqId;
+    // Same option construction as the worker child (WorkerPool.cpp) —
+    // the single helper is what keeps reports byte-identical with
+    // isolation on or off.
+    checker::SafetyChecker::Options O = requestCheckerOptions(
+        Req, Opts.DeadlineCapMs, Opts.ProverStepsCap, Opts.MemoryCapBytes);
     O.SharedProverCache = SharedCache;
     O.Global.Pool = NJobs > 1 ? Pool.get() : nullptr;
     O.Certs = Certs.get();
-    // A private namespace per request: the report is a pure function of
-    // the request's inputs, byte-identical to a cold CLI run no matter
-    // how warm the shared caches are or what ran before.
-    VarNamespace NS;
-    checker::SafetyChecker Checker(O);
-    Rep = Checker.checkSource(Req.Asm, Req.Policy);
-  } catch (const std::exception &E) {
-    Rep.Safe = false;
-    Rep.Verdict = CheckVerdict::InternalError;
-    Rep.Failures.push_back(
-        {CheckPhase::Driver, FailureKind::InternalError, std::nullopt,
-         std::string("unhandled exception: ") + E.what()});
-  } catch (...) {
-    Rep.Safe = false;
-    Rep.Verdict = CheckVerdict::InternalError;
-    Rep.Failures.push_back({CheckPhase::Driver, FailureKind::InternalError,
-                            std::nullopt,
-                            "unhandled non-standard exception"});
+    Resp.Report = runRequestCheck(Req, O);
   }
   if (sendFrame(*C, MsgType::CheckResponse, encodeCheckResponse(Resp)))
     bumpCounter("serve/responses");
+}
+
+std::vector<int> Server::parentFdsSnapshot() {
+  std::vector<int> Fds;
+  if (ListenFd >= 0)
+    Fds.push_back(ListenFd);
+  if (WakeRd >= 0) {
+    Fds.push_back(WakeRd);
+    Fds.push_back(WakeWr);
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const std::shared_ptr<Conn> &C : Conns)
+    if (C->Fd >= 0)
+      Fds.push_back(C->Fd);
+  return Fds;
 }

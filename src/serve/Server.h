@@ -39,6 +39,7 @@
 #define MCSAFE_SERVE_SERVER_H
 
 #include "serve/Protocol.h"
+#include "serve/WorkerPool.h"
 #include "support/Metrics.h"
 
 #include <atomic>
@@ -82,6 +83,19 @@ struct ServerOptions {
   /// Observability sink ("serve/*" counters; cert/store/* on stop).
   /// Non-owning; may be null.
   support::MetricsRegistry *Metrics = nullptr;
+  /// Crash containment: run every check in one of `Jobs` supervised
+  /// worker subprocesses (see WorkerPool.h) instead of in-process. A
+  /// worker death or hang becomes a structured UNKNOWN for its request;
+  /// the daemon itself never dies with a check. With no faults firing,
+  /// reports are byte-identical to in-process mode.
+  bool IsolateWorkers = false;
+  /// Per-check memory budget (governor MemoryBytes) for both modes, and
+  /// the basis for the isolated workers' RLIMIT_AS backstop. 0 = none.
+  uint64_t MemoryCapBytes = 0;
+  /// Isolation tuning (restart/backoff/quarantine/grace). NumWorkers,
+  /// CertDir, the budget caps, Metrics, and the fork fd snapshot are
+  /// overwritten from the fields above at start().
+  WorkerPoolOptions Worker;
 };
 
 class Server {
@@ -131,7 +145,11 @@ private:
   void dispatchLoop();
   void runCheckRequest(const std::shared_ptr<Conn> &C,
                        const CheckRequestMsg &Req);
-  void sendShedResponse(const std::shared_ptr<Conn> &C, uint64_t ReqId);
+  void sendShedResponse(const std::shared_ptr<Conn> &C, uint64_t ReqId,
+                        const char *Why);
+  /// Every parent-only fd a forked worker must close: listen socket,
+  /// wake pipe, client connections.
+  std::vector<int> parentFdsSnapshot();
   /// Encodes and sends one frame under the connection's write lock. On
   /// failure the connection is marked dead and shut down; other
   /// connections (and in-flight checks) are unaffected.
@@ -150,6 +168,7 @@ private:
   std::unique_ptr<support::ThreadPool> Pool;
   std::shared_ptr<ProverCache> SharedCache;
   std::unique_ptr<checker::CertStore> Certs;
+  std::unique_ptr<WorkerPool> Workers; ///< Set iff IsolateWorkers.
 
   std::thread AcceptThread, DispatchThread;
 
@@ -157,6 +176,10 @@ private:
   /// Stopping.
   std::mutex Mu;
   std::condition_variable CvDispatch;
+  /// Signaled by each reader as it exits; wait() blocks on it so the
+  /// write sides stay open until every reader has finished shedding
+  /// the tail of its receive buffer.
+  std::condition_variable CvReaders;
   std::vector<std::shared_ptr<Conn>> Conns;
   std::deque<std::shared_ptr<Conn>> Ring; ///< Conns with queued work.
   size_t TotalPending = 0;

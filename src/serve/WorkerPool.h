@@ -1,0 +1,246 @@
+//===- WorkerPool.h - Supervised verification worker pool -------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash containment for mcsafe-serve: N pre-forked worker subprocesses,
+/// each connected to the daemon by a socketpair speaking the MSRV frame
+/// protocol, run the actual verification. The daemon keeps only a small
+/// supervisor: send a CheckRequest frame, wait (bounded by the request
+/// deadline plus a grace window) for the CheckResponse, and translate
+/// every other outcome — EOF, a wait status, a timeout — into a
+/// structured UNKNOWN verdict. A worker may segfault, abort, be
+/// OOM-killed, or spin forever; the affected request gets
+/// `driver/worker-crashed`, every other client is untouched, and the
+/// daemon never dies and never reports a SAFE it did not earn.
+///
+/// Worker lifecycle (per slot):
+///
+///   IDLE --acquire--> BUSY --response--> IDLE        (crash streak := 0)
+///    |                  \--EOF/status--> DEAD        (streak+1, backoff)
+///    |                  \--timeout: TERM->KILL-> DEAD
+///    |--idle EOF, exit 0------> DEAD (recycle: no streak, no backoff)
+///    |--idle EOF, other-------> DEAD (streak+1, backoff)
+///   DEAD --supervisor respawn after backoff--> IDLE
+///   DEAD --streak > MaxRestarts--> PARKED            (terminal)
+///
+/// Workers are recycled (told to exit cleanly by closing their socket)
+/// after RotateAfterRequests checks, which bounds the lifetime behind the
+/// cumulative RLIMIT_CPU backstop and sheds any slow leak.
+///
+/// Quarantine: a request's content digest (assembly + policy bytes) that
+/// crashes workers QuarantineAfter times is poisoned — subsequent
+/// identical inputs get `driver/quarantined` UNKNOWN immediately instead
+/// of grinding the pool. The poison list persists across daemon restarts
+/// with the CertStore write discipline (unique temp + rename); a corrupt
+/// file degrades to an empty list, never a crash.
+///
+/// Determinism: workers build their checker options through
+/// requestCheckerOptions(), the same helper the in-process path uses, and
+/// run one request per VarNamespace — so with no faults firing, reports
+/// are byte-identical with isolation on or off, at any --jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SERVE_WORKERPOOL_H
+#define MCSAFE_SERVE_WORKERPOOL_H
+
+#include "serve/Protocol.h"
+#include "support/Metrics.h"
+#include "support/Subprocess.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcsafe {
+namespace serve {
+
+/// The effective budget for a request: the server cap bounds whatever
+/// the client asked for, and an "unlimited" ask (0) gets the cap itself.
+template <typename T> T clampBudget(T Requested, T Cap) {
+  if (Cap == 0)
+    return Requested;
+  if (Requested == 0)
+    return Cap;
+  return Requested < Cap ? Requested : Cap;
+}
+
+/// The checker options a request maps to. The single source of truth for
+/// both the in-process path (Server::runCheckRequest) and the worker
+/// child: byte-identity between isolation on and off holds because both
+/// build options here and only add process-local plumbing (caches, pool,
+/// cert store) on top.
+checker::SafetyChecker::Options
+requestCheckerOptions(const CheckRequestMsg &Req, uint32_t DeadlineCapMs,
+                      uint64_t ProverStepsCap, uint64_t MemoryCapBytes);
+
+/// Runs one check with fully-built options, converting any escaped
+/// exception into an InternalError report. Shared by the in-process path
+/// and the worker child main.
+checker::CheckReport runRequestCheck(const CheckRequestMsg &Req,
+                                     const checker::SafetyChecker::Options &O);
+
+/// The quarantine key: a stable content digest of the request's assembly
+/// and policy bytes (not its display name or budgets).
+uint64_t requestContentDigest(const CheckRequestMsg &Req);
+
+/// The persisted crash-count ledger behind quarantine. Thread-safe.
+/// File format (text, one record per line):
+///
+///   MCPOISON 1
+///   <16 lowercase hex digest> <decimal crash count>
+///
+/// Loading is strict: any malformed byte degrades the whole file to an
+/// empty list (fail open — a lost quarantine costs retries, a fabricated
+/// one would wrongly refuse service). Every recorded crash rewrites the
+/// file atomically (unique temp + rename), so a poison list is never
+/// observed half-written.
+class PoisonList {
+public:
+  /// Sets the backing file (empty = memory only) and loads it.
+  void open(std::string Path);
+
+  /// True once \p Digest has at least \p Threshold recorded crashes.
+  bool isPoisoned(uint64_t Digest, unsigned Threshold) const;
+
+  /// Records one crash for \p Digest, persists, and returns the new
+  /// count for the digest.
+  unsigned recordCrash(uint64_t Digest);
+
+  size_t size() const;
+
+private:
+  void save() const;
+
+  mutable std::mutex Mu;
+  std::map<uint64_t, unsigned> Counts;
+  std::string Path;
+};
+
+struct WorkerPoolOptions {
+  /// Worker subprocess count; 0 treated as 1.
+  unsigned NumWorkers = 1;
+  /// Certificate store directory each worker opens (empty = none). The
+  /// store's own concurrent-writer discipline (unique temp names) makes
+  /// multi-process sharing safe.
+  std::string CertDir;
+  /// Budget caps, exactly as in ServerOptions; also the source for the
+  /// workers' hard kernel limits.
+  uint32_t DeadlineCapMs = 0;
+  uint64_t ProverStepsCap = 0;
+  /// Per-check memory budget for the cooperative governor, and the basis
+  /// for the RLIMIT_AS backstop. 0 = no memory budget and no RLIMIT_AS.
+  uint64_t MemoryCapBytes = 0;
+  /// Address-space headroom added on top of MemoryCapBytes for the
+  /// RLIMIT_AS ceiling: the child's fork-inherited mappings (code, test
+  /// rig, thread stacks) all count against RLIMIT_AS. Tests shrink this
+  /// to make the limit actually reachable.
+  uint64_t RlimitSlackBytes = 768ull << 20;
+  /// SIGTERM -> SIGKILL escalation window, and the extra time past a
+  /// request's deadline before the supervisor declares the worker hung.
+  unsigned GraceMs = 1000;
+  /// Response-wait bound for requests with no effective deadline.
+  /// 0 = wait forever (matches in-process behavior: an unbounded
+  /// request may legitimately run unboundedly).
+  unsigned HangTimeoutMs = 0;
+  /// Consecutive abnormal deaths a slot survives before it is parked
+  /// permanently. 0 = never park (restart forever).
+  unsigned MaxRestarts = 0;
+  /// Exponential restart backoff: base * 2^(streak-1), capped.
+  unsigned RestartBackoffBaseMs = 50;
+  unsigned RestartBackoffCapMs = 5000;
+  /// Recycle a worker (clean exit + fresh fork) after this many
+  /// requests; bounds cumulative-CPU accumulation under RLIMIT_CPU.
+  /// 0 = never recycle.
+  unsigned RotateAfterRequests = 256;
+  /// Crashes of one content digest before it is quarantined. 0 disables
+  /// quarantine entirely.
+  unsigned QuarantineAfter = 3;
+  /// Poison-list persistence path; empty = memory only.
+  std::string QuarantineFile;
+  /// Bound on each worker's private prover-cache entry count (workers
+  /// cannot share the in-process cache across a process boundary).
+  size_t SharedCacheMaxEntries = size_t(1) << 20;
+  /// Observability sink (serve/worker/* counters). Non-owning.
+  support::MetricsRegistry *Metrics = nullptr;
+  /// Called at each fork to snapshot parent-only fds (listen socket,
+  /// wake pipe, client connections) the child must close.
+  std::function<std::vector<int>()> CollectParentFds;
+  /// Test-only: runs in the worker child before each check. Lets tests
+  /// crash/hang/bloat a worker deterministically in any build, not just
+  /// MCSAFE_FAULT_INJECTION ones.
+  std::function<void(const CheckRequestMsg &)> TestHook;
+};
+
+class WorkerPool {
+public:
+  explicit WorkerPool(WorkerPoolOptions Opts);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Forks the initial workers and starts the supervisor thread. Must be
+  /// called before any daemon thread exists beyond the caller (fork
+  /// discipline; see Subprocess.h). False with \p Error on failure.
+  bool start(std::string &Error);
+
+  /// Kills and reaps every worker, stops the supervisor. Idempotent.
+  void stop();
+
+  /// Runs one request on an idle worker, blocking until a response or a
+  /// contained failure. Thread-safe; called from the server's pool
+  /// tasks. Always returns a response for Req.ReqId — a real report, or
+  /// a structured UNKNOWN when the worker crashed/hung, the input is
+  /// quarantined, the pool is stopping, or every slot is parked.
+  CheckResponseMsg runRequest(const CheckRequestMsg &Req);
+
+private:
+  struct Slot {
+    support::ChildProcess Child; ///< Invalid when DEAD/PARKED.
+    bool Busy = false;
+    bool Parked = false;
+    unsigned CrashStreak = 0;
+    unsigned RequestsServed = 0;
+    /// Steady-clock ms when a dead slot becomes eligible for respawn.
+    uint64_t RespawnAtMs = 0;
+  };
+
+  void supervisorLoop();
+  bool spawnSlot(size_t Idx, std::string &Error); ///< Caller holds Mu.
+  /// Marks a busy slot dead after an abnormal death and schedules its
+  /// respawn (or parks it). Caller holds Mu.
+  void recordAbnormalDeath(Slot &S);
+  CheckResponseMsg containedFailure(uint64_t ReqId, checker::FailureKind Kind,
+                                    std::string Detail);
+  /// Quarantine bookkeeping for a crash of \p Dig; returns true when
+  /// this crash tripped the threshold.
+  void noteCrashForQuarantine(uint64_t Dig);
+  void bumpCounter(const char *Name, uint64_t Delta = 1);
+
+  WorkerPoolOptions Opts;
+  PoisonList Poison;
+
+  std::mutex Mu;
+  std::condition_variable CvIdle;       ///< An idle worker may exist.
+  std::condition_variable CvSupervisor; ///< Respawn work may exist.
+  std::vector<Slot> Slots;
+  bool Stopping = false;
+  bool Started = false;
+  std::thread Supervisor;
+};
+
+} // namespace serve
+} // namespace mcsafe
+
+#endif // MCSAFE_SERVE_WORKERPOOL_H

@@ -1,0 +1,181 @@
+//===- Subprocess.cpp - Supervised child-process helpers ------------------===//
+
+#include "support/Subprocess.h"
+
+#include "support/Io.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace mcsafe {
+namespace support {
+
+namespace {
+
+void applyLimit(int Resource, uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  struct rlimit RL;
+  RL.rlim_cur = static_cast<rlim_t>(Bytes);
+  RL.rlim_max = static_cast<rlim_t>(Bytes);
+  // A failure here leaves the child merely ungoverned by the kernel —
+  // the cooperative governor still applies — so don't refuse to serve.
+  (void)::setrlimit(Resource, &RL);
+}
+
+void sleepMs(unsigned Ms) {
+  struct timespec TS;
+  TS.tv_sec = Ms / 1000;
+  TS.tv_nsec = static_cast<long>(Ms % 1000) * 1000000L;
+  (void)::nanosleep(&TS, nullptr);
+}
+
+} // namespace
+
+ChildProcess spawnChildWithSocket(const ChildLimits &Limits,
+                                  const std::vector<int> &ParentFds,
+                                  const std::function<int(int)> &ChildMain,
+                                  std::string &Error) {
+  int SV[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, SV) != 0) {
+    Error = std::string("socketpair: ") + std::strerror(errno);
+    return {};
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    Error = std::string("fork: ") + std::strerror(errno);
+    closeFd(SV[0]);
+    closeFd(SV[1]);
+    return {};
+  }
+  if (Pid == 0) {
+    closeFd(SV[0]);
+    for (int Fd : ParentFds)
+      if (Fd >= 0 && Fd != SV[1])
+        closeFd(Fd);
+    // The daemon's stop handlers must not run in a worker: a SIGTERM
+    // meant to kill this child would otherwise "request server stop"
+    // on the copied state and leave the child alive.
+    (void)::signal(SIGTERM, SIG_DFL);
+    (void)::signal(SIGINT, SIG_DFL);
+    (void)::signal(SIGPIPE, SIG_IGN);
+    applyLimit(RLIMIT_AS, Limits.AddressSpaceBytes);
+    applyLimit(RLIMIT_CPU, Limits.CpuSeconds);
+    int Code = 0;
+    if (ChildMain)
+      Code = ChildMain(SV[1]);
+    ::_exit(Code & 0xff);
+  }
+  closeFd(SV[1]);
+  ChildProcess C;
+  C.Pid = Pid;
+  C.Fd = SV[0];
+  return C;
+}
+
+ReapStatus reapChild(pid_t Pid, int &StatusOut) {
+  for (;;) {
+    int Status = 0;
+    pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+    if (R == Pid) {
+      StatusOut = Status;
+      return ReapStatus::Exited;
+    }
+    if (R == 0)
+      return ReapStatus::Running;
+    if (errno == EINTR)
+      continue;
+    return ReapStatus::Gone;
+  }
+}
+
+std::string describeWaitStatus(int Status) {
+  char Buf[96];
+  if (WIFEXITED(Status)) {
+    std::snprintf(Buf, sizeof(Buf), "exited with status %d",
+                  WEXITSTATUS(Status));
+    return Buf;
+  }
+  if (WIFSIGNALED(Status)) {
+    int Sig = WTERMSIG(Status);
+    const char *Name = nullptr;
+    switch (Sig) {
+    case SIGABRT:
+      Name = "SIGABRT";
+      break;
+    case SIGSEGV:
+      Name = "SIGSEGV";
+      break;
+    case SIGBUS:
+      Name = "SIGBUS";
+      break;
+    case SIGILL:
+      Name = "SIGILL";
+      break;
+    case SIGFPE:
+      Name = "SIGFPE";
+      break;
+    case SIGKILL:
+      Name = "SIGKILL";
+      break;
+    case SIGTERM:
+      Name = "SIGTERM";
+      break;
+    case SIGXCPU:
+      Name = "SIGXCPU";
+      break;
+    default:
+      break;
+    }
+    if (Name)
+      std::snprintf(Buf, sizeof(Buf), "killed by signal %d (%s)", Sig, Name);
+    else
+      std::snprintf(Buf, sizeof(Buf), "killed by signal %d", Sig);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "wait status 0x%x", Status);
+  return Buf;
+}
+
+bool exitedCleanly(int Status) {
+  return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+}
+
+int terminateChild(pid_t Pid, unsigned GraceMs) {
+  if (Pid <= 0)
+    return 0;
+  (void)::kill(Pid, SIGTERM);
+  // Poll in small steps: the common case (a worker parked in pause())
+  // dies on the first SIGTERM and the escalation never fires.
+  const unsigned StepMs = 5;
+  for (unsigned Waited = 0; Waited < GraceMs; Waited += StepMs) {
+    int Status = 0;
+    ReapStatus R = reapChild(Pid, Status);
+    if (R == ReapStatus::Exited)
+      return Status;
+    if (R == ReapStatus::Gone)
+      return 0;
+    sleepMs(StepMs);
+  }
+  (void)::kill(Pid, SIGKILL);
+  for (;;) {
+    int Status = 0;
+    pid_t R = ::waitpid(Pid, &Status, 0);
+    if (R == Pid)
+      return Status;
+    if (R < 0 && errno == EINTR)
+      continue;
+    return 0;
+  }
+}
+
+} // namespace support
+} // namespace mcsafe

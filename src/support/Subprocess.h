@@ -1,0 +1,101 @@
+//===- Subprocess.h - Supervised child-process helpers ----------*- C++ -*-===//
+//
+// Part of mcsafe, a reproduction of "Safety Checking of Machine Code"
+// (Xu, Miller, Reps; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primitives for running untrusted work in supervised child processes:
+/// fork with a stream-socketpair channel, hard kernel resource limits
+/// applied inside the child, non-blocking reaping, and a SIGTERM→SIGKILL
+/// escalation that always ends with the child reaped.
+///
+/// The trust argument mirrors the paper's optimizer/verifier split: the
+/// child may crash, spin, or exhaust memory in arbitrary ways; the parent
+/// only ever observes "bytes on the socket", "EOF", or "a wait status",
+/// each of which it converts into a structured verdict. Nothing a child
+/// does can take the parent down.
+///
+/// Fork discipline: children are forked from a multithreaded daemon, so
+/// the child begins life with only the forking thread. Everything the
+/// child touches afterwards must either be data it owns (the copied
+/// address space is private) or glibc facilities that re-arm their own
+/// locks across fork (malloc does). The spawn path resets SIGTERM/SIGINT
+/// to their default dispositions in the child so the parent's escalation
+/// actually terminates it — the daemon's own handlers must not be
+/// inherited.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCSAFE_SUPPORT_SUBPROCESS_H
+#define MCSAFE_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace mcsafe {
+namespace support {
+
+/// Hard kernel limits applied inside a child before it serves anything.
+/// Zero disables a limit. These back the PR 4 cooperative governor with
+/// an enforceable boundary: a worker whose soft budgets fail to trip
+/// still cannot take more than this from the machine.
+struct ChildLimits {
+  /// RLIMIT_AS in bytes. Note this bounds *address space*, so it must
+  /// leave headroom for everything the child inherited at fork; it is
+  /// incompatible with ASan/TSan shadow mappings.
+  uint64_t AddressSpaceBytes = 0;
+  /// RLIMIT_CPU in seconds, cumulative over the child's lifetime.
+  uint64_t CpuSeconds = 0;
+};
+
+/// One spawned child and the parent's end of its socketpair.
+struct ChildProcess {
+  pid_t Pid = -1;
+  int Fd = -1;
+  bool valid() const { return Pid > 0; }
+};
+
+/// Forks a child connected to the parent by a SOCK_STREAM socketpair.
+/// In the child: the parent's socket end and every fd in \p ParentFds
+/// are closed (a long-lived worker holding a copied connection fd would
+/// suppress the EOF clients rely on), \p Limits are applied, signal
+/// dispositions the daemon installed are reset, and \p ChildMain runs
+/// with the child's socket fd; its return value becomes the exit status
+/// via _exit (no atexit handlers — the child shares the parent's
+/// statics). Returns an invalid ChildProcess with \p Error set when the
+/// socketpair or fork fails.
+ChildProcess spawnChildWithSocket(const ChildLimits &Limits,
+                                  const std::vector<int> &ParentFds,
+                                  const std::function<int(int)> &ChildMain,
+                                  std::string &Error);
+
+/// Non-blocking reap of one child.
+enum class ReapStatus : uint8_t {
+  Running, ///< Still alive; \p StatusOut untouched.
+  Exited,  ///< Reaped; \p StatusOut holds the raw wait status.
+  Gone,    ///< waitpid failed (already reaped elsewhere / not a child).
+};
+ReapStatus reapChild(pid_t Pid, int &StatusOut);
+
+/// "exited with status N" or "killed by signal N (NAME)".
+std::string describeWaitStatus(int Status);
+
+/// WIFEXITED with status 0 — a voluntary, clean exit (worker rotation),
+/// as opposed to a crash or kill.
+bool exitedCleanly(int Status);
+
+/// SIGTERM, then up to \p GraceMs of polling for a voluntary exit, then
+/// SIGKILL; blocks until the child is reaped either way. Returns the
+/// final wait status (0 when the pid could not be waited on).
+int terminateChild(pid_t Pid, unsigned GraceMs);
+
+} // namespace support
+} // namespace mcsafe
+
+#endif // MCSAFE_SUPPORT_SUBPROCESS_H

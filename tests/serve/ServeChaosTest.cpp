@@ -126,4 +126,104 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ServeChaos, ::testing::Values(1u, 2u, 3u),
                            return "seed" + std::to_string(I.param);
                          });
 
+class ServeChaosIsolated : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServeChaosIsolated, WorkerDeathsNeverManufactureASafeVerdict) {
+  // Isolation mode under the worker fault sites (serve/worker-crash,
+  // serve/worker-oom, serve/worker-hang — plus every site inside the
+  // checking pipeline, all inherited by the forked workers). The
+  // containment contract: a killed or hung worker costs its own request
+  // a structured UNKNOWN, other clients still get served, and the
+  // daemon outlives all of it.
+  std::map<std::string, CheckVerdict> Baseline = localBaseline();
+
+  // Installed before start() so the forked workers inherit the plan.
+  support::FaultPlan Plan(GetParam());
+  support::FaultPlan::install(&Plan);
+
+  ServerOptions Opts;
+  Opts.SocketPath = freshSocketPath();
+  Opts.Jobs = 2;
+  Opts.IsolateWorkers = true;
+  // Bound the hang site: the response wait is deadline + grace, so a
+  // worker stuck in the pause() loop is escalated within ~1.75 s. The
+  // cap is far above any corpus program's real runtime, so in builds
+  // without fault injection nothing times out.
+  Opts.DeadlineCapMs = 1500;
+  Opts.Worker.GraceMs = 250;
+  Opts.Worker.RestartBackoffBaseMs = 1;
+  Opts.Worker.RestartBackoffCapMs = 5;
+  // Quarantine off: each program is sent once, and this test is about
+  // containment, not the poison list.
+  Opts.Worker.QuarantineAfter = 0;
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  size_t Received = 0, Contained = 0, Dropped = 0;
+  for (const CorpusProgram &P : corpus::corpus()) {
+    Client Conn;
+    if (!Conn.connect(Opts.SocketPath, Error)) {
+      ADD_FAILURE() << "daemon stopped accepting: " << Error;
+      break;
+    }
+    CheckRequestMsg Req;
+    Req.ReqId = 1;
+    Req.Name = P.Name;
+    Req.Asm = P.Asm;
+    Req.Policy = P.Policy;
+    CheckResponseMsg Resp;
+    if (!Conn.check(Req, Resp, Error)) {
+      // The plan also arms the parent's serve/write site, which severs
+      // this one connection mid-response — the non-isolated degraded
+      // path, not a containment failure. (That a *worker death* never
+      // severs the connection is pinned down by WorkerPoolTest, where
+      // the crash hook is the only fault in play.)
+      ++Dropped;
+      continue;
+    }
+    ++Received;
+    if (!Resp.Report.Failures.empty() &&
+        Resp.Report.Failures[0].Kind == FailureKind::WorkerCrashed) {
+      ++Contained;
+      EXPECT_EQ(Resp.Report.Verdict, CheckVerdict::Unknown) << P.Name;
+      EXPECT_FALSE(Resp.Report.Safe) << P.Name;
+    }
+    // Fail-sound in both directions.
+    if (Resp.Report.Verdict == CheckVerdict::Safe)
+      EXPECT_EQ(Baseline[P.Name], CheckVerdict::Safe) << P.Name;
+    if (Resp.Report.Verdict == CheckVerdict::Unsafe)
+      EXPECT_EQ(Baseline[P.Name], CheckVerdict::Unsafe) << P.Name;
+  }
+  EXPECT_EQ(Received + Dropped, corpus::corpus().size());
+
+  support::FaultPlan::install(nullptr);
+
+  // The daemon outlived every worker death. (Workers forked while the
+  // plan was armed may still carry it, so the liveness probe is a ping,
+  // which never touches a worker.)
+  Client After;
+  ASSERT_TRUE(After.connect(Opts.SocketPath, Error)) << Error;
+  EXPECT_TRUE(After.ping(Error)) << Error;
+
+#if !defined(MCSAFE_FAULT_INJECTION)
+  // Fault points compiled out: no worker ever died, and every verdict
+  // matched the baseline exactly.
+  EXPECT_EQ(Plan.firedCount(), 0u);
+  EXPECT_EQ(Contained, 0u);
+  EXPECT_EQ(Dropped, 0u);
+#else
+  (void)Contained;
+#endif
+
+  Srv.requestStop();
+  Srv.wait();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeChaosIsolated,
+                         ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<uint64_t> &I) {
+                           return "seed" + std::to_string(I.param);
+                         });
+
 } // namespace

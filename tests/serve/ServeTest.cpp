@@ -387,6 +387,99 @@ TEST(Serve, ShutdownMessageStopsTheServerCleanly) {
   EXPECT_FALSE(After.connect(Opts.SocketPath, Error));
 }
 
+TEST(Serve, GracefulStopAnswersEveryAdmittedRequest) {
+  // A client pipelines a burst, then the server is told to stop while
+  // some of those requests are still queued or in flight. The drain
+  // contract: every request gets exactly one response — a real report
+  // or a shed UNKNOWN, never a silent drop — and only then does the
+  // connection close.
+  ServerOptions Opts;
+  Opts.SocketPath = freshSocketPath();
+  Opts.Jobs = 2;
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  Client Conn;
+  ASSERT_TRUE(Conn.connect(Opts.SocketPath, Error)) << Error;
+  // The ping round-trip guarantees the server has accepted this
+  // connection and its reader is up — requests pipelined from here on
+  // are the server's to answer. (A connection still sitting in the
+  // accept backlog at shutdown is refused with a reset, which is a
+  // visible error, not a silent drop; that path is not under test.)
+  ASSERT_TRUE(Conn.ping(Error)) << Error;
+  const std::vector<CorpusProgram> &Programs = corpus::corpus();
+  const size_t N = 8;
+  for (size_t I = 0; I < N; ++I) {
+    const CorpusProgram &P = Programs[I % Programs.size()];
+    CheckRequestMsg Req;
+    Req.ReqId = I;
+    Req.Name = P.Name;
+    Req.Asm = P.Asm;
+    Req.Policy = P.Policy;
+    ASSERT_TRUE(Conn.sendCheck(Req, Error)) << Error;
+  }
+  Srv.requestStop();
+  // wait() returns only after every admitted request's response is on
+  // the wire and the write sides are closed; the responses (and the
+  // EOF behind them) are sitting in this client's socket buffer.
+  Srv.wait();
+
+  std::vector<bool> Answered(N, false);
+  for (size_t I = 0; I < N; ++I) {
+    CheckResponseMsg Resp;
+    ASSERT_TRUE(Conn.recvCheck(Resp, Error))
+        << "response " << I << " of " << N << ": " << Error;
+    ASSERT_LT(Resp.ReqId, N);
+    EXPECT_FALSE(Answered[Resp.ReqId]) << "duplicate response";
+    Answered[Resp.ReqId] = true;
+    if (Resp.Shed) {
+      // Shed during drain: fail-sound UNKNOWN, structured reason.
+      EXPECT_EQ(Resp.Report.Verdict, CheckVerdict::Unknown);
+      EXPECT_FALSE(Resp.Report.Safe);
+      ASSERT_EQ(Resp.Report.Failures.size(), 1u);
+      EXPECT_EQ(Resp.Report.Failures[0].Kind,
+                FailureKind::ResourceExhausted);
+      EXPECT_NE(Resp.Report.Failures[0].Detail.find("shutting down"),
+                std::string::npos);
+    }
+  }
+  // All N answered; behind the last response is a clean EOF.
+  MsgType Type;
+  std::string Payload;
+  EXPECT_FALSE(Conn.recvFrame(Type, Payload, Error));
+  EXPECT_NE(Error.find("closed"), std::string::npos) << Error;
+}
+
+TEST(Serve, ClientTimeoutUnwedgesFromASilentDaemon) {
+  // A "daemon" that accepts but never answers: a raw listening socket
+  // nobody ever accepts or reads from. Without a timeout the client
+  // would block in recv forever.
+  std::string Path = freshSocketPath();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(ListenFd, 0);
+  ASSERT_EQ(
+      ::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+      0);
+  ASSERT_EQ(::listen(ListenFd, 8), 0);
+
+  Client Conn;
+  Conn.setTimeoutMs(300);
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(Path, Error)) << Error;
+  // The ping is written into the kernel buffer, but no response ever
+  // comes: the receive times out with a structured, wedge-naming error.
+  EXPECT_FALSE(Conn.ping(Error));
+  EXPECT_NE(Error.find("no response from server"), std::string::npos)
+      << Error;
+
+  support::closeFd(ListenFd);
+  ::unlink(Path.c_str());
+}
+
 TEST(Serve, StaleSocketFileIsReplacedOnStart) {
   std::string Path = freshSocketPath();
   {

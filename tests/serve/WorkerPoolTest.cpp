@@ -1,0 +1,454 @@
+//===- WorkerPoolTest.cpp - crash-contained verification ------------------===//
+//
+// The crash-containment contract (WorkerPool.h):
+//
+//   (1) with no faults firing, isolation is invisible: reports are
+//       byte-identical with --isolate-workers on or off, at any --jobs;
+//   (2) a worker that crashes, hangs, or is OOM-killed costs exactly its
+//       own request — a structured UNKNOWN, never an unearned SAFE,
+//       never a dead daemon — and the pool restarts the worker;
+//   (3) an input that keeps killing workers is quarantined by content
+//       digest, persisted across daemon restarts, and a corrupt poison
+//       file degrades to an empty list instead of a crash;
+//   (4) a slot that exceeds its restart budget is parked; a fully parked
+//       pool answers immediately with ResourceExhausted, and the daemon
+//       itself keeps serving non-check traffic.
+//
+// Worker deaths are provoked with WorkerPoolOptions::TestHook, which
+// runs inside the forked child — so these tests work in every build,
+// not just MCSAFE_FAULT_INJECTION ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include "checker/ParallelCheck.h"
+#include "corpus/Corpus.h"
+#include "support/Io.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace mcsafe;
+using namespace mcsafe::checker;
+using namespace mcsafe::corpus;
+using namespace mcsafe::serve;
+
+namespace {
+
+std::atomic<int> PathSerial{0};
+
+std::string freshSocketPath() {
+  return "/tmp/mcsafe-wp-" + std::to_string(::getpid()) + "-" +
+         std::to_string(PathSerial.fetch_add(1)) + ".sock";
+}
+
+std::string freshFilePath(const char *Stem) {
+  return "/tmp/mcsafe-" + std::string(Stem) + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(PathSerial.fetch_add(1));
+}
+
+std::string localBaselineRender() {
+  std::vector<CheckJob> Jobs;
+  for (const CorpusProgram &P : corpus::corpus())
+    Jobs.push_back({P.Name, P.Asm, P.Policy});
+  ParallelCheckOptions Opts;
+  Opts.Jobs = 1;
+  return renderParallelReport(checkJobs(Jobs, Opts));
+}
+
+std::string remoteCorpusRender(Client &Conn) {
+  const std::vector<CorpusProgram> &Programs = corpus::corpus();
+  std::string Error;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    CheckRequestMsg Req;
+    Req.ReqId = I;
+    Req.Name = Programs[I].Name;
+    Req.Asm = Programs[I].Asm;
+    Req.Policy = Programs[I].Policy;
+    EXPECT_TRUE(Conn.sendCheck(Req, Error)) << Error;
+  }
+  ParallelCheckResult R;
+  R.Programs.resize(Programs.size());
+  for (size_t I = 0; I < Programs.size(); ++I)
+    R.Programs[I].Name = Programs[I].Name;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    CheckResponseMsg Resp;
+    EXPECT_TRUE(Conn.recvCheck(Resp, Error)) << Error;
+    EXPECT_FALSE(Resp.Shed);
+    EXPECT_LT(Resp.ReqId, R.Programs.size());
+    R.Programs[Resp.ReqId].Report = std::move(Resp.Report);
+  }
+  return renderParallelReport(R);
+}
+
+/// A server in isolation mode with fast worker restarts, suitable for
+/// provoking many deaths per second. \p Tune adjusts the options before
+/// start (hooks, quarantine, restart budget).
+struct IsolatedServer {
+  ServerOptions Opts;
+  support::MetricsRegistry Registry;
+  std::unique_ptr<Server> Srv;
+  bool Ok = false;
+
+  explicit IsolatedServer(
+      unsigned Jobs,
+      const std::function<void(ServerOptions &)> &Tune = {}) {
+    Opts.SocketPath = freshSocketPath();
+    Opts.Jobs = Jobs;
+    Opts.IsolateWorkers = true;
+    Opts.Metrics = &Registry;
+    Opts.Worker.RestartBackoffBaseMs = 1;
+    Opts.Worker.RestartBackoffCapMs = 2;
+    Opts.Worker.QuarantineAfter = 0;
+    if (Tune)
+      Tune(Opts);
+    Srv = std::make_unique<Server>(Opts);
+    std::string Error;
+    Ok = Srv->start(Error);
+    EXPECT_TRUE(Ok) << Error;
+  }
+  ~IsolatedServer() {
+    Srv->requestStop();
+    Srv->wait();
+  }
+  int64_t counter(const char *Name) const {
+    return Registry.value(Name).value_or(0);
+  }
+};
+
+CheckRequestMsg namedRequest(uint64_t Id, std::string Name) {
+  const CorpusProgram &P = corpus::corpus().front();
+  CheckRequestMsg Req;
+  Req.ReqId = Id;
+  Req.Name = std::move(Name);
+  Req.Asm = P.Asm;
+  Req.Policy = P.Policy;
+  return Req;
+}
+
+/// The one structured failure a contained worker death must carry.
+void expectContained(const CheckResponseMsg &Resp, FailureKind Kind) {
+  EXPECT_EQ(Resp.Report.Verdict, CheckVerdict::Unknown);
+  EXPECT_FALSE(Resp.Report.Safe);
+  ASSERT_EQ(Resp.Report.Failures.size(), 1u);
+  EXPECT_EQ(Resp.Report.Failures[0].Phase, CheckPhase::Driver);
+  EXPECT_EQ(Resp.Report.Failures[0].Kind, Kind);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identity
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPool, IsolationIsByteInvisibleAtEveryJobCount) {
+  std::string Baseline = localBaselineRender();
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    IsolatedServer S(Jobs);
+    ASSERT_TRUE(S.Ok);
+    Client Conn;
+    std::string Error;
+    ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+    EXPECT_EQ(remoteCorpusRender(Conn), Baseline)
+        << "--isolate-workers with --jobs " << Jobs
+        << " diverged from the local Jobs=1 baseline";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Containment
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPool, FiftyConsecutiveCrashesNeverKillTheDaemon) {
+  IsolatedServer S(2, [](ServerOptions &O) {
+    O.Worker.TestHook = [](const CheckRequestMsg &Req) {
+      if (Req.Name == "crashme")
+        std::abort();
+    };
+  });
+  ASSERT_TRUE(S.Ok);
+  Client Conn;
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+
+  const unsigned Deaths = 55;
+  for (unsigned I = 0; I < Deaths; ++I) {
+    CheckResponseMsg Resp;
+    ASSERT_TRUE(Conn.check(namedRequest(I, "crashme"), Resp, Error))
+        << "death " << I << ": " << Error;
+    expectContained(Resp, FailureKind::WorkerCrashed);
+    EXPECT_NE(Resp.Report.Failures[0].Detail.find("worker died"),
+              std::string::npos)
+        << Resp.Report.Failures[0].Detail;
+  }
+  EXPECT_GE(S.counter("serve/worker/crashes"), int64_t(Deaths));
+  EXPECT_GE(S.counter("serve/worker/restarts"), 1);
+
+  // The pool healed: an innocent request on the same connection gets a
+  // real report, and the daemon still answers control traffic.
+  CheckResponseMsg Resp;
+  ASSERT_TRUE(Conn.check(namedRequest(999, "innocent"), Resp, Error))
+      << Error;
+  EXPECT_TRUE(Resp.Report.Failures.empty());
+  EXPECT_TRUE(Conn.ping(Error)) << Error;
+}
+
+TEST(WorkerPool, HungWorkerIsEscalatedAndContained) {
+  IsolatedServer S(1, [](ServerOptions &O) {
+    O.Worker.GraceMs = 200;
+    O.Worker.TestHook = [](const CheckRequestMsg &Req) {
+      if (Req.Name == "hangme") {
+        // A worker that ignores polite requests to die: only the
+        // supervisor's SIGKILL escalation can end this.
+        std::signal(SIGTERM, SIG_IGN);
+        for (;;)
+          ::pause();
+      }
+    };
+  });
+  ASSERT_TRUE(S.Ok);
+  Client Conn;
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+
+  CheckRequestMsg Req = namedRequest(7, "hangme");
+  Req.DeadlineMs = 200; // Response wait = deadline + grace = 400 ms.
+  CheckResponseMsg Resp;
+  ASSERT_TRUE(Conn.check(Req, Resp, Error)) << Error;
+  expectContained(Resp, FailureKind::WorkerCrashed);
+  EXPECT_NE(Resp.Report.Failures[0].Detail.find("worker hung"),
+            std::string::npos)
+      << Resp.Report.Failures[0].Detail;
+  EXPECT_GE(S.counter("serve/worker/hangs"), 1);
+
+  // The sole worker slot was killed and respawned; service resumes.
+  ASSERT_TRUE(Conn.check(namedRequest(8, "innocent"), Resp, Error)) << Error;
+  EXPECT_TRUE(Resp.Report.Failures.empty());
+}
+
+TEST(WorkerPool, OomKilledWorkerIsContained) {
+  IsolatedServer S(1, [](ServerOptions &O) {
+    O.Worker.TestHook = [](const CheckRequestMsg &Req) {
+      if (Req.Name == "oomme")
+        (void)::raise(SIGKILL); // The kernel OOM killer's signature.
+    };
+  });
+  ASSERT_TRUE(S.Ok);
+  Client Conn;
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+
+  CheckResponseMsg Resp;
+  ASSERT_TRUE(Conn.check(namedRequest(1, "oomme"), Resp, Error)) << Error;
+  expectContained(Resp, FailureKind::WorkerCrashed);
+  EXPECT_NE(Resp.Report.Failures[0].Detail.find("SIGKILL"),
+            std::string::npos)
+      << Resp.Report.Failures[0].Detail;
+
+  ASSERT_TRUE(Conn.check(namedRequest(2, "innocent"), Resp, Error)) << Error;
+  EXPECT_TRUE(Resp.Report.Failures.empty());
+}
+
+TEST(WorkerPool, CrashesOnOneConnectionLeaveAnotherClientUnharmed) {
+  IsolatedServer S(2, [](ServerOptions &O) {
+    O.Worker.TestHook = [](const CheckRequestMsg &Req) {
+      if (Req.Name == "crashme")
+        std::abort();
+    };
+  });
+  ASSERT_TRUE(S.Ok);
+
+  std::string Error;
+  Client Victim, Bystander;
+  ASSERT_TRUE(Victim.connect(S.Opts.SocketPath, Error)) << Error;
+  ASSERT_TRUE(Bystander.connect(S.Opts.SocketPath, Error)) << Error;
+  for (unsigned I = 0; I < 5; ++I) {
+    CheckResponseMsg CrashResp, GoodResp;
+    ASSERT_TRUE(Victim.check(namedRequest(I, "crashme"), CrashResp, Error))
+        << Error;
+    expectContained(CrashResp, FailureKind::WorkerCrashed);
+    ASSERT_TRUE(
+        Bystander.check(namedRequest(100 + I, "innocent"), GoodResp, Error))
+        << Error;
+    EXPECT_TRUE(GoodResp.Report.Failures.empty());
+    EXPECT_NE(GoodResp.Report.Verdict, CheckVerdict::Unknown);
+  }
+}
+
+TEST(WorkerPool, ExhaustedRestartBudgetParksThePoolNotTheDaemon) {
+  IsolatedServer S(1, [](ServerOptions &O) {
+    O.Worker.MaxRestarts = 1;
+    O.Worker.TestHook = [](const CheckRequestMsg &Req) {
+      if (Req.Name == "crashme")
+        std::abort();
+    };
+  });
+  ASSERT_TRUE(S.Ok);
+  Client Conn;
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+
+  // Crash 1: streak 1 <= MaxRestarts, slot respawns. Crash 2: streak 2
+  // exceeds the budget, the only slot parks.
+  for (unsigned I = 0; I < 2; ++I) {
+    CheckResponseMsg Resp;
+    ASSERT_TRUE(Conn.check(namedRequest(I, "crashme"), Resp, Error))
+        << Error;
+    expectContained(Resp, FailureKind::WorkerCrashed);
+  }
+  CheckResponseMsg Resp;
+  ASSERT_TRUE(Conn.check(namedRequest(9, "innocent"), Resp, Error)) << Error;
+  expectContained(Resp, FailureKind::ResourceExhausted);
+  EXPECT_NE(Resp.Report.Failures[0].Detail.find("exhausted"),
+            std::string::npos)
+      << Resp.Report.Failures[0].Detail;
+  EXPECT_EQ(S.counter("serve/worker/parked"), 1);
+
+  // A parked pool still leaves the daemon itself alive.
+  EXPECT_TRUE(Conn.ping(Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Quarantine
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPool, QuarantineTripsOnContentDigestAndSurvivesRestart) {
+  std::string PoisonFile = freshFilePath("poison");
+  auto CrashTune = [&PoisonFile](ServerOptions &O) {
+    O.Worker.QuarantineAfter = 2;
+    O.Worker.QuarantineFile = PoisonFile;
+    O.Worker.TestHook = [](const CheckRequestMsg &Req) {
+      if (Req.Name == "poisonme")
+        std::abort();
+    };
+  };
+
+  {
+    IsolatedServer S(1, CrashTune);
+    ASSERT_TRUE(S.Ok);
+    Client Conn;
+    std::string Error;
+    ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+    for (unsigned I = 0; I < 2; ++I) {
+      CheckResponseMsg Resp;
+      ASSERT_TRUE(Conn.check(namedRequest(I, "poisonme"), Resp, Error))
+          << Error;
+      expectContained(Resp, FailureKind::WorkerCrashed);
+    }
+    // Third time: quarantined up front — no worker is risked, and the
+    // key is the content digest, so a renamed copy of the same input is
+    // caught too.
+    CheckResponseMsg Resp;
+    ASSERT_TRUE(Conn.check(namedRequest(3, "renamed-copy"), Resp, Error))
+        << Error;
+    expectContained(Resp, FailureKind::Quarantined);
+    EXPECT_EQ(S.counter("serve/worker/quarantined"), 1);
+    EXPECT_GE(S.counter("serve/worker/quarantine_rejects"), 1);
+  }
+
+  // A fresh daemon, same poison file, no crash hook: the quarantine
+  // persisted, so the input is still refused without running it.
+  {
+    IsolatedServer S(1, [&PoisonFile](ServerOptions &O) {
+      O.Worker.QuarantineAfter = 2;
+      O.Worker.QuarantineFile = PoisonFile;
+    });
+    ASSERT_TRUE(S.Ok);
+    Client Conn;
+    std::string Error;
+    ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+    CheckResponseMsg Resp;
+    ASSERT_TRUE(Conn.check(namedRequest(1, "after-restart"), Resp, Error))
+        << Error;
+    expectContained(Resp, FailureKind::Quarantined);
+    EXPECT_GE(S.counter("serve/worker/quarantine_rejects"), 1);
+  }
+
+  // Corrupt the poison file on disk: loading degrades to an empty list
+  // (fail open), the daemon starts, and the input runs normally again.
+  {
+    FILE *F = std::fopen(PoisonFile.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::fputs("MCPOISON 1\nnot-a-digest-line at all\n", F);
+    std::fclose(F);
+  }
+  {
+    IsolatedServer S(1, [&PoisonFile](ServerOptions &O) {
+      O.Worker.QuarantineAfter = 2;
+      O.Worker.QuarantineFile = PoisonFile;
+    });
+    ASSERT_TRUE(S.Ok);
+    Client Conn;
+    std::string Error;
+    ASSERT_TRUE(Conn.connect(S.Opts.SocketPath, Error)) << Error;
+    CheckResponseMsg Resp;
+    ASSERT_TRUE(Conn.check(namedRequest(1, "post-corruption"), Resp, Error))
+        << Error;
+    EXPECT_TRUE(Resp.Report.Failures.empty());
+    EXPECT_NE(Resp.Report.Verdict, CheckVerdict::Unknown);
+  }
+  ::unlink(PoisonFile.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// PoisonList (unit)
+//===----------------------------------------------------------------------===//
+
+TEST(PoisonList, RoundTripsThroughItsFile) {
+  std::string Path = freshFilePath("poisonlist");
+  {
+    PoisonList P;
+    P.open(Path);
+    EXPECT_EQ(P.recordCrash(0xdeadbeefull), 1u);
+    EXPECT_EQ(P.recordCrash(0xdeadbeefull), 2u);
+    EXPECT_EQ(P.recordCrash(0x1ull), 1u);
+    EXPECT_TRUE(P.isPoisoned(0xdeadbeefull, 2));
+    EXPECT_FALSE(P.isPoisoned(0xdeadbeefull, 3));
+    EXPECT_FALSE(P.isPoisoned(0x2ull, 1));
+  }
+  PoisonList Reloaded;
+  Reloaded.open(Path);
+  EXPECT_EQ(Reloaded.size(), 2u);
+  EXPECT_TRUE(Reloaded.isPoisoned(0xdeadbeefull, 2));
+  EXPECT_TRUE(Reloaded.isPoisoned(0x1ull, 1));
+  // Threshold 0 means quarantine is disabled, whatever the counts say.
+  EXPECT_FALSE(Reloaded.isPoisoned(0xdeadbeefull, 0));
+  ::unlink(Path.c_str());
+}
+
+TEST(PoisonList, EveryCorruptionDegradesToAnEmptyList) {
+  const char *Corrupt[] = {
+      "",                                      // empty file
+      "MCPOISON 2\n",                          // wrong version
+      "MCPOISON 1",                            // unterminated header
+      "MCPOISON 1\n00000000deadbeef\n",        // missing count
+      "MCPOISON 1\n00000000DEADBEEF 3\n",      // uppercase hex
+      "MCPOISON 1\n00000000deadbeef 0\n",      // zero count
+      "MCPOISON 1\n00000000deadbeef 3",        // unterminated record
+      "MCPOISON 1\n00000000deadbeef 9999999999\n", // count overflow
+      "MCPOISON 1\n00000000deadbeef 3\n00000000deadbeef 4\n", // dup
+      "garbage\n",
+  };
+  for (const char *Body : Corrupt) {
+    std::string Path = freshFilePath("poisoncorrupt");
+    FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::fputs(Body, F);
+    std::fclose(F);
+    PoisonList P;
+    P.open(Path);
+    EXPECT_EQ(P.size(), 0u) << "file body: " << Body;
+    ::unlink(Path.c_str());
+  }
+}
+
+} // namespace

@@ -112,6 +112,11 @@ void usage() {
       "                 of in-process; the printed report is\n"
       "                 byte-identical to a local run (rendering flags\n"
       "                 like --listing are not available)\n"
+      "  --connect-timeout-ms N\n"
+      "                 with --connect: bound the connect and every\n"
+      "                 server response wait; a wedged daemon fails\n"
+      "                 with a structured driver/internal-error instead\n"
+      "                 of hanging (default 30000, 0 = wait forever)\n"
       "  --ping         with --connect: round-trip a ping and exit\n"
       "  --server-stats with --connect: print the daemon's metrics JSON\n"
       "  --shutdown     with --connect: stop the daemon\n"
@@ -519,6 +524,17 @@ int renderRemoteSingle(const CheckReport &R) {
   return exitCode(R.Verdict);
 }
 
+/// Transport-level failures against the daemon (connection refused,
+/// no response within --connect-timeout-ms, mid-stream disconnect) are
+/// reported in the same structured form as in-report failures rather
+/// than as a bare string, so scripted callers can parse them uniformly.
+int transportFailure(const std::string &Error) {
+  CheckFailure F{CheckPhase::Driver, FailureKind::InternalError,
+                 std::nullopt, Error};
+  std::fprintf(stderr, "failure: %s\n", F.str().c_str());
+  return 4;
+}
+
 int runConnectSingle(serve::Client &Conn, std::string Name,
                      std::string Asm, std::string Policy, LintMode Lint,
                      const GovernorConfig &Gov) {
@@ -527,10 +543,8 @@ int runConnectSingle(serve::Client &Conn, std::string Name,
                   Lint, Gov);
   serve::CheckResponseMsg Resp;
   std::string Error;
-  if (!Conn.check(Req, Resp, Error)) {
-    std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
-    return 4;
-  }
+  if (!Conn.check(Req, Resp, Error))
+    return transportFailure(Error);
   return renderRemoteSingle(Resp.Report);
 }
 
@@ -546,10 +560,8 @@ int runConnectCorpusAll(serve::Client &Conn, LintMode Lint,
     serve::CheckRequestMsg Req =
         makeRequest(I, Programs[I].Name, Programs[I].Asm,
                     Programs[I].Policy, Lint, Gov);
-    if (!Conn.sendCheck(Req, Error)) {
-      std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
-      return 4;
-    }
+    if (!Conn.sendCheck(Req, Error))
+      return transportFailure(Error);
   }
   ParallelCheckResult R;
   R.Programs.resize(Programs.size());
@@ -557,14 +569,10 @@ int runConnectCorpusAll(serve::Client &Conn, LintMode Lint,
     R.Programs[I].Name = Programs[I].Name;
   for (size_t I = 0; I < Programs.size(); ++I) {
     serve::CheckResponseMsg Resp;
-    if (!Conn.recvCheck(Resp, Error)) {
-      std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
-      return 4;
-    }
-    if (Resp.ReqId >= R.Programs.size()) {
-      std::fprintf(stderr, "mcsafe-check: bogus response id\n");
-      return 4;
-    }
+    if (!Conn.recvCheck(Resp, Error))
+      return transportFailure(Error);
+    if (Resp.ReqId >= R.Programs.size())
+      return transportFailure("bogus response id from server");
     R.Programs[Resp.ReqId].Report = std::move(Resp.Report);
   }
   std::printf("%s", renderParallelReport(R).c_str());
@@ -598,6 +606,7 @@ int main(int argc, char **argv) {
   std::optional<uint64_t> FaultSeed;
   std::string CertDir;
   std::string ConnectPath;
+  uint64_t ConnectTimeoutMs = 30000;
   bool Ping = false, Shutdown = false, ServerStats = false;
 
   // The trace switch is read from the environment once per invocation,
@@ -704,6 +713,10 @@ int main(int argc, char **argv) {
         return 2;
       }
       ConnectPath = *Value;
+    } else if (isFlag("--connect-timeout-ms")) {
+      if (!numericFlag("--connect-timeout-ms", UINT32_MAX,
+                       &ConnectTimeoutMs))
+        return 2;
     } else if (Arg == "--ping") {
       Ping = true;
     } else if (Arg == "--shutdown") {
@@ -790,33 +803,26 @@ int main(int argc, char **argv) {
         return 2;
       }
       serve::Client Conn;
+      Conn.setTimeoutMs(static_cast<unsigned>(ConnectTimeoutMs));
       std::string Error;
-      if (!Conn.connect(ConnectPath, Error)) {
-        std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
-        return 4;
-      }
+      if (!Conn.connect(ConnectPath, Error))
+        return transportFailure(Error);
       if (Ping) {
-        if (!Conn.ping(Error)) {
-          std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
-          return 4;
-        }
+        if (!Conn.ping(Error))
+          return transportFailure(Error);
         std::printf("pong\n");
         return 0;
       }
       if (ServerStats) {
         std::string Json;
-        if (!Conn.serverStats(Json, Error)) {
-          std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
-          return 4;
-        }
+        if (!Conn.serverStats(Json, Error))
+          return transportFailure(Error);
         std::printf("%s\n", Json.c_str());
         return 0;
       }
       if (Shutdown) {
-        if (!Conn.shutdownServer(Error)) {
-          std::fprintf(stderr, "mcsafe-check: %s\n", Error.c_str());
-          return 4;
-        }
+        if (!Conn.shutdownServer(Error))
+          return transportFailure(Error);
         std::printf("server stopped\n");
         return 0;
       }

@@ -10,7 +10,10 @@
 //
 //   mcsafe-serve --socket /run/mcsafe.sock [--jobs N] [--max-queue N]
 //                [--cert-store DIR] [--deadline-cap-ms N]
-//                [--prover-steps-cap N] [--metrics-json FILE]
+//                [--prover-steps-cap N] [--memory-cap-mb N]
+//                [--isolate-workers] [--worker-restarts N]
+//                [--worker-grace-ms N] [--quarantine-after K]
+//                [--quarantine-file FILE] [--metrics-json FILE]
 //                [--fault-seed N]
 //
 // Stops cleanly on SIGINT/SIGTERM (or a client Shutdown message); exit
@@ -61,6 +64,30 @@ void usage() {
       "                 clamp every request's deadline budget to N ms\n"
       "  --prover-steps-cap N\n"
       "                 clamp every request's prover-step budget to N\n"
+      "  --memory-cap-mb N\n"
+      "                 per-check memory budget in MiB; with\n"
+      "                 --isolate-workers it also arms a hard RLIMIT_AS\n"
+      "                 backstop in each worker\n"
+      "  --isolate-workers\n"
+      "                 run every check in one of --jobs supervised\n"
+      "                 worker subprocesses; a worker crash, hang, or\n"
+      "                 OOM kill becomes a structured UNKNOWN for its\n"
+      "                 request and the daemon keeps serving\n"
+      "  --worker-restarts N\n"
+      "                 park a worker slot after N consecutive abnormal\n"
+      "                 deaths (default 0 = restart forever, with\n"
+      "                 capped exponential backoff)\n"
+      "  --worker-grace-ms N\n"
+      "                 extra time past a request's deadline before a\n"
+      "                 worker is declared hung, and the SIGTERM ->\n"
+      "                 SIGKILL escalation window (default 1000)\n"
+      "  --quarantine-after K\n"
+      "                 quarantine an input's content digest after it\n"
+      "                 crashes K workers; later identical inputs get\n"
+      "                 UNKNOWN immediately (default 3, 0 disables)\n"
+      "  --quarantine-file FILE\n"
+      "                 persist the quarantine poison list across\n"
+      "                 daemon restarts\n"
       "  --metrics-json FILE\n"
       "                 write serve/* and cert/store/* counters as JSON\n"
       "                 on shutdown\n"
@@ -143,6 +170,35 @@ int main(int argc, char **argv) {
       if (!numericFlag("--prover-steps-cap", UINT64_MAX,
                        &Opts.ProverStepsCap))
         return 2;
+    } else if (isFlag("--memory-cap-mb")) {
+      uint64_t N = 0;
+      if (!numericFlag("--memory-cap-mb", uint64_t(1) << 24, &N))
+        return 2;
+      Opts.MemoryCapBytes = N << 20;
+    } else if (Arg == "--isolate-workers") {
+      Opts.IsolateWorkers = true;
+    } else if (isFlag("--worker-restarts")) {
+      uint64_t N = 0;
+      if (!numericFlag("--worker-restarts", 1u << 20, &N))
+        return 2;
+      Opts.Worker.MaxRestarts = static_cast<unsigned>(N);
+    } else if (isFlag("--worker-grace-ms")) {
+      uint64_t N = 0;
+      if (!numericFlag("--worker-grace-ms", 1u << 30, &N))
+        return 2;
+      Opts.Worker.GraceMs = static_cast<unsigned>(N);
+    } else if (isFlag("--quarantine-after")) {
+      uint64_t N = 0;
+      if (!numericFlag("--quarantine-after", 1u << 20, &N))
+        return 2;
+      Opts.Worker.QuarantineAfter = static_cast<unsigned>(N);
+    } else if (isFlag("--quarantine-file")) {
+      std::optional<std::string> Value = flagValue("--quarantine-file");
+      if (!Value || Value->empty()) {
+        usage();
+        return 2;
+      }
+      Opts.Worker.QuarantineFile = *Value;
     } else if (isFlag("--metrics-json")) {
       std::optional<std::string> Value = flagValue("--metrics-json");
       if (!Value || Value->empty()) {
