@@ -20,6 +20,13 @@
 // `--json [FILE]` writes the whole report (baseline, current, per-bench
 // and geomean speedups, tier hit rates) as JSON — the PR's BENCH_5.json.
 //
+// `--slicing-json [FILE]` instead measures query slicing (connected-
+// component decomposition + per-component memoization, constraints/Slice)
+// against `--no-slicing` on the prover-dominated corpus checks and a
+// synthetic VC stream, reporting per-bench and geomean speedups, the
+// Omega tier hits under each configuration, and the component cache hit
+// rates — the PR's BENCH_8.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "checker/SafetyChecker.h"
@@ -27,6 +34,7 @@
 #include "constraints/Prover.h"
 #include "corpus/Corpus.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -249,6 +257,265 @@ double tierRate(uint64_t Hits, uint64_t Misses) {
   return Total ? double(Hits) / double(Total) : 0.0;
 }
 
+//===----------------------------------------------------------------------===//
+// Query slicing (--slicing-json, BENCH_8.json)
+//===----------------------------------------------------------------------===//
+
+/// One corpus check timed under a slicing configuration, plus the prover
+/// stats of a single instrumented run (for the Omega hit comparison).
+double benchCheckCorpusSliced(const char *Name, bool Slicing,
+                              Prover::Stats *StatsOut) {
+  const CorpusProgram &P = corpusProgram(Name);
+  SafetyChecker::Options Opts;
+  Opts.ProverOpts.EnableSlicing = Slicing;
+  if (StatsOut) {
+    SafetyChecker Checker(Opts);
+    *StatsOut = Checker.checkSource(P.Asm, P.Policy).ProverStats;
+  }
+  return timeBench([&] {
+    SafetyChecker Checker(Opts);
+    CheckReport R = Checker.checkSource(P.Asm, P.Policy);
+    sink(uint64_t(R.Safe));
+  });
+}
+
+/// The synthetic VC stream: conjunctions shaped like real machine-code
+/// verification conditions — several independent single-variable bound
+/// groups (array-index checks), a couple of alignment DIV atoms, a unit
+/// equality tying a derived pointer to its base, and one dense
+/// multi-variable atom pair that alone needs Omega. Unsliced, that pair
+/// drags the whole conjunction into Omega on every VC; sliced, it is one
+/// small recurring component and everything else stays in the cheap
+/// tiers. The generator is deterministic (fixed parameters, no RNG) so
+/// both configurations discharge the identical stream.
+std::vector<FormulaRef> vcStream() {
+  std::vector<FormulaRef> Out;
+  for (int V = 0; V < 64; ++V) {
+    std::vector<FormulaRef> Atoms;
+    // Three independent bound-check groups over distinct variables. The
+    // constants cycle with small periods so components recur across VCs
+    // (the memoization target), rather than being 64 one-offs.
+    for (int G = 0; G < 3; ++G) {
+      LinearExpr X = var(("s.idx" + std::to_string(G)).c_str());
+      int Lo = (V + G) % 4, Hi = 64 + 8 * ((V + G) % 5);
+      Atoms.push_back(Formula::atom(Constraint::ge(X.plusConstant(-Lo))));
+      Atoms.push_back(
+          Formula::atom(Constraint::le(X, LinearExpr::constant(Hi))));
+    }
+    // Word-alignment of a derived address, plus the unit equality that
+    // the elimination pre-pass folds away (addr = base + 4*idx form).
+    LinearExpr Addr = var("s.addr"), Base = var("s.base");
+    Atoms.push_back(Formula::atom(Constraint::divides(4, Addr)));
+    Atoms.push_back(Formula::atom(
+        Constraint::eq(Addr - Base - LinearExpr::constant(8 * (V % 3)))));
+    // The dense pair: two-variable non-unit atoms only Omega can decide.
+    LinearExpr X = var("s.px"), Y = var("s.py");
+    int K = V % 4;
+    Atoms.push_back(Formula::atom(Constraint::ge(
+        X.scaled(11) + Y.scaled(13) - LinearExpr::constant(27 + K))));
+    Atoms.push_back(Formula::atom(
+        Constraint::le(X.scaled(7) - Y.scaled(9), LinearExpr::constant(4))));
+    Out.push_back(Formula::conj(std::move(Atoms)));
+  }
+  return Out;
+}
+
+struct VcStreamResult {
+  double NsPerVc = 0;
+  Prover::Stats Stats;
+};
+
+VcStreamResult benchVcStream(bool Slicing) {
+  std::vector<FormulaRef> Stream = vcStream();
+  Prover::Options Opts;
+  Opts.EnableSlicing = Slicing;
+  VcStreamResult R;
+  // A fresh prover (cold cache) per iteration: the measurement includes
+  // the warm-up, exactly like a fresh `mcsafe-check` process would see.
+  R.NsPerVc = timeBench([&] {
+                Prover P(Opts);
+                for (const FormulaRef &F : Stream)
+                  sink(uint64_t(P.checkSat(F)));
+              }) /
+              double(Stream.size());
+  Prover P(Opts);
+  for (const FormulaRef &F : Stream)
+    sink(uint64_t(P.checkSat(F)));
+  R.Stats = P.stats();
+  return R;
+}
+
+void writeSliceCountersJson(std::ostream &OS, const SliceStats &S,
+                            const char *Indent) {
+  OS << Indent << "\"queries\": " << S.DisjunctQueries << ",\n"
+     << Indent << "\"disjuncts_deduped\": " << S.DisjunctsDeduped << ",\n"
+     << Indent << "\"eq_eliminated\": " << S.EqEliminated << ",\n"
+     << Indent << "\"components\": " << S.Components << ",\n"
+     << Indent << "\"multi_component\": " << S.MultiComponent << ",\n"
+     << Indent << "\"cache_hits\": " << S.CacheHits << ",\n"
+     << Indent << "\"cache_misses\": " << S.CacheMisses << ",\n"
+     << Indent << "\"omega_avoided\": " << S.OmegaAvoided << "\n";
+}
+
+/// The whole `--slicing-json` mode: corpus checks and the VC stream,
+/// each discharged with slicing on and off, plus the component cache hit
+/// split measured over a shared-cache corpus-style run.
+int runSlicingBench(bool Json, const std::string &JsonPath) {
+  // The prover-dominated corpus checks: every program where global
+  // verification carries at least half the total check time (measured
+  // with --phase-table; the shares range from 50% for BubbleSort and
+  // StopTimer up to 88% for StackSmashing). Lint-rejected and
+  // typestate-dominated programs (MD5 spends 13% proving, jPVM 8%) tell
+  // nothing about query slicing and are excluded.
+  static const char *const Corpus[] = {
+      "Sum",      "Hash",      "PagingPolicy",  "StartTimer", "StopTimer",
+      "BubbleSort", "HeapSort", "HeapSort2",    "StackSmashing"};
+  struct Line {
+    std::string Name;
+    double OffNs, OnNs, Speedup;
+    uint64_t OmegaOff, OmegaOn;
+    SliceStats Slice;
+  };
+  std::vector<Line> Lines;
+  std::fprintf(stderr, "running corpus checks, slicing off vs on...\n");
+  for (const char *Name : Corpus) {
+    std::fprintf(stderr, "  CheckCorpus/%s\n", Name);
+    Prover::Stats Off, On;
+    // Alternating repetitions with best-of per configuration: a single
+    // A-then-B measurement is biased by the process's cold interner and
+    // allocator (whichever config runs first pays them) and by ambient
+    // machine noise, either of which can exceed slicing's actual effect
+    // on the fast checks. The min over interleaved reps is the standard
+    // robust estimator for both.
+    double OffNs = 1e300, OnNs = 1e300;
+    for (int Rep = 0; Rep < 4; ++Rep) {
+      OffNs = std::min(
+          OffNs, benchCheckCorpusSliced(Name, false, Rep ? nullptr : &Off));
+      OnNs = std::min(
+          OnNs, benchCheckCorpusSliced(Name, true, Rep ? nullptr : &On));
+    }
+    Lines.push_back({std::string("CheckCorpus/") + Name, OffNs, OnNs,
+                     OffNs / OnNs, Off.Tiers.OmegaHits + Off.Tiers.OmegaMisses,
+                     On.Tiers.OmegaHits + On.Tiers.OmegaMisses, On.Slice});
+  }
+
+  double LogSum = 0;
+  for (const Line &L : Lines)
+    LogSum += std::log(L.Speedup);
+  double Geomean = std::exp(LogSum / double(Lines.size()));
+  uint64_t OmegaOff = 0, OmegaOn = 0;
+  for (const Line &L : Lines) {
+    OmegaOff += L.OmegaOff;
+    OmegaOn += L.OmegaOn;
+  }
+
+  std::fprintf(stderr, "running synthetic VC stream...\n");
+  VcStreamResult StreamOff = benchVcStream(false);
+  VcStreamResult StreamOn = benchVcStream(true);
+
+  // Component cache hit split: one shared cache across every corpus
+  // check, the serve/parallel steady state where recurring components
+  // from different procedures hit each other's entries.
+  std::fprintf(stderr, "running shared-cache component hit-rate run...\n");
+  auto Shared = std::make_shared<ProverCache>();
+  {
+    for (const char *Name : Corpus) {
+      // One prover per procedure, as in the parallel engine.
+      const CorpusProgram &P = corpusProgram(Name);
+      SafetyChecker::Options CheckOpts;
+      CheckOpts.SharedProverCache = Shared;
+      SafetyChecker Checker(CheckOpts);
+      sink(uint64_t(Checker.checkSource(P.Asm, P.Policy).Safe));
+    }
+  }
+  ProverCache::Stats CacheStats = Shared->stats();
+
+  std::printf("%-24s %14s %14s %8s %10s %10s\n", "benchmark", "no-slice ns",
+              "sliced ns", "speedup", "omega-off", "omega-on");
+  for (const Line &L : Lines)
+    std::printf("%-24s %14.1f %14.1f %7.2fx %10llu %10llu\n", L.Name.c_str(),
+                L.OffNs, L.OnNs, L.Speedup,
+                static_cast<unsigned long long>(L.OmegaOff),
+                static_cast<unsigned long long>(L.OmegaOn));
+  std::printf("%-24s %14s %14s %7.2fx %10llu %10llu\n", "geomean/total", "",
+              "", Geomean, static_cast<unsigned long long>(OmegaOff),
+              static_cast<unsigned long long>(OmegaOn));
+  std::printf("vc_stream: %.1f -> %.1f ns/VC (%.2fx), omega %llu -> %llu\n",
+              StreamOff.NsPerVc, StreamOn.NsPerVc,
+              StreamOff.NsPerVc / StreamOn.NsPerVc,
+              static_cast<unsigned long long>(StreamOff.Stats.Tiers.OmegaHits +
+                                              StreamOff.Stats.Tiers.OmegaMisses),
+              static_cast<unsigned long long>(StreamOn.Stats.Tiers.OmegaHits +
+                                              StreamOn.Stats.Tiers.OmegaMisses));
+  std::printf("shared cache: query %.0f%% hit (%llu/%llu), component %.0f%% "
+              "hit (%llu/%llu)\n",
+              100 * tierRate(CacheStats.QueryHits, CacheStats.QueryMisses),
+              static_cast<unsigned long long>(CacheStats.QueryHits),
+              static_cast<unsigned long long>(CacheStats.QueryHits +
+                                              CacheStats.QueryMisses),
+              100 * tierRate(CacheStats.ComponentHits,
+                             CacheStats.ComponentMisses),
+              static_cast<unsigned long long>(CacheStats.ComponentHits),
+              static_cast<unsigned long long>(CacheStats.ComponentHits +
+                                              CacheStats.ComponentMisses));
+
+  if (!Json)
+    return 0;
+  std::ofstream OS(JsonPath);
+  if (!OS) {
+    std::fprintf(stderr, "cannot write '%s'\n", JsonPath.c_str());
+    return 2;
+  }
+  OS << "{\n"
+     << "  \"bench\": \"bench_prover --slicing\",\n"
+     << "  \"baseline\": \"same binary with slicing disabled "
+        "(--no-slicing)\",\n"
+     << "  \"unit\": \"ns_per_iteration\",\n"
+     << "  \"benchmarks\": [\n";
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const Line &L = Lines[I];
+    OS << "    {\"name\": \"" << L.Name << "\", \"no_slicing_ns\": " << L.OffNs
+       << ", \"slicing_ns\": " << L.OnNs << ", \"speedup\": " << L.Speedup
+       << ", \"omega_queries_off\": " << L.OmegaOff
+       << ", \"omega_queries_on\": " << L.OmegaOn << "}"
+       << (I + 1 < Lines.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n"
+     << "  \"geomean_speedup\": " << Geomean << ",\n"
+     << "  \"omega\": {\"without_slicing\": " << OmegaOff
+     << ", \"with_slicing\": " << OmegaOn << ", \"strictly_reduced\": "
+     << (OmegaOn < OmegaOff ? "true" : "false") << "},\n"
+     << "  \"vc_stream\": {\n"
+     << "    \"no_slicing_ns_per_vc\": " << StreamOff.NsPerVc << ",\n"
+     << "    \"slicing_ns_per_vc\": " << StreamOn.NsPerVc << ",\n"
+     << "    \"speedup\": " << StreamOff.NsPerVc / StreamOn.NsPerVc << ",\n"
+     << "    \"omega_queries_off\": "
+     << StreamOff.Stats.Tiers.OmegaHits + StreamOff.Stats.Tiers.OmegaMisses
+     << ",\n"
+     << "    \"omega_queries_on\": "
+     << StreamOn.Stats.Tiers.OmegaHits + StreamOn.Stats.Tiers.OmegaMisses
+     << ",\n"
+     << "    \"slice_counters\": {\n";
+  writeSliceCountersJson(OS, StreamOn.Stats.Slice, "      ");
+  OS << "    }\n"
+     << "  },\n"
+     << "  \"micro\": {\n"
+     << "    \"shared_cache\": {\n"
+     << "      \"query_hits\": " << CacheStats.QueryHits << ",\n"
+     << "      \"query_misses\": " << CacheStats.QueryMisses << ",\n"
+     << "      \"query_hit_rate\": "
+     << tierRate(CacheStats.QueryHits, CacheStats.QueryMisses) << ",\n"
+     << "      \"component_hits\": " << CacheStats.ComponentHits << ",\n"
+     << "      \"component_misses\": " << CacheStats.ComponentMisses << ",\n"
+     << "      \"component_hit_rate\": "
+     << tierRate(CacheStats.ComponentHits, CacheStats.ComponentMisses) << "\n"
+     << "    }\n"
+     << "  }\n"
+     << "}\n";
+  std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
+  return 0;
+}
+
 void writeTierJson(std::ostream &OS, const TieredSolver::TierStats &T,
                    const char *Indent) {
   OS << Indent << "\"interval\": {\"hits\": " << T.IntervalHits
@@ -265,18 +532,30 @@ void writeTierJson(std::ostream &OS, const TieredSolver::TierStats &T,
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Json = false;
+  bool Json = false, SlicingBench = false;
   std::string JsonPath = "BENCH_5.json";
+  std::string SlicingJsonPath = "BENCH_8.json";
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0) {
       Json = true;
       if (I + 1 < argc && argv[I + 1][0] != '-')
         JsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--slicing-json") == 0) {
+      SlicingBench = true;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        SlicingJsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--slicing") == 0) {
+      // Human-readable slicing comparison, no JSON file.
+      SlicingBench = true;
+      SlicingJsonPath.clear();
     } else {
-      std::fprintf(stderr, "usage: bench_prover [--json [FILE]]\n");
+      std::fprintf(stderr, "usage: bench_prover [--json [FILE]] "
+                           "[--slicing | --slicing-json [FILE]]\n");
       return 2;
     }
   }
+  if (SlicingBench)
+    return runSlicingBench(!SlicingJsonPath.empty(), SlicingJsonPath);
 
   // Macro workloads (same set and methodology as the baseline).
   struct Macro {

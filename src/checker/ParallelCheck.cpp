@@ -111,6 +111,14 @@ ParallelCheckResult checker::checkJobs(const std::vector<CheckJob> &Jobs,
       ProverCache::Stats CS = Shared->stats();
       Reg->counter("cache/shared/hits").inc(CS.Hits);
       Reg->counter("cache/shared/misses").inc(CS.Misses);
+      // The whole-query/component split of the aggregates above: warm
+      // slice components are where the sharing pays off across workers,
+      // so the rates are reported separately (Hits == QueryHits +
+      // ComponentHits, same for misses).
+      Reg->counter("cache/shared/query_hits").inc(CS.QueryHits);
+      Reg->counter("cache/shared/query_misses").inc(CS.QueryMisses);
+      Reg->counter("cache/shared/component_hits").inc(CS.ComponentHits);
+      Reg->counter("cache/shared/component_misses").inc(CS.ComponentMisses);
       Reg->counter("cache/shared/insertions").inc(CS.Insertions);
       Reg->counter("cache/shared/evictions").inc(CS.Evictions);
       Reg->gauge("cache/shared/entries").set(

@@ -89,6 +89,14 @@ void checker::serializeCheckReport(ByteWriter &W, const CheckReport &Rep) {
   W.u64(P.Tiers.DbmMisses);
   W.u64(P.Tiers.OmegaHits);
   W.u64(P.Tiers.OmegaMisses);
+  W.u64(P.Slice.DisjunctQueries);
+  W.u64(P.Slice.DisjunctsDeduped);
+  W.u64(P.Slice.EqEliminated);
+  W.u64(P.Slice.Components);
+  W.u64(P.Slice.MultiComponent);
+  W.u64(P.Slice.CacheHits);
+  W.u64(P.Slice.CacheMisses);
+  W.u64(P.Slice.OmegaAvoided);
 
   const OmegaTest::Stats &Om = Rep.OmegaStats;
   W.u64(Om.Calls);
@@ -188,6 +196,14 @@ bool checker::deserializeCheckReport(ByteReader &R, CheckReport &Rep) {
   P.Tiers.DbmMisses = R.u64();
   P.Tiers.OmegaHits = R.u64();
   P.Tiers.OmegaMisses = R.u64();
+  P.Slice.DisjunctQueries = R.u64();
+  P.Slice.DisjunctsDeduped = R.u64();
+  P.Slice.EqEliminated = R.u64();
+  P.Slice.Components = R.u64();
+  P.Slice.MultiComponent = R.u64();
+  P.Slice.CacheHits = R.u64();
+  P.Slice.CacheMisses = R.u64();
+  P.Slice.OmegaAvoided = R.u64();
 
   OmegaTest::Stats &Om = Rep.OmegaStats;
   Om.Calls = R.u64();

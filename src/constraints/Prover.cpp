@@ -24,7 +24,8 @@ TieredSolver::Options solverOptions(const Prover::Options &O) {
 } // namespace
 
 Prover::Prover(Options Opts, std::shared_ptr<ProverCache> SharedCache)
-    : Opts(propagateGovernor(Opts)), Solver(solverOptions(this->Opts)) {
+    : Opts(propagateGovernor(Opts)), Solver(solverOptions(this->Opts)),
+      Slicer(Solver, nullptr) {
   if (SharedCache)
     Cache = std::move(SharedCache);
   else if (Opts.EnableCache) {
@@ -33,6 +34,10 @@ Prover::Prover(Options Opts, std::shared_ptr<ProverCache> SharedCache)
     Cache = std::make_shared<ProverCache>(C);
     OwnsCache = true;
   }
+  // The slicer memoizes per-component verdicts in the same cache the
+  // whole-query results live in (budget-tagged apart); without a cache it
+  // still decomposes, just without the memo.
+  Slicer.setCache(Cache.get());
 }
 
 QueryBudget Prover::budget() const {
@@ -42,12 +47,15 @@ QueryBudget Prover::budget() const {
   B.OmegaMaxSteps = Opts.Omega.MaxSteps;
   B.OmegaMaxNdivModulus = Opts.Omega.MaxNdivModulus;
   B.SolverTiers = Opts.EnableTiers ? (Opts.EnableCongruence ? 2 : 1) : 0;
+  B.SolverSlicing = Opts.EnableSlicing ? QueryBudget::SlicingOn
+                                       : QueryBudget::SlicingOff;
   return B;
 }
 
 Prover::Stats Prover::stats() const {
   Stats S = Counters;
   S.Tiers = Solver.tierStats();
+  S.Slice = Slicer.stats();
   // A shared cache's evictions belong to the cache, not to this prover:
   // reporting them here would let a batch summary over N workers count
   // each eviction N times. The batch driver reads ProverCache::stats()
@@ -81,9 +89,7 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
     return {SatResult::Unsat, false};
 
   uint64_t Key = 0;
-  QueryBudget B;
-  if (Cache || Transcript)
-    B = budget();
+  QueryBudget B = budget();
   if (Cache) {
     Key = ProverCache::keyFor(F, B);
     // Injected cache fault: degrade to a recompute (lookup "misses").
@@ -118,8 +124,46 @@ SatOutcome Prover::checkSatInternal(const FormulaRef &F) {
       Outcome.Result = SatResult::Unknown;
     } else {
       bool SawUnknown = false;
+      // With slicing on, disjuncts dedup by their interned conjunction id
+      // (atoms sorted, so the dedup is order-insensitive — a conjunction
+      // is the same query in any atom order under canonical component
+      // solving). toDNF distributes the same subtrees into many
+      // disjuncts, so repeats are common.
+      std::unordered_set<uint32_t> SeenDisjuncts;
+      // A single-disjunct DNF (by far the common case) needs neither the
+      // dedup set nor a disjunct-level memo entry: the whole-query cache
+      // entry written below already memoizes exactly this query, and
+      // skipping the canonical-conjunction interning keeps the slicing
+      // overhead near zero when there is nothing to dedup.
+      const bool SingleDisjunct = Dnf.Disjuncts.size() == 1;
       for (const std::vector<Constraint> &Disjunct : Dnf.Disjuncts) {
-        SatResult R = Solver.isSatisfiable(Disjunct);
+        SatResult R;
+        if (Opts.EnableSlicing && SingleDisjunct) {
+          R = Slicer.solveSingleDisjunct(Disjunct, B, Opts.Governor);
+        } else if (Opts.EnableSlicing) {
+          std::vector<FormulaRef> Refs;
+          Refs.reserve(Disjunct.size());
+          for (const Constraint &C : Disjunct)
+            Refs.push_back(Formula::atom(C));
+          std::sort(Refs.begin(), Refs.end(),
+                    [](const FormulaRef &A, const FormulaRef &B) {
+                      return A->id() < B->id();
+                    });
+          FormulaRef DF = Formula::conj(std::move(Refs));
+          // The smart constructor already decides constant disjuncts:
+          // False means this disjunct is unsatisfiable, True means it is
+          // trivially satisfiable (all atoms constant-true).
+          if (DF->isFalse())
+            continue;
+          if (!SeenDisjuncts.insert(DF->id()).second) {
+            Slicer.noteDedupedDisjunct();
+            continue;
+          }
+          R = DF->isTrue() ? SatResult::Sat
+                           : Slicer.solve(DF, Disjunct, B, Opts.Governor);
+        } else {
+          R = Solver.isSatisfiable(Disjunct);
+        }
         if (R == SatResult::Sat) {
           Outcome.Result = SatResult::Sat;
           SawUnknown = false;

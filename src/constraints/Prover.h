@@ -35,6 +35,7 @@
 #include "constraints/OmegaTest.h"
 #include "constraints/PreSolve.h"
 #include "constraints/ProverCache.h"
+#include "constraints/Slice.h"
 
 #include <cstdint>
 #include <memory>
@@ -89,6 +90,13 @@ public:
     /// known-bits domain by --no-knownbits). Also part of the cache key,
     /// via the three-valued SolverTiers budget field.
     bool EnableCongruence = true;
+    /// Whether satisfiability queries are sliced: DNF disjuncts dedup by
+    /// interned id, an equality pre-pass eliminates unit-pivot variables,
+    /// and the residue decomposes into variable-disjoint connected
+    /// components solved (and memoized) independently — see Slice.h.
+    /// Part of the cache key via QueryBudget::SolverSlicing: sliced and
+    /// unsliced provers sharing one cache never exchange entries.
+    bool EnableSlicing = true;
   };
 
   struct Stats {
@@ -107,6 +115,10 @@ public:
     /// (see PreSolve.h): how many disjunct queries each solving tier
     /// answered (hits) or declined/failed (misses).
     TieredSolver::TierStats Tiers;
+    /// Slicing-layer counters, copied from SliceSolver (see Slice.h):
+    /// components formed, per-component memo hits, Omega runs avoided,
+    /// variables eliminated by the equality pre-pass.
+    SliceStats Slice;
   };
 
   Prover() : Prover(Options()) {}
@@ -135,6 +147,7 @@ public:
   void resetStats() {
     Counters = Stats();
     Solver.resetStats();
+    Slicer.resetStats();
   }
   /// Clears the attached cache (the shared one, if sharing).
   void clearCache() {
@@ -165,6 +178,7 @@ private:
 
   Options Opts;
   TieredSolver Solver;
+  SliceSolver Slicer;
   Stats Counters;
   std::shared_ptr<ProverCache> Cache;
   /// True when this prover created Cache itself (nobody else shares it).

@@ -16,6 +16,7 @@ uint64_t QueryBudget::hash() const {
   H = combine64(H, OmegaMaxSteps);
   H = combine64(H, support::signedBits(OmegaMaxNdivModulus));
   H = combine64(H, SolverTiers);
+  H = combine64(H, SolverSlicing);
   return H;
 }
 
@@ -68,14 +69,17 @@ std::optional<SatOutcome> ProverCache::lookup(const FormulaRef &F,
 std::optional<SatOutcome> ProverCache::lookupHashed(uint64_t Key,
                                                     const FormulaRef &F,
                                                     const QueryBudget &B) {
+  const bool Component = B.SolverSlicing == QueryBudget::SlicingComponent;
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> L(S.M);
   if (const Entry *E = findIn(S.Hot, Key, F, B)) {
     ++S.Hits;
+    ++(Component ? S.ComponentHits : S.QueryHits);
     return E->Outcome;
   }
   if (Entry *E = findIn(S.Cold, Key, F, B)) {
     ++S.Hits;
+    ++(Component ? S.ComponentHits : S.QueryHits);
     // Promote into the hot generation so it survives the next flip.
     SatOutcome O = E->Outcome;
     S.Hot[Key].push_back(std::move(*E));
@@ -90,6 +94,7 @@ std::optional<SatOutcome> ProverCache::lookupHashed(uint64_t Key,
     return O;
   }
   ++S.Misses;
+  ++(Component ? S.ComponentMisses : S.QueryMisses);
   return std::nullopt;
 }
 
@@ -130,6 +135,10 @@ ProverCache::Stats ProverCache::stats() const {
     Total.Insertions += S->Insertions;
     Total.Evictions += S->Evictions;
     Total.Entries += S->HotEntries + S->ColdEntries;
+    Total.QueryHits += S->QueryHits;
+    Total.QueryMisses += S->QueryMisses;
+    Total.ComponentHits += S->ComponentHits;
+    Total.ComponentMisses += S->ComponentMisses;
   }
   return Total;
 }

@@ -50,6 +50,11 @@ namespace mcsafe {
 struct SatOutcome {
   SatResult Result = SatResult::Unknown;
   bool ApproximatedForall = false;
+  /// Diagnostic only (never serialized into certificates): the fresh
+  /// computation of this outcome consulted the Omega tier. The slicing
+  /// layer uses it to count how many Omega runs its component memo saved
+  /// (prover/slice/omega_avoided).
+  bool UsedOmega = false;
 };
 
 /// The resource budgets a query was answered under. Cache hits require an
@@ -65,13 +70,24 @@ struct QueryBudget {
   /// tiered result is not reproducible by an untiered prover — the
   /// configurations must not exchange cache entries.
   uint64_t SolverTiers = 0;
+  /// Slicing configuration (see Slice.h), same cache-key separation
+  /// principle: a sliced prover solves each connected component under the
+  /// full Omega budget, so it can answer queries an unsliced prover gives
+  /// up on — sliced (SlicingOn) and unsliced (SlicingOff) whole-query
+  /// entries must never be exchanged, or a warm hit could change a
+  /// verdict. SlicingComponent tags the per-component memo entries, which
+  /// are keyed by a component sub-formula and must not collide with a
+  /// whole-query entry for the structurally identical formula.
+  enum : uint64_t { SlicingOff = 0, SlicingOn = 1, SlicingComponent = 2 };
+  uint64_t SolverSlicing = SlicingOff;
 
   friend bool operator==(const QueryBudget &A, const QueryBudget &B) {
     return A.DnfMaxDisjuncts == B.DnfMaxDisjuncts &&
            A.DnfMaxAtoms == B.DnfMaxAtoms &&
            A.OmegaMaxSteps == B.OmegaMaxSteps &&
            A.OmegaMaxNdivModulus == B.OmegaMaxNdivModulus &&
-           A.SolverTiers == B.SolverTiers;
+           A.SolverTiers == B.SolverTiers &&
+           A.SolverSlicing == B.SolverSlicing;
   }
 
   /// Stable 64-bit hash of the budget tuple (support/Digest.h mixer).
@@ -94,6 +110,15 @@ public:
     uint64_t Insertions = 0;
     uint64_t Evictions = 0;
     uint64_t Entries = 0; ///< Current resident entries.
+    /// The hit/miss split by entry class — whole-query entries versus the
+    /// slicing layer's per-component entries (discriminated by the
+    /// budget's SolverSlicing tag), so component hit rates are observable
+    /// per class instead of only as the blended aggregate above.
+    /// Hits == QueryHits + ComponentHits, same for misses.
+    uint64_t QueryHits = 0;
+    uint64_t QueryMisses = 0;
+    uint64_t ComponentHits = 0;
+    uint64_t ComponentMisses = 0;
   };
 
   ProverCache() : ProverCache(Config()) {}
@@ -138,6 +163,9 @@ private:
     size_t HotEntries = 0;  // Entry counts (buckets hold >= 1 entry).
     size_t ColdEntries = 0;
     uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+    // Hit/miss split by entry class (component vs whole-query).
+    uint64_t QueryHits = 0, QueryMisses = 0;
+    uint64_t ComponentHits = 0, ComponentMisses = 0;
   };
 
   Shard &shardFor(uint64_t Key);

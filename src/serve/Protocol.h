@@ -50,8 +50,9 @@ namespace serve {
 /// Bump when the frame layout, a message payload, or the CheckReport
 /// codec (checker/ReportCodec.h) changes shape. Version 2: the failure
 /// taxonomy grew WorkerCrashed/Quarantined, widening the valid Kind
-/// range in serialized reports.
-inline constexpr uint8_t ProtocolVersion = 2;
+/// range in serialized reports. Version 3: prover stats in serialized
+/// reports carry the query-slicing counters.
+inline constexpr uint8_t ProtocolVersion = 3;
 
 inline constexpr char FrameMagic[4] = {'M', 'S', 'R', 'V'};
 inline constexpr size_t FrameHeaderSize = 18;
@@ -80,6 +81,7 @@ enum : uint32_t {
   ReqFlagTiers = 1u << 2,     ///< Interval/DBM pre-solver tiers.
   ReqFlagFailSoft = 1u << 3,  ///< Enumerate obligations after a trip.
   ReqFlagTrace = 1u << 4,     ///< Induction-iteration stderr trace.
+  ReqFlagSlicing = 1u << 5,   ///< Sat-query connected-component slicing.
 };
 
 /// A parsed frame header.
@@ -99,7 +101,8 @@ struct CheckRequestMsg {
   /// Requested governor budgets; the server clamps them to its caps.
   uint32_t DeadlineMs = 0;
   uint64_t ProverSteps = 0;
-  uint32_t Flags = ReqFlagLint | ReqFlagKnownBits | ReqFlagTiers;
+  uint32_t Flags = ReqFlagLint | ReqFlagKnownBits | ReqFlagTiers |
+                   ReqFlagSlicing;
 };
 
 /// One check response: the request's id, whether admission control shed

@@ -130,6 +130,16 @@ bool Server::start(std::string &Error) {
   }
   Pool = std::make_unique<support::ThreadPool>(NJobs);
 
+  // Pre-register the slicing counters so a metrics dump always carries
+  // the full set, even from a daemon that served no checks (or served
+  // only --no-slicing requests).
+  for (const char *Name :
+       {"prover/slice/queries", "prover/slice/disjuncts_deduped",
+        "prover/slice/eq_eliminated", "prover/slice/components",
+        "prover/slice/multi_component", "prover/slice/cache_hits",
+        "prover/slice/cache_misses", "prover/slice/omega_avoided"})
+    bumpCounter(Name, 0);
+
   Running.store(true, std::memory_order_release);
   Started = true;
   AcceptThread = std::thread([this] { acceptLoop(); });
@@ -474,6 +484,18 @@ void Server::runCheckRequest(const std::shared_ptr<Conn> &C,
     O.Certs = Certs.get();
     Resp.Report = runRequestCheck(Req, O);
   }
+  // Slicing counters ride in the report's prover stats, so this works
+  // identically with isolation on (decoded from the worker's response
+  // bytes) or off (computed in-process).
+  const Prover::Stats &PS = Resp.Report.ProverStats;
+  bumpCounter("prover/slice/queries", PS.Slice.DisjunctQueries);
+  bumpCounter("prover/slice/disjuncts_deduped", PS.Slice.DisjunctsDeduped);
+  bumpCounter("prover/slice/eq_eliminated", PS.Slice.EqEliminated);
+  bumpCounter("prover/slice/components", PS.Slice.Components);
+  bumpCounter("prover/slice/multi_component", PS.Slice.MultiComponent);
+  bumpCounter("prover/slice/cache_hits", PS.Slice.CacheHits);
+  bumpCounter("prover/slice/cache_misses", PS.Slice.CacheMisses);
+  bumpCounter("prover/slice/omega_avoided", PS.Slice.OmegaAvoided);
   if (sendFrame(*C, MsgType::CheckResponse, encodeCheckResponse(Resp)))
     bumpCounter("serve/responses");
 }

@@ -221,6 +221,61 @@ TEST(ProverCache, SameFormulaDifferentBudgetIsAMiss) {
   ASSERT_TRUE(Cache.lookupHashed(Key, F, B1).has_value());
 }
 
+// The slicing tag is part of the key: a per-component verdict must never
+// answer a whole-query lookup (or vice versa), and sliced and unsliced
+// whole-query entries stay apart — the two modes can give up on
+// different queries.
+TEST(ProverCache, SlicingTagSeparatesEntries) {
+  ProverCache Cache;
+  FormulaRef F = ge(var("pc.slice"));
+  QueryBudget Off;
+  Off.SolverSlicing = QueryBudget::SlicingOff;
+  QueryBudget On = Off;
+  On.SolverSlicing = QueryBudget::SlicingOn;
+  QueryBudget Comp = Off;
+  Comp.SolverSlicing = QueryBudget::SlicingComponent;
+
+  Cache.insert(F, Comp, SatOutcome{SatResult::Unsat, false});
+  EXPECT_FALSE(Cache.lookup(F, Off).has_value());
+  EXPECT_FALSE(Cache.lookup(F, On).has_value());
+  ASSERT_TRUE(Cache.lookup(F, Comp).has_value());
+
+  Cache.insert(F, On, SatOutcome{SatResult::Sat, false});
+  ASSERT_TRUE(Cache.lookup(F, On).has_value());
+  EXPECT_EQ(Cache.lookup(F, On)->Result, SatResult::Sat);
+  EXPECT_EQ(Cache.lookup(F, Comp)->Result, SatResult::Unsat);
+  EXPECT_FALSE(Cache.lookup(F, Off).has_value());
+}
+
+// Hits and misses split by level: SlicingComponent traffic lands in the
+// component counters, everything else in the query counters, and the
+// totals reconcile. The split is what lets bench_prover report a
+// component hit rate.
+TEST(ProverCache, HitStatsSplitByLevel) {
+  ProverCache Cache;
+  FormulaRef F = ge(var("pc.split"));
+  QueryBudget Query;
+  Query.SolverSlicing = QueryBudget::SlicingOn;
+  QueryBudget Comp;
+  Comp.SolverSlicing = QueryBudget::SlicingComponent;
+
+  EXPECT_FALSE(Cache.lookup(F, Query).has_value()); // Query miss.
+  EXPECT_FALSE(Cache.lookup(F, Comp).has_value());  // Component miss.
+  Cache.insert(F, Query, SatOutcome{SatResult::Sat, false});
+  Cache.insert(F, Comp, SatOutcome{SatResult::Sat, false});
+  EXPECT_TRUE(Cache.lookup(F, Query).has_value()); // Query hit.
+  EXPECT_TRUE(Cache.lookup(F, Comp).has_value());  // Component hit.
+  EXPECT_TRUE(Cache.lookup(F, Comp).has_value());  // Component hit.
+
+  ProverCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.QueryHits, 1u);
+  EXPECT_EQ(S.QueryMisses, 1u);
+  EXPECT_EQ(S.ComponentHits, 2u);
+  EXPECT_EQ(S.ComponentMisses, 1u);
+  EXPECT_EQ(S.Hits, S.QueryHits + S.ComponentHits);
+  EXPECT_EQ(S.Misses, S.QueryMisses + S.ComponentMisses);
+}
+
 TEST(ProverCache, ClearEmptiesTheCache) {
   Prover P;
   FormulaRef F = ge(var("pc.clear"));
